@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: intra-stage dispatch policy.
+ *
+ * The paper load-balances queries across a stage's instance pool but
+ * does not pin down the algorithm; this bench quantifies how much the
+ * choice matters once PowerChief starts cloning instances. Join-
+ * shortest-queue (our default) is compared against round-robin and the
+ * frequency-weighted variant under high Sirius load.
+ */
+
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+RunResult
+runWith(const ExperimentRunner &runner, DispatchPolicy dispatch,
+        const char *name)
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    Scenario sc = Scenario::mitigation(sirius, LoadLevel::High,
+                                       PolicyKind::PowerChief);
+    sc.name = name;
+    sc.dispatch = dispatch;
+    return runner.run(sc);
+}
+
+} // namespace
+
+int
+main()
+{
+    const ExperimentRunner runner;
+    printBanner(std::cout, "Ablation: dispatch policy",
+                "PowerChief on Sirius (high load) with different "
+                "intra-stage load balancers");
+
+    const RunResult baseline = runner.run(Scenario::mitigation(
+        WorkloadModel::sirius(), LoadLevel::High,
+        PolicyKind::StageAgnostic));
+
+    std::vector<RunResult> runs;
+    runs.push_back(runWith(runner, DispatchPolicy::JoinShortestQueue,
+                           "join-shortest-queue (default)"));
+    runs.push_back(
+        runWith(runner, DispatchPolicy::RoundRobin, "round-robin"));
+    runs.push_back(runWith(runner, DispatchPolicy::WeightedFastest,
+                           "weighted-fastest"));
+    printImprovementTable(std::cout, baseline, runs);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: bottleneck-metric choice (paper Table 1 vs Eq. 1).
+ *
+ * Runs PowerChief on Sirius under medium and high load with each
+ * candidate latency metric driving bottleneck identification. The
+ * paper's argument (§4.2): history-only metrics mis-identify the
+ * bottleneck when load bursts queue up queries, so Eq. 1's
+ * L×q̄+s̄ — history plus realtime queue — should win.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/csv.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+template <typename Metric>
+Scenario
+withMetric(const WorkloadModel &w, LoadLevel level, const char *name)
+{
+    Scenario sc = Scenario::mitigation(w, level, PolicyKind::PowerChief);
+    sc.name = std::string(name);
+    sc.metricFactory = [] { return std::make_unique<Metric>(); };
+    return sc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    const ExperimentRunner runner;
+
+    printBanner(std::cout, "Ablation: bottleneck metric",
+                "PowerChief on Sirius with Table 1 metrics vs Eq. 1");
+
+    for (LoadLevel level : {LoadLevel::Medium, LoadLevel::High}) {
+        const RunResult baseline = runner.run(Scenario::mitigation(
+            sirius, level, PolicyKind::StageAgnostic));
+
+        std::vector<RunResult> runs;
+        runs.push_back(runner.run(withMetric<PowerChiefMetric>(
+            sirius, level, "Eq.1 L*q+s (PowerChief)")));
+        runs.push_back(runner.run(withMetric<AvgQueuingMetric>(
+            sirius, level, "avg queuing (Table 1)")));
+        runs.push_back(runner.run(withMetric<AvgServingMetric>(
+            sirius, level, "avg serving (Table 1)")));
+        runs.push_back(runner.run(withMetric<AvgProcessingMetric>(
+            sirius, level, "avg processing (Table 1)")));
+        runs.push_back(runner.run(withMetric<TailProcessingMetric>(
+            sirius, level, "p99 processing (Table 1)")));
+
+        std::cout << "\n(" << toString(level) << " load)\n";
+        printImprovementTable(std::cout, baseline, runs);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: power-recycling order (paper §6.1).
+ *
+ * The paper recycles from the fastest (lowest latency metric) instance
+ * first and notes other orders can be plugged in. This bench compares
+ * fastest-first against slowest-first (adversarial: drains instances
+ * that are themselves near-bottleneck) and a proportional round-robin
+ * spread, under medium and high Sirius load.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+template <typename Order>
+Scenario
+withOrder(const WorkloadModel &w, LoadLevel level, const char *name)
+{
+    Scenario sc = Scenario::mitigation(w, level, PolicyKind::PowerChief);
+    sc.name = std::string(name);
+    sc.recycleFactory = [] { return std::make_unique<Order>(); };
+    return sc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    const ExperimentRunner runner;
+
+    printBanner(std::cout, "Ablation: recycle order",
+                "PowerChief on Sirius with different power-recycling "
+                "orders");
+
+    for (LoadLevel level : {LoadLevel::Medium, LoadLevel::High}) {
+        const RunResult baseline = runner.run(Scenario::mitigation(
+            sirius, level, PolicyKind::StageAgnostic));
+
+        std::vector<RunResult> runs;
+        runs.push_back(runner.run(withOrder<FastestFirstOrder>(
+            sirius, level, "fastest-first (paper)")));
+        runs.push_back(runner.run(withOrder<SlowestFirstOrder>(
+            sirius, level, "slowest-first")));
+        runs.push_back(runner.run(withOrder<ProportionalOrder>(
+            sirius, level, "proportional")));
+
+        std::cout << "\n(" << toString(level) << " load)\n";
+        printImprovementTable(std::cout, baseline, runs);
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Extension: exhaustive-search static allocation vs PowerChief (§2.1).
+ *
+ * The paper's motivation argues that even an optimal *static* power
+ * allocation (found by exhaustive search for a known load) is undone
+ * by runtime dynamics. We implement that search — M/G/c-estimated
+ * latency minimized over per-stage (instances, frequency) under the
+ * budget — and deploy its allocation with no runtime control, (a) at
+ * the rate it planned for and (b) at double that rate (a mis-estimate).
+ *
+ * Measured outcome (an honest nuance on 2.1, recorded in
+ * EXPERIMENTS.md): with this budget the latency-optimal allocation
+ * over-provisions capacity and is robust to rate error; its real cost
+ * is omniscience — it needs the arrival rate and service profiles a
+ * priori, which PowerChief does not.
+ */
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "core/oracle.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+Scenario
+withOracleLayout(const WorkloadModel &workload,
+                 const OracleResult &oracle, LoadProfile load,
+                 const char *name)
+{
+    Scenario sc = Scenario::mitigation(workload, LoadLevel::High,
+                                       PolicyKind::StageAgnostic);
+    sc.name = name;
+    sc.load = std::move(load);
+    sc.initialCounts.clear();
+    sc.initialLevels.clear();
+    for (const auto &a : oracle.perStage) {
+        sc.initialCounts.push_back(a.instances);
+        sc.initialLevels.push_back(a.level);
+    }
+    return sc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    const PowerModel model = PowerModel::haswell();
+    const ExperimentRunner runner;
+
+    printBanner(std::cout, "Extension: static oracle",
+                "Exhaustive-search static allocation vs PowerChief "
+                "(13.56 W, Sirius)");
+
+    const double lambda =
+        1.05 * sirius.bottleneckCapacityAt(1800); // "medium" mean rate
+    const StaticOracle oracle(&sirius, &model, Watts(13.56), 16);
+    const OracleResult solution = oracle.solve(lambda);
+    if (!solution.feasible) {
+        std::cout << "oracle found no feasible allocation\n";
+        return 1;
+    }
+
+    std::cout << "\noracle allocation for lambda=" << lambda
+              << " qps (" << solution.evaluated
+              << " configurations evaluated, "
+              << solution.power.value() << " W):\n";
+    for (int s = 0; s < sirius.numStages(); ++s) {
+        const auto &a = solution.perStage[static_cast<std::size_t>(s)];
+        std::cout << "  " << sirius.stage(s).name << ": "
+                  << a.instances << " instance(s) @ "
+                  << model.ladder().freqAt(a.level).toString() << "\n";
+    }
+    std::cout << "  estimated mean latency "
+              << solution.estimatedLatencySec << " s\n";
+
+    // (a) Steady load at exactly the rate the oracle planned for.
+    {
+        std::cout << "\n--- steady (the lambda the oracle knows) ---\n";
+        const RunResult oracleRun = runner.run(withOracleLayout(
+            sirius, solution, LoadProfile::constant(lambda),
+            "static-oracle"));
+        Scenario chief = Scenario::mitigation(sirius, LoadLevel::High,
+                                              PolicyKind::PowerChief);
+        chief.name = "powerchief";
+        chief.load = LoadProfile::constant(lambda);
+        printRawResults(std::cout, {oracleRun, runner.run(chief)});
+    }
+
+    // (b) The designer's lambda estimate is wrong (the "undetermined
+    // runtime factors" of 2.1): the oracle planned for half the rate
+    // that actually arrives. Deployed statically it saturates; the
+    // same initial allocation under PowerChief control recovers.
+    {
+        const OracleResult planned = oracle.solve(lambda / 2.0);
+        if (!planned.feasible) {
+            std::cout << "oracle infeasible for the planned rate\n";
+            return 1;
+        }
+        std::cout << "\n--- mis-estimated (oracle planned for "
+                  << lambda / 2.0 << " qps, actual " << lambda
+                  << " qps) ---\n";
+        std::cout << "planned allocation:";
+        for (int s = 0; s < sirius.numStages(); ++s) {
+            const auto &a =
+                planned.perStage[static_cast<std::size_t>(s)];
+            std::cout << "  " << sirius.stage(s).name << "="
+                      << a.instances << "@"
+                      << model.ladder().freqAt(a.level).toString();
+        }
+        std::cout << "\n";
+
+        const RunResult staticRun = runner.run(withOracleLayout(
+            sirius, planned, LoadProfile::constant(lambda),
+            "static-oracle (stale)"));
+        Scenario warm = withOracleLayout(sirius, planned,
+                                         LoadProfile::constant(lambda),
+                                         "powerchief (same start)");
+        warm.policy = PolicyKind::PowerChief;
+        warm.control.enableWithdraw = true;
+        printRawResults(std::cout, {staticRun, runner.run(warm)});
+    }
+
+    std::cout << "\nReading (honest finding): a queueing-model-guided "
+                 "exhaustive search is a strong static baseline under "
+                 "this budget — it over-provisions capacity even when "
+                 "planned for half the rate. Its catch is omniscience "
+                 "(arrival rate + offline profiles + stable stages); "
+                 "PowerChief needs none of that and lands in its "
+                 "ballpark, while the paper's equal-split baseline is "
+                 "an order of magnitude behind both.\n";
+    return 0;
+}

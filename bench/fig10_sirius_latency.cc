@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10 reproduction: latency improvement for the Sirius application
+ * using PowerChief compared to frequency-only and instance-only boosting
+ * under low / medium / high load, all under the same 13.56 W budget.
+ *
+ * Also derives the §8.2 headline numbers: the cross-load mean average-
+ * latency and tail-latency improvement of PowerChief over the
+ * stage-agnostic baseline (paper: 20.3x avg, 13.3x p99).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+int
+main()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    const ExperimentRunner runner;
+
+    printBanner(std::cout, "Figure 10",
+                "Sirius latency improvement under the 13.56 W budget "
+                "(improvement over stage-agnostic baseline)");
+
+    const std::vector<LoadLevel> levels = {
+        LoadLevel::Low, LoadLevel::Medium, LoadLevel::High};
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::FreqBoost, PolicyKind::InstBoost,
+        PolicyKind::PowerChief};
+
+    double pcAvgProduct = 0.0;
+    double pcTailProduct = 0.0;
+    int pcRuns = 0;
+
+    for (LoadLevel level : levels) {
+        const RunResult baseline = runner.run(Scenario::mitigation(
+            sirius, level, PolicyKind::StageAgnostic));
+
+        std::vector<RunResult> runs;
+        for (PolicyKind policy : policies)
+            runs.push_back(
+                runner.run(Scenario::mitigation(sirius, level, policy)));
+
+        std::cout << "\n(" << toString(level) << " load, "
+                  << baseline.completed << " baseline completions, "
+                  << "baseline avg " << baseline.avgLatencySec
+                  << " s / p99 " << baseline.p99LatencySec << " s)\n";
+        printImprovementTable(std::cout, baseline, runs);
+
+        const auto &pc = runs.back();
+        pcAvgProduct +=
+            RunResult::improvement(baseline.avgLatencySec,
+                                   pc.avgLatencySec);
+        pcTailProduct +=
+            RunResult::improvement(baseline.p99LatencySec,
+                                   pc.p99LatencySec);
+        ++pcRuns;
+    }
+
+    std::cout << "\nHeadline (paper 8.2: 20.3x avg, 13.3x p99 for "
+                 "Sirius):\n"
+              << "  PowerChief mean improvement across loads: "
+              << pcAvgProduct / pcRuns << "x avg, "
+              << pcTailProduct / pcRuns << "x p99\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 11 reproduction: runtime behaviour of the Sirius application —
+ * the number of instances per stage and each instance's frequency over
+ * time — under frequency boosting, instance boosting and PowerChief,
+ * with the time-varying Fig. 11 load (high burst, low valley at
+ * 175-275 s, second rise).
+ *
+ * Printed as resampled series (one column per 75 s bucket over the
+ * 900 s run), the textual equivalent of the paper's three trace plots.
+ */
+
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+void
+tracePolicy(const ExperimentRunner &runner, const WorkloadModel &sirius,
+            PolicyKind policy)
+{
+    Scenario sc = Scenario::mitigation(sirius, LoadLevel::High, policy);
+    sc.load = LoadProfile::fig11(sirius, 1800);
+    sc.name = std::string("fig11/") + toString(policy);
+
+    const RunResult run = runner.run(sc);
+    const SimTime from = SimTime::zero();
+    const SimTime to = sc.duration;
+    constexpr int kBuckets = 12;
+
+    std::cout << "\n--- " << toString(policy) << " ---\n";
+    std::cout << "time buckets (s):";
+    for (int b = 0; b < kBuckets; ++b)
+        std::cout << ' ' << (b + 1) * 75;
+    std::cout << '\n';
+
+    std::cout << "instances per stage:\n";
+    for (std::size_t s = 0; s < run.stageInstanceCounts.size(); ++s) {
+        printSeries(std::cout, "stage " + std::to_string(s),
+                    run.stageInstanceCounts[s], from, to, kBuckets, 0);
+    }
+    std::cout << "per-instance frequency (GHz):\n";
+    for (const auto &[name, series] : run.instanceFrequencyGHz)
+        printSeries(std::cout, name, series, from, to, kBuckets, 1);
+
+    std::cout << "avg latency " << run.avgLatencySec << " s, p99 "
+              << run.p99LatencySec << " s, avg power "
+              << run.avgPowerWatts << " W (budget 13.56 W)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    const ExperimentRunner runner(/*recordTraces=*/true);
+
+    printBanner(std::cout, "Figure 11",
+                "Sirius runtime behaviour (instance counts and "
+                "frequencies) under time-varying load");
+
+    tracePolicy(runner, sirius, PolicyKind::FreqBoost);
+    tracePolicy(runner, sirius, PolicyKind::InstBoost);
+    tracePolicy(runner, sirius, PolicyKind::PowerChief);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 12 reproduction: latency improvement for the NLP (Senna)
+ * application — POS -> PSG -> SRL — using PowerChief compared to other
+ * boosting techniques under low/medium/high load, with the §8.3
+ * headline (paper: 32.4x avg, 19.4x p99 across loads).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+int
+main()
+{
+    const WorkloadModel nlp = WorkloadModel::nlp();
+    const ExperimentRunner runner;
+
+    printBanner(std::cout, "Figure 12",
+                "NLP latency improvement under the 13.56 W budget "
+                "(improvement over stage-agnostic baseline)");
+
+    double pcAvg = 0.0;
+    double pcTail = 0.0;
+    int n = 0;
+    for (LoadLevel level :
+         {LoadLevel::Low, LoadLevel::Medium, LoadLevel::High}) {
+        const RunResult baseline = runner.run(Scenario::mitigation(
+            nlp, level, PolicyKind::StageAgnostic));
+
+        std::vector<RunResult> runs;
+        for (PolicyKind policy :
+             {PolicyKind::FreqBoost, PolicyKind::InstBoost,
+              PolicyKind::PowerChief}) {
+            runs.push_back(
+                runner.run(Scenario::mitigation(nlp, level, policy)));
+        }
+        std::cout << "\n(" << toString(level) << " load, baseline avg "
+                  << baseline.avgLatencySec << " s / p99 "
+                  << baseline.p99LatencySec << " s)\n";
+        printImprovementTable(std::cout, baseline, runs);
+
+        pcAvg += RunResult::improvement(baseline.avgLatencySec,
+                                        runs.back().avgLatencySec);
+        pcTail += RunResult::improvement(baseline.p99LatencySec,
+                                         runs.back().p99LatencySec);
+        ++n;
+    }
+
+    std::cout << "\nHeadline (paper 8.3: 32.4x avg, 19.4x p99 for "
+                 "NLP):\n"
+              << "  PowerChief mean improvement across loads: "
+              << pcAvg / n << "x avg, " << pcTail / n << "x p99\n";
+    return 0;
+}

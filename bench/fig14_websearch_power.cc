@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 14 reproduction: power saving achieved by PowerChief and
+ * Pegasus for the Web Search application while meeting the 250 ms QoS
+ * target (Table 3 setup: 10 leaf instances + 1 aggregation instance at
+ * maximum frequency, 2 s adjust interval).
+ */
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+constexpr double kQosSec = 0.250;
+
+Scenario
+makeScenario(const WorkloadModel &search, PolicyKind policy)
+{
+    Scenario sc = Scenario::conservation(
+        search, {10, 1}, kQosSec, SimTime::sec(2), policy);
+    // Diurnal swing between light and moderate search traffic.
+    sc.load = LoadProfile::diurnal(10.0, 85.0, SimTime::sec(450));
+    sc.name = std::string("websearch/qos/") + toString(policy);
+    sc.duration = SimTime::sec(900);
+    return sc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadModel search = WorkloadModel::webSearch();
+    const ExperimentRunner runner(/*recordTraces=*/true,
+                                  SimTime::sec(2));
+
+    printBanner(std::cout, "Figure 14",
+                "Web Search power saving while meeting the 250 ms QoS "
+                "target (normalized to the no-control baseline)");
+
+    const RunResult baseline =
+        runner.run(makeScenario(search, PolicyKind::StageAgnostic));
+    const RunResult pegasus =
+        runner.run(makeScenario(search, PolicyKind::Pegasus));
+    const RunResult powerchief = runner.run(
+        makeScenario(search, PolicyKind::PowerChiefConserve));
+
+    TextTable table({"policy", "power fraction", "power saving",
+                     "QoS fraction (avg lat / target)", "p99(ms)"});
+    for (const auto *run : {&baseline, &pegasus, &powerchief}) {
+        table.addRow({
+            run->scenario,
+            TextTable::num(run->avgPowerWatts / baseline.avgPowerWatts,
+                           3),
+            TextTable::num((1.0 - run->avgPowerWatts /
+                                       baseline.avgPowerWatts) * 100.0,
+                           1) + "%",
+            TextTable::num(run->avgLatencySec / kQosSec, 3),
+            TextTable::num(run->p99LatencySec * 1e3, 1),
+        });
+    }
+    table.print(std::cout);
+
+    const double pcSave =
+        1.0 - powerchief.avgPowerWatts / baseline.avgPowerWatts;
+    const double pgSave =
+        1.0 - pegasus.avgPowerWatts / baseline.avgPowerWatts;
+    std::cout << "\nPowerChief saves "
+              << TextTable::num((pcSave - pgSave) * 100.0, 1)
+              << "% more power than Pegasus (paper 8.4: ~33% more for "
+                 "Web Search; PowerChief 43% vs Pegasus 10%)\n";
+
+    std::cout << "\nLatency timeline (windowed mean / QoS target, "
+                 "75 s buckets):\n";
+    for (const auto *run : {&baseline, &pegasus, &powerchief}) {
+        TimeSeries qos(run->scenario);
+        for (const auto &p : run->latencySeries.points())
+            qos.append(p.t, p.value / kQosSec);
+        printSeries(std::cout, run->scenario, qos, SimTime::zero(),
+                    SimTime::sec(900), 12, 2);
+    }
+
+    std::cout << "\nPower timeline (fraction of baseline, 75 s "
+                 "buckets):\n";
+    for (const auto *run : {&baseline, &pegasus, &powerchief}) {
+        TimeSeries normalized(run->scenario);
+        for (const auto &p : run->powerSeries.points())
+            normalized.append(p.t,
+                              p.value / baseline.avgPowerWatts);
+        printSeries(std::cout, run->scenario, normalized,
+                    SimTime::zero(), SimTime::sec(900), 12, 2);
+    }
+    return 0;
+}

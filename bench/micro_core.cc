@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the runtime's hot paths:
+ * event scheduling/dispatch, bottleneck ranking, the streaming
+ * percentile estimator, moving-window maintenance, power-model lookups
+ * and a small end-to-end scenario. These bound the overhead PowerChief
+ * adds per control interval (paper §7.2 argues it is negligible).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/bottleneck.h"
+#include "exp/runner.h"
+#include "stats/percentile.h"
+#include "stats/window.h"
+#include "workloads/profiler.h"
+
+using namespace pc;
+
+namespace {
+
+void
+BM_SimulatorScheduleDispatch(benchmark::State &state)
+{
+    Simulator sim;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            sim.scheduleAfter(SimTime::usec(i), [&sink]() { ++sink; });
+        sim.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch);
+
+void
+BM_P2QuantileAdd(benchmark::State &state)
+{
+    P2Quantile q(0.99);
+    Rng rng(7);
+    for (auto _ : state)
+        q.add(rng.lognormal(1.0, 0.5));
+    benchmark::DoNotOptimize(q.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void
+BM_MovingWindowAddEvict(benchmark::State &state)
+{
+    MovingWindow window(SimTime::sec(50));
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        window.add(SimTime::usec(t), 1.0);
+        t += 100000; // 0.1 s apart: steady-state ~500 samples
+    }
+    benchmark::DoNotOptimize(window.mean());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MovingWindowAddEvict);
+
+void
+BM_PowerModelLookup(benchmark::State &state)
+{
+    const PowerModel model = PowerModel::haswell();
+    int lvl = 0;
+    double sink = 0;
+    for (auto _ : state) {
+        sink += model.activeWatts(lvl).value();
+        lvl = (lvl + 1) % model.ladder().numLevels();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PowerModelLookup);
+
+void
+BM_BottleneckRank(benchmark::State &state)
+{
+    // A realistic command-center ranking: Sirius with several instances
+    // per stage and populated statistics windows.
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 16);
+    MessageBus bus(&sim);
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    MultiStageApp app(&sim, &chip, &bus, "sirius",
+                      sirius.layout(3, model.ladder().midLevel()));
+
+    BottleneckIdentifier identifier(SimTime::sec(50));
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        Query q(i, SimTime::zero(),
+                sirius.sampleDemands(rng, 1200));
+        for (const auto *inst : app.allInstances()) {
+            HopRecord hop;
+            hop.instanceId = inst->id();
+            hop.stageIndex = inst->stageIndex();
+            hop.enqueued = SimTime::zero();
+            hop.started = SimTime::msec(rng.uniform(0, 100));
+            hop.finished = hop.started + SimTime::msec(
+                rng.uniform(100, 1000));
+            q.addHop(hop);
+        }
+        identifier.observe(SimTime::sec(1), q);
+    }
+
+    for (auto _ : state) {
+        auto ranked = identifier.rank(SimTime::sec(1), app);
+        benchmark::DoNotOptimize(ranked.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BottleneckRank);
+
+void
+BM_OfflineProfileStage(benchmark::State &state)
+{
+    const PowerModel model = PowerModel::haswell();
+    const StageProfile stage = WorkloadModel::sirius().stage(2);
+    const OfflineProfiler profiler(50);
+    for (auto _ : state) {
+        auto table = profiler.profileStage(stage, model, 3);
+        benchmark::DoNotOptimize(table.at(0));
+    }
+}
+BENCHMARK(BM_OfflineProfileStage);
+
+void
+BM_EndToEndScenario(benchmark::State &state)
+{
+    // A full (shortened) mitigation run: simulator, chip, RPC, control
+    // loop — the cost of one whole experiment.
+    for (auto _ : state) {
+        Scenario sc = Scenario::mitigation(WorkloadModel::sirius(),
+                                           LoadLevel::Medium,
+                                           PolicyKind::PowerChief);
+        sc.duration = SimTime::sec(100);
+        const ExperimentRunner runner;
+        auto result = runner.run(sc);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_EndToEndScenario)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Example: the Sirius intelligent-personal-assistant pipeline
+ * (ASR -> IMM -> QA, Fig. 8) on a power-constrained CMP.
+ *
+ * Runs the same 13.56 W scenario four times — stage-agnostic baseline,
+ * frequency-only boosting, instance-only boosting and PowerChief — under
+ * a bursty load, and prints the latency each strategy delivers plus the
+ * end-of-run instance layout PowerChief converged to.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+int
+main()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+
+    std::printf("Sirius pipeline:");
+    for (const auto &stage : sirius.stages())
+        std::printf(" %s(%.2fs @1.8GHz)", stage.name.c_str(),
+                    stage.meanServiceSec);
+    std::printf("\npower budget: 13.56 W, load: bursty (Fig. 11 "
+                "profile)\n\n");
+
+    const ExperimentRunner runner(/*recordTraces=*/true);
+    std::vector<RunResult> results;
+    RunResult baseline;
+
+    for (PolicyKind policy :
+         {PolicyKind::StageAgnostic, PolicyKind::FreqBoost,
+          PolicyKind::InstBoost, PolicyKind::PowerChief}) {
+        Scenario sc =
+            Scenario::mitigation(sirius, LoadLevel::High, policy);
+        sc.load = LoadProfile::fig11(sirius, 1800);
+        sc.name = toString(policy);
+        RunResult run = runner.run(sc);
+        if (policy == PolicyKind::StageAgnostic)
+            baseline = run;
+        results.push_back(std::move(run));
+    }
+
+    printRawResults(std::cout, results);
+
+    std::printf("\nimprovement over the stage-agnostic baseline:\n");
+    for (const auto &run : results) {
+        std::printf("  %-14s avg %6.2fx   p99 %6.2fx\n",
+                    run.scenario.c_str(),
+                    RunResult::improvement(baseline.avgLatencySec,
+                                           run.avgLatencySec),
+                    RunResult::improvement(baseline.p99LatencySec,
+                                           run.p99LatencySec));
+    }
+
+    const auto &pc_run = results.back();
+    std::printf("\nPowerChief end-of-run instance layout (per stage):\n");
+    for (std::size_t s = 0; s < pc_run.stageInstanceCounts.size(); ++s) {
+        const auto &series = pc_run.stageInstanceCounts[s];
+        std::printf("  %s: %.0f instance(s)\n",
+                    sirius.stage(static_cast<int>(s)).name.c_str(),
+                    series.points().empty()
+                        ? 0.0
+                        : series.points().back().value);
+    }
+    return 0;
+}

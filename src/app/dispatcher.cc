@@ -1,0 +1,73 @@
+#include "app/dispatcher.h"
+
+#include <limits>
+
+namespace pc {
+
+Dispatcher::Dispatcher(DispatchPolicy policy) : policy_(policy) {}
+
+ServiceInstance *
+Dispatcher::pick(const std::vector<ServiceInstance *> &instances)
+{
+    std::vector<ServiceInstance *> eligible;
+    eligible.reserve(instances.size());
+    for (auto *inst : instances)
+        if (inst && !inst->draining())
+            eligible.push_back(inst);
+    if (eligible.empty())
+        return nullptr;
+
+    switch (policy_) {
+      case DispatchPolicy::RoundRobin:
+        return pickRoundRobin(eligible);
+      case DispatchPolicy::JoinShortestQueue:
+        return pickShortestQueue(eligible);
+      case DispatchPolicy::WeightedFastest:
+        return pickWeighted(eligible);
+    }
+    return nullptr;
+}
+
+ServiceInstance *
+Dispatcher::pickRoundRobin(const std::vector<ServiceInstance *> &eligible)
+{
+    ServiceInstance *chosen = eligible[rrNext_ % eligible.size()];
+    ++rrNext_;
+    return chosen;
+}
+
+ServiceInstance *
+Dispatcher::pickShortestQueue(const std::vector<ServiceInstance *> &eligible)
+{
+    ServiceInstance *best = nullptr;
+    std::size_t bestLen = std::numeric_limits<std::size_t>::max();
+    for (auto *inst : eligible) {
+        const std::size_t len = inst->queueLength();
+        if (len < bestLen) {
+            bestLen = len;
+            best = inst;
+        }
+    }
+    return best;
+}
+
+ServiceInstance *
+Dispatcher::pickWeighted(const std::vector<ServiceInstance *> &eligible)
+{
+    // Queue length normalized by processing speed: a 2.4 GHz instance
+    // drains its queue twice as fast as a 1.2 GHz one.
+    ServiceInstance *best = nullptr;
+    double bestScore = std::numeric_limits<double>::infinity();
+    for (auto *inst : eligible) {
+        const double speed = inst->frequency().value();
+        const double score =
+            (static_cast<double>(inst->queueLength()) + 1.0) / speed;
+        if (score < bestScore) {
+            bestScore = score;
+            best = inst;
+        }
+    }
+    return best;
+}
+
+} // namespace pc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Query dispatch (load balance) policies within one stage.
+ *
+ * The paper's stages balance load across their instance pool and the new
+ * instance created by instance boosting participates via "load balance"
+ * (§5.1). Join-shortest-queue is the default; round-robin and a
+ * frequency-weighted variant are provided for experiments.
+ */
+
+#ifndef PC_APP_DISPATCHER_H
+#define PC_APP_DISPATCHER_H
+
+#include <memory>
+#include <vector>
+
+#include "app/service_instance.h"
+
+namespace pc {
+
+enum class DispatchPolicy { RoundRobin, JoinShortestQueue, WeightedFastest };
+
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(DispatchPolicy policy);
+
+    /**
+     * Pick the instance that should receive the next query. Draining
+     * instances are excluded. @return nullptr if no instance is eligible.
+     */
+    ServiceInstance *
+    pick(const std::vector<ServiceInstance *> &instances);
+
+    DispatchPolicy policy() const { return policy_; }
+
+  private:
+    ServiceInstance *
+    pickRoundRobin(const std::vector<ServiceInstance *> &eligible);
+    static ServiceInstance *
+    pickShortestQueue(const std::vector<ServiceInstance *> &eligible);
+    static ServiceInstance *
+    pickWeighted(const std::vector<ServiceInstance *> &eligible);
+
+    DispatchPolicy policy_;
+    std::size_t rrNext_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_APP_DISPATCHER_H

@@ -1,0 +1,16 @@
+#include "app/query.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+const WorkDemand &
+Query::demand(int stage) const
+{
+    if (stage < 0 || stage >= numStages())
+        panic("query %lld: demand for stage %d of %d",
+              static_cast<long long>(id_), stage, numStages());
+    return demands_[static_cast<std::size_t>(stage)];
+}
+
+} // namespace pc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Queries and the extended latency-record structure.
+ *
+ * The paper's service/query joint design (§4.1, Fig. 6) extends the query
+ * data structure so every service instance appends its signature plus the
+ * queuing and serving time it charged the query. The record rides along
+ * with the query and is reported to the command center only when the
+ * query exits the last stage — no global clock, no per-hop RPCs.
+ */
+
+#ifndef PC_APP_QUERY_H
+#define PC_APP_QUERY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pc {
+
+/**
+ * The computational demand a query places on one stage.
+ *
+ * Service time on a core at frequency f decomposes into a frequency-
+ * insensitive part (memory/IO bound) and a compute part that scales as
+ * 1/f. cpuSecAtRef is expressed at the ladder's reference (minimum)
+ * frequency, so the compute part at frequency f takes
+ * cpuSecAtRef * f_ref / f seconds.
+ */
+struct WorkDemand
+{
+    double cpuSecAtRef = 0.0;
+    double memSec = 0.0;
+
+    /**
+     * Query does not exercise this stage at all (e.g. a Sirius voice
+     * query with no image input skips IMM, Fig. 8); the pipeline routes
+     * it straight to the next stage.
+     */
+    bool skip = false;
+
+    /** Service time in seconds at frequency @p mhz (ref @p refMhz). */
+    double
+    serviceSec(int mhz, int refMhz) const
+    {
+        return memSec + cpuSecAtRef * static_cast<double>(refMhz) / mhz;
+    }
+};
+
+/** One per-instance entry of the extended query structure (Fig. 6). */
+struct HopRecord
+{
+    std::int64_t instanceId = -1;
+    int stageIndex = -1;
+    SimTime enqueued;
+    SimTime started;
+    SimTime finished;
+
+    SimTime queuing() const { return started - enqueued; }
+    SimTime serving() const { return finished - started; }
+};
+
+class Query
+{
+  public:
+    Query(std::int64_t id, SimTime arrival, std::vector<WorkDemand> demands)
+        : id_(id), arrival_(arrival), demands_(std::move(demands))
+    {
+    }
+
+    std::int64_t id() const { return id_; }
+    SimTime arrival() const { return arrival_; }
+
+    const WorkDemand &demand(int stage) const;
+    int numStages() const { return static_cast<int>(demands_.size()); }
+
+    /** Append a completed hop's latency statistics. */
+    void addHop(HopRecord hop) { hops_.push_back(hop); }
+    const std::vector<HopRecord> &hops() const { return hops_; }
+
+    void markCompleted(SimTime t) { completed_ = t; done_ = true; }
+    bool completed() const { return done_; }
+
+    /** End-to-end response latency; only valid once completed. */
+    SimTime endToEnd() const { return completed_ - arrival_; }
+
+  private:
+    std::int64_t id_;
+    SimTime arrival_;
+    SimTime completed_;
+    bool done_ = false;
+    std::vector<WorkDemand> demands_;
+    std::vector<HopRecord> hops_;
+};
+
+using QueryPtr = std::shared_ptr<Query>;
+
+} // namespace pc
+
+#endif // PC_APP_QUERY_H

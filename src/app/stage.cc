@@ -1,0 +1,222 @@
+#include "app/stage.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace pc {
+
+std::int64_t
+Stage::nextInstanceId()
+{
+    static std::atomic<std::int64_t> counter{1};
+    return counter++;
+}
+
+Stage::Stage(int index, std::string name, Simulator *sim, CmpChip *chip,
+             DispatchPolicy dispatch, StageKind kind)
+    : index_(index), name_(std::move(name)), sim_(sim), chip_(chip),
+      dispatcher_(dispatch), kind_(kind)
+{
+}
+
+void
+Stage::configureFanOut(int referenceShards, double shardCv,
+                       std::uint64_t seed)
+{
+    if (kind_ != StageKind::FanOut)
+        panic("stage %s is not a fan-out stage", name_.c_str());
+    if (referenceShards <= 0)
+        fatal("fan-out stage needs a positive reference shard count");
+    referenceShards_ = referenceShards;
+    shardCv_ = shardCv;
+    shardRng_ = Rng(seed);
+}
+
+Stage::~Stage()
+{
+    // Return cores so the chip can be reused by a follow-on experiment.
+    for (auto &inst : pool_) {
+        chip_->core(inst->coreId()).setFreqChangeListener(nullptr);
+        if (!inst->busy())
+            chip_->releaseCore(inst->coreId());
+    }
+}
+
+void
+Stage::setCompletionCallback(StageCompletionCallback cb)
+{
+    onComplete_ = std::move(cb);
+}
+
+ServiceInstance *
+Stage::launchInstance(int level)
+{
+    auto coreId = chip_->acquireCore(level);
+    if (!coreId)
+        return nullptr;
+    const std::int64_t id = nextInstanceId();
+    ++launchCounter_;
+    auto inst = std::make_unique<ServiceInstance>(
+        id, name_ + "_" + std::to_string(launchCounter_), index_, sim_,
+        chip_, *coreId, [this](QueryPtr q) { onInstanceComplete(std::move(q)); });
+    ServiceInstance *raw = inst.get();
+    pool_.push_back(std::move(inst));
+    return raw;
+}
+
+bool
+Stage::withdrawInstance(std::int64_t instanceId,
+                        ServiceInstance *redirectTo)
+{
+    ServiceInstance *victim = findInstance(instanceId);
+    if (!victim || victim->draining())
+        return false;
+
+    // Never break the pipeline: at least one live instance must remain.
+    if (instances().size() <= 1)
+        return false;
+
+    victim->setDraining(true);
+
+    if (!redirectTo || redirectTo->draining() ||
+        redirectTo == victim) {
+        // Default to the least-loaded live peer.
+        redirectTo = nullptr;
+        std::size_t best = SIZE_MAX;
+        for (auto *inst : instances()) {
+            if (inst->queueLength() < best) {
+                best = inst->queueLength();
+                redirectTo = inst;
+            }
+        }
+    }
+    if (!redirectTo)
+        panic("stage %s: withdraw with no redirect target", name_.c_str());
+
+    for (auto &pending : victim->drainWaiting())
+        redirectTo->adopt(std::move(pending));
+
+    // Release immediately when idle; otherwise the reap after the final
+    // completion takes care of it.
+    if (victim->idleAndEmpty())
+        sim_->scheduleAfter(SimTime::zero(), [this]() { reapDrained(); });
+    return true;
+}
+
+void
+Stage::submit(QueryPtr q)
+{
+    if (kind_ == StageKind::FanOut) {
+        submitFanOut(std::move(q));
+        return;
+    }
+    ServiceInstance *target = dispatcher_.pick(instances());
+    if (!target)
+        panic("stage %s has no dispatchable instance", name_.c_str());
+    target->enqueue(std::move(q));
+}
+
+void
+Stage::submitFanOut(QueryPtr q)
+{
+    const auto live = instances();
+    if (live.empty())
+        panic("fan-out stage %s has no live instance", name_.c_str());
+    if (referenceShards_ <= 0)
+        fatal("fan-out stage %s used before configureFanOut()",
+              name_.c_str());
+
+    // Corpus partitioning: per-shard demand is quoted at the reference
+    // leaf count; with more (fewer) live leaves each shard shrinks
+    // (grows) proportionally.
+    const double shardScale = static_cast<double>(referenceShards_) /
+        static_cast<double>(live.size());
+
+    pendingShards_[q->id()] = static_cast<int>(live.size());
+    for (auto *inst : live) {
+        PendingQuery shard;
+        shard.query = q;
+        shard.enqueued = sim_->now();
+        shard.workScale = shardScale *
+            (shardCv_ > 0.0 ? shardRng_.lognormal(1.0, shardCv_) : 1.0);
+        inst->adopt(std::move(shard));
+    }
+}
+
+std::vector<ServiceInstance *>
+Stage::instances() const
+{
+    std::vector<ServiceInstance *> out;
+    out.reserve(pool_.size());
+    for (const auto &inst : pool_)
+        if (!inst->draining())
+            out.push_back(inst.get());
+    return out;
+}
+
+std::vector<ServiceInstance *>
+Stage::allInstances() const
+{
+    std::vector<ServiceInstance *> out;
+    out.reserve(pool_.size());
+    for (const auto &inst : pool_)
+        out.push_back(inst.get());
+    return out;
+}
+
+ServiceInstance *
+Stage::findInstance(std::int64_t instanceId) const
+{
+    for (const auto &inst : pool_)
+        if (inst->id() == instanceId)
+            return inst.get();
+    return nullptr;
+}
+
+std::size_t
+Stage::totalQueueLength() const
+{
+    std::size_t total = 0;
+    for (const auto *inst : instances())
+        total += inst->queueLength();
+    return total;
+}
+
+void
+Stage::onInstanceComplete(QueryPtr q)
+{
+    // Defer reaping so we never destroy an instance while its completion
+    // handler is still on the stack.
+    sim_->scheduleAfter(SimTime::zero(), [this]() { reapDrained(); });
+
+    if (kind_ == StageKind::FanOut) {
+        // The query leaves the stage only when its last shard returns.
+        auto it = pendingShards_.find(q->id());
+        if (it == pendingShards_.end())
+            panic("fan-out stage %s: completion for unknown query %lld",
+                  name_.c_str(), static_cast<long long>(q->id()));
+        if (--it->second > 0)
+            return;
+        pendingShards_.erase(it);
+    }
+    if (onComplete_)
+        onComplete_(std::move(q));
+}
+
+void
+Stage::reapDrained()
+{
+    for (auto it = pool_.begin(); it != pool_.end();) {
+        auto &inst = *it;
+        if (inst->draining() && inst->idleAndEmpty()) {
+            chip_->core(inst->coreId()).setFreqChangeListener(nullptr);
+            chip_->releaseCore(inst->coreId());
+            it = pool_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace pc

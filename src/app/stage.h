@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A processing stage: a pool of service instances plus a dispatcher.
+ *
+ * Stages own instance lifecycle — launching an instance acquires a
+ * dedicated core from the chip (from the pre-warmed pool, §7.2, so
+ * startup cost is negligible) and withdrawing one drains it, redirects
+ * its waiting queries and returns the core.
+ */
+
+#ifndef PC_APP_STAGE_H
+#define PC_APP_STAGE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "app/dispatcher.h"
+#include "app/service_instance.h"
+#include "common/rng.h"
+#include "hal/chip.h"
+#include "sim/simulator.h"
+
+namespace pc {
+
+/**
+ * How a stage processes a query.
+ *
+ * Pipeline: the query is served by exactly one instance of the pool
+ * (load-balanced) — the paper's Sirius/NLP stages.
+ *
+ * FanOut: the query is sharded to *every* live instance and completes
+ * when the last shard returns — the Web Search leaf stage, where each
+ * leaf searches its partition of the corpus. Per-shard work scales
+ * with referenceShards/liveInstances (launching a leaf re-shards the
+ * corpus finer; withdrawing one spreads its shard over the rest).
+ */
+enum class StageKind { Pipeline, FanOut };
+
+class Stage
+{
+  public:
+    /** Invoked when an instance of this stage finishes a query. */
+    using StageCompletionCallback = std::function<void(QueryPtr)>;
+
+    Stage(int index, std::string name, Simulator *sim, CmpChip *chip,
+          DispatchPolicy dispatch = DispatchPolicy::JoinShortestQueue,
+          StageKind kind = StageKind::Pipeline);
+
+    StageKind kind() const { return kind_; }
+
+    /**
+     * Configure fan-out sharding: @p referenceShards is the leaf count
+     * the per-shard demand is quoted at; @p shardCv adds lognormal
+     * leaf-to-leaf service variability (0 = identical shards).
+     */
+    void configureFanOut(int referenceShards, double shardCv,
+                         std::uint64_t seed);
+
+    ~Stage();
+
+    Stage(const Stage &) = delete;
+    Stage &operator=(const Stage &) = delete;
+
+    int index() const { return index_; }
+    const std::string &name() const { return name_; }
+
+    void setCompletionCallback(StageCompletionCallback cb);
+
+    /**
+     * Launch a new instance at the given DVFS level.
+     * @return the instance, or nullptr when no core is free.
+     */
+    ServiceInstance *launchInstance(int level);
+
+    /**
+     * Withdraw an instance: stop dispatching to it, move its waiting
+     * queries to @p redirectTo (or the least-loaded peer when null) and
+     * release its core once the in-flight query (if any) completes.
+     *
+     * @retval false the instance is unknown or it is the stage's last
+     *         live instance (withdraw would break the pipeline, §6.2).
+     */
+    bool withdrawInstance(std::int64_t instanceId,
+                          ServiceInstance *redirectTo = nullptr);
+
+    /** Dispatch a query to an instance according to the policy. */
+    void submit(QueryPtr q);
+
+    /** Live (non-draining) instances. */
+    std::vector<ServiceInstance *> instances() const;
+
+    /** All instances including draining ones (for traces). */
+    std::vector<ServiceInstance *> allInstances() const;
+
+    ServiceInstance *findInstance(std::int64_t instanceId) const;
+
+    std::size_t numLiveInstances() const { return instances().size(); }
+
+    /** Sum of queue lengths over live instances. */
+    std::size_t totalQueueLength() const;
+
+    /** Globally unique ids are drawn from this shared counter. */
+    static std::int64_t nextInstanceId();
+
+  private:
+    void onInstanceComplete(QueryPtr q);
+    void reapDrained();
+    void submitFanOut(QueryPtr q);
+
+    int index_;
+    std::string name_;
+    Simulator *sim_;
+    CmpChip *chip_;
+    Dispatcher dispatcher_;
+    StageKind kind_;
+    StageCompletionCallback onComplete_;
+    std::vector<std::unique_ptr<ServiceInstance>> pool_;
+    int launchCounter_ = 0;
+
+    // Fan-out state.
+    int referenceShards_ = 0;
+    double shardCv_ = 0.0;
+    Rng shardRng_{0x5eed5eedull};
+    std::unordered_map<std::int64_t, int> pendingShards_;
+};
+
+} // namespace pc
+
+#endif // PC_APP_STAGE_H

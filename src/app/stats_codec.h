@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Wire codec for the extended query structure (Fig. 6).
+ *
+ * QueryStatsRecord is what the command center actually needs from a
+ * completed query — identity, end-to-end span and the per-hop latency
+ * statistics — detached from the in-process Query object so it can be
+ * shipped as bytes between machines. encode/decode round-trip exactly
+ * (timestamps are microsecond integers on the wire).
+ */
+
+#ifndef PC_APP_STATS_CODEC_H
+#define PC_APP_STATS_CODEC_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "app/query.h"
+#include "rpc/bus.h"
+
+namespace pc {
+
+struct QueryStatsRecord
+{
+    std::int64_t queryId = -1;
+    SimTime arrival;
+    SimTime completed;
+    std::vector<HopRecord> hops;
+
+    SimTime endToEnd() const { return completed - arrival; }
+};
+
+/** Extract the report-relevant statistics from a completed query. */
+QueryStatsRecord statsOf(const Query &query);
+
+/** Serialize a stats record to the compact wire format. */
+std::vector<std::uint8_t> encodeStats(const QueryStatsRecord &record);
+
+/**
+ * Decode a wire buffer. @return nullopt on truncated/malformed input
+ * (the command center drops such reports rather than crashing).
+ */
+std::optional<QueryStatsRecord>
+decodeStats(const std::vector<std::uint8_t> &bytes);
+
+/** Bus message carrying a serialized stats record. */
+class WireStatsMessage : public Message
+{
+  public:
+    explicit WireStatsMessage(std::vector<std::uint8_t> b)
+        : bytes(std::move(b))
+    {
+    }
+
+    const char *type() const override { return "query-stats-wire"; }
+
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace pc
+
+#endif // PC_APP_STATS_CODEC_H

@@ -1,0 +1,94 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pc {
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::numericRow(const std::vector<double> &cells)
+{
+    char buf[64];
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        std::snprintf(buf, sizeof(buf), "%.6g", cells[i]);
+        out_ << buf;
+    }
+    out_ << '\n';
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out << "  " << row[i]
+                << std::string(widths[i] - row[i].size(), ' ');
+        }
+        out << '\n';
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace pc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tiny CSV and fixed-width text table writers used by the experiment
+ * reporters to dump figure series and print paper-style result rows.
+ */
+
+#ifndef PC_COMMON_CSV_H
+#define PC_COMMON_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pc {
+
+/** Streams rows of strings/doubles as RFC-4180-ish CSV. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    /** Write a header or data row of preformatted cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Write a row of doubles with %.6g formatting. */
+    void numericRow(const std::vector<double> &cells);
+
+    /** Quote a cell if it contains separators or quotes. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &out_;
+};
+
+/**
+ * Accumulates rows and prints an aligned, human-readable table — used for
+ * the "Figure N" reproductions the bench binaries print.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with column alignment to the stream. */
+    void print(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pc
+
+#endif // PC_COMMON_CSV_H

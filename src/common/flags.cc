@@ -1,0 +1,183 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace pc {
+
+FlagSet::FlagSet(std::string programName) : program_(std::move(programName))
+{
+}
+
+void
+FlagSet::addString(const std::string &name, std::string defaultValue,
+                   std::string help)
+{
+    flags_[name] = Flag{Kind::String, defaultValue,
+                        std::move(defaultValue), std::move(help)};
+}
+
+void
+FlagSet::addDouble(const std::string &name, double defaultValue,
+                   std::string help)
+{
+    const std::string v = std::to_string(defaultValue);
+    flags_[name] = Flag{Kind::Double, v, v, std::move(help)};
+}
+
+void
+FlagSet::addInt(const std::string &name, long defaultValue,
+                std::string help)
+{
+    const std::string v = std::to_string(defaultValue);
+    flags_[name] = Flag{Kind::Int, v, v, std::move(help)};
+}
+
+void
+FlagSet::addBool(const std::string &name, bool defaultValue,
+                 std::string help)
+{
+    const std::string v = defaultValue ? "true" : "false";
+    flags_[name] = Flag{Kind::Bool, v, v, std::move(help)};
+}
+
+bool
+FlagSet::assign(const std::string &name, const std::string &value)
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+        error_ = "unknown flag --" + name;
+        return false;
+    }
+    auto &flag = it->second;
+    char *end = nullptr;
+    switch (flag.kind) {
+      case Kind::String:
+        break;
+      case Kind::Double:
+        std::strtod(value.c_str(), &end);
+        if (value.empty() || *end != '\0') {
+            error_ = "flag --" + name + " expects a number, got '" +
+                value + "'";
+            return false;
+        }
+        break;
+      case Kind::Int:
+        std::strtol(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0') {
+            error_ = "flag --" + name + " expects an integer, got '" +
+                value + "'";
+            return false;
+        }
+        break;
+      case Kind::Bool:
+        if (value != "true" && value != "false") {
+            error_ = "flag --" + name + " expects true/false, got '" +
+                value + "'";
+            return false;
+        }
+        break;
+    }
+    flag.value = value;
+    flag.set = true;
+    return true;
+}
+
+bool
+FlagSet::parse(int argc, const char *const *argv)
+{
+    error_.clear();
+    helpRequested_ = false;
+    positional_.clear();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested_ = true;
+            error_ = "help requested";
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        std::string name;
+        std::string value;
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            auto it = flags_.find(name);
+            if (it != flags_.end() && it->second.kind == Kind::Bool) {
+                // Bare boolean flag means true.
+                value = "true";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                error_ = "flag --" + name + " is missing a value";
+                return false;
+            }
+        }
+        if (!assign(name, value))
+            return false;
+    }
+    return true;
+}
+
+const FlagSet::Flag &
+FlagSet::find(const std::string &name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("flag --%s was never registered", name.c_str());
+    if (it->second.kind != kind)
+        panic("flag --%s accessed with the wrong type", name.c_str());
+    return it->second;
+}
+
+std::string
+FlagSet::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+double
+FlagSet::getDouble(const std::string &name) const
+{
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+long
+FlagSet::getInt(const std::string &name) const
+{
+    return std::strtol(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+bool
+FlagSet::getBool(const std::string &name) const
+{
+    return find(name, Kind::Bool).value == "true";
+}
+
+bool
+FlagSet::isSet(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    return it != flags_.end() && it->second.set;
+}
+
+void
+FlagSet::printUsage(std::ostream &out) const
+{
+    out << "usage: " << program_ << " [flags]\n";
+    for (const auto &[name, flag] : flags_) {
+        out << "  --" << name << " (default: " << flag.defaultValue
+            << ")\n        " << flag.help << '\n';
+    }
+}
+
+} // namespace pc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools and bench binaries.
+ *
+ * Supports --name=value and --name value forms, typed registration with
+ * defaults, --help generation, and strict rejection of unknown flags.
+ */
+
+#ifndef PC_COMMON_FLAGS_H
+#define PC_COMMON_FLAGS_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pc {
+
+class FlagSet
+{
+  public:
+    explicit FlagSet(std::string programName);
+
+    /** Register typed flags; @p help is shown by printUsage(). */
+    void addString(const std::string &name, std::string defaultValue,
+                   std::string help);
+    void addDouble(const std::string &name, double defaultValue,
+                   std::string help);
+    void addInt(const std::string &name, long defaultValue,
+                std::string help);
+    void addBool(const std::string &name, bool defaultValue,
+                 std::string help);
+
+    /**
+     * Parse argv. @retval false on unknown flags, malformed values or
+     * --help (error() explains which).
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** True when parse() failed because --help was requested. */
+    bool helpRequested() const { return helpRequested_; }
+
+    const std::string &error() const { return error_; }
+
+    std::string getString(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    long getInt(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Whether a flag was explicitly set on the command line. */
+    bool isSet(const std::string &name) const;
+
+    /** Positional arguments remaining after flags. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    void printUsage(std::ostream &out) const;
+
+  private:
+    enum class Kind { String, Double, Int, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string value;
+        std::string defaultValue;
+        std::string help;
+        bool set = false;
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    bool assign(const std::string &name, const std::string &value);
+
+    std::string program_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+    std::string error_;
+    bool helpRequested_ = false;
+};
+
+} // namespace pc
+
+#endif // PC_COMMON_FLAGS_H

@@ -1,0 +1,419 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace pc {
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        panic("JSON value is not a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JSON value is not a string");
+    return str_;
+}
+
+const JsonArray &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        panic("JSON value is not an array");
+    return *arr_;
+}
+
+const JsonObject &
+JsonValue::asObject() const
+{
+    if (kind_ != Kind::Object)
+        panic("JSON value is not an object");
+    return *obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->asBool() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key, std::string fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->asString() : fallback;
+}
+
+namespace {
+
+void
+appendEscaped(std::string *out, const std::string &s)
+{
+    *out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': *out += "\\\""; break;
+          case '\\': *out += "\\\\"; break;
+          case '\n': *out += "\\n"; break;
+          case '\t': *out += "\\t"; break;
+          case '\r': *out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                *out += buf;
+            } else {
+                *out += c;
+            }
+        }
+    }
+    *out += '"';
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string *out) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        *out += "null";
+        break;
+      case Kind::Bool:
+        *out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number: {
+        char buf[32];
+        if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%.0f", num_);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        }
+        *out += buf;
+        break;
+      }
+      case Kind::String:
+        appendEscaped(out, str_);
+        break;
+      case Kind::Array: {
+        *out += '[';
+        bool first = true;
+        for (const auto &v : *arr_) {
+            if (!first)
+                *out += ',';
+            first = false;
+            v.dumpTo(out);
+        }
+        *out += ']';
+        break;
+      }
+      case Kind::Object: {
+        *out += '{';
+        bool first = true;
+        for (const auto &[k, v] : *obj_) {
+            if (!first)
+                *out += ',';
+            first = false;
+            appendEscaped(out, k);
+            *out += ':';
+            v.dumpTo(out);
+        }
+        *out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(&out);
+    return out;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonParseResult
+    parse()
+    {
+        JsonParseResult result;
+        skipWs();
+        JsonValue v;
+        if (!parseValue(&v)) {
+            result.error = error_;
+            result.errorPos = pos_;
+            return result;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            result.error = "trailing characters after JSON document";
+            result.errorPos = pos_;
+            return result;
+        }
+        result.value = std::move(v);
+        return result;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue value, JsonValue *out)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        *out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n': return literal("null", JsonValue(), out);
+          case 't': return literal("true", JsonValue(true), out);
+          case 'f': return literal("false", JsonValue(false), out);
+          case '"': return parseString(out);
+          case '[': return parseArray(out);
+          case '{': return parseObject(out);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("invalid number");
+        // Reject strtod extensions JSON forbids (inf, nan, hex).
+        for (const char *p = start; p < end; ++p) {
+            const char c = *p;
+            if (!(std::isdigit(static_cast<unsigned char>(c)) ||
+                  c == '-' || c == '+' || c == '.' || c == 'e' ||
+                  c == 'E'))
+                return fail("invalid number");
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        *out = JsonValue(v);
+        return true;
+    }
+
+    bool
+    parseString(JsonValue *out)
+    {
+        std::string s;
+        if (!parseRawString(&s))
+            return false;
+        *out = JsonValue(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string *out)
+    {
+        ++pos_; // opening quote
+        std::string s;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                *out = std::move(s);
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'n': s += '\n'; break;
+                  case 'r': s += '\r'; break;
+                  case 't': s += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    const std::string hex = text_.substr(pos_, 4);
+                    char *end = nullptr;
+                    const long cp = std::strtol(hex.c_str(), &end, 16);
+                    if (end != hex.c_str() + 4)
+                        return fail("invalid \\u escape");
+                    pos_ += 4;
+                    if (cp < 0x80) {
+                        s += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        s += static_cast<char>(0xc0 | (cp >> 6));
+                        s += static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        s += static_cast<char>(0xe0 | (cp >> 12));
+                        s += static_cast<char>(0x80 |
+                                               ((cp >> 6) & 0x3f));
+                        s += static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("invalid escape character");
+                }
+            } else {
+                s += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        ++pos_; // '['
+        JsonArray arr;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            *out = JsonValue(std::move(arr));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            arr.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                *out = JsonValue(std::move(arr));
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        ++pos_; // '{'
+        JsonObject obj;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            *out = JsonValue(std::move(obj));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseRawString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            obj[std::move(key)] = std::move(v);
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                *out = JsonValue(std::move(obj));
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace pc

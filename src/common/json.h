@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser.
+ *
+ * Dependency-free substrate for configuration files: workloads and
+ * scenarios can be described declaratively (tools/powerchief-cli
+ * --config). Supports the full JSON grammar except \u escapes beyond
+ * Latin-1; numbers are doubles. Parse errors carry the byte offset.
+ */
+
+#ifndef PC_COMMON_JSON_H
+#define PC_COMMON_JSON_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pc {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double n) : kind_(Kind::Number), num_(n) {}
+    JsonValue(int n) : kind_(Kind::Number), num_(n) {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    JsonValue(JsonArray a)
+        : kind_(Kind::Array),
+          arr_(std::make_shared<JsonArray>(std::move(a)))
+    {
+    }
+    JsonValue(JsonObject o)
+        : kind_(Kind::Object),
+          obj_(std::make_shared<JsonObject>(std::move(o)))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; panic on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const JsonArray &asArray() const;
+    const JsonObject &asObject() const;
+
+    /** Object field lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Convenience typed getters with defaults (object receivers). */
+    double numberOr(const std::string &key, double fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+    std::string stringOr(const std::string &key,
+                         std::string fallback) const;
+
+    /** Serialize back to compact JSON text. */
+    std::string dump() const;
+
+  private:
+    void dumpTo(std::string *out) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::shared_ptr<JsonArray> arr_;
+    std::shared_ptr<JsonObject> obj_;
+};
+
+struct JsonParseResult
+{
+    std::optional<JsonValue> value;
+    std::string error;      // empty on success
+    std::size_t errorPos = 0;
+
+    bool ok() const { return value.has_value(); }
+};
+
+/** Parse a complete JSON document (trailing garbage is an error). */
+JsonParseResult parseJson(const std::string &text);
+
+} // namespace pc
+
+#endif // PC_COMMON_JSON_H

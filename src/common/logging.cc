@@ -1,0 +1,114 @@
+#include "common/logging.h"
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pc {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+namespace {
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Logger::vlog(LogLevel lvl, const char *fmt, std::va_list ap)
+{
+    if (lvl < level_)
+        return;
+    std::fprintf(stderr, "[%s] ", levelName(lvl));
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+void
+Logger::log(LogLevel lvl, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vlog(lvl, fmt, ap);
+    va_end(ap);
+}
+
+#define PC_FORWARD_LOG(level)                                   \
+    do {                                                        \
+        std::va_list ap;                                        \
+        va_start(ap, fmt);                                      \
+        Logger::instance().vlog(level, fmt, ap);                \
+        va_end(ap);                                             \
+    } while (0)
+
+void
+logDebug(const char *fmt, ...)
+{
+    PC_FORWARD_LOG(LogLevel::Debug);
+}
+
+void
+logInfo(const char *fmt, ...)
+{
+    PC_FORWARD_LOG(LogLevel::Info);
+}
+
+void
+logWarn(const char *fmt, ...)
+{
+    PC_FORWARD_LOG(LogLevel::Warn);
+}
+
+void
+logError(const char *fmt, ...)
+{
+    PC_FORWARD_LOG(LogLevel::Error);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[PANIC] ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+
+    // Best-effort stack trace to locate the violated invariant.
+    void *frames[32];
+    const int depth = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, depth, 2);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "[FATAL] ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::exit(1);
+}
+
+} // namespace pc

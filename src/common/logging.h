@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal leveled logger plus the fatal/panic error helpers.
+ *
+ * The severity split follows the gem5 convention: panic() flags an
+ * internal invariant violation (a bug in PowerChief itself) and aborts,
+ * while fatal() flags an unusable configuration supplied by the caller
+ * and exits cleanly with an error code.
+ */
+
+#ifndef PC_COMMON_LOGGING_H
+#define PC_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace pc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Process-wide logger; thread safety is not required (single-threaded sim). */
+class Logger
+{
+  public:
+    static Logger &instance();
+
+    void setLevel(LogLevel lvl) { level_ = lvl; }
+    LogLevel level() const { return level_; }
+
+    /** Log a printf-formatted message at the given level. */
+    void log(LogLevel lvl, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    void vlog(LogLevel lvl, const char *fmt, std::va_list ap);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Warn;
+};
+
+void logDebug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void logInfo(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void logWarn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void logError(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable internal error (a PowerChief bug) and abort.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace pc
+
+#endif // PC_COMMON_LOGGING_H

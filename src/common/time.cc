@@ -1,0 +1,23 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pc {
+
+std::string
+SimTime::toString() const
+{
+    char buf[64];
+    const double us = static_cast<double>(micros_);
+    if (std::abs(us) < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(micros_));
+    } else if (std::abs(us) < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.3gms", us / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4gs", us / 1e6);
+    }
+    return buf;
+}
+
+} // namespace pc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Simulated-time type used throughout PowerChief.
+ *
+ * All timestamps and durations in the runtime are expressed as SimTime,
+ * a strongly typed wrapper around a signed 64-bit count of microseconds.
+ * Microsecond resolution comfortably covers both the sub-millisecond QoS
+ * targets of Web Search style services and multi-hour simulations.
+ */
+
+#ifndef PC_COMMON_TIME_H
+#define PC_COMMON_TIME_H
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace pc {
+
+/**
+ * A point in (or span of) simulated time, stored as microseconds.
+ *
+ * SimTime is used both as an absolute timestamp (microseconds since the
+ * simulator epoch) and as a duration; arithmetic between the two is the
+ * natural one. The type is trivially copyable and totally ordered.
+ */
+class SimTime
+{
+  public:
+    constexpr SimTime() : micros_(0) {}
+
+    /** Construct from a raw microsecond count. */
+    static constexpr SimTime
+    usec(std::int64_t us)
+    {
+        return SimTime(us);
+    }
+
+    /** Construct from milliseconds. */
+    static constexpr SimTime
+    msec(double ms)
+    {
+        return SimTime(static_cast<std::int64_t>(ms * 1e3));
+    }
+
+    /** Construct from seconds. */
+    static constexpr SimTime
+    sec(double s)
+    {
+        return SimTime(static_cast<std::int64_t>(s * 1e6));
+    }
+
+    /** The zero time / empty duration. */
+    static constexpr SimTime
+    zero()
+    {
+        return SimTime(0);
+    }
+
+    /** A timestamp later than every schedulable event. */
+    static constexpr SimTime
+    max()
+    {
+        return SimTime(std::numeric_limits<std::int64_t>::max());
+    }
+
+    constexpr std::int64_t toUsec() const { return micros_; }
+    constexpr double toMsec() const { return micros_ / 1e3; }
+    constexpr double toSec() const { return micros_ / 1e6; }
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    constexpr SimTime
+    operator+(SimTime o) const
+    {
+        return SimTime(micros_ + o.micros_);
+    }
+
+    constexpr SimTime
+    operator-(SimTime o) const
+    {
+        return SimTime(micros_ - o.micros_);
+    }
+
+    constexpr SimTime &
+    operator+=(SimTime o)
+    {
+        micros_ += o.micros_;
+        return *this;
+    }
+
+    constexpr SimTime &
+    operator-=(SimTime o)
+    {
+        micros_ -= o.micros_;
+        return *this;
+    }
+
+    constexpr SimTime
+    operator*(double k) const
+    {
+        return SimTime(static_cast<std::int64_t>(micros_ * k));
+    }
+
+    /** Ratio of two durations. The divisor must be non-zero. */
+    constexpr double
+    operator/(SimTime o) const
+    {
+        return static_cast<double>(micros_) / static_cast<double>(o.micros_);
+    }
+
+    /** Human-readable rendering, e.g. "12.5ms" or "3.2s". */
+    std::string toString() const;
+
+  private:
+    explicit constexpr SimTime(std::int64_t us) : micros_(us) {}
+
+    std::int64_t micros_;
+};
+
+} // namespace pc
+
+#endif // PC_COMMON_TIME_H

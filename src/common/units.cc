@@ -1,0 +1,23 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace pc {
+
+std::string
+MHz::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fGHz", mhz_ / 1000.0);
+    return buf;
+}
+
+std::string
+Watts::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fW", w_);
+    return buf;
+}
+
+} // namespace pc

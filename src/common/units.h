@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Physical-unit helper types: frequency (MHz) and power (watts).
+ *
+ * Frequencies are carried as plain integral megahertz values wrapped in a
+ * tiny strong type so a frequency can never be silently confused with a
+ * core id or a ladder level index. Power is a strong double type with the
+ * small amount of arithmetic the budget bookkeeping needs.
+ */
+
+#ifndef PC_COMMON_UNITS_H
+#define PC_COMMON_UNITS_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pc {
+
+/** A CPU core frequency in megahertz. */
+class MHz
+{
+  public:
+    constexpr MHz() : mhz_(0) {}
+    explicit constexpr MHz(std::int32_t mhz) : mhz_(mhz) {}
+
+    constexpr std::int32_t value() const { return mhz_; }
+    constexpr double toGHz() const { return mhz_ / 1000.0; }
+
+    constexpr auto operator<=>(const MHz &) const = default;
+
+    constexpr MHz operator+(MHz o) const { return MHz(mhz_ + o.mhz_); }
+    constexpr MHz operator-(MHz o) const { return MHz(mhz_ - o.mhz_); }
+
+    std::string toString() const;
+
+  private:
+    std::int32_t mhz_;
+};
+
+/** Electrical power in watts. */
+class Watts
+{
+  public:
+    constexpr Watts() : w_(0.0) {}
+    explicit constexpr Watts(double w) : w_(w) {}
+
+    constexpr double value() const { return w_; }
+
+    constexpr auto operator<=>(const Watts &) const = default;
+
+    constexpr Watts operator+(Watts o) const { return Watts(w_ + o.w_); }
+    constexpr Watts operator-(Watts o) const { return Watts(w_ - o.w_); }
+    constexpr Watts operator*(double k) const { return Watts(w_ * k); }
+
+    constexpr Watts &
+    operator+=(Watts o)
+    {
+        w_ += o.w_;
+        return *this;
+    }
+
+    constexpr Watts &
+    operator-=(Watts o)
+    {
+        w_ -= o.w_;
+        return *this;
+    }
+
+    std::string toString() const;
+
+  private:
+    double w_;
+};
+
+/** Energy in joules; produced by integrating Watts over SimTime. */
+class Joules
+{
+  public:
+    constexpr Joules() : j_(0.0) {}
+    explicit constexpr Joules(double j) : j_(j) {}
+
+    constexpr double value() const { return j_; }
+
+    constexpr auto operator<=>(const Joules &) const = default;
+
+    constexpr Joules operator+(Joules o) const { return Joules(j_ + o.j_); }
+    constexpr Joules operator-(Joules o) const { return Joules(j_ - o.j_); }
+
+    constexpr Joules &
+    operator+=(Joules o)
+    {
+        j_ += o.j_;
+        return *this;
+    }
+
+  private:
+    double j_;
+};
+
+} // namespace pc
+
+#endif // PC_COMMON_UNITS_H

@@ -1,0 +1,119 @@
+#include "core/boost_engine.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+const char *
+toString(BoostKind kind)
+{
+    switch (kind) {
+      case BoostKind::None: return "none";
+      case BoostKind::Frequency: return "frequency";
+      case BoostKind::Instance: return "instance";
+    }
+    return "?";
+}
+
+BoostingDecisionEngine::BoostingDecisionEngine(PowerBudget *budget,
+                                               PowerReallocator *realloc,
+                                               const SpeedupBook *speedups)
+    : budget_(budget), realloc_(realloc), speedups_(speedups)
+{
+    if (!budget_ || !realloc_ || !speedups_)
+        fatal("boost engine requires budget, reallocator and speedups");
+}
+
+double
+BoostingDecisionEngine::expectedInstanceDelay(const InstanceSnapshot &bn)
+{
+    const double l = static_cast<double>(bn.queueLength);
+    const double qs = bn.avgQueuingSec + bn.avgServingSec;
+    return (l - 1.0) * qs / 2.0 + bn.avgServingSec;
+}
+
+double
+BoostingDecisionEngine::expectedFrequencyDelay(const InstanceSnapshot &bn,
+                                               int newLevel) const
+{
+    const auto &table = speedups_->stage(bn.stageIndex);
+    const double alpha = table.ratio(bn.level, newLevel);
+    const double l = static_cast<double>(bn.queueLength);
+    const double qs = bn.avgQueuingSec + bn.avgServingSec;
+    return alpha * ((l - 1.0) * qs + bn.avgServingSec);
+}
+
+int
+BoostingDecisionEngine::affordableLevel(const InstanceSnapshot &bn,
+                                        Watts spendable) const
+{
+    const auto &model = budget_->model();
+    int best = bn.level;
+    for (int lvl = bn.level + 1; lvl < model.ladder().numLevels(); ++lvl) {
+        if (model.deltaWatts(bn.level, lvl) <= spendable)
+            best = lvl;
+    }
+    return best;
+}
+
+BoostDecision
+BoostingDecisionEngine::selectBoosting(const SortedSnapshots &ranked)
+{
+    BoostDecision decision;
+    if (ranked.empty())
+        return decision;
+
+    const InstanceSnapshot &bn = ranked.back();
+    decision.targetInstance = bn.instanceId;
+    decision.stageIndex = bn.stageIndex;
+    decision.fromLevel = bn.level;
+
+    const auto &model = budget_->model();
+    // Cost of launching a clone at the bottleneck's frequency (§5.1).
+    const Watts instanceCost = model.activeWatts(bn.level);
+
+    // Algorithm 1, lines 7-10: recycle toward the instance-launch cost.
+    if (budget_->headroom() < instanceCost) {
+        decision.recycledWatts = realloc_->recycle(
+            instanceCost - budget_->headroom(), ranked, bn.instanceId);
+    }
+
+    if (budget_->headroom() < instanceCost) {
+        // Lines 11-12: cannot launch; frequency boost with what we have.
+        decision.kind = BoostKind::Frequency;
+        decision.toLevel = affordableLevel(bn, budget_->headroom());
+        decision.expectedFrequencySec =
+            expectedFrequencyDelay(bn, decision.toLevel);
+        if (decision.toLevel <= bn.level)
+            decision.kind = BoostKind::None;
+        return decision;
+    }
+
+    if (bn.queueLength > kMinQueueForInstanceBoost) {
+        // Lines 15-24: compare the two estimates at equivalent power.
+        const int eqLevel = affordableLevel(bn, instanceCost);
+        decision.expectedInstanceSec = expectedInstanceDelay(bn);
+        decision.expectedFrequencySec = expectedFrequencyDelay(bn, eqLevel);
+        if (decision.expectedInstanceSec < decision.expectedFrequencySec) {
+            decision.kind = BoostKind::Instance;
+            decision.toLevel = bn.level;
+        } else {
+            decision.kind = BoostKind::Frequency;
+            decision.toLevel =
+                affordableLevel(bn, budget_->headroom());
+            if (decision.toLevel <= bn.level)
+                decision.kind = BoostKind::None;
+        }
+    } else {
+        // Lines 25-26: short queue — a clone would idle; prefer DVFS.
+        decision.kind = BoostKind::Frequency;
+        decision.toLevel = affordableLevel(bn, budget_->headroom());
+        decision.expectedFrequencySec =
+            expectedFrequencyDelay(bn, decision.toLevel);
+        if (decision.toLevel <= bn.level)
+            decision.kind = BoostKind::None;
+    }
+    return decision;
+}
+
+} // namespace pc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The adaptive boosting decision engine (paper §5, Algorithm 1).
+ *
+ * Given the ranked instances, the engine estimates — without applying
+ * either technique — the bottleneck's expected delay under instance
+ * boosting (Eq. 2) and under frequency boosting at the power-equivalent
+ * frequency (Eq. 3), recycles power if the new-instance cost exceeds the
+ * available budget, and returns the decision with the shorter expected
+ * delay. Frequency boosting is preferred outright when the realtime
+ * queue is short (≤ 2) or when recycling cannot fund a new instance.
+ */
+
+#ifndef PC_CORE_BOOST_ENGINE_H
+#define PC_CORE_BOOST_ENGINE_H
+
+#include <cstdint>
+
+#include "core/reallocator.h"
+#include "core/snapshot.h"
+#include "core/speedup.h"
+#include "power/budget.h"
+
+namespace pc {
+
+enum class BoostKind { None, Frequency, Instance };
+
+const char *toString(BoostKind kind);
+
+struct BoostDecision
+{
+    BoostKind kind = BoostKind::None;
+
+    /** The bottleneck instance the boost targets. */
+    std::int64_t targetInstance = -1;
+    int stageIndex = -1;
+
+    /** For frequency boosting: the level to move to. */
+    int fromLevel = 0;
+    int toLevel = 0;
+
+    /** Eq. 2 / Eq. 3 estimates (seconds), kept for tracing and tests. */
+    double expectedInstanceSec = 0.0;
+    double expectedFrequencySec = 0.0;
+
+    /** Watts recycled from other instances while funding the boost. */
+    Watts recycledWatts;
+};
+
+class BoostingDecisionEngine
+{
+  public:
+    BoostingDecisionEngine(PowerBudget *budget, PowerReallocator *realloc,
+                           const SpeedupBook *speedups);
+
+    /**
+     * Eq. 2: expected delay of the bottleneck after cloning it and
+     * offloading half its queue: (L−1)(q̄+s̄)/2 + s̄.
+     */
+    static double expectedInstanceDelay(const InstanceSnapshot &bn);
+
+    /**
+     * Eq. 3: expected delay after raising the bottleneck to
+     * @p newLevel: (r2/r1) × ((L−1)(q̄+s̄) + s̄).
+     */
+    double expectedFrequencyDelay(const InstanceSnapshot &bn,
+                                  int newLevel) const;
+
+    /**
+     * calNewFreq(p): highest ladder level reachable from the
+     * bottleneck's current level by spending at most @p spendable watts.
+     */
+    int affordableLevel(const InstanceSnapshot &bn, Watts spendable) const;
+
+    /**
+     * SELECTBOOSTING(bn): run Algorithm 1 against the current ranking.
+     * May actuate power recycling (donor DVFS steps) as a side effect;
+     * never actuates the boost itself — the caller applies the decision.
+     */
+    BoostDecision selectBoosting(const SortedSnapshots &ranked);
+
+    /** Queue length above which instance boosting is considered. */
+    static constexpr std::size_t kMinQueueForInstanceBoost = 2;
+
+  private:
+    PowerBudget *budget_;
+    PowerReallocator *realloc_;
+    const SpeedupBook *speedups_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_BOOST_ENGINE_H

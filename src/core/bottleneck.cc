@@ -1,0 +1,124 @@
+#include "core/bottleneck.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace pc {
+
+BottleneckIdentifier::BottleneckIdentifier(
+    SimTime windowSpan, std::unique_ptr<BottleneckMetric> metric)
+    : span_(windowSpan), metric_(std::move(metric))
+{
+    if (!metric_)
+        metric_ = std::make_unique<PowerChiefMetric>();
+    if (span_ <= SimTime::zero())
+        fatal("bottleneck window span must be positive");
+}
+
+BottleneckIdentifier::InstanceStats &
+BottleneckIdentifier::statsFor(std::int64_t id)
+{
+    auto it = perInstance_.find(id);
+    if (it == perInstance_.end())
+        it = perInstance_.emplace(id, InstanceStats(span_)).first;
+    return it->second;
+}
+
+void
+BottleneckIdentifier::observe(SimTime now, const Query &query)
+{
+    observe(now, query.hops());
+}
+
+void
+BottleneckIdentifier::observe(SimTime now,
+                              const std::vector<HopRecord> &hops)
+{
+    for (const auto &hop : hops) {
+        auto &stats = statsFor(hop.instanceId);
+        stats.queuing.add(now, hop.queuing().toSec());
+        stats.serving.add(now, hop.serving().toSec());
+
+        auto stageIt = perStage_.find(hop.stageIndex);
+        if (stageIt == perStage_.end()) {
+            stageIt = perStage_
+                .emplace(hop.stageIndex, InstanceStats(span_)).first;
+        }
+        stageIt->second.queuing.add(now, hop.queuing().toSec());
+        stageIt->second.serving.add(now, hop.serving().toSec());
+    }
+}
+
+SortedSnapshots
+BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
+{
+    SortedSnapshots out;
+    for (int s = 0; s < app.numStages(); ++s) {
+        for (const auto *inst : app.stage(s).instances()) {
+            InstanceSnapshot snap;
+            snap.instanceId = inst->id();
+            snap.name = inst->name();
+            snap.stageIndex = s;
+            snap.coreId = inst->coreId();
+            snap.level = inst->level();
+            snap.queueLength = inst->queueLength();
+
+            auto it = perInstance_.find(inst->id());
+            InstanceStats *stats =
+                it != perInstance_.end() ? &it->second : nullptr;
+            if (stats) {
+                stats->queuing.evict(now);
+                stats->serving.evict(now);
+            }
+            if (!stats || stats->serving.empty()) {
+                // No history yet (fresh clone): seed from the stage-level
+                // aggregate so the instance is comparable to its peers.
+                auto stageIt = perStage_.find(s);
+                if (stageIt != perStage_.end())
+                    stats = &stageIt->second;
+            }
+            if (stats && !stats->serving.empty()) {
+                snap.avgQueuingSec = stats->queuing.mean();
+                snap.avgServingSec = stats->serving.mean();
+                snap.p99QueuingSec = stats->queuing.quantile(0.99);
+                snap.p99ServingSec = stats->serving.quantile(0.99);
+            }
+            snap.metric = metric_->score(snap);
+            out.push_back(std::move(snap));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const InstanceSnapshot &a, const InstanceSnapshot &b) {
+                  if (a.metric != b.metric)
+                      return a.metric < b.metric;
+                  return a.instanceId < b.instanceId;
+              });
+    return out;
+}
+
+InstanceSnapshot
+BottleneckIdentifier::bottleneck(SimTime now, const MultiStageApp &app)
+{
+    auto sorted = rank(now, app);
+    if (sorted.empty())
+        panic("bottleneck query on an application with no instances");
+    return sorted.back();
+}
+
+void
+BottleneckIdentifier::garbageCollect(const MultiStageApp &app)
+{
+    std::unordered_set<std::int64_t> live;
+    for (const auto *inst : app.allInstances())
+        live.insert(inst->id());
+    for (auto it = perInstance_.begin(); it != perInstance_.end();) {
+        if (!live.count(it->first))
+            it = perInstance_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace pc

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Bottleneck service identification (paper §4).
+ *
+ * The identifier ingests the per-hop latency statistics reported by
+ * completed queries, keeps a moving window of queuing/serving samples
+ * per instance, and scores every live instance with a pluggable metric.
+ * The PowerChief metric (Eq. 1) combines historical statistics with the
+ * realtime queue length:
+ *
+ *     LatencyMetric(Iᵢ) = Lᵢ × q̄ᵢ + s̄ᵢ
+ *
+ * Table 1's history-only alternatives are provided for the metric
+ * ablation study.
+ */
+
+#ifndef PC_CORE_BOTTLENECK_H
+#define PC_CORE_BOTTLENECK_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "app/pipeline.h"
+#include "core/snapshot.h"
+#include "stats/window.h"
+
+namespace pc {
+
+/** Scores an instance snapshot; larger = more of a bottleneck. */
+class BottleneckMetric
+{
+  public:
+    virtual ~BottleneckMetric() = default;
+    virtual const char *name() const = 0;
+    virtual double score(const InstanceSnapshot &s) const = 0;
+};
+
+/** Eq. 1: Lᵢ × q̄ᵢ + s̄ᵢ — history plus realtime load. */
+class PowerChiefMetric : public BottleneckMetric
+{
+  public:
+    const char *name() const override { return "powerchief"; }
+
+    double
+    score(const InstanceSnapshot &s) const override
+    {
+        return static_cast<double>(s.queueLength) * s.avgQueuingSec +
+            s.avgServingSec;
+    }
+};
+
+/** Table 1 row: average queuing time q̄ᵢ. */
+class AvgQueuingMetric : public BottleneckMetric
+{
+  public:
+    const char *name() const override { return "avg-queuing"; }
+    double
+    score(const InstanceSnapshot &s) const override
+    {
+        return s.avgQueuingSec;
+    }
+};
+
+/** Table 1 row: average serving time s̄ᵢ. */
+class AvgServingMetric : public BottleneckMetric
+{
+  public:
+    const char *name() const override { return "avg-serving"; }
+    double
+    score(const InstanceSnapshot &s) const override
+    {
+        return s.avgServingSec;
+    }
+};
+
+/** Table 1 row: average processing delay q̄ᵢ + s̄ᵢ. */
+class AvgProcessingMetric : public BottleneckMetric
+{
+  public:
+    const char *name() const override { return "avg-processing"; }
+    double
+    score(const InstanceSnapshot &s) const override
+    {
+        return s.avgQueuingSec + s.avgServingSec;
+    }
+};
+
+/** Table 1 row: 99th-percentile processing delay tqᵢ + tsᵢ. */
+class TailProcessingMetric : public BottleneckMetric
+{
+  public:
+    const char *name() const override { return "p99-processing"; }
+    double
+    score(const InstanceSnapshot &s) const override
+    {
+        return s.p99QueuingSec + s.p99ServingSec;
+    }
+};
+
+class BottleneckIdentifier
+{
+  public:
+    /**
+     * @param windowSpan moving-window length for q̄/s̄ statistics.
+     * @param metric scoring function; defaults to the PowerChief metric.
+     */
+    explicit BottleneckIdentifier(
+        SimTime windowSpan,
+        std::unique_ptr<BottleneckMetric> metric = nullptr);
+
+    /** Feed one completed query's hop records (called per report). */
+    void observe(SimTime now, const Query &query);
+
+    /** Feed hop records directly (wire-decoded reports). */
+    void observe(SimTime now, const std::vector<HopRecord> &hops);
+
+    /**
+     * Snapshot and score every live instance of @p app, sorted ascending
+     * by metric (back() is the bottleneck).
+     */
+    SortedSnapshots rank(SimTime now, const MultiStageApp &app);
+
+    /** Convenience: the bottleneck snapshot, if any instance exists. */
+    InstanceSnapshot bottleneck(SimTime now, const MultiStageApp &app);
+
+    const BottleneckMetric &metric() const { return *metric_; }
+
+    /** Drop state for instances that no longer exist. */
+    void garbageCollect(const MultiStageApp &app);
+
+  private:
+    struct InstanceStats
+    {
+        MovingWindow queuing;
+        MovingWindow serving;
+
+        explicit InstanceStats(SimTime span)
+            : queuing(span), serving(span)
+        {
+        }
+    };
+
+    InstanceStats &statsFor(std::int64_t id);
+
+    SimTime span_;
+    std::unique_ptr<BottleneckMetric> metric_;
+    std::unordered_map<std::int64_t, InstanceStats> perInstance_;
+    // Stage-level aggregate used to seed brand-new instances that have
+    // no history of their own yet (e.g. a fresh clone).
+    std::unordered_map<int, InstanceStats> perStage_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_BOTTLENECK_H

@@ -1,0 +1,126 @@
+#include "core/command_center.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+CommandCenter::CommandCenter(Simulator *sim, MessageBus *bus, CmpChip *chip,
+                             MultiStageApp *app, PowerBudget *budget,
+                             const SpeedupBook *speedups, ControlConfig cfg,
+                             std::unique_ptr<ControlPolicy> policy,
+                             std::unique_ptr<BottleneckMetric> metric,
+                             std::unique_ptr<RecycleOrder> recycleOrder)
+    : sim_(sim), bus_(bus), chip_(chip), app_(app), budget_(budget),
+      speedups_(speedups), cfg_(cfg), cpufreq_(chip),
+      identifier_(cfg.statsWindow, std::move(metric)),
+      realloc_(budget, &cpufreq_, std::move(recycleOrder)),
+      engine_(budget, &realloc_, speedups),
+      withdraw_(sim, app, budget), policy_(std::move(policy)),
+      e2e_(cfg.e2eWindow), lastWithdraw_(sim->now())
+{
+    if (!policy_)
+        fatal("command center requires a control policy");
+
+    endpoint_ = bus_->registerEndpoint(
+        "command-center/" + app_->name(),
+        [this](const MessagePtr &msg) { onMessage(msg); });
+    app_->setReportEndpoint(endpoint_);
+
+    // The application's initial layout consumes budget from the start.
+    for (const auto *inst : app_->allInstances()) {
+        if (!budget_->allocate(inst->id(), inst->level()))
+            fatal("initial layout of '%s' exceeds the power budget "
+                  "(%.2f W cap)", app_->name().c_str(),
+                  budget_->cap().value());
+    }
+}
+
+CommandCenter::~CommandCenter()
+{
+    stop();
+    bus_->unregisterEndpoint(endpoint_);
+}
+
+void
+CommandCenter::start()
+{
+    if (loop_)
+        return;
+    loop_ = sim_->schedulePeriodic(sim_->now() + cfg_.adjustInterval,
+                                   cfg_.adjustInterval,
+                                   [this]() { tick(); });
+}
+
+void
+CommandCenter::stop()
+{
+    if (!loop_)
+        return;
+    sim_->cancelPeriodic(loop_);
+    loop_ = 0;
+}
+
+void
+CommandCenter::onMessage(const MessagePtr &msg)
+{
+    if (const auto *report =
+            dynamic_cast<const QueryCompletedMessage *>(msg.get())) {
+        if (!report->query)
+            return;
+        ++observed_;
+        identifier_.observe(sim_->now(), *report->query);
+        e2e_.add(sim_->now(), report->query->endToEnd().toSec());
+        return;
+    }
+
+    // Distributed mode: the report arrived as wire bytes. Malformed
+    // buffers are dropped (and counted) rather than trusted.
+    if (const auto *wire =
+            dynamic_cast<const WireStatsMessage *>(msg.get())) {
+        const auto record = decodeStats(wire->bytes);
+        if (!record) {
+            ++malformedReports_;
+            return;
+        }
+        ++observed_;
+        identifier_.observe(sim_->now(), record->hops);
+        e2e_.add(sim_->now(), record->endToEnd().toSec());
+    }
+}
+
+void
+CommandCenter::tick()
+{
+    identifier_.garbageCollect(*app_);
+
+    ControlContext ctx;
+    ctx.sim = sim_;
+    ctx.app = app_;
+    ctx.cpufreq = &cpufreq_;
+    ctx.budget = budget_;
+    ctx.identifier = &identifier_;
+    ctx.realloc = &realloc_;
+    ctx.engine = &engine_;
+    ctx.speedups = speedups_;
+    ctx.cfg = &cfg_;
+    ctx.e2eLatency = &e2e_;
+    ctx.trace = &trace_;
+    ctx.ranked = identifier_.rank(sim_->now(), *app_);
+
+    policy_->onInterval(ctx);
+
+    if (cfg_.enableWithdraw &&
+        sim_->now() - lastWithdraw_ >= cfg_.withdrawInterval) {
+        lastWithdraw_ = sim_->now();
+        for (const auto id : withdraw_.checkAndWithdraw(ctx.ranked)) {
+            trace_.record(sim_->now(), TraceKind::InstanceWithdraw,
+                          "instance#" + std::to_string(id));
+        }
+    }
+
+    ++intervals_;
+    if (intervalCallback_)
+        intervalCallback_(ctx);
+}
+
+} // namespace pc

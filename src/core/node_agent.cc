@@ -1,0 +1,117 @@
+#include "core/node_agent.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pc {
+
+NodeAgent::NodeAgent(Simulator *sim, MessageBus *bus, CmpChip *chip,
+                     const std::string &name)
+    : cpufreq_(chip), rapl_(chip),
+      freqServer_(bus, name + "/set-frequency",
+                  [this, chip](const SetFrequencyReq &req) {
+                      SetFrequencyResp resp;
+                      if (req.coreId < 0 ||
+                          req.coreId >= chip->numCores()) {
+                          resp.ok = false;
+                          return resp;
+                      }
+                      // Reject off-ladder frequencies instead of
+                      // crashing the agent.
+                      const auto &freqs =
+                          cpufreq_.availableFrequencies();
+                      const bool onLadder =
+                          std::find(freqs.begin(), freqs.end(),
+                                    MHz(req.mhz)) != freqs.end();
+                      if (onLadder)
+                          cpufreq_.setFrequency(req.coreId,
+                                                MHz(req.mhz));
+                      resp.ok = onLadder;
+                      resp.mhz =
+                          cpufreq_.getFrequency(req.coreId).value();
+                      return resp;
+                  }),
+      powerServer_(bus, name + "/read-power",
+                   [this](const ReadPowerReq &) {
+                       ReadPowerResp resp;
+                       resp.joules = rapl_.readEnergy().value();
+                       return resp;
+                   })
+{
+    (void)sim;
+}
+
+EndpointId
+NodeAgent::setFrequencyEndpoint() const
+{
+    return freqServer_.endpoint();
+}
+
+EndpointId
+NodeAgent::readPowerEndpoint() const
+{
+    return powerServer_.endpoint();
+}
+
+std::uint64_t
+NodeAgent::requestsServed() const
+{
+    return freqServer_.served() + powerServer_.served();
+}
+
+RemoteChipControl::RemoteChipControl(Simulator *sim, MessageBus *bus,
+                                     const std::string &clientName,
+                                     SimTime timeout)
+    : freqClient_(sim, bus, clientName + "/freq-client", timeout),
+      powerClient_(sim, bus, clientName + "/power-client", timeout)
+{
+}
+
+bool
+RemoteChipControl::connect(const std::string &agentName,
+                           const MessageBus &bus)
+{
+    const auto freq = bus.lookup(agentName + "/set-frequency");
+    const auto power = bus.lookup(agentName + "/read-power");
+    if (!freq || !power)
+        return false;
+    freqServer_ = *freq;
+    powerServer_ = *power;
+    return true;
+}
+
+void
+RemoteChipControl::setFrequency(int coreId, MHz freq, FreqCallback cb)
+{
+    if (!freqServer_)
+        panic("RemoteChipControl used before connect()");
+    SetFrequencyReq req;
+    req.coreId = coreId;
+    req.mhz = freq.value();
+    freqClient_.call(freqServer_, req,
+                     [cb = std::move(cb)](RpcStatus status,
+                                          const SetFrequencyResp *resp) {
+                         cb(status, resp ? resp->mhz : 0);
+                     });
+}
+
+void
+RemoteChipControl::readPower(PowerCallback cb)
+{
+    if (!powerServer_)
+        panic("RemoteChipControl used before connect()");
+    powerClient_.call(powerServer_, ReadPowerReq{},
+                      [cb = std::move(cb)](RpcStatus status,
+                                           const ReadPowerResp *resp) {
+                          cb(status, resp ? resp->joules : 0.0);
+                      });
+}
+
+std::size_t
+RemoteChipControl::inFlight() const
+{
+    return freqClient_.inFlight() + powerClient_.inFlight();
+}
+
+} // namespace pc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-node control agent for distributed deployments (paper §8.5).
+ *
+ * When stages run on machines other than the command center's, DVFS and
+ * power readout must travel over RPC: "all the components within
+ * PowerChief ... are implemented as services using Apache Thrift, so
+ * they can communicate with the CommandCenter to enforce the power
+ * reallocation and service boosting decisions throughout the network."
+ * The NodeAgent is that remote end: it serves typed SetFrequency /
+ * ReadPower requests against its local chip, and RemoteChipControl is
+ * the command-center-side client.
+ */
+
+#ifndef PC_CORE_NODE_AGENT_H
+#define PC_CORE_NODE_AGENT_H
+
+#include <memory>
+#include <string>
+
+#include "hal/cpufreq.h"
+#include "hal/rapl.h"
+#include "rpc/channel.h"
+
+namespace pc {
+
+struct SetFrequencyReq
+{
+    int coreId = -1;
+    int mhz = 0;
+};
+
+struct SetFrequencyResp
+{
+    bool ok = false;
+    int mhz = 0; // operating frequency after the request
+};
+
+struct ReadPowerReq
+{
+};
+
+struct ReadPowerResp
+{
+    double joules = 0.0; // cumulative package energy
+};
+
+class NodeAgent
+{
+  public:
+    /**
+     * Serve actuation RPCs for @p chip under names
+     * "<name>/set-frequency" and "<name>/read-power".
+     */
+    NodeAgent(Simulator *sim, MessageBus *bus, CmpChip *chip,
+              const std::string &name);
+
+    EndpointId setFrequencyEndpoint() const;
+    EndpointId readPowerEndpoint() const;
+
+    std::uint64_t requestsServed() const;
+
+  private:
+    CpufreqDriver cpufreq_;
+    RaplReader rapl_;
+    RpcServer<SetFrequencyReq, SetFrequencyResp> freqServer_;
+    RpcServer<ReadPowerReq, ReadPowerResp> powerServer_;
+};
+
+/** Command-center-side client for a NodeAgent. */
+class RemoteChipControl
+{
+  public:
+    using FreqCallback = std::function<void(RpcStatus, int mhz)>;
+    using PowerCallback = std::function<void(RpcStatus, double joules)>;
+
+    /**
+     * @param timeout per-call deadline; calls against a crashed or
+     *        unregistered agent fail with RpcStatus::Timeout.
+     */
+    RemoteChipControl(Simulator *sim, MessageBus *bus,
+                      const std::string &clientName, SimTime timeout);
+
+    /** Resolve a NodeAgent by its registration name. */
+    bool connect(const std::string &agentName, const MessageBus &bus);
+
+    void setFrequency(int coreId, MHz freq, FreqCallback cb);
+    void readPower(PowerCallback cb);
+
+    std::size_t inFlight() const;
+
+  private:
+    RpcClient<SetFrequencyReq, SetFrequencyResp> freqClient_;
+    RpcClient<ReadPowerReq, ReadPowerResp> powerClient_;
+    EndpointId freqServer_ = 0;
+    EndpointId powerServer_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_NODE_AGENT_H

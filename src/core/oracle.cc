@@ -1,0 +1,185 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/queueing.h"
+
+namespace pc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+StaticOracle::StaticOracle(const WorkloadModel *workload,
+                           const PowerModel *model, Watts budget,
+                           int totalCores, int maxInstancesPerStage)
+    : workload_(workload), model_(model), budget_(budget),
+      totalCores_(totalCores), maxPerStage_(maxInstancesPerStage)
+{
+    if (!workload_ || !model_)
+        fatal("oracle requires a workload and a power model");
+    for (const auto &stage : workload_->stages()) {
+        if (stage.kind != StageKind::Pipeline)
+            fatal("the static oracle models pipeline stages only");
+    }
+}
+
+double
+StaticOracle::estimateLatency(const std::vector<StageAllocation> &alloc,
+                              double lambdaQps) const
+{
+    if (static_cast<int>(alloc.size()) != workload_->numStages())
+        panic("allocation has %zu stages, workload has %d", alloc.size(),
+              workload_->numStages());
+    double total = 0.0;
+    for (int s = 0; s < workload_->numStages(); ++s) {
+        const auto &profile = workload_->stage(s);
+        const auto &a = alloc[static_cast<std::size_t>(s)];
+        const double mean = profile.expectedServiceSecAt(
+            model_->ladder().freqAt(a.level).value());
+        const double stageLambda = lambdaQps * profile.participation;
+        const double sojourn = queueing::mgcSojournSec(
+            stageLambda, a.instances, mean, profile.cv);
+        if (std::isinf(sojourn))
+            return kInf;
+        // Skipping queries do not traverse the stage at all.
+        total += profile.participation * sojourn;
+    }
+    return total;
+}
+
+std::vector<StaticOracle::Candidate>
+StaticOracle::stageCandidates(int stage, double lambdaQps) const
+{
+    const auto &profile = workload_->stage(stage);
+    const double stageLambda = lambdaQps * profile.participation;
+
+    std::vector<Candidate> all;
+    for (int c = 1; c <= maxPerStage_; ++c) {
+        for (int lvl = 0; lvl < model_->ladder().numLevels(); ++lvl) {
+            const double mean = profile.expectedServiceSecAt(
+                model_->ladder().freqAt(lvl).value());
+            const double sojourn = queueing::mgcSojournSec(
+                stageLambda, c, mean, profile.cv);
+            if (std::isinf(sojourn))
+                continue;
+            Candidate cand;
+            cand.alloc = {c, lvl};
+            cand.watts = c * model_->activeWatts(lvl).value();
+            cand.sojournSec = profile.participation * sojourn;
+            all.push_back(cand);
+        }
+    }
+
+    // Pareto prune: keep only candidates where no cheaper one is also
+    // faster.
+    std::sort(all.begin(), all.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.watts != b.watts)
+                      return a.watts < b.watts;
+                  return a.sojournSec < b.sojournSec;
+              });
+    std::vector<Candidate> pruned;
+    double bestSojourn = kInf;
+    for (const auto &cand : all) {
+        if (cand.sojournSec < bestSojourn - 1e-12) {
+            pruned.push_back(cand);
+            bestSojourn = cand.sojournSec;
+        }
+    }
+    return pruned;
+}
+
+OracleResult
+StaticOracle::solve(double lambdaQps) const
+{
+    OracleResult result;
+    if (lambdaQps <= 0)
+        fatal("oracle needs a positive arrival rate");
+
+    const int stages = workload_->numStages();
+    std::vector<std::vector<Candidate>> menus;
+    for (int s = 0; s < stages; ++s)
+        menus.push_back(stageCandidates(s, lambdaQps));
+    for (const auto &menu : menus)
+        if (menu.empty())
+            return result; // some stage cannot be stabilized at all
+
+    // Depth-first product over the (pruned) per-stage menus with
+    // budget/core pruning. Menus are sorted by power ascending and
+    // latency descending, so the first candidate is the cheapest —
+    // used for the remaining-cost lower bound.
+    std::vector<double> minRemainingWatts(
+        static_cast<std::size_t>(stages) + 1, 0.0);
+    std::vector<int> minRemainingCores(
+        static_cast<std::size_t>(stages) + 1, 0);
+    for (int s = stages - 1; s >= 0; --s) {
+        double cheapest = kInf;
+        for (const auto &cand : menus[static_cast<std::size_t>(s)])
+            cheapest = std::min(cheapest, cand.watts);
+        minRemainingWatts[static_cast<std::size_t>(s)] =
+            minRemainingWatts[static_cast<std::size_t>(s) + 1] +
+            cheapest;
+        minRemainingCores[static_cast<std::size_t>(s)] =
+            minRemainingCores[static_cast<std::size_t>(s) + 1] + 1;
+    }
+
+    std::vector<StageAllocation> current(
+        static_cast<std::size_t>(stages));
+    std::vector<StageAllocation> best;
+    double bestLatency = kInf;
+    std::uint64_t evaluated = 0;
+
+    std::function<void(int, double, int, double)> search =
+        [&](int stage, double wattsUsed, int coresUsed,
+            double latencySoFar) {
+            if (stage == stages) {
+                ++evaluated;
+                if (latencySoFar < bestLatency) {
+                    bestLatency = latencySoFar;
+                    best = current;
+                }
+                return;
+            }
+            for (const auto &cand :
+                 menus[static_cast<std::size_t>(stage)]) {
+                const double watts = wattsUsed + cand.watts;
+                const int cores = coresUsed + cand.alloc.instances;
+                if (watts +
+                        minRemainingWatts[static_cast<std::size_t>(
+                            stage) + 1] >
+                    budget_.value() + 1e-9)
+                    continue;
+                if (cores +
+                        minRemainingCores[static_cast<std::size_t>(
+                            stage) + 1] >
+                    totalCores_)
+                    continue;
+                if (latencySoFar + cand.sojournSec >= bestLatency)
+                    continue;
+                current[static_cast<std::size_t>(stage)] = cand.alloc;
+                search(stage + 1, watts, cores,
+                       latencySoFar + cand.sojournSec);
+            }
+        };
+    search(0, 0.0, 0, 0.0);
+
+    result.evaluated = evaluated;
+    if (best.empty())
+        return result;
+
+    result.feasible = true;
+    result.perStage = best;
+    result.estimatedLatencySec = bestLatency;
+    double watts = 0.0;
+    for (const auto &a : best)
+        watts += a.instances * model_->activeWatts(a.level).value();
+    result.power = Watts(watts);
+    return result;
+}
+
+} // namespace pc

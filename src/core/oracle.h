@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Exhaustive-search static power allocation (the paper's §2.1 foil).
+ *
+ * "Given a power budget, it is extremely challenging to achieve an
+ * optimal power allocation to setup the number of service instances
+ * within each stage as well as the processing speed of each service
+ * instance... Even if the optimal power allocation can be found
+ * through exhaustive search, the undetermined runtime factors such as
+ * load burst easily generate dynamic bottlenecks..."
+ *
+ * The oracle performs exactly that exhaustive search: for a *known,
+ * steady* arrival rate it enumerates per-stage (instances, frequency)
+ * configurations under the power budget and core count, estimates each
+ * stage's sojourn time with an M/G/c approximation, and returns the
+ * allocation minimizing the end-to-end estimate. Comparing it against
+ * PowerChief under steady vs bursty load (bench/ext_static_oracle)
+ * quantifies the paper's motivating claim.
+ */
+
+#ifndef PC_CORE_ORACLE_H
+#define PC_CORE_ORACLE_H
+
+#include <vector>
+
+#include "power/power_model.h"
+#include "workloads/profiles.h"
+
+namespace pc {
+
+struct StageAllocation
+{
+    int instances = 1;
+    int level = 0;
+};
+
+struct OracleResult
+{
+    bool feasible = false;
+    std::vector<StageAllocation> perStage;
+    /** Estimated mean end-to-end latency of the chosen allocation. */
+    double estimatedLatencySec = 0.0;
+    /** Modelled active power of the allocation. */
+    Watts power;
+    /** Configurations evaluated during the search. */
+    std::uint64_t evaluated = 0;
+};
+
+class StaticOracle
+{
+  public:
+    /**
+     * @param maxInstancesPerStage search bound per stage (also capped
+     *        by the chip's core count across stages).
+     */
+    StaticOracle(const WorkloadModel *workload, const PowerModel *model,
+                 Watts budget, int totalCores,
+                 int maxInstancesPerStage = 8);
+
+    /** Best static allocation for a steady arrival rate. */
+    OracleResult solve(double lambdaQps) const;
+
+    /**
+     * Estimated mean e2e latency of a given allocation at a rate
+     * (exposed for tests; inf when any stage is unstable).
+     */
+    double estimateLatency(const std::vector<StageAllocation> &alloc,
+                           double lambdaQps) const;
+
+  private:
+    struct Candidate
+    {
+        StageAllocation alloc;
+        double watts;
+        double sojournSec;
+    };
+
+    /** Pareto-pruned (power, latency) candidates for one stage. */
+    std::vector<Candidate> stageCandidates(int stage,
+                                           double lambdaQps) const;
+
+    const WorkloadModel *workload_;
+    const PowerModel *model_;
+    Watts budget_;
+    int totalCores_;
+    int maxPerStage_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_ORACLE_H

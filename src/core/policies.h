@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The concrete control policies evaluated in the paper.
+ *
+ * Latency-mitigation-under-power-cap policies (§8.2-8.3):
+ *  - StageAgnosticPolicy: the baseline; static equal allocation, no
+ *    runtime adjustment.
+ *  - FreqBoostPolicy: "consistently increases the frequency of the
+ *    service instance identified as bottleneck" (§7.1).
+ *  - InstBoostPolicy: "always launches a new instance to accelerate the
+ *    bottleneck service by sharing its load" (§7.1).
+ *  - PowerChiefPolicy: the adaptive engine (Algorithm 1) plus instance
+ *    withdraw.
+ *  - FixedStageBoostPolicy: boosts only one named stage with one fixed
+ *    technique (the Figure 2 motivation experiment).
+ *
+ * Power-conservation-under-QoS policies (§8.4):
+ *  - PegasusPolicy: stage-agnostic uniform frequency de-boost modeled
+ *    after Lo et al. (ISCA'14), as reimplemented by the paper.
+ *  - PowerChiefConservePolicy: de-boosts the *fastest* instance across
+ *    stages (and withdraws underutilized ones) while the QoS target is
+ *    comfortably met; re-boosts the bottleneck when it is threatened.
+ */
+
+#ifndef PC_CORE_POLICIES_H
+#define PC_CORE_POLICIES_H
+
+#include "core/policy.h"
+
+namespace pc {
+
+/** Shared actuation helpers used by several policies. */
+namespace actuate {
+
+/**
+ * Raise @p bn to @p toLevel through the budget and cpufreq driver.
+ * @retval false the step up was rejected (cap) or toLevel <= current.
+ */
+bool frequencyBoost(ControlContext &ctx, const InstanceSnapshot &bn,
+                    int toLevel);
+
+/**
+ * Clone @p bn at its own frequency and steal half its waiting queue
+ * (§5.1). @return the new instance, or nullptr when the budget or the
+ * chip cannot accommodate one.
+ */
+ServiceInstance *instanceBoost(ControlContext &ctx,
+                               const InstanceSnapshot &bn);
+
+/** Step one instance down a single ladder level (conserve policies). */
+bool stepDown(ControlContext &ctx, const InstanceSnapshot &inst);
+
+} // namespace actuate
+
+class StageAgnosticPolicy : public ControlPolicy
+{
+  public:
+    const char *name() const override { return "stage-agnostic"; }
+    void onInterval(ControlContext &) override {}
+};
+
+class FreqBoostPolicy : public ControlPolicy
+{
+  public:
+    const char *name() const override { return "freq-boosting"; }
+    void onInterval(ControlContext &ctx) override;
+};
+
+class InstBoostPolicy : public ControlPolicy
+{
+  public:
+    const char *name() const override { return "inst-boosting"; }
+    void onInterval(ControlContext &ctx) override;
+};
+
+class PowerChiefPolicy : public ControlPolicy
+{
+  public:
+    const char *name() const override { return "powerchief"; }
+    void onInterval(ControlContext &ctx) override;
+
+    /** Decisions taken so far, for traces and tests. */
+    std::uint64_t frequencyBoosts() const { return freqBoosts_; }
+    std::uint64_t instanceBoosts() const { return instBoosts_; }
+
+  private:
+    std::uint64_t freqBoosts_ = 0;
+    std::uint64_t instBoosts_ = 0;
+};
+
+/** Figure 2: boost one fixed stage with one fixed technique. */
+class FixedStageBoostPolicy : public ControlPolicy
+{
+  public:
+    FixedStageBoostPolicy(int stageIndex, BoostKind technique);
+
+    const char *name() const override { return "fixed-stage-boost"; }
+    void onInterval(ControlContext &ctx) override;
+
+  private:
+    int stageIndex_;
+    BoostKind technique_;
+};
+
+class PegasusPolicy : public ControlPolicy
+{
+  public:
+    /**
+     * @param qosTargetSec the latency SLO.
+     * @param useTail use the p99 of the window instead of the mean.
+     */
+    explicit PegasusPolicy(double qosTargetSec, bool useTail = false);
+
+    const char *name() const override { return "pegasus"; }
+    void onInterval(ControlContext &ctx) override;
+
+    /** Pegasus's bang-bang bands (fractions of the QoS target). */
+    static constexpr double kHoldBand = 0.85;
+
+  private:
+    double latencySignal(const ControlContext &ctx) const;
+
+    double target_;
+    bool useTail_;
+};
+
+class PowerChiefConservePolicy : public ControlPolicy
+{
+  public:
+    explicit PowerChiefConservePolicy(double qosTargetSec,
+                                      bool useTail = false);
+
+    const char *name() const override { return "powerchief-conserve"; }
+    void onInterval(ControlContext &ctx) override;
+
+    /** Boost when the signal exceeds this fraction of the target. */
+    static constexpr double kBoostBand = 0.95;
+    /** Conserve when the signal is below this fraction of the target. */
+    static constexpr double kConserveBand = 0.85;
+
+  private:
+    double latencySignal(const ControlContext &ctx) const;
+
+    double target_;
+    bool useTail_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_POLICIES_H

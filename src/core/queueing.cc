@@ -1,0 +1,92 @@
+#include "core/queueing.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pc {
+namespace queueing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void
+checkInputs(double lambdaQps, int servers, double meanServiceSec)
+{
+    if (lambdaQps < 0 || servers < 1 || meanServiceSec <= 0)
+        panic("invalid queueing inputs: lambda=%f c=%d s=%f", lambdaQps,
+              servers, meanServiceSec);
+}
+} // namespace
+
+double
+utilization(double lambdaQps, int servers, double meanServiceSec)
+{
+    checkInputs(lambdaQps, servers, meanServiceSec);
+    return lambdaQps * meanServiceSec / servers;
+}
+
+double
+mm1WaitSec(double lambdaQps, double meanServiceSec)
+{
+    return mg1WaitSec(lambdaQps, meanServiceSec, 1.0);
+}
+
+double
+mg1WaitSec(double lambdaQps, double meanServiceSec, double cvService)
+{
+    checkInputs(lambdaQps, 1, meanServiceSec);
+    const double rho = lambdaQps * meanServiceSec;
+    if (rho >= 1.0)
+        return kInf;
+    const double es2 =
+        meanServiceSec * meanServiceSec * (1.0 + cvService * cvService);
+    return lambdaQps * es2 / (2.0 * (1.0 - rho));
+}
+
+double
+erlangC(double lambdaQps, int servers, double meanServiceSec)
+{
+    checkInputs(lambdaQps, servers, meanServiceSec);
+    const double a = lambdaQps * meanServiceSec; // offered load
+    const double rho = a / servers;
+    if (rho >= 1.0)
+        return 1.0;
+
+    // Iterative Erlang-B, then convert to Erlang-C.
+    double b = 1.0;
+    for (int k = 1; k <= servers; ++k)
+        b = a * b / (k + a * b);
+    return b / (1.0 - rho * (1.0 - b));
+}
+
+double
+mmcWaitSec(double lambdaQps, int servers, double meanServiceSec)
+{
+    const double rho = utilization(lambdaQps, servers, meanServiceSec);
+    if (rho >= 1.0)
+        return kInf;
+    const double pWait = erlangC(lambdaQps, servers, meanServiceSec);
+    return pWait * meanServiceSec / (servers * (1.0 - rho));
+}
+
+double
+mgcWaitSec(double lambdaQps, int servers, double meanServiceSec,
+           double cvService)
+{
+    const double w = mmcWaitSec(lambdaQps, servers, meanServiceSec);
+    return w * (1.0 + cvService * cvService) / 2.0;
+}
+
+double
+mgcSojournSec(double lambdaQps, int servers, double meanServiceSec,
+              double cvService)
+{
+    const double w =
+        mgcWaitSec(lambdaQps, servers, meanServiceSec, cvService);
+    return std::isinf(w) ? kInf : w + meanServiceSec;
+}
+
+} // namespace queueing
+} // namespace pc

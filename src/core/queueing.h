@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Closed-form queueing estimators.
+ *
+ * Used by the static-allocation oracle (and cross-validated against
+ * the discrete-event machinery in the property tests): M/M/1, the
+ * Pollaczek-Khinchine M/G/1 mean wait, Erlang-C for M/M/c, and the
+ * Allen-Cunneen approximation for M/G/c pools.
+ */
+
+#ifndef PC_CORE_QUEUEING_H
+#define PC_CORE_QUEUEING_H
+
+namespace pc {
+namespace queueing {
+
+/** Offered utilization rho = lambda * s / c; >= 1 means unstable. */
+double utilization(double lambdaQps, int servers, double meanServiceSec);
+
+/** M/M/1 mean waiting time (in queue, excluding service). */
+double mm1WaitSec(double lambdaQps, double meanServiceSec);
+
+/**
+ * M/G/1 mean waiting time (Pollaczek-Khinchine):
+ * W = lambda E[S^2] / (2 (1 - rho)), E[S^2] = s^2 (1 + cv^2).
+ */
+double mg1WaitSec(double lambdaQps, double meanServiceSec,
+                  double cvService);
+
+/** Erlang-C probability that an arrival waits in an M/M/c queue. */
+double erlangC(double lambdaQps, int servers, double meanServiceSec);
+
+/** M/M/c mean waiting time. */
+double mmcWaitSec(double lambdaQps, int servers, double meanServiceSec);
+
+/**
+ * Allen-Cunneen M/G/c approximation:
+ * W ~= W_{M/M/c} * (1 + cv^2) / 2.
+ */
+double mgcWaitSec(double lambdaQps, int servers, double meanServiceSec,
+                  double cvService);
+
+/** Mean sojourn (wait + service) for the M/G/c pool; inf if unstable. */
+double mgcSojournSec(double lambdaQps, int servers,
+                     double meanServiceSec, double cvService);
+
+} // namespace queueing
+} // namespace pc
+
+#endif // PC_CORE_QUEUEING_H

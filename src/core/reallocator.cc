@@ -1,0 +1,110 @@
+#include "core/reallocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pc {
+
+SortedSnapshots
+FastestFirstOrder::order(const SortedSnapshots &sorted) const
+{
+    // Already ascending by metric; the fastest donate first.
+    return sorted;
+}
+
+SortedSnapshots
+SlowestFirstOrder::order(const SortedSnapshots &sorted) const
+{
+    SortedSnapshots out(sorted);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+SortedSnapshots
+ProportionalOrder::order(const SortedSnapshots &sorted) const
+{
+    // Same visiting order as fastest-first, but maxStepsPerRound() == 1
+    // makes recycle() take one level per donor per round.
+    return sorted;
+}
+
+PowerReallocator::PowerReallocator(PowerBudget *budget,
+                                   CpufreqDriver *cpufreq,
+                                   std::unique_ptr<RecycleOrder> order)
+    : budget_(budget), cpufreq_(cpufreq), order_(std::move(order))
+{
+    if (!order_)
+        order_ = std::make_unique<FastestFirstOrder>();
+}
+
+Watts
+PowerReallocator::recycleFromInstance(const InstanceSnapshot &inst,
+                                      Watts need, int maxSteps)
+{
+    const auto &model = budget_->model();
+    // Levels may have changed since the snapshot was taken (earlier
+    // rounds of this very recycle call); always read the live level.
+    const int cur = cpufreq_->getLevel(inst.coreId);
+    if (cur <= 0)
+        return Watts(0.0);
+
+    const int floorLevel =
+        maxSteps > 0 ? std::max(0, cur - maxSteps) : 0;
+
+    // Smallest step-down that covers the remaining need, else the floor.
+    int target = floorLevel;
+    for (int lvl = cur - 1; lvl >= floorLevel; --lvl) {
+        const Watts freed = model.activeWatts(cur) - model.activeWatts(lvl);
+        if (freed >= need) {
+            target = lvl;
+            break;
+        }
+    }
+
+    const Watts recycled =
+        model.activeWatts(cur) - model.activeWatts(target);
+    if (target == cur)
+        return Watts(0.0);
+
+    if (!budget_->updateLevel(inst.instanceId, target))
+        panic("budget rejected a frequency step-down");
+    cpufreq_->setLevel(inst.coreId, target);
+    return recycled;
+}
+
+Watts
+PowerReallocator::recycle(Watts need, const SortedSnapshots &sorted,
+                          std::int64_t excludeId)
+{
+    Watts recycled(0.0);
+    if (need.value() <= 0)
+        return recycled;
+
+    const SortedSnapshots candidates = order_->order(sorted);
+    const int stepsPerRound = order_->maxStepsPerRound();
+
+    // Multiple rounds only matter when donors are rate-limited per round
+    // (proportional order); unlimited donors finish in one round.
+    bool progress = true;
+    while (recycled < need && progress) {
+        progress = false;
+        for (const auto &inst : candidates) {
+            if (recycled >= need)
+                break;
+            if (inst.instanceId == excludeId)
+                continue;
+            const Watts got = recycleFromInstance(
+                inst, need - recycled, stepsPerRound);
+            if (got.value() > 0) {
+                recycled += got;
+                progress = true;
+            }
+        }
+        if (stepsPerRound == 0)
+            break;
+    }
+    return recycled;
+}
+
+} // namespace pc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dynamic power reallocation (paper §6, Algorithm 2).
+ *
+ * Recycling steps instances' frequencies down — fastest (smallest latency
+ * metric) first — until the requested power is freed or every candidate
+ * sits at the ladder floor. The recycle *order* is pluggable, as §6.1
+ * explicitly invites ("memory-bound instance first or maximum power
+ * saving per performance change can be easily plugged in"); the greedy
+ * fastest-first order is the paper's default and our default too.
+ */
+
+#ifndef PC_CORE_REALLOCATOR_H
+#define PC_CORE_REALLOCATOR_H
+
+#include <memory>
+
+#include "common/units.h"
+#include "core/snapshot.h"
+#include "hal/cpufreq.h"
+#include "power/budget.h"
+
+namespace pc {
+
+/** Chooses the order in which instances donate power. */
+class RecycleOrder
+{
+  public:
+    virtual ~RecycleOrder() = default;
+    virtual const char *name() const = 0;
+
+    /**
+     * @param sorted instances ascending by latency metric.
+     * @return candidates in donation order (bottleneck already removed).
+     */
+    virtual SortedSnapshots
+    order(const SortedSnapshots &sorted) const = 0;
+
+    /**
+     * Ladder levels an instance may donate per round of recycling;
+     * 0 means unlimited (drain a donor fully before moving on).
+     */
+    virtual int maxStepsPerRound() const { return 0; }
+};
+
+/** The paper's greedy policy: drain the fastest instances first. */
+class FastestFirstOrder : public RecycleOrder
+{
+  public:
+    const char *name() const override { return "fastest-first"; }
+    SortedSnapshots order(const SortedSnapshots &sorted) const override;
+};
+
+/** Adversarial ablation: drain the slowest (non-bottleneck) first. */
+class SlowestFirstOrder : public RecycleOrder
+{
+  public:
+    const char *name() const override { return "slowest-first"; }
+    SortedSnapshots order(const SortedSnapshots &sorted) const override;
+};
+
+/**
+ * Ablation: spread the donation by taking single levels round-robin
+ * across candidates (fastest first within a round).
+ */
+class ProportionalOrder : public RecycleOrder
+{
+  public:
+    const char *name() const override { return "proportional"; }
+    SortedSnapshots order(const SortedSnapshots &sorted) const override;
+    int maxStepsPerRound() const override { return 1; }
+};
+
+class PowerReallocator
+{
+  public:
+    PowerReallocator(PowerBudget *budget, CpufreqDriver *cpufreq,
+                     std::unique_ptr<RecycleOrder> order = nullptr);
+
+    /**
+     * RECYCLE(power): free at least @p need watts by stepping down
+     * frequencies of instances in @p sorted (ascending metric),
+     * excluding @p excludeId (the instance about to be boosted).
+     *
+     * Actuates DVFS through the cpufreq driver and updates the budget.
+     *
+     * @return the watts actually recycled (may be less than @p need when
+     *         all donors reach the ladder floor).
+     */
+    Watts recycle(Watts need, const SortedSnapshots &sorted,
+                  std::int64_t excludeId);
+
+    /**
+     * RECYCLEFROMINST: step one instance down to the highest level that
+     * frees at least @p need watts (or as far as @p maxSteps/the floor
+     * allow).
+     * @return watts recycled from this instance.
+     */
+    Watts recycleFromInstance(const InstanceSnapshot &inst, Watts need,
+                              int maxSteps = 0);
+
+    const RecycleOrder &orderPolicy() const { return *order_; }
+
+  private:
+    PowerBudget *budget_;
+    CpufreqDriver *cpufreq_;
+    std::unique_ptr<RecycleOrder> order_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_REALLOCATOR_H

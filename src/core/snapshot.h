@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Point-in-time view of a service instance used by the controllers.
+ *
+ * The command center distills each live instance into a snapshot of its
+ * realtime load (queue length) and historical latency statistics over
+ * the moving window, the exact inputs of Eq. 1 and Algorithms 1–2.
+ */
+
+#ifndef PC_CORE_SNAPSHOT_H
+#define PC_CORE_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pc {
+
+struct InstanceSnapshot
+{
+    std::int64_t instanceId = -1;
+    std::string name;
+    int stageIndex = -1;
+    int coreId = -1;
+    int level = 0;
+
+    /** Realtime queue length Lᵢ (waiting + in service). */
+    std::size_t queueLength = 0;
+
+    /** Windowed mean queuing time q̄ᵢ in seconds. */
+    double avgQueuingSec = 0.0;
+
+    /** Windowed mean serving time s̄ᵢ in seconds. */
+    double avgServingSec = 0.0;
+
+    /** Windowed 99th-percentile queuing/serving (Table 1 alternatives). */
+    double p99QueuingSec = 0.0;
+    double p99ServingSec = 0.0;
+
+    /** Metric value assigned by the active bottleneck metric. */
+    double metric = 0.0;
+};
+
+/** Snapshots sorted ascending by metric: front = fastest, back = bottleneck. */
+using SortedSnapshots = std::vector<InstanceSnapshot>;
+
+} // namespace pc
+
+#endif // PC_CORE_SNAPSHOT_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-service frequency/speedup profiles from offline profiling.
+ *
+ * PowerChief "uses offline profiling to acquire the latency reduction of
+ * each service at different frequencies" (§5.2). Following Algorithm 1's
+ * convention, the table stores execution time *normalized to the service
+ * running at the slowest frequency*: r(level 0) = 1 and r decreases as
+ * frequency rises; the boost-estimate ratio is r2/r1.
+ */
+
+#ifndef PC_CORE_SPEEDUP_H
+#define PC_CORE_SPEEDUP_H
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pc {
+
+class SpeedupTable
+{
+  public:
+    SpeedupTable() = default;
+
+    /** @param normalizedTimes r(level), r(0) must be 1.0, non-increasing. */
+    explicit SpeedupTable(std::vector<double> normalizedTimes)
+        : r_(std::move(normalizedTimes))
+    {
+        if (r_.empty())
+            fatal("empty speedup table");
+        for (std::size_t i = 1; i < r_.size(); ++i)
+            if (r_[i] > r_[i - 1] + 1e-9)
+                fatal("speedup table not non-increasing at level %zu", i);
+    }
+
+    bool valid() const { return !r_.empty(); }
+    int numLevels() const { return static_cast<int>(r_.size()); }
+
+    /** Normalized execution time at a ladder level. */
+    double
+    at(int level) const
+    {
+        if (level < 0 || level >= numLevels())
+            panic("speedup level %d outside table", level);
+        return r_[static_cast<std::size_t>(level)];
+    }
+
+    /** Expected serving-time scale factor when moving lo -> hi. */
+    double
+    ratio(int fromLevel, int toLevel) const
+    {
+        return at(toLevel) / at(fromLevel);
+    }
+
+  private:
+    std::vector<double> r_;
+};
+
+/** One speedup table per pipeline stage. */
+class SpeedupBook
+{
+  public:
+    SpeedupBook() = default;
+
+    void
+    setStage(int stageIndex, SpeedupTable table)
+    {
+        if (stageIndex < 0)
+            panic("negative stage index");
+        if (static_cast<std::size_t>(stageIndex) >= tables_.size())
+            tables_.resize(static_cast<std::size_t>(stageIndex) + 1);
+        tables_[static_cast<std::size_t>(stageIndex)] = std::move(table);
+    }
+
+    const SpeedupTable &
+    stage(int stageIndex) const
+    {
+        if (stageIndex < 0 ||
+            static_cast<std::size_t>(stageIndex) >= tables_.size() ||
+            !tables_[static_cast<std::size_t>(stageIndex)].valid())
+            panic("no speedup table for stage %d", stageIndex);
+        return tables_[static_cast<std::size_t>(stageIndex)];
+    }
+
+    int numStages() const { return static_cast<int>(tables_.size()); }
+
+  private:
+    std::vector<SpeedupTable> tables_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_SPEEDUP_H

@@ -1,0 +1,67 @@
+#include "core/trace.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace pc {
+
+const char *
+toString(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::FrequencyBoost: return "freq-boost";
+      case TraceKind::FrequencyStepDown: return "freq-step-down";
+      case TraceKind::InstanceLaunch: return "instance-launch";
+      case TraceKind::InstanceWithdraw: return "instance-withdraw";
+      case TraceKind::PowerRecycle: return "power-recycle";
+      case TraceKind::IntervalSkipped: return "interval-skipped";
+    }
+    return "?";
+}
+
+DecisionTrace::DecisionTrace(std::size_t maxEvents)
+    : maxEvents_(maxEvents)
+{
+    if (maxEvents_ == 0)
+        fatal("decision trace needs a positive capacity");
+}
+
+void
+DecisionTrace::record(SimTime t, TraceKind kind, std::string subject,
+                      double value)
+{
+    ++counts_[static_cast<int>(kind)];
+    if (events_.size() >= maxEvents_) {
+        events_.erase(events_.begin());
+        ++dropped_;
+    }
+    events_.push_back(TraceEvent{t, kind, std::move(subject), value});
+}
+
+std::uint64_t
+DecisionTrace::count(TraceKind kind) const
+{
+    return counts_[static_cast<int>(kind)];
+}
+
+void
+DecisionTrace::writeCsv(std::ostream &out) const
+{
+    CsvWriter csv(out);
+    csv.row({"time_sec", "kind", "subject", "value"});
+    for (const auto &ev : events_) {
+        csv.row({std::to_string(ev.t.toSec()), toString(ev.kind),
+                 ev.subject, std::to_string(ev.value)});
+    }
+}
+
+void
+DecisionTrace::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+    for (auto &c : counts_)
+        c = 0;
+}
+
+} // namespace pc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Structured decision trace of the command center.
+ *
+ * Every actuation — frequency boost/de-boost, instance launch,
+ * withdraw, power recycling — is recorded with its timestamp, subject
+ * instance and magnitude, so runtime behaviour (Fig. 11) can be audited
+ * event by event rather than inferred from sampled series. Bounded in
+ * size; dumps to CSV.
+ */
+
+#ifndef PC_CORE_TRACE_H
+#define PC_CORE_TRACE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pc {
+
+enum class TraceKind {
+    FrequencyBoost,
+    FrequencyStepDown,
+    InstanceLaunch,
+    InstanceWithdraw,
+    PowerRecycle,
+    IntervalSkipped,
+};
+
+const char *toString(TraceKind kind);
+
+struct TraceEvent
+{
+    SimTime t;
+    TraceKind kind;
+    /** Instance name or id the action targeted. */
+    std::string subject;
+    /** Magnitude: new level, watts recycled, etc. (kind-specific). */
+    double value = 0.0;
+};
+
+class DecisionTrace
+{
+  public:
+    /** @param maxEvents ring-buffer style cap; oldest dropped. */
+    explicit DecisionTrace(std::size_t maxEvents = 100000);
+
+    void record(SimTime t, TraceKind kind, std::string subject,
+                double value = 0.0);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Occurrences of a kind (counted even after ring eviction). */
+    std::uint64_t count(TraceKind kind) const;
+
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Dump as "time_sec,kind,subject,value" CSV. */
+    void writeCsv(std::ostream &out) const;
+
+    void clear();
+
+  private:
+    std::size_t maxEvents_;
+    std::vector<TraceEvent> events_;
+    std::uint64_t counts_[6] = {};
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_TRACE_H

@@ -1,0 +1,80 @@
+#include "core/withdraw.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pc {
+
+WithdrawMonitor::WithdrawMonitor(Simulator *sim, MultiStageApp *app,
+                                 PowerBudget *budget,
+                                 double utilizationThreshold)
+    : sim_(sim), app_(app), budget_(budget),
+      threshold_(utilizationThreshold), lastCheck_(sim->now())
+{
+    if (threshold_ <= 0.0 || threshold_ >= 1.0)
+        fatal("withdraw threshold %f outside (0,1)", threshold_);
+}
+
+std::vector<std::int64_t>
+WithdrawMonitor::checkAndWithdraw(const SortedSnapshots &ranked)
+{
+    std::vector<std::int64_t> withdrawn;
+    const SimTime now = sim_->now();
+    const SimTime span = now - lastCheck_;
+    lastCheck_ = now;
+    lastUtil_.clear();
+    if (span <= SimTime::zero())
+        return withdrawn;
+
+    for (int s = 0; s < app_->numStages(); ++s) {
+        auto &stage = app_->stage(s);
+        auto live = stage.instances();
+
+        ServiceInstance *victim = nullptr;
+        double victimUtil = std::numeric_limits<double>::infinity();
+        for (auto *inst : live) {
+            const SimTime busyNow = inst->totalBusyTime();
+            auto it = busySnapshot_.find(inst->id());
+            if (it == busySnapshot_.end()) {
+                // First sighting: baseline only; decide next interval.
+                busySnapshot_[inst->id()] = busyNow;
+                continue;
+            }
+            const double util = (busyNow - it->second) / span;
+            it->second = busyNow;
+            lastUtil_[inst->id()] = util;
+            if (util < threshold_ && util < victimUtil) {
+                victimUtil = util;
+                victim = inst;
+            }
+        }
+
+        // At most one withdraw per stage per interval; never the last
+        // live instance (Stage::withdrawInstance re-checks too).
+        if (!victim || live.size() <= 1)
+            continue;
+
+        // Redirect to the fastest live peer in this stage.
+        ServiceInstance *target = nullptr;
+        for (const auto &snap : ranked) {
+            if (snap.stageIndex == s &&
+                snap.instanceId != victim->id()) {
+                target = stage.findInstance(snap.instanceId);
+                if (target && !target->draining())
+                    break;
+                target = nullptr;
+            }
+        }
+
+        const std::int64_t victimId = victim->id();
+        if (stage.withdrawInstance(victimId, target)) {
+            budget_->release(victimId);
+            busySnapshot_.erase(victimId);
+            withdrawn.push_back(victimId);
+        }
+    }
+    return withdrawn;
+}
+
+} // namespace pc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Instance withdraw (paper §6.2).
+ *
+ * Every withdraw interval the monitor measures how much time each
+ * instance actually spent processing queries; an instance busy for less
+ * than 20 % of the interval is underutilized and is withdrawn, its
+ * waiting queries redirected to the fastest (lowest latency metric)
+ * live instance of the same stage. Guard rails from the paper: at most
+ * one withdraw per stage per interval, and a stage's last instance is
+ * never withdrawn.
+ */
+
+#ifndef PC_CORE_WITHDRAW_H
+#define PC_CORE_WITHDRAW_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "core/snapshot.h"
+#include "power/budget.h"
+#include "sim/simulator.h"
+
+namespace pc {
+
+class WithdrawMonitor
+{
+  public:
+    WithdrawMonitor(Simulator *sim, MultiStageApp *app, PowerBudget *budget,
+                    double utilizationThreshold = 0.2);
+
+    /**
+     * Evaluate utilization since the previous check and withdraw
+     * underutilized instances (≤ 1 per stage).
+     *
+     * @param ranked current ascending-metric ranking, used to pick the
+     *        redirect target within each stage.
+     * @return ids of the instances withdrawn.
+     */
+    std::vector<std::int64_t> checkAndWithdraw(const SortedSnapshots &ranked);
+
+    double utilizationThreshold() const { return threshold_; }
+
+    /** Last computed utilization per instance (for tests/traces). */
+    const std::unordered_map<std::int64_t, double> &
+    lastUtilization() const
+    {
+        return lastUtil_;
+    }
+
+  private:
+    Simulator *sim_;
+    MultiStageApp *app_;
+    PowerBudget *budget_;
+    double threshold_;
+    SimTime lastCheck_;
+    std::unordered_map<std::int64_t, SimTime> busySnapshot_;
+    std::unordered_map<std::int64_t, double> lastUtil_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_WITHDRAW_H

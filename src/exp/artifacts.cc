@@ -1,0 +1,115 @@
+#include "exp/artifacts.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace pc {
+
+namespace fs = std::filesystem;
+
+ArtifactWriter::ArtifactWriter(std::string rootDir)
+    : root_(std::move(rootDir))
+{
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec)
+        fatal("cannot create artifact directory '%s': %s", root_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+ArtifactWriter::sanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '-' || c == '_' || c == '.';
+        out += ok ? c : '_';
+    }
+    return out.empty() ? "run" : out;
+}
+
+namespace {
+
+void
+writeSeriesCsv(const fs::path &path, const TimeSeries &series)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << "time_sec,value\n";
+    series.writeCsv(out);
+}
+
+} // namespace
+
+std::string
+ArtifactWriter::writeRun(const RunResult &result) const
+{
+    const fs::path dir = fs::path(root_) / sanitize(result.scenario);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create run directory '%s'", dir.c_str());
+
+    {
+        std::ofstream out(dir / "summary.csv");
+        CsvWriter csv(out);
+        csv.row({"scenario", "submitted", "completed", "avg_latency_s",
+                 "p99_latency_s", "max_latency_s", "avg_power_w",
+                 "energy_j"});
+        csv.row({result.scenario, std::to_string(result.submitted),
+                 std::to_string(result.completed),
+                 std::to_string(result.avgLatencySec),
+                 std::to_string(result.p99LatencySec),
+                 std::to_string(result.maxLatencySec),
+                 std::to_string(result.avgPowerWatts),
+                 std::to_string(result.energyJoules)});
+    }
+
+    if (!result.latencySeries.empty())
+        writeSeriesCsv(dir / "latency.csv", result.latencySeries);
+    if (!result.powerSeries.empty())
+        writeSeriesCsv(dir / "power.csv", result.powerSeries);
+    for (std::size_t s = 0; s < result.stageInstanceCounts.size(); ++s) {
+        if (!result.stageInstanceCounts[s].empty()) {
+            writeSeriesCsv(dir / ("instances_stage" + std::to_string(s) +
+                                  ".csv"),
+                           result.stageInstanceCounts[s]);
+        }
+    }
+    for (const auto &[name, series] : result.instanceFrequencyGHz) {
+        if (!series.empty())
+            writeSeriesCsv(dir / ("freq_" + sanitize(name) + ".csv"),
+                           series);
+    }
+    return dir.string();
+}
+
+void
+ArtifactWriter::writeSummary(const std::vector<RunResult> &results) const
+{
+    std::ofstream out(fs::path(root_) / "summary.csv");
+    if (!out)
+        fatal("cannot open artifact summary for writing");
+    CsvWriter csv(out);
+    csv.row({"scenario", "submitted", "completed", "avg_latency_s",
+             "p99_latency_s", "max_latency_s", "avg_power_w",
+             "energy_j"});
+    for (const auto &r : results) {
+        csv.row({r.scenario, std::to_string(r.submitted),
+                 std::to_string(r.completed),
+                 std::to_string(r.avgLatencySec),
+                 std::to_string(r.p99LatencySec),
+                 std::to_string(r.maxLatencySec),
+                 std::to_string(r.avgPowerWatts),
+                 std::to_string(r.energyJoules)});
+    }
+}
+
+} // namespace pc

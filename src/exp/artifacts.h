@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CSV artifact output for experiment results.
+ *
+ * Every figure reproduction can dump its raw series (per-completion
+ * latency, sampled power, instance counts, per-instance frequency) and
+ * a summary row per run, so the plots can be regenerated with any
+ * external tool. Files land under a caller-chosen directory:
+ *
+ *     <dir>/<run>/summary.csv
+ *     <dir>/<run>/latency.csv
+ *     <dir>/<run>/power.csv
+ *     <dir>/<run>/instances_stage<k>.csv
+ *     <dir>/<run>/freq_<instance>.csv
+ */
+
+#ifndef PC_EXP_ARTIFACTS_H
+#define PC_EXP_ARTIFACTS_H
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace pc {
+
+class ArtifactWriter
+{
+  public:
+    /** @param rootDir created (recursively) if missing. */
+    explicit ArtifactWriter(std::string rootDir);
+
+    /**
+     * Write one run's artifacts under rootDir/<sanitized scenario name>.
+     * @return the run directory path.
+     */
+    std::string writeRun(const RunResult &result) const;
+
+    /** Write a cross-run summary table at rootDir/summary.csv. */
+    void writeSummary(const std::vector<RunResult> &results) const;
+
+    /** Replace path-hostile characters in a scenario name. */
+    static std::string sanitize(const std::string &name);
+
+    const std::string &root() const { return root_; }
+
+  private:
+    std::string root_;
+};
+
+} // namespace pc
+
+#endif // PC_EXP_ARTIFACTS_H

@@ -1,0 +1,243 @@
+#include "exp/config_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pc {
+
+namespace {
+
+bool
+policyFromName(const std::string &name, PolicyKind *out)
+{
+    if (name == "baseline")
+        *out = PolicyKind::StageAgnostic;
+    else if (name == "freq")
+        *out = PolicyKind::FreqBoost;
+    else if (name == "inst")
+        *out = PolicyKind::InstBoost;
+    else if (name == "powerchief")
+        *out = PolicyKind::PowerChief;
+    else if (name == "pegasus")
+        *out = PolicyKind::Pegasus;
+    else if (name == "conserve")
+        *out = PolicyKind::PowerChiefConserve;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::optional<WorkloadModel>
+workloadFromJson(const JsonValue &json, std::string *error)
+{
+    // Builtin shorthand: {"workload": "sirius"}.
+    if (json.isString()) {
+        const std::string &name = json.asString();
+        if (name == "sirius")
+            return WorkloadModel::sirius();
+        if (name == "sirius-mixed")
+            return WorkloadModel::siriusMixed();
+        if (name == "nlp")
+            return WorkloadModel::nlp();
+        if (name == "websearch")
+            return WorkloadModel::webSearch();
+        *error = "unknown builtin workload '" + name + "'";
+        return std::nullopt;
+    }
+
+    if (!json.isObject()) {
+        *error = "'workload' must be a string or an object";
+        return std::nullopt;
+    }
+    const JsonValue *stages = json.find("stages");
+    if (!stages || !stages->isArray() || stages->asArray().empty()) {
+        *error = "workload needs a non-empty 'stages' array";
+        return std::nullopt;
+    }
+
+    std::vector<StageProfile> profiles;
+    for (const auto &entry : stages->asArray()) {
+        if (!entry.isObject()) {
+            *error = "each stage must be an object";
+            return std::nullopt;
+        }
+        StageProfile profile;
+        profile.name = entry.stringOr("name", "");
+        if (profile.name.empty()) {
+            *error = "every stage needs a 'name'";
+            return std::nullopt;
+        }
+        profile.meanServiceSec = entry.numberOr("mean_sec", -1.0);
+        if (profile.meanServiceSec <= 0.0) {
+            *error = "stage '" + profile.name +
+                "' needs a positive 'mean_sec'";
+            return std::nullopt;
+        }
+        profile.cv = entry.numberOr("cv", 0.3);
+        profile.computeFraction =
+            entry.numberOr("compute_fraction", 0.8);
+        if (profile.computeFraction < 0.0 ||
+            profile.computeFraction > 1.0) {
+            *error = "stage '" + profile.name +
+                "': compute_fraction must be in [0,1]";
+            return std::nullopt;
+        }
+        profile.profiledMhz = static_cast<int>(
+            entry.numberOr("profiled_mhz", 1800));
+        profile.participation = entry.numberOr("participation", 1.0);
+        if (entry.boolOr("fanout", false)) {
+            profile.kind = StageKind::FanOut;
+            profile.shardCv = entry.numberOr("shard_cv", 0.25);
+        }
+        profiles.push_back(std::move(profile));
+    }
+    return WorkloadModel(json.stringOr("name", "custom"),
+                         std::move(profiles));
+}
+
+ConfigLoadResult
+scenarioFromJson(const JsonValue &document)
+{
+    ConfigLoadResult result;
+    if (!document.isObject()) {
+        result.error = "config root must be an object";
+        return result;
+    }
+    const JsonValue *workloadJson = document.find("workload");
+    if (!workloadJson) {
+        result.error = "config needs a 'workload' entry";
+        return result;
+    }
+    std::string error;
+    auto workload = workloadFromJson(*workloadJson, &error);
+    if (!workload) {
+        result.error = error;
+        return result;
+    }
+
+    const JsonValue *sc = document.find("scenario");
+    const JsonValue empty{JsonObject{}};
+    if (!sc)
+        sc = &empty;
+    if (!sc->isObject()) {
+        result.error = "'scenario' must be an object";
+        return result;
+    }
+
+    PolicyKind policy = PolicyKind::PowerChief;
+    if (!policyFromName(sc->stringOr("policy", "powerchief"), &policy)) {
+        result.error = "unknown policy '" +
+            sc->stringOr("policy", "") + "'";
+        return result;
+    }
+
+    // Per-stage instance counts: "instances": [10, 1]; falls back to
+    // the uniform "instances_per_stage" number.
+    std::optional<std::vector<int>> explicitCounts;
+    if (const JsonValue *counts = sc->find("instances")) {
+        if (!counts->isArray() ||
+            static_cast<int>(counts->asArray().size()) !=
+                workload->numStages()) {
+            result.error = "'instances' must be an array with one "
+                           "entry per stage";
+            return result;
+        }
+        explicitCounts.emplace();
+        for (const auto &c : counts->asArray()) {
+            if (!c.isNumber() || c.asNumber() < 1) {
+                result.error = "'instances' entries must be positive "
+                               "numbers";
+                return result;
+            }
+            explicitCounts->push_back(static_cast<int>(c.asNumber()));
+        }
+    }
+
+    Scenario scenario;
+    const auto seed = static_cast<std::uint64_t>(
+        sc->numberOr("seed", 42));
+    const bool qosMode = policy == PolicyKind::Pegasus ||
+        policy == PolicyKind::PowerChiefConserve;
+    if (qosMode) {
+        const double qos = sc->numberOr("qos_sec", 0.0);
+        if (qos <= 0.0) {
+            result.error = "QoS policies need a positive 'qos_sec'";
+            return result;
+        }
+        std::vector<int> counts = explicitCounts.value_or(
+            std::vector<int>(
+                static_cast<std::size_t>(workload->numStages()),
+                static_cast<int>(
+                    sc->numberOr("instances_per_stage", 4))));
+        scenario = Scenario::conservation(
+            *workload, counts, qos,
+            SimTime::sec(sc->numberOr("adjust_interval_sec", 10)),
+            policy, seed);
+    } else {
+        scenario = Scenario::mitigation(*workload, LoadLevel::High,
+                                        policy, seed);
+        scenario.powerBudget =
+            Watts(sc->numberOr("budget_watts", 13.56));
+        scenario.control.adjustInterval =
+            SimTime::sec(sc->numberOr("adjust_interval_sec", 25));
+        scenario.control.balanceThresholdSec =
+            sc->numberOr("balance_threshold_sec", 1.0);
+        if (explicitCounts) {
+            scenario.initialCounts = *explicitCounts;
+        } else {
+            const int perStage = static_cast<int>(
+                sc->numberOr("instances_per_stage", 1));
+            scenario.initialCounts.assign(
+                static_cast<std::size_t>(workload->numStages()),
+                perStage);
+        }
+    }
+
+    const double qps = sc->numberOr("qps", 0.0);
+    if (qps > 0.0)
+        scenario.load = LoadProfile::constant(qps);
+    scenario.duration =
+        SimTime::sec(sc->numberOr("duration_sec", 900.0));
+    scenario.warmup = SimTime::sec(sc->numberOr("warmup_sec", 50.0));
+    scenario.numCores =
+        static_cast<int>(sc->numberOr("num_cores", 16));
+    scenario.wireReports = sc->boolOr("wire_reports", false);
+    scenario.name = sc->stringOr("name", workload->name() + "/config");
+
+    result.scenario = std::move(scenario);
+    return result;
+}
+
+ConfigLoadResult
+scenarioFromJsonText(const std::string &text)
+{
+    const JsonParseResult parsed = parseJson(text);
+    if (!parsed.ok()) {
+        ConfigLoadResult result;
+        result.error = "JSON parse error at byte " +
+            std::to_string(parsed.errorPos) + ": " + parsed.error;
+        return result;
+    }
+    return scenarioFromJson(*parsed.value);
+}
+
+ConfigLoadResult
+scenarioFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ConfigLoadResult result;
+        result.error = "cannot open config file '" + path + "'";
+        return result;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    ConfigLoadResult result = scenarioFromJsonText(ss.str());
+    if (!result.ok())
+        result.error = path + ": " + result.error;
+    return result;
+}
+
+} // namespace pc

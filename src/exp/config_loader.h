@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Declarative experiment configuration.
+ *
+ * A JSON document describes the workload (stages with service-time
+ * distributions, DVFS sensitivity, optional fan-out/skip behaviour)
+ * and the scenario (policy, load, budget, intervals) so downstream
+ * users can model their own multi-stage application without writing
+ * C++. Consumed by `powerchief-cli --config`.
+ *
+ * Example:
+ * ```json
+ * {
+ *   "workload": {
+ *     "name": "my-app",
+ *     "stages": [
+ *       {"name": "FRONT", "mean_sec": 0.1, "cv": 0.3,
+ *        "compute_fraction": 0.9},
+ *       {"name": "RANK", "mean_sec": 0.6, "cv": 0.5,
+ *        "compute_fraction": 0.8, "participation": 1.0}
+ *     ]
+ *   },
+ *   "scenario": {
+ *     "policy": "powerchief",
+ *     "budget_watts": 13.56,
+ *     "qps": 1.2,
+ *     "duration_sec": 900,
+ *     "adjust_interval_sec": 25,
+ *     "seed": 42
+ *   }
+ * }
+ * ```
+ */
+
+#ifndef PC_EXP_CONFIG_LOADER_H
+#define PC_EXP_CONFIG_LOADER_H
+
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "exp/scenario.h"
+
+namespace pc {
+
+struct ConfigLoadResult
+{
+    std::optional<Scenario> scenario;
+    std::string error; // non-empty on failure
+
+    bool ok() const { return scenario.has_value(); }
+};
+
+/** Build a workload from the "workload" object. */
+std::optional<WorkloadModel>
+workloadFromJson(const JsonValue &json, std::string *error);
+
+/** Build a full scenario from a parsed config document. */
+ConfigLoadResult scenarioFromJson(const JsonValue &document);
+
+/** Parse + build from JSON text. */
+ConfigLoadResult scenarioFromJsonText(const std::string &text);
+
+/** Read the file and build; errors include the path. */
+ConfigLoadResult scenarioFromFile(const std::string &path);
+
+} // namespace pc
+
+#endif // PC_EXP_CONFIG_LOADER_H

@@ -1,0 +1,73 @@
+#include "exp/report.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+
+namespace pc {
+
+void
+printBanner(std::ostream &out, const std::string &id,
+            const std::string &caption)
+{
+    out << '\n'
+        << "==================================================\n"
+        << id << ": " << caption << '\n'
+        << "==================================================\n";
+}
+
+void
+printImprovementTable(std::ostream &out, const RunResult &baseline,
+                      const std::vector<RunResult> &runs)
+{
+    TextTable table({"policy", "avg-improvement", "p99-improvement",
+                     "avg-latency(s)", "p99-latency(s)"});
+    for (const auto &run : runs) {
+        table.addRow({
+            run.scenario,
+            TextTable::num(RunResult::improvement(
+                               baseline.avgLatencySec,
+                               run.avgLatencySec), 2) + "x",
+            TextTable::num(RunResult::improvement(
+                               baseline.p99LatencySec,
+                               run.p99LatencySec), 2) + "x",
+            TextTable::num(run.avgLatencySec, 3),
+            TextTable::num(run.p99LatencySec, 3),
+        });
+    }
+    table.print(out);
+}
+
+void
+printRawResults(std::ostream &out, const std::vector<RunResult> &runs)
+{
+    TextTable table({"scenario", "completed", "avg(s)", "p99(s)",
+                     "max(s)", "power(W)"});
+    for (const auto &run : runs) {
+        table.addRow({
+            run.scenario,
+            std::to_string(run.completed),
+            TextTable::num(run.avgLatencySec, 3),
+            TextTable::num(run.p99LatencySec, 3),
+            TextTable::num(run.maxLatencySec, 2),
+            TextTable::num(run.avgPowerWatts, 2),
+        });
+    }
+    table.print(out);
+}
+
+void
+printSeries(std::ostream &out, const std::string &rowLabel,
+            const TimeSeries &series, SimTime from, SimTime to,
+            int buckets, int precision)
+{
+    char buf[64];
+    out << "  " << rowLabel << ":";
+    for (double v : series.resample(from, to, buckets)) {
+        std::snprintf(buf, sizeof(buf), " %.*f", precision, v);
+        out << buf;
+    }
+    out << '\n';
+}
+
+} // namespace pc

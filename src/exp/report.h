@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Paper-style reporting helpers shared by the bench binaries: figure
+ * banners, latency-improvement tables ("NX over baseline"), and trace
+ * summaries printed as resampled series.
+ */
+
+#ifndef PC_EXP_REPORT_H
+#define PC_EXP_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace pc {
+
+/** Print a figure/table banner. */
+void printBanner(std::ostream &out, const std::string &id,
+                 const std::string &caption);
+
+/**
+ * Print the improvement table of one load level: rows are policies,
+ * columns avg and p99 improvement over the baseline run.
+ */
+void printImprovementTable(std::ostream &out,
+                           const RunResult &baseline,
+                           const std::vector<RunResult> &runs);
+
+/** Print a RunResult's raw latency/power numbers. */
+void printRawResults(std::ostream &out,
+                     const std::vector<RunResult> &runs);
+
+/**
+ * Print a time series resampled into @p buckets columns, one row per
+ * series — used for Fig. 11/13/14 textual traces.
+ */
+void printSeries(std::ostream &out, const std::string &rowLabel,
+                 const TimeSeries &series, SimTime from, SimTime to,
+                 int buckets, int precision = 2);
+
+} // namespace pc
+
+#endif // PC_EXP_REPORT_H

@@ -1,0 +1,186 @@
+#include "exp/runner.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "core/command_center.h"
+#include "hal/rapl.h"
+#include "rpc/bus.h"
+#include "stats/percentile.h"
+#include "stats/streaming.h"
+#include "workloads/profiler.h"
+
+namespace pc {
+
+double
+RunResult::improvement(double baseline, double value)
+{
+    if (value <= 0.0)
+        return 0.0;
+    return baseline / value;
+}
+
+ExperimentRunner::ExperimentRunner(bool recordTraces,
+                                   SimTime sampleInterval)
+    : recordTraces_(recordTraces), sampleInterval_(sampleInterval)
+{
+}
+
+namespace {
+
+std::unique_ptr<ControlPolicy>
+makePolicy(const Scenario &sc)
+{
+    switch (sc.policy) {
+      case PolicyKind::StageAgnostic:
+        return std::make_unique<StageAgnosticPolicy>();
+      case PolicyKind::FreqBoost:
+        return std::make_unique<FreqBoostPolicy>();
+      case PolicyKind::InstBoost:
+        return std::make_unique<InstBoostPolicy>();
+      case PolicyKind::PowerChief:
+        return std::make_unique<PowerChiefPolicy>();
+      case PolicyKind::FixedStage:
+        return std::make_unique<FixedStageBoostPolicy>(
+            sc.fixedStage, sc.fixedTechnique);
+      case PolicyKind::Pegasus:
+        return std::make_unique<PegasusPolicy>(sc.qosTargetSec,
+                                               sc.qosUseTail);
+      case PolicyKind::PowerChiefConserve:
+        return std::make_unique<PowerChiefConservePolicy>(
+            sc.qosTargetSec, sc.qosUseTail);
+    }
+    fatal("unknown policy kind");
+}
+
+} // namespace
+
+RunResult
+ExperimentRunner::run(const Scenario &sc) const
+{
+    RunResult result;
+    result.scenario = sc.name;
+
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    const auto &ladder = model.ladder();
+    const int level = sc.initialLevel == -1 ? ladder.midLevel()
+        : sc.initialLevel == -2              ? ladder.maxLevel()
+                                             : sc.initialLevel;
+
+    CmpChip chip(&sim, &model, sc.numCores);
+    chip.setInterference(sc.interference);
+    MessageBus bus(&sim);
+
+    if (sc.initialCounts.empty())
+        fatal("scenario '%s' has no initial layout", sc.name.c_str());
+    auto specs = sc.workload.layout(sc.initialCounts, level);
+    if (!sc.initialLevels.empty()) {
+        if (sc.initialLevels.size() != specs.size())
+            fatal("scenario '%s': initialLevels size mismatch",
+                  sc.name.c_str());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            specs[i].initialLevel = sc.initialLevels[i];
+    }
+    for (auto &spec : specs)
+        spec.dispatch = sc.dispatch;
+    MultiStageApp app(&sim, &chip, &bus, sc.workload.name(), specs);
+    app.setWireReports(sc.wireReports);
+
+    // Offline profiling step (deterministic per seed).
+    const OfflineProfiler profiler;
+    const SpeedupBook speedups =
+        profiler.profileWorkload(sc.workload, model, sc.seed ^ 0x5eedll);
+
+    PowerBudget budget(sc.powerBudget, &model);
+    CommandCenter center(
+        &sim, &bus, &chip, &app, &budget, &speedups, sc.control,
+        makePolicy(sc),
+        sc.metricFactory ? sc.metricFactory() : nullptr,
+        sc.recycleFactory ? sc.recycleFactory() : nullptr);
+    center.start();
+
+    // Completion statistics, ignoring the warmup prefix.
+    ExactPercentile latency;
+    StreamingStats latencyStats;
+    std::vector<StreamingStats> queuingByStage(
+        static_cast<std::size_t>(app.numStages()));
+    std::vector<StreamingStats> servingByStage(
+        static_cast<std::size_t>(app.numStages()));
+    app.setCompletionSink([&](const QueryPtr &q) {
+        if (q->arrival() < sc.warmup)
+            return;
+        const double sec = q->endToEnd().toSec();
+        latency.add(sec);
+        latencyStats.add(sec);
+        for (const auto &hop : q->hops()) {
+            const auto s = static_cast<std::size_t>(hop.stageIndex);
+            queuingByStage[s].add(hop.queuing().toSec());
+            servingByStage[s].add(hop.serving().toSec());
+        }
+        if (recordTraces_)
+            result.latencySeries.append(sim.now(), sec);
+    });
+
+    // Power measurement through the RAPL code path.
+    RaplReader rapl(&chip);
+    StreamingStats power;
+    if (recordTraces_) {
+        result.stageInstanceCounts.assign(
+            static_cast<std::size_t>(app.numStages()),
+            TimeSeries("instances"));
+    }
+    sim.schedulePeriodic(
+        sampleInterval_, sampleInterval_, [&]() {
+            const double watts = rapl.windowPower().value();
+            if (sim.now() >= sc.warmup)
+                power.add(watts);
+            if (!recordTraces_)
+                return;
+            result.powerSeries.append(sim.now(), watts);
+            for (int s = 0; s < app.numStages(); ++s) {
+                const auto live = app.stage(s).instances();
+                result.stageInstanceCounts[static_cast<std::size_t>(s)]
+                    .append(sim.now(),
+                            static_cast<double>(live.size()));
+                for (const auto *inst : live) {
+                    auto [it, inserted] =
+                        result.instanceFrequencyGHz.try_emplace(
+                            inst->name(),
+                            TimeSeries(inst->name()));
+                    it->second.append(sim.now(),
+                                      inst->frequency().toGHz());
+                }
+            }
+        });
+
+    LoadGenerator gen(&sim, &app, &sc.workload, sc.load, sc.seed,
+                      ladder.freqAt(0).value());
+    gen.start(sc.duration);
+
+    const Joules energyBefore = chip.totalEnergy();
+    sim.runUntil(sc.duration);
+    center.stop();
+
+    result.submitted = app.submitted();
+    result.completed = app.completed();
+    for (int s = 0; s < app.numStages(); ++s) {
+        StageBreakdown breakdown;
+        breakdown.avgQueuingSec =
+            queuingByStage[static_cast<std::size_t>(s)].mean();
+        breakdown.avgServingSec =
+            servingByStage[static_cast<std::size_t>(s)].mean();
+        breakdown.hops =
+            servingByStage[static_cast<std::size_t>(s)].count();
+        result.stageBreakdown.push_back(breakdown);
+    }
+    result.avgLatencySec = latencyStats.mean();
+    result.p99LatencySec = latency.p99();
+    result.maxLatencySec = latencyStats.max();
+    result.avgPowerWatts = power.mean();
+    result.energyJoules =
+        (chip.totalEnergy() - energyBefore).value();
+    return result;
+}
+
+} // namespace pc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Builds a scenario's full system — simulator, chip, bus, application,
+ * command center, load generator — runs it, and collects the metrics
+ * the paper reports: average and 99th-percentile end-to-end latency,
+ * average power (via the RAPL readout), and optional runtime traces
+ * (instance counts, per-instance frequency, windowed latency/power)
+ * for the Fig. 11/13/14 reproductions.
+ */
+
+#ifndef PC_EXP_RUNNER_H
+#define PC_EXP_RUNNER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "exp/scenario.h"
+#include "stats/timeseries.h"
+
+namespace pc {
+
+/** Mean queuing/serving decomposition of one stage (paper §2.3). */
+struct StageBreakdown
+{
+    double avgQueuingSec = 0.0;
+    double avgServingSec = 0.0;
+    std::uint64_t hops = 0;
+
+    double total() const { return avgQueuingSec + avgServingSec; }
+
+    /** Share of the stage's processing delay spent queuing. */
+    double
+    queuingShare() const
+    {
+        const double t = total();
+        return t > 0.0 ? avgQueuingSec / t : 0.0;
+    }
+};
+
+struct RunResult
+{
+    std::string scenario;
+
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+
+    /** Over completions after warmup. */
+    double avgLatencySec = 0.0;
+    double p99LatencySec = 0.0;
+    double maxLatencySec = 0.0;
+
+    /** Per-stage queuing/serving means over post-warmup completions. */
+    std::vector<StageBreakdown> stageBreakdown;
+
+    /** RAPL-measured average package power after warmup. */
+    double avgPowerWatts = 0.0;
+    double energyJoules = 0.0;
+
+    /** Traces (populated when Scenario traces are enabled). */
+    TimeSeries latencySeries{"latency"};   // per-completion samples
+    TimeSeries powerSeries{"power"};       // sampled window power
+    std::vector<TimeSeries> stageInstanceCounts;
+    std::map<std::string, TimeSeries> instanceFrequencyGHz;
+
+    /** Improvement of this run vs a baseline run (paper's "NX"). */
+    static double improvement(double baseline, double value);
+};
+
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param recordTraces collect the time-series traces (costs memory).
+     * @param sampleInterval sampling period for power/instance traces.
+     */
+    explicit ExperimentRunner(bool recordTraces = false,
+                              SimTime sampleInterval = SimTime::sec(5));
+
+    RunResult run(const Scenario &scenario) const;
+
+  private:
+    bool recordTraces_;
+    SimTime sampleInterval_;
+};
+
+} // namespace pc
+
+#endif // PC_EXP_RUNNER_H

@@ -1,0 +1,82 @@
+#include "exp/scenario.h"
+
+namespace pc {
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::StageAgnostic: return "Baseline";
+      case PolicyKind::FreqBoost: return "Freq-Boosting";
+      case PolicyKind::InstBoost: return "Inst-Boosting";
+      case PolicyKind::PowerChief: return "PowerChief";
+      case PolicyKind::FixedStage: return "Fixed-Stage";
+      case PolicyKind::Pegasus: return "Pegasus";
+      case PolicyKind::PowerChiefConserve: return "PowerChief";
+    }
+    return "?";
+}
+
+Scenario
+Scenario::mitigation(const WorkloadModel &workload, LoadLevel level,
+                     PolicyKind policy, std::uint64_t seed)
+{
+    Scenario s;
+    s.workload = workload;
+    s.name = workload.name() + "/" + toString(level) + "/" +
+        toString(policy);
+    // 1.8 GHz is the ladder mid level; resolved by the runner.
+    s.initialLevel = -1;
+    s.initialCounts.assign(
+        static_cast<std::size_t>(workload.numStages()), 1);
+    s.load = LoadProfile::forLevel(workload, level, 1800);
+    s.policy = policy;
+    s.powerBudget = Watts(13.56);
+    s.control = ControlConfig{};
+    s.control.adjustInterval = SimTime::sec(25);
+    s.control.withdrawInterval = SimTime::sec(150);
+    s.control.balanceThresholdSec = 1.0;
+    s.control.enableWithdraw = (policy == PolicyKind::PowerChief);
+    s.duration = SimTime::sec(900);
+    s.warmup = SimTime::sec(50);
+    s.seed = seed;
+    return s;
+}
+
+Scenario
+Scenario::conservation(const WorkloadModel &workload,
+                       std::vector<int> counts, double qosTargetSec,
+                       SimTime adjustInterval, PolicyKind policy,
+                       std::uint64_t seed)
+{
+    Scenario s;
+    s.workload = workload;
+    s.name = workload.name() + "/qos/" + toString(policy);
+    s.initialCounts = std::move(counts);
+    s.initialLevel = -2; // resolved to the ladder max by the runner
+    s.load = LoadProfile::constant(0.1); // callers override
+    s.policy = policy;
+    s.qosTargetSec = qosTargetSec;
+    // Pegasus treats instances indifferently and reacts to the raw
+    // latency signal including its tail (§8.4) — with heavy-tailed
+    // stages that pins it near maximum power. PowerChief's windowed
+    // per-stage statistics let it conserve against the mean signal.
+    s.qosUseTail = (policy == PolicyKind::Pegasus);
+    // Conservation runs are not power capped — the point is how much
+    // power the policy gives back voluntarily.
+    s.powerBudget = Watts(1000.0);
+    s.control = ControlConfig{};
+    s.control.adjustInterval = adjustInterval;
+    s.control.withdrawInterval = adjustInterval * 6.0;
+    s.control.balanceThresholdSec = 0.0;
+    s.control.e2eWindow = adjustInterval * 3.0;
+    s.control.statsWindow = adjustInterval * 3.0;
+    s.control.enableWithdraw =
+        (policy == PolicyKind::PowerChiefConserve);
+    s.duration = SimTime::sec(900);
+    s.warmup = SimTime::sec(50);
+    s.seed = seed;
+    return s;
+}
+
+} // namespace pc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Declarative description of one experiment run.
+ *
+ * A scenario bundles everything Tables 2 and 3 specify: the workload,
+ * its initial stage layout and frequency, the power budget, the load,
+ * the control policy and the controller intervals, plus the run length
+ * and seed. The bench binaries build scenarios and hand them to the
+ * ExperimentRunner.
+ */
+
+#ifndef PC_EXP_SCENARIO_H
+#define PC_EXP_SCENARIO_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.h"
+#include "core/policy.h"
+#include "core/reallocator.h"
+#include "workloads/loadgen.h"
+#include "workloads/profiles.h"
+
+namespace pc {
+
+enum class PolicyKind {
+    StageAgnostic,
+    FreqBoost,
+    InstBoost,
+    PowerChief,
+    FixedStage,
+    Pegasus,
+    PowerChiefConserve,
+};
+
+const char *toString(PolicyKind kind);
+
+struct Scenario
+{
+    std::string name;
+    WorkloadModel workload = WorkloadModel::sirius();
+    LoadProfile load = LoadProfile::constant(0.1);
+
+    PolicyKind policy = PolicyKind::StageAgnostic;
+
+    /** FixedStage policy parameters (Fig. 2). */
+    int fixedStage = -1;
+    BoostKind fixedTechnique = BoostKind::Frequency;
+
+    /** QoS policies' latency target, seconds (Table 3). */
+    double qosTargetSec = 0.0;
+    bool qosUseTail = false;
+
+    /** Chip & power. */
+    int numCores = 16;
+    Watts powerBudget = Watts(13.56);
+
+    /** Initial layout: instances per stage at this ladder level. */
+    std::vector<int> initialCounts;
+    int initialLevel = -1; // -1 = ladder mid level (1.8 GHz)
+
+    /**
+     * Optional per-stage level override (e.g. an oracle allocation);
+     * when non-empty it must have one entry per stage and wins over
+     * initialLevel.
+     */
+    std::vector<int> initialLevels;
+
+    /** Intra-stage load-balance policy (dispatcher ablation). */
+    DispatchPolicy dispatch = DispatchPolicy::JoinShortestQueue;
+
+    /** Ship latency reports as serialized wire bytes (§8.5 mode). */
+    bool wireReports = false;
+
+    /** Shared-resource interference model (off by default). */
+    InterferenceModel interference;
+
+    ControlConfig control;
+
+    SimTime duration = SimTime::sec(900);
+    SimTime warmup = SimTime::sec(50);
+    std::uint64_t seed = 42;
+
+    /** Optional overrides for the ablation studies. */
+    std::function<std::unique_ptr<BottleneckMetric>()> metricFactory;
+    std::function<std::unique_ptr<RecycleOrder>()> recycleFactory;
+
+    /**
+     * Table 2 defaults for the latency-mitigation study: one instance
+     * per stage at 1.8 GHz, 13.56 W budget, 25 s adjust interval, 1 s
+     * balance threshold, 150 s withdraw interval.
+     */
+    static Scenario mitigation(const WorkloadModel &workload,
+                               LoadLevel level, PolicyKind policy,
+                               std::uint64_t seed = 42);
+
+    /**
+     * Table 3 defaults for the QoS/power-conservation study: an
+     * over-provisioned layout at 2.4 GHz, effectively uncapped budget.
+     */
+    static Scenario conservation(const WorkloadModel &workload,
+                                 std::vector<int> counts,
+                                 double qosTargetSec,
+                                 SimTime adjustInterval,
+                                 PolicyKind policy,
+                                 std::uint64_t seed = 42);
+};
+
+} // namespace pc
+
+#endif // PC_EXP_SCENARIO_H

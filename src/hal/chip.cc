@@ -1,0 +1,139 @@
+#include "hal/chip.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+CmpChip::CmpChip(Simulator *sim, const PowerModel *model, int numCores)
+    : sim_(sim), model_(model)
+{
+    if (numCores <= 0)
+        fatal("CmpChip requires at least one core, got %d", numCores);
+    for (int i = 0; i < numCores; ++i)
+        cores_.push_back(std::make_unique<Core>(i, sim, model));
+    allocated_.assign(static_cast<std::size_t>(numCores), false);
+    installMsrHooks();
+}
+
+void
+CmpChip::installMsrHooks()
+{
+    // A PERF_CTL write applies the requested per-core frequency. Haswell
+    // FIVR transitions are sub-microsecond (paper §5.2), so the change is
+    // modelled as instantaneous at the write's timestamp.
+    msr_.setWriteHook(
+        msr::IA32_PERF_CTL,
+        [this](int cpu, std::uint32_t, std::uint64_t value) {
+            const int mhz = msr::mhzFromPerfCtl(value);
+            const int lvl = model_->ladder().levelOf(MHz(mhz));
+            core(cpu).setLevel(lvl);
+            msr_.write(cpu, msr::IA32_PERF_STATUS,
+                       msr::perfCtlFromMHz(mhz));
+        });
+
+    // PERF_STATUS reflects the core's operating point.
+    msr_.setReadHook(
+        msr::IA32_PERF_STATUS,
+        [this](int cpu, std::uint32_t) {
+            return msr::perfCtlFromMHz(core(cpu).frequency().value());
+        });
+
+    // The package energy-status counter integrates lazily on read and
+    // wraps at 32 bits like the real register.
+    msr_.setReadHook(
+        msr::MSR_PKG_ENERGY_STATUS,
+        [this](int, std::uint32_t) {
+            const double joules = totalEnergy().value();
+            const auto units = static_cast<std::uint64_t>(
+                joules / msr::kEnergyUnitJoules);
+            return units & 0xffffffffull;
+        });
+
+    // Energy-status unit field (bits 12:8) encodes 2^-16 J.
+    msr_.setReadHook(
+        msr::MSR_RAPL_POWER_UNIT,
+        [](int, std::uint32_t) { return std::uint64_t(16) << 8; });
+}
+
+Core &
+CmpChip::core(int id)
+{
+    if (id < 0 || id >= numCores())
+        panic("core id %d out of range", id);
+    return *cores_[static_cast<std::size_t>(id)];
+}
+
+const Core &
+CmpChip::core(int id) const
+{
+    if (id < 0 || id >= numCores())
+        panic("core id %d out of range", id);
+    return *cores_[static_cast<std::size_t>(id)];
+}
+
+std::optional<int>
+CmpChip::acquireCore(int level)
+{
+    for (int i = 0; i < numCores(); ++i) {
+        if (!allocated_[static_cast<std::size_t>(i)]) {
+            allocated_[static_cast<std::size_t>(i)] = true;
+            ++allocatedCount_;
+            auto &c = core(i);
+            c.setOnline(true);
+            c.setLevel(level);
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+CmpChip::releaseCore(int id)
+{
+    if (id < 0 || id >= numCores() ||
+        !allocated_[static_cast<std::size_t>(id)])
+        panic("releasing unallocated core %d", id);
+    auto &c = core(id);
+    if (c.state() == Core::State::Busy)
+        panic("releasing busy core %d", id);
+    c.setFreqChangeListener(nullptr);
+    c.setOnline(false);
+    allocated_[static_cast<std::size_t>(id)] = false;
+    --allocatedCount_;
+}
+
+double
+CmpChip::interferenceFactor(int selfCore) const
+{
+    if (interference_.alphaPerCore <= 0.0)
+        return 1.0;
+    int busyOthers = 0;
+    for (const auto &c : cores_) {
+        if (c->id() != selfCore && c->state() == Core::State::Busy)
+            ++busyOthers;
+    }
+    const int contending = busyOthers - interference_.freeCores;
+    if (contending <= 0)
+        return 1.0;
+    return 1.0 + interference_.alphaPerCore * contending;
+}
+
+Joules
+CmpChip::totalEnergy()
+{
+    Joules sum;
+    for (auto &c : cores_)
+        sum += c->energy();
+    return sum;
+}
+
+Watts
+CmpChip::totalWatts() const
+{
+    Watts sum;
+    for (const auto &c : cores_)
+        sum += c->currentWatts();
+    return sum;
+}
+
+} // namespace pc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The simulated chip multiprocessor (CMP).
+ *
+ * Owns the cores, the emulated MSR space and the allocation of cores to
+ * service instances. Mirrors the evaluation platform: a dual-socket
+ * Xeon E5-2630v3 exposes 16 physical cores with per-core DVFS; each
+ * service instance runs on a dedicated core (paper §2.1, §8.5).
+ */
+
+#ifndef PC_HAL_CHIP_H
+#define PC_HAL_CHIP_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hal/core.h"
+#include "hal/msr.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+
+namespace pc {
+
+/**
+ * Optional shared-resource interference model (paper §8.5: "even on
+ * separate cores, application collocation has the potential to
+ * generate performance interference ... which requires further
+ * investigation"). Service time inflates linearly with the number of
+ * *other* busy cores beyond a contention-free allowance:
+ *
+ *   factor = 1 + alphaPerCore * max(0, busyOthers - freeCores)
+ */
+struct InterferenceModel
+{
+    /** Fractional slowdown contributed by each contending core. */
+    double alphaPerCore = 0.0;
+    /** Busy neighbours tolerated before contention sets in. */
+    int freeCores = 0;
+};
+
+class CmpChip
+{
+  public:
+    /**
+     * Build a chip with @p numCores cores sharing one power model.
+     * Cores start offline at the lowest ladder level.
+     */
+    CmpChip(Simulator *sim, const PowerModel *model, int numCores);
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    Core &core(int id);
+    const Core &core(int id) const;
+
+    const PowerModel &model() const { return *model_; }
+    MsrSpace &msr() { return msr_; }
+    Simulator &sim() { return *sim_; }
+
+    /**
+     * Allocate a free (offline) core, bring it online at @p level.
+     * @return the core id, or nullopt when the chip is fully occupied.
+     */
+    std::optional<int> acquireCore(int level);
+
+    /** Return a core to the free pool (must be idle). */
+    void releaseCore(int id);
+
+    int numAllocated() const { return allocatedCount_; }
+
+    /** Enable/disable the shared-resource interference model. */
+    void setInterference(InterferenceModel model)
+    {
+        interference_ = model;
+    }
+    const InterferenceModel &interference() const
+    {
+        return interference_;
+    }
+
+    /**
+     * Current service-time inflation for work on @p selfCore, given
+     * the other cores' busy states (1.0 when modelling is off).
+     */
+    double interferenceFactor(int selfCore) const;
+
+    /** Total chip energy = sum over cores, integrated to now. */
+    Joules totalEnergy();
+
+    /** Instantaneous modelled chip power. */
+    Watts totalWatts() const;
+
+  private:
+    void installMsrHooks();
+
+    Simulator *sim_;
+    const PowerModel *model_;
+    MsrSpace msr_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<bool> allocated_;
+    int allocatedCount_ = 0;
+    InterferenceModel interference_;
+};
+
+} // namespace pc
+
+#endif // PC_HAL_CHIP_H

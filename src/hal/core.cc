@@ -1,0 +1,96 @@
+#include "hal/core.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+Core::Core(int id, Simulator *sim, const PowerModel *model)
+    : id_(id), sim_(sim), model_(model), lastUpdate_(sim->now())
+{
+}
+
+Watts
+Core::currentWatts() const
+{
+    switch (state_) {
+      case State::Offline:
+        return Watts(0.0);
+      case State::Idle:
+        return model_->idleWatts(level_);
+      case State::Busy:
+        return model_->activeWatts(level_);
+    }
+    return Watts(0.0);
+}
+
+void
+Core::settle()
+{
+    const SimTime now = sim_->now();
+    const SimTime span = now - lastUpdate_;
+    if (span > SimTime::zero()) {
+        energy_ += Joules(currentWatts().value() * span.toSec());
+        if (state_ == State::Busy)
+            busyTime_ += span;
+    }
+    lastUpdate_ = now;
+}
+
+void
+Core::setLevel(int level)
+{
+    if (level < 0 || level >= model_->ladder().numLevels())
+        panic("core %d: level %d outside ladder", id_, level);
+    if (level == level_)
+        return;
+    settle();
+    const int old = level_;
+    level_ = level;
+    if (freqListener_)
+        freqListener_(old, level);
+}
+
+void
+Core::setOnline(bool online)
+{
+    settle();
+    if (online) {
+        if (state_ == State::Offline)
+            state_ = State::Idle;
+    } else {
+        if (state_ == State::Busy)
+            panic("core %d taken offline while busy", id_);
+        state_ = State::Offline;
+    }
+}
+
+void
+Core::setBusy(bool busy)
+{
+    if (state_ == State::Offline)
+        panic("core %d: busy toggle while offline", id_);
+    settle();
+    state_ = busy ? State::Busy : State::Idle;
+}
+
+void
+Core::setFreqChangeListener(std::function<void(int, int)> listener)
+{
+    freqListener_ = std::move(listener);
+}
+
+Joules
+Core::energy()
+{
+    settle();
+    return energy_;
+}
+
+SimTime
+Core::busyTime()
+{
+    settle();
+    return busyTime_;
+}
+
+} // namespace pc

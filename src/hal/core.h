@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A single CPU core of the simulated CMP.
+ *
+ * A core has a DVFS ladder level, an occupancy state, and accumulates
+ * energy (via the power model) and busy time as simulated time advances.
+ * Service instances flip the busy state; the cpufreq driver changes the
+ * level; the RAPL counter integrates the energy.
+ */
+
+#ifndef PC_HAL_CORE_H
+#define PC_HAL_CORE_H
+
+#include <functional>
+
+#include "common/time.h"
+#include "common/units.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+
+namespace pc {
+
+class Core
+{
+  public:
+    enum class State { Offline, Idle, Busy };
+
+    Core(int id, Simulator *sim, const PowerModel *model);
+
+    int id() const { return id_; }
+    State state() const { return state_; }
+    bool online() const { return state_ != State::Offline; }
+
+    int level() const { return level_; }
+    MHz frequency() const { return model_->ladder().freqAt(level_); }
+
+    /**
+     * Change the DVFS level. Energy up to now is integrated at the old
+     * level first. Callers interested in rescaling in-flight work can
+     * subscribe via setFreqChangeListener().
+     */
+    void setLevel(int level);
+
+    /** Bring the core online (Idle) or take it offline. */
+    void setOnline(bool online);
+
+    /** Mark the core busy/idle; panics if the core is offline. */
+    void setBusy(bool busy);
+
+    /**
+     * Subscribe to frequency changes (old level, new level). Used by the
+     * service instance to rescale the in-flight query's completion.
+     */
+    void setFreqChangeListener(std::function<void(int, int)> listener);
+
+    /** Energy consumed so far, integrated up to the current sim time. */
+    Joules energy();
+
+    /** Busy time accumulated up to the current sim time. */
+    SimTime busyTime();
+
+    /** Instantaneous modelled power draw at the current state/level. */
+    Watts currentWatts() const;
+
+  private:
+    /** Integrate energy/busy-time from lastUpdate_ to now. */
+    void settle();
+
+    int id_;
+    Simulator *sim_;
+    const PowerModel *model_;
+    State state_ = State::Offline;
+    int level_ = 0;
+    SimTime lastUpdate_;
+    Joules energy_;
+    SimTime busyTime_;
+    std::function<void(int, int)> freqListener_;
+};
+
+} // namespace pc
+
+#endif // PC_HAL_CORE_H

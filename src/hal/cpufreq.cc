@@ -1,0 +1,43 @@
+#include "hal/cpufreq.h"
+
+#include "hal/msr.h"
+
+namespace pc {
+
+CpufreqDriver::CpufreqDriver(CmpChip *chip) : chip_(chip) {}
+
+const std::vector<MHz> &
+CpufreqDriver::availableFrequencies() const
+{
+    return chip_->model().ladder().frequencies();
+}
+
+void
+CpufreqDriver::setFrequency(int cpu, MHz freq)
+{
+    // Validate against the ladder before touching the register.
+    chip_->model().ladder().levelOf(freq);
+    chip_->msr().write(cpu, msr::IA32_PERF_CTL,
+                       msr::perfCtlFromMHz(freq.value()));
+}
+
+void
+CpufreqDriver::setLevel(int cpu, int level)
+{
+    setFrequency(cpu, chip_->model().ladder().freqAt(level));
+}
+
+MHz
+CpufreqDriver::getFrequency(int cpu) const
+{
+    const auto status = chip_->msr().read(cpu, msr::IA32_PERF_STATUS);
+    return MHz(msr::mhzFromPerfCtl(status));
+}
+
+int
+CpufreqDriver::getLevel(int cpu) const
+{
+    return chip_->model().ladder().levelOf(getFrequency(cpu));
+}
+
+} // namespace pc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A cpufreq-style DVFS driver over the emulated MSR space.
+ *
+ * This is the only interface through which controllers change core
+ * frequencies; it performs the same PERF_CTL writes a userspace governor
+ * (or the msr-tools path the paper's prototype used) would perform.
+ */
+
+#ifndef PC_HAL_CPUFREQ_H
+#define PC_HAL_CPUFREQ_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "hal/chip.h"
+
+namespace pc {
+
+class CpufreqDriver
+{
+  public:
+    explicit CpufreqDriver(CmpChip *chip);
+
+    /** Available frequencies, lowest first (the scaling ladder). */
+    const std::vector<MHz> &availableFrequencies() const;
+
+    /** Set a core's frequency; @p freq must be on the ladder. */
+    void setFrequency(int cpu, MHz freq);
+
+    /** Set a core's frequency by ladder level. */
+    void setLevel(int cpu, int level);
+
+    /** Read back a core's operating frequency via PERF_STATUS. */
+    MHz getFrequency(int cpu) const;
+
+    /** Ladder level corresponding to the core's current frequency. */
+    int getLevel(int cpu) const;
+
+  private:
+    CmpChip *chip_;
+};
+
+} // namespace pc
+
+#endif // PC_HAL_CPUFREQ_H

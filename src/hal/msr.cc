@@ -1,0 +1,36 @@
+#include "hal/msr.h"
+
+namespace pc {
+
+void
+MsrSpace::write(int cpu, std::uint32_t index, std::uint64_t value)
+{
+    store_[{cpu, index}] = value;
+    auto it = writeHooks_.find(index);
+    if (it != writeHooks_.end())
+        it->second(cpu, index, value);
+}
+
+std::uint64_t
+MsrSpace::read(int cpu, std::uint32_t index) const
+{
+    auto hook = readHooks_.find(index);
+    if (hook != readHooks_.end())
+        return hook->second(cpu, index);
+    auto it = store_.find({cpu, index});
+    return it == store_.end() ? 0 : it->second;
+}
+
+void
+MsrSpace::setWriteHook(std::uint32_t index, WriteHook hook)
+{
+    writeHooks_[index] = std::move(hook);
+}
+
+void
+MsrSpace::setReadHook(std::uint32_t index, ReadHook hook)
+{
+    readHooks_[index] = std::move(hook);
+}
+
+} // namespace pc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Emulated model-specific-register (MSR) space.
+ *
+ * On the paper's testbed, per-core DVFS is actuated through
+ * IA32_PERF_CTL and package energy is read from the RAPL energy-status
+ * MSR. We emulate exactly that interface so the controller stack goes
+ * through the same read/write-MSR code path it would use on real
+ * hardware (via /dev/cpu/N/msr); only the backing store is simulated.
+ */
+
+#ifndef PC_HAL_MSR_H
+#define PC_HAL_MSR_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace pc {
+
+/** Architectural MSR indices used by the HAL. */
+namespace msr {
+constexpr std::uint32_t IA32_PERF_STATUS = 0x198;
+constexpr std::uint32_t IA32_PERF_CTL = 0x199;
+constexpr std::uint32_t MSR_RAPL_POWER_UNIT = 0x606;
+constexpr std::uint32_t MSR_PKG_ENERGY_STATUS = 0x611;
+
+/** RAPL energy unit: 2^-16 joules per count (the Haswell default). */
+constexpr double kEnergyUnitJoules = 1.0 / 65536.0;
+
+/** Encode a frequency as a PERF_CTL ratio (100 MHz units in bits 8-15). */
+constexpr std::uint64_t
+perfCtlFromMHz(int mhz)
+{
+    return (static_cast<std::uint64_t>(mhz / 100) & 0xff) << 8;
+}
+
+/** Decode a PERF_CTL/PERF_STATUS value back to MHz. */
+constexpr int
+mhzFromPerfCtl(std::uint64_t value)
+{
+    return static_cast<int>((value >> 8) & 0xff) * 100;
+}
+} // namespace msr
+
+/**
+ * A per-package MSR register file with interception hooks.
+ *
+ * Hooks let the chip model react to PERF_CTL writes (apply a frequency
+ * change) and serve PKG_ENERGY_STATUS reads lazily (integrate energy up
+ * to the current simulated time on demand).
+ */
+class MsrSpace
+{
+  public:
+    using WriteHook =
+        std::function<void(int cpu, std::uint32_t index, std::uint64_t val)>;
+    using ReadHook =
+        std::function<std::uint64_t(int cpu, std::uint32_t index)>;
+
+    /** Write an MSR on a logical cpu; fires the hook if one is set. */
+    void write(int cpu, std::uint32_t index, std::uint64_t value);
+
+    /** Read an MSR on a logical cpu; the read hook overrides the store. */
+    std::uint64_t read(int cpu, std::uint32_t index) const;
+
+    void setWriteHook(std::uint32_t index, WriteHook hook);
+    void setReadHook(std::uint32_t index, ReadHook hook);
+
+  private:
+    std::map<std::pair<int, std::uint32_t>, std::uint64_t> store_;
+    std::map<std::uint32_t, WriteHook> writeHooks_;
+    std::map<std::uint32_t, ReadHook> readHooks_;
+};
+
+} // namespace pc
+
+#endif // PC_HAL_MSR_H

@@ -1,0 +1,95 @@
+#include "hal/power_limit.h"
+
+#include "common/logging.h"
+#include "hal/msr.h"
+
+namespace pc {
+
+PowerLimitEnforcer::PowerLimitEnforcer(Simulator *sim, CmpChip *chip,
+                                       SimTime period)
+    : sim_(sim), chip_(chip), rapl_(chip), period_(period)
+{
+    if (period_ <= SimTime::zero())
+        fatal("power-limit period must be positive");
+}
+
+PowerLimitEnforcer::~PowerLimitEnforcer()
+{
+    stop();
+}
+
+void
+PowerLimitEnforcer::setLimit(Watts watts)
+{
+    if (watts.value() <= 0)
+        fatal("power limit must be positive, got %.2f W", watts.value());
+    chip_->msr().write(0, msr::MSR_PKG_POWER_LIMIT,
+                       msr::powerLimitFromWatts(watts.value()));
+}
+
+Watts
+PowerLimitEnforcer::limit() const
+{
+    return Watts(msr::wattsFromPowerLimit(
+        chip_->msr().read(0, msr::MSR_PKG_POWER_LIMIT)));
+}
+
+void
+PowerLimitEnforcer::start()
+{
+    if (loop_)
+        return;
+    loop_ = sim_->schedulePeriodic(sim_->now() + period_, period_,
+                                   [this]() { evaluate(); });
+}
+
+void
+PowerLimitEnforcer::stop()
+{
+    if (!loop_)
+        return;
+    sim_->cancelPeriodic(loop_);
+    loop_ = 0;
+}
+
+void
+PowerLimitEnforcer::evaluate()
+{
+    const double cap = limit().value();
+    if (cap <= 0.0)
+        return; // limit not programmed
+    const double drawn = rapl_.windowPower().value();
+
+    if (drawn > cap) {
+        // Hardware-style uniform throttle: one ladder level off every
+        // online core this period.
+        bool moved = false;
+        for (int id = 0; id < chip_->numCores(); ++id) {
+            auto &core = chip_->core(id);
+            if (core.online() && core.level() > 0) {
+                core.setLevel(core.level() - 1);
+                moved = true;
+            }
+        }
+        if (moved) {
+            ++throttles_;
+            ++depth_;
+        }
+        return;
+    }
+
+    // Recover a held-down level only when there is clear headroom
+    // (20 % guard band avoids limit-cycling around the cap).
+    if (depth_ > 0 && drawn < 0.8 * cap) {
+        for (int id = 0; id < chip_->numCores(); ++id) {
+            auto &core = chip_->core(id);
+            const int maxLevel =
+                chip_->model().ladder().maxLevel();
+            if (core.online() && core.level() < maxLevel)
+                core.setLevel(core.level() + 1);
+        }
+        --depth_;
+    }
+}
+
+} // namespace pc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * RAPL package power-limit emulation and hardware-style enforcement.
+ *
+ * Real packages enforce the PL1 limit written to MSR_PKG_POWER_LIMIT by
+ * throttling core frequencies regardless of what software intended.
+ * PowerChief's budget normally keeps modelled power below the cap, so
+ * the enforcer acts as the safety net under it: every control period it
+ * compares the RAPL window power with the programmed limit and, when
+ * exceeded, steps every online core down one ladder level (and steps
+ * back up when there is ample headroom and throttling was applied).
+ */
+
+#ifndef PC_HAL_POWER_LIMIT_H
+#define PC_HAL_POWER_LIMIT_H
+
+#include <cstdint>
+
+#include "hal/chip.h"
+#include "hal/rapl.h"
+
+namespace pc {
+
+namespace msr {
+constexpr std::uint32_t MSR_PKG_POWER_LIMIT = 0x610;
+
+/** Power-limit fields use 1/8 W units in bits 14:0 (Haswell layout). */
+constexpr std::uint64_t
+powerLimitFromWatts(double watts)
+{
+    return static_cast<std::uint64_t>(watts * 8.0) & 0x7fff;
+}
+
+constexpr double
+wattsFromPowerLimit(std::uint64_t value)
+{
+    return static_cast<double>(value & 0x7fff) / 8.0;
+}
+} // namespace msr
+
+class PowerLimitEnforcer
+{
+  public:
+    /**
+     * @param period how often the package evaluates the limit
+     *        (hardware uses ~1 ms-1 s windows; default 1 s).
+     */
+    PowerLimitEnforcer(Simulator *sim, CmpChip *chip,
+                       SimTime period = SimTime::sec(1));
+
+    ~PowerLimitEnforcer();
+
+    PowerLimitEnforcer(const PowerLimitEnforcer &) = delete;
+    PowerLimitEnforcer &operator=(const PowerLimitEnforcer &) = delete;
+
+    /** Program the package limit (writes MSR_PKG_POWER_LIMIT). */
+    void setLimit(Watts watts);
+
+    /** Read back the programmed limit. */
+    Watts limit() const;
+
+    /** Begin periodic enforcement. */
+    void start();
+    void stop();
+
+    /** Number of periods in which throttling was applied. */
+    std::uint64_t throttleEvents() const { return throttles_; }
+
+    /** Net levels currently held down by the enforcer. */
+    int throttleDepth() const { return depth_; }
+
+  private:
+    void evaluate();
+
+    Simulator *sim_;
+    CmpChip *chip_;
+    RaplReader rapl_;
+    SimTime period_;
+    EventId loop_ = 0;
+    std::uint64_t throttles_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_HAL_POWER_LIMIT_H

@@ -1,0 +1,52 @@
+#include "hal/rapl.h"
+
+#include "hal/msr.h"
+
+namespace pc {
+
+RaplReader::RaplReader(CmpChip *chip)
+    : chip_(chip), lastTime_(chip->sim().now())
+{
+    // Energy-unit field: bits 12:8 give the exponent e, unit = 2^-e J.
+    const auto unitReg = chip_->msr().read(0, msr::MSR_RAPL_POWER_UNIT);
+    const auto exponent = (unitReg >> 8) & 0x1f;
+    unitJoules_ = 1.0 / static_cast<double>(1ull << exponent);
+    lastCounter_ = readCounter();
+}
+
+std::uint32_t
+RaplReader::readCounter() const
+{
+    return static_cast<std::uint32_t>(
+        chip_->msr().read(0, msr::MSR_PKG_ENERGY_STATUS));
+}
+
+Joules
+RaplReader::readEnergy() const
+{
+    return Joules(readCounter() * unitJoules_);
+}
+
+Joules
+RaplReader::windowEnergy()
+{
+    const std::uint32_t counter = readCounter();
+    // 32-bit wraparound-safe difference.
+    const std::uint32_t delta = counter - lastCounter_;
+    lastCounter_ = counter;
+    return Joules(delta * unitJoules_);
+}
+
+Watts
+RaplReader::windowPower()
+{
+    const SimTime now = chip_->sim().now();
+    const SimTime span = now - lastTime_;
+    const Joules energy = windowEnergy();
+    lastTime_ = now;
+    if (span <= SimTime::zero())
+        return Watts(0.0);
+    return Watts(energy.value() / span.toSec());
+}
+
+} // namespace pc

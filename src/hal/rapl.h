@@ -1,0 +1,53 @@
+/**
+ * @file
+ * RAPL-style energy/power readout over the emulated MSR space.
+ *
+ * Reads the package energy-status counter exactly as a userspace power
+ * monitor would: decode the energy unit once, then difference successive
+ * 32-bit counter reads (handling wraparound) to obtain window energy and
+ * average power.
+ */
+
+#ifndef PC_HAL_RAPL_H
+#define PC_HAL_RAPL_H
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "common/units.h"
+#include "hal/chip.h"
+
+namespace pc {
+
+class RaplReader
+{
+  public:
+    explicit RaplReader(CmpChip *chip);
+
+    /** Cumulative package energy since chip construction. */
+    Joules readEnergy() const;
+
+    /**
+     * Energy accumulated since the previous call to windowEnergy()
+     * (or since construction, on the first call).
+     */
+    Joules windowEnergy();
+
+    /**
+     * Average package power over the window since the previous call.
+     * Returns 0 W when no simulated time has elapsed.
+     */
+    Watts windowPower();
+
+  private:
+    std::uint32_t readCounter() const;
+
+    CmpChip *chip_;
+    double unitJoules_;
+    std::uint32_t lastCounter_;
+    SimTime lastTime_;
+};
+
+} // namespace pc
+
+#endif // PC_HAL_RAPL_H

@@ -1,0 +1,74 @@
+#include "power/budget.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+namespace {
+// Tolerate accumulated floating-point rounding in the cap comparison.
+constexpr double kSlackWatts = 1e-9;
+} // namespace
+
+PowerBudget::PowerBudget(Watts cap, const PowerModel *model)
+    : cap_(cap), allocated_(0.0), model_(model)
+{
+    if (!model_)
+        fatal("PowerBudget requires a power model");
+    if (cap.value() <= 0)
+        fatal("non-positive power budget %.2f W", cap.value());
+}
+
+bool
+PowerBudget::canAfford(Watts extra) const
+{
+    return allocated_.value() + extra.value()
+        <= cap_.value() + kSlackWatts;
+}
+
+bool
+PowerBudget::allocate(std::int64_t id, int level)
+{
+    if (levels_.count(id))
+        panic("power consumer %lld already allocated",
+              static_cast<long long>(id));
+    const Watts need = model_->activeWatts(level);
+    if (!canAfford(need))
+        return false;
+    levels_[id] = level;
+    allocated_ += need;
+    return true;
+}
+
+bool
+PowerBudget::updateLevel(std::int64_t id, int newLevel)
+{
+    auto it = levels_.find(id);
+    if (it == levels_.end())
+        panic("power consumer %lld unknown", static_cast<long long>(id));
+    const Watts delta = model_->deltaWatts(it->second, newLevel);
+    if (delta.value() > 0 && !canAfford(delta))
+        return false;
+    allocated_ += delta;
+    it->second = newLevel;
+    return true;
+}
+
+void
+PowerBudget::release(std::int64_t id)
+{
+    auto it = levels_.find(id);
+    if (it == levels_.end())
+        panic("releasing unknown power consumer %lld",
+              static_cast<long long>(id));
+    allocated_ -= model_->activeWatts(it->second);
+    levels_.erase(it);
+}
+
+int
+PowerBudget::levelOf(std::int64_t id) const
+{
+    auto it = levels_.find(id);
+    return it == levels_.end() ? -1 : it->second;
+}
+
+} // namespace pc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Power-budget bookkeeping for a multi-stage application.
+ *
+ * PowerChief manages power per application (paper §8.5): the budget caps
+ * the sum of modelled active-core power over all live service instances.
+ * The budget object is the single source of truth the boosting engine and
+ * reallocator consult before actuating any DVFS or launch decision.
+ */
+
+#ifndef PC_POWER_BUDGET_H
+#define PC_POWER_BUDGET_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "power/power_model.h"
+
+namespace pc {
+
+class PowerBudget
+{
+  public:
+    PowerBudget(Watts cap, const PowerModel *model);
+
+    Watts cap() const { return cap_; }
+    Watts allocated() const { return allocated_; }
+    Watts headroom() const { return cap_ - allocated_; }
+
+    /** Whether @p extra watts fit under the cap right now. */
+    bool canAfford(Watts extra) const;
+
+    /**
+     * Reserve power for a new consumer running at a ladder level.
+     * @retval false the cap would be exceeded; nothing is reserved.
+     */
+    bool allocate(std::int64_t id, int level);
+
+    /**
+     * Re-reserve for an existing consumer at a new level. Stepping down
+     * always succeeds; stepping up fails if it would exceed the cap.
+     */
+    bool updateLevel(std::int64_t id, int newLevel);
+
+    /** Release a consumer's reservation entirely (instance withdraw). */
+    void release(std::int64_t id);
+
+    /** Current reserved level for a consumer; -1 if unknown. */
+    int levelOf(std::int64_t id) const;
+
+    std::size_t numConsumers() const { return levels_.size(); }
+
+    const PowerModel &model() const { return *model_; }
+
+  private:
+    Watts cap_;
+    Watts allocated_;
+    const PowerModel *model_;
+    std::unordered_map<std::int64_t, int> levels_;
+};
+
+} // namespace pc
+
+#endif // PC_POWER_BUDGET_H

@@ -1,0 +1,61 @@
+#include "power/frequency_ladder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pc {
+
+FrequencyLadder::FrequencyLadder(MHz min, MHz max, MHz step)
+{
+    if (step.value() <= 0 || min > max)
+        fatal("invalid frequency ladder [%d, %d] step %d",
+              min.value(), max.value(), step.value());
+    if ((max.value() - min.value()) % step.value() != 0)
+        fatal("ladder span %d not a multiple of step %d",
+              max.value() - min.value(), step.value());
+    for (int f = min.value(); f <= max.value(); f += step.value())
+        freqs_.push_back(MHz(f));
+}
+
+FrequencyLadder
+FrequencyLadder::haswell()
+{
+    return FrequencyLadder(MHz(1200), MHz(2400), MHz(100));
+}
+
+MHz
+FrequencyLadder::freqAt(int level) const
+{
+    if (level < 0 || level >= numLevels())
+        panic("frequency level %d out of range [0, %d)", level, numLevels());
+    return freqs_[static_cast<std::size_t>(level)];
+}
+
+int
+FrequencyLadder::levelOf(MHz freq) const
+{
+    auto it = std::find(freqs_.begin(), freqs_.end(), freq);
+    if (it == freqs_.end())
+        panic("frequency %d MHz not on the ladder", freq.value());
+    return static_cast<int>(it - freqs_.begin());
+}
+
+int
+FrequencyLadder::levelAtOrBelow(MHz freq) const
+{
+    int level = 0;
+    for (int i = 0; i < numLevels(); ++i) {
+        if (freqs_[static_cast<std::size_t>(i)] <= freq)
+            level = i;
+    }
+    return level;
+}
+
+int
+FrequencyLadder::clampLevel(int level) const
+{
+    return std::clamp(level, 0, maxLevel());
+}
+
+} // namespace pc

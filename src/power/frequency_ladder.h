@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The discrete DVFS frequency ladder of a core.
+ *
+ * Mirrors the evaluation platform in the paper: an Intel Haswell part
+ * whose per-core frequency is adjustable from 1.2 GHz to 2.4 GHz in
+ * 0.1 GHz steps (13 levels). All controller logic works in ladder
+ * *levels*; the HAL translates levels to MHz.
+ */
+
+#ifndef PC_POWER_FREQUENCY_LADDER_H
+#define PC_POWER_FREQUENCY_LADDER_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace pc {
+
+class FrequencyLadder
+{
+  public:
+    /**
+     * Build a ladder covering [min, max] inclusive with a fixed step.
+     * @p max - @p min must be a multiple of @p step.
+     */
+    FrequencyLadder(MHz min, MHz max, MHz step);
+
+    /** The Haswell ladder from the paper: 1.2–2.4 GHz, 0.1 GHz steps. */
+    static FrequencyLadder haswell();
+
+    int numLevels() const { return static_cast<int>(freqs_.size()); }
+    int minLevel() const { return 0; }
+    int maxLevel() const { return numLevels() - 1; }
+
+    /** Frequency at a ladder level; panics on out-of-range levels. */
+    MHz freqAt(int level) const;
+
+    /** Level of an exact ladder frequency; panics if not on the ladder. */
+    int levelOf(MHz freq) const;
+
+    /** Largest level whose frequency is <= freq (clamped to level 0). */
+    int levelAtOrBelow(MHz freq) const;
+
+    /** Clamp an arbitrary level into the valid range. */
+    int clampLevel(int level) const;
+
+    /** The level closest to the middle of the range (1.8 GHz on Haswell). */
+    int midLevel() const { return numLevels() / 2; }
+
+    const std::vector<MHz> &frequencies() const { return freqs_; }
+
+  private:
+    std::vector<MHz> freqs_;
+};
+
+} // namespace pc
+
+#endif // PC_POWER_FREQUENCY_LADDER_H

@@ -1,0 +1,87 @@
+#include "power/power_model.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+PowerModel::PowerModel(FrequencyLadder ladder, Params params)
+    : ladder_(std::move(ladder)), params_(params)
+{
+    if (params_.minVolts <= 0 || params_.maxVolts < params_.minVolts)
+        fatal("invalid voltage range [%f, %f]",
+              params_.minVolts, params_.maxVolts);
+    const MHz fNom = ladder_.freqAt(ladder_.maxLevel());
+    const double vNom = params_.maxVolts;
+    for (int lvl = 0; lvl < ladder_.numLevels(); ++lvl) {
+        const double v = voltsAt(lvl);
+        const double f = ladder_.freqAt(lvl).value();
+        const double ratio =
+            (v * v * f) / (vNom * vNom * fNom.value());
+        activeTable_.push_back(
+            params_.staticWatts + params_.dynamicWattsAtNominal * ratio);
+    }
+}
+
+PowerModel
+PowerModel::haswell()
+{
+    // Defaults put one core at 1.8 GHz at 4.52 W so the Table 2 budget
+    // of 13.56 W covers exactly three mid-frequency instances, while a
+    // 1.2 GHz core draws ~1.64 W so the budget can also fund the ~8
+    // low-frequency instances of the Fig. 11(b) end state.
+    return PowerModel(FrequencyLadder::haswell(), Params{});
+}
+
+double
+PowerModel::voltsAt(int level) const
+{
+    const MHz fMin = ladder_.freqAt(0);
+    const MHz fMax = ladder_.freqAt(ladder_.maxLevel());
+    if (fMax == fMin)
+        return params_.maxVolts;
+    const double t =
+        static_cast<double>(ladder_.freqAt(level).value() - fMin.value()) /
+        static_cast<double>(fMax.value() - fMin.value());
+    return params_.minVolts + t * (params_.maxVolts - params_.minVolts);
+}
+
+Watts
+PowerModel::activeWatts(int level) const
+{
+    if (level < 0 || level >= ladder_.numLevels())
+        panic("power query for level %d outside ladder", level);
+    return Watts(activeTable_[static_cast<std::size_t>(level)]);
+}
+
+Watts
+PowerModel::idleWatts(int level) const
+{
+    const double dynamic =
+        activeWatts(level).value() - params_.staticWatts;
+    return Watts(params_.staticWatts + params_.idleFraction * dynamic);
+}
+
+Watts
+PowerModel::activeWattsAt(MHz freq) const
+{
+    return activeWatts(ladder_.levelOf(freq));
+}
+
+Watts
+PowerModel::deltaWatts(int fromLevel, int toLevel) const
+{
+    return activeWatts(toLevel) - activeWatts(fromLevel);
+}
+
+int
+PowerModel::maxLevelWithin(Watts budget) const
+{
+    int best = -1;
+    for (int lvl = 0; lvl < ladder_.numLevels(); ++lvl) {
+        if (activeWatts(lvl) <= budget)
+            best = lvl;
+    }
+    return best;
+}
+
+} // namespace pc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-core power model over the DVFS ladder.
+ *
+ * The paper could not measure core-level power on its testbed and used
+ * the analytical model from Adrenaline (Hsu et al., HPCA'15) instead; we
+ * do the same. Active power follows the classic CMOS relation
+ *
+ *     P(f) = P_static + P_dyn * (V(f)^2 * f) / (V_nom^2 * f_nom)
+ *
+ * with a linear voltage/frequency relation across the ladder. The default
+ * model is calibrated so one core at 1.8 GHz draws 13.56/3 = 4.52 W,
+ * matching the Table 2 power budget of one mid-frequency instance per
+ * Sirius/NLP stage.
+ */
+
+#ifndef PC_POWER_POWER_MODEL_H
+#define PC_POWER_POWER_MODEL_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "power/frequency_ladder.h"
+
+namespace pc {
+
+class PowerModel
+{
+  public:
+    struct Params
+    {
+        /** Leakage + uncore share attributed to an active core. */
+        double staticWatts = 0.2;
+        /** Dynamic power at (V_nom, f_nom), i.e. at the ladder maximum. */
+        double dynamicWattsAtNominal = 9.6465;
+        /** Supply voltage at the ladder minimum / maximum frequency. */
+        double minVolts = 0.60;
+        double maxVolts = 1.10;
+        /**
+         * Fraction of the *dynamic* power an idle (clock-gated) core
+         * still draws. Idle power is mostly static leakage: a halted
+         * core's clock tree is gated, so lowering its frequency saves
+         * little — which is exactly why instance withdraw (releasing
+         * the core entirely) beats frequency de-boosting on mostly-idle
+         * over-provisioned pools (paper §8.4).
+         */
+        double idleFraction = 0.10;
+    };
+
+    PowerModel(FrequencyLadder ladder, Params params);
+
+    /** Default model on the Haswell ladder, calibrated per Table 2. */
+    static PowerModel haswell();
+
+    const FrequencyLadder &ladder() const { return ladder_; }
+
+    /** Active (busy) core power at a ladder level. */
+    Watts activeWatts(int level) const;
+
+    /** Idle core power at a ladder level. */
+    Watts idleWatts(int level) const;
+
+    /** Active power at an exact ladder frequency. */
+    Watts activeWattsAt(MHz freq) const;
+
+    /**
+     * Power needed to move a core from @p fromLevel to @p toLevel
+     * (negative when stepping down = power recycled).
+     */
+    Watts deltaWatts(int fromLevel, int toLevel) const;
+
+    /**
+     * Highest ladder level whose active power does not exceed
+     * @p budget; returns -1 when even the lowest level is unaffordable.
+     */
+    int maxLevelWithin(Watts budget) const;
+
+    /** Supply voltage at a ladder level (exposed for tests/benches). */
+    double voltsAt(int level) const;
+
+  private:
+    FrequencyLadder ladder_;
+    Params params_;
+    std::vector<double> activeTable_;
+};
+
+} // namespace pc
+
+#endif // PC_POWER_POWER_MODEL_H

@@ -1,0 +1,56 @@
+#include "rpc/bus.h"
+
+#include "common/logging.h"
+
+namespace pc {
+
+MessageBus::MessageBus(Simulator *sim) : sim_(sim) {}
+
+EndpointId
+MessageBus::registerEndpoint(const std::string &name, Handler handler)
+{
+    if (byName_.count(name))
+        fatal("bus endpoint name '%s' already registered", name.c_str());
+    const EndpointId id = next_++;
+    endpoints_[id] = Endpoint{name, std::move(handler)};
+    byName_[name] = id;
+    return id;
+}
+
+void
+MessageBus::unregisterEndpoint(EndpointId id)
+{
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end())
+        panic("unregistering unknown endpoint %llu",
+              static_cast<unsigned long long>(id));
+    byName_.erase(it->second.name);
+    endpoints_.erase(it);
+}
+
+std::optional<EndpointId>
+MessageBus::lookup(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MessageBus::send(EndpointId to, MessagePtr msg)
+{
+    if (!msg)
+        panic("sending null message");
+    sim_->scheduleAfter(delay_, [this, to, msg = std::move(msg)]() {
+        auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) {
+            ++dropped_;
+            return;
+        }
+        ++delivered_;
+        it->second.handler(msg);
+    });
+}
+
+} // namespace pc

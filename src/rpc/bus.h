@@ -1,0 +1,95 @@
+/**
+ * @file
+ * In-process message bus standing in for the Thrift RPC fabric.
+ *
+ * The paper's prototype connects service instances and the Command
+ * Center through Apache Thrift (§7.1). The control-plane property that
+ * matters to PowerChief is the *dataflow*: latency statistics ride along
+ * with the query and are reported to the command center once, at pipeline
+ * exit. The bus reproduces that dataflow on simulated time, with an
+ * optional per-message delivery delay to model network hops when stages
+ * are distributed (§8.5).
+ */
+
+#ifndef PC_RPC_BUS_H
+#define PC_RPC_BUS_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace pc {
+
+/** Base class for bus messages; concrete payloads subclass this. */
+class Message
+{
+  public:
+    virtual ~Message() = default;
+
+    /** Stable message-type tag used for dispatch and tracing. */
+    virtual const char *type() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/** Identifies a registered endpoint; 0 is never valid. */
+using EndpointId = std::uint64_t;
+
+class MessageBus
+{
+  public:
+    using Handler = std::function<void(const MessagePtr &)>;
+
+    explicit MessageBus(Simulator *sim);
+
+    /**
+     * Register a named endpoint. Names must be unique while registered;
+     * services use "stage/instance" style names, the command center
+     * registers as "command-center".
+     */
+    EndpointId registerEndpoint(const std::string &name, Handler handler);
+
+    /** Remove an endpoint; in-flight messages to it are dropped. */
+    void unregisterEndpoint(EndpointId id);
+
+    /** Resolve a name registered with registerEndpoint(). */
+    std::optional<EndpointId> lookup(const std::string &name) const;
+
+    /**
+     * Deliver @p msg to @p to after the configured delivery delay.
+     * Messages to endpoints that disappear in flight are dropped.
+     */
+    void send(EndpointId to, MessagePtr msg);
+
+    /** One-way delivery latency applied to every send (default 0). */
+    void setDeliveryDelay(SimTime delay) { delay_ = delay; }
+    SimTime deliveryDelay() const { return delay_; }
+
+    std::uint64_t messagesDelivered() const { return delivered_; }
+    std::uint64_t messagesDropped() const { return dropped_; }
+
+  private:
+    struct Endpoint
+    {
+        std::string name;
+        Handler handler;
+    };
+
+    Simulator *sim_;
+    SimTime delay_;
+    EndpointId next_ = 1;
+    std::unordered_map<EndpointId, Endpoint> endpoints_;
+    std::unordered_map<std::string, EndpointId> byName_;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_RPC_BUS_H

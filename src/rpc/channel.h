@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Typed request/response channels over the message bus.
+ *
+ * The Thrift services of the paper's prototype expose call/return RPC;
+ * this layer adds the same shape on top of the one-way bus: requests
+ * carry a correlation id and a reply endpoint, responses are matched
+ * back to the caller's continuation, and calls that receive no response
+ * within the timeout fail with RpcStatus::Timeout (e.g. the callee
+ * unregistered mid-flight).
+ */
+
+#ifndef PC_RPC_CHANNEL_H
+#define PC_RPC_CHANNEL_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "rpc/bus.h"
+
+namespace pc {
+
+enum class RpcStatus { Ok, Timeout };
+
+/** Type-erased request envelope; Req is the user payload type. */
+template <typename Req>
+class RequestEnvelope : public Message
+{
+  public:
+    RequestEnvelope(std::uint64_t id, EndpointId replyTo, Req payload)
+        : callId(id), replyTo(replyTo), payload(std::move(payload))
+    {
+    }
+
+    const char *type() const override { return "rpc-request"; }
+
+    std::uint64_t callId;
+    EndpointId replyTo;
+    Req payload;
+};
+
+template <typename Resp>
+class ResponseEnvelope : public Message
+{
+  public:
+    ResponseEnvelope(std::uint64_t id, Resp payload)
+        : callId(id), payload(std::move(payload))
+    {
+    }
+
+    const char *type() const override { return "rpc-response"; }
+
+    std::uint64_t callId;
+    Resp payload;
+};
+
+/**
+ * Client side of a typed channel. One client owns one reply endpoint
+ * and can have any number of calls in flight.
+ */
+template <typename Req, typename Resp>
+class RpcClient
+{
+  public:
+    using Continuation = std::function<void(RpcStatus, const Resp *)>;
+
+    /**
+     * @param name unique bus name for this client's reply endpoint.
+     * @param timeout per-call deadline (zero = no timeout).
+     */
+    RpcClient(Simulator *sim, MessageBus *bus, const std::string &name,
+              SimTime timeout = SimTime::zero())
+        : sim_(sim), bus_(bus), timeout_(timeout)
+    {
+        endpoint_ = bus_->registerEndpoint(
+            name, [this](const MessagePtr &msg) { onReply(msg); });
+    }
+
+    ~RpcClient() { bus_->unregisterEndpoint(endpoint_); }
+
+    RpcClient(const RpcClient &) = delete;
+    RpcClient &operator=(const RpcClient &) = delete;
+
+    /** Issue a call; @p k runs exactly once (response or timeout). */
+    void
+    call(EndpointId server, Req request, Continuation k)
+    {
+        const std::uint64_t id = nextCall_++;
+        Pending pending;
+        pending.k = std::move(k);
+        if (timeout_ > SimTime::zero()) {
+            pending.timeoutEvent = sim_->scheduleAfter(
+                timeout_, [this, id]() { onTimeout(id); });
+        }
+        pending_.emplace(id, std::move(pending));
+        bus_->send(server, std::make_shared<RequestEnvelope<Req>>(
+                               id, endpoint_, std::move(request)));
+    }
+
+    std::size_t inFlight() const { return pending_.size(); }
+
+  private:
+    struct Pending
+    {
+        Continuation k;
+        EventId timeoutEvent = 0;
+    };
+
+    void
+    onReply(const MessagePtr &msg)
+    {
+        const auto *resp =
+            dynamic_cast<const ResponseEnvelope<Resp> *>(msg.get());
+        if (!resp)
+            return;
+        auto it = pending_.find(resp->callId);
+        if (it == pending_.end())
+            return; // already timed out
+        Pending pending = std::move(it->second);
+        pending_.erase(it);
+        if (pending.timeoutEvent)
+            sim_->cancel(pending.timeoutEvent);
+        pending.k(RpcStatus::Ok, &resp->payload);
+    }
+
+    void
+    onTimeout(std::uint64_t id)
+    {
+        auto it = pending_.find(id);
+        if (it == pending_.end())
+            return;
+        Pending pending = std::move(it->second);
+        pending_.erase(it);
+        pending.k(RpcStatus::Timeout, nullptr);
+    }
+
+    Simulator *sim_;
+    MessageBus *bus_;
+    SimTime timeout_;
+    EndpointId endpoint_ = 0;
+    std::uint64_t nextCall_ = 1;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+/**
+ * Server side: registers a named endpoint whose handler maps Req to
+ * Resp synchronously; the response is sent back over the bus.
+ */
+template <typename Req, typename Resp>
+class RpcServer
+{
+  public:
+    using Handler = std::function<Resp(const Req &)>;
+
+    RpcServer(MessageBus *bus, const std::string &name, Handler handler)
+        : bus_(bus), handler_(std::move(handler))
+    {
+        endpoint_ = bus_->registerEndpoint(
+            name, [this](const MessagePtr &msg) { onRequest(msg); });
+    }
+
+    ~RpcServer() { bus_->unregisterEndpoint(endpoint_); }
+
+    RpcServer(const RpcServer &) = delete;
+    RpcServer &operator=(const RpcServer &) = delete;
+
+    EndpointId endpoint() const { return endpoint_; }
+    std::uint64_t served() const { return served_; }
+
+  private:
+    void
+    onRequest(const MessagePtr &msg)
+    {
+        const auto *req =
+            dynamic_cast<const RequestEnvelope<Req> *>(msg.get());
+        if (!req)
+            return;
+        ++served_;
+        bus_->send(req->replyTo,
+                   std::make_shared<ResponseEnvelope<Resp>>(
+                       req->callId, handler_(req->payload)));
+    }
+
+    MessageBus *bus_;
+    Handler handler_;
+    EndpointId endpoint_ = 0;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_RPC_CHANNEL_H

@@ -1,0 +1,106 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace pc {
+
+EventId
+Simulator::scheduleAt(SimTime at, Callback fn)
+{
+    if (at < now_)
+        panic("scheduleAt(%s) is in the past (now=%s)",
+              at.toString().c_str(), now_.toString().c_str());
+    const EventId id = nextSeq_;
+    queue_.push(Event{at, nextSeq_, id, std::move(fn)});
+    live_.insert(id);
+    ++nextSeq_;
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(SimTime delay, Callback fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    // Only a still-pending event can be cancelled; fired and already-
+    // cancelled events both report failure.
+    return live_.erase(id) == 1;
+}
+
+EventId
+Simulator::schedulePeriodic(SimTime start, SimTime period, Callback fn)
+{
+    if (period <= SimTime::zero())
+        panic("schedulePeriodic with non-positive period");
+    const EventId handle = nextSeq_++;
+    periodics_.emplace(handle, PeriodicTask{period, std::move(fn)});
+    schedulePeriodicTick(handle, start);
+    return handle;
+}
+
+void
+Simulator::schedulePeriodicTick(EventId handle, SimTime at)
+{
+    // The tick only captures the handle; the callback lives in the
+    // periodics_ table (no self-referential closure, no cycle).
+    scheduleAt(at, [this, handle]() {
+        auto it = periodics_.find(handle);
+        if (it == periodics_.end())
+            return;
+        it->second.fn();
+        // The callback may have cancelled its own task.
+        it = periodics_.find(handle);
+        if (it != periodics_.end())
+            schedulePeriodicTick(handle, now_ + it->second.period);
+    });
+}
+
+void
+Simulator::cancelPeriodic(EventId handle)
+{
+    periodics_.erase(handle);
+}
+
+void
+Simulator::dispatch(Event &ev)
+{
+    now_ = ev.at;
+    if (live_.erase(ev.id) == 0)
+        return; // cancelled while pending
+    ++dispatched_;
+    ev.fn();
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    return true;
+}
+
+void
+Simulator::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulator::runUntil(SimTime deadline)
+{
+    while (!queue_.empty() && queue_.top().at <= deadline)
+        step();
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace pc

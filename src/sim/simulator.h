@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Discrete-event simulator that drives every PowerChief component.
+ *
+ * The simulator owns a priority queue of (time, sequence, callback)
+ * events. Components schedule closures at absolute or relative times and
+ * may cancel a pending event (needed when, e.g., a DVFS change rescales
+ * an in-flight service completion). Ties are broken by schedule order so
+ * runs are deterministic.
+ */
+
+#ifndef PC_SIM_SIMULATOR_H
+#define PC_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/time.h"
+
+namespace pc {
+
+/** Opaque handle identifying a scheduled event; 0 is never valid. */
+using EventId = std::uint64_t;
+
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p at.
+     *
+     * @return a handle usable with cancel(); scheduling in the past is a
+     *         programming error and panics.
+     */
+    EventId scheduleAt(SimTime at, Callback fn);
+
+    /** Schedule @p fn to run @p delay after now. */
+    EventId scheduleAfter(SimTime delay, Callback fn);
+
+    /**
+     * Cancel a pending event.
+     *
+     * @retval true the event was pending and is now cancelled.
+     * @retval false the event already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Schedule @p fn every @p period, first firing at @p start.
+     *
+     * The periodic task keeps rescheduling itself until cancelPeriodic()
+     * is called with the returned handle.
+     */
+    EventId schedulePeriodic(SimTime start, SimTime period, Callback fn);
+
+    /** Stop a periodic task started with schedulePeriodic(). */
+    void cancelPeriodic(EventId handle);
+
+    /** Run events until the queue is empty. */
+    void run();
+
+    /**
+     * Run events with timestamps <= @p deadline, then advance the clock
+     * to exactly @p deadline.
+     */
+    void runUntil(SimTime deadline);
+
+    /** Execute at most one event. @return false if the queue was empty. */
+    bool step();
+
+    /** Number of events currently pending (including cancelled stubs). */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events dispatched since construction. */
+    std::uint64_t dispatchedEvents() const { return dispatched_; }
+
+  private:
+    struct Event
+    {
+        SimTime at;
+        std::uint64_t seq;
+        EventId id;
+        Callback fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            return seq > o.seq;
+        }
+    };
+
+    struct PeriodicTask
+    {
+        SimTime period;
+        Callback fn;
+    };
+
+    void dispatch(Event &ev);
+    void schedulePeriodicTick(EventId handle, SimTime at);
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    std::unordered_set<EventId> live_;
+    std::unordered_map<EventId, PeriodicTask> periodics_;
+    SimTime now_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_SIM_SIMULATOR_H

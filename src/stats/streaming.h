@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Constant-space streaming summary statistics (Welford's algorithm).
+ */
+
+#ifndef PC_STATS_STREAMING_H
+#define PC_STATS_STREAMING_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pc {
+
+/** Count / mean / variance / min / max over a stream of doubles. */
+class StreamingStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    void
+    reset()
+    {
+        *this = StreamingStats();
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Merge another summary into this one (parallel Welford). */
+    void
+    merge(const StreamingStats &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        const double delta = o.mean_ - mean_;
+        const auto n = count_ + o.count_;
+        m2_ += o.m2_ + delta * delta *
+            (static_cast<double>(count_) * static_cast<double>(o.count_) /
+             static_cast<double>(n));
+        mean_ += delta * static_cast<double>(o.count_) /
+            static_cast<double>(n);
+        count_ = n;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace pc
+
+#endif // PC_STATS_STREAMING_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Time-based moving window of samples.
+ *
+ * The bottleneck identifier computes q̄ᵢ and s̄ᵢ over "a moving time
+ * window" (paper §4.2); this container holds timestamped samples, evicts
+ * ones older than the span, and answers mean/max/quantile queries over
+ * what remains.
+ */
+
+#ifndef PC_STATS_WINDOW_H
+#define PC_STATS_WINDOW_H
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/time.h"
+
+namespace pc {
+
+class MovingWindow
+{
+  public:
+    explicit MovingWindow(SimTime span) : span_(span) {}
+
+    SimTime span() const { return span_; }
+
+    /** Record a sample observed at time @p t (non-decreasing order). */
+    void
+    add(SimTime t, double value)
+    {
+        samples_.push_back({t, value});
+        evict(t);
+    }
+
+    /** Drop samples older than @p now - span. */
+    void
+    evict(SimTime now)
+    {
+        const SimTime cutoff = now - span_;
+        while (!samples_.empty() && samples_.front().t < cutoff)
+            samples_.pop_front();
+    }
+
+    bool empty() const { return samples_.empty(); }
+    std::size_t size() const { return samples_.size(); }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const auto &s : samples_)
+            sum += s.value;
+        return sum / static_cast<double>(samples_.size());
+    }
+
+    double
+    max() const
+    {
+        double best = 0.0;
+        for (const auto &s : samples_)
+            best = std::max(best, s.value);
+        return best;
+    }
+
+    /** Exact quantile over the retained window (q in [0,1]). */
+    double
+    quantile(double q) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::vector<double> buf;
+        buf.reserve(samples_.size());
+        for (const auto &s : samples_)
+            buf.push_back(s.value);
+        std::sort(buf.begin(), buf.end());
+        const double rank = q * static_cast<double>(buf.size() - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const auto hi = std::min(lo + 1, buf.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return buf[lo] * (1.0 - frac) + buf[hi] * frac;
+    }
+
+  private:
+    struct Sample
+    {
+        SimTime t;
+        double value;
+    };
+
+    SimTime span_;
+    std::deque<Sample> samples_;
+};
+
+} // namespace pc
+
+#endif // PC_STATS_WINDOW_H

@@ -1,0 +1,167 @@
+#include "workloads/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace pc {
+
+const char *
+toString(LoadLevel level)
+{
+    switch (level) {
+      case LoadLevel::Low: return "low";
+      case LoadLevel::Medium: return "medium";
+      case LoadLevel::High: return "high";
+    }
+    return "?";
+}
+
+LoadProfile
+LoadProfile::constant(double qps)
+{
+    if (qps <= 0)
+        fatal("constant load rate must be positive, got %f", qps);
+    LoadProfile p;
+    p.points_ = {{SimTime::zero(), qps}};
+    p.maxRate_ = qps;
+    return p;
+}
+
+LoadProfile
+LoadProfile::piecewise(std::vector<Point> points)
+{
+    if (points.empty())
+        fatal("piecewise load profile needs at least one point");
+    for (std::size_t i = 1; i < points.size(); ++i)
+        if (points[i].t <= points[i - 1].t)
+            fatal("piecewise load points must be strictly increasing");
+    LoadProfile p;
+    p.points_ = std::move(points);
+    for (const auto &pt : p.points_)
+        p.maxRate_ = std::max(p.maxRate_, pt.qps);
+    return p;
+}
+
+double
+LoadProfile::levelFraction(LoadLevel level)
+{
+    switch (level) {
+      case LoadLevel::Low: return 0.35;
+      case LoadLevel::Medium: return 1.05;
+      case LoadLevel::High: return 1.40;
+    }
+    return 0.0;
+}
+
+LoadProfile
+LoadProfile::forLevel(const WorkloadModel &model, LoadLevel level,
+                      int midMhz)
+{
+    const double capacity = model.bottleneckCapacityAt(midMhz);
+    return constant(levelFraction(level) * capacity);
+}
+
+LoadProfile
+LoadProfile::fig11(const WorkloadModel &model, int midMhz)
+{
+    const double cap = model.bottleneckCapacityAt(midMhz);
+    // High opening burst, the §8.2 low-load valley at 175-275 s, then a
+    // second rise that reshuffles the bottleneck between stages.
+    return piecewise({
+        {SimTime::zero(), 1.10 * cap},
+        {SimTime::sec(100), 1.30 * cap},
+        {SimTime::sec(175), 0.30 * cap},
+        {SimTime::sec(275), 0.30 * cap},
+        {SimTime::sec(400), 1.20 * cap},
+        {SimTime::sec(600), 0.80 * cap},
+        {SimTime::sec(900), 1.25 * cap},
+    });
+}
+
+LoadProfile
+LoadProfile::diurnal(double loQps, double hiQps, SimTime period)
+{
+    if (loQps <= 0 || hiQps < loQps)
+        fatal("diurnal profile needs 0 < lo <= hi");
+    LoadProfile p;
+    p.lo_ = loQps;
+    p.hi_ = hiQps;
+    p.period_ = period;
+    p.maxRate_ = hiQps;
+    return p;
+}
+
+double
+LoadProfile::rateAt(SimTime t) const
+{
+    if (period_ > SimTime::zero()) {
+        const double phase = 2.0 * std::numbers::pi *
+            (t.toSec() / period_.toSec());
+        return lo_ + (hi_ - lo_) * 0.5 * (1.0 - std::cos(phase));
+    }
+    if (points_.empty())
+        return 0.0;
+    if (t <= points_.front().t)
+        return points_.front().qps;
+    if (t >= points_.back().t)
+        return points_.back().qps;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].t) {
+            const auto &a = points_[i - 1];
+            const auto &b = points_[i];
+            const double frac = (t - a.t) / (b.t - a.t);
+            return a.qps + frac * (b.qps - a.qps);
+        }
+    }
+    return points_.back().qps;
+}
+
+LoadGenerator::LoadGenerator(Simulator *sim, MultiStageApp *app,
+                             const WorkloadModel *model,
+                             LoadProfile profile, std::uint64_t seed,
+                             int refMhz)
+    : sim_(sim), app_(app), model_(*model), profile_(std::move(profile)),
+      arrivalRng_(seed), demandRng_(seed ^ 0xabcdef1234567890ull),
+      refMhz_(refMhz)
+{
+}
+
+void
+LoadGenerator::start(SimTime until)
+{
+    until_ = until;
+    scheduleNext();
+}
+
+void
+LoadGenerator::scheduleNext()
+{
+    // Thinning (Lewis & Shedler): draw from the homogeneous bound
+    // process at maxRate, accept with probability lambda(t)/maxRate.
+    const double bound = profile_.maxRate();
+    if (bound <= 0)
+        return;
+    SimTime t = sim_->now();
+    while (true) {
+        t += SimTime::sec(arrivalRng_.exponential(1.0 / bound));
+        if (t >= until_)
+            return;
+        if (arrivalRng_.uniform(0.0, 1.0) <=
+            profile_.rateAt(t) / bound)
+            break;
+    }
+
+    sim_->scheduleAt(t, [this]() {
+        auto query = std::make_shared<Query>(
+            nextQueryId_++, sim_->now(),
+            model_.sampleDemands(demandRng_, refMhz_));
+        ++generated_;
+        app_->submit(std::move(query));
+        scheduleNext();
+    });
+}
+
+} // namespace pc

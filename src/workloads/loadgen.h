@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Open-loop load generation.
+ *
+ * The paper's load generator "submits user queries following Poisson
+ * distribution" (§8.1) at three representative levels, plus the
+ * time-varying load that drives the Fig. 11 runtime-behaviour study.
+ * LoadProfile describes λ(t); LoadGenerator draws a (possibly
+ * non-homogeneous, via thinning) Poisson arrival process from it.
+ */
+
+#ifndef PC_WORKLOADS_LOADGEN_H
+#define PC_WORKLOADS_LOADGEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "workloads/profiles.h"
+
+namespace pc {
+
+/** The three representative levels of §8.1. */
+enum class LoadLevel { Low, Medium, High };
+
+const char *toString(LoadLevel level);
+
+/**
+ * Arrival-rate curve λ(t) in queries per second.
+ * Piecewise-linear between control points; constant outside them.
+ */
+class LoadProfile
+{
+  public:
+    struct Point
+    {
+        SimTime t;
+        double qps;
+    };
+
+    /** Constant rate. */
+    static LoadProfile constant(double qps);
+
+    /** Piecewise-linear through the given (time, qps) points. */
+    static LoadProfile piecewise(std::vector<Point> points);
+
+    /**
+     * The paper's representative levels, scaled to a workload: rates
+     * are fractions of the single-instance bottleneck capacity at the
+     * ladder's middle frequency (the Table 2 baseline setup).
+     *   Low = 0.35x, Medium = 0.75x, High = 1.30x.
+     */
+    static LoadProfile forLevel(const WorkloadModel &model,
+                                LoadLevel level, int midMhz);
+
+    /** Load multiplier for a level (exposed for reporting). */
+    static double levelFraction(LoadLevel level);
+
+    /**
+     * The Fig. 11 scenario: high load, a low-load valley between 175 s
+     * and 275 s, then rising load again — expressed as fractions of the
+     * mid-frequency bottleneck capacity.
+     */
+    static LoadProfile fig11(const WorkloadModel &model, int midMhz);
+
+    /** A smooth day-like wave between @p loQps and @p hiQps. */
+    static LoadProfile diurnal(double loQps, double hiQps,
+                               SimTime period);
+
+    double rateAt(SimTime t) const;
+
+    /** Upper bound of λ(t) used by the thinning sampler. */
+    double maxRate() const { return maxRate_; }
+
+  private:
+    LoadProfile() = default;
+
+    std::vector<Point> points_;
+    // Sinusoidal mode (diurnal); used when period_ > 0.
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    SimTime period_;
+    double maxRate_ = 0.0;
+};
+
+class LoadGenerator
+{
+  public:
+    /**
+     * @param model copied into the generator, so a temporary is safe.
+     * @param refMhz the ladder reference frequency demands are quoted
+     *        at (the minimum ladder frequency).
+     */
+    LoadGenerator(Simulator *sim, MultiStageApp *app,
+                  const WorkloadModel *model, LoadProfile profile,
+                  std::uint64_t seed, int refMhz);
+
+    /** Begin submitting queries from now until @p until. */
+    void start(SimTime until);
+
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    void scheduleNext();
+
+    Simulator *sim_;
+    MultiStageApp *app_;
+    WorkloadModel model_;
+    LoadProfile profile_;
+    Rng arrivalRng_;
+    Rng demandRng_;
+    int refMhz_;
+    SimTime until_;
+    std::uint64_t generated_ = 0;
+    std::int64_t nextQueryId_ = 1;
+};
+
+} // namespace pc
+
+#endif // PC_WORKLOADS_LOADGEN_H

@@ -1,0 +1,89 @@
+#include "workloads/profiler.h"
+
+#include <vector>
+
+#include "app/service_instance.h"
+#include "app/stage.h"
+#include "common/logging.h"
+#include "hal/chip.h"
+#include "sim/simulator.h"
+#include "stats/streaming.h"
+
+namespace pc {
+
+OfflineProfiler::OfflineProfiler(int queriesPerLevel)
+    : queriesPerLevel_(queriesPerLevel)
+{
+    if (queriesPerLevel_ <= 0)
+        fatal("profiler batch size must be positive");
+}
+
+SpeedupTable
+OfflineProfiler::profileStage(const StageProfile &stage,
+                              const PowerModel &model,
+                              std::uint64_t seed) const
+{
+    const auto &ladder = model.ladder();
+    const int refMhz = ladder.freqAt(0).value();
+
+    // One shared batch of demands: measuring the same queries at every
+    // level makes the normalized curve exactly paired.
+    Rng rng(seed);
+    std::vector<WorkDemand> batch;
+    batch.reserve(static_cast<std::size_t>(queriesPerLevel_));
+    for (int i = 0; i < queriesPerLevel_; ++i)
+        batch.push_back(stage.sample(rng, refMhz));
+
+    std::vector<double> meanSec;
+    for (int lvl = 0; lvl < ladder.numLevels(); ++lvl) {
+        // A throwaway single-core rig per level: the batch runs through
+        // a real ServiceInstance so profiling and production share the
+        // same execution path.
+        Simulator sim;
+        CmpChip chip(&sim, &model, 1);
+        const auto coreId = chip.acquireCore(lvl);
+        if (!coreId)
+            panic("profiler could not acquire its core");
+
+        StreamingStats serving;
+        ServiceInstance inst(
+            Stage::nextInstanceId(), stage.name + "#prof", 0, &sim, &chip,
+            *coreId, [&serving](QueryPtr q) {
+                serving.add(q->hops().back().serving().toSec());
+            });
+
+        for (int i = 0; i < queriesPerLevel_; ++i) {
+            inst.enqueue(std::make_shared<Query>(
+                i + 1, sim.now(),
+                std::vector<WorkDemand>{
+                    batch[static_cast<std::size_t>(i)]}));
+        }
+        sim.run();
+        if (serving.count() !=
+            static_cast<std::uint64_t>(queriesPerLevel_))
+            panic("profiler lost queries at level %d", lvl);
+        meanSec.push_back(serving.mean());
+    }
+
+    std::vector<double> normalized;
+    normalized.reserve(meanSec.size());
+    for (double m : meanSec)
+        normalized.push_back(m / meanSec.front());
+    normalized.front() = 1.0;
+    return SpeedupTable(std::move(normalized));
+}
+
+SpeedupBook
+OfflineProfiler::profileWorkload(const WorkloadModel &workload,
+                                 const PowerModel &model,
+                                 std::uint64_t seed) const
+{
+    SpeedupBook book;
+    for (int s = 0; s < workload.numStages(); ++s) {
+        book.setStage(s, profileStage(workload.stage(s), model,
+                                      seed + static_cast<std::uint64_t>(s)));
+    }
+    return book;
+}
+
+} // namespace pc

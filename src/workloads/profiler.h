@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Offline frequency/speedup profiling (paper §5.2).
+ *
+ * "We use offline profiling to acquire the latency reduction of each
+ * service at different frequencies, which is then used during runtime."
+ * The profiler runs each stage solo: a dedicated single-instance,
+ * single-stage pipeline on a throwaway simulator serves a fixed batch
+ * of sampled queries at every ladder level; mean measured service times,
+ * normalized to the slowest level, form the SpeedupTable Algorithm 1
+ * consumes as r(level).
+ */
+
+#ifndef PC_WORKLOADS_PROFILER_H
+#define PC_WORKLOADS_PROFILER_H
+
+#include <cstdint>
+
+#include "core/speedup.h"
+#include "power/power_model.h"
+#include "workloads/profiles.h"
+
+namespace pc {
+
+class OfflineProfiler
+{
+  public:
+    /**
+     * @param queriesPerLevel batch size measured per frequency level.
+     */
+    explicit OfflineProfiler(int queriesPerLevel = 200);
+
+    /** Profile one stage over the full ladder. */
+    SpeedupTable profileStage(const StageProfile &stage,
+                              const PowerModel &model,
+                              std::uint64_t seed) const;
+
+    /** Profile every stage of a workload. */
+    SpeedupBook profileWorkload(const WorkloadModel &workload,
+                                const PowerModel &model,
+                                std::uint64_t seed) const;
+
+  private:
+    int queriesPerLevel_;
+};
+
+} // namespace pc
+
+#endif // PC_WORKLOADS_PROFILER_H

@@ -1,0 +1,144 @@
+/** @file Unit tests for the CSV artifact writer. */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/artifacts.h"
+
+namespace pc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArtifactsTest : public testing::Test
+{
+  protected:
+    ArtifactsTest()
+        : dir(fs::temp_directory_path() /
+              ("pc-artifacts-" +
+               std::to_string(::getpid()) + "-" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name()))
+    {
+    }
+
+    ~ArtifactsTest() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+
+    static RunResult
+    sampleResult()
+    {
+        RunResult r;
+        r.scenario = "sirius/high/PowerChief";
+        r.submitted = 100;
+        r.completed = 90;
+        r.avgLatencySec = 1.5;
+        r.p99LatencySec = 4.0;
+        r.maxLatencySec = 9.0;
+        r.avgPowerWatts = 12.3;
+        r.energyJoules = 1234.5;
+        r.latencySeries.append(SimTime::sec(1), 1.0);
+        r.powerSeries.append(SimTime::sec(1), 12.0);
+        r.stageInstanceCounts.emplace_back("instances");
+        r.stageInstanceCounts[0].append(SimTime::sec(1), 3);
+        TimeSeries freq("QA_1");
+        freq.append(SimTime::sec(1), 1.8);
+        r.instanceFrequencyGHz.emplace("QA_1", std::move(freq));
+        return r;
+    }
+
+    static std::string
+    slurp(const fs::path &p)
+    {
+        std::ifstream in(p);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }
+
+    fs::path dir;
+};
+
+TEST_F(ArtifactsTest, SanitizeReplacesHostileCharacters)
+{
+    EXPECT_EQ(ArtifactWriter::sanitize("sirius/high/PowerChief"),
+              "sirius_high_PowerChief");
+    EXPECT_EQ(ArtifactWriter::sanitize("a b.c-d_e"), "a_b.c-d_e");
+    EXPECT_EQ(ArtifactWriter::sanitize(""), "run");
+}
+
+TEST_F(ArtifactsTest, CreatesRootDirectory)
+{
+    ArtifactWriter writer(dir.string());
+    EXPECT_TRUE(fs::exists(dir));
+    EXPECT_EQ(writer.root(), dir.string());
+}
+
+TEST_F(ArtifactsTest, WriteRunEmitsAllFiles)
+{
+    ArtifactWriter writer(dir.string());
+    const std::string runDir = writer.writeRun(sampleResult());
+    EXPECT_TRUE(fs::exists(fs::path(runDir) / "summary.csv"));
+    EXPECT_TRUE(fs::exists(fs::path(runDir) / "latency.csv"));
+    EXPECT_TRUE(fs::exists(fs::path(runDir) / "power.csv"));
+    EXPECT_TRUE(
+        fs::exists(fs::path(runDir) / "instances_stage0.csv"));
+    EXPECT_TRUE(fs::exists(fs::path(runDir) / "freq_QA_1.csv"));
+}
+
+TEST_F(ArtifactsTest, SummaryContentIsCorrect)
+{
+    ArtifactWriter writer(dir.string());
+    const std::string runDir = writer.writeRun(sampleResult());
+    const std::string content =
+        slurp(fs::path(runDir) / "summary.csv");
+    EXPECT_NE(content.find("sirius/high/PowerChief"),
+              std::string::npos);
+    EXPECT_NE(content.find("avg_latency_s"), std::string::npos);
+    EXPECT_NE(content.find("1.5"), std::string::npos);
+}
+
+TEST_F(ArtifactsTest, SeriesFilesHaveHeaderAndRows)
+{
+    ArtifactWriter writer(dir.string());
+    const std::string runDir = writer.writeRun(sampleResult());
+    const std::string content =
+        slurp(fs::path(runDir) / "power.csv");
+    EXPECT_EQ(content, "time_sec,value\n1,12\n");
+}
+
+TEST_F(ArtifactsTest, EmptySeriesAreOmitted)
+{
+    ArtifactWriter writer(dir.string());
+    RunResult bare;
+    bare.scenario = "bare";
+    const std::string runDir = writer.writeRun(bare);
+    EXPECT_TRUE(fs::exists(fs::path(runDir) / "summary.csv"));
+    EXPECT_FALSE(fs::exists(fs::path(runDir) / "latency.csv"));
+    EXPECT_FALSE(fs::exists(fs::path(runDir) / "power.csv"));
+}
+
+TEST_F(ArtifactsTest, CrossRunSummary)
+{
+    ArtifactWriter writer(dir.string());
+    auto a = sampleResult();
+    auto b = sampleResult();
+    b.scenario = "other";
+    writer.writeSummary({a, b});
+    const std::string content = slurp(dir / "summary.csv");
+    EXPECT_NE(content.find("sirius/high/PowerChief"),
+              std::string::npos);
+    EXPECT_NE(content.find("other"), std::string::npos);
+    // Header + two rows.
+    EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 3);
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,257 @@
+/** @file Unit tests for the boosting decision engine (Algorithm 1). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/boost_engine.h"
+#include "app/pipeline.h"
+
+namespace pc {
+namespace {
+
+/** Compute-bound normalized-execution-time table: r(f) = 1200/f. */
+SpeedupTable
+computeBoundTable(const FrequencyLadder &ladder)
+{
+    std::vector<double> r;
+    for (const MHz f : ladder.frequencies())
+        r.push_back(1200.0 / f.value());
+    return SpeedupTable(std::move(r));
+}
+
+class EngineTest : public testing::Test
+{
+  protected:
+    EngineTest()
+        : model(PowerModel::haswell()), chip(&sim, &model, 8), bus(&sim),
+          cpufreq(&chip)
+    {
+        std::vector<StageSpec> specs = {
+            {"S", 0, 0, DispatchPolicy::JoinShortestQueue}};
+        app = std::make_unique<MultiStageApp>(&sim, &chip, &bus, "app",
+                                              specs);
+        book.setStage(0, computeBoundTable(model.ladder()));
+    }
+
+    void
+    makeBudget(double capWatts)
+    {
+        budget = std::make_unique<PowerBudget>(Watts(capWatts), &model);
+        realloc = std::make_unique<PowerReallocator>(budget.get(),
+                                                     &cpufreq);
+        engine = std::make_unique<BoostingDecisionEngine>(
+            budget.get(), realloc.get(), &book);
+    }
+
+    InstanceSnapshot
+    addInstance(int level, double metric, std::size_t queue = 0,
+                double q = 0.0, double s = 0.0)
+    {
+        auto *inst = app->stage(0).launchInstance(level);
+        EXPECT_TRUE(budget->allocate(inst->id(), level));
+        InstanceSnapshot snap;
+        snap.instanceId = inst->id();
+        snap.stageIndex = 0;
+        snap.coreId = inst->coreId();
+        snap.level = level;
+        snap.metric = metric;
+        snap.queueLength = queue;
+        snap.avgQueuingSec = q;
+        snap.avgServingSec = s;
+        return snap;
+    }
+
+    Simulator sim;
+    PowerModel model;
+    CmpChip chip;
+    MessageBus bus;
+    CpufreqDriver cpufreq;
+    std::unique_ptr<MultiStageApp> app;
+    SpeedupBook book;
+    std::unique_ptr<PowerBudget> budget;
+    std::unique_ptr<PowerReallocator> realloc;
+    std::unique_ptr<BoostingDecisionEngine> engine;
+};
+
+TEST_F(EngineTest, EquationTwoExactValue)
+{
+    InstanceSnapshot bn;
+    bn.queueLength = 5;
+    bn.avgQueuingSec = 2.0;
+    bn.avgServingSec = 1.0;
+    // (5-1)*(2+1)/2 + 1 = 7.
+    EXPECT_DOUBLE_EQ(BoostingDecisionEngine::expectedInstanceDelay(bn),
+                     7.0);
+}
+
+TEST_F(EngineTest, EquationThreeExactValue)
+{
+    makeBudget(1000.0);
+    InstanceSnapshot bn;
+    bn.stageIndex = 0;
+    bn.level = 0;
+    bn.queueLength = 5;
+    bn.avgQueuingSec = 2.0;
+    bn.avgServingSec = 1.0;
+    // r(6)/r(0) = (1200/1800)/(1200/1200) = 2/3.
+    // (2/3) * ((5-1)*3 + 1) = 26/3.
+    EXPECT_NEAR(engine->expectedFrequencyDelay(bn, 6), 26.0 / 3.0,
+                1e-12);
+}
+
+TEST_F(EngineTest, AffordableLevelMatchesModel)
+{
+    makeBudget(1000.0);
+    InstanceSnapshot bn;
+    bn.level = 0;
+    // Spending exactly P(6)-P(0) buys level 6.
+    const Watts spend = model.deltaWatts(0, 6);
+    EXPECT_EQ(engine->affordableLevel(bn, spend), 6);
+    // A hair less only buys level 5.
+    EXPECT_EQ(engine->affordableLevel(bn, spend - Watts(1e-6)), 5);
+    EXPECT_EQ(engine->affordableLevel(bn, Watts(0.0)), 0);
+    EXPECT_EQ(engine->affordableLevel(bn, Watts(1000.0)), 12);
+}
+
+TEST_F(EngineTest, EmptyRankingReturnsNone)
+{
+    makeBudget(1000.0);
+    EXPECT_EQ(engine->selectBoosting({}).kind, BoostKind::None);
+}
+
+TEST_F(EngineTest, LongQueueWithHeadroomPrefersInstance)
+{
+    makeBudget(1000.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(0, 5.0, /*queue=*/5, /*q=*/2.0,
+                                 /*s=*/1.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    // Ti = 7; equivalent-power frequency boost only reaches a level
+    // whose r-ratio leaves Tf > 7 (compute-bound table).
+    EXPECT_EQ(d.kind, BoostKind::Instance);
+    EXPECT_EQ(d.targetInstance, ranked.back().instanceId);
+    EXPECT_LT(d.expectedInstanceSec, d.expectedFrequencySec);
+    EXPECT_EQ(d.toLevel, 0); // clone inherits the bottleneck's level
+}
+
+TEST_F(EngineTest, ShortQueuePrefersFrequency)
+{
+    makeBudget(1000.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(0, 5.0, /*queue=*/1, /*q=*/0.1,
+                                 /*s=*/2.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    EXPECT_EQ(d.kind, BoostKind::Frequency);
+    EXPECT_GT(d.toLevel, 0);
+}
+
+TEST_F(EngineTest, QueueExactlyTwoStillPrefersFrequency)
+{
+    makeBudget(1000.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(0, 5.0, /*queue=*/2, /*q=*/1.0,
+                                 /*s=*/1.0));
+    EXPECT_EQ(engine->selectBoosting(ranked).kind,
+              BoostKind::Frequency);
+}
+
+TEST_F(EngineTest, SteepSpeedupMakesFrequencyWinLongQueue)
+{
+    // A table where the equivalent-power level already halves the
+    // execution time: Tf < Ti even for a long queue.
+    std::vector<double> r = {1.0};
+    for (int lvl = 1; lvl < model.ladder().numLevels(); ++lvl)
+        r.push_back(0.3);
+    book.setStage(0, SpeedupTable(std::move(r)));
+    makeBudget(1000.0);
+
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(0, 5.0, /*queue=*/3, /*q=*/0.1,
+                                 /*s=*/2.0));
+    // Ti = (3-1)*2.1/2 + 2 = 4.1; Tf = 0.3*((3-1)*2.1+2) = 1.86.
+    const BoostDecision d = engine->selectBoosting(ranked);
+    EXPECT_EQ(d.kind, BoostKind::Frequency);
+    EXPECT_NEAR(d.expectedInstanceSec, 4.1, 1e-9);
+    EXPECT_NEAR(d.expectedFrequencySec, 1.86, 1e-9);
+}
+
+TEST_F(EngineTest, RecyclesDonorsToFundInstanceCost)
+{
+    // Cap fits two mid-level instances exactly; funding a clone of the
+    // bottleneck requires recycling the donor.
+    makeBudget(2 * model.activeWatts(6).value() + 2.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(6, 0.1)); // donor
+    ranked.push_back(addInstance(6, 9.0, /*queue=*/6, /*q=*/1.0,
+                                 /*s=*/1.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    EXPECT_GT(d.recycledWatts.value(), 0.0);
+    // Donor stepped down; bottleneck untouched by recycling.
+    EXPECT_LT(cpufreq.getLevel(ranked[0].coreId), 6);
+    EXPECT_EQ(cpufreq.getLevel(ranked[1].coreId), 6);
+    EXPECT_EQ(d.kind, BoostKind::Instance);
+}
+
+TEST_F(EngineTest, FallsBackToFrequencyWhenCloneUnaffordable)
+{
+    // Single instance at level 6, tight cap: no donors, clone at P(6)
+    // cannot be funded, so spend the (small) headroom on DVFS.
+    makeBudget(model.activeWatts(6).value() + 1.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(6, 5.0, /*queue=*/8, /*q=*/1.0,
+                                 /*s=*/1.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    EXPECT_EQ(d.kind, BoostKind::Frequency);
+    EXPECT_GT(d.toLevel, 6);
+    EXPECT_LE(model.deltaWatts(6, d.toLevel).value(), 1.0 + 1e-9);
+}
+
+TEST_F(EngineTest, NoneWhenStuckAtHeadroomZeroAndNoDonors)
+{
+    makeBudget(model.activeWatts(6).value());
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(6, 5.0, /*queue=*/8, /*q=*/1.0,
+                                 /*s=*/1.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    EXPECT_EQ(d.kind, BoostKind::None);
+}
+
+TEST_F(EngineTest, BottleneckAtMaxLevelLongQueueStillClones)
+{
+    makeBudget(1000.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(12, 5.0, /*queue=*/8, /*q=*/1.0,
+                                 /*s=*/1.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    // Frequency boosting cannot improve level 12; Ti < Tf = unchanged.
+    EXPECT_EQ(d.kind, BoostKind::Instance);
+}
+
+TEST_F(EngineTest, DecisionRecordsTarget)
+{
+    makeBudget(1000.0);
+    SortedSnapshots ranked;
+    ranked.push_back(addInstance(0, 0.5));
+    ranked.push_back(addInstance(3, 7.0, 4, 1.0, 1.0));
+    const BoostDecision d = engine->selectBoosting(ranked);
+    EXPECT_EQ(d.targetInstance, ranked.back().instanceId);
+    EXPECT_EQ(d.stageIndex, 0);
+    EXPECT_EQ(d.fromLevel, 3);
+}
+
+TEST_F(EngineTest, ToStringOfKinds)
+{
+    EXPECT_STREQ(toString(BoostKind::None), "none");
+    EXPECT_STREQ(toString(BoostKind::Frequency), "frequency");
+    EXPECT_STREQ(toString(BoostKind::Instance), "instance");
+}
+
+TEST(EngineDeath, NullDependenciesAreFatal)
+{
+    EXPECT_EXIT(BoostingDecisionEngine(nullptr, nullptr, nullptr),
+                testing::ExitedWithCode(1), "requires");
+}
+
+} // namespace
+} // namespace pc

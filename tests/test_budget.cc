@@ -1,0 +1,155 @@
+/** @file Unit tests for PowerBudget accounting. */
+
+#include <gtest/gtest.h>
+
+#include "power/budget.h"
+
+namespace pc {
+namespace {
+
+class BudgetTest : public testing::Test
+{
+  protected:
+    BudgetTest() : model(PowerModel::haswell()), budget(Watts(13.56), &model)
+    {
+    }
+
+    PowerModel model;
+    PowerBudget budget;
+};
+
+TEST_F(BudgetTest, StartsEmpty)
+{
+    EXPECT_DOUBLE_EQ(budget.allocated().value(), 0.0);
+    EXPECT_DOUBLE_EQ(budget.headroom().value(), 13.56);
+    EXPECT_EQ(budget.numConsumers(), 0u);
+}
+
+TEST_F(BudgetTest, AllocateReservesModelPower)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    EXPECT_NEAR(budget.allocated().value(), 4.52, 1e-3);
+    EXPECT_EQ(budget.levelOf(1), 6);
+    EXPECT_EQ(budget.numConsumers(), 1u);
+}
+
+TEST_F(BudgetTest, ThreeMidInstancesExactlyFit)
+{
+    EXPECT_TRUE(budget.allocate(1, 6));
+    EXPECT_TRUE(budget.allocate(2, 6));
+    EXPECT_TRUE(budget.allocate(3, 6));
+    EXPECT_NEAR(budget.headroom().value(), 0.0, 1e-3);
+    // A fourth instance at any level no longer fits.
+    EXPECT_FALSE(budget.allocate(4, 0));
+}
+
+TEST_F(BudgetTest, RejectedAllocationLeavesStateUntouched)
+{
+    ASSERT_TRUE(budget.allocate(1, 12));
+    const double before = budget.allocated().value();
+    EXPECT_FALSE(budget.allocate(2, 12));
+    EXPECT_DOUBLE_EQ(budget.allocated().value(), before);
+    EXPECT_EQ(budget.levelOf(2), -1);
+}
+
+TEST_F(BudgetTest, UpdateLevelUp)
+{
+    ASSERT_TRUE(budget.allocate(1, 0));
+    ASSERT_TRUE(budget.updateLevel(1, 6));
+    EXPECT_EQ(budget.levelOf(1), 6);
+    EXPECT_NEAR(budget.allocated().value(), 4.52, 1e-3);
+}
+
+TEST_F(BudgetTest, UpdateLevelDownAlwaysSucceeds)
+{
+    ASSERT_TRUE(budget.allocate(1, 12));
+    EXPECT_TRUE(budget.updateLevel(1, 0));
+    EXPECT_NEAR(budget.allocated().value(),
+                model.activeWatts(0).value(), 1e-9);
+}
+
+TEST_F(BudgetTest, UpdateLevelUpRejectedWhenOverCap)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    ASSERT_TRUE(budget.allocate(2, 6));
+    ASSERT_TRUE(budget.allocate(3, 6));
+    EXPECT_FALSE(budget.updateLevel(1, 7));
+    EXPECT_EQ(budget.levelOf(1), 6);
+}
+
+TEST_F(BudgetTest, ReleaseReturnsPower)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    ASSERT_TRUE(budget.allocate(2, 6));
+    budget.release(1);
+    EXPECT_EQ(budget.levelOf(1), -1);
+    EXPECT_NEAR(budget.allocated().value(), 4.52, 1e-3);
+    EXPECT_EQ(budget.numConsumers(), 1u);
+}
+
+TEST_F(BudgetTest, CanAffordRespectsCap)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    EXPECT_TRUE(budget.canAfford(Watts(9.0)));
+    EXPECT_FALSE(budget.canAfford(Watts(9.1)));
+}
+
+TEST_F(BudgetTest, AllocationsSumExactly)
+{
+    // Property: allocated == sum of per-consumer model power after any
+    // sequence of operations.
+    ASSERT_TRUE(budget.allocate(1, 0));
+    ASSERT_TRUE(budget.allocate(2, 3));
+    ASSERT_TRUE(budget.allocate(3, 5));
+    ASSERT_TRUE(budget.updateLevel(2, 1));
+    budget.release(3);
+    const double expect = model.activeWatts(0).value() +
+        model.activeWatts(1).value();
+    EXPECT_NEAR(budget.allocated().value(), expect, 1e-9);
+}
+
+TEST_F(BudgetTest, ReuseIdAfterRelease)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    budget.release(1);
+    EXPECT_TRUE(budget.allocate(1, 3));
+    EXPECT_EQ(budget.levelOf(1), 3);
+}
+
+TEST(BudgetDeath, DoubleAllocatePanics)
+{
+    const PowerModel model = PowerModel::haswell();
+    PowerBudget budget(Watts(100.0), &model);
+    ASSERT_TRUE(budget.allocate(1, 0));
+    EXPECT_DEATH((void)budget.allocate(1, 0), "already allocated");
+}
+
+TEST(BudgetDeath, ReleaseUnknownPanics)
+{
+    const PowerModel model = PowerModel::haswell();
+    PowerBudget budget(Watts(100.0), &model);
+    EXPECT_DEATH(budget.release(42), "unknown");
+}
+
+TEST(BudgetDeath, UpdateUnknownPanics)
+{
+    const PowerModel model = PowerModel::haswell();
+    PowerBudget budget(Watts(100.0), &model);
+    EXPECT_DEATH((void)budget.updateLevel(42, 3), "unknown");
+}
+
+TEST(BudgetDeath, NonPositiveCapIsFatal)
+{
+    const PowerModel model = PowerModel::haswell();
+    EXPECT_EXIT(PowerBudget(Watts(0.0), &model),
+                testing::ExitedWithCode(1), "budget");
+}
+
+TEST(BudgetDeath, NullModelIsFatal)
+{
+    EXPECT_EXIT(PowerBudget(Watts(1.0), nullptr),
+                testing::ExitedWithCode(1), "model");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,204 @@
+/** @file Unit tests for typed RPC channels and the node agent. */
+
+#include <gtest/gtest.h>
+
+#include "core/node_agent.h"
+#include "rpc/channel.h"
+
+namespace pc {
+namespace {
+
+struct EchoReq
+{
+    int value = 0;
+};
+
+struct EchoResp
+{
+    int value = 0;
+};
+
+class ChannelTest : public testing::Test
+{
+  protected:
+    ChannelTest() : bus(&sim) {}
+
+    Simulator sim;
+    MessageBus bus;
+};
+
+TEST_F(ChannelTest, CallReturnsResponse)
+{
+    RpcServer<EchoReq, EchoResp> server(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value * 2};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client");
+
+    int got = 0;
+    RpcStatus status = RpcStatus::Timeout;
+    client.call(server.endpoint(), EchoReq{21},
+                [&](RpcStatus s, const EchoResp *resp) {
+                    status = s;
+                    got = resp ? resp->value : -1;
+                });
+    EXPECT_EQ(client.inFlight(), 1u);
+    sim.run();
+    EXPECT_EQ(status, RpcStatus::Ok);
+    EXPECT_EQ(got, 42);
+    EXPECT_EQ(client.inFlight(), 0u);
+    EXPECT_EQ(server.served(), 1u);
+}
+
+TEST_F(ChannelTest, ConcurrentCallsCorrelate)
+{
+    RpcServer<EchoReq, EchoResp> server(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value + 100};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client");
+
+    std::vector<int> got;
+    for (int i = 0; i < 5; ++i) {
+        client.call(server.endpoint(), EchoReq{i},
+                    [&got](RpcStatus, const EchoResp *resp) {
+                        got.push_back(resp->value);
+                    });
+    }
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{100, 101, 102, 103, 104}));
+}
+
+TEST_F(ChannelTest, TimeoutWhenServerGone)
+{
+    auto server = std::make_unique<RpcServer<EchoReq, EchoResp>>(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client",
+                                        SimTime::sec(1));
+    const EndpointId target = server->endpoint();
+    server.reset(); // unregister before the request arrives
+
+    RpcStatus status = RpcStatus::Ok;
+    bool respWasNull = false;
+    client.call(target, EchoReq{1},
+                [&](RpcStatus s, const EchoResp *resp) {
+                    status = s;
+                    respWasNull = (resp == nullptr);
+                });
+    sim.run();
+    EXPECT_EQ(status, RpcStatus::Timeout);
+    EXPECT_TRUE(respWasNull);
+    EXPECT_EQ(client.inFlight(), 0u);
+}
+
+TEST_F(ChannelTest, ResponseBeforeTimeoutCancelsIt)
+{
+    RpcServer<EchoReq, EchoResp> server(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client",
+                                        SimTime::sec(5));
+    int calls = 0;
+    client.call(server.endpoint(), EchoReq{1},
+                [&](RpcStatus, const EchoResp *) { ++calls; });
+    sim.runUntil(SimTime::sec(60));
+    EXPECT_EQ(calls, 1); // continuation ran exactly once
+}
+
+TEST_F(ChannelTest, DelayedBusStillCorrelates)
+{
+    bus.setDeliveryDelay(SimTime::msec(10));
+    RpcServer<EchoReq, EchoResp> server(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value * 3};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client",
+                                        SimTime::sec(1));
+    int got = 0;
+    SimTime when;
+    client.call(server.endpoint(), EchoReq{5},
+                [&](RpcStatus, const EchoResp *resp) {
+                    got = resp->value;
+                    when = sim.now();
+                });
+    sim.run();
+    EXPECT_EQ(got, 15);
+    EXPECT_EQ(when, SimTime::msec(20)); // two one-way hops
+}
+
+class AgentTest : public testing::Test
+{
+  protected:
+    AgentTest()
+        : model(PowerModel::haswell()), chip(&sim, &model, 4), bus(&sim),
+          agent(&sim, &bus, &chip, "node0"),
+          control(&sim, &bus, "cc", SimTime::sec(1))
+    {
+        coreId = *chip.acquireCore(0);
+        EXPECT_TRUE(control.connect("node0", bus));
+    }
+
+    Simulator sim;
+    PowerModel model;
+    CmpChip chip;
+    MessageBus bus;
+    NodeAgent agent;
+    RemoteChipControl control;
+    int coreId = -1;
+};
+
+TEST_F(AgentTest, RemoteFrequencyChangeApplies)
+{
+    RpcStatus status = RpcStatus::Timeout;
+    int mhz = 0;
+    control.setFrequency(coreId, MHz(2100),
+                         [&](RpcStatus s, int m) {
+                             status = s;
+                             mhz = m;
+                         });
+    sim.run();
+    EXPECT_EQ(status, RpcStatus::Ok);
+    EXPECT_EQ(mhz, 2100);
+    EXPECT_EQ(chip.core(coreId).frequency(), MHz(2100));
+    EXPECT_EQ(agent.requestsServed(), 1u);
+}
+
+TEST_F(AgentTest, OffLadderFrequencyRejectedGracefully)
+{
+    int mhz = -1;
+    control.setFrequency(coreId, MHz(1234),
+                         [&](RpcStatus, int m) { mhz = m; });
+    sim.run();
+    EXPECT_EQ(mhz, 1200); // unchanged operating point reported back
+    EXPECT_EQ(chip.core(coreId).frequency(), MHz(1200));
+}
+
+TEST_F(AgentTest, RemotePowerReadout)
+{
+    chip.core(coreId).setBusy(true);
+    sim.runUntil(SimTime::sec(10));
+    double joules = 0.0;
+    control.readPower([&](RpcStatus, double j) { joules = j; });
+    sim.run();
+    EXPECT_NEAR(joules, model.activeWatts(0).value() * 10.0, 0.1);
+}
+
+TEST_F(AgentTest, ConnectFailsForUnknownAgent)
+{
+    RemoteChipControl other(&sim, &bus, "cc2", SimTime::sec(1));
+    EXPECT_FALSE(other.connect("node-missing", bus));
+}
+
+TEST_F(AgentTest, UnconnectedControlPanics)
+{
+    RemoteChipControl other(&sim, &bus, "cc3", SimTime::sec(1));
+    EXPECT_DEATH(other.setFrequency(0, MHz(1200),
+                                    [](RpcStatus, int) {}),
+                 "connect");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,189 @@
+/** @file Tests for the JSON scenario/workload config loader. */
+
+#include <gtest/gtest.h>
+
+#include "exp/config_loader.h"
+#include "exp/runner.h"
+
+namespace pc {
+namespace {
+
+constexpr const char *kFullConfig = R"({
+  "workload": {
+    "name": "my-app",
+    "stages": [
+      {"name": "FRONT", "mean_sec": 0.1, "cv": 0.3,
+       "compute_fraction": 0.9},
+      {"name": "RANK", "mean_sec": 0.6, "cv": 0.5,
+       "compute_fraction": 0.8, "participation": 0.75}
+    ]
+  },
+  "scenario": {
+    "name": "my-run",
+    "policy": "powerchief",
+    "budget_watts": 10.0,
+    "qps": 1.0,
+    "duration_sec": 120,
+    "warmup_sec": 10,
+    "adjust_interval_sec": 15,
+    "seed": 7
+  }
+})";
+
+TEST(ConfigLoader, FullCustomWorkload)
+{
+    const auto result = scenarioFromJsonText(kFullConfig);
+    ASSERT_TRUE(result.ok()) << result.error;
+    const Scenario &sc = *result.scenario;
+    EXPECT_EQ(sc.name, "my-run");
+    EXPECT_EQ(sc.workload.name(), "my-app");
+    ASSERT_EQ(sc.workload.numStages(), 2);
+    EXPECT_EQ(sc.workload.stage(0).name, "FRONT");
+    EXPECT_DOUBLE_EQ(sc.workload.stage(1).meanServiceSec, 0.6);
+    EXPECT_DOUBLE_EQ(sc.workload.stage(1).participation, 0.75);
+    EXPECT_EQ(sc.policy, PolicyKind::PowerChief);
+    EXPECT_DOUBLE_EQ(sc.powerBudget.value(), 10.0);
+    EXPECT_EQ(sc.duration, SimTime::sec(120));
+    EXPECT_EQ(sc.control.adjustInterval, SimTime::sec(15));
+    EXPECT_EQ(sc.seed, 7u);
+    EXPECT_NEAR(sc.load.rateAt(SimTime::zero()), 1.0, 1e-9);
+}
+
+TEST(ConfigLoader, LoadedScenarioActuallyRuns)
+{
+    const auto result = scenarioFromJsonText(kFullConfig);
+    ASSERT_TRUE(result.ok());
+    const RunResult run = ExperimentRunner().run(*result.scenario);
+    EXPECT_GT(run.completed, 50u);
+    EXPECT_GT(run.avgLatencySec, 0.0);
+}
+
+TEST(ConfigLoader, BuiltinWorkloadShorthand)
+{
+    const auto result = scenarioFromJsonText(
+        R"({"workload": "nlp", "scenario": {"policy": "freq"}})");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.scenario->workload.name(), "nlp");
+    EXPECT_EQ(result.scenario->policy, PolicyKind::FreqBoost);
+}
+
+TEST(ConfigLoader, DefaultsApplyWithoutScenario)
+{
+    const auto result =
+        scenarioFromJsonText(R"({"workload": "sirius"})");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.scenario->policy, PolicyKind::PowerChief);
+    EXPECT_NEAR(result.scenario->powerBudget.value(), 13.56, 1e-9);
+}
+
+TEST(ConfigLoader, FanOutStageSupported)
+{
+    const auto result = scenarioFromJsonText(R"({
+      "workload": {"stages": [
+        {"name": "LEAF", "mean_sec": 0.01, "fanout": true,
+         "shard_cv": 0.3},
+        {"name": "AGG", "mean_sec": 0.004}
+      ]},
+      "scenario": {"qps": 5.0}
+    })");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.scenario->workload.stage(0).kind,
+              StageKind::FanOut);
+    EXPECT_DOUBLE_EQ(result.scenario->workload.stage(0).shardCv, 0.3);
+    EXPECT_EQ(result.scenario->workload.stage(1).kind,
+              StageKind::Pipeline);
+}
+
+TEST(ConfigLoader, QosPolicyConfig)
+{
+    const auto result = scenarioFromJsonText(R"({
+      "workload": "websearch",
+      "scenario": {"policy": "conserve", "qos_sec": 0.25,
+                   "adjust_interval_sec": 2, "qps": 20,
+                   "instances_per_stage": 6}
+    })");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.scenario->policy,
+              PolicyKind::PowerChiefConserve);
+    EXPECT_DOUBLE_EQ(result.scenario->qosTargetSec, 0.25);
+    EXPECT_TRUE(result.scenario->control.enableWithdraw);
+    EXPECT_EQ(result.scenario->initialCounts,
+              (std::vector<int>{6, 6}));
+}
+
+TEST(ConfigLoader, RejectsBadDocuments)
+{
+    EXPECT_FALSE(scenarioFromJsonText("[1,2]").ok());
+    EXPECT_FALSE(scenarioFromJsonText("{}").ok());
+    EXPECT_FALSE(scenarioFromJsonText("not json").ok());
+    EXPECT_FALSE(scenarioFromJsonText(
+                     R"({"workload": "unknown-app"})")
+                     .ok());
+    // Stage without a mean.
+    EXPECT_FALSE(scenarioFromJsonText(
+                     R"({"workload": {"stages": [{"name": "A"}]}})")
+                     .ok());
+    // Stage without a name.
+    EXPECT_FALSE(
+        scenarioFromJsonText(
+            R"({"workload": {"stages": [{"mean_sec": 1}]}})")
+            .ok());
+    // compute_fraction out of range.
+    EXPECT_FALSE(scenarioFromJsonText(
+                     R"({"workload": {"stages": [
+                        {"name": "A", "mean_sec": 1,
+                         "compute_fraction": 1.5}]}})")
+                     .ok());
+    // QoS policy without target.
+    EXPECT_FALSE(scenarioFromJsonText(
+                     R"({"workload": "sirius",
+                         "scenario": {"policy": "pegasus"}})")
+                     .ok());
+    // Unknown policy.
+    EXPECT_FALSE(scenarioFromJsonText(
+                     R"({"workload": "sirius",
+                         "scenario": {"policy": "yolo"}})")
+                     .ok());
+}
+
+TEST(ConfigLoader, PerStageInstanceCounts)
+{
+    const auto result = scenarioFromJsonText(R"({
+      "workload": "websearch",
+      "scenario": {"policy": "conserve", "qos_sec": 0.25,
+                   "instances": [10, 1], "qps": 20}
+    })");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.scenario->initialCounts,
+              (std::vector<int>{10, 1}));
+
+    // Mismatched length is rejected.
+    EXPECT_FALSE(scenarioFromJsonText(R"({
+      "workload": "websearch",
+      "scenario": {"instances": [10, 1, 1]}
+    })")
+                     .ok());
+    // Non-positive entries are rejected.
+    EXPECT_FALSE(scenarioFromJsonText(R"({
+      "workload": "websearch",
+      "scenario": {"instances": [10, 0]}
+    })")
+                     .ok());
+}
+
+TEST(ConfigLoader, ParseErrorsCarryPosition)
+{
+    const auto result = scenarioFromJsonText("{\"workload\": ");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("JSON parse error"), std::string::npos);
+}
+
+TEST(ConfigLoader, MissingFileReported)
+{
+    const auto result = scenarioFromFile("/nonexistent/nope.json");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace pc

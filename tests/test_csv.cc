@@ -1,0 +1,77 @@
+/** @file Unit tests for the CSV writer and TextTable. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace pc {
+namespace {
+
+TEST(CsvWriter, PlainRow)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesCommas)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriter, EscapesQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, EscapesNewlines)
+{
+    EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, PlainCellUntouched)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(CsvWriter, NumericRow)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.numericRow({1.0, 2.5, 0.001});
+    EXPECT_EQ(out.str(), "1,2.5,0.001\n");
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string s = out.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded)
+{
+    TextTable table({"a", "b", "c"});
+    table.addRow({"only-one"});
+    std::ostringstream out;
+    table.print(out);
+    EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,140 @@
+/** @file Unit tests for the command-line flag parser. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace pc {
+namespace {
+
+std::vector<const char *>
+argvOf(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> v{"prog"};
+    v.insert(v.end(), args);
+    return v;
+}
+
+class FlagsTest : public testing::Test
+{
+  protected:
+    FlagsTest() : flags("prog")
+    {
+        flags.addString("name", "default", "a string");
+        flags.addDouble("rate", 1.5, "a double");
+        flags.addInt("count", 7, "an int");
+        flags.addBool("verbose", false, "a bool");
+    }
+
+    bool
+    parse(std::initializer_list<const char *> args)
+    {
+        auto v = argvOf(args);
+        return flags.parse(static_cast<int>(v.size()), v.data());
+    }
+
+    FlagSet flags;
+};
+
+TEST_F(FlagsTest, DefaultsWithoutArgs)
+{
+    EXPECT_TRUE(parse({}));
+    EXPECT_EQ(flags.getString("name"), "default");
+    EXPECT_DOUBLE_EQ(flags.getDouble("rate"), 1.5);
+    EXPECT_EQ(flags.getInt("count"), 7);
+    EXPECT_FALSE(flags.getBool("verbose"));
+    EXPECT_FALSE(flags.isSet("name"));
+}
+
+TEST_F(FlagsTest, EqualsForm)
+{
+    EXPECT_TRUE(parse({"--name=x", "--rate=2.25", "--count=-3",
+                       "--verbose=true"}));
+    EXPECT_EQ(flags.getString("name"), "x");
+    EXPECT_DOUBLE_EQ(flags.getDouble("rate"), 2.25);
+    EXPECT_EQ(flags.getInt("count"), -3);
+    EXPECT_TRUE(flags.getBool("verbose"));
+    EXPECT_TRUE(flags.isSet("rate"));
+}
+
+TEST_F(FlagsTest, SpaceForm)
+{
+    EXPECT_TRUE(parse({"--name", "y", "--count", "12"}));
+    EXPECT_EQ(flags.getString("name"), "y");
+    EXPECT_EQ(flags.getInt("count"), 12);
+}
+
+TEST_F(FlagsTest, BareBooleanMeansTrue)
+{
+    EXPECT_TRUE(parse({"--verbose"}));
+    EXPECT_TRUE(flags.getBool("verbose"));
+}
+
+TEST_F(FlagsTest, PositionalArgumentsCollected)
+{
+    EXPECT_TRUE(parse({"alpha", "--count=1", "beta"}));
+    EXPECT_EQ(flags.positional(),
+              (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(FlagsTest, UnknownFlagRejected)
+{
+    EXPECT_FALSE(parse({"--bogus=1"}));
+    EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+}
+
+TEST_F(FlagsTest, MalformedNumbersRejected)
+{
+    EXPECT_FALSE(parse({"--rate=fast"}));
+    EXPECT_FALSE(parse({"--count=1.5"}));
+    EXPECT_FALSE(parse({"--verbose=yes"}));
+}
+
+TEST_F(FlagsTest, MissingValueRejected)
+{
+    EXPECT_FALSE(parse({"--name"}));
+    EXPECT_NE(flags.error().find("missing a value"), std::string::npos);
+}
+
+TEST_F(FlagsTest, HelpRequested)
+{
+    EXPECT_FALSE(parse({"--help"}));
+    EXPECT_TRUE(flags.helpRequested());
+    EXPECT_FALSE(parse({"-h"}));
+    EXPECT_TRUE(flags.helpRequested());
+}
+
+TEST_F(FlagsTest, UsageListsFlags)
+{
+    std::ostringstream out;
+    flags.printUsage(out);
+    EXPECT_NE(out.str().find("--rate"), std::string::npos);
+    EXPECT_NE(out.str().find("a double"), std::string::npos);
+}
+
+TEST_F(FlagsTest, ReparseResetsState)
+{
+    EXPECT_TRUE(parse({"--name=x", "pos"}));
+    EXPECT_TRUE(parse({"--count=2"}));
+    EXPECT_TRUE(flags.positional().empty());
+    // Values persist from the last successful assignment only.
+    EXPECT_EQ(flags.getInt("count"), 2);
+}
+
+TEST(FlagsDeath, UnregisteredAccessPanics)
+{
+    FlagSet flags("prog");
+    EXPECT_DEATH((void)flags.getString("nope"), "never registered");
+}
+
+TEST(FlagsDeath, WrongTypeAccessPanics)
+{
+    FlagSet flags("prog");
+    flags.addInt("n", 1, "");
+    EXPECT_DEATH((void)flags.getString("n"), "wrong type");
+}
+
+} // namespace
+} // namespace pc

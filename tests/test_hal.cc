@@ -1,0 +1,305 @@
+/** @file Unit tests for the HAL: MSR space, cores, chip, cpufreq, RAPL. */
+
+#include <gtest/gtest.h>
+
+#include "hal/chip.h"
+#include "hal/cpufreq.h"
+#include "hal/msr.h"
+#include "hal/rapl.h"
+
+namespace pc {
+namespace {
+
+TEST(MsrEncoding, PerfCtlRoundTrip)
+{
+    for (int mhz = 1200; mhz <= 2400; mhz += 100)
+        EXPECT_EQ(msr::mhzFromPerfCtl(msr::perfCtlFromMHz(mhz)), mhz);
+}
+
+TEST(MsrSpace, ReadUnwrittenIsZero)
+{
+    MsrSpace msr;
+    EXPECT_EQ(msr.read(0, 0x123), 0u);
+}
+
+TEST(MsrSpace, WriteThenRead)
+{
+    MsrSpace msr;
+    msr.write(2, 0x10, 0xdeadbeef);
+    EXPECT_EQ(msr.read(2, 0x10), 0xdeadbeefu);
+    // Per-cpu separation.
+    EXPECT_EQ(msr.read(3, 0x10), 0u);
+}
+
+TEST(MsrSpace, WriteHookFires)
+{
+    MsrSpace msr;
+    int seenCpu = -1;
+    std::uint64_t seenVal = 0;
+    msr.setWriteHook(0x199, [&](int cpu, std::uint32_t, std::uint64_t v) {
+        seenCpu = cpu;
+        seenVal = v;
+    });
+    msr.write(5, 0x199, 77);
+    EXPECT_EQ(seenCpu, 5);
+    EXPECT_EQ(seenVal, 77u);
+    // Other registers don't trigger it.
+    msr.write(5, 0x198, 88);
+    EXPECT_EQ(seenVal, 77u);
+}
+
+TEST(MsrSpace, ReadHookOverridesStore)
+{
+    MsrSpace msr;
+    msr.write(0, 0x20, 1);
+    msr.setReadHook(0x20, [](int, std::uint32_t) {
+        return std::uint64_t(42);
+    });
+    EXPECT_EQ(msr.read(0, 0x20), 42u);
+}
+
+class HalTest : public testing::Test
+{
+  protected:
+    HalTest() : model(PowerModel::haswell()), chip(&sim, &model, 4) {}
+
+    Simulator sim;
+    PowerModel model;
+    CmpChip chip;
+};
+
+TEST_F(HalTest, CoresStartOffline)
+{
+    for (int i = 0; i < chip.numCores(); ++i) {
+        EXPECT_EQ(chip.core(i).state(), Core::State::Offline);
+        EXPECT_FALSE(chip.core(i).online());
+    }
+    EXPECT_EQ(chip.numAllocated(), 0);
+}
+
+TEST_F(HalTest, AcquireBringsCoreOnlineAtLevel)
+{
+    const auto id = chip.acquireCore(6);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(chip.core(*id).state(), Core::State::Idle);
+    EXPECT_EQ(chip.core(*id).level(), 6);
+    EXPECT_EQ(chip.core(*id).frequency(), MHz(1800));
+    EXPECT_EQ(chip.numAllocated(), 1);
+}
+
+TEST_F(HalTest, AcquireExhaustsCores)
+{
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(chip.acquireCore(0).has_value());
+    EXPECT_FALSE(chip.acquireCore(0).has_value());
+}
+
+TEST_F(HalTest, ReleaseMakesCoreReusable)
+{
+    const auto id = chip.acquireCore(0);
+    chip.releaseCore(*id);
+    EXPECT_EQ(chip.numAllocated(), 0);
+    EXPECT_EQ(chip.core(*id).state(), Core::State::Offline);
+    EXPECT_TRUE(chip.acquireCore(0).has_value());
+}
+
+TEST_F(HalTest, BusyEnergyIntegration)
+{
+    const auto id = chip.acquireCore(6);
+    auto &core = chip.core(*id);
+    core.setBusy(true);
+    sim.runUntil(SimTime::sec(10));
+    const double expect = model.activeWatts(6).value() * 10.0;
+    EXPECT_NEAR(core.energy().value(), expect, 1e-6);
+    EXPECT_EQ(core.busyTime(), SimTime::sec(10));
+}
+
+TEST_F(HalTest, IdleEnergyIntegration)
+{
+    const auto id = chip.acquireCore(6);
+    sim.runUntil(SimTime::sec(10));
+    const double expect = model.idleWatts(6).value() * 10.0;
+    EXPECT_NEAR(chip.core(*id).energy().value(), expect, 1e-6);
+    EXPECT_EQ(chip.core(*id).busyTime(), SimTime::zero());
+}
+
+TEST_F(HalTest, OfflineCoreDrawsNothing)
+{
+    sim.runUntil(SimTime::sec(10));
+    EXPECT_DOUBLE_EQ(chip.core(0).energy().value(), 0.0);
+    EXPECT_DOUBLE_EQ(chip.totalEnergy().value(), 0.0);
+}
+
+TEST_F(HalTest, EnergySplitAcrossFrequencyChange)
+{
+    const auto id = chip.acquireCore(0);
+    auto &core = chip.core(*id);
+    core.setBusy(true);
+    sim.runUntil(SimTime::sec(5));
+    core.setLevel(12);
+    sim.runUntil(SimTime::sec(10));
+    const double expect = model.activeWatts(0).value() * 5.0 +
+        model.activeWatts(12).value() * 5.0;
+    EXPECT_NEAR(core.energy().value(), expect, 1e-6);
+}
+
+TEST_F(HalTest, FreqChangeListenerSeesLevels)
+{
+    const auto id = chip.acquireCore(3);
+    int from = -1;
+    int to = -1;
+    chip.core(*id).setFreqChangeListener([&](int f, int t) {
+        from = f;
+        to = t;
+    });
+    chip.core(*id).setLevel(9);
+    EXPECT_EQ(from, 3);
+    EXPECT_EQ(to, 9);
+}
+
+TEST_F(HalTest, SameLevelChangeIsNoOp)
+{
+    const auto id = chip.acquireCore(3);
+    bool fired = false;
+    chip.core(*id).setFreqChangeListener([&](int, int) { fired = true; });
+    chip.core(*id).setLevel(3);
+    EXPECT_FALSE(fired);
+}
+
+TEST_F(HalTest, TotalWattsSumsStates)
+{
+    const auto a = chip.acquireCore(6);
+    const auto b = chip.acquireCore(6);
+    chip.core(*a).setBusy(true);
+    const double expect = model.activeWatts(6).value() +
+        model.idleWatts(6).value();
+    EXPECT_NEAR(chip.totalWatts().value(), expect, 1e-9);
+    (void)b;
+}
+
+TEST_F(HalTest, CpufreqSetAndGet)
+{
+    const auto id = chip.acquireCore(0);
+    CpufreqDriver cpufreq(&chip);
+    cpufreq.setFrequency(*id, MHz(2100));
+    EXPECT_EQ(cpufreq.getFrequency(*id), MHz(2100));
+    EXPECT_EQ(chip.core(*id).level(), 9);
+    cpufreq.setLevel(*id, 2);
+    EXPECT_EQ(cpufreq.getLevel(*id), 2);
+}
+
+TEST_F(HalTest, CpufreqListsLadder)
+{
+    CpufreqDriver cpufreq(&chip);
+    ASSERT_EQ(cpufreq.availableFrequencies().size(), 13u);
+    EXPECT_EQ(cpufreq.availableFrequencies().front(), MHz(1200));
+    EXPECT_EQ(cpufreq.availableFrequencies().back(), MHz(2400));
+}
+
+TEST_F(HalTest, CpufreqGoesThroughMsr)
+{
+    const auto id = chip.acquireCore(0);
+    CpufreqDriver cpufreq(&chip);
+    cpufreq.setFrequency(*id, MHz(2000));
+    EXPECT_EQ(msr::mhzFromPerfCtl(
+                  chip.msr().read(*id, msr::IA32_PERF_STATUS)),
+              2000);
+}
+
+TEST_F(HalTest, RaplEnergyUnitDecoded)
+{
+    RaplReader rapl(&chip);
+    EXPECT_DOUBLE_EQ(rapl.readEnergy().value(), 0.0);
+}
+
+TEST_F(HalTest, RaplWindowPowerMatchesModel)
+{
+    const auto id = chip.acquireCore(6);
+    chip.core(*id).setBusy(true);
+    RaplReader rapl(&chip);
+    sim.runUntil(SimTime::sec(20));
+    EXPECT_NEAR(rapl.windowPower().value(),
+                model.activeWatts(6).value(), 0.01);
+}
+
+TEST_F(HalTest, RaplWindowResetsBetweenReads)
+{
+    const auto id = chip.acquireCore(6);
+    chip.core(*id).setBusy(true);
+    RaplReader rapl(&chip);
+    sim.runUntil(SimTime::sec(10));
+    (void)rapl.windowEnergy();
+    const Joules w2 = rapl.windowEnergy();
+    EXPECT_NEAR(w2.value(), 0.0, 1e-3);
+}
+
+TEST_F(HalTest, RaplZeroSpanReturnsZeroPower)
+{
+    RaplReader rapl(&chip);
+    EXPECT_DOUBLE_EQ(rapl.windowPower().value(), 0.0);
+}
+
+TEST(HalDeath, ReleaseUnallocatedPanics)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 2);
+    EXPECT_DEATH(chip.releaseCore(0), "unallocated");
+}
+
+TEST(HalDeath, ReleaseBusyCorePanics)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 2);
+    const auto id = chip.acquireCore(0);
+    chip.core(*id).setBusy(true);
+    EXPECT_DEATH(chip.releaseCore(*id), "busy");
+}
+
+TEST(HalDeath, BusyWhileOfflinePanics)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 2);
+    EXPECT_DEATH(chip.core(0).setBusy(true), "offline");
+}
+
+TEST(HalDeath, BadCoreIdPanics)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 2);
+    EXPECT_DEATH((void)chip.core(2), "out of range");
+}
+
+TEST(HalDeath, ZeroCoresIsFatal)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    EXPECT_EXIT(CmpChip(&sim, &model, 0), testing::ExitedWithCode(1),
+                "at least one core");
+}
+
+class PerfCtlLevels : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PerfCtlLevels, MsrWriteSetsExactLevel)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 1);
+    const auto id = chip.acquireCore(0);
+    const int lvl = GetParam();
+    const MHz freq = model.ladder().freqAt(lvl);
+    chip.msr().write(*id, msr::IA32_PERF_CTL,
+                     msr::perfCtlFromMHz(freq.value()));
+    EXPECT_EQ(chip.core(*id).level(), lvl);
+    EXPECT_EQ(chip.core(*id).frequency(), freq);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, PerfCtlLevels, testing::Range(0, 13));
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,146 @@
+/** @file Tests for the JSON parser/serializer. */
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace pc {
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    const auto result = parseJson(text);
+    EXPECT_TRUE(result.ok()) << result.error << " at "
+                             << result.errorPos << " in: " << text;
+    return result.ok() ? *result.value : JsonValue();
+}
+
+void
+parseFails(const std::string &text)
+{
+    EXPECT_FALSE(parseJson(text).ok()) << "should reject: " << text;
+}
+
+TEST(Json, Literals)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+}
+
+TEST(Json, Numbers)
+{
+    EXPECT_DOUBLE_EQ(parseOk("0").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(parseOk("-13.5").asNumber(), -13.5);
+    EXPECT_DOUBLE_EQ(parseOk("1e3").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(parseOk("2.5E-2").asNumber(), 0.025);
+}
+
+TEST(Json, Strings)
+{
+    EXPECT_EQ(parseOk("\"hello\"").asString(), "hello");
+    EXPECT_EQ(parseOk("\"\"").asString(), "");
+    EXPECT_EQ(parseOk("\"a\\nb\\t\\\"c\\\\\"").asString(),
+              "a\nb\t\"c\\");
+    EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9"); // é
+}
+
+TEST(Json, Arrays)
+{
+    const auto v = parseOk("[1, 2, 3]");
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.asArray()[1].asNumber(), 2.0);
+    EXPECT_TRUE(parseOk("[]").asArray().empty());
+    EXPECT_EQ(parseOk("[[1],[2,3]]").asArray()[1].asArray().size(), 2u);
+}
+
+TEST(Json, Objects)
+{
+    const auto v = parseOk(R"({"a": 1, "b": {"c": true}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.find("a")->asNumber(), 1.0);
+    EXPECT_TRUE(v.find("b")->find("c")->asBool());
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_TRUE(parseOk("{}").asObject().empty());
+}
+
+TEST(Json, WhitespaceTolerated)
+{
+    const auto v = parseOk("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+    EXPECT_EQ(v.find("a")->asArray().size(), 2u);
+}
+
+TEST(Json, TypedGettersWithDefaults)
+{
+    const auto v = parseOk(R"({"n": 2.5, "s": "x", "b": true})");
+    EXPECT_DOUBLE_EQ(v.numberOr("n", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", 7.0), 7.0);
+    EXPECT_EQ(v.stringOr("s", "d"), "x");
+    EXPECT_EQ(v.stringOr("missing", "d"), "d");
+    EXPECT_TRUE(v.boolOr("b", false));
+    EXPECT_TRUE(v.boolOr("missing", true));
+    // Wrong-typed fields fall back too.
+    EXPECT_DOUBLE_EQ(v.numberOr("s", 9.0), 9.0);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    parseFails("");
+    parseFails("{");
+    parseFails("[1,");
+    parseFails("[1 2]");
+    parseFails(R"({"a" 1})");
+    parseFails(R"({"a": })");
+    parseFails("tru");
+    parseFails("\"unterminated");
+    parseFails("01x");
+    parseFails("nan");
+    parseFails("[1] trailing");
+    parseFails(R"({"a": 1,})");
+    parseFails("\"bad \\q escape\"");
+    parseFails("\"\\u12\"");
+}
+
+TEST(Json, ErrorPositionReported)
+{
+    const auto result = parseJson("[1, 2, oops]");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.errorPos, 7u);
+}
+
+TEST(Json, DumpRoundTrip)
+{
+    const std::string text =
+        R"({"arr":[1,2.5,true,null],"name":"pc","nested":{"x":-3}})";
+    const auto v = parseOk(text);
+    // dump() -> parse() -> dump() is a fixed point.
+    const auto v2 = parseOk(v.dump());
+    EXPECT_EQ(v.dump(), v2.dump());
+    EXPECT_EQ(v2.find("name")->asString(), "pc");
+}
+
+TEST(Json, DumpEscapesStrings)
+{
+    const JsonValue v(std::string("a\"b\\c\nd"));
+    EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, DumpIntegersCleanly)
+{
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+}
+
+TEST(JsonDeath, WrongKindAccessPanics)
+{
+    const JsonValue v(1.0);
+    EXPECT_DEATH((void)v.asString(), "not a string");
+    EXPECT_DEATH((void)v.asArray(), "not an array");
+    EXPECT_DEATH((void)JsonValue("x").asNumber(), "not a number");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,465 @@
+/** @file Unit tests for the control policies and actuation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "core/reallocator.h"
+#include "core/speedup.h"
+
+namespace pc {
+namespace {
+
+SpeedupTable
+computeBoundTable(const FrequencyLadder &ladder)
+{
+    std::vector<double> r;
+    for (const MHz f : ladder.frequencies())
+        r.push_back(1200.0 / f.value());
+    return SpeedupTable(std::move(r));
+}
+
+class PolicyTest : public testing::Test
+{
+  protected:
+    PolicyTest()
+        : model(PowerModel::haswell()), chip(&sim, &model, 10),
+          bus(&sim), cpufreq(&chip), e2e(SimTime::sec(30))
+    {
+        std::vector<StageSpec> specs = {
+            {"A", 0, 0, DispatchPolicy::JoinShortestQueue},
+            {"B", 0, 0, DispatchPolicy::JoinShortestQueue}};
+        app = std::make_unique<MultiStageApp>(&sim, &chip, &bus, "app",
+                                              specs);
+        book.setStage(0, computeBoundTable(model.ladder()));
+        book.setStage(1, computeBoundTable(model.ladder()));
+    }
+
+    void
+    finishSetup(double capWatts)
+    {
+        budget = std::make_unique<PowerBudget>(Watts(capWatts), &model);
+        realloc = std::make_unique<PowerReallocator>(budget.get(),
+                                                     &cpufreq);
+        engine = std::make_unique<BoostingDecisionEngine>(
+            budget.get(), realloc.get(), &book);
+        identifier = std::make_unique<BottleneckIdentifier>(
+            SimTime::sec(50));
+    }
+
+    InstanceSnapshot
+    addInstance(int stage, int level, double metric,
+                std::size_t queue = 0, double q = 0.0, double s = 0.0)
+    {
+        auto *inst = app->stage(stage).launchInstance(level);
+        EXPECT_TRUE(budget->allocate(inst->id(), level));
+        InstanceSnapshot snap;
+        snap.instanceId = inst->id();
+        snap.name = inst->name();
+        snap.stageIndex = stage;
+        snap.coreId = inst->coreId();
+        snap.level = level;
+        snap.metric = metric;
+        snap.queueLength = queue;
+        snap.avgQueuingSec = q;
+        snap.avgServingSec = s;
+        return snap;
+    }
+
+    ControlContext
+    makeContext(SortedSnapshots ranked)
+    {
+        ControlContext ctx;
+        ctx.sim = &sim;
+        ctx.app = app.get();
+        ctx.cpufreq = &cpufreq;
+        ctx.budget = budget.get();
+        ctx.identifier = identifier.get();
+        ctx.realloc = realloc.get();
+        ctx.engine = engine.get();
+        ctx.speedups = &book;
+        ctx.cfg = &cfg;
+        ctx.e2eLatency = &e2e;
+        ctx.ranked = std::move(ranked);
+        return ctx;
+    }
+
+    Simulator sim;
+    PowerModel model;
+    CmpChip chip;
+    MessageBus bus;
+    CpufreqDriver cpufreq;
+    std::unique_ptr<MultiStageApp> app;
+    SpeedupBook book;
+    std::unique_ptr<PowerBudget> budget;
+    std::unique_ptr<PowerReallocator> realloc;
+    std::unique_ptr<BoostingDecisionEngine> engine;
+    std::unique_ptr<BottleneckIdentifier> identifier;
+    ControlConfig cfg;
+    MovingWindow e2e{SimTime::sec(30)};
+};
+
+// ------------------------------------------------------------- actuate
+
+TEST_F(PolicyTest, FrequencyBoostActuatesBudgetAndDvfs)
+{
+    finishSetup(1000.0);
+    const auto bn = addInstance(0, 3, 1.0);
+    auto ctx = makeContext({bn});
+    EXPECT_TRUE(actuate::frequencyBoost(ctx, bn, 9));
+    EXPECT_EQ(cpufreq.getLevel(bn.coreId), 9);
+    EXPECT_EQ(budget->levelOf(bn.instanceId), 9);
+}
+
+TEST_F(PolicyTest, FrequencyBoostRefusesDownOrSame)
+{
+    finishSetup(1000.0);
+    const auto bn = addInstance(0, 5, 1.0);
+    auto ctx = makeContext({bn});
+    EXPECT_FALSE(actuate::frequencyBoost(ctx, bn, 5));
+    EXPECT_FALSE(actuate::frequencyBoost(ctx, bn, 3));
+    EXPECT_EQ(cpufreq.getLevel(bn.coreId), 5);
+}
+
+TEST_F(PolicyTest, FrequencyBoostRespectsCap)
+{
+    finishSetup(PowerModel::haswell().activeWatts(5).value() + 0.1);
+    const auto bn = addInstance(0, 5, 1.0);
+    auto ctx = makeContext({bn});
+    EXPECT_FALSE(actuate::frequencyBoost(ctx, bn, 12));
+    EXPECT_EQ(cpufreq.getLevel(bn.coreId), 5);
+}
+
+TEST_F(PolicyTest, InstanceBoostClonesAndStealsHalf)
+{
+    finishSetup(1000.0);
+    auto bn = addInstance(0, 4, 5.0);
+    auto *victim = app->stage(0).findInstance(bn.instanceId);
+    for (int i = 0; i < 5; ++i) { // 1 in service + 4 waiting
+        victim->enqueue(std::make_shared<Query>(
+            i, sim.now(),
+            std::vector<WorkDemand>{{50.0, 0.0}, {}}));
+    }
+    auto ctx = makeContext({bn});
+    ServiceInstance *clone = actuate::instanceBoost(ctx, bn);
+    ASSERT_NE(clone, nullptr);
+    EXPECT_EQ(clone->level(), 4);
+    EXPECT_EQ(clone->queueLength(), 2u); // stole half of 4 waiting
+    EXPECT_EQ(victim->waitingCount(), 2u);
+    EXPECT_EQ(budget->levelOf(clone->id()), 4);
+    EXPECT_EQ(app->stage(0).numLiveInstances(), 2u);
+}
+
+TEST_F(PolicyTest, InstanceBoostRefusedWhenOverCap)
+{
+    finishSetup(PowerModel::haswell().activeWatts(4).value() + 0.5);
+    const auto bn = addInstance(0, 4, 5.0);
+    auto ctx = makeContext({bn});
+    EXPECT_EQ(actuate::instanceBoost(ctx, bn), nullptr);
+    EXPECT_EQ(app->stage(0).numLiveInstances(), 1u);
+}
+
+TEST_F(PolicyTest, InstanceBoostRefusedWhenChipFull)
+{
+    finishSetup(1000.0);
+    const auto bn = addInstance(0, 0, 5.0);
+    while (chip.acquireCore(0))
+        ; // exhaust remaining cores
+    auto ctx = makeContext({bn});
+    EXPECT_EQ(actuate::instanceBoost(ctx, bn), nullptr);
+}
+
+TEST_F(PolicyTest, StepDownOneLevel)
+{
+    finishSetup(1000.0);
+    const auto inst = addInstance(0, 4, 1.0);
+    auto ctx = makeContext({inst});
+    EXPECT_TRUE(actuate::stepDown(ctx, inst));
+    EXPECT_EQ(cpufreq.getLevel(inst.coreId), 3);
+    const auto floor = addInstance(0, 0, 1.0);
+    EXPECT_FALSE(actuate::stepDown(ctx, floor));
+}
+
+// ------------------------------------------------------------ policies
+
+TEST_F(PolicyTest, StageAgnosticDoesNothing)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 1.0);
+    const auto b = addInstance(1, 6, 9.0);
+    auto ctx = makeContext({a, b});
+    StageAgnosticPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 6);
+    EXPECT_EQ(cpufreq.getLevel(b.coreId), 6);
+}
+
+TEST_F(PolicyTest, FreqBoostRaisesBottleneckRecyclingDonors)
+{
+    finishSetup(2 * PowerModel::haswell().activeWatts(6).value());
+    const auto donor = addInstance(0, 6, 0.5);
+    const auto bn = addInstance(1, 6, 9.0);
+    auto ctx = makeContext({donor, bn});
+    FreqBoostPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_GT(cpufreq.getLevel(bn.coreId), 6);
+    EXPECT_LT(cpufreq.getLevel(donor.coreId), 6);
+}
+
+TEST_F(PolicyTest, FreqBoostSkipsInsideBalanceThreshold)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 1.0);
+    const auto b = addInstance(1, 6, 1.5); // gap 0.5 < threshold 1.0
+    auto ctx = makeContext({a, b});
+    FreqBoostPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(b.coreId), 6);
+}
+
+TEST_F(PolicyTest, FreqBoostNoOpAtMaxLevel)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 1.0);
+    const auto bn = addInstance(1, 12, 9.0);
+    auto ctx = makeContext({a, bn});
+    FreqBoostPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 6); // nothing recycled
+}
+
+TEST_F(PolicyTest, InstBoostLaunchesCloneUnderCap)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 1.0);
+    const auto bn = addInstance(1, 6, 9.0);
+    auto ctx = makeContext({a, bn});
+    InstBoostPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(app->stage(1).numLiveInstances(), 2u);
+}
+
+TEST_F(PolicyTest, InstBoostStuckWhenRecyclingInsufficient)
+{
+    // Cap exactly two mid instances: recycling one donor frees ~2.88 W
+    // which cannot fund a 4.52 W clone — the Fig. 11(b) plateau.
+    finishSetup(2 * PowerModel::haswell().activeWatts(6).value());
+    const auto donor = addInstance(0, 6, 0.5);
+    const auto bn = addInstance(1, 6, 9.0);
+    auto ctx = makeContext({donor, bn});
+    InstBoostPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(app->stage(1).numLiveInstances(), 1u);
+    // But the donor *was* drained in the attempt (paper's behaviour:
+    // recycling happens before the affordability re-check).
+    EXPECT_LT(cpufreq.getLevel(donor.coreId), 6);
+}
+
+TEST_F(PolicyTest, PowerChiefAdaptsToQueueLength)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 0.1);
+    // Long queue: instance boosting expected.
+    const auto bn = addInstance(1, 6, 9.0, /*queue=*/6, /*q=*/1.0,
+                                /*s=*/1.0);
+    auto ctx = makeContext({a, bn});
+    PowerChiefPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(policy.instanceBoosts(), 1u);
+    EXPECT_EQ(policy.frequencyBoosts(), 0u);
+    EXPECT_EQ(app->stage(1).numLiveInstances(), 2u);
+
+    // Short queue: frequency boosting expected.
+    const auto bn2 = addInstance(1, 6, 9.0, /*queue=*/1, /*q=*/0.1,
+                                 /*s=*/2.0);
+    auto ctx2 = makeContext({a, bn2});
+    policy.onInterval(ctx2);
+    EXPECT_EQ(policy.frequencyBoosts(), 1u);
+}
+
+TEST_F(PolicyTest, PowerChiefFallsBackToFreqWhenChipFull)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 0.1);
+    const auto bn = addInstance(1, 6, 9.0, 6, 1.0, 1.0);
+    while (chip.acquireCore(0))
+        ;
+    auto ctx = makeContext({a, bn});
+    PowerChiefPolicy policy;
+    policy.onInterval(ctx);
+    EXPECT_EQ(policy.instanceBoosts(), 0u);
+    EXPECT_EQ(policy.frequencyBoosts(), 1u);
+    EXPECT_GT(cpufreq.getLevel(bn.coreId), 6);
+}
+
+TEST_F(PolicyTest, FixedStageBoostsOnlyItsStage)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 9.0); // worst overall
+    const auto b = addInstance(1, 6, 1.0);
+    auto ctx = makeContext({b, a});
+    FixedStageBoostPolicy policy(1, BoostKind::Frequency);
+    policy.onInterval(ctx);
+    EXPECT_GT(cpufreq.getLevel(b.coreId), 6);  // its stage boosted
+}
+
+TEST_F(PolicyTest, FixedStageInstanceTechnique)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 6, 1.0);
+    const auto b = addInstance(1, 6, 2.0);
+    auto ctx = makeContext({a, b});
+    FixedStageBoostPolicy policy(0, BoostKind::Instance);
+    policy.onInterval(ctx);
+    EXPECT_EQ(app->stage(0).numLiveInstances(), 2u);
+    EXPECT_EQ(app->stage(1).numLiveInstances(), 1u);
+}
+
+TEST_F(PolicyTest, PegasusRacesToMaxOnViolation)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 5, 1.0);
+    const auto b = addInstance(1, 5, 2.0);
+    e2e.add(sim.now(), 3.0); // above the 2 s target
+    auto ctx = makeContext({a, b});
+    PegasusPolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 12);
+    EXPECT_EQ(cpufreq.getLevel(b.coreId), 12);
+}
+
+TEST_F(PolicyTest, PegasusHoldsInsideBand)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 5, 1.0);
+    e2e.add(sim.now(), 1.8); // 0.9 of target: hold
+    auto ctx = makeContext({a});
+    PegasusPolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 5);
+}
+
+TEST_F(PolicyTest, PegasusStepsAllDownUniformly)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 5, 1.0);
+    const auto b = addInstance(1, 7, 2.0);
+    e2e.add(sim.now(), 0.5); // deep slack
+    auto ctx = makeContext({a, b});
+    PegasusPolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 4);
+    EXPECT_EQ(cpufreq.getLevel(b.coreId), 6);
+}
+
+TEST_F(PolicyTest, PegasusIgnoresEmptyWindow)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 5, 1.0);
+    auto ctx = makeContext({a});
+    PegasusPolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 5);
+}
+
+TEST_F(PolicyTest, PegasusTailSignalMorePessimistic)
+{
+    finishSetup(1000.0);
+    const auto a = addInstance(0, 5, 1.0);
+    // Mean ~0.84 but p99 = 3.0: tail-guarded Pegasus must not conserve.
+    for (int i = 0; i < 90; ++i)
+        e2e.add(sim.now(), 0.6);
+    for (int i = 0; i < 10; ++i)
+        e2e.add(sim.now(), 3.0);
+    auto ctx = makeContext({a});
+    PegasusPolicy tailPolicy(2.0, /*useTail=*/true);
+    tailPolicy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(a.coreId), 12); // raced to max
+}
+
+TEST_F(PolicyTest, ConservePolicyStepsOnlyFastest)
+{
+    finishSetup(1000.0);
+    const auto fast = addInstance(0, 8, 0.2);
+    const auto slow = addInstance(1, 8, 5.0);
+    e2e.add(sim.now(), 0.5); // deep slack vs target 2.0
+    auto ctx = makeContext({fast, slow});
+    PowerChiefConservePolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(fast.coreId), 7);
+    EXPECT_EQ(cpufreq.getLevel(slow.coreId), 8);
+}
+
+TEST_F(PolicyTest, ConservePolicySkipsFlooredFastest)
+{
+    finishSetup(1000.0);
+    const auto fast = addInstance(0, 0, 0.2); // already at the floor
+    const auto slow = addInstance(1, 8, 5.0);
+    e2e.add(sim.now(), 0.5);
+    auto ctx = makeContext({fast, slow});
+    PowerChiefConservePolicy policy(2.0);
+    policy.onInterval(ctx);
+    // Falls through to the next instance in metric order.
+    EXPECT_EQ(cpufreq.getLevel(slow.coreId), 7);
+}
+
+TEST_F(PolicyTest, ConservePolicyBoostsWhenQoSThreatened)
+{
+    finishSetup(1000.0);
+    const auto fast = addInstance(0, 8, 0.2);
+    const auto slow = addInstance(1, 8, 5.0, /*queue=*/1, /*q=*/0.2,
+                                  /*s=*/1.5);
+    e2e.add(sim.now(), 1.95); // 0.975 of target
+    auto ctx = makeContext({fast, slow});
+    PowerChiefConservePolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_GT(cpufreq.getLevel(slow.coreId), 8);
+}
+
+TEST_F(PolicyTest, ConservePolicyHoldBand)
+{
+    finishSetup(1000.0);
+    const auto fast = addInstance(0, 8, 0.2);
+    e2e.add(sim.now(), 1.8); // 0.9: inside [0.85, 0.95) hold band
+    auto ctx = makeContext({fast});
+    PowerChiefConservePolicy policy(2.0);
+    policy.onInterval(ctx);
+    EXPECT_EQ(cpufreq.getLevel(fast.coreId), 8);
+}
+
+TEST_F(PolicyTest, BalanceGapComputation)
+{
+    finishSetup(1000.0);
+    auto ctx = makeContext({});
+    EXPECT_DOUBLE_EQ(ctx.balanceGap(), 0.0);
+    const auto a = addInstance(0, 6, 1.0);
+    const auto b = addInstance(1, 6, 3.5);
+    auto ctx2 = makeContext({a, b});
+    EXPECT_DOUBLE_EQ(ctx2.balanceGap(), 2.5);
+}
+
+TEST_F(PolicyTest, PolicyNames)
+{
+    EXPECT_STREQ(StageAgnosticPolicy().name(), "stage-agnostic");
+    EXPECT_STREQ(FreqBoostPolicy().name(), "freq-boosting");
+    EXPECT_STREQ(InstBoostPolicy().name(), "inst-boosting");
+    EXPECT_STREQ(PowerChiefPolicy().name(), "powerchief");
+    EXPECT_STREQ(PegasusPolicy(1.0).name(), "pegasus");
+    EXPECT_STREQ(PowerChiefConservePolicy(1.0).name(),
+                 "powerchief-conserve");
+}
+
+TEST(PolicyDeath, FixedStageNeedsTechnique)
+{
+    EXPECT_EXIT(FixedStageBoostPolicy(0, BoostKind::None),
+                testing::ExitedWithCode(1), "technique");
+}
+
+TEST(PolicyDeath, QosPoliciesNeedPositiveTarget)
+{
+    EXPECT_EXIT(PegasusPolicy(0.0), testing::ExitedWithCode(1), "QoS");
+    EXPECT_EXIT(PowerChiefConservePolicy(-1.0),
+                testing::ExitedWithCode(1), "target");
+}
+
+} // namespace
+} // namespace pc

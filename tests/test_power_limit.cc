@@ -1,0 +1,174 @@
+/** @file Unit tests for the RAPL power-limit enforcer. */
+
+#include <gtest/gtest.h>
+
+#include "hal/power_limit.h"
+#include "hal/msr.h"
+
+#include "core/command_center.h"
+#include "workloads/loadgen.h"
+#include "workloads/profiler.h"
+
+namespace pc {
+namespace {
+
+TEST(PowerLimitEncoding, RoundTrip)
+{
+    EXPECT_DOUBLE_EQ(
+        msr::wattsFromPowerLimit(msr::powerLimitFromWatts(13.5)), 13.5);
+    EXPECT_DOUBLE_EQ(
+        msr::wattsFromPowerLimit(msr::powerLimitFromWatts(95.0)), 95.0);
+    // 1/8 W quantization.
+    EXPECT_DOUBLE_EQ(
+        msr::wattsFromPowerLimit(msr::powerLimitFromWatts(13.56)),
+        13.5);
+}
+
+class LimitTest : public testing::Test
+{
+  protected:
+    LimitTest()
+        : model(PowerModel::haswell()), chip(&sim, &model, 4),
+          enforcer(&sim, &chip, SimTime::sec(1))
+    {
+    }
+
+    /** Bring @p n cores online busy at @p level. */
+    void
+    runBusy(int n, int level)
+    {
+        for (int i = 0; i < n; ++i) {
+            const auto id = chip.acquireCore(level);
+            chip.core(*id).setBusy(true);
+        }
+    }
+
+    Simulator sim;
+    PowerModel model;
+    CmpChip chip;
+    PowerLimitEnforcer enforcer;
+};
+
+TEST_F(LimitTest, LimitRegisterReadback)
+{
+    enforcer.setLimit(Watts(20.0));
+    EXPECT_DOUBLE_EQ(enforcer.limit().value(), 20.0);
+    EXPECT_EQ(chip.msr().read(0, msr::MSR_PKG_POWER_LIMIT),
+              msr::powerLimitFromWatts(20.0));
+}
+
+TEST_F(LimitTest, ThrottlesUntilUnderLimit)
+{
+    // 3 busy cores at 2.4 GHz draw ~29.5 W; cap them to 12 W.
+    runBusy(3, 12);
+    enforcer.setLimit(Watts(12.0));
+    enforcer.start();
+    sim.runUntil(SimTime::sec(60));
+    RaplReader rapl(&chip);
+    sim.runUntil(SimTime::sec(70));
+    EXPECT_LE(rapl.windowPower().value(), 12.0);
+    EXPECT_GT(enforcer.throttleEvents(), 0u);
+    // All cores were throttled uniformly below the maximum.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_LT(chip.core(i).level(), 12);
+}
+
+TEST_F(LimitTest, NoActionUnderLimit)
+{
+    runBusy(2, 0); // ~3.3 W
+    enforcer.setLimit(Watts(30.0));
+    enforcer.start();
+    sim.runUntil(SimTime::sec(30));
+    EXPECT_EQ(enforcer.throttleEvents(), 0u);
+    EXPECT_EQ(chip.core(0).level(), 0);
+}
+
+TEST_F(LimitTest, NoActionWhenLimitUnprogrammed)
+{
+    runBusy(4, 12);
+    enforcer.start();
+    sim.runUntil(SimTime::sec(30));
+    EXPECT_EQ(enforcer.throttleEvents(), 0u);
+    EXPECT_EQ(chip.core(0).level(), 12);
+}
+
+TEST_F(LimitTest, RecoversWhenHeadroomReturns)
+{
+    runBusy(3, 12);
+    enforcer.setLimit(Watts(12.0));
+    enforcer.start();
+    sim.runUntil(SimTime::sec(60));
+    const int throttledLevel = chip.core(0).level();
+    ASSERT_LT(throttledLevel, 12);
+    ASSERT_GT(enforcer.throttleDepth(), 0);
+
+    // Load disappears: idle power is far below the cap, so the
+    // enforcer steps the cores back up.
+    for (int i = 0; i < 3; ++i)
+        chip.core(i).setBusy(false);
+    sim.runUntil(SimTime::sec(120));
+    EXPECT_GT(chip.core(0).level(), throttledLevel);
+    EXPECT_EQ(enforcer.throttleDepth(), 0);
+}
+
+TEST_F(LimitTest, StopHaltsEnforcement)
+{
+    runBusy(3, 12);
+    enforcer.setLimit(Watts(12.0));
+    enforcer.start();
+    sim.runUntil(SimTime::sec(5));
+    enforcer.stop();
+    const auto events = enforcer.throttleEvents();
+    sim.runUntil(SimTime::sec(50));
+    EXPECT_EQ(enforcer.throttleEvents(), events);
+}
+
+TEST(LimitTestIntegration, EnforcerSilentUnderPowerChiefBudget)
+{
+    // PowerChief's software budget keeps modelled power at or below
+    // the cap, so a RAPL limit programmed at the same cap (plus the
+    // idle-vs-active modelling slack) never has to throttle — the
+    // §3 claim that the framework guards the budget by construction.
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 16);
+    MessageBus bus(&sim);
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    MultiStageApp app(&sim, &chip, &bus, "sirius",
+                      sirius.layout(1, model.ladder().midLevel()));
+    const SpeedupBook book =
+        OfflineProfiler(30).profileWorkload(sirius, model, 1);
+    PowerBudget budget(Watts(13.56), &model);
+    ControlConfig cfg;
+    cfg.adjustInterval = SimTime::sec(10);
+    CommandCenter center(&sim, &bus, &chip, &app, &budget, &book, cfg,
+                         std::make_unique<PowerChiefPolicy>());
+    center.start();
+
+    PowerLimitEnforcer enforcer(&sim, &chip, SimTime::sec(1));
+    enforcer.setLimit(Watts(13.56));
+    enforcer.start();
+
+    LoadGenerator gen(&sim, &app, &sirius, LoadProfile::constant(0.8),
+                      3, model.ladder().freqAt(0).value());
+    gen.start(SimTime::sec(200));
+    sim.runUntil(SimTime::sec(200));
+
+    EXPECT_EQ(enforcer.throttleEvents(), 0u);
+    EXPECT_GT(app.completed(), 50u);
+}
+
+TEST(LimitDeath, BadParametersAreFatal)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 2);
+    EXPECT_EXIT(PowerLimitEnforcer(&sim, &chip, SimTime::zero()),
+                testing::ExitedWithCode(1), "period");
+    PowerLimitEnforcer enforcer(&sim, &chip);
+    EXPECT_EXIT(enforcer.setLimit(Watts(0.0)),
+                testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,197 @@
+/** @file Unit tests for the frequency ladder and power model. */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+
+namespace pc {
+namespace {
+
+TEST(FrequencyLadder, HaswellShape)
+{
+    const auto ladder = FrequencyLadder::haswell();
+    EXPECT_EQ(ladder.numLevels(), 13);
+    EXPECT_EQ(ladder.freqAt(0), MHz(1200));
+    EXPECT_EQ(ladder.freqAt(12), MHz(2400));
+    EXPECT_EQ(ladder.freqAt(ladder.midLevel()), MHz(1800));
+}
+
+TEST(FrequencyLadder, LevelOfRoundTrip)
+{
+    const auto ladder = FrequencyLadder::haswell();
+    for (int lvl = 0; lvl < ladder.numLevels(); ++lvl)
+        EXPECT_EQ(ladder.levelOf(ladder.freqAt(lvl)), lvl);
+}
+
+TEST(FrequencyLadder, LevelAtOrBelow)
+{
+    const auto ladder = FrequencyLadder::haswell();
+    EXPECT_EQ(ladder.levelAtOrBelow(MHz(1850)), 6);
+    EXPECT_EQ(ladder.levelAtOrBelow(MHz(1800)), 6);
+    EXPECT_EQ(ladder.levelAtOrBelow(MHz(1000)), 0);
+    EXPECT_EQ(ladder.levelAtOrBelow(MHz(9999)), 12);
+}
+
+TEST(FrequencyLadder, ClampLevel)
+{
+    const auto ladder = FrequencyLadder::haswell();
+    EXPECT_EQ(ladder.clampLevel(-3), 0);
+    EXPECT_EQ(ladder.clampLevel(99), 12);
+    EXPECT_EQ(ladder.clampLevel(5), 5);
+}
+
+TEST(FrequencyLadderDeath, OffLadderFrequencyPanics)
+{
+    const auto ladder = FrequencyLadder::haswell();
+    EXPECT_DEATH((void)ladder.levelOf(MHz(1850)), "not on the ladder");
+}
+
+TEST(FrequencyLadderDeath, OutOfRangeLevelPanics)
+{
+    const auto ladder = FrequencyLadder::haswell();
+    EXPECT_DEATH((void)ladder.freqAt(13), "out of range");
+    EXPECT_DEATH((void)ladder.freqAt(-1), "out of range");
+}
+
+TEST(FrequencyLadderDeath, InvalidConstructionIsFatal)
+{
+    EXPECT_EXIT(FrequencyLadder(MHz(2400), MHz(1200), MHz(100)),
+                testing::ExitedWithCode(1), "invalid");
+    EXPECT_EXIT(FrequencyLadder(MHz(1200), MHz(2400), MHz(70)),
+                testing::ExitedWithCode(1), "multiple");
+}
+
+TEST(PowerModel, Table2Calibration)
+{
+    // One core at 1.8 GHz must draw 13.56/3 W so the paper's budget
+    // covers exactly one mid-frequency instance per Sirius stage.
+    const auto model = PowerModel::haswell();
+    const int mid = model.ladder().midLevel();
+    EXPECT_NEAR(model.activeWatts(mid).value(), 4.52, 0.001);
+}
+
+TEST(PowerModel, ActivePowerStrictlyIncreasing)
+{
+    const auto model = PowerModel::haswell();
+    for (int lvl = 1; lvl < model.ladder().numLevels(); ++lvl)
+        EXPECT_GT(model.activeWatts(lvl).value(),
+                  model.activeWatts(lvl - 1).value());
+}
+
+TEST(PowerModel, IdleBelowActiveEverywhere)
+{
+    const auto model = PowerModel::haswell();
+    for (int lvl = 0; lvl < model.ladder().numLevels(); ++lvl) {
+        EXPECT_LT(model.idleWatts(lvl).value(),
+                  model.activeWatts(lvl).value());
+        EXPECT_GT(model.idleWatts(lvl).value(), 0.0);
+    }
+}
+
+TEST(PowerModel, IdleIsMostlyStatic)
+{
+    // Frequency de-boost on an idle core saves much less than on a busy
+    // one — the §8.4 mechanism that favours instance withdraw.
+    const auto model = PowerModel::haswell();
+    const double idleSpread = model.idleWatts(12).value() -
+        model.idleWatts(0).value();
+    const double activeSpread = model.activeWatts(12).value() -
+        model.activeWatts(0).value();
+    EXPECT_LT(idleSpread, 0.2 * activeSpread);
+}
+
+TEST(PowerModel, DeltaWattsAntisymmetric)
+{
+    const auto model = PowerModel::haswell();
+    EXPECT_DOUBLE_EQ(model.deltaWatts(3, 9).value(),
+                     -model.deltaWatts(9, 3).value());
+    EXPECT_DOUBLE_EQ(model.deltaWatts(5, 5).value(), 0.0);
+}
+
+TEST(PowerModel, ActiveWattsAtFrequency)
+{
+    const auto model = PowerModel::haswell();
+    EXPECT_DOUBLE_EQ(model.activeWattsAt(MHz(1800)).value(),
+                     model.activeWatts(6).value());
+}
+
+TEST(PowerModel, MaxLevelWithinBudget)
+{
+    const auto model = PowerModel::haswell();
+    // Exactly affordable at the level's own power.
+    for (int lvl = 0; lvl < model.ladder().numLevels(); ++lvl)
+        EXPECT_EQ(model.maxLevelWithin(model.activeWatts(lvl)), lvl);
+    EXPECT_EQ(model.maxLevelWithin(Watts(0.01)), -1);
+    EXPECT_EQ(model.maxLevelWithin(Watts(1000.0)), 12);
+}
+
+TEST(PowerModel, VoltageLinearInFrequency)
+{
+    const auto model = PowerModel::haswell();
+    EXPECT_DOUBLE_EQ(model.voltsAt(0), 0.60);
+    EXPECT_DOUBLE_EQ(model.voltsAt(12), 1.10);
+    EXPECT_NEAR(model.voltsAt(6), 0.85, 1e-12);
+}
+
+TEST(PowerModel, ConvexityOfPowerCurve)
+{
+    // V^2*f makes successive level steps cost more and more watts —
+    // the property that makes low-frequency clones power-efficient.
+    const auto model = PowerModel::haswell();
+    for (int lvl = 2; lvl < model.ladder().numLevels(); ++lvl) {
+        const double step1 = model.deltaWatts(lvl - 2, lvl - 1).value();
+        const double step2 = model.deltaWatts(lvl - 1, lvl).value();
+        EXPECT_GT(step2, step1);
+    }
+}
+
+TEST(PowerModel, CloneCheaperThanTopLevels)
+{
+    // A second core at 1.2 GHz costs less than pushing one core from
+    // 1.8 to 2.4 GHz — instance boosting is power-efficient.
+    const auto model = PowerModel::haswell();
+    EXPECT_LT(model.activeWatts(0).value(),
+              model.deltaWatts(6, 12).value());
+}
+
+TEST(PowerModelDeath, BadVoltageRangeIsFatal)
+{
+    PowerModel::Params params;
+    params.minVolts = 1.2;
+    params.maxVolts = 1.0;
+    EXPECT_EXIT(PowerModel(FrequencyLadder::haswell(), params),
+                testing::ExitedWithCode(1), "voltage");
+}
+
+TEST(PowerModelDeath, LevelOutsideLadderPanics)
+{
+    const auto model = PowerModel::haswell();
+    EXPECT_DEATH((void)model.activeWatts(13), "outside ladder");
+}
+
+class PowerModelLevels : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PowerModelLevels, DeltaMatchesTableDifference)
+{
+    const auto model = PowerModel::haswell();
+    const int lvl = GetParam();
+    EXPECT_DOUBLE_EQ(model.deltaWatts(0, lvl).value(),
+                     model.activeWatts(lvl).value() -
+                         model.activeWatts(0).value());
+}
+
+TEST_P(PowerModelLevels, PowerWithinPhysicalBounds)
+{
+    const auto model = PowerModel::haswell();
+    const int lvl = GetParam();
+    EXPECT_GT(model.activeWatts(lvl).value(), 0.2);
+    EXPECT_LT(model.activeWatts(lvl).value(), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, PowerModelLevels,
+                         testing::Range(0, 13));
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,100 @@
+/** @file Unit tests for the offline frequency/speedup profiler. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/profiler.h"
+
+namespace pc {
+namespace {
+
+class ProfilerTest : public testing::Test
+{
+  protected:
+    const PowerModel model = PowerModel::haswell();
+};
+
+TEST_F(ProfilerTest, TableCoversLadderAndStartsAtOne)
+{
+    const StageProfile stage{"X", 0.5, 0.3, 0.8, 1800};
+    const auto table =
+        OfflineProfiler(100).profileStage(stage, model, 5);
+    EXPECT_EQ(table.numLevels(), 13);
+    EXPECT_DOUBLE_EQ(table.at(0), 1.0);
+}
+
+TEST_F(ProfilerTest, NormalizedTimesNonIncreasing)
+{
+    const StageProfile stage{"X", 0.5, 0.3, 0.8, 1800};
+    const auto table =
+        OfflineProfiler(100).profileStage(stage, model, 5);
+    for (int lvl = 1; lvl < table.numLevels(); ++lvl)
+        EXPECT_LE(table.at(lvl), table.at(lvl - 1));
+}
+
+TEST_F(ProfilerTest, MatchesAnalyticFrequencyScaling)
+{
+    // For compute fraction c (quoted at 1.2 GHz via the sample), the
+    // normalized time is r(f) = mem + cpu*1200/f over mem + cpu.
+    const StageProfile stage{"X", 1.0, 0.2, 0.75, 1800};
+    const auto table =
+        OfflineProfiler(400).profileStage(stage, model, 9);
+    // Re-derive the expectation at 2.4 GHz: at the 1.2 GHz reference,
+    // cpu share is 0.75*1.5 / (0.75*1.5 + 0.25) of the service time.
+    const double cpuRef = 0.75 * 1.5;
+    const double mem = 0.25;
+    const double expect = (mem + cpuRef * 0.5) / (mem + cpuRef);
+    EXPECT_NEAR(table.at(12), expect, 0.01);
+}
+
+TEST_F(ProfilerTest, MemoryBoundServiceBarelySpeedsUp)
+{
+    const StageProfile stage{"MEM", 0.5, 0.3, 0.05, 1800};
+    const auto table =
+        OfflineProfiler(200).profileStage(stage, model, 5);
+    EXPECT_GT(table.at(12), 0.90);
+}
+
+TEST_F(ProfilerTest, ComputeBoundServiceScalesLinearly)
+{
+    const StageProfile stage{"CPU", 0.5, 0.3, 1.0, 1800};
+    const auto table =
+        OfflineProfiler(200).profileStage(stage, model, 5);
+    EXPECT_NEAR(table.at(12), 0.5, 0.01); // 1200/2400
+    EXPECT_NEAR(table.at(6), 1200.0 / 1800.0, 0.01);
+}
+
+TEST_F(ProfilerTest, DeterministicForSeed)
+{
+    const StageProfile stage{"X", 0.5, 0.5, 0.8, 1800};
+    const auto a = OfflineProfiler(100).profileStage(stage, model, 21);
+    const auto b = OfflineProfiler(100).profileStage(stage, model, 21);
+    for (int lvl = 0; lvl < a.numLevels(); ++lvl)
+        EXPECT_DOUBLE_EQ(a.at(lvl), b.at(lvl));
+}
+
+TEST_F(ProfilerTest, WorkloadBookHasAllStages)
+{
+    const auto book = OfflineProfiler(50).profileWorkload(
+        WorkloadModel::sirius(), model, 5);
+    EXPECT_EQ(book.numStages(), 3);
+    for (int s = 0; s < 3; ++s)
+        EXPECT_TRUE(book.stage(s).valid());
+}
+
+TEST_F(ProfilerTest, StagesDifferInSensitivity)
+{
+    // Sirius QA (compute-bound) must gain more from frequency than IMM
+    // (memory-heavy): smaller normalized time at the top level.
+    const auto book = OfflineProfiler(200).profileWorkload(
+        WorkloadModel::sirius(), model, 5);
+    EXPECT_LT(book.stage(2).at(12), book.stage(1).at(12));
+}
+
+TEST(ProfilerDeath, NonPositiveBatchIsFatal)
+{
+    EXPECT_EXIT(OfflineProfiler(0), testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace pc

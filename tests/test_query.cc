@@ -1,0 +1,98 @@
+/** @file Unit tests for Query, WorkDemand and HopRecord. */
+
+#include <gtest/gtest.h>
+
+#include "app/query.h"
+
+namespace pc {
+namespace {
+
+TEST(WorkDemand, ServiceTimeScalesComputeOnly)
+{
+    WorkDemand d;
+    d.cpuSecAtRef = 1.2; // quoted at 1200 MHz
+    d.memSec = 0.3;
+    EXPECT_DOUBLE_EQ(d.serviceSec(1200, 1200), 1.5);
+    EXPECT_DOUBLE_EQ(d.serviceSec(2400, 1200), 0.3 + 0.6);
+    EXPECT_DOUBLE_EQ(d.serviceSec(1800, 1200), 0.3 + 0.8);
+}
+
+TEST(WorkDemand, PureMemoryIsFrequencyInsensitive)
+{
+    WorkDemand d;
+    d.memSec = 0.5;
+    EXPECT_DOUBLE_EQ(d.serviceSec(1200, 1200), 0.5);
+    EXPECT_DOUBLE_EQ(d.serviceSec(2400, 1200), 0.5);
+}
+
+TEST(WorkDemand, HigherFrequencyNeverSlower)
+{
+    WorkDemand d;
+    d.cpuSecAtRef = 0.7;
+    d.memSec = 0.1;
+    double prev = 1e9;
+    for (int mhz = 1200; mhz <= 2400; mhz += 100) {
+        const double t = d.serviceSec(mhz, 1200);
+        EXPECT_LE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(HopRecord, QueuingAndServing)
+{
+    HopRecord hop;
+    hop.enqueued = SimTime::sec(1);
+    hop.started = SimTime::sec(3);
+    hop.finished = SimTime::sec(7);
+    EXPECT_EQ(hop.queuing(), SimTime::sec(2));
+    EXPECT_EQ(hop.serving(), SimTime::sec(4));
+}
+
+TEST(Query, BasicAccessors)
+{
+    Query q(42, SimTime::sec(5), {WorkDemand{1.0, 0.1}});
+    EXPECT_EQ(q.id(), 42);
+    EXPECT_EQ(q.arrival(), SimTime::sec(5));
+    EXPECT_EQ(q.numStages(), 1);
+    EXPECT_FALSE(q.completed());
+}
+
+TEST(Query, DemandPerStage)
+{
+    Query q(1, SimTime::zero(),
+            {WorkDemand{1.0, 0.0}, WorkDemand{2.0, 0.5}});
+    EXPECT_DOUBLE_EQ(q.demand(0).cpuSecAtRef, 1.0);
+    EXPECT_DOUBLE_EQ(q.demand(1).memSec, 0.5);
+}
+
+TEST(Query, HopsAccumulateInOrder)
+{
+    Query q(1, SimTime::zero(), {WorkDemand{}, WorkDemand{}});
+    HopRecord first;
+    first.instanceId = 10;
+    HopRecord second;
+    second.instanceId = 20;
+    q.addHop(first);
+    q.addHop(second);
+    ASSERT_EQ(q.hops().size(), 2u);
+    EXPECT_EQ(q.hops()[0].instanceId, 10);
+    EXPECT_EQ(q.hops()[1].instanceId, 20);
+}
+
+TEST(Query, EndToEndLatency)
+{
+    Query q(1, SimTime::sec(2), {WorkDemand{}});
+    q.markCompleted(SimTime::sec(10));
+    EXPECT_TRUE(q.completed());
+    EXPECT_EQ(q.endToEnd(), SimTime::sec(8));
+}
+
+TEST(QueryDeath, DemandIndexOutOfRangePanics)
+{
+    Query q(7, SimTime::zero(), {WorkDemand{}});
+    EXPECT_DEATH((void)q.demand(1), "stage");
+    EXPECT_DEATH((void)q.demand(-1), "stage");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,222 @@
+/** @file Unit tests for the power reallocator (Algorithm 2). */
+
+#include <gtest/gtest.h>
+
+#include "core/reallocator.h"
+#include "app/pipeline.h"
+
+namespace pc {
+namespace {
+
+class ReallocTest : public testing::Test
+{
+  protected:
+    ReallocTest()
+        : model(PowerModel::haswell()), chip(&sim, &model, 8), bus(&sim),
+          budget(Watts(1000.0), &model), cpufreq(&chip)
+    {
+        std::vector<StageSpec> specs = {
+            {"S", 0, 0, DispatchPolicy::JoinShortestQueue}};
+        app = std::make_unique<MultiStageApp>(&sim, &chip, &bus, "app",
+                                              specs);
+    }
+
+    /** Launch an instance at @p level and register it with the budget. */
+    InstanceSnapshot
+    addInstance(int level, double metric)
+    {
+        auto *inst = app->stage(0).launchInstance(level);
+        EXPECT_TRUE(budget.allocate(inst->id(), level));
+        InstanceSnapshot s;
+        s.instanceId = inst->id();
+        s.name = inst->name();
+        s.stageIndex = 0;
+        s.coreId = inst->coreId();
+        s.level = level;
+        s.metric = metric;
+        return s;
+    }
+
+    double
+    watts(int level) const
+    {
+        return model.activeWatts(level).value();
+    }
+
+    Simulator sim;
+    PowerModel model;
+    CmpChip chip;
+    MessageBus bus;
+    PowerBudget budget;
+    CpufreqDriver cpufreq;
+    std::unique_ptr<MultiStageApp> app;
+};
+
+TEST_F(ReallocTest, RecycleFromInstanceSmallestCoveringStep)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    const auto inst = addInstance(6, 1.0);
+    const Watts need(1.0);
+    const Watts got = realloc.recycleFromInstance(inst, need);
+    // The chosen level is the *highest* level below 6 that frees >= 1 W.
+    int expectLevel = 0;
+    for (int lvl = 5; lvl >= 0; --lvl) {
+        if (watts(6) - watts(lvl) >= 1.0) {
+            expectLevel = lvl;
+            break;
+        }
+    }
+    EXPECT_EQ(cpufreq.getLevel(inst.coreId), expectLevel);
+    EXPECT_NEAR(got.value(), watts(6) - watts(expectLevel), 1e-9);
+    EXPECT_GE(got.value(), 1.0);
+    EXPECT_EQ(budget.levelOf(inst.instanceId), expectLevel);
+}
+
+TEST_F(ReallocTest, RecycleFromInstanceFloorsWhenInsufficient)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    const auto inst = addInstance(6, 1.0);
+    const Watts got =
+        realloc.recycleFromInstance(inst, Watts(100.0));
+    EXPECT_EQ(cpufreq.getLevel(inst.coreId), 0);
+    EXPECT_NEAR(got.value(), watts(6) - watts(0), 1e-9);
+}
+
+TEST_F(ReallocTest, RecycleFromFloorInstanceYieldsNothing)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    const auto inst = addInstance(0, 1.0);
+    EXPECT_DOUBLE_EQ(
+        realloc.recycleFromInstance(inst, Watts(1.0)).value(), 0.0);
+}
+
+TEST_F(ReallocTest, RecycleFromInstanceHonoursMaxSteps)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    const auto inst = addInstance(6, 1.0);
+    const Watts got =
+        realloc.recycleFromInstance(inst, Watts(100.0), /*maxSteps=*/2);
+    EXPECT_EQ(cpufreq.getLevel(inst.coreId), 4);
+    EXPECT_NEAR(got.value(), watts(6) - watts(4), 1e-9);
+}
+
+TEST_F(ReallocTest, RecycleVisitsFastestFirst)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, /*metric=*/0.1)); // fastest
+    sorted.push_back(addInstance(6, /*metric=*/0.5));
+    sorted.push_back(addInstance(6, /*metric=*/2.0)); // bottleneck
+    // Need less than one donor can give: only the fastest is touched.
+    const Watts got = realloc.recycle(Watts(0.5), sorted,
+                                      sorted.back().instanceId);
+    EXPECT_GE(got.value(), 0.5);
+    EXPECT_LT(cpufreq.getLevel(sorted[0].coreId), 6);
+    EXPECT_EQ(cpufreq.getLevel(sorted[1].coreId), 6);
+    EXPECT_EQ(cpufreq.getLevel(sorted[2].coreId), 6);
+}
+
+TEST_F(ReallocTest, RecycleSpillsToNextDonor)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, 0.1));
+    sorted.push_back(addInstance(6, 0.5));
+    sorted.push_back(addInstance(6, 2.0));
+    // More than one donor's full range (1.2->... frees ~2.88 W each).
+    const double perDonor = watts(6) - watts(0);
+    const Watts need(perDonor + 1.0);
+    const Watts got =
+        realloc.recycle(need, sorted, sorted.back().instanceId);
+    EXPECT_GE(got.value(), need.value());
+    EXPECT_EQ(cpufreq.getLevel(sorted[0].coreId), 0); // fully drained
+    EXPECT_LT(cpufreq.getLevel(sorted[1].coreId), 6); // partially
+    EXPECT_EQ(cpufreq.getLevel(sorted[2].coreId), 6); // excluded
+}
+
+TEST_F(ReallocTest, RecycleNeverTouchesExcluded)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, 0.1));
+    sorted.push_back(addInstance(6, 2.0));
+    const Watts got = realloc.recycle(Watts(1000.0), sorted,
+                                      sorted.back().instanceId);
+    EXPECT_EQ(cpufreq.getLevel(sorted[1].coreId), 6);
+    EXPECT_NEAR(got.value(), watts(6) - watts(0), 1e-9);
+}
+
+TEST_F(ReallocTest, RecycleZeroOrNegativeNeedIsNoOp)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, 0.1));
+    EXPECT_DOUBLE_EQ(
+        realloc.recycle(Watts(0.0), sorted, -1).value(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        realloc.recycle(Watts(-1.0), sorted, -1).value(), 0.0);
+    EXPECT_EQ(cpufreq.getLevel(sorted[0].coreId), 6);
+}
+
+TEST_F(ReallocTest, BudgetReflectsRecycledPower)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, 0.1));
+    sorted.push_back(addInstance(6, 2.0));
+    const double before = budget.allocated().value();
+    const Watts got =
+        realloc.recycle(Watts(1.5), sorted, sorted.back().instanceId);
+    EXPECT_NEAR(budget.allocated().value(), before - got.value(), 1e-9);
+}
+
+TEST_F(ReallocTest, SlowestFirstOrderReverses)
+{
+    PowerReallocator realloc(&budget, &cpufreq,
+                             std::make_unique<SlowestFirstOrder>());
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, 0.1));
+    sorted.push_back(addInstance(6, 0.5));
+    sorted.push_back(addInstance(6, 2.0));
+    realloc.recycle(Watts(0.5), sorted, sorted.back().instanceId);
+    // The *slowest non-excluded* donor (metric 0.5) is drained first.
+    EXPECT_EQ(cpufreq.getLevel(sorted[0].coreId), 6);
+    EXPECT_LT(cpufreq.getLevel(sorted[1].coreId), 6);
+}
+
+TEST_F(ReallocTest, ProportionalOrderSpreadsSteps)
+{
+    PowerReallocator realloc(&budget, &cpufreq,
+                             std::make_unique<ProportionalOrder>());
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(6, 0.1));
+    sorted.push_back(addInstance(6, 0.5));
+    sorted.push_back(addInstance(6, 2.0));
+    // One step of level 6->5 frees < 0.7 W, so one round is not enough
+    // and both donors must contribute a step before anyone gives two.
+    const double oneStep = watts(6) - watts(5);
+    realloc.recycle(Watts(1.5 * oneStep), sorted,
+                    sorted.back().instanceId);
+    EXPECT_EQ(cpufreq.getLevel(sorted[0].coreId), 5);
+    EXPECT_EQ(cpufreq.getLevel(sorted[1].coreId), 5);
+}
+
+TEST_F(ReallocTest, DefaultOrderIsFastestFirst)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    EXPECT_STREQ(realloc.orderPolicy().name(), "fastest-first");
+}
+
+TEST_F(ReallocTest, RecycleReturnsShortfallWhenAllFloored)
+{
+    PowerReallocator realloc(&budget, &cpufreq);
+    SortedSnapshots sorted;
+    sorted.push_back(addInstance(0, 0.1));
+    sorted.push_back(addInstance(0, 2.0));
+    const Watts got = realloc.recycle(Watts(5.0), sorted,
+                                      sorted.back().instanceId);
+    EXPECT_DOUBLE_EQ(got.value(), 0.0);
+}
+
+} // namespace
+} // namespace pc

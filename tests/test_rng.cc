@@ -1,0 +1,121 @@
+/** @file Unit tests for the deterministic Rng wrapper. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pc {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform(0, 1) == b.uniform(0, 1))
+            ++equal;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawCount)
+{
+    // A fork taken at the same point yields the same child stream.
+    Rng a(7);
+    Rng childA = a.fork();
+    Rng b(7);
+    Rng childB = b.fork();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(childA.uniform(0, 1), childB.uniform(0, 1));
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(5);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = rng.uniformInt(0, 3);
+        EXPECT_GE(x, 0);
+        EXPECT_LE(x, 3);
+        sawLo |= (x == 0);
+        sawHi |= (x == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(9);
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.exponential(0.5);
+    EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, LognormalMeanAndCv)
+{
+    Rng rng(11);
+    constexpr int kN = 50000;
+    double sum = 0;
+    double sumSq = 0;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.lognormal(2.0, 0.5);
+        sum += x;
+        sumSq += x * x;
+    }
+    const double mean = sum / kN;
+    const double var = sumSq / kN - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.lognormal(0.1, 2.0), 0.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(17);
+    constexpr int kN = 20000;
+    double sum = 0;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(19);
+    int heads = 0;
+    constexpr int kN = 10000;
+    for (int i = 0; i < kN; ++i)
+        heads += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / kN, 0.3, 0.03);
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,159 @@
+/** @file Unit tests for the RPC message bus. */
+
+#include <gtest/gtest.h>
+
+#include "rpc/bus.h"
+
+namespace pc {
+namespace {
+
+class TextMessage : public Message
+{
+  public:
+    explicit TextMessage(std::string t) : text(std::move(t)) {}
+    const char *type() const override { return "text"; }
+    std::string text;
+};
+
+class BusTest : public testing::Test
+{
+  protected:
+    BusTest() : bus(&sim) {}
+
+    Simulator sim;
+    MessageBus bus;
+};
+
+TEST_F(BusTest, RegisterAndLookup)
+{
+    const EndpointId id = bus.registerEndpoint("svc/a", [](auto &) {});
+    EXPECT_NE(id, 0u);
+    ASSERT_TRUE(bus.lookup("svc/a").has_value());
+    EXPECT_EQ(*bus.lookup("svc/a"), id);
+    EXPECT_FALSE(bus.lookup("svc/b").has_value());
+}
+
+TEST_F(BusTest, SendDeliversToHandler)
+{
+    std::string got;
+    const EndpointId id = bus.registerEndpoint(
+        "svc", [&](const MessagePtr &msg) {
+            got = dynamic_cast<const TextMessage &>(*msg).text;
+        });
+    bus.send(id, std::make_shared<TextMessage>("hello"));
+    sim.run();
+    EXPECT_EQ(got, "hello");
+    EXPECT_EQ(bus.messagesDelivered(), 1u);
+}
+
+TEST_F(BusTest, DeliveryIsAsynchronous)
+{
+    bool delivered = false;
+    const EndpointId id = bus.registerEndpoint(
+        "svc", [&](const MessagePtr &) { delivered = true; });
+    bus.send(id, std::make_shared<TextMessage>("x"));
+    EXPECT_FALSE(delivered); // not before the event fires
+    sim.run();
+    EXPECT_TRUE(delivered);
+}
+
+TEST_F(BusTest, DeliveryDelayApplies)
+{
+    SimTime at;
+    const EndpointId id = bus.registerEndpoint(
+        "svc", [&](const MessagePtr &) { at = sim.now(); });
+    bus.setDeliveryDelay(SimTime::msec(5));
+    bus.send(id, std::make_shared<TextMessage>("x"));
+    sim.run();
+    EXPECT_EQ(at, SimTime::msec(5));
+    EXPECT_EQ(bus.deliveryDelay(), SimTime::msec(5));
+}
+
+TEST_F(BusTest, UnregisteredEndpointDropsInFlight)
+{
+    const EndpointId id = bus.registerEndpoint("svc", [](auto &) {});
+    bus.send(id, std::make_shared<TextMessage>("x"));
+    bus.unregisterEndpoint(id);
+    sim.run();
+    EXPECT_EQ(bus.messagesDelivered(), 0u);
+    EXPECT_EQ(bus.messagesDropped(), 1u);
+}
+
+TEST_F(BusTest, UnregisterFreesName)
+{
+    const EndpointId id = bus.registerEndpoint("svc", [](auto &) {});
+    bus.unregisterEndpoint(id);
+    EXPECT_FALSE(bus.lookup("svc").has_value());
+    EXPECT_NE(bus.registerEndpoint("svc", [](auto &) {}), 0u);
+}
+
+TEST_F(BusTest, MultipleEndpointsIsolated)
+{
+    int a = 0;
+    int b = 0;
+    const EndpointId ea =
+        bus.registerEndpoint("a", [&](auto &) { ++a; });
+    const EndpointId eb =
+        bus.registerEndpoint("b", [&](auto &) { ++b; });
+    bus.send(ea, std::make_shared<TextMessage>("1"));
+    bus.send(ea, std::make_shared<TextMessage>("2"));
+    bus.send(eb, std::make_shared<TextMessage>("3"));
+    sim.run();
+    EXPECT_EQ(a, 2);
+    EXPECT_EQ(b, 1);
+}
+
+TEST_F(BusTest, FifoOrderPreserved)
+{
+    std::vector<std::string> order;
+    const EndpointId id = bus.registerEndpoint(
+        "svc", [&](const MessagePtr &msg) {
+            order.push_back(
+                dynamic_cast<const TextMessage &>(*msg).text);
+        });
+    bus.send(id, std::make_shared<TextMessage>("1"));
+    bus.send(id, std::make_shared<TextMessage>("2"));
+    bus.send(id, std::make_shared<TextMessage>("3"));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(BusTest, HandlerMaySendMore)
+{
+    int hops = 0;
+    EndpointId id = 0;
+    id = bus.registerEndpoint("svc", [&](const MessagePtr &) {
+        if (++hops < 3)
+            bus.send(id, std::make_shared<TextMessage>("again"));
+    });
+    bus.send(id, std::make_shared<TextMessage>("start"));
+    sim.run();
+    EXPECT_EQ(hops, 3);
+}
+
+TEST(BusDeath, DuplicateNameIsFatal)
+{
+    Simulator sim;
+    MessageBus bus(&sim);
+    bus.registerEndpoint("same", [](auto &) {});
+    EXPECT_EXIT(bus.registerEndpoint("same", [](auto &) {}),
+                testing::ExitedWithCode(1), "already registered");
+}
+
+TEST(BusDeath, NullMessagePanics)
+{
+    Simulator sim;
+    MessageBus bus(&sim);
+    const EndpointId id = bus.registerEndpoint("svc", [](auto &) {});
+    EXPECT_DEATH(bus.send(id, nullptr), "null message");
+}
+
+TEST(BusDeath, UnregisterUnknownPanics)
+{
+    Simulator sim;
+    MessageBus bus(&sim);
+    EXPECT_DEATH(bus.unregisterEndpoint(99), "unknown endpoint");
+}
+
+} // namespace
+} // namespace pc

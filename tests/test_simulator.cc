@@ -1,0 +1,207 @@
+/** @file Unit tests for the discrete-event simulator. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace pc {
+namespace {
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), SimTime::zero());
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.scheduleAt(SimTime::sec(3), [&]() { order.push_back(3); });
+    sim.scheduleAt(SimTime::sec(1), [&]() { order.push_back(1); });
+    sim.scheduleAt(SimTime::sec(2), [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), SimTime::sec(3));
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.scheduleAt(SimTime::sec(1), [&, i]() { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesDuringDispatch)
+{
+    Simulator sim;
+    SimTime seen;
+    sim.scheduleAt(SimTime::msec(250), [&]() { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, SimTime::msec(250));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative)
+{
+    Simulator sim;
+    SimTime seen;
+    sim.scheduleAt(SimTime::sec(1), [&]() {
+        sim.scheduleAfter(SimTime::sec(2), [&]() { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, SimTime::sec(3));
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool ran = false;
+    const EventId id =
+        sim.scheduleAt(SimTime::sec(1), [&]() { ran = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceFails)
+{
+    Simulator sim;
+    const EventId id = sim.scheduleAt(SimTime::sec(1), []() {});
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireFails)
+{
+    Simulator sim;
+    const EventId id = sim.scheduleAt(SimTime::sec(1), []() {});
+    sim.run();
+    EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdFails)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.cancel(0));
+    EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int count = 0;
+    sim.scheduleAt(SimTime::sec(1), [&]() { ++count; });
+    sim.scheduleAt(SimTime::sec(5), [&]() { ++count; });
+    sim.runUntil(SimTime::sec(2));
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(sim.now(), SimTime::sec(2));
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.scheduleAt(SimTime::sec(2), [&]() { ran = true; });
+    sim.runUntil(SimTime::sec(2));
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StepOneEventAtATime)
+{
+    Simulator sim;
+    int count = 0;
+    sim.scheduleAt(SimTime::sec(1), [&]() { ++count; });
+    sim.scheduleAt(SimTime::sec(2), [&]() { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, DispatchedCountsSkipCancelled)
+{
+    Simulator sim;
+    sim.scheduleAt(SimTime::sec(1), []() {});
+    const EventId id = sim.scheduleAt(SimTime::sec(2), []() {});
+    sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(sim.dispatchedEvents(), 1u);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim.schedulePeriodic(SimTime::sec(1), SimTime::sec(1),
+                         [&]() { ++ticks; });
+    sim.runUntil(SimTime::sec(5));
+    EXPECT_EQ(ticks, 5);
+}
+
+TEST(Simulator, PeriodicCancelStops)
+{
+    Simulator sim;
+    int ticks = 0;
+    const EventId handle = sim.schedulePeriodic(
+        SimTime::sec(1), SimTime::sec(1), [&]() { ++ticks; });
+    sim.runUntil(SimTime::sec(3));
+    sim.cancelPeriodic(handle);
+    sim.runUntil(SimTime::sec(10));
+    EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself)
+{
+    Simulator sim;
+    int ticks = 0;
+    EventId handle = 0;
+    handle = sim.schedulePeriodic(SimTime::sec(1), SimTime::sec(1),
+                                  [&]() {
+                                      if (++ticks == 2)
+                                          sim.cancelPeriodic(handle);
+                                  });
+    sim.runUntil(SimTime::sec(10));
+    EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulator, NestedSchedulingFromEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&]() {
+        if (++depth < 10)
+            sim.scheduleAfter(SimTime::msec(1), recurse);
+    };
+    sim.scheduleAt(SimTime::zero(), recurse);
+    sim.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(sim.now(), SimTime::msec(9));
+}
+
+TEST(SimulatorDeath, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.scheduleAt(SimTime::sec(5), []() {});
+    sim.run();
+    EXPECT_DEATH(sim.scheduleAt(SimTime::sec(1), []() {}), "past");
+}
+
+TEST(SimulatorDeath, NonPositivePeriodPanics)
+{
+    Simulator sim;
+    EXPECT_DEATH(
+        sim.schedulePeriodic(SimTime::zero(), SimTime::zero(), []() {}),
+        "period");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,97 @@
+/** @file Unit tests for SpeedupTable / SpeedupBook. */
+
+#include <gtest/gtest.h>
+
+#include "core/speedup.h"
+
+namespace pc {
+namespace {
+
+TEST(SpeedupTable, BasicAccess)
+{
+    SpeedupTable t({1.0, 0.8, 0.6});
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.numLevels(), 3);
+    EXPECT_DOUBLE_EQ(t.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(t.at(2), 0.6);
+}
+
+TEST(SpeedupTable, DefaultIsInvalid)
+{
+    SpeedupTable t;
+    EXPECT_FALSE(t.valid());
+}
+
+TEST(SpeedupTable, RatioIsAlgorithmOnesR2OverR1)
+{
+    SpeedupTable t({1.0, 0.8, 0.5});
+    EXPECT_DOUBLE_EQ(t.ratio(0, 2), 0.5);
+    EXPECT_DOUBLE_EQ(t.ratio(1, 2), 0.625);
+    EXPECT_DOUBLE_EQ(t.ratio(2, 2), 1.0);
+    // Downward move yields a slowdown factor > 1.
+    EXPECT_DOUBLE_EQ(t.ratio(2, 0), 2.0);
+}
+
+TEST(SpeedupTable, FlatTableAllowed)
+{
+    // A fully memory-bound service gains nothing from frequency.
+    SpeedupTable t({1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(t.ratio(0, 2), 1.0);
+}
+
+TEST(SpeedupTableDeath, EmptyIsFatal)
+{
+    EXPECT_EXIT(SpeedupTable(std::vector<double>{}),
+                testing::ExitedWithCode(1), "empty");
+}
+
+TEST(SpeedupTableDeath, IncreasingIsFatal)
+{
+    EXPECT_EXIT(SpeedupTable({1.0, 1.2}), testing::ExitedWithCode(1),
+                "non-increasing");
+}
+
+TEST(SpeedupTableDeath, OutOfRangeLevelPanics)
+{
+    SpeedupTable t({1.0, 0.9});
+    EXPECT_DEATH((void)t.at(2), "outside table");
+    EXPECT_DEATH((void)t.at(-1), "outside table");
+}
+
+TEST(SpeedupBook, SetAndGetPerStage)
+{
+    SpeedupBook book;
+    book.setStage(0, SpeedupTable({1.0, 0.9}));
+    book.setStage(2, SpeedupTable({1.0, 0.5}));
+    EXPECT_EQ(book.numStages(), 3);
+    EXPECT_DOUBLE_EQ(book.stage(0).at(1), 0.9);
+    EXPECT_DOUBLE_EQ(book.stage(2).at(1), 0.5);
+}
+
+TEST(SpeedupBook, OverwriteStage)
+{
+    SpeedupBook book;
+    book.setStage(0, SpeedupTable({1.0, 0.9}));
+    book.setStage(0, SpeedupTable({1.0, 0.7}));
+    EXPECT_DOUBLE_EQ(book.stage(0).at(1), 0.7);
+}
+
+TEST(SpeedupBookDeath, MissingStagePanics)
+{
+    SpeedupBook book;
+    book.setStage(0, SpeedupTable({1.0}));
+    EXPECT_DEATH((void)book.stage(1), "no speedup table");
+    // The gap left by sparse setStage is also invalid.
+    SpeedupBook sparse;
+    sparse.setStage(1, SpeedupTable({1.0}));
+    EXPECT_DEATH((void)sparse.stage(0), "no speedup table");
+}
+
+TEST(SpeedupBookDeath, NegativeStagePanics)
+{
+    SpeedupBook book;
+    EXPECT_DEATH(book.setStage(-1, SpeedupTable({1.0})), "negative");
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parameterized full-matrix sweep: every mitigation policy on every
+ * workload at every load level (and every QoS policy on both QoS
+ * setups) runs a short scenario end to end, and the universal
+ * invariants hold. This is the breadth net that catches a regression
+ * in any single policy/workload combination.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace pc {
+namespace {
+
+WorkloadModel
+workloadByName(const std::string &name)
+{
+    if (name == "sirius")
+        return WorkloadModel::sirius();
+    if (name == "sirius-mixed")
+        return WorkloadModel::siriusMixed();
+    return WorkloadModel::nlp();
+}
+
+void
+checkUniversalInvariants(const RunResult &r)
+{
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_LE(r.completed, r.submitted);
+    EXPECT_GT(r.avgLatencySec, 0.0);
+    EXPECT_GE(r.p99LatencySec, r.avgLatencySec * 0.5);
+    EXPECT_GE(r.maxLatencySec, r.p99LatencySec - 1e-9);
+    EXPECT_GT(r.avgPowerWatts, 0.0);
+    EXPECT_GT(r.energyJoules, 0.0);
+    for (const auto &b : r.stageBreakdown) {
+        EXPECT_GE(b.avgQueuingSec, 0.0);
+        EXPECT_GE(b.avgServingSec, 0.0);
+    }
+}
+
+// ----------------------------------------------------- mitigation grid
+
+using MitigationParam =
+    std::tuple<std::string /*workload*/, LoadLevel, PolicyKind>;
+
+class MitigationSweep
+    : public testing::TestWithParam<MitigationParam>
+{
+};
+
+TEST_P(MitigationSweep, RunsAndHoldsInvariants)
+{
+    const auto &[workloadName, level, policy] = GetParam();
+    const WorkloadModel workload = workloadByName(workloadName);
+    Scenario sc = Scenario::mitigation(workload, level, policy, 7);
+    sc.duration = SimTime::sec(150);
+    sc.warmup = SimTime::sec(10);
+    const RunResult r = ExperimentRunner().run(sc);
+    checkUniversalInvariants(r);
+    // Power capped by the budget (modelled RAPL draw below cap).
+    EXPECT_LE(r.avgPowerWatts, 13.56 + 1e-6);
+}
+
+std::string
+mitigationName(const testing::TestParamInfo<MitigationParam> &info)
+{
+    const auto &[workload, level, policy] = info.param;
+    std::string name = workload + "_" + toString(level) + "_" +
+        toString(policy);
+    for (char &c : name)
+        if (c == '-' || c == '/')
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MitigationSweep,
+    testing::Combine(
+        testing::Values("sirius", "sirius-mixed", "nlp"),
+        testing::Values(LoadLevel::Low, LoadLevel::Medium,
+                        LoadLevel::High),
+        testing::Values(PolicyKind::StageAgnostic,
+                        PolicyKind::FreqBoost, PolicyKind::InstBoost,
+                        PolicyKind::PowerChief)),
+    mitigationName);
+
+// ------------------------------------------------------------ QoS grid
+
+using QosParam = std::tuple<std::string, PolicyKind>;
+
+class QosSweep : public testing::TestWithParam<QosParam>
+{
+};
+
+TEST_P(QosSweep, RunsAndHoldsInvariants)
+{
+    const auto &[workloadName, policy] = GetParam();
+    Scenario sc;
+    if (workloadName == "websearch") {
+        sc = Scenario::conservation(WorkloadModel::webSearch(), {6, 1},
+                                    0.25, SimTime::sec(2), policy, 7);
+        sc.load = LoadProfile::constant(15.0);
+    } else {
+        sc = Scenario::conservation(WorkloadModel::sirius(), {4, 2, 5},
+                                    3.0, SimTime::sec(10), policy, 7);
+        sc.load = LoadProfile::constant(0.8);
+    }
+    sc.duration = SimTime::sec(200);
+    sc.warmup = SimTime::sec(20);
+    const RunResult r = ExperimentRunner().run(sc);
+    checkUniversalInvariants(r);
+    // Both QoS policies keep the mean latency signal under the target.
+    EXPECT_LT(r.avgLatencySec, sc.qosTargetSec);
+}
+
+std::string
+qosName(const testing::TestParamInfo<QosParam> &info)
+{
+    const auto &[workload, policy] = info.param;
+    std::string name = workload + "_" + toString(policy);
+    for (char &c : name)
+        if (c == '-' || c == '/')
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QosSweep,
+    testing::Combine(testing::Values("sirius", "websearch"),
+                     testing::Values(PolicyKind::Pegasus,
+                                     PolicyKind::PowerChiefConserve)),
+    qosName);
+
+// ------------------------------------------- cross-policy consistency
+
+TEST(SweepConsistency, AdaptiveNeverMuchWorseThanBestStatic)
+{
+    // At every load level, PowerChief must land within 2x of the
+    // better of the two static techniques (the paper's adaptive-
+    // dominance claim with slack for control transients).
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    const ExperimentRunner runner;
+    for (LoadLevel level :
+         {LoadLevel::Low, LoadLevel::Medium, LoadLevel::High}) {
+        auto runOf = [&](PolicyKind policy) {
+            Scenario sc = Scenario::mitigation(sirius, level, policy);
+            sc.duration = SimTime::sec(400);
+            return runner.run(sc).avgLatencySec;
+        };
+        const double freq = runOf(PolicyKind::FreqBoost);
+        const double inst = runOf(PolicyKind::InstBoost);
+        const double chief = runOf(PolicyKind::PowerChief);
+        EXPECT_LT(chief, 2.0 * std::min(freq, inst))
+            << "at " << toString(level) << " load";
+    }
+}
+
+} // namespace
+} // namespace pc

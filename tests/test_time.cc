@@ -1,0 +1,84 @@
+/** @file Unit tests for SimTime. */
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace pc {
+namespace {
+
+TEST(SimTime, DefaultIsZero)
+{
+    EXPECT_EQ(SimTime().toUsec(), 0);
+    EXPECT_EQ(SimTime(), SimTime::zero());
+}
+
+TEST(SimTime, ConstructionUnits)
+{
+    EXPECT_EQ(SimTime::usec(1500).toUsec(), 1500);
+    EXPECT_EQ(SimTime::msec(1.5).toUsec(), 1500);
+    EXPECT_EQ(SimTime::sec(1.5).toUsec(), 1500000);
+}
+
+TEST(SimTime, Conversions)
+{
+    const SimTime t = SimTime::usec(2500000);
+    EXPECT_DOUBLE_EQ(t.toSec(), 2.5);
+    EXPECT_DOUBLE_EQ(t.toMsec(), 2500.0);
+}
+
+TEST(SimTime, Ordering)
+{
+    EXPECT_LT(SimTime::msec(1), SimTime::msec(2));
+    EXPECT_GT(SimTime::sec(1), SimTime::msec(999));
+    EXPECT_LE(SimTime::sec(1), SimTime::msec(1000));
+    EXPECT_EQ(SimTime::sec(1), SimTime::msec(1000));
+}
+
+TEST(SimTime, Arithmetic)
+{
+    const SimTime a = SimTime::sec(2);
+    const SimTime b = SimTime::msec(500);
+    EXPECT_EQ((a + b).toUsec(), 2500000);
+    EXPECT_EQ((a - b).toUsec(), 1500000);
+    EXPECT_EQ((a * 0.25).toUsec(), 500000);
+    EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(SimTime, CompoundAssignment)
+{
+    SimTime t = SimTime::sec(1);
+    t += SimTime::msec(250);
+    EXPECT_EQ(t, SimTime::msec(1250));
+    t -= SimTime::msec(1250);
+    EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, NegativeDurations)
+{
+    const SimTime d = SimTime::sec(1) - SimTime::sec(3);
+    EXPECT_EQ(d.toSec(), -2.0);
+    EXPECT_LT(d, SimTime::zero());
+}
+
+TEST(SimTime, MaxIsLaterThanEverything)
+{
+    EXPECT_GT(SimTime::max(), SimTime::sec(1e12));
+}
+
+TEST(SimTime, ToStringPicksUnit)
+{
+    EXPECT_EQ(SimTime::usec(12).toString(), "12us");
+    EXPECT_EQ(SimTime::msec(12.5).toString(), "12.5ms");
+    EXPECT_EQ(SimTime::sec(3.25).toString(), "3.25s");
+}
+
+TEST(SimTime, SubMicrosecondTruncation)
+{
+    // Construction truncates toward zero at microsecond resolution.
+    EXPECT_EQ(SimTime::sec(1e-7).toUsec(), 0);
+    EXPECT_EQ(SimTime::msec(0.0015).toUsec(), 1);
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,197 @@
+/** @file Tests for the decision trace and interference model. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/command_center.h"
+#include "core/trace.h"
+#include "exp/runner.h"
+#include "workloads/loadgen.h"
+#include "workloads/profiler.h"
+
+namespace pc {
+namespace {
+
+TEST(DecisionTrace, RecordsAndCounts)
+{
+    DecisionTrace trace;
+    trace.record(SimTime::sec(1), TraceKind::FrequencyBoost, "QA_1", 9);
+    trace.record(SimTime::sec(2), TraceKind::InstanceLaunch, "QA_2", 0);
+    trace.record(SimTime::sec(3), TraceKind::FrequencyBoost, "ASR_1",
+                 12);
+    EXPECT_EQ(trace.events().size(), 3u);
+    EXPECT_EQ(trace.count(TraceKind::FrequencyBoost), 2u);
+    EXPECT_EQ(trace.count(TraceKind::InstanceLaunch), 1u);
+    EXPECT_EQ(trace.count(TraceKind::InstanceWithdraw), 0u);
+    EXPECT_EQ(trace.events()[0].subject, "QA_1");
+    EXPECT_DOUBLE_EQ(trace.events()[0].value, 9.0);
+}
+
+TEST(DecisionTrace, CapEvictsOldestButKeepsCounts)
+{
+    DecisionTrace trace(3);
+    for (int i = 0; i < 5; ++i)
+        trace.record(SimTime::sec(i), TraceKind::PowerRecycle,
+                     "I" + std::to_string(i), i);
+    EXPECT_EQ(trace.events().size(), 3u);
+    EXPECT_EQ(trace.events().front().subject, "I2");
+    EXPECT_EQ(trace.count(TraceKind::PowerRecycle), 5u);
+    EXPECT_EQ(trace.dropped(), 2u);
+}
+
+TEST(DecisionTrace, CsvDump)
+{
+    DecisionTrace trace;
+    trace.record(SimTime::sec(25), TraceKind::InstanceWithdraw,
+                 "IMM_2", 0);
+    std::ostringstream out;
+    trace.writeCsv(out);
+    EXPECT_NE(out.str().find("time_sec,kind,subject,value"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("instance-withdraw"), std::string::npos);
+    EXPECT_NE(out.str().find("IMM_2"), std::string::npos);
+}
+
+TEST(DecisionTrace, Clear)
+{
+    DecisionTrace trace;
+    trace.record(SimTime::sec(1), TraceKind::IntervalSkipped, "x", 0);
+    trace.clear();
+    EXPECT_TRUE(trace.events().empty());
+    EXPECT_EQ(trace.count(TraceKind::IntervalSkipped), 0u);
+}
+
+TEST(DecisionTraceDeath, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT(DecisionTrace(0), testing::ExitedWithCode(1),
+                "capacity");
+}
+
+TEST(DecisionTrace, CommandCenterRecordsBoosts)
+{
+    // A saturated Sirius run must leave a non-empty audit trail whose
+    // counts match the policy's own counters.
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 16);
+    MessageBus bus(&sim);
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    MultiStageApp app(&sim, &chip, &bus, "sirius",
+                      sirius.layout(1, model.ladder().midLevel()));
+    const SpeedupBook book =
+        OfflineProfiler(40).profileWorkload(sirius, model, 1);
+    PowerBudget budget(Watts(13.56), &model);
+    ControlConfig cfg;
+    cfg.adjustInterval = SimTime::sec(10);
+    cfg.enableWithdraw = true;
+    cfg.withdrawInterval = SimTime::sec(40);
+    CommandCenter center(&sim, &bus, &chip, &app, &budget, &book, cfg,
+                         std::make_unique<PowerChiefPolicy>());
+    center.start();
+    LoadGenerator gen(&sim, &app, &sirius, LoadProfile::constant(0.9),
+                      3, model.ladder().freqAt(0).value());
+    gen.start(SimTime::sec(300));
+    sim.runUntil(SimTime::sec(300));
+
+    const auto &policy =
+        dynamic_cast<const PowerChiefPolicy &>(center.policy());
+    const auto &trace = center.trace();
+    EXPECT_EQ(trace.count(TraceKind::FrequencyBoost),
+              policy.frequencyBoosts());
+    EXPECT_EQ(trace.count(TraceKind::InstanceLaunch),
+              policy.instanceBoosts());
+    EXPECT_GT(trace.count(TraceKind::FrequencyBoost) +
+                  trace.count(TraceKind::InstanceLaunch),
+              0u);
+    // Funding those boosts required recycling.
+    EXPECT_GT(trace.count(TraceKind::PowerRecycle), 0u);
+    // Timestamps are ordered.
+    for (std::size_t i = 1; i < trace.events().size(); ++i)
+        EXPECT_LE(trace.events()[i - 1].t, trace.events()[i].t);
+}
+
+// ------------------------------------------------------- interference
+
+TEST(Interference, FactorMath)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 6);
+    chip.setInterference({0.05, 2});
+    for (int i = 0; i < 5; ++i) {
+        const auto id = chip.acquireCore(0);
+        chip.core(*id).setBusy(true);
+    }
+    // Core 5 sees 5 busy others, 2 free -> 3 contending.
+    EXPECT_DOUBLE_EQ(chip.interferenceFactor(5), 1.15);
+    // A busy core does not contend with itself: core 0 sees 4 others.
+    EXPECT_DOUBLE_EQ(chip.interferenceFactor(0), 1.10);
+}
+
+TEST(Interference, DisabledByDefault)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 4);
+    for (int i = 0; i < 4; ++i) {
+        const auto id = chip.acquireCore(0);
+        chip.core(*id).setBusy(true);
+    }
+    EXPECT_DOUBLE_EQ(chip.interferenceFactor(0), 1.0);
+}
+
+TEST(Interference, BelowAllowanceIsFree)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 4);
+    chip.setInterference({0.1, 2});
+    const auto a = chip.acquireCore(0);
+    chip.core(*a).setBusy(true);
+    EXPECT_DOUBLE_EQ(chip.interferenceFactor(3), 1.0);
+}
+
+TEST(Interference, InflatesServiceTime)
+{
+    Simulator sim;
+    const PowerModel model = PowerModel::haswell();
+    CmpChip chip(&sim, &model, 4);
+    chip.setInterference({0.10, 0});
+
+    // Two neighbour cores busy for a long time.
+    for (int i = 0; i < 2; ++i) {
+        const auto id = chip.acquireCore(0);
+        chip.core(*id).setBusy(true);
+    }
+    const int core = *chip.acquireCore(0);
+    double served = 0;
+    ServiceInstance inst(1, "S_1", 0, &sim, &chip, core,
+                         [&](QueryPtr q) {
+                             served = q->hops().back().serving().toSec();
+                         });
+    inst.enqueue(std::make_shared<Query>(
+        1, sim.now(), std::vector<WorkDemand>{{0.0, 1.0}}));
+    sim.run();
+    // 2 busy neighbours * 0.10 -> 1.2 s instead of 1.0 s.
+    EXPECT_NEAR(served, 1.2, 1e-6);
+}
+
+TEST(Interference, EndToEndDegradationIsMonotonic)
+{
+    auto run = [](double alpha) {
+        Scenario sc = Scenario::mitigation(WorkloadModel::sirius(),
+                                           LoadLevel::Medium,
+                                           PolicyKind::PowerChief, 5);
+        sc.duration = SimTime::sec(200);
+        sc.interference.alphaPerCore = alpha;
+        sc.interference.freeCores = 1;
+        return ExperimentRunner().run(sc).avgLatencySec;
+    };
+    const double clean = run(0.0);
+    const double contended = run(0.08);
+    EXPECT_GT(contended, clean);
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,75 @@
+/** @file Unit tests for the MHz / Watts / Joules strong types. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace pc {
+namespace {
+
+TEST(MHz, ValueAndGHz)
+{
+    const MHz f(1800);
+    EXPECT_EQ(f.value(), 1800);
+    EXPECT_DOUBLE_EQ(f.toGHz(), 1.8);
+}
+
+TEST(MHz, Ordering)
+{
+    EXPECT_LT(MHz(1200), MHz(2400));
+    EXPECT_EQ(MHz(1800), MHz(1800));
+    EXPECT_GE(MHz(2400), MHz(2400));
+}
+
+TEST(MHz, Arithmetic)
+{
+    EXPECT_EQ((MHz(1800) + MHz(100)).value(), 1900);
+    EXPECT_EQ((MHz(1800) - MHz(600)).value(), 1200);
+}
+
+TEST(MHz, ToString)
+{
+    EXPECT_EQ(MHz(1800).toString(), "1.8GHz");
+    EXPECT_EQ(MHz(2400).toString(), "2.4GHz");
+}
+
+TEST(Watts, Arithmetic)
+{
+    Watts w(4.0);
+    w += Watts(1.5);
+    EXPECT_DOUBLE_EQ(w.value(), 5.5);
+    w -= Watts(0.5);
+    EXPECT_DOUBLE_EQ(w.value(), 5.0);
+    EXPECT_DOUBLE_EQ((w * 2.0).value(), 10.0);
+    EXPECT_DOUBLE_EQ((w + Watts(1.0)).value(), 6.0);
+    EXPECT_DOUBLE_EQ((w - Watts(1.0)).value(), 4.0);
+}
+
+TEST(Watts, Ordering)
+{
+    EXPECT_LT(Watts(1.0), Watts(2.0));
+    EXPECT_GT(Watts(-1.0), Watts(-2.0));
+}
+
+TEST(Watts, ToString)
+{
+    EXPECT_EQ(Watts(4.52).toString(), "4.52W");
+}
+
+TEST(Joules, Accumulation)
+{
+    Joules e;
+    e += Joules(10.0);
+    e += Joules(2.5);
+    EXPECT_DOUBLE_EQ(e.value(), 12.5);
+    EXPECT_DOUBLE_EQ((e - Joules(2.5)).value(), 10.0);
+    EXPECT_DOUBLE_EQ((e + Joules(2.5)).value(), 15.0);
+}
+
+TEST(Joules, Ordering)
+{
+    EXPECT_LT(Joules(1.0), Joules(1.5));
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * powerchief-cli — run any scenario from the command line.
+ *
+ *   powerchief-cli --workload=sirius --policy=powerchief --load=high \
+ *                  --duration=900 --seed=42 --artifacts=results/
+ *
+ * Workloads: sirius, sirius-mixed, nlp, websearch.
+ * Policies: baseline, freq, inst, powerchief, pegasus, conserve.
+ * QoS policies (pegasus/conserve) switch to the Table 3 over-
+ * provisioned layout and require --qos (seconds).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "exp/artifacts.h"
+#include "exp/config_loader.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+
+using namespace pc;
+
+namespace {
+
+bool
+pickWorkload(const std::string &name, WorkloadModel *out)
+{
+    if (name == "sirius")
+        *out = WorkloadModel::sirius();
+    else if (name == "sirius-mixed")
+        *out = WorkloadModel::siriusMixed();
+    else if (name == "nlp")
+        *out = WorkloadModel::nlp();
+    else if (name == "websearch")
+        *out = WorkloadModel::webSearch();
+    else
+        return false;
+    return true;
+}
+
+bool
+pickLevel(const std::string &name, LoadLevel *out)
+{
+    if (name == "low")
+        *out = LoadLevel::Low;
+    else if (name == "medium")
+        *out = LoadLevel::Medium;
+    else if (name == "high")
+        *out = LoadLevel::High;
+    else
+        return false;
+    return true;
+}
+
+bool
+pickPolicy(const std::string &name, PolicyKind *out)
+{
+    if (name == "baseline")
+        *out = PolicyKind::StageAgnostic;
+    else if (name == "freq")
+        *out = PolicyKind::FreqBoost;
+    else if (name == "inst")
+        *out = PolicyKind::InstBoost;
+    else if (name == "powerchief")
+        *out = PolicyKind::PowerChief;
+    else if (name == "pegasus")
+        *out = PolicyKind::Pegasus;
+    else if (name == "conserve")
+        *out = PolicyKind::PowerChiefConserve;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("powerchief-cli");
+    flags.addString("workload", "sirius",
+                    "sirius | sirius-mixed | nlp | websearch");
+    flags.addString("policy", "powerchief",
+                    "baseline | freq | inst | powerchief | pegasus | "
+                    "conserve");
+    flags.addString("load", "high", "low | medium | high");
+    flags.addDouble("qps", 0.0,
+                    "explicit arrival rate (overrides --load)");
+    flags.addDouble("budget", 13.56, "power budget in watts");
+    flags.addDouble("qos", 0.0,
+                    "QoS latency target in seconds (pegasus/conserve)");
+    flags.addDouble("duration", 900.0, "simulated seconds");
+    flags.addInt("seed", 42, "random seed");
+    flags.addString("artifacts", "",
+                    "directory for CSV artifacts (empty = none)");
+    flags.addBool("traces", false, "record time-series traces");
+    flags.addString("config", "",
+                    "JSON config file describing workload+scenario "
+                    "(overrides workload/policy/load flags)");
+
+    if (!flags.parse(argc, argv)) {
+        if (!flags.helpRequested())
+            std::cerr << "error: " << flags.error() << "\n\n";
+        flags.printUsage(std::cerr);
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    if (!flags.getString("config").empty()) {
+        const ConfigLoadResult loaded =
+            scenarioFromFile(flags.getString("config"));
+        if (!loaded.ok()) {
+            std::cerr << "config error: " << loaded.error << "\n";
+            return 2;
+        }
+        Scenario sc = *loaded.scenario;
+        if (flags.isSet("duration"))
+            sc.duration = SimTime::sec(flags.getDouble("duration"));
+        const bool traces = flags.getBool("traces") ||
+            !flags.getString("artifacts").empty();
+        const RunResult result = ExperimentRunner(traces).run(sc);
+        printRawResults(std::cout, {result});
+        if (!flags.getString("artifacts").empty()) {
+            ArtifactWriter writer(flags.getString("artifacts"));
+            std::printf("artifacts written to %s\n",
+                        writer.writeRun(result).c_str());
+        }
+        return 0;
+    }
+
+    WorkloadModel workload = WorkloadModel::sirius();
+    LoadLevel level = LoadLevel::High;
+    PolicyKind policy = PolicyKind::PowerChief;
+    if (!pickWorkload(flags.getString("workload"), &workload)) {
+        std::cerr << "unknown workload '" << flags.getString("workload")
+                  << "'\n";
+        return 2;
+    }
+    if (!pickLevel(flags.getString("load"), &level)) {
+        std::cerr << "unknown load level '" << flags.getString("load")
+                  << "'\n";
+        return 2;
+    }
+    if (!pickPolicy(flags.getString("policy"), &policy)) {
+        std::cerr << "unknown policy '" << flags.getString("policy")
+                  << "'\n";
+        return 2;
+    }
+
+    Scenario sc;
+    const bool qosMode = policy == PolicyKind::Pegasus ||
+        policy == PolicyKind::PowerChiefConserve;
+    if (qosMode) {
+        const double qos = flags.getDouble("qos");
+        if (qos <= 0.0) {
+            std::cerr << "--qos is required for QoS policies\n";
+            return 2;
+        }
+        std::vector<int> counts(
+            static_cast<std::size_t>(workload.numStages()), 4);
+        sc = Scenario::conservation(workload, counts, qos,
+                                    SimTime::sec(10), policy,
+                                    flags.getInt("seed"));
+    } else {
+        sc = Scenario::mitigation(workload, level, policy,
+                                  flags.getInt("seed"));
+        sc.powerBudget = Watts(flags.getDouble("budget"));
+    }
+    if (flags.getDouble("qps") > 0.0)
+        sc.load = LoadProfile::constant(flags.getDouble("qps"));
+    sc.duration = SimTime::sec(flags.getDouble("duration"));
+
+    const bool traces = flags.getBool("traces") ||
+        !flags.getString("artifacts").empty();
+    const ExperimentRunner runner(traces);
+    const RunResult result = runner.run(sc);
+
+    printRawResults(std::cout, {result});
+    if (!flags.getString("artifacts").empty()) {
+        ArtifactWriter writer(flags.getString("artifacts"));
+        const std::string dir = writer.writeRun(result);
+        std::printf("artifacts written to %s\n", dir.c_str());
+    }
+    return 0;
+}
