@@ -10,47 +10,46 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 namespace {
 
-RunResult
-runWith(const ExperimentRunner &runner, DispatchPolicy dispatch,
-        const char *name)
+Scenario
+withDispatch(DispatchPolicy dispatch, const char *name)
 {
     const WorkloadModel sirius = WorkloadModel::sirius();
     Scenario sc = Scenario::mitigation(sirius, LoadLevel::High,
                                        PolicyKind::PowerChief);
     sc.name = name;
     sc.dispatch = dispatch;
-    return runner.run(sc);
+    return sc;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const ExperimentRunner runner;
+    SweepRunner sweep(parseSweepArgs("abl_dispatcher", argc, argv));
     printBanner(std::cout, "Ablation: dispatch policy",
                 "PowerChief on Sirius (high load) with different "
                 "intra-stage load balancers");
 
-    const RunResult baseline = runner.run(Scenario::mitigation(
-        WorkloadModel::sirius(), LoadLevel::High,
-        PolicyKind::StageAgnostic));
-
-    std::vector<RunResult> runs;
-    runs.push_back(runWith(runner, DispatchPolicy::JoinShortestQueue,
-                           "join-shortest-queue (default)"));
-    runs.push_back(
-        runWith(runner, DispatchPolicy::RoundRobin, "round-robin"));
-    runs.push_back(runWith(runner, DispatchPolicy::WeightedFastest,
-                           "weighted-fastest"));
+    const std::vector<RunResult> all = sweep.runAll(
+        {Scenario::mitigation(WorkloadModel::sirius(), LoadLevel::High,
+                              PolicyKind::StageAgnostic),
+         withDispatch(DispatchPolicy::JoinShortestQueue,
+                      "join-shortest-queue (default)"),
+         withDispatch(DispatchPolicy::RoundRobin, "round-robin"),
+         withDispatch(DispatchPolicy::WeightedFastest,
+                      "weighted-fastest")});
+    const RunResult &baseline = all.front();
+    const std::vector<RunResult> runs(all.begin() + 1, all.end());
     printImprovementTable(std::cout, baseline, runs);
     return 0;
 }

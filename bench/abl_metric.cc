@@ -11,10 +11,11 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
@@ -33,31 +34,45 @@ withMetric(const WorkloadModel &w, LoadLevel level, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Metric-factory scenarios carry code (a std::function) in their
+    // fingerprint-relevant state, so the sweep engine runs them but
+    // never caches them; parallelism and auditing still apply.
+    SweepRunner sweep(parseSweepArgs("abl_metric", argc, argv));
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Ablation: bottleneck metric",
                 "PowerChief on Sirius with Table 1 metrics vs Eq. 1");
 
-    for (LoadLevel level : {LoadLevel::Medium, LoadLevel::High}) {
-        const RunResult baseline = runner.run(Scenario::mitigation(
+    const std::vector<LoadLevel> levels = {LoadLevel::Medium,
+                                           LoadLevel::High};
+    std::vector<Scenario> scenarios;
+    for (LoadLevel level : levels) {
+        scenarios.push_back(Scenario::mitigation(
             sirius, level, PolicyKind::StageAgnostic));
+        scenarios.push_back(withMetric<PowerChiefMetric>(
+            sirius, level, "Eq.1 L*q+s (PowerChief)"));
+        scenarios.push_back(withMetric<AvgQueuingMetric>(
+            sirius, level, "avg queuing (Table 1)"));
+        scenarios.push_back(withMetric<AvgServingMetric>(
+            sirius, level, "avg serving (Table 1)"));
+        scenarios.push_back(withMetric<AvgProcessingMetric>(
+            sirius, level, "avg processing (Table 1)"));
+        scenarios.push_back(withMetric<TailProcessingMetric>(
+            sirius, level, "p99 processing (Table 1)"));
+    }
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+    const std::size_t perLevel = 6;
 
-        std::vector<RunResult> runs;
-        runs.push_back(runner.run(withMetric<PowerChiefMetric>(
-            sirius, level, "Eq.1 L*q+s (PowerChief)")));
-        runs.push_back(runner.run(withMetric<AvgQueuingMetric>(
-            sirius, level, "avg queuing (Table 1)")));
-        runs.push_back(runner.run(withMetric<AvgServingMetric>(
-            sirius, level, "avg serving (Table 1)")));
-        runs.push_back(runner.run(withMetric<AvgProcessingMetric>(
-            sirius, level, "avg processing (Table 1)")));
-        runs.push_back(runner.run(withMetric<TailProcessingMetric>(
-            sirius, level, "p99 processing (Table 1)")));
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+        const RunResult &baseline = all[l * perLevel];
+        const std::vector<RunResult> runs(
+            all.begin() + static_cast<std::ptrdiff_t>(l * perLevel + 1),
+            all.begin() +
+                static_cast<std::ptrdiff_t>((l + 1) * perLevel));
 
-        std::cout << "\n(" << toString(level) << " load)\n";
+        std::cout << "\n(" << toString(levels[l]) << " load)\n";
         printImprovementTable(std::cout, baseline, runs);
     }
     return 0;

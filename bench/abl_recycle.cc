@@ -11,9 +11,10 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
@@ -32,28 +33,41 @@ withOrder(const WorkloadModel &w, LoadLevel level, const char *name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Recycle-factory scenarios are uncacheable (see abl_metric.cc)
+    // but still run concurrently through the sweep engine.
+    SweepRunner sweep(parseSweepArgs("abl_recycle", argc, argv));
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Ablation: recycle order",
                 "PowerChief on Sirius with different power-recycling "
                 "orders");
 
-    for (LoadLevel level : {LoadLevel::Medium, LoadLevel::High}) {
-        const RunResult baseline = runner.run(Scenario::mitigation(
+    const std::vector<LoadLevel> levels = {LoadLevel::Medium,
+                                           LoadLevel::High};
+    std::vector<Scenario> scenarios;
+    for (LoadLevel level : levels) {
+        scenarios.push_back(Scenario::mitigation(
             sirius, level, PolicyKind::StageAgnostic));
+        scenarios.push_back(withOrder<FastestFirstOrder>(
+            sirius, level, "fastest-first (paper)"));
+        scenarios.push_back(withOrder<SlowestFirstOrder>(
+            sirius, level, "slowest-first"));
+        scenarios.push_back(withOrder<ProportionalOrder>(
+            sirius, level, "proportional"));
+    }
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+    const std::size_t perLevel = 4;
 
-        std::vector<RunResult> runs;
-        runs.push_back(runner.run(withOrder<FastestFirstOrder>(
-            sirius, level, "fastest-first (paper)")));
-        runs.push_back(runner.run(withOrder<SlowestFirstOrder>(
-            sirius, level, "slowest-first")));
-        runs.push_back(runner.run(withOrder<ProportionalOrder>(
-            sirius, level, "proportional")));
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+        const RunResult &baseline = all[l * perLevel];
+        const std::vector<RunResult> runs(
+            all.begin() + static_cast<std::ptrdiff_t>(l * perLevel + 1),
+            all.begin() +
+                static_cast<std::ptrdiff_t>((l + 1) * perLevel));
 
-        std::cout << "\n(" << toString(level) << " load)\n";
+        std::cout << "\n(" << toString(levels[l]) << " load)\n";
         printImprovementTable(std::cout, baseline, runs);
     }
     return 0;

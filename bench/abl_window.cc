@@ -10,48 +10,67 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 namespace {
 
-RunResult
-runWith(const ExperimentRunner &runner, const WorkloadModel &w,
-        SimTime adjust, SimTime window, double threshold)
+Scenario
+knobScenario(const WorkloadModel &w, SimTime adjust, SimTime window,
+             double threshold)
 {
     Scenario sc =
         Scenario::mitigation(w, LoadLevel::High, PolicyKind::PowerChief);
     sc.control.adjustInterval = adjust;
     sc.control.statsWindow = window;
     sc.control.balanceThresholdSec = threshold;
-    return runner.run(sc);
+    return sc;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(parseSweepArgs("abl_window", argc, argv));
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Ablation: control-loop knobs",
                 "PowerChief Sirius high-load sensitivity (Table 2 "
                 "defaults: adjust 25 s, threshold 1 s)");
 
-    const RunResult baseline = runner.run(Scenario::mitigation(
+    const std::vector<double> adjusts = {5.0, 10.0, 25.0, 50.0, 100.0};
+    const std::vector<double> windows = {10.0, 25.0, 50.0, 100.0,
+                                         200.0};
+    const std::vector<double> thresholds = {0.0, 0.5, 1.0, 2.0, 5.0};
+
+    // One flat sweep: baseline, then the three knob sweeps in order.
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(Scenario::mitigation(
         sirius, LoadLevel::High, PolicyKind::StageAgnostic));
+    for (double adjust : adjusts)
+        scenarios.push_back(knobScenario(sirius, SimTime::sec(adjust),
+                                         SimTime::sec(50), 1.0));
+    for (double window : windows)
+        scenarios.push_back(knobScenario(sirius, SimTime::sec(25),
+                                         SimTime::sec(window), 1.0));
+    for (double threshold : thresholds)
+        scenarios.push_back(knobScenario(sirius, SimTime::sec(25),
+                                         SimTime::sec(50), threshold));
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+    const RunResult &baseline = all.front();
+    std::size_t next = 1;
 
     std::cout << "\nAdjust interval sweep (window 50 s, threshold 1 s):\n";
     TextTable t1({"adjust interval(s)", "avg-improvement",
                   "p99-improvement"});
-    for (double adjust : {5.0, 10.0, 25.0, 50.0, 100.0}) {
-        const RunResult r = runWith(runner, sirius, SimTime::sec(adjust),
-                                    SimTime::sec(50), 1.0);
+    for (double adjust : adjusts) {
+        const RunResult &r = all[next++];
         t1.addRow({TextTable::num(adjust, 0),
                    TextTable::num(baseline.avgLatencySec /
                                   r.avgLatencySec, 2) + "x",
@@ -63,9 +82,8 @@ main()
     std::cout << "\nStats window sweep (adjust 25 s, threshold 1 s):\n";
     TextTable t2({"stats window(s)", "avg-improvement",
                   "p99-improvement"});
-    for (double window : {10.0, 25.0, 50.0, 100.0, 200.0}) {
-        const RunResult r = runWith(runner, sirius, SimTime::sec(25),
-                                    SimTime::sec(window), 1.0);
+    for (double window : windows) {
+        const RunResult &r = all[next++];
         t2.addRow({TextTable::num(window, 0),
                    TextTable::num(baseline.avgLatencySec /
                                   r.avgLatencySec, 2) + "x",
@@ -76,9 +94,8 @@ main()
 
     std::cout << "\nBalance threshold sweep (adjust 25 s, window 50 s):\n";
     TextTable t3({"threshold(s)", "avg-improvement", "p99-improvement"});
-    for (double threshold : {0.0, 0.5, 1.0, 2.0, 5.0}) {
-        const RunResult r = runWith(runner, sirius, SimTime::sec(25),
-                                    SimTime::sec(50), threshold);
+    for (double threshold : thresholds) {
+        const RunResult &r = all[next++];
         t3.addRow({TextTable::num(threshold, 1),
                    TextTable::num(baseline.avgLatencySec /
                                   r.avgLatencySec, 2) + "x",

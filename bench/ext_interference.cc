@@ -17,47 +17,54 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 namespace {
 
-RunResult
-runWith(const ExperimentRunner &runner, PolicyKind policy, double alpha)
+Scenario
+withAlpha(PolicyKind policy, double alpha)
 {
     Scenario sc = Scenario::mitigation(WorkloadModel::sirius(),
                                        LoadLevel::High, policy);
     sc.interference.alphaPerCore = alpha;
     sc.interference.freeCores = 2;
-    return runner.run(sc);
+    return sc;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const ExperimentRunner runner;
+    SweepRunner sweep(parseSweepArgs("ext_interference", argc, argv));
     printBanner(std::cout, "Extension: interference",
                 "Sirius high load with shared-resource contention "
                 "(service +alpha per busy neighbour core beyond 2)");
 
+    const std::vector<double> alphas = {0.0, 0.01, 0.03, 0.06};
+    std::vector<Scenario> scenarios;
+    for (double alpha : alphas)
+        for (PolicyKind policy :
+             {PolicyKind::StageAgnostic, PolicyKind::FreqBoost,
+              PolicyKind::InstBoost, PolicyKind::PowerChief})
+            scenarios.push_back(withAlpha(policy, alpha));
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+
     TextTable table({"alpha/core", "baseline avg(s)", "freq avg(s)",
                      "inst avg(s)", "powerchief avg(s)",
                      "powerchief improvement"});
-    for (double alpha : {0.0, 0.01, 0.03, 0.06}) {
-        const RunResult base =
-            runWith(runner, PolicyKind::StageAgnostic, alpha);
-        const RunResult freq =
-            runWith(runner, PolicyKind::FreqBoost, alpha);
-        const RunResult inst =
-            runWith(runner, PolicyKind::InstBoost, alpha);
-        const RunResult chief =
-            runWith(runner, PolicyKind::PowerChief, alpha);
+    for (std::size_t a = 0; a < alphas.size(); ++a) {
+        const double alpha = alphas[a];
+        const RunResult &base = all[a * 4];
+        const RunResult &freq = all[a * 4 + 1];
+        const RunResult &inst = all[a * 4 + 2];
+        const RunResult &chief = all[a * 4 + 3];
         table.addRow({TextTable::num(alpha, 2),
                       TextTable::num(base.avgLatencySec, 2),
                       TextTable::num(freq.avgLatencySec, 2),

@@ -17,11 +17,12 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/csv.h"
 #include "core/oracle.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
@@ -48,11 +49,11 @@ withOracleLayout(const WorkloadModel &workload,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(parseSweepArgs("ext_static_oracle", argc, argv));
     const WorkloadModel sirius = WorkloadModel::sirius();
     const PowerModel model = PowerModel::haswell();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Extension: static oracle",
                 "Exhaustive-search static allocation vs PowerChief "
@@ -66,6 +67,32 @@ main()
         std::cout << "oracle found no feasible allocation\n";
         return 1;
     }
+    const OracleResult planned = oracle.solve(lambda / 2.0);
+    if (!planned.feasible) {
+        std::cout << "oracle infeasible for the planned rate\n";
+        return 1;
+    }
+
+    // Both oracle solves are deterministic; the four simulations they
+    // seed are independent, so run them as one sweep batch.
+    Scenario chief = Scenario::mitigation(sirius, LoadLevel::High,
+                                          PolicyKind::PowerChief);
+    chief.name = "powerchief";
+    chief.load = LoadProfile::constant(lambda);
+    Scenario warm = withOracleLayout(sirius, planned,
+                                     LoadProfile::constant(lambda),
+                                     "powerchief (same start)");
+    warm.policy = PolicyKind::PowerChief;
+    warm.control.enableWithdraw = true;
+    const std::vector<RunResult> all = sweep.runAll(
+        {withOracleLayout(sirius, solution,
+                          LoadProfile::constant(lambda),
+                          "static-oracle"),
+         chief,
+         withOracleLayout(sirius, planned,
+                          LoadProfile::constant(lambda),
+                          "static-oracle (stale)"),
+         warm});
 
     std::cout << "\noracle allocation for lambda=" << lambda
               << " qps (" << solution.evaluated
@@ -81,51 +108,25 @@ main()
               << solution.estimatedLatencySec << " s\n";
 
     // (a) Steady load at exactly the rate the oracle planned for.
-    {
-        std::cout << "\n--- steady (the lambda the oracle knows) ---\n";
-        const RunResult oracleRun = runner.run(withOracleLayout(
-            sirius, solution, LoadProfile::constant(lambda),
-            "static-oracle"));
-        Scenario chief = Scenario::mitigation(sirius, LoadLevel::High,
-                                              PolicyKind::PowerChief);
-        chief.name = "powerchief";
-        chief.load = LoadProfile::constant(lambda);
-        printRawResults(std::cout, {oracleRun, runner.run(chief)});
-    }
+    std::cout << "\n--- steady (the lambda the oracle knows) ---\n";
+    printRawResults(std::cout, {all[0], all[1]});
 
     // (b) The designer's lambda estimate is wrong (the "undetermined
     // runtime factors" of 2.1): the oracle planned for half the rate
     // that actually arrives. Deployed statically it saturates; the
     // same initial allocation under PowerChief control recovers.
-    {
-        const OracleResult planned = oracle.solve(lambda / 2.0);
-        if (!planned.feasible) {
-            std::cout << "oracle infeasible for the planned rate\n";
-            return 1;
-        }
-        std::cout << "\n--- mis-estimated (oracle planned for "
-                  << lambda / 2.0 << " qps, actual " << lambda
-                  << " qps) ---\n";
-        std::cout << "planned allocation:";
-        for (int s = 0; s < sirius.numStages(); ++s) {
-            const auto &a =
-                planned.perStage[static_cast<std::size_t>(s)];
-            std::cout << "  " << sirius.stage(s).name << "="
-                      << a.instances << "@"
-                      << model.ladder().freqAt(a.level).toString();
-        }
-        std::cout << "\n";
-
-        const RunResult staticRun = runner.run(withOracleLayout(
-            sirius, planned, LoadProfile::constant(lambda),
-            "static-oracle (stale)"));
-        Scenario warm = withOracleLayout(sirius, planned,
-                                         LoadProfile::constant(lambda),
-                                         "powerchief (same start)");
-        warm.policy = PolicyKind::PowerChief;
-        warm.control.enableWithdraw = true;
-        printRawResults(std::cout, {staticRun, runner.run(warm)});
+    std::cout << "\n--- mis-estimated (oracle planned for "
+              << lambda / 2.0 << " qps, actual " << lambda
+              << " qps) ---\n";
+    std::cout << "planned allocation:";
+    for (int s = 0; s < sirius.numStages(); ++s) {
+        const auto &a = planned.perStage[static_cast<std::size_t>(s)];
+        std::cout << "  " << sirius.stage(s).name << "="
+                  << a.instances << "@"
+                  << model.ladder().freqAt(a.level).toString();
     }
+    std::cout << "\n";
+    printRawResults(std::cout, {all[2], all[3]});
 
     std::cout << "\nReading (honest finding): a queueing-model-guided "
                  "exhaustive search is a strong static baseline under "

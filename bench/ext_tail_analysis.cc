@@ -11,10 +11,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 #include "stats/percentile.h"
 
 using namespace pc;
@@ -51,24 +52,38 @@ tailOf(const RunResult &run)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions options =
+        parseSweepArgs("ext_tail_analysis", argc, argv);
+    options.recordTraces = true;
+    SweepRunner sweep(options);
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner(/*recordTraces=*/true);
 
     printBanner(std::cout, "Extension: tail analysis",
                 "Sirius latency distribution per policy under the "
                 "13.56 W budget (paper future work, 10)");
 
-    for (LoadLevel level : {LoadLevel::Low, LoadLevel::High}) {
+    const std::vector<LoadLevel> levels = {LoadLevel::Low,
+                                           LoadLevel::High};
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::StageAgnostic, PolicyKind::FreqBoost,
+        PolicyKind::InstBoost, PolicyKind::PowerChief};
+
+    std::vector<Scenario> scenarios;
+    for (LoadLevel level : levels)
+        for (PolicyKind policy : policies)
+            scenarios.push_back(
+                Scenario::mitigation(sirius, level, policy));
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+
+    std::size_t next = 0;
+    for (LoadLevel level : levels) {
         std::cout << "\n(" << toString(level) << " load)\n";
         TextTable table({"policy", "p50(s)", "p90(s)", "p95(s)",
                          "p99(s)", "p99.9(s)", "p99/p50"});
-        for (PolicyKind policy :
-             {PolicyKind::StageAgnostic, PolicyKind::FreqBoost,
-              PolicyKind::InstBoost, PolicyKind::PowerChief}) {
-            const RunResult run =
-                runner.run(Scenario::mitigation(sirius, level, policy));
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const RunResult &run = all[next++];
             const TailRow row = tailOf(run);
             table.addRow({row.name, TextTable::num(row.p50, 3),
                           TextTable::num(row.p90, 3),

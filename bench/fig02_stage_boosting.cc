@@ -14,15 +14,16 @@
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(
+        parseSweepArgs("fig02_stage_boosting", argc, argv));
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Figure 2",
                 "Normalized Sirius response latency when boosting "
@@ -34,15 +35,11 @@ main()
     const LoadProfile load = LoadProfile::constant(
         0.6 * sirius.bottleneckCapacityAt(1800));
 
+    std::vector<Scenario> scenarios;
     Scenario base = Scenario::mitigation(
         sirius, LoadLevel::Medium, PolicyKind::StageAgnostic);
     base.load = load;
-    const RunResult baseline = runner.run(base);
-
-    TextTable table({"boosted stage", "technique",
-                     "normalized latency", "avg latency(s)"});
-    double best = 1e18;
-    double worst = 0.0;
+    scenarios.push_back(base);
     for (int stage = 0; stage < sirius.numStages(); ++stage) {
         for (BoostKind technique :
              {BoostKind::Frequency, BoostKind::Instance}) {
@@ -52,7 +49,21 @@ main()
             sc.fixedStage = stage;
             sc.fixedTechnique = technique;
             sc.name = "boost-" + sirius.stage(stage).name + "-only";
-            const RunResult run = runner.run(sc);
+            scenarios.push_back(sc);
+        }
+    }
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+    const RunResult &baseline = all.front();
+
+    TextTable table({"boosted stage", "technique",
+                     "normalized latency", "avg latency(s)"});
+    double best = 1e18;
+    double worst = 0.0;
+    std::size_t next = 1;
+    for (int stage = 0; stage < sirius.numStages(); ++stage) {
+        for (BoostKind technique :
+             {BoostKind::Frequency, BoostKind::Instance}) {
+            const RunResult &run = all[next++];
             const double normalized =
                 run.avgLatencySec / baseline.avgLatencySec;
             best = std::min(best, normalized);

@@ -13,30 +13,39 @@
 #include <vector>
 
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(parseSweepArgs("fig04_boost_vs_load", argc, argv));
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Figure 4",
                 "Latency improvement of frequency vs instance boosting "
                 "for Sirius (vs stage-agnostic baseline)");
 
-    for (LoadLevel level : {LoadLevel::Low, LoadLevel::High}) {
-        const RunResult baseline = runner.run(Scenario::mitigation(
+    const std::vector<LoadLevel> levels = {LoadLevel::Low,
+                                           LoadLevel::High};
+    std::vector<Scenario> scenarios;
+    for (LoadLevel level : levels) {
+        scenarios.push_back(Scenario::mitigation(
             sirius, level, PolicyKind::StageAgnostic));
-        std::vector<RunResult> runs;
-        runs.push_back(runner.run(Scenario::mitigation(
-            sirius, level, PolicyKind::FreqBoost)));
-        runs.push_back(runner.run(Scenario::mitigation(
-            sirius, level, PolicyKind::InstBoost)));
+        scenarios.push_back(Scenario::mitigation(
+            sirius, level, PolicyKind::FreqBoost));
+        scenarios.push_back(Scenario::mitigation(
+            sirius, level, PolicyKind::InstBoost));
+    }
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
 
-        std::cout << "\n(" << toString(level) << " load)\n";
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+        const RunResult &baseline = all[l * 3];
+        const std::vector<RunResult> runs = {all[l * 3 + 1],
+                                             all[l * 3 + 2]};
+
+        std::cout << "\n(" << toString(levels[l]) << " load)\n";
         printImprovementTable(std::cout, baseline, runs);
 
         // The 2.3 mechanism, measured: which delay dominates the

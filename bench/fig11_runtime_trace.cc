@@ -11,28 +11,32 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 namespace {
 
-void
-tracePolicy(const ExperimentRunner &runner, const WorkloadModel &sirius,
-            PolicyKind policy)
+Scenario
+traceScenario(const WorkloadModel &sirius, PolicyKind policy)
 {
     Scenario sc = Scenario::mitigation(sirius, LoadLevel::High, policy);
     sc.load = LoadProfile::fig11(sirius, 1800);
     sc.name = std::string("fig11/") + toString(policy);
+    return sc;
+}
 
-    const RunResult run = runner.run(sc);
+void
+printTrace(const Scenario &sc, const RunResult &run)
+{
     const SimTime from = SimTime::zero();
     const SimTime to = sc.duration;
     constexpr int kBuckets = 12;
 
-    std::cout << "\n--- " << toString(policy) << " ---\n";
+    std::cout << "\n--- " << toString(sc.policy) << " ---\n";
     std::cout << "time buckets (s):";
     for (int b = 0; b < kBuckets; ++b)
         std::cout << ' ' << (b + 1) * 75;
@@ -55,17 +59,24 @@ tracePolicy(const ExperimentRunner &runner, const WorkloadModel &sirius,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions options =
+        parseSweepArgs("fig11_runtime_trace", argc, argv);
+    options.recordTraces = true;
+    SweepRunner sweep(options);
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner(/*recordTraces=*/true);
 
     printBanner(std::cout, "Figure 11",
                 "Sirius runtime behaviour (instance counts and "
                 "frequencies) under time-varying load");
 
-    tracePolicy(runner, sirius, PolicyKind::FreqBoost);
-    tracePolicy(runner, sirius, PolicyKind::InstBoost);
-    tracePolicy(runner, sirius, PolicyKind::PowerChief);
+    const std::vector<Scenario> scenarios = {
+        traceScenario(sirius, PolicyKind::FreqBoost),
+        traceScenario(sirius, PolicyKind::InstBoost),
+        traceScenario(sirius, PolicyKind::PowerChief)};
+    const std::vector<RunResult> runs = sweep.runAll(scenarios);
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        printTrace(scenarios[i], runs[i]);
     return 0;
 }

@@ -10,38 +10,50 @@
 #include <vector>
 
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(parseSweepArgs("fig12_nlp_latency", argc, argv));
     const WorkloadModel nlp = WorkloadModel::nlp();
-    const ExperimentRunner runner;
 
     printBanner(std::cout, "Figure 12",
                 "NLP latency improvement under the 13.56 W budget "
                 "(improvement over stage-agnostic baseline)");
 
+    const std::vector<LoadLevel> levels = {
+        LoadLevel::Low, LoadLevel::Medium, LoadLevel::High};
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::FreqBoost, PolicyKind::InstBoost,
+        PolicyKind::PowerChief};
+
+    std::vector<Scenario> scenarios;
+    for (LoadLevel level : levels) {
+        scenarios.push_back(Scenario::mitigation(
+            nlp, level, PolicyKind::StageAgnostic));
+        for (PolicyKind policy : policies)
+            scenarios.push_back(
+                Scenario::mitigation(nlp, level, policy));
+    }
+    const std::vector<RunResult> all = sweep.runAll(scenarios);
+    const std::size_t perLevel = 1 + policies.size();
+
     double pcAvg = 0.0;
     double pcTail = 0.0;
     int n = 0;
-    for (LoadLevel level :
-         {LoadLevel::Low, LoadLevel::Medium, LoadLevel::High}) {
-        const RunResult baseline = runner.run(Scenario::mitigation(
-            nlp, level, PolicyKind::StageAgnostic));
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+        const RunResult &baseline = all[l * perLevel];
+        const std::vector<RunResult> runs(
+            all.begin() + static_cast<std::ptrdiff_t>(l * perLevel + 1),
+            all.begin() +
+                static_cast<std::ptrdiff_t>((l + 1) * perLevel));
 
-        std::vector<RunResult> runs;
-        for (PolicyKind policy :
-             {PolicyKind::FreqBoost, PolicyKind::InstBoost,
-              PolicyKind::PowerChief}) {
-            runs.push_back(
-                runner.run(Scenario::mitigation(nlp, level, policy)));
-        }
-        std::cout << "\n(" << toString(level) << " load, baseline avg "
-                  << baseline.avgLatencySec << " s / p99 "
-                  << baseline.p99LatencySec << " s)\n";
+        std::cout << "\n(" << toString(levels[l])
+                  << " load, baseline avg " << baseline.avgLatencySec
+                  << " s / p99 " << baseline.p99LatencySec << " s)\n";
         printImprovementTable(std::cout, baseline, runs);
 
         pcAvg += RunResult::improvement(baseline.avgLatencySec,

@@ -12,10 +12,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
@@ -38,21 +39,25 @@ makeScenario(const WorkloadModel &sirius, PolicyKind policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions options =
+        parseSweepArgs("fig13_sirius_power", argc, argv);
+    options.recordTraces = true;
+    SweepRunner sweep(options);
     const WorkloadModel sirius = WorkloadModel::sirius();
-    const ExperimentRunner runner(/*recordTraces=*/true);
 
     printBanner(std::cout, "Figure 13",
                 "Sirius power saving while meeting the QoS target "
                 "(normalized to the no-control baseline)");
 
-    const RunResult baseline =
-        runner.run(makeScenario(sirius, PolicyKind::StageAgnostic));
-    const RunResult pegasus =
-        runner.run(makeScenario(sirius, PolicyKind::Pegasus));
-    const RunResult powerchief = runner.run(
-        makeScenario(sirius, PolicyKind::PowerChiefConserve));
+    const std::vector<RunResult> runs = sweep.runAll(
+        {makeScenario(sirius, PolicyKind::StageAgnostic),
+         makeScenario(sirius, PolicyKind::Pegasus),
+         makeScenario(sirius, PolicyKind::PowerChiefConserve)});
+    const RunResult &baseline = runs[0];
+    const RunResult &pegasus = runs[1];
+    const RunResult &powerchief = runs[2];
 
     TextTable table({"policy", "power fraction", "power saving",
                      "QoS fraction (avg lat / target)", "p99(s)"});

@@ -7,10 +7,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/csv.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
@@ -33,22 +34,26 @@ makeScenario(const WorkloadModel &search, PolicyKind policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepOptions options =
+        parseSweepArgs("fig14_websearch_power", argc, argv);
+    options.recordTraces = true;
+    options.sampleInterval = SimTime::sec(2);
+    SweepRunner sweep(options);
     const WorkloadModel search = WorkloadModel::webSearch();
-    const ExperimentRunner runner(/*recordTraces=*/true,
-                                  SimTime::sec(2));
 
     printBanner(std::cout, "Figure 14",
                 "Web Search power saving while meeting the 250 ms QoS "
                 "target (normalized to the no-control baseline)");
 
-    const RunResult baseline =
-        runner.run(makeScenario(search, PolicyKind::StageAgnostic));
-    const RunResult pegasus =
-        runner.run(makeScenario(search, PolicyKind::Pegasus));
-    const RunResult powerchief = runner.run(
-        makeScenario(search, PolicyKind::PowerChiefConserve));
+    const std::vector<RunResult> runs = sweep.runAll(
+        {makeScenario(search, PolicyKind::StageAgnostic),
+         makeScenario(search, PolicyKind::Pegasus),
+         makeScenario(search, PolicyKind::PowerChiefConserve)});
+    const RunResult &baseline = runs[0];
+    const RunResult &pegasus = runs[1];
+    const RunResult &powerchief = runs[2];
 
     TextTable table({"policy", "power fraction", "power saving",
                      "QoS fraction (avg lat / target)", "p99(ms)"});

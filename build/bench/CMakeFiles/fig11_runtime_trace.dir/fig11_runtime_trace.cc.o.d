@@ -153,12 +153,13 @@ bench/CMakeFiles/fig11_runtime_trace.dir/fig11_runtime_trace.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/exp/report.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/exp/runner.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/exp/report.h \
+ /root/repo/src/exp/runner.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -225,7 +226,10 @@ bench/CMakeFiles/fig11_runtime_trace.dir/fig11_runtime_trace.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/cstdarg /root/repo/src/hal/msr.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hal/msr.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -262,4 +266,5 @@ bench/CMakeFiles/fig11_runtime_trace.dir/fig11_runtime_trace.cc.o: \
  /root/repo/src/core/reallocator.h /root/repo/src/hal/cpufreq.h \
  /root/repo/src/power/budget.h /root/repo/src/core/speedup.h \
  /root/repo/src/core/trace.h /root/repo/src/workloads/loadgen.h \
- /root/repo/src/workloads/profiles.h /root/repo/src/stats/timeseries.h
+ /root/repo/src/workloads/profiles.h /root/repo/src/stats/timeseries.h \
+ /root/repo/src/exp/sweep.h /root/repo/src/common/flags.h

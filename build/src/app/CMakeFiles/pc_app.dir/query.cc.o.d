@@ -199,4 +199,7 @@ src/app/CMakeFiles/pc_app.dir/query.cc.o: /root/repo/src/app/query.cc \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/time.h \
  /usr/include/c++/12/limits /root/repo/src/common/logging.h \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -158,4 +158,10 @@ src/core/CMakeFiles/pc_core.dir/trace.cc.o: /root/repo/src/core/trace.cc \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/time.h \
  /usr/include/c++/12/limits /root/repo/src/common/csv.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/cstdarg
+ /root/repo/src/common/logging.h /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/mutex /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h

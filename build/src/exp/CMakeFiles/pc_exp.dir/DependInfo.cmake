@@ -11,8 +11,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/exp/artifacts.cc" "src/exp/CMakeFiles/pc_exp.dir/artifacts.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/artifacts.cc.o.d"
   "/root/repo/src/exp/config_loader.cc" "src/exp/CMakeFiles/pc_exp.dir/config_loader.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/config_loader.cc.o.d"
   "/root/repo/src/exp/report.cc" "src/exp/CMakeFiles/pc_exp.dir/report.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/report.cc.o.d"
+  "/root/repo/src/exp/result_cache.cc" "src/exp/CMakeFiles/pc_exp.dir/result_cache.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/result_cache.cc.o.d"
   "/root/repo/src/exp/runner.cc" "src/exp/CMakeFiles/pc_exp.dir/runner.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/runner.cc.o.d"
   "/root/repo/src/exp/scenario.cc" "src/exp/CMakeFiles/pc_exp.dir/scenario.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/scenario.cc.o.d"
+  "/root/repo/src/exp/sweep.cc" "src/exp/CMakeFiles/pc_exp.dir/sweep.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/sweep.cc.o.d"
+  "/root/repo/src/exp/thread_pool.cc" "src/exp/CMakeFiles/pc_exp.dir/thread_pool.cc.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -302,6 +302,8 @@ tests/CMakeFiles/test_channel.dir/test_channel.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/cstdarg /root/repo/src/hal/msr.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hal/msr.h \
  /root/repo/src/hal/rapl.h /root/repo/src/rpc/channel.h \
  /root/repo/src/rpc/bus.h

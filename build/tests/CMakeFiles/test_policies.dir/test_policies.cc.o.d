@@ -305,7 +305,9 @@ tests/CMakeFiles/test_policies.dir/test_policies.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/cstdarg /root/repo/src/hal/msr.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hal/msr.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

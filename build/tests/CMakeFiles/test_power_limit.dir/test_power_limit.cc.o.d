@@ -301,7 +301,9 @@ tests/CMakeFiles/test_power_limit.dir/test_power_limit.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/cstdarg /root/repo/src/hal/msr.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hal/msr.h \
  /root/repo/src/hal/rapl.h /root/repo/src/core/command_center.h \
  /root/repo/src/app/pipeline.h /root/repo/src/app/stage.h \
  /root/repo/src/app/dispatcher.h /root/repo/src/app/service_instance.h \

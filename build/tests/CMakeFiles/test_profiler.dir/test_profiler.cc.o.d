@@ -295,6 +295,8 @@ tests/CMakeFiles/test_profiler.dir/test_profiler.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/workloads/profiler.h /root/repo/src/core/speedup.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/power/power_model.h /root/repo/src/common/units.h \
  /root/repo/src/power/frequency_ladder.h \
  /root/repo/src/workloads/profiles.h /root/repo/src/app/pipeline.h \

@@ -294,6 +294,8 @@ tests/CMakeFiles/test_report.dir/test_report.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/exp/report.h /root/repo/src/exp/runner.h \
  /root/repo/src/common/units.h /root/repo/src/exp/scenario.h \
  /root/repo/src/core/bottleneck.h /root/repo/src/app/pipeline.h \

@@ -304,7 +304,9 @@ tests/CMakeFiles/test_stress.dir/test_stress.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/cstdarg /root/repo/src/hal/msr.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/hal/msr.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/random \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -343,7 +345,9 @@ tests/CMakeFiles/test_stress.dir/test_stress.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/policies.h /root/repo/src/core/policy.h \
  /root/repo/src/core/trace.h /root/repo/src/core/withdraw.h \
+ /root/repo/src/exp/result_cache.h /root/repo/src/common/json.h \
  /root/repo/src/exp/runner.h /root/repo/src/exp/scenario.h \
  /root/repo/src/workloads/loadgen.h /root/repo/src/workloads/profiles.h \
- /root/repo/src/stats/timeseries.h /root/repo/src/hal/power_limit.h \
+ /root/repo/src/stats/timeseries.h /root/repo/src/exp/sweep.h \
+ /root/repo/src/common/flags.h /root/repo/src/hal/power_limit.h \
  /root/repo/src/hal/rapl.h /root/repo/src/workloads/profiler.h

@@ -36,6 +36,7 @@ Logger::vlog(LogLevel lvl, const char *fmt, std::va_list ap)
 {
     if (lvl < level_)
         return;
+    const std::lock_guard<std::mutex> lock(emitMutex_);
     std::fprintf(stderr, "[%s] ", levelName(lvl));
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);

@@ -12,13 +12,19 @@
 #define PC_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <mutex>
 #include <string>
 
 namespace pc {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/** Process-wide logger; thread safety is not required (single-threaded sim). */
+/**
+ * Process-wide logger. Each simulation is single-threaded, but the
+ * sweep engine (exp/sweep.h) runs many simulations on a thread pool,
+ * so emission is serialized behind a mutex; setLevel() should still be
+ * called before worker threads start.
+ */
 class Logger
 {
   public:
@@ -37,6 +43,7 @@ class Logger
     Logger() = default;
 
     LogLevel level_ = LogLevel::Warn;
+    std::mutex emitMutex_;
 };
 
 void logDebug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,323 @@
+#include "exp/result_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace pc {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+namespace {
+
+void
+appendNum(std::string *out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g,", v);
+    *out += buf;
+}
+
+void
+appendInt(std::string *out, long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld,", v);
+    *out += buf;
+}
+
+void
+appendTime(std::string *out, SimTime t)
+{
+    appendInt(out, static_cast<long long>(t.toUsec()));
+}
+
+} // namespace
+
+std::optional<std::string>
+scenarioCanonical(const Scenario &sc)
+{
+    // Factory overrides are opaque code: no canonical form, no caching.
+    if (sc.metricFactory || sc.recycleFactory)
+        return std::nullopt;
+
+    std::string out = "scenario-v1|";
+    out += sc.name;
+    out += "|workload:";
+    out += sc.workload.name();
+    for (const auto &stage : sc.workload.stages()) {
+        out += "{" + stage.name + ",";
+        appendNum(&out, stage.meanServiceSec);
+        appendNum(&out, stage.cv);
+        appendNum(&out, stage.computeFraction);
+        appendInt(&out, stage.profiledMhz);
+        appendNum(&out, stage.participation);
+        appendInt(&out, static_cast<long long>(stage.kind));
+        appendNum(&out, stage.shardCv);
+        out += "}";
+    }
+    out += "|";
+    out += sc.load.canonical();
+    out += "|policy:";
+    appendInt(&out, static_cast<long long>(sc.policy));
+    appendInt(&out, sc.fixedStage);
+    appendInt(&out, static_cast<long long>(sc.fixedTechnique));
+    appendNum(&out, sc.qosTargetSec);
+    appendInt(&out, sc.qosUseTail ? 1 : 0);
+    out += "|chip:";
+    appendInt(&out, sc.numCores);
+    appendNum(&out, sc.powerBudget.value());
+    out += "|layout:";
+    for (const int count : sc.initialCounts)
+        appendInt(&out, count);
+    out += ";";
+    appendInt(&out, sc.initialLevel);
+    for (const int level : sc.initialLevels)
+        appendInt(&out, level);
+    out += "|dispatch:";
+    appendInt(&out, static_cast<long long>(sc.dispatch));
+    appendInt(&out, sc.wireReports ? 1 : 0);
+    out += "|interference:";
+    appendNum(&out, sc.interference.alphaPerCore);
+    appendInt(&out, sc.interference.freeCores);
+    out += "|control:";
+    appendTime(&out, sc.control.adjustInterval);
+    appendTime(&out, sc.control.withdrawInterval);
+    appendTime(&out, sc.control.statsWindow);
+    appendNum(&out, sc.control.balanceThresholdSec);
+    appendTime(&out, sc.control.e2eWindow);
+    appendInt(&out, sc.control.enableWithdraw ? 1 : 0);
+    out += "|run:";
+    appendTime(&out, sc.duration);
+    appendTime(&out, sc.warmup);
+    appendInt(&out, static_cast<long long>(sc.seed));
+    return out;
+}
+
+namespace {
+
+JsonValue
+seriesToJson(const TimeSeries &series)
+{
+    JsonArray points;
+    points.reserve(series.size());
+    for (const auto &p : series.points()) {
+        points.push_back(JsonValue(JsonArray{
+            JsonValue(static_cast<double>(p.t.toUsec())),
+            JsonValue(p.value)}));
+    }
+    JsonObject obj;
+    obj.emplace("name", series.name());
+    obj.emplace("points", JsonValue(std::move(points)));
+    return JsonValue(std::move(obj));
+}
+
+std::optional<TimeSeries>
+seriesFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return std::nullopt;
+    const JsonValue *name = doc.find("name");
+    const JsonValue *points = doc.find("points");
+    if (!name || !name->isString() || !points || !points->isArray())
+        return std::nullopt;
+    TimeSeries series(name->asString());
+    for (const auto &p : points->asArray()) {
+        if (!p.isArray() || p.asArray().size() != 2 ||
+            !p.asArray()[0].isNumber() || !p.asArray()[1].isNumber())
+            return std::nullopt;
+        series.append(SimTime::usec(static_cast<std::int64_t>(
+                          p.asArray()[0].asNumber())),
+                      p.asArray()[1].asNumber());
+    }
+    return series;
+}
+
+} // namespace
+
+JsonValue
+runResultToJson(const RunResult &result)
+{
+    JsonObject obj;
+    obj.emplace("scenario", result.scenario);
+    obj.emplace("submitted", static_cast<double>(result.submitted));
+    obj.emplace("completed", static_cast<double>(result.completed));
+    obj.emplace("avg_latency_s", result.avgLatencySec);
+    obj.emplace("p99_latency_s", result.p99LatencySec);
+    obj.emplace("max_latency_s", result.maxLatencySec);
+    obj.emplace("avg_power_w", result.avgPowerWatts);
+    obj.emplace("energy_j", result.energyJoules);
+
+    JsonArray stages;
+    for (const auto &b : result.stageBreakdown) {
+        JsonObject stage;
+        stage.emplace("avg_queuing_s", b.avgQueuingSec);
+        stage.emplace("avg_serving_s", b.avgServingSec);
+        stage.emplace("hops", static_cast<double>(b.hops));
+        stages.push_back(JsonValue(std::move(stage)));
+    }
+    obj.emplace("stage_breakdown", JsonValue(std::move(stages)));
+
+    obj.emplace("latency_series", seriesToJson(result.latencySeries));
+    obj.emplace("power_series", seriesToJson(result.powerSeries));
+    JsonArray counts;
+    for (const auto &series : result.stageInstanceCounts)
+        counts.push_back(seriesToJson(series));
+    obj.emplace("stage_instance_counts", JsonValue(std::move(counts)));
+    JsonObject freqs;
+    for (const auto &[name, series] : result.instanceFrequencyGHz)
+        freqs.emplace(name, seriesToJson(series));
+    obj.emplace("instance_frequency_ghz", JsonValue(std::move(freqs)));
+    return JsonValue(std::move(obj));
+}
+
+std::optional<RunResult>
+runResultFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return std::nullopt;
+    RunResult result;
+    result.scenario = doc.stringOr("scenario", "");
+    result.submitted =
+        static_cast<std::uint64_t>(doc.numberOr("submitted", 0));
+    result.completed =
+        static_cast<std::uint64_t>(doc.numberOr("completed", 0));
+    result.avgLatencySec = doc.numberOr("avg_latency_s", 0.0);
+    result.p99LatencySec = doc.numberOr("p99_latency_s", 0.0);
+    result.maxLatencySec = doc.numberOr("max_latency_s", 0.0);
+    result.avgPowerWatts = doc.numberOr("avg_power_w", 0.0);
+    result.energyJoules = doc.numberOr("energy_j", 0.0);
+
+    const JsonValue *stages = doc.find("stage_breakdown");
+    if (!stages || !stages->isArray())
+        return std::nullopt;
+    for (const auto &entry : stages->asArray()) {
+        if (!entry.isObject())
+            return std::nullopt;
+        StageBreakdown b;
+        b.avgQueuingSec = entry.numberOr("avg_queuing_s", 0.0);
+        b.avgServingSec = entry.numberOr("avg_serving_s", 0.0);
+        b.hops = static_cast<std::uint64_t>(entry.numberOr("hops", 0));
+        result.stageBreakdown.push_back(b);
+    }
+
+    const JsonValue *latency = doc.find("latency_series");
+    const JsonValue *power = doc.find("power_series");
+    if (!latency || !power)
+        return std::nullopt;
+    auto latencySeries = seriesFromJson(*latency);
+    auto powerSeries = seriesFromJson(*power);
+    if (!latencySeries || !powerSeries)
+        return std::nullopt;
+    result.latencySeries = std::move(*latencySeries);
+    result.powerSeries = std::move(*powerSeries);
+
+    const JsonValue *counts = doc.find("stage_instance_counts");
+    if (!counts || !counts->isArray())
+        return std::nullopt;
+    for (const auto &entry : counts->asArray()) {
+        auto series = seriesFromJson(entry);
+        if (!series)
+            return std::nullopt;
+        result.stageInstanceCounts.push_back(std::move(*series));
+    }
+
+    const JsonValue *freqs = doc.find("instance_frequency_ghz");
+    if (!freqs || !freqs->isObject())
+        return std::nullopt;
+    for (const auto &[name, entry] : freqs->asObject()) {
+        auto series = seriesFromJson(entry);
+        if (!series)
+            return std::nullopt;
+        result.instanceFrequencyGHz.emplace(name, std::move(*series));
+    }
+    return result;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::pathFor(const std::string &key) const
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return (fs::path(dir_) / (std::string(buf) + ".json")).string();
+}
+
+std::optional<RunResult>
+ResultCache::load(const std::string &key) const
+{
+    std::ifstream in(pathFor(key));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonParseResult parsed = parseJson(text.str());
+    if (!parsed.ok()) {
+        logWarn("result cache: unparsable entry '%s' ignored",
+                pathFor(key).c_str());
+        return std::nullopt;
+    }
+    // Guard against hash collisions and stale schema: the entry must
+    // carry the exact canonical key it was stored under.
+    if (parsed.value->stringOr("key", "") != key)
+        return std::nullopt;
+    const JsonValue *result = parsed.value->find("result");
+    if (!result)
+        return std::nullopt;
+    return runResultFromJson(*result);
+}
+
+void
+ResultCache::store(const std::string &key, const RunResult &result) const
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        logWarn("result cache: cannot create '%s': %s", dir_.c_str(),
+                ec.message().c_str());
+        return;
+    }
+    JsonObject entry;
+    entry.emplace("key", key);
+    entry.emplace("result", runResultToJson(result));
+
+    // Unique temp name per thread, then atomic rename: concurrent
+    // stores of the same key are harmless (identical content).
+    std::ostringstream tid;
+    tid << std::this_thread::get_id();
+    const std::string path = pathFor(key);
+    const std::string tmp = path + ".tmp." + tid.str();
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            logWarn("result cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        out << JsonValue(std::move(entry)).dump();
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        logWarn("result cache: rename to '%s' failed: %s", path.c_str(),
+                ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace pc

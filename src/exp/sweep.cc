@@ -1,0 +1,217 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "exp/result_cache.h"
+#include "exp/thread_pool.h"
+
+namespace pc {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options))
+{
+    runFn_ = [this](const Scenario &sc) {
+        return ExperimentRunner(options_.recordTraces,
+                                options_.sampleInterval)
+            .run(sc);
+    };
+}
+
+void
+SweepRunner::setRunFunction(RunFn fn)
+{
+    runFn_ = std::move(fn);
+}
+
+int
+SweepRunner::effectiveJobs() const
+{
+    if (options_.jobs > 0)
+        return options_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::string
+SweepRunner::cacheKeyFor(const std::string &canonical) const
+{
+    // Runner settings change what a RunResult contains, so they are
+    // part of the identity of a sweep point.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|runner:traces=%d,sample=%lld",
+                  options_.recordTraces ? 1 : 0,
+                  static_cast<long long>(
+                      options_.sampleInterval.toUsec()));
+    return canonical + buf;
+}
+
+std::vector<RunResult>
+SweepRunner::runAll(const std::vector<Scenario> &scenarios)
+{
+    report_ = SweepReport{};
+    report_.total = scenarios.size();
+
+    std::vector<RunResult> results(scenarios.size());
+    std::vector<bool> executed(scenarios.size(), false);
+
+    ResultCache cache(options_.cacheDir);
+    std::vector<std::optional<std::string>> keys(scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto canonical = scenarioCanonical(scenarios[i]);
+        if (!canonical) {
+            ++report_.uncacheable;
+            continue;
+        }
+        keys[i] = cacheKeyFor(*canonical);
+    }
+
+    // Serve cache hits first so the pool only sees real work.
+    std::vector<std::size_t> toRun;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        if (options_.useCache && keys[i]) {
+            if (auto cached = cache.load(*keys[i])) {
+                results[i] = std::move(*cached);
+                ++report_.cacheHits;
+                continue;
+            }
+        }
+        toRun.push_back(i);
+    }
+    report_.cacheMisses = toRun.size();
+
+    // Each task writes only its own slot, runs its own Simulator, and
+    // draws from its own seeded Rng streams — no shared mutable state.
+    {
+        ThreadPool pool(
+            std::min<int>(effectiveJobs(),
+                          std::max<std::size_t>(toRun.size(), 1)));
+        for (const std::size_t i : toRun) {
+            pool.submit([this, i, &scenarios, &results, &keys,
+                         &cache]() {
+                results[i] = runFn_(scenarios[i]);
+                if (options_.useCache && keys[i])
+                    cache.store(*keys[i], results[i]);
+            });
+        }
+        pool.wait();
+    }
+    for (const std::size_t i : toRun)
+        executed[i] = true;
+
+    if (options_.audit)
+        audit(scenarios, results, executed);
+    return results;
+}
+
+RunResult
+SweepRunner::runOne(const Scenario &scenario)
+{
+    return runAll({scenario}).front();
+}
+
+void
+SweepRunner::audit(const std::vector<Scenario> &scenarios,
+                   const std::vector<RunResult> &results,
+                   const std::vector<bool> &executed)
+{
+    // Audit only points that were actually simulated in parallel this
+    // call; cached results are covered by the key check on load.
+    std::vector<std::size_t> ran;
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        if (executed[i])
+            ran.push_back(i);
+    if (ran.empty())
+        return;
+
+    std::size_t want = static_cast<std::size_t>(
+        options_.auditFraction * static_cast<double>(ran.size()) + 0.5);
+    want = std::clamp<std::size_t>(
+        want, std::min<std::size_t>(
+                  static_cast<std::size_t>(
+                      std::max(options_.auditMinRuns, 1)),
+                  ran.size()),
+        ran.size());
+
+    // Deterministic sample: Fisher-Yates prefix with a seeded Rng.
+    Rng rng(options_.auditSeed);
+    for (std::size_t i = 0; i < want; ++i) {
+        const auto j = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(ran.size()) - 1));
+        std::swap(ran[i], ran[j]);
+    }
+    ran.resize(want);
+    std::sort(ran.begin(), ran.end());
+
+    for (const std::size_t i : ran) {
+        ++report_.audited;
+        const RunResult serial = runFn_(scenarios[i]);
+        const std::string parallelJson =
+            runResultToJson(results[i]).dump();
+        const std::string serialJson = runResultToJson(serial).dump();
+        if (parallelJson == serialJson)
+            continue;
+        if (options_.auditFatal) {
+            fatal("determinism audit: sweep point %zu ('%s') diverged "
+                  "between the parallel and single-threaded runs — the "
+                  "simulation is not a pure function of its scenario",
+                  i, scenarios[i].name.c_str());
+        }
+        SweepDivergence divergence;
+        divergence.index = i;
+        divergence.scenario = scenarios[i].name;
+        divergence.parallelJson = parallelJson;
+        divergence.serialJson = serialJson;
+        report_.divergences.push_back(std::move(divergence));
+    }
+}
+
+void
+addSweepFlags(FlagSet *flags)
+{
+    flags->addInt("jobs", 0,
+                  "parallel sweep workers (0 = one per hardware "
+                  "thread)");
+    flags->addBool("no-cache", false,
+                   "bypass the on-disk sweep result cache");
+    flags->addString("cache-dir", ".powerchief-cache",
+                     "directory of the sweep result cache");
+    flags->addBool("audit", false,
+                   "re-run a sampled subset single-threaded and panic "
+                   "on any determinism divergence");
+}
+
+SweepOptions
+sweepOptionsFromFlags(const FlagSet &flags)
+{
+    SweepOptions options;
+    options.jobs = static_cast<int>(flags.getInt("jobs"));
+    options.useCache = !flags.getBool("no-cache");
+    options.cacheDir = flags.getString("cache-dir");
+    options.audit = flags.getBool("audit");
+    return options;
+}
+
+SweepOptions
+parseSweepArgs(const char *program, int argc, const char *const *argv)
+{
+    FlagSet flags(program);
+    addSweepFlags(&flags);
+    if (!flags.parse(argc, argv)) {
+        if (flags.helpRequested()) {
+            flags.printUsage(std::cout);
+            std::exit(0);
+        }
+        std::fprintf(stderr, "error: %s\n", flags.error().c_str());
+        flags.printUsage(std::cerr);
+        std::exit(2);
+    }
+    return sweepOptionsFromFlags(flags);
+}
+
+} // namespace pc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Parallel sweep engine for independent scenario runs.
+ *
+ * Every figure reproduction and ablation sweeps dozens of independent
+ * Scenario runs. Each run is a self-contained deterministic
+ * discrete-event simulation (own Simulator, own seeded Rng streams),
+ * so SweepRunner executes them on a fixed-size thread pool: results
+ * are bit-identical regardless of thread count or completion order and
+ * are always collected in submission order.
+ *
+ * Two correctness mechanisms ride along:
+ *  - a content-addressed on-disk result cache (exp/result_cache.h)
+ *    lets re-runs of unchanged sweep points skip simulation entirely;
+ *  - a determinism audit re-runs a sampled subset of sweep points
+ *    single-threaded after the parallel pass and panics (by default)
+ *    on any divergence from the parallel results.
+ */
+
+#ifndef PC_EXP_SWEEP_H
+#define PC_EXP_SWEEP_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "exp/runner.h"
+
+namespace pc {
+
+struct SweepOptions
+{
+    /** Worker threads; <= 0 means one per hardware thread. */
+    int jobs = 0;
+
+    /** Serve/store results through the on-disk cache. */
+    bool useCache = false;
+    std::string cacheDir = ".powerchief-cache";
+
+    /** Re-run a sampled subset single-threaded and compare. */
+    bool audit = false;
+    /** Fraction of executed sweep points the audit re-runs. */
+    double auditFraction = 0.25;
+    /** Audit at least this many points (when any were executed). */
+    int auditMinRuns = 1;
+    /** Seed for the audit's deterministic sample choice. */
+    std::uint64_t auditSeed = 0x5eedau;
+    /** fatal() on divergence (default); false = report via report(). */
+    bool auditFatal = true;
+
+    /** Forwarded to ExperimentRunner for every run. */
+    bool recordTraces = false;
+    SimTime sampleInterval = SimTime::sec(5);
+};
+
+/** One audit mismatch: parallel and serial runs disagreed. */
+struct SweepDivergence
+{
+    std::size_t index = 0;
+    std::string scenario;
+    /** Serialized forms of both results (for diffing). */
+    std::string parallelJson;
+    std::string serialJson;
+};
+
+/** What happened during the last runAll(). */
+struct SweepReport
+{
+    std::size_t total = 0;
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;   // executed (cache enabled or not)
+    std::size_t uncacheable = 0;   // factory-override scenarios
+    std::size_t audited = 0;
+    std::vector<SweepDivergence> divergences;
+};
+
+class SweepRunner
+{
+  public:
+    using RunFn = std::function<RunResult(const Scenario &)>;
+
+    explicit SweepRunner(SweepOptions options = {});
+
+    /**
+     * Run every scenario and return results in submission order.
+     * Safe to call repeatedly; report() describes the last call.
+     */
+    std::vector<RunResult> runAll(const std::vector<Scenario> &scenarios);
+
+    /** Convenience single-run (still cached/audited per options). */
+    RunResult runOne(const Scenario &scenario);
+
+    const SweepReport &report() const { return report_; }
+    const SweepOptions &options() const { return options_; }
+
+    /** Effective worker count after resolving jobs <= 0. */
+    int effectiveJobs() const;
+
+    /**
+     * Replace the simulation function (tests inject stubs, e.g. a
+     * deliberately nondeterministic scenario for the audit test).
+     */
+    void setRunFunction(RunFn fn);
+
+  private:
+    std::string cacheKeyFor(const std::string &canonical) const;
+    void audit(const std::vector<Scenario> &scenarios,
+               const std::vector<RunResult> &results,
+               const std::vector<bool> &executed);
+
+    SweepOptions options_;
+    RunFn runFn_;
+    SweepReport report_;
+};
+
+/**
+ * Register the standard sweep flags: --jobs, --no-cache, --cache-dir,
+ * --audit. Shared by every bench binary and the CLI.
+ */
+void addSweepFlags(FlagSet *flags);
+
+/** Build SweepOptions from parsed standard sweep flags. */
+SweepOptions sweepOptionsFromFlags(const FlagSet &flags);
+
+/**
+ * Whole argv handling for bench binaries: parse the standard sweep
+ * flags, print usage and exit on --help or errors, and return the
+ * resulting options.
+ */
+SweepOptions parseSweepArgs(const char *program, int argc,
+                            const char *const *argv);
+
+} // namespace pc
+
+#endif // PC_EXP_SWEEP_H

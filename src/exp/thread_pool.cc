@@ -1,0 +1,69 @@
+#include "exp/thread_pool.h"
+
+#include <algorithm>
+
+namespace pc {
+
+ThreadPool::ThreadPool(int numThreads)
+{
+    const int n = std::max(1, numThreads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock,
+                  [this]() { return queue_.empty() && executing_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this]() { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ with no work left
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++executing_;
+        }
+        task();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --executing_;
+            if (queue_.empty() && executing_ == 0)
+                drained_.notify_all();
+        }
+    }
+}
+
+} // namespace pc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the sweep engine.
+ *
+ * Each submitted task is an independent unit of work (one whole
+ * scenario simulation); the pool makes no ordering promises, so
+ * callers that need ordered results index into a pre-sized output
+ * vector from inside the task. wait() blocks until every task
+ * submitted so far has finished, after which the pool is reusable.
+ */
+
+#ifndef PC_EXP_THREAD_POOL_H
+#define PC_EXP_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pc {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param numThreads clamped to >= 1; workers start immediately. */
+    explicit ThreadPool(int numThreads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; runs on some worker thread. */
+    void submit(Task task);
+
+    /** Block until the queue is empty and no task is executing. */
+    void wait();
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<Task> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;   // workers: work available / stop
+    std::condition_variable drained_; // waiters: everything finished
+    std::size_t executing_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace pc
+
+#endif // PC_EXP_THREAD_POOL_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numbers>
 
 #include "common/logging.h"
@@ -92,6 +93,22 @@ LoadProfile::diurnal(double loQps, double hiQps, SimTime period)
     p.period_ = period;
     p.maxRate_ = hiQps;
     return p;
+}
+
+std::string
+LoadProfile::canonical() const
+{
+    char buf[96];
+    std::string out = "load{";
+    for (const auto &p : points_) {
+        std::snprintf(buf, sizeof(buf), "(%lld,%.17g)",
+                      static_cast<long long>(p.t.toUsec()), p.qps);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "|%.17g,%.17g,%lld}", lo_, hi_,
+                  static_cast<long long>(period_.toUsec()));
+    out += buf;
+    return out;
 }
 
 double

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Golden-trace regression: the Fig. 11 PowerChief trace for a fixed
+ * seed, serialized through the result-cache JSON codec, must replay
+ * byte-for-byte against tests/golden/fig11_trace.json.
+ *
+ * Any change to the simulator's event ordering, the RNG streams, the
+ * control loop, or the JSON codec shows up here as a byte diff.
+ * To regenerate after an *intentional* behaviour change:
+ *
+ *   PC_UPDATE_GOLDEN=1 ./tests/test_golden_trace
+ *
+ * and commit the rewritten golden file with the change that caused it.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/result_cache.h"
+#include "exp/runner.h"
+
+namespace pc {
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(PC_SOURCE_DIR) + "/golden/fig11_trace.json";
+}
+
+/** The pinned scenario: Fig. 11 load, PowerChief, fixed seed, short
+ * horizon so the golden file stays reviewable. */
+Scenario
+goldenScenario()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    Scenario sc = Scenario::mitigation(sirius, LoadLevel::High,
+                                       PolicyKind::PowerChief, 1234);
+    sc.load = LoadProfile::fig11(sirius, 1800);
+    sc.name = "golden/fig11/PowerChief";
+    sc.duration = SimTime::sec(150);
+    return sc;
+}
+
+TEST(GoldenTrace, Fig11ReplaysByteStable)
+{
+    const ExperimentRunner runner(/*recordTraces=*/true);
+    const std::string fresh =
+        runResultToJson(runner.run(goldenScenario())).dump() + "\n";
+
+    if (std::getenv("PC_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath();
+        out << fresh;
+        GTEST_SKIP() << "golden file regenerated";
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing " << goldenPath()
+        << " — run with PC_UPDATE_GOLDEN=1 to create it";
+    std::ostringstream stored;
+    stored << in.rdbuf();
+
+    // Byte equality, not structural equality: the golden file also
+    // pins the serialization format.
+    EXPECT_EQ(stored.str(), fresh)
+        << "Fig. 11 trace diverged from tests/golden/fig11_trace.json. "
+           "If the behaviour change is intentional, regenerate with "
+           "PC_UPDATE_GOLDEN=1.";
+}
+
+TEST(GoldenTrace, GoldenFileParsesAndRoundTrips)
+{
+    std::ifstream in(goldenPath(), std::ios::binary);
+    if (!in.good())
+        GTEST_SKIP() << "golden file not generated yet";
+    std::ostringstream stored;
+    stored << in.rdbuf();
+
+    std::string text = stored.str();
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    const JsonParseResult doc = parseJson(text);
+    ASSERT_TRUE(doc.ok()) << doc.error;
+    const std::optional<RunResult> result =
+        runResultFromJson(*doc.value);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(runResultToJson(*result).dump(), text);
+    EXPECT_GT(result->completed, 0u);
+    EXPECT_FALSE(result->latencySeries.points().empty());
+}
+
+} // namespace
+} // namespace pc

@@ -61,6 +61,80 @@ TEST(PropertySimulator, RandomScheduleCancelMatchesReference)
     }
 }
 
+TEST(PropertySimulator, CancelAfterFireReturnsFalse)
+{
+    // Once an event has executed (or was already cancelled), cancel()
+    // must refuse — under any random schedule.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Simulator sim;
+        Rng rng(seed);
+        std::vector<EventId> ids;
+        for (int i = 0; i < 200; ++i)
+            ids.push_back(sim.scheduleAt(
+                SimTime::usec(rng.uniformInt(0, 50000)), []() {}));
+        // Cancel a random subset before running.
+        std::vector<EventId> cancelled;
+        for (const EventId id : ids) {
+            if (rng.bernoulli(0.25)) {
+                ASSERT_TRUE(sim.cancel(id));
+                cancelled.push_back(id);
+            }
+        }
+        sim.run();
+        for (const EventId id : ids)
+            EXPECT_FALSE(sim.cancel(id));
+        for (const EventId id : cancelled)
+            EXPECT_FALSE(sim.cancel(id));
+    }
+}
+
+TEST(PropertySimulator, EqualTimestampsFireInScheduleOrder)
+{
+    // 1k random schedules/cancels drawn from a tiny timestamp set so
+    // ties are the common case: among surviving events with equal
+    // timestamps, execution order must equal schedule order.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Simulator sim;
+        Rng rng(seed);
+
+        int scheduleSeq = 0;
+        std::vector<std::pair<SimTime, int>> fired;
+        std::vector<std::pair<EventId, int>> live; // id -> seq
+        for (int op = 0; op < 1000; ++op) {
+            if (!live.empty() && rng.bernoulli(0.25)) {
+                const std::size_t pick = static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<long>(live.size()) - 1));
+                ASSERT_TRUE(sim.cancel(live[pick].first));
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+            } else {
+                // Only 8 distinct timestamps: collisions guaranteed.
+                const SimTime at =
+                    SimTime::msec(10 * rng.uniformInt(1, 8));
+                const int seq = scheduleSeq++;
+                const EventId id =
+                    sim.scheduleAt(at, [&fired, &sim, seq]() {
+                        fired.push_back({sim.now(), seq});
+                    });
+                live.push_back({id, seq});
+            }
+        }
+        sim.run();
+        ASSERT_EQ(fired.size(), live.size());
+        for (std::size_t i = 1; i < fired.size(); ++i) {
+            ASSERT_LE(fired[i - 1].first, fired[i].first);
+            if (fired[i - 1].first == fired[i].first) {
+                EXPECT_LT(fired[i - 1].second, fired[i].second)
+                    << "tie at t=" << fired[i].first.toSec()
+                    << " s broke schedule order (seed=" << seed << ")";
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------- M/M/1 validation
 
 TEST(PropertyQueueing, MM1MeanSojournMatchesTheory)

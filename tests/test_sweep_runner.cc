@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Sweep-engine tests: bit-determinism across thread counts,
+ * submission-order collection under adversarial run durations, result
+ * cache hit/miss/invalidation, and the determinism audit catching an
+ * injected nondeterministic run function.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exp/result_cache.h"
+#include "exp/sweep.h"
+#include "exp/thread_pool.h"
+
+namespace pc {
+namespace {
+
+/** A real but tiny simulation: finishes in milliseconds. */
+Scenario
+quickScenario(int seed)
+{
+    Scenario sc =
+        Scenario::mitigation(WorkloadModel::nlp(), LoadLevel::Medium,
+                             PolicyKind::PowerChief, seed);
+    sc.duration = SimTime::sec(60);
+    sc.name = "quick/" + std::to_string(seed);
+    return sc;
+}
+
+std::string
+dumped(const RunResult &r)
+{
+    return runResultToJson(r).dump();
+}
+
+std::string
+freshDir(const char *name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+// ------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsEveryTaskAndIsReusableAfterWait)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++count;
+            });
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(SweepRunner, ResultsIdenticalAcrossThreadCounts)
+{
+    std::vector<Scenario> scenarios;
+    for (int seed = 1; seed <= 6; ++seed)
+        scenarios.push_back(quickScenario(seed));
+
+    std::vector<std::vector<std::string>> perJobs;
+    for (int jobs : {1, 2, 8}) {
+        SweepOptions opt;
+        opt.jobs = jobs;
+        SweepRunner sweep(opt);
+        std::vector<std::string> dumps;
+        for (const RunResult &r : sweep.runAll(scenarios))
+            dumps.push_back(dumped(r));
+        perJobs.push_back(std::move(dumps));
+    }
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        SCOPED_TRACE("scenario " + scenarios[i].name);
+        EXPECT_EQ(perJobs[0][i], perJobs[1][i]) << "jobs=1 vs jobs=2";
+        EXPECT_EQ(perJobs[0][i], perJobs[2][i]) << "jobs=1 vs jobs=8";
+    }
+}
+
+TEST(SweepRunner, CollectsInSubmissionOrderUnderAdversarialDurations)
+{
+    // Earlier submissions take longest, so with 4 workers the
+    // completion order is roughly the reverse of submission order.
+    constexpr int kRuns = 12;
+    SweepOptions opt;
+    opt.jobs = 4;
+    SweepRunner sweep(opt);
+    sweep.setRunFunction([](const Scenario &sc) {
+        const auto idx = static_cast<int>(sc.seed);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((kRuns - idx) * 3));
+        RunResult r;
+        r.scenario = sc.name;
+        r.completed = static_cast<std::uint64_t>(idx);
+        return r;
+    });
+
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < kRuns; ++i) {
+        Scenario sc;
+        sc.name = "stub/" + std::to_string(i);
+        sc.seed = static_cast<std::uint64_t>(i);
+        scenarios.push_back(sc);
+    }
+    const std::vector<RunResult> results = sweep.runAll(scenarios);
+    ASSERT_EQ(results.size(), scenarios.size());
+    for (int i = 0; i < kRuns; ++i) {
+        EXPECT_EQ(results[static_cast<std::size_t>(i)].completed,
+                  static_cast<std::uint64_t>(i));
+        EXPECT_EQ(results[static_cast<std::size_t>(i)].scenario,
+                  scenarios[static_cast<std::size_t>(i)].name);
+    }
+}
+
+// ------------------------------------------------------------- cache
+
+TEST(SweepRunner, CacheHitsMissesAndInvalidation)
+{
+    SweepOptions opt;
+    opt.jobs = 2;
+    opt.useCache = true;
+    opt.cacheDir = freshDir("sweep_cache_test");
+    SweepRunner sweep(opt);
+
+    const std::vector<Scenario> scenarios = {quickScenario(1),
+                                             quickScenario(2)};
+    const std::vector<RunResult> first = sweep.runAll(scenarios);
+    EXPECT_EQ(sweep.report().cacheMisses, 2u);
+    EXPECT_EQ(sweep.report().cacheHits, 0u);
+
+    // Unchanged sweep points are served from disk, byte-identical.
+    const std::vector<RunResult> second = sweep.runAll(scenarios);
+    EXPECT_EQ(sweep.report().cacheHits, 2u);
+    EXPECT_EQ(sweep.report().cacheMisses, 0u);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(dumped(first[i]), dumped(second[i]));
+
+    // Any fingerprint-relevant change (same name!) invalidates.
+    Scenario changed = quickScenario(1);
+    changed.duration = SimTime::sec(61);
+    sweep.runAll({changed});
+    EXPECT_EQ(sweep.report().cacheHits, 0u);
+    EXPECT_EQ(sweep.report().cacheMisses, 1u);
+
+    // Factory-override scenarios never touch the cache.
+    Scenario opaque = quickScenario(1);
+    opaque.metricFactory = [] {
+        return std::make_unique<PowerChiefMetric>();
+    };
+    sweep.runAll({opaque});
+    EXPECT_EQ(sweep.report().uncacheable, 1u);
+    EXPECT_EQ(sweep.report().cacheHits, 0u);
+    sweep.runAll({opaque});
+    EXPECT_EQ(sweep.report().uncacheable, 1u);
+    EXPECT_EQ(sweep.report().cacheHits, 0u);
+}
+
+TEST(ResultCache, RoundTripsResultsExactly)
+{
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.recordTraces = true;
+    SweepRunner sweep(opt);
+    const RunResult run = sweep.runOne(quickScenario(3));
+
+    ResultCache cache(freshDir("result_cache_roundtrip"));
+    const std::string key = *scenarioCanonical(quickScenario(3));
+    EXPECT_FALSE(cache.load(key).has_value());
+    cache.store(key, run);
+    const std::optional<RunResult> loaded = cache.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(dumped(run), dumped(*loaded));
+    // A different key maps to a different file and misses.
+    EXPECT_FALSE(cache.load(key + "x").has_value());
+}
+
+TEST(ResultCache, CanonicalCoversSeedAndControlKnobs)
+{
+    const Scenario base = quickScenario(1);
+    Scenario seed = base;
+    seed.seed = base.seed + 1;
+    Scenario knob = base;
+    knob.control.adjustInterval = SimTime::sec(99);
+    const std::string canonical = *scenarioCanonical(base);
+    EXPECT_NE(canonical, *scenarioCanonical(seed));
+    EXPECT_NE(canonical, *scenarioCanonical(knob));
+    EXPECT_EQ(canonical, *scenarioCanonical(base));
+}
+
+// ------------------------------------------------------------- audit
+
+TEST(SweepRunner, AuditPassesOnDeterministicRuns)
+{
+    SweepOptions opt;
+    opt.jobs = 2;
+    opt.audit = true;
+    opt.auditFraction = 1.0;
+    opt.auditFatal = false;
+    SweepRunner sweep(opt);
+    const std::vector<Scenario> scenarios = {quickScenario(1),
+                                             quickScenario(2)};
+    sweep.runAll(scenarios);
+    EXPECT_EQ(sweep.report().audited, scenarios.size());
+    EXPECT_TRUE(sweep.report().divergences.empty());
+}
+
+TEST(SweepRunner, AuditDetectsInjectedNondeterminism)
+{
+    SweepOptions opt;
+    opt.jobs = 2;
+    opt.audit = true;
+    opt.auditFraction = 1.0;
+    opt.auditFatal = false; // record instead of fatal() for the test
+    SweepRunner sweep(opt);
+
+    // Every invocation returns a different result: the serial audit
+    // re-run can never match the parallel pass.
+    auto counter = std::make_shared<std::atomic<int>>(0);
+    sweep.setRunFunction([counter](const Scenario &sc) {
+        RunResult r;
+        r.scenario = sc.name;
+        r.avgLatencySec = counter->fetch_add(1);
+        return r;
+    });
+
+    std::vector<Scenario> scenarios(3);
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        scenarios[i].name = "nondet/" + std::to_string(i);
+    sweep.runAll(scenarios);
+    EXPECT_EQ(sweep.report().audited, scenarios.size());
+    ASSERT_FALSE(sweep.report().divergences.empty());
+    const SweepDivergence &d = sweep.report().divergences.front();
+    EXPECT_NE(d.parallelJson, d.serialJson);
+    EXPECT_FALSE(d.scenario.empty());
+}
+
+} // namespace
+} // namespace pc

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the test suite.
+#
+# Builds two instrumented variants and runs the full ctest suite in
+# each:
+#   build-tsan  — ThreadSanitizer (data races in the sweep engine)
+#   build-asan  — AddressSanitizer + UndefinedBehaviorSanitizer
+#
+# Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_variant() {
+    local name="$1" flags="$2"
+    echo "=== ${name} (${flags}) ==="
+    cmake -B "build-${name}" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="${flags}" >/dev/null
+    cmake --build "build-${name}" -j "${jobs}"
+    ctest --test-dir "build-${name}" --output-on-failure -j "${jobs}"
+}
+
+run_variant tsan "-fsanitize=thread -g"
+run_variant asan "-fsanitize=address,undefined -fno-sanitize-recover=all -g"
+
+echo "All sanitizer variants passed."

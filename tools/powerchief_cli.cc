@@ -9,16 +9,21 @@
  * Policies: baseline, freq, inst, powerchief, pegasus, conserve.
  * QoS policies (pegasus/conserve) switch to the Table 3 over-
  * provisioned layout and require --qos (seconds).
+ *
+ * --seeds=1,2,3 sweeps the scenario over a seed list; the runs execute
+ * concurrently through the sweep engine (--jobs/--no-cache/--cache-dir/
+ * --audit, see exp/sweep.h).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/flags.h"
 #include "exp/artifacts.h"
 #include "exp/config_loader.h"
 #include "exp/report.h"
-#include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace pc;
 
@@ -74,6 +79,64 @@ pickPolicy(const std::string &name, PolicyKind *out)
     return true;
 }
 
+/** Parse "1,2,3" into seeds; returns false on malformed input. */
+bool
+parseSeedList(const std::string &text, std::vector<int> *out)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string token = text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (token.empty())
+            return false;
+        char *end = nullptr;
+        const long v = std::strtol(token.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            return false;
+        out->push_back(static_cast<int>(v));
+        pos = comma == std::string::npos ? text.size() : comma + 1;
+    }
+    return !out->empty();
+}
+
+/**
+ * Run the scenario (expanded over the seed list when --seeds is given)
+ * through the sweep engine and print/persist every result.
+ */
+int
+runScenarios(const FlagSet &flags, const Scenario &base,
+             const std::vector<int> &seeds)
+{
+    std::vector<Scenario> scenarios;
+    if (seeds.empty()) {
+        scenarios.push_back(base);
+    } else {
+        for (int seed : seeds) {
+            Scenario sc = base;
+            sc.seed = static_cast<std::uint64_t>(seed);
+            sc.name = base.name + "/seed" + std::to_string(seed);
+            scenarios.push_back(std::move(sc));
+        }
+    }
+
+    SweepOptions options = sweepOptionsFromFlags(flags);
+    options.recordTraces = flags.getBool("traces") ||
+        !flags.getString("artifacts").empty();
+    SweepRunner sweep(options);
+    const std::vector<RunResult> results = sweep.runAll(scenarios);
+
+    printRawResults(std::cout, results);
+    if (!flags.getString("artifacts").empty()) {
+        ArtifactWriter writer(flags.getString("artifacts"));
+        for (const RunResult &result : results)
+            std::printf("artifacts written to %s\n",
+                        writer.writeRun(result).c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -99,6 +162,10 @@ main(int argc, char **argv)
     flags.addString("config", "",
                     "JSON config file describing workload+scenario "
                     "(overrides workload/policy/load flags)");
+    flags.addString("seeds", "",
+                    "comma-separated seed list: sweep the scenario "
+                    "over these seeds (overrides --seed)");
+    addSweepFlags(&flags);
 
     if (!flags.parse(argc, argv)) {
         if (!flags.helpRequested())
@@ -107,6 +174,15 @@ main(int argc, char **argv)
         return flags.helpRequested() ? 0 : 2;
     }
 
+    std::vector<int> seeds;
+    if (!flags.getString("seeds").empty() &&
+        !parseSeedList(flags.getString("seeds"), &seeds)) {
+        std::cerr << "malformed --seeds list '"
+                  << flags.getString("seeds") << "'\n";
+        return 2;
+    }
+
+    Scenario base;
     if (!flags.getString("config").empty()) {
         const ConfigLoadResult loaded =
             scenarioFromFile(flags.getString("config"));
@@ -114,19 +190,10 @@ main(int argc, char **argv)
             std::cerr << "config error: " << loaded.error << "\n";
             return 2;
         }
-        Scenario sc = *loaded.scenario;
+        base = *loaded.scenario;
         if (flags.isSet("duration"))
-            sc.duration = SimTime::sec(flags.getDouble("duration"));
-        const bool traces = flags.getBool("traces") ||
-            !flags.getString("artifacts").empty();
-        const RunResult result = ExperimentRunner(traces).run(sc);
-        printRawResults(std::cout, {result});
-        if (!flags.getString("artifacts").empty()) {
-            ArtifactWriter writer(flags.getString("artifacts"));
-            std::printf("artifacts written to %s\n",
-                        writer.writeRun(result).c_str());
-        }
-        return 0;
+            base.duration = SimTime::sec(flags.getDouble("duration"));
+        return runScenarios(flags, base, seeds);
     }
 
     WorkloadModel workload = WorkloadModel::sirius();
@@ -171,16 +238,5 @@ main(int argc, char **argv)
         sc.load = LoadProfile::constant(flags.getDouble("qps"));
     sc.duration = SimTime::sec(flags.getDouble("duration"));
 
-    const bool traces = flags.getBool("traces") ||
-        !flags.getString("artifacts").empty();
-    const ExperimentRunner runner(traces);
-    const RunResult result = runner.run(sc);
-
-    printRawResults(std::cout, {result});
-    if (!flags.getString("artifacts").empty()) {
-        ArtifactWriter writer(flags.getString("artifacts"));
-        const std::string dir = writer.writeRun(result);
-        std::printf("artifacts written to %s\n", dir.c_str());
-    }
-    return 0;
+    return runScenarios(flags, sc, seeds);
 }
