@@ -51,6 +51,16 @@ printTrace(const Scenario &sc, const RunResult &run)
     for (const auto &[name, series] : run.instanceFrequencyGHz)
         printSeries(std::cout, name, series, from, to, kBuckets, 1);
 
+    std::cout << "per-stage breakdown (avg queuing + serving s):\n";
+    for (std::size_t s = 0; s < run.stageBreakdown.size(); ++s) {
+        const auto &stage = run.stageBreakdown[s];
+        std::printf("  stage %zu: %.4f + %.4f (queuing share %.0f%%, "
+                    "%llu hops)\n",
+                    s, stage.avgQueuingSec, stage.avgServingSec,
+                    stage.queuingShare() * 100.0,
+                    static_cast<unsigned long long>(stage.hops));
+    }
+
     std::cout << "avg latency " << run.avgLatencySec << " s, p99 "
               << run.p99LatencySec << " s, avg power "
               << run.avgPowerWatts << " W (budget 13.56 W)\n";

@@ -2,9 +2,25 @@
 
 #include <limits>
 
+#include "obs/telemetry.h"
+
 namespace pc {
 
 Dispatcher::Dispatcher(DispatchPolicy policy) : policy_(policy) {}
+
+void
+Dispatcher::setTelemetry(Telemetry *telemetry, int stageIndex)
+{
+    if (!telemetry) {
+        picks_ = nullptr;
+        queueDepth_ = nullptr;
+        return;
+    }
+    const std::string prefix =
+        "dispatch.stage" + std::to_string(stageIndex) + ".";
+    picks_ = &telemetry->metrics().counter(prefix + "picks_total");
+    queueDepth_ = &telemetry->metrics().histogram(prefix + "queue_depth");
+}
 
 ServiceInstance *
 Dispatcher::pick(const std::vector<ServiceInstance *> &instances)
@@ -17,15 +33,25 @@ Dispatcher::pick(const std::vector<ServiceInstance *> &instances)
     if (eligible.empty())
         return nullptr;
 
+    ServiceInstance *chosen = nullptr;
     switch (policy_) {
       case DispatchPolicy::RoundRobin:
-        return pickRoundRobin(eligible);
+        chosen = pickRoundRobin(eligible);
+        break;
       case DispatchPolicy::JoinShortestQueue:
-        return pickShortestQueue(eligible);
+        chosen = pickShortestQueue(eligible);
+        break;
       case DispatchPolicy::WeightedFastest:
-        return pickWeighted(eligible);
+        chosen = pickWeighted(eligible);
+        break;
     }
-    return nullptr;
+    if (chosen) {
+        if (picks_)
+            picks_->add();
+        if (queueDepth_)
+            queueDepth_->add(static_cast<double>(chosen->queueLength()));
+    }
+    return chosen;
 }
 
 ServiceInstance *

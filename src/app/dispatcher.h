@@ -18,6 +18,10 @@
 
 namespace pc {
 
+class Counter;
+class Histogram;
+class Telemetry;
+
 enum class DispatchPolicy { RoundRobin, JoinShortestQueue, WeightedFastest };
 
 class Dispatcher
@@ -34,6 +38,13 @@ class Dispatcher
 
     DispatchPolicy policy() const { return policy_; }
 
+    /**
+     * Instrument picks: "dispatch.stage<k>.picks_total" plus a
+     * "dispatch.stage<k>.queue_depth" histogram of the chosen
+     * instance's queue length at dispatch time. nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry, int stageIndex);
+
   private:
     ServiceInstance *
     pickRoundRobin(const std::vector<ServiceInstance *> &eligible);
@@ -44,6 +55,10 @@ class Dispatcher
 
     DispatchPolicy policy_;
     std::size_t rrNext_ = 0;
+
+    // Cached at wiring time so the hot path is one branch + increment.
+    Counter *picks_ = nullptr;
+    Histogram *queueDepth_ = nullptr;
 };
 
 } // namespace pc

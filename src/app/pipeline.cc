@@ -7,7 +7,8 @@ namespace pc {
 
 MultiStageApp::MultiStageApp(Simulator *sim, CmpChip *chip, MessageBus *bus,
                              std::string name,
-                             const std::vector<StageSpec> &specs)
+                             const std::vector<StageSpec> &specs,
+                             Telemetry *telemetry)
     : sim_(sim), bus_(bus), name_(std::move(name))
 {
     if (specs.empty())
@@ -28,6 +29,7 @@ MultiStageApp::MultiStageApp(Simulator *sim, CmpChip *chip, MessageBus *bus,
         const int idx = static_cast<int>(i);
         stage->setCompletionCallback(
             [this, idx](QueryPtr q) { onStageComplete(idx, std::move(q)); });
+        stage->setTelemetry(telemetry);
         for (int k = 0; k < spec.initialInstances; ++k) {
             if (!stage->launchInstance(spec.initialLevel))
                 fatal("application '%s': no free core for stage '%s' "

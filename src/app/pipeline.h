@@ -58,9 +58,14 @@ class MultiStageApp
     /**
      * Build the pipeline and launch the initial instances of each
      * stage. Fails fatally if the chip lacks cores for the layout.
+     *
+     * @param telemetry optional observability sink; wired into every
+     *        stage before the initial launches so instance trace tracks
+     *        appear in declaration order.
      */
     MultiStageApp(Simulator *sim, CmpChip *chip, MessageBus *bus,
-                  std::string name, const std::vector<StageSpec> &specs);
+                  std::string name, const std::vector<StageSpec> &specs,
+                  Telemetry *telemetry = nullptr);
 
     const std::string &name() const { return name_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -33,6 +34,22 @@ int
 ServiceInstance::level() const
 {
     return chip_->core(coreId_).level();
+}
+
+void
+ServiceInstance::setTelemetry(Telemetry *telemetry)
+{
+    if (!telemetry) {
+        waitHist_ = nullptr;
+        serveHist_ = nullptr;
+        hops_ = nullptr;
+        return;
+    }
+    const std::string prefix =
+        "app.stage" + std::to_string(stageIndex_) + ".";
+    waitHist_ = &telemetry->metrics().histogram(prefix + "wait_sec");
+    serveHist_ = &telemetry->metrics().histogram(prefix + "serve_sec");
+    hops_ = &telemetry->metrics().counter(prefix + "hops_total");
 }
 
 std::size_t
@@ -140,6 +157,13 @@ ServiceInstance::finishCurrent()
     busyAccum_ += currentHop_.finished - currentHop_.started;
     current_->addHop(currentHop_);
     ++served_;
+
+    if (waitHist_)
+        waitHist_->add(currentHop_.queuing().toSec());
+    if (serveHist_)
+        serveHist_->add(currentHop_.serving().toSec());
+    if (hops_)
+        hops_->add();
 
     QueryPtr done = std::move(current_);
     current_.reset();

@@ -23,6 +23,10 @@
 
 namespace pc {
 
+class Counter;
+class Histogram;
+class Telemetry;
+
 /**
  * A queued query together with its original enqueue timestamp. The
  * timestamp survives work stealing and withdraw redirection so the
@@ -105,6 +109,13 @@ class ServiceInstance
 
     std::uint64_t queriesServed() const { return served_; }
 
+    /**
+     * Instrument completed services: per-stage wait/serve latency
+     * histograms ("app.stage<k>.wait_sec"/"serve_sec") and the
+     * "app.stage<k>.hops_total" counter. nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
   private:
     void startNext();
     void finishCurrent();
@@ -137,6 +148,11 @@ class ServiceInstance
     bool draining_ = false;
     SimTime busyAccum_;
     std::uint64_t served_ = 0;
+
+    // Cached at wiring time so the hot path is one branch + record.
+    Histogram *waitHist_ = nullptr;
+    Histogram *serveHist_ = nullptr;
+    Counter *hops_ = nullptr;
 };
 
 } // namespace pc

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -49,6 +50,19 @@ Stage::setCompletionCallback(StageCompletionCallback cb)
     onComplete_ = std::move(cb);
 }
 
+void
+Stage::setTelemetry(Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    dispatcher_.setTelemetry(telemetry, index_);
+    for (auto &inst : pool_) {
+        if (telemetry_)
+            telemetry_->trace().declareInstanceTrack(
+                inst->id(), inst->name(), index_);
+        inst->setTelemetry(telemetry_);
+    }
+}
+
 ServiceInstance *
 Stage::launchInstance(int level)
 {
@@ -61,6 +75,10 @@ Stage::launchInstance(int level)
         id, name_ + "_" + std::to_string(launchCounter_), index_, sim_,
         chip_, *coreId, [this](QueryPtr q) { onInstanceComplete(std::move(q)); });
     ServiceInstance *raw = inst.get();
+    if (telemetry_) {
+        telemetry_->trace().declareInstanceTrack(id, raw->name(), index_);
+        raw->setTelemetry(telemetry_);
+    }
     pool_.push_back(std::move(inst));
     return raw;
 }

@@ -39,6 +39,8 @@ namespace pc {
  */
 enum class StageKind { Pipeline, FanOut };
 
+class Telemetry;
+
 class Stage
 {
   public:
@@ -68,6 +70,14 @@ class Stage
     const std::string &name() const { return name_; }
 
     void setCompletionCallback(StageCompletionCallback cb);
+
+    /**
+     * Attach telemetry: the dispatcher and every instance (current and
+     * future) get their cached instruments, and each instance gets a
+     * trace track. Call before the initial launches so track ids follow
+     * declaration order deterministically. nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
 
     /**
      * Launch a new instance at the given DVFS level.
@@ -117,6 +127,7 @@ class Stage
     Dispatcher dispatcher_;
     StageKind kind_;
     StageCompletionCallback onComplete_;
+    Telemetry *telemetry_ = nullptr;
     std::vector<std::unique_ptr<ServiceInstance>> pool_;
     int launchCounter_ = 0;
 

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace pc {
 
@@ -34,10 +35,19 @@ levelName(LogLevel lvl)
 void
 Logger::vlog(LogLevel lvl, const char *fmt, std::va_list ap)
 {
+    const std::lock_guard<std::mutex> lock(emitMutex_);
+    // Warnings and errors are counted even when the level filter
+    // suppresses their emission.
+    if (levelSink_ && lvl >= LogLevel::Warn && lvl < LogLevel::Off)
+        levelSink_(lvl);
     if (lvl < level_)
         return;
-    const std::lock_guard<std::mutex> lock(emitMutex_);
-    std::fprintf(stderr, "[%s] ", levelName(lvl));
+    char stamp[32] = "";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm);
+    std::fprintf(stderr, "[%s] [%s] ", stamp, levelName(lvl));
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
 }

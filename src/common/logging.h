@@ -12,6 +12,7 @@
 #define PC_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -24,6 +25,9 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
  * sweep engine (exp/sweep.h) runs many simulations on a thread pool,
  * so emission is serialized behind a mutex; setLevel() should still be
  * called before worker threads start.
+ *
+ * Every emitted line is prefixed with a wall-clock timestamp and the
+ * severity: "[2026-08-06 12:00:00] [WARN] ...".
  */
 class Logger
 {
@@ -39,11 +43,26 @@ class Logger
 
     void vlog(LogLevel lvl, const char *fmt, std::va_list ap);
 
+    /**
+     * Hook observing every Warn-or-worse call — even ones the level
+     * filter suppresses — so warnings stay countable when quiet.
+     * Installed once by MetricsRegistry::global() to feed the
+     * "log.warnings_total"/"log.errors_total" counters; the sink must
+     * be thread-safe.
+     */
+    void
+    setLevelSink(std::function<void(LogLevel)> sink)
+    {
+        const std::lock_guard<std::mutex> lock(emitMutex_);
+        levelSink_ = std::move(sink);
+    }
+
   private:
     Logger() = default;
 
     LogLevel level_ = LogLevel::Warn;
     std::mutex emitMutex_;
+    std::function<void(LogLevel)> levelSink_;
 };
 
 void logDebug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

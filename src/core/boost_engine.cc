@@ -1,6 +1,7 @@
 #include "core/boost_engine.h"
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -56,8 +57,31 @@ BoostingDecisionEngine::affordableLevel(const InstanceSnapshot &bn,
     return best;
 }
 
+void
+BoostingDecisionEngine::setTelemetry(Telemetry *telemetry)
+{
+    for (auto &slot : selects_)
+        slot = nullptr;
+    if (!telemetry)
+        return;
+    for (const BoostKind kind :
+         {BoostKind::None, BoostKind::Frequency, BoostKind::Instance}) {
+        selects_[static_cast<int>(kind)] = &telemetry->metrics().counter(
+            std::string("engine.select.") + toString(kind) + "_total");
+    }
+}
+
 BoostDecision
 BoostingDecisionEngine::selectBoosting(const SortedSnapshots &ranked)
+{
+    BoostDecision decision = selectBoostingImpl(ranked);
+    if (Counter *count = selects_[static_cast<int>(decision.kind)])
+        count->add();
+    return decision;
+}
+
+BoostDecision
+BoostingDecisionEngine::selectBoostingImpl(const SortedSnapshots &ranked)
 {
     BoostDecision decision;
     if (ranked.empty())

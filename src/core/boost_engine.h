@@ -23,6 +23,9 @@
 
 namespace pc {
 
+class Counter;
+class Telemetry;
+
 enum class BoostKind { None, Frequency, Instance };
 
 const char *toString(BoostKind kind);
@@ -82,10 +85,21 @@ class BoostingDecisionEngine
     /** Queue length above which instance boosting is considered. */
     static constexpr std::size_t kMinQueueForInstanceBoost = 2;
 
+    /**
+     * Count selectBoosting() outcomes by kind into
+     * "engine.select.<kind>_total". nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
   private:
+    BoostDecision selectBoostingImpl(const SortedSnapshots &ranked);
+
     PowerBudget *budget_;
     PowerReallocator *realloc_;
     const SpeedupBook *speedups_;
+
+    // Cached at wiring time; indexed by BoostKind.
+    Counter *selects_[3] = {nullptr, nullptr, nullptr};
 };
 
 } // namespace pc

@@ -1,6 +1,10 @@
 #include "core/command_center.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -42,6 +46,40 @@ CommandCenter::~CommandCenter()
 }
 
 void
+CommandCenter::setTelemetry(Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    trace_.setTelemetry(telemetry);
+    engine_.setTelemetry(telemetry);
+    realloc_.setTelemetry(telemetry);
+
+    if (!telemetry_) {
+        intervalsCounter_ = nullptr;
+        reportsCounter_ = nullptr;
+        malformedCounter_ = nullptr;
+        headroomGauge_ = nullptr;
+        selfTime_ = nullptr;
+        queueGauges_.clear();
+        return;
+    }
+
+    MetricsRegistry &metrics = telemetry_->metrics();
+    intervalsCounter_ = &metrics.counter("control.intervals_total");
+    reportsCounter_ = &metrics.counter("control.reports_total");
+    malformedCounter_ =
+        &metrics.counter("control.malformed_reports_total");
+    headroomGauge_ = &metrics.gauge("power.headroom_watts");
+    // Wall-clock self-time is host-dependent; keep it out of dumps.
+    selfTime_ = &metrics.histogram("control.self_time_usec",
+                                   Volatility::Volatile);
+    queueGauges_.clear();
+    for (int i = 0; i < app_->numStages(); ++i) {
+        queueGauges_.push_back(&metrics.gauge(
+            "app.stage" + std::to_string(i) + ".queue_len"));
+    }
+}
+
+void
 CommandCenter::start()
 {
     if (loop_)
@@ -68,6 +106,8 @@ CommandCenter::onMessage(const MessagePtr &msg)
         if (!report->query)
             return;
         ++observed_;
+        if (reportsCounter_)
+            reportsCounter_->add();
         identifier_.observe(sim_->now(), *report->query);
         e2e_.add(sim_->now(), report->query->endToEnd().toSec());
         return;
@@ -80,9 +120,13 @@ CommandCenter::onMessage(const MessagePtr &msg)
         const auto record = decodeStats(wire->bytes);
         if (!record) {
             ++malformedReports_;
+            if (malformedCounter_)
+                malformedCounter_->add();
             return;
         }
         ++observed_;
+        if (reportsCounter_)
+            reportsCounter_->add();
         identifier_.observe(sim_->now(), record->hops);
         e2e_.add(sim_->now(), record->endToEnd().toSec());
     }
@@ -91,6 +135,8 @@ CommandCenter::onMessage(const MessagePtr &msg)
 void
 CommandCenter::tick()
 {
+    const auto wallStart = std::chrono::steady_clock::now();
+
     identifier_.garbageCollect(*app_);
 
     ControlContext ctx;
@@ -119,6 +165,41 @@ CommandCenter::tick()
     }
 
     ++intervals_;
+
+    if (telemetry_) {
+        intervalsCounter_->add();
+        headroomGauge_->set(budget_->headroom().value());
+        for (std::size_t i = 0; i < queueGauges_.size(); ++i) {
+            queueGauges_[i]->set(static_cast<double>(
+                app_->stage(static_cast<int>(i)).totalQueueLength()));
+        }
+
+        if (telemetry_->tracing()) {
+            // The span covers the interval this tick adjudicated.
+            const SimTime end = sim_->now();
+            const SimTime begin =
+                std::max(SimTime::zero(), end - cfg_.adjustInterval);
+            JsonObject args;
+            args["interval"] =
+                JsonValue(static_cast<double>(intervals_));
+            args["headroom_watts"] =
+                JsonValue(budget_->headroom().value());
+            if (!ctx.ranked.empty()) {
+                args["bottleneck_stage"] = JsonValue(
+                    static_cast<double>(ctx.ranked.back().stageIndex));
+            }
+            telemetry_->trace().span(TraceSink::kControlTrack, "adjust",
+                                     "control", begin, end,
+                                     std::move(args));
+        }
+
+        const auto wallEnd = std::chrono::steady_clock::now();
+        selfTime_->add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           wallEnd - wallStart)
+                           .count() /
+                       1e3);
+    }
+
     if (intervalCallback_)
         intervalCallback_(ctx);
 }

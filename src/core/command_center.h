@@ -29,6 +29,11 @@
 
 namespace pc {
 
+class Counter;
+class Gauge;
+class Histogram;
+class Telemetry;
+
 class CommandCenter
 {
   public:
@@ -56,6 +61,16 @@ class CommandCenter
 
     /** Begin the periodic control loop. */
     void start();
+
+    /**
+     * Attach telemetry to the whole control plane: the decision trace
+     * forwards its events, the boost engine and reallocator count their
+     * actions, and every tick() emits a control span plus budget
+     * headroom / per-stage queue gauges and the (volatile, wall-clock)
+     * "control.self_time_usec" histogram. Call before start().
+     * nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
 
     /** Stop the control loop (the endpoint stays registered). */
     void stop();
@@ -113,6 +128,15 @@ class CommandCenter
     std::uint64_t observed_ = 0;
     std::uint64_t malformedReports_ = 0;
     std::function<void(const ControlContext &)> intervalCallback_;
+
+    // Telemetry instruments, cached at wiring time (null = off).
+    Telemetry *telemetry_ = nullptr;
+    Counter *intervalsCounter_ = nullptr;
+    Counter *reportsCounter_ = nullptr;
+    Counter *malformedCounter_ = nullptr;
+    Gauge *headroomGauge_ = nullptr;
+    Histogram *selfTime_ = nullptr;
+    std::vector<Gauge *> queueGauges_;
 };
 
 } // namespace pc

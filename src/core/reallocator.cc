@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -38,6 +39,21 @@ PowerReallocator::PowerReallocator(PowerBudget *budget,
         order_ = std::make_unique<FastestFirstOrder>();
 }
 
+void
+PowerReallocator::setTelemetry(Telemetry *telemetry)
+{
+    if (!telemetry) {
+        calls_ = nullptr;
+        donorSteps_ = nullptr;
+        watts_ = nullptr;
+        return;
+    }
+    MetricsRegistry &metrics = telemetry->metrics();
+    calls_ = &metrics.counter("recycle.calls_total");
+    donorSteps_ = &metrics.counter("recycle.donor_steps_total");
+    watts_ = &metrics.counter("recycle.watts_total");
+}
+
 Watts
 PowerReallocator::recycleFromInstance(const InstanceSnapshot &inst,
                                       Watts need, int maxSteps)
@@ -70,6 +86,8 @@ PowerReallocator::recycleFromInstance(const InstanceSnapshot &inst,
     if (!budget_->updateLevel(inst.instanceId, target))
         panic("budget rejected a frequency step-down");
     cpufreq_->setLevel(inst.coreId, target);
+    if (donorSteps_)
+        donorSteps_->add(static_cast<double>(cur - target));
     return recycled;
 }
 
@@ -80,6 +98,8 @@ PowerReallocator::recycle(Watts need, const SortedSnapshots &sorted,
     Watts recycled(0.0);
     if (need.value() <= 0)
         return recycled;
+    if (calls_)
+        calls_->add();
 
     const SortedSnapshots candidates = order_->order(sorted);
     const int stepsPerRound = order_->maxStepsPerRound();
@@ -104,6 +124,8 @@ PowerReallocator::recycle(Watts need, const SortedSnapshots &sorted,
         if (stepsPerRound == 0)
             break;
     }
+    if (watts_ && recycled.value() > 0)
+        watts_->add(recycled.value());
     return recycled;
 }
 

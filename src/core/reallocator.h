@@ -22,6 +22,9 @@
 
 namespace pc {
 
+class Counter;
+class Telemetry;
+
 /** Chooses the order in which instances donate power. */
 class RecycleOrder
 {
@@ -101,10 +104,22 @@ class PowerReallocator
 
     const RecycleOrder &orderPolicy() const { return *order_; }
 
+    /**
+     * Count recycle() invocations ("recycle.calls_total"), donor DVFS
+     * level steps ("recycle.donor_steps_total") and freed power
+     * ("recycle.watts_total"). nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
   private:
     PowerBudget *budget_;
     CpufreqDriver *cpufreq_;
     std::unique_ptr<RecycleOrder> order_;
+
+    // Cached at wiring time so actuation stays branch-cheap.
+    Counter *calls_ = nullptr;
+    Counter *donorSteps_ = nullptr;
+    Counter *watts_ = nullptr;
 };
 
 } // namespace pc

@@ -2,6 +2,7 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -15,6 +16,7 @@ toString(TraceKind kind)
       case TraceKind::InstanceWithdraw: return "instance-withdraw";
       case TraceKind::PowerRecycle: return "power-recycle";
       case TraceKind::IntervalSkipped: return "interval-skipped";
+      case TraceKind::Count: break;
     }
     return "?";
 }
@@ -27,10 +29,38 @@ DecisionTrace::DecisionTrace(std::size_t maxEvents)
 }
 
 void
+DecisionTrace::setTelemetry(Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+}
+
+void
 DecisionTrace::record(SimTime t, TraceKind kind, std::string subject,
                       double value)
 {
-    ++counts_[static_cast<int>(kind)];
+    const auto idx = static_cast<std::size_t>(kind);
+    if (idx >= kNumTraceKinds)
+        panic("decision trace: invalid kind %zu", idx);
+    ++counts_[idx];
+
+    if (telemetry_) {
+        const std::string name = toString(kind);
+        telemetry_->metrics()
+            .counter("decision." + name + "_total")
+            .add();
+        if (kind == TraceKind::PowerRecycle)
+            telemetry_->metrics()
+                .counter("power.recycled_watts_total")
+                .add(value);
+        if (telemetry_->tracing()) {
+            JsonObject args;
+            args["subject"] = JsonValue(subject);
+            args["value"] = JsonValue(value);
+            telemetry_->trace().instant(TraceSink::kControlTrack, name,
+                                        "decision", t, std::move(args));
+        }
+    }
+
     if (events_.size() >= maxEvents_) {
         events_.erase(events_.begin());
         ++dropped_;

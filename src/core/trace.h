@@ -21,6 +21,8 @@
 
 namespace pc {
 
+class Telemetry;
+
 enum class TraceKind {
     FrequencyBoost,
     FrequencyStepDown,
@@ -28,7 +30,14 @@ enum class TraceKind {
     InstanceWithdraw,
     PowerRecycle,
     IntervalSkipped,
+
+    /** Sentinel: number of kinds. Keep last. */
+    Count,
 };
+
+/** Per-kind arrays are sized from the enum itself. */
+inline constexpr std::size_t kNumTraceKinds =
+    static_cast<std::size_t>(TraceKind::Count);
 
 const char *toString(TraceKind kind);
 
@@ -51,6 +60,14 @@ class DecisionTrace
     void record(SimTime t, TraceKind kind, std::string subject,
                 double value = 0.0);
 
+    /**
+     * Forward every record() into the telemetry layer as well: an
+     * instant event on the trace sink's control track plus a
+     * "decision.<kind>_total" counter (and "power.recycled_watts_total"
+     * for recycle events). nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
     const std::vector<TraceEvent> &events() const { return events_; }
 
     /** Occurrences of a kind (counted even after ring eviction). */
@@ -66,8 +83,15 @@ class DecisionTrace
   private:
     std::size_t maxEvents_;
     std::vector<TraceEvent> events_;
-    std::uint64_t counts_[6] = {};
+    /** Sized from the enum so a new kind cannot corrupt the counts. */
+    std::uint64_t counts_[kNumTraceKinds] = {};
     std::uint64_t dropped_ = 0;
+    Telemetry *telemetry_ = nullptr;
+
+    static_assert(kNumTraceKinds > 0 &&
+                      static_cast<std::size_t>(TraceKind::Count) ==
+                          sizeof(counts_) / sizeof(counts_[0]),
+                  "counts_ must cover every TraceKind");
 };
 
 } // namespace pc

@@ -1,10 +1,12 @@
 #include "exp/runner.h"
 
 #include <memory>
+#include <optional>
 
 #include "common/logging.h"
 #include "core/command_center.h"
 #include "hal/rapl.h"
+#include "obs/telemetry.h"
 #include "rpc/bus.h"
 #include "stats/percentile.h"
 #include "stats/streaming.h"
@@ -56,10 +58,18 @@ makePolicy(const Scenario &sc)
 } // namespace
 
 RunResult
-ExperimentRunner::run(const Scenario &sc) const
+ExperimentRunner::run(const Scenario &sc,
+                      const TelemetryConfig *telemetry) const
 {
     RunResult result;
     result.scenario = sc.name;
+
+    // The run owns its telemetry so concurrent sweep runs never share
+    // mutable observability state.
+    std::optional<Telemetry> telemetryStore;
+    if (telemetry && telemetry->anyEnabled())
+        telemetryStore.emplace(*telemetry);
+    Telemetry *tel = telemetryStore ? &*telemetryStore : nullptr;
 
     Simulator sim;
     const PowerModel model = PowerModel::haswell();
@@ -84,7 +94,7 @@ ExperimentRunner::run(const Scenario &sc) const
     }
     for (auto &spec : specs)
         spec.dispatch = sc.dispatch;
-    MultiStageApp app(&sim, &chip, &bus, sc.workload.name(), specs);
+    MultiStageApp app(&sim, &chip, &bus, sc.workload.name(), specs, tel);
     app.setWireReports(sc.wireReports);
 
     // Offline profiling step (deterministic per seed).
@@ -98,7 +108,27 @@ ExperimentRunner::run(const Scenario &sc) const
         makePolicy(sc),
         sc.metricFactory ? sc.metricFactory() : nullptr,
         sc.recycleFactory ? sc.recycleFactory() : nullptr);
+    center.setTelemetry(tel);
     center.start();
+
+    // End-to-end latency histograms mirror the printed RunResult
+    // numbers: same samples, same warmup filter, so the dumped p99
+    // matches p99LatencySec exactly.
+    Histogram *e2eHist = nullptr;
+    std::vector<Histogram *> stageWaitHist;
+    std::vector<Histogram *> stageServeHist;
+    if (tel) {
+        MetricsRegistry &metrics = tel->metrics();
+        e2eHist = &metrics.histogram("latency.e2e_sec");
+        for (int s = 0; s < app.numStages(); ++s) {
+            const std::string prefix =
+                "latency.stage" + std::to_string(s) + ".";
+            stageWaitHist.push_back(
+                &metrics.histogram(prefix + "wait_sec"));
+            stageServeHist.push_back(
+                &metrics.histogram(prefix + "serve_sec"));
+        }
+    }
 
     // Completion statistics, ignoring the warmup prefix.
     ExactPercentile latency;
@@ -108,15 +138,23 @@ ExperimentRunner::run(const Scenario &sc) const
     std::vector<StreamingStats> servingByStage(
         static_cast<std::size_t>(app.numStages()));
     app.setCompletionSink([&](const QueryPtr &q) {
+        if (tel)
+            tel->trace().recordQueryHops(*q);
         if (q->arrival() < sc.warmup)
             return;
         const double sec = q->endToEnd().toSec();
         latency.add(sec);
         latencyStats.add(sec);
+        if (e2eHist)
+            e2eHist->add(sec);
         for (const auto &hop : q->hops()) {
             const auto s = static_cast<std::size_t>(hop.stageIndex);
             queuingByStage[s].add(hop.queuing().toSec());
             servingByStage[s].add(hop.serving().toSec());
+            if (e2eHist) {
+                stageWaitHist[s]->add(hop.queuing().toSec());
+                stageServeHist[s]->add(hop.serving().toSec());
+            }
         }
         if (recordTraces_)
             result.latencySeries.append(sim.now(), sec);
@@ -154,6 +192,21 @@ ExperimentRunner::run(const Scenario &sc) const
             }
         });
 
+    // Periodic registry snapshot feeding the dumped TimeSeries. A pure
+    // observer event: it reads state only, so the simulation unfolds
+    // identically with or without it.
+    if (tel && tel->config().metricsEnabled()) {
+        const SimTime interval = tel->config().metricsInterval;
+        sim.schedulePeriodic(interval, interval, [tel, &app, &sim]() {
+            MetricsRegistry &metrics = tel->metrics();
+            metrics.gauge("queries.submitted")
+                .set(static_cast<double>(app.submitted()));
+            metrics.gauge("queries.completed")
+                .set(static_cast<double>(app.completed()));
+            metrics.snapshot(sim.now());
+        });
+    }
+
     LoadGenerator gen(&sim, &app, &sc.workload, sc.load, sc.seed,
                       ladder.freqAt(0).value());
     gen.start(sc.duration);
@@ -180,6 +233,15 @@ ExperimentRunner::run(const Scenario &sc) const
     result.avgPowerWatts = power.mean();
     result.energyJoules =
         (chip.totalEnergy() - energyBefore).value();
+
+    if (tel) {
+        MetricsRegistry &metrics = tel->metrics();
+        metrics.gauge("queries.submitted")
+            .set(static_cast<double>(result.submitted));
+        metrics.gauge("queries.completed")
+            .set(static_cast<double>(result.completed));
+        tel->writeOutputs(sc.name);
+    }
     return result;
 }
 

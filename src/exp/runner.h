@@ -21,6 +21,8 @@
 
 namespace pc {
 
+struct TelemetryConfig;
+
 /** Mean queuing/serving decomposition of one stage (paper §2.3). */
 struct StageBreakdown
 {
@@ -78,7 +80,16 @@ class ExperimentRunner
     explicit ExperimentRunner(bool recordTraces = false,
                               SimTime sampleInterval = SimTime::sec(5));
 
-    RunResult run(const Scenario &scenario) const;
+    /**
+     * @param telemetry optional observability config. When any output
+     *        is enabled the run owns a private Telemetry (per-query
+     *        spans, control-plane events, the metrics registry) and
+     *        writes the configured files before returning. Telemetry is
+     *        a pure observer: the RunResult is identical with it on or
+     *        off.
+     */
+    RunResult run(const Scenario &scenario,
+                  const TelemetryConfig *telemetry = nullptr) const;
 
   private:
     bool recordTraces_;

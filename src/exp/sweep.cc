@@ -9,17 +9,24 @@
 #include "common/rng.h"
 #include "exp/result_cache.h"
 #include "exp/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace pc {
 
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(std::move(options))
 {
-    runFn_ = [this](const Scenario &sc) {
-        return ExperimentRunner(options_.recordTraces,
-                                options_.sampleInterval)
-            .run(sc);
-    };
+}
+
+RunResult
+SweepRunner::execute(const Scenario &scenario,
+                     const TelemetryConfig *telemetry) const
+{
+    if (runFn_)
+        return runFn_(scenario);
+    return ExperimentRunner(options_.recordTraces,
+                            options_.sampleInterval)
+        .run(scenario, telemetry);
 }
 
 void
@@ -59,6 +66,18 @@ SweepRunner::runAll(const std::vector<Scenario> &scenarios)
     std::vector<RunResult> results(scenarios.size());
     std::vector<bool> executed(scenarios.size(), false);
 
+    // Telemetry output files are side effects only execution produces,
+    // so telemetry-enabled sweeps bypass the result cache entirely.
+    const bool telemetryOn = options_.telemetry.anyEnabled();
+    std::vector<TelemetryConfig> telemetryConfigs;
+    if (telemetryOn) {
+        const bool multiRun = scenarios.size() > 1;
+        telemetryConfigs.reserve(scenarios.size());
+        for (const auto &sc : scenarios)
+            telemetryConfigs.push_back(
+                options_.telemetry.resolved(sc.name, multiRun));
+    }
+
     ResultCache cache(options_.cacheDir);
     std::vector<std::optional<std::string>> keys(scenarios.size());
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -73,7 +92,7 @@ SweepRunner::runAll(const std::vector<Scenario> &scenarios)
     // Serve cache hits first so the pool only sees real work.
     std::vector<std::size_t> toRun;
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-        if (options_.useCache && keys[i]) {
+        if (options_.useCache && !telemetryOn && keys[i]) {
             if (auto cached = cache.load(*keys[i])) {
                 results[i] = std::move(*cached);
                 ++report_.cacheHits;
@@ -91,10 +110,12 @@ SweepRunner::runAll(const std::vector<Scenario> &scenarios)
             std::min<int>(effectiveJobs(),
                           std::max<std::size_t>(toRun.size(), 1)));
         for (const std::size_t i : toRun) {
-            pool.submit([this, i, &scenarios, &results, &keys,
-                         &cache]() {
-                results[i] = runFn_(scenarios[i]);
-                if (options_.useCache && keys[i])
+            pool.submit([this, i, telemetryOn, &telemetryConfigs,
+                         &scenarios, &results, &keys, &cache]() {
+                results[i] = execute(scenarios[i],
+                                     telemetryOn ? &telemetryConfigs[i]
+                                                 : nullptr);
+                if (options_.useCache && !telemetryOn && keys[i])
                     cache.store(*keys[i], results[i]);
             });
         }
@@ -102,6 +123,13 @@ SweepRunner::runAll(const std::vector<Scenario> &scenarios)
     }
     for (const std::size_t i : toRun)
         executed[i] = true;
+
+    // Cross-run totals live in the process-wide registry.
+    MetricsRegistry &global = MetricsRegistry::global();
+    global.counter("sweep.runs_total")
+        .add(static_cast<double>(toRun.size()));
+    global.counter("sweep.cache_hits_total")
+        .add(static_cast<double>(report_.cacheHits));
 
     if (options_.audit)
         audit(scenarios, results, executed);
@@ -150,7 +178,9 @@ SweepRunner::audit(const std::vector<Scenario> &scenarios,
 
     for (const std::size_t i : ran) {
         ++report_.audited;
-        const RunResult serial = runFn_(scenarios[i]);
+        // No telemetry on the serial re-run: it must not clobber the
+        // files the parallel pass just wrote.
+        const RunResult serial = execute(scenarios[i], nullptr);
         const std::string parallelJson =
             runResultToJson(results[i]).dump();
         const std::string serialJson = runResultToJson(serial).dump();
@@ -184,6 +214,7 @@ addSweepFlags(FlagSet *flags)
     flags->addBool("audit", false,
                    "re-run a sampled subset single-threaded and panic "
                    "on any determinism divergence");
+    addTelemetryFlags(flags);
 }
 
 SweepOptions
@@ -194,6 +225,7 @@ sweepOptionsFromFlags(const FlagSet &flags)
     options.useCache = !flags.getBool("no-cache");
     options.cacheDir = flags.getString("cache-dir");
     options.audit = flags.getBool("audit");
+    options.telemetry = telemetryConfigFromFlags(flags);
     return options;
 }
 

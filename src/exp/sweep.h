@@ -26,6 +26,7 @@
 
 #include "common/flags.h"
 #include "exp/runner.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -52,6 +53,16 @@ struct SweepOptions
     /** Forwarded to ExperimentRunner for every run. */
     bool recordTraces = false;
     SimTime sampleInterval = SimTime::sec(5);
+
+    /**
+     * Observability outputs (--trace-out/--metrics-out). In multi-
+     * scenario sweeps the paths are resolved per scenario so parallel
+     * runs never interleave writes to one file. Runs with telemetry
+     * enabled bypass the result cache: their output files are side
+     * effects only execution produces. The determinism audit re-runs
+     * without telemetry and never clobbers the parallel pass's files.
+     */
+    TelemetryConfig telemetry;
 };
 
 /** One audit mismatch: parallel and serial runs disagreed. */
@@ -105,11 +116,14 @@ class SweepRunner
 
   private:
     std::string cacheKeyFor(const std::string &canonical) const;
+    RunResult execute(const Scenario &scenario,
+                      const TelemetryConfig *telemetry) const;
     void audit(const std::vector<Scenario> &scenarios,
                const std::vector<RunResult> &results,
                const std::vector<bool> &executed);
 
     SweepOptions options_;
+    /** Test-injected override; null = the real ExperimentRunner. */
     RunFn runFn_;
     SweepReport report_;
 };

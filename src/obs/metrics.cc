@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace pc {
+
+Counter &
+MetricsRegistry::counter(const std::string &name, Volatility vol)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot.metric) {
+        slot.metric = std::make_unique<Counter>();
+        slot.vol = vol;
+    }
+    return *slot.metric;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, Volatility vol)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot.metric) {
+        slot.metric = std::make_unique<Gauge>();
+        slot.vol = vol;
+    }
+    return *slot.metric;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, Volatility vol)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot.metric) {
+        slot.metric = std::make_unique<Histogram>();
+        slot.vol = vol;
+    }
+    return *slot.metric;
+}
+
+void
+MetricsRegistry::snapshot(SimTime now)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, slot] : counters_) {
+        if (slot.vol != Volatility::Stable)
+            continue;
+        auto [it, inserted] = series_.try_emplace(name, TimeSeries(name));
+        it->second.append(now, slot.metric->value());
+    }
+    for (const auto &[name, slot] : gauges_) {
+        if (slot.vol != Volatility::Stable)
+            continue;
+        auto [it, inserted] = series_.try_emplace(name, TimeSeries(name));
+        it->second.append(now, slot.metric->value());
+    }
+}
+
+namespace {
+
+JsonValue
+histogramJson(const Histogram &h)
+{
+    JsonObject o;
+    o["count"] = JsonValue(static_cast<double>(h.count()));
+    o["mean"] = JsonValue(h.mean());
+    o["min"] = JsonValue(h.min());
+    o["max"] = JsonValue(h.max());
+    o["p50"] = JsonValue(h.count() ? h.quantile(0.5) : 0.0);
+    o["p90"] = JsonValue(h.count() ? h.quantile(0.9) : 0.0);
+    o["p99"] = JsonValue(h.count() ? h.p99() : 0.0);
+    return JsonValue(std::move(o));
+}
+
+} // namespace
+
+JsonValue
+MetricsRegistry::toJson(bool includeVolatile) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JsonObject counters;
+    for (const auto &[name, slot] : counters_)
+        if (includeVolatile || slot.vol == Volatility::Stable)
+            counters[name] = JsonValue(slot.metric->value());
+    JsonObject gauges;
+    for (const auto &[name, slot] : gauges_)
+        if (includeVolatile || slot.vol == Volatility::Stable)
+            gauges[name] = JsonValue(slot.metric->value());
+    JsonObject histograms;
+    for (const auto &[name, slot] : histograms_)
+        if (includeVolatile || slot.vol == Volatility::Stable)
+            histograms[name] = histogramJson(*slot.metric);
+    JsonObject series;
+    for (const auto &[name, ts] : series_) {
+        JsonArray points;
+        for (const auto &p : ts.points()) {
+            points.push_back(JsonValue(JsonArray{
+                JsonValue(static_cast<double>(p.t.toUsec())),
+                JsonValue(p.value)}));
+        }
+        series[name] = JsonValue(std::move(points));
+    }
+
+    JsonObject doc;
+    doc["counters"] = JsonValue(std::move(counters));
+    doc["gauges"] = JsonValue(std::move(gauges));
+    doc["histograms"] = JsonValue(std::move(histograms));
+    doc["series"] = JsonValue(std::move(series));
+    return JsonValue(std::move(doc));
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &out, const std::string &scenario,
+                           bool includeVolatile) const
+{
+    JsonValue body = toJson(includeVolatile);
+    JsonObject doc = body.asObject();
+    if (!scenario.empty())
+        doc["scenario"] = JsonValue(scenario);
+    out << JsonValue(std::move(doc)).dump() << '\n';
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &out, bool includeVolatile) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CsvWriter csv(out);
+    csv.row({"name", "kind", "field", "value"});
+    for (const auto &[name, slot] : counters_)
+        if (includeVolatile || slot.vol == Volatility::Stable)
+            csv.row({name, "counter", "value",
+                     std::to_string(slot.metric->value())});
+    for (const auto &[name, slot] : gauges_)
+        if (includeVolatile || slot.vol == Volatility::Stable)
+            csv.row({name, "gauge", "value",
+                     std::to_string(slot.metric->value())});
+    for (const auto &[name, slot] : histograms_) {
+        if (!includeVolatile && slot.vol != Volatility::Stable)
+            continue;
+        const Histogram &h = *slot.metric;
+        csv.row({name, "histogram", "count",
+                 std::to_string(h.count())});
+        csv.row({name, "histogram", "mean", std::to_string(h.mean())});
+        csv.row({name, "histogram", "min", std::to_string(h.min())});
+        csv.row({name, "histogram", "max", std::to_string(h.max())});
+        csv.row({name, "histogram", "p50",
+                 std::to_string(h.count() ? h.quantile(0.5) : 0.0)});
+        csv.row({name, "histogram", "p90",
+                 std::to_string(h.count() ? h.quantile(0.9) : 0.0)});
+        csv.row({name, "histogram", "p99",
+                 std::to_string(h.count() ? h.p99() : 0.0)});
+    }
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void
+MetricsRegistry::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    series_.clear();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    static std::once_flag hook;
+    std::call_once(hook, [] {
+        // Satisfies "warnings are observable": every logWarn()/
+        // logError() call lands in a process-wide error counter, even
+        // when the emission itself is suppressed by the log level.
+        Counter &warns = registry.counter("log.warnings_total");
+        Counter &errors = registry.counter("log.errors_total");
+        Logger::instance().setLevelSink([&warns, &errors](LogLevel lvl) {
+            if (lvl == LogLevel::Warn)
+                warns.add();
+            else if (lvl >= LogLevel::Error)
+                errors.add();
+        });
+    });
+    return registry;
+}
+
+} // namespace pc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Named metrics registry: counters, gauges and histograms.
+ *
+ * Every run of the PowerChief runtime instruments itself through one
+ * MetricsRegistry — boost counts, recycled watts, budget headroom,
+ * queue depths, per-stage latency histograms — which is dumped as JSON
+ * or CSV at the end of the run and periodically snapshotted into
+ * per-metric TimeSeries. A registry is owned per experiment run (the
+ * sweep engine executes many runs concurrently, and per-run ownership
+ * is what keeps dumps byte-identical at any --jobs value); the
+ * process-wide global() registry carries cross-run counters such as
+ * sweep cache hits and the Logger's warning/error totals.
+ *
+ * Counters and gauges are lock-free (atomics) and safe to touch from
+ * the sweep's worker threads; histograms wrap ExactPercentile and are
+ * single-writer, which every simulation is.
+ *
+ * Metrics registered as Volatility::Volatile (e.g. the control loop's
+ * wall-clock self-time) are excluded from dumps by default so output
+ * files stay deterministic functions of the scenario.
+ */
+
+#ifndef PC_OBS_METRICS_H
+#define PC_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/json.h"
+#include "common/time.h"
+#include "stats/percentile.h"
+#include "stats/streaming.h"
+#include "stats/timeseries.h"
+
+namespace pc {
+
+enum class Volatility {
+    /** Deterministic function of the scenario; included in dumps. */
+    Stable,
+    /** Wall-clock or host-dependent; excluded from dumps by default. */
+    Volatile,
+};
+
+/** Monotonically increasing sum; thread-safe. */
+class Counter
+{
+  public:
+    void
+    add(double delta = 1.0)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Last-write-wins instantaneous value; thread-safe. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Sample distribution: exact quantiles plus streaming moments. */
+class Histogram
+{
+  public:
+    void
+    add(double x)
+    {
+        exact_.add(x);
+        stats_.add(x);
+    }
+
+    std::size_t count() const { return exact_.count(); }
+    double mean() const { return stats_.mean(); }
+    double min() const { return stats_.min(); }
+    double max() const { return stats_.max(); }
+    double quantile(double q) const { return exact_.quantile(q); }
+    double p99() const { return exact_.p99(); }
+
+  private:
+    ExactPercentile exact_;
+    StreamingStats stats_;
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Find-or-create by name. The returned reference stays valid for
+     * the registry's lifetime; instruments cache it once at wiring time
+     * so the hot path is a pointer increment.
+     */
+    Counter &counter(const std::string &name,
+                     Volatility vol = Volatility::Stable);
+    Gauge &gauge(const std::string &name,
+                 Volatility vol = Volatility::Stable);
+    Histogram &histogram(const std::string &name,
+                         Volatility vol = Volatility::Stable);
+
+    /**
+     * Append every stable counter and gauge value to its TimeSeries —
+     * the periodic snapshot behind --metrics-interval.
+     */
+    void snapshot(SimTime now);
+
+    /**
+     * Serialize to a JSON object: {"counters": {..}, "gauges": {..},
+     * "histograms": {name: {count, mean, min, max, p50, p90, p99}},
+     * "series": {name: [[t_usec, value], ..]}}. Map-ordered keys and
+     * exact double round-tripping make the dump deterministic.
+     */
+    JsonValue toJson(bool includeVolatile = false) const;
+
+    /** Write toJson(), a trailing newline, and optional scenario tag. */
+    void writeJson(std::ostream &out, const std::string &scenario = "",
+                   bool includeVolatile = false) const;
+
+    /** Flat "name,kind,field,value" CSV of the same content. */
+    void writeCsv(std::ostream &out, bool includeVolatile = false) const;
+
+    bool empty() const;
+
+    /** Drop every metric and series (tests; global-registry hygiene). */
+    void clear();
+
+    /**
+     * The process-wide registry for cross-run metrics. First use
+     * installs the Logger hook that counts logWarn()/logError() calls
+     * into the "log.warnings_total" / "log.errors_total" counters.
+     */
+    static MetricsRegistry &global();
+
+  private:
+    template <typename T>
+    struct Named
+    {
+        std::unique_ptr<T> metric;
+        Volatility vol = Volatility::Stable;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Named<Counter>> counters_;
+    std::map<std::string, Named<Gauge>> gauges_;
+    std::map<std::string, Named<Histogram>> histograms_;
+    std::map<std::string, TimeSeries> series_;
+};
+
+} // namespace pc
+
+#endif // PC_OBS_METRICS_H

@@ -1,0 +1,117 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+
+#include "common/flags.h"
+#include "common/logging.h"
+
+namespace pc {
+
+namespace {
+
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '.' || c == '_' || c == '-';
+        out.push_back(ok ? c : '-');
+    }
+    return out;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+std::string
+TelemetryConfig::resolveForScenario(const std::string &path,
+                                    const std::string &scenario,
+                                    bool multiRun)
+{
+    if (path.empty() || !multiRun)
+        return path;
+    const std::string tag = sanitizeName(scenario);
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+TelemetryConfig
+TelemetryConfig::resolved(const std::string &scenario, bool multiRun) const
+{
+    TelemetryConfig out = *this;
+    out.traceOut = resolveForScenario(traceOut, scenario, multiRun);
+    out.metricsOut = resolveForScenario(metricsOut, scenario, multiRun);
+    return out;
+}
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)), trace_(config_.tracingEnabled())
+{
+}
+
+void
+Telemetry::writeOutputs(const std::string &scenarioName) const
+{
+    if (config_.tracingEnabled()) {
+        std::ofstream out(config_.traceOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            fatal("cannot write trace file '%s'",
+                  config_.traceOut.c_str());
+        trace_.writeChromeTrace(out);
+    }
+    if (config_.metricsEnabled()) {
+        std::ofstream out(config_.metricsOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            fatal("cannot write metrics file '%s'",
+                  config_.metricsOut.c_str());
+        if (endsWith(config_.metricsOut, ".csv"))
+            metrics_.writeCsv(out);
+        else
+            metrics_.writeJson(out, scenarioName);
+    }
+}
+
+void
+addTelemetryFlags(FlagSet *flags)
+{
+    flags->addString("trace-out", "",
+                     "write a Chrome/Perfetto trace-event JSON file per "
+                     "run (multi-run sweeps insert the scenario name "
+                     "before the extension)");
+    flags->addString("metrics-out", "",
+                     "write a metrics dump per run (JSON, or CSV with a "
+                     ".csv extension); scenario-name insertion as for "
+                     "--trace-out");
+    flags->addDouble("metrics-interval", 5.0,
+                     "seconds between metric time-series snapshots");
+}
+
+TelemetryConfig
+telemetryConfigFromFlags(const FlagSet &flags)
+{
+    TelemetryConfig config;
+    config.traceOut = flags.getString("trace-out");
+    config.metricsOut = flags.getString("metrics-out");
+    const double interval = flags.getDouble("metrics-interval");
+    if (interval <= 0.0)
+        fatal("--metrics-interval must be positive (got %f)", interval);
+    config.metricsInterval = SimTime::sec(interval);
+    return config;
+}
+
+} // namespace pc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The per-run telemetry bundle: one TraceSink plus one MetricsRegistry
+ * behind a single pointer.
+ *
+ * Components hold a `Telemetry *` (nullptr = observability off — the
+ * null-sink fast path is one branch) and cache their Counter/Gauge/
+ * Histogram pointers at wiring time. The ExperimentRunner owns one
+ * Telemetry per run when --trace-out/--metrics-out ask for output, so
+ * concurrent sweep runs never share mutable telemetry state and output
+ * files are byte-identical at any --jobs value.
+ */
+
+#ifndef PC_OBS_TELEMETRY_H
+#define PC_OBS_TELEMETRY_H
+
+#include <string>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace pc {
+
+class FlagSet;
+
+/** What to collect and where to write it; empty paths disable. */
+struct TelemetryConfig
+{
+    /** Chrome/Perfetto trace-event JSON output path. */
+    std::string traceOut;
+
+    /** Metrics JSON dump path (.csv extension switches to CSV). */
+    std::string metricsOut;
+
+    /** Period of the gauge/counter TimeSeries snapshots. */
+    SimTime metricsInterval = SimTime::sec(5);
+
+    bool tracingEnabled() const { return !traceOut.empty(); }
+    bool metricsEnabled() const { return !metricsOut.empty(); }
+    bool anyEnabled() const { return tracingEnabled() || metricsEnabled(); }
+
+    /**
+     * Per-scenario output path: "fig11.json" for scenario
+     * "fig11/PowerChief" in a multi-run sweep becomes
+     * "fig11.fig11-PowerChief.json", so parallel runs never write the
+     * same file. Single-run sweeps keep the path verbatim.
+     */
+    static std::string resolveForScenario(const std::string &path,
+                                          const std::string &scenario,
+                                          bool multiRun);
+
+    /** This config with both paths resolved for @p scenario. */
+    TelemetryConfig resolved(const std::string &scenario,
+                             bool multiRun) const;
+};
+
+class Telemetry
+{
+  public:
+    explicit Telemetry(TelemetryConfig config);
+
+    TraceSink &trace() { return trace_; }
+    const TraceSink &trace() const { return trace_; }
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    bool tracing() const { return config_.tracingEnabled(); }
+    const TelemetryConfig &config() const { return config_; }
+
+    /**
+     * Write the configured outputs (trace JSON, metrics JSON/CSV).
+     * fatal()s when a file cannot be created.
+     */
+    void writeOutputs(const std::string &scenarioName) const;
+
+  private:
+    TelemetryConfig config_;
+    TraceSink trace_;
+    MetricsRegistry metrics_;
+};
+
+/** Register --trace-out, --metrics-out and --metrics-interval. */
+void addTelemetryFlags(FlagSet *flags);
+
+/** Build a TelemetryConfig from the standard telemetry flags. */
+TelemetryConfig telemetryConfigFromFlags(const FlagSet &flags);
+
+} // namespace pc
+
+#endif // PC_OBS_TELEMETRY_H

@@ -1,0 +1,224 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+
+#include "app/query.h"
+#include "common/logging.h"
+
+namespace pc {
+
+TraceSink::TraceSink(bool enabled) : enabled_(enabled)
+{
+    trackNames_.push_back("control");
+}
+
+int
+TraceSink::declareTrack(const std::string &name)
+{
+    trackNames_.push_back(name);
+    return static_cast<int>(trackNames_.size()) - 1;
+}
+
+void
+TraceSink::declareInstanceTrack(std::int64_t instanceId,
+                                const std::string &name, int stageIndex)
+{
+    if (!enabled_ || instanceTracks_.count(instanceId))
+        return;
+    instanceTracks_[instanceId] = declareTrack(
+        name + " (stage " + std::to_string(stageIndex) + ")");
+}
+
+int
+TraceSink::trackForInstance(std::int64_t instanceId) const
+{
+    const auto it = instanceTracks_.find(instanceId);
+    return it == instanceTracks_.end() ? kControlTrack : it->second;
+}
+
+void
+TraceSink::push(Event ev)
+{
+    if (ev.track < 0 ||
+        ev.track >= static_cast<int>(trackNames_.size()))
+        panic("trace sink: event on undeclared track %d", ev.track);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::span(int track, const std::string &name, const std::string &cat,
+                SimTime begin, SimTime end, JsonObject args)
+{
+    if (!enabled_)
+        return;
+    if (end < begin)
+        panic("trace sink: span '%s' ends before it begins",
+              name.c_str());
+    Event ev;
+    ev.ph = 'X';
+    ev.track = track;
+    ev.ts = begin.toUsec();
+    ev.dur = (end - begin).toUsec();
+    ev.name = name;
+    ev.cat = cat;
+    ev.args = std::move(args);
+    push(std::move(ev));
+}
+
+void
+TraceSink::instant(int track, const std::string &name,
+                   const std::string &cat, SimTime t, JsonObject args)
+{
+    if (!enabled_)
+        return;
+    Event ev;
+    ev.ph = 'i';
+    ev.track = track;
+    ev.ts = t.toUsec();
+    ev.name = name;
+    ev.cat = cat;
+    ev.args = std::move(args);
+    push(std::move(ev));
+}
+
+void
+TraceSink::recordQueryHops(const Query &query)
+{
+    if (!enabled_)
+        return;
+    const auto &hops = query.hops();
+    const std::string qid = std::to_string(query.id());
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+        const HopRecord &hop = hops[i];
+        const int track = trackForInstance(hop.instanceId);
+        const std::string stage = std::to_string(hop.stageIndex);
+
+        if (hop.started > hop.enqueued) {
+            JsonObject wargs;
+            wargs["query"] = JsonValue(qid);
+            span(track, "wait s" + stage, "queue", hop.enqueued,
+                 hop.started, std::move(wargs));
+        }
+        JsonObject sargs;
+        sargs["query"] = JsonValue(qid);
+        sargs["queuing_us"] = JsonValue(
+            static_cast<double>(hop.queuing().toUsec()));
+        span(track, "serve s" + stage, "serve", hop.started,
+             hop.finished, std::move(sargs));
+
+        // Flow arrows stitch the hops into one query: start at the
+        // first serve span, step through the middle ones, finish at
+        // the last. Single-hop queries need no arrow.
+        if (hops.size() < 2)
+            continue;
+        Event flow;
+        flow.track = track;
+        flow.ts = hop.started.toUsec();
+        flow.flowId = static_cast<std::uint64_t>(query.id());
+        flow.name = "query";
+        flow.cat = "query";
+        if (i == 0) {
+            flow.ph = 's';
+        } else if (i + 1 == hops.size()) {
+            flow.ph = 'f';
+            flow.flowEnd = true;
+        } else {
+            flow.ph = 't';
+        }
+        push(std::move(flow));
+    }
+}
+
+namespace {
+
+void
+appendCommon(std::string *out, const TraceSink &, const char *name,
+             const char *cat, int pid, int tid, std::int64_t ts)
+{
+    *out += "{\"name\":";
+    *out += JsonValue(name).dump();
+    *out += ",\"cat\":";
+    *out += JsonValue(cat).dump();
+    *out += ",\"pid\":" + std::to_string(pid);
+    *out += ",\"tid\":" + std::to_string(tid);
+    *out += ",\"ts\":" + std::to_string(ts);
+}
+
+} // namespace
+
+void
+TraceSink::writeChromeTrace(std::ostream &out) const
+{
+    // Events are emitted in completion order; present them in
+    // timestamp order (stable, so equal timestamps keep record order).
+    std::vector<std::size_t> order(events_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return events_[a].ts < events_[b].ts;
+                     });
+
+    std::string text;
+    text += "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&text, &first]() {
+        if (!first)
+            text += ",\n";
+        else
+            text += "\n";
+        first = false;
+    };
+
+    // Metadata: process + one named thread per track.
+    comma();
+    text += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":0,\"args\":{\"name\":\"powerchief\"}}";
+    for (std::size_t tid = 0; tid < trackNames_.size(); ++tid) {
+        comma();
+        text += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":";
+        text += JsonValue(trackNames_[tid]).dump();
+        text += "}}";
+        comma();
+        text += "{\"name\":\"thread_sort_index\",\"ph\":\"M\","
+                "\"pid\":1,\"tid\":" + std::to_string(tid) +
+            ",\"args\":{\"sort_index\":" + std::to_string(tid) + "}}";
+    }
+
+    for (const std::size_t i : order) {
+        const Event &ev = events_[i];
+        comma();
+        appendCommon(&text, *this, ev.name.c_str(), ev.cat.c_str(), 1,
+                     ev.track, ev.ts);
+        text += ",\"ph\":\"";
+        text += ev.ph;
+        text += '"';
+        switch (ev.ph) {
+          case 'X':
+            text += ",\"dur\":" + std::to_string(ev.dur);
+            break;
+          case 'i':
+            text += ",\"s\":\"t\"";
+            break;
+          case 's':
+          case 't':
+          case 'f':
+            text += ",\"id\":" + std::to_string(ev.flowId);
+            if (ev.flowEnd)
+                text += ",\"bp\":\"e\"";
+            break;
+          default:
+            panic("trace sink: unknown phase '%c'", ev.ph);
+        }
+        if (!ev.args.empty()) {
+            text += ",\"args\":";
+            text += JsonValue(ev.args).dump();
+        }
+        text += '}';
+    }
+    text += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    out << text;
+}
+
+} // namespace pc

@@ -22,8 +22,9 @@ class DispatcherTest : public testing::Test
     addInstance(int level)
     {
         const int core = *chip.acquireCore(level);
+        const std::int64_t id = nextId++;
         instances.push_back(std::make_unique<ServiceInstance>(
-            nextId++, "I_" + std::to_string(nextId), 0, &sim, &chip,
+            id, "I_" + std::to_string(id), 0, &sim, &chip,
             core, [](QueryPtr) {}));
         raw.push_back(instances.back().get());
         return instances.back().get();

@@ -7,6 +7,7 @@
 #include "core/command_center.h"
 #include "core/trace.h"
 #include "exp/runner.h"
+#include "obs/telemetry.h"
 #include "workloads/loadgen.h"
 #include "workloads/profiler.h"
 
@@ -38,6 +39,68 @@ TEST(DecisionTrace, CapEvictsOldestButKeepsCounts)
     EXPECT_EQ(trace.events().front().subject, "I2");
     EXPECT_EQ(trace.count(TraceKind::PowerRecycle), 5u);
     EXPECT_EQ(trace.dropped(), 2u);
+}
+
+TEST(DecisionTrace, CsvAfterEvictionDumpsOnlyRetainedInOrder)
+{
+    DecisionTrace trace(2);
+    for (int i = 0; i < 4; ++i)
+        trace.record(SimTime::sec(10 + i), TraceKind::FrequencyBoost,
+                     "I" + std::to_string(i), i);
+    std::ostringstream out;
+    trace.writeCsv(out);
+    const std::string csv = out.str();
+    // Evicted events are gone from the dump...
+    EXPECT_EQ(csv.find("I0"), std::string::npos);
+    EXPECT_EQ(csv.find("I1"), std::string::npos);
+    // ...the survivors appear, oldest first.
+    const std::size_t second = csv.find("I2");
+    const std::size_t third = csv.find("I3");
+    ASSERT_NE(second, std::string::npos);
+    ASSERT_NE(third, std::string::npos);
+    EXPECT_LT(second, third);
+}
+
+TEST(DecisionTrace, LastEnumKindCountsCorrectly)
+{
+    // Guards the TraceKind::Count sentinel: the final real kind must
+    // land in the last counts_ slot, not out of bounds.
+    DecisionTrace trace;
+    const auto last = static_cast<TraceKind>(kNumTraceKinds - 1);
+    trace.record(SimTime::sec(1), last, "x", 0);
+    EXPECT_EQ(trace.count(last), 1u);
+    for (std::size_t k = 0; k + 1 < kNumTraceKinds; ++k)
+        EXPECT_EQ(trace.count(static_cast<TraceKind>(k)), 0u);
+    EXPECT_STRNE(toString(last), "");
+}
+
+TEST(DecisionTrace, ForwardsRecordsIntoTelemetry)
+{
+    TelemetryConfig cfg;
+    cfg.traceOut = "unused.json"; // enables tracing; never written
+    Telemetry telemetry(cfg);
+
+    DecisionTrace trace;
+    trace.setTelemetry(&telemetry);
+    trace.record(SimTime::sec(5), TraceKind::FrequencyBoost, "QA_1", 9);
+    trace.record(SimTime::sec(6), TraceKind::PowerRecycle, "ASR_1", 1.5);
+    trace.record(SimTime::sec(7), TraceKind::PowerRecycle, "ASR_1", 0.5);
+
+    MetricsRegistry &metrics = telemetry.metrics();
+    EXPECT_DOUBLE_EQ(
+        metrics.counter("decision.freq-boost_total").value(), 1.0);
+    EXPECT_DOUBLE_EQ(
+        metrics.counter("decision.power-recycle_total").value(), 2.0);
+    EXPECT_DOUBLE_EQ(
+        metrics.counter("power.recycled_watts_total").value(), 2.0);
+    // One instant event per decision on the control track.
+    EXPECT_EQ(telemetry.trace().numEvents(), 3u);
+
+    // Detaching stops the forwarding but keeps local counts.
+    trace.setTelemetry(nullptr);
+    trace.record(SimTime::sec(8), TraceKind::FrequencyBoost, "QA_1", 10);
+    EXPECT_EQ(telemetry.trace().numEvents(), 3u);
+    EXPECT_EQ(trace.count(TraceKind::FrequencyBoost), 2u);
 }
 
 TEST(DecisionTrace, CsvDump)

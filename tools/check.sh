@@ -6,6 +6,11 @@
 #   build-tsan  — ThreadSanitizer (data races in the sweep engine)
 #   build-asan  — AddressSanitizer + UndefinedBehaviorSanitizer
 #
+# A trace-validation step follows: a small scenario is run with
+# --trace-out/--metrics-out under the asan build and the produced
+# files are checked structurally with trace-validate (valid JSON,
+# monotone spans, resolvable flow ids, decision events present).
+#
 # Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,4 +29,17 @@ run_variant() {
 run_variant tsan "-fsanitize=thread -g"
 run_variant asan "-fsanitize=address,undefined -fno-sanitize-recover=all -g"
 
-echo "All sanitizer variants passed."
+echo "=== trace validation ==="
+tracedir="$(mktemp -d)"
+trap 'rm -rf "${tracedir}"' EXIT
+./build-asan/tools/powerchief-cli \
+    --workload=sirius --policy=powerchief --load=high \
+    --duration=300 --seed=3 --no-cache \
+    --trace-out="${tracedir}/run.json" \
+    --metrics-out="${tracedir}/run.metrics.json" >/dev/null
+./build-asan/tools/trace-validate \
+    --trace="${tracedir}/run.json" \
+    --metrics="${tracedir}/run.metrics.json" \
+    --require-spans --require-decisions
+
+echo "All sanitizer variants and the trace validation passed."

@@ -13,6 +13,12 @@
  * --seeds=1,2,3 sweeps the scenario over a seed list; the runs execute
  * concurrently through the sweep engine (--jobs/--no-cache/--cache-dir/
  * --audit, see exp/sweep.h).
+ *
+ * Observability (see docs/OBSERVABILITY.md): --trace-out=FILE exports a
+ * Chrome/Perfetto trace of every query hop and control decision;
+ * --metrics-out=FILE dumps the run's metrics registry as JSON (or CSV
+ * by extension), snapshotted every --metrics-interval seconds. In seed
+ * sweeps each run writes its own "<file>.<scenario>.<ext>".
  */
 
 #include <cstdio>

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * trace-validate — structural checker for the telemetry outputs.
+ *
+ *   trace-validate --trace=run.json [--metrics=run.metrics.json]
+ *                  [--require-spans] [--require-decisions]
+ *
+ * Validates that a --trace-out file is well-formed Chrome trace-event
+ * JSON: a "traceEvents" array whose events carry the fields their
+ * phase requires, span durations are non-negative, timestamps are
+ * monotone (the exporter sorts), and every flow step/finish resolves
+ * to a previously started flow that is closed exactly once. A
+ * --metrics-out file is checked for the registry's JSON shape.
+ *
+ * Exits 0 and prints a one-line summary on success; exits 1 with a
+ * diagnostic on the first structural violation. Wired into tools/
+ * check.sh and ctest so a malformed exporter fails the build gates.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/json.h"
+
+using namespace pc;
+
+namespace {
+
+struct TraceSummary
+{
+    std::size_t events = 0;
+    std::size_t spans = 0;
+    std::size_t serveSpans = 0;
+    std::size_t waitSpans = 0;
+    std::size_t controlSpans = 0;
+    std::size_t instants = 0;
+    std::size_t decisions = 0;
+    std::size_t flows = 0;
+};
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    std::cerr << "trace-validate: " << what << "\n";
+    std::exit(1);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        bad("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+JsonValue
+parseFile(const std::string &path)
+{
+    const JsonParseResult parsed = parseJson(slurp(path));
+    if (!parsed.ok())
+        bad("'" + path + "' is not valid JSON: " + parsed.error +
+            " at byte " + std::to_string(parsed.errorPos));
+    return *parsed.value;
+}
+
+const JsonValue &
+requireField(const JsonValue &event, const char *key, std::size_t index)
+{
+    const JsonValue *field = event.find(key);
+    if (!field)
+        bad("event " + std::to_string(index) + " lacks \"" + key + "\"");
+    return *field;
+}
+
+double
+requireNumber(const JsonValue &event, const char *key, std::size_t index)
+{
+    const JsonValue &field = requireField(event, key, index);
+    if (!field.isNumber())
+        bad("event " + std::to_string(index) + " field \"" + key +
+            "\" is not a number");
+    return field.asNumber();
+}
+
+TraceSummary
+validateTrace(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (!root.isObject())
+        bad("'" + path + "' root is not an object");
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || !events->isArray())
+        bad("'" + path + "' lacks a \"traceEvents\" array");
+
+    TraceSummary summary;
+    std::set<double> openFlows;
+    std::set<double> closedFlows;
+    double lastTs = 0.0;
+    bool sawTs = false;
+
+    const JsonArray &list = events->asArray();
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const JsonValue &ev = list[i];
+        if (!ev.isObject())
+            bad("event " + std::to_string(i) + " is not an object");
+        const JsonValue &ph = requireField(ev, "ph", i);
+        if (!ph.isString() || ph.asString().size() != 1)
+            bad("event " + std::to_string(i) +
+                " has a malformed \"ph\"");
+        const JsonValue &name = requireField(ev, "name", i);
+        if (!name.isString())
+            bad("event " + std::to_string(i) + " \"name\" not a string");
+
+        const char phase = ph.asString()[0];
+        if (phase == 'M')
+            continue; // Metadata records carry no timestamp.
+
+        ++summary.events;
+        const double ts = requireNumber(ev, "ts", i);
+        if (sawTs && ts < lastTs)
+            bad("event " + std::to_string(i) +
+                " breaks timestamp monotonicity");
+        lastTs = ts;
+        sawTs = true;
+
+        switch (phase) {
+          case 'X': {
+            const double dur = requireNumber(ev, "dur", i);
+            if (dur < 0.0)
+                bad("span event " + std::to_string(i) +
+                    " has negative duration");
+            ++summary.spans;
+            const std::string cat = ev.stringOr("cat", "");
+            if (cat == "serve")
+                ++summary.serveSpans;
+            else if (cat == "queue")
+                ++summary.waitSpans;
+            else if (cat == "control")
+                ++summary.controlSpans;
+            break;
+          }
+          case 'i':
+            ++summary.instants;
+            if (ev.stringOr("cat", "") == "decision")
+                ++summary.decisions;
+            break;
+          case 's': {
+            const double id = requireNumber(ev, "id", i);
+            if (openFlows.count(id) || closedFlows.count(id))
+                bad("flow " + std::to_string(id) +
+                    " started more than once");
+            openFlows.insert(id);
+            ++summary.flows;
+            break;
+          }
+          case 't':
+          case 'f': {
+            const double id = requireNumber(ev, "id", i);
+            if (!openFlows.count(id))
+                bad("flow event " + std::to_string(i) +
+                    " references unopened flow " + std::to_string(id));
+            if (phase == 'f') {
+                openFlows.erase(id);
+                closedFlows.insert(id);
+            }
+            break;
+          }
+          default:
+            bad("event " + std::to_string(i) + " has unknown phase '" +
+                std::string(1, phase) + "'");
+        }
+    }
+
+    if (!openFlows.empty())
+        bad(std::to_string(openFlows.size()) +
+            " flow(s) started but never finished");
+    return summary;
+}
+
+void
+validateMetrics(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (!root.isObject())
+        bad("'" + path + "' root is not an object");
+    for (const char *section : {"counters", "gauges", "histograms"}) {
+        const JsonValue *value = root.find(section);
+        if (!value || !value->isObject())
+            bad("'" + path + "' lacks a \"" + std::string(section) +
+                "\" object");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagSet flags("trace-validate");
+    flags.addString("trace", "", "Chrome trace-event JSON to validate");
+    flags.addString("metrics", "", "metrics registry JSON to validate");
+    flags.addBool("require-spans", false,
+                  "fail unless at least one serve span is present");
+    flags.addBool("require-decisions", false,
+                  "fail unless at least one control decision instant "
+                  "event is present");
+    if (!flags.parse(argc, argv)) {
+        if (!flags.helpRequested())
+            std::cerr << "error: " << flags.error() << "\n\n";
+        flags.printUsage(std::cerr);
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    const std::string tracePath = flags.getString("trace");
+    const std::string metricsPath = flags.getString("metrics");
+    if (tracePath.empty() && metricsPath.empty())
+        bad("nothing to do: pass --trace= and/or --metrics=");
+
+    TraceSummary summary;
+    if (!tracePath.empty()) {
+        summary = validateTrace(tracePath);
+        if (flags.getBool("require-spans") && summary.serveSpans == 0)
+            bad("'" + tracePath + "' contains no serve spans");
+        if (flags.getBool("require-decisions") && summary.decisions == 0)
+            bad("'" + tracePath + "' contains no decision events");
+        std::printf("%s: ok (%zu events: %zu spans [%zu serve, %zu "
+                    "wait, %zu control], %zu instants [%zu decisions], "
+                    "%zu flows)\n",
+                    tracePath.c_str(), summary.events, summary.spans,
+                    summary.serveSpans, summary.waitSpans,
+                    summary.controlSpans, summary.instants,
+                    summary.decisions, summary.flows);
+    }
+    if (!metricsPath.empty()) {
+        validateMetrics(metricsPath);
+        std::printf("%s: ok\n", metricsPath.c_str());
+    }
+    return 0;
+}
