@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dispatcher.dir/abl_dispatcher.cc.o"
+  "CMakeFiles/abl_dispatcher.dir/abl_dispatcher.cc.o.d"
+  "abl_dispatcher"
+  "abl_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

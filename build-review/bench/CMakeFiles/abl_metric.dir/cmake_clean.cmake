@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_metric.dir/abl_metric.cc.o"
+  "CMakeFiles/abl_metric.dir/abl_metric.cc.o.d"
+  "abl_metric"
+  "abl_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

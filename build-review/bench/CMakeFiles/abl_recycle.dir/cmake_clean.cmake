@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_recycle.dir/abl_recycle.cc.o"
+  "CMakeFiles/abl_recycle.dir/abl_recycle.cc.o.d"
+  "abl_recycle"
+  "abl_recycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_recycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_window.dir/abl_window.cc.o"
+  "CMakeFiles/abl_window.dir/abl_window.cc.o.d"
+  "abl_window"
+  "abl_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

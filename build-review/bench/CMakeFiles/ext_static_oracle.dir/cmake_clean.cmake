@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_static_oracle.dir/ext_static_oracle.cc.o"
+  "CMakeFiles/ext_static_oracle.dir/ext_static_oracle.cc.o.d"
+  "ext_static_oracle"
+  "ext_static_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_static_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

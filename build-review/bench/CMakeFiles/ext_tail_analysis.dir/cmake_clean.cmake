@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tail_analysis.dir/ext_tail_analysis.cc.o"
+  "CMakeFiles/ext_tail_analysis.dir/ext_tail_analysis.cc.o.d"
+  "ext_tail_analysis"
+  "ext_tail_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tail_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_stage_boosting.dir/fig02_stage_boosting.cc.o"
+  "CMakeFiles/fig02_stage_boosting.dir/fig02_stage_boosting.cc.o.d"
+  "fig02_stage_boosting"
+  "fig02_stage_boosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_stage_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

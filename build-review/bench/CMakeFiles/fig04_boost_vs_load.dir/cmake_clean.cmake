@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_boost_vs_load.dir/fig04_boost_vs_load.cc.o"
+  "CMakeFiles/fig04_boost_vs_load.dir/fig04_boost_vs_load.cc.o.d"
+  "fig04_boost_vs_load"
+  "fig04_boost_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_boost_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_runtime_trace.dir/fig11_runtime_trace.cc.o"
+  "CMakeFiles/fig11_runtime_trace.dir/fig11_runtime_trace.cc.o.d"
+  "fig11_runtime_trace"
+  "fig11_runtime_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_runtime_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_websearch_power.dir/fig14_websearch_power.cc.o"
+  "CMakeFiles/fig14_websearch_power.dir/fig14_websearch_power.cc.o.d"
+  "fig14_websearch_power"
+  "fig14_websearch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_websearch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

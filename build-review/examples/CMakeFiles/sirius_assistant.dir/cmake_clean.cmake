@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_assistant.dir/sirius_assistant.cpp.o"
+  "CMakeFiles/sirius_assistant.dir/sirius_assistant.cpp.o.d"
+  "sirius_assistant"
+  "sirius_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websearch_powercap.dir/websearch_powercap.cpp.o"
+  "CMakeFiles/websearch_powercap.dir/websearch_powercap.cpp.o.d"
+  "websearch_powercap"
+  "websearch_powercap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websearch_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

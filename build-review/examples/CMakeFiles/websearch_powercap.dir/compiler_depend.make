@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for websearch_powercap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for websearch_powercap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("power")
+subdirs("hal")
+subdirs("stats")
+subdirs("obs")
+subdirs("rpc")
+subdirs("app")
+subdirs("core")
+subdirs("workloads")
+subdirs("exp")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/dispatcher.cc" "src/app/CMakeFiles/pc_app.dir/dispatcher.cc.o" "gcc" "src/app/CMakeFiles/pc_app.dir/dispatcher.cc.o.d"
+  "/root/repo/src/app/pipeline.cc" "src/app/CMakeFiles/pc_app.dir/pipeline.cc.o" "gcc" "src/app/CMakeFiles/pc_app.dir/pipeline.cc.o.d"
+  "/root/repo/src/app/query.cc" "src/app/CMakeFiles/pc_app.dir/query.cc.o" "gcc" "src/app/CMakeFiles/pc_app.dir/query.cc.o.d"
+  "/root/repo/src/app/service_instance.cc" "src/app/CMakeFiles/pc_app.dir/service_instance.cc.o" "gcc" "src/app/CMakeFiles/pc_app.dir/service_instance.cc.o.d"
+  "/root/repo/src/app/stage.cc" "src/app/CMakeFiles/pc_app.dir/stage.cc.o" "gcc" "src/app/CMakeFiles/pc_app.dir/stage.cc.o.d"
+  "/root/repo/src/app/stats_codec.cc" "src/app/CMakeFiles/pc_app.dir/stats_codec.cc.o" "gcc" "src/app/CMakeFiles/pc_app.dir/stats_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hal/CMakeFiles/pc_hal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rpc/CMakeFiles/pc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/pc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/pc_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/pc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_app.dir/dispatcher.cc.o"
+  "CMakeFiles/pc_app.dir/dispatcher.cc.o.d"
+  "CMakeFiles/pc_app.dir/pipeline.cc.o"
+  "CMakeFiles/pc_app.dir/pipeline.cc.o.d"
+  "CMakeFiles/pc_app.dir/query.cc.o"
+  "CMakeFiles/pc_app.dir/query.cc.o.d"
+  "CMakeFiles/pc_app.dir/service_instance.cc.o"
+  "CMakeFiles/pc_app.dir/service_instance.cc.o.d"
+  "CMakeFiles/pc_app.dir/stage.cc.o"
+  "CMakeFiles/pc_app.dir/stage.cc.o.d"
+  "CMakeFiles/pc_app.dir/stats_codec.cc.o"
+  "CMakeFiles/pc_app.dir/stats_codec.cc.o.d"
+  "libpc_app.a"
+  "libpc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_common.dir/csv.cc.o"
+  "CMakeFiles/pc_common.dir/csv.cc.o.d"
+  "CMakeFiles/pc_common.dir/flags.cc.o"
+  "CMakeFiles/pc_common.dir/flags.cc.o.d"
+  "CMakeFiles/pc_common.dir/json.cc.o"
+  "CMakeFiles/pc_common.dir/json.cc.o.d"
+  "CMakeFiles/pc_common.dir/logging.cc.o"
+  "CMakeFiles/pc_common.dir/logging.cc.o.d"
+  "CMakeFiles/pc_common.dir/time.cc.o"
+  "CMakeFiles/pc_common.dir/time.cc.o.d"
+  "CMakeFiles/pc_common.dir/units.cc.o"
+  "CMakeFiles/pc_common.dir/units.cc.o.d"
+  "libpc_common.a"
+  "libpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/boost_engine.cc" "src/core/CMakeFiles/pc_core.dir/boost_engine.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/boost_engine.cc.o.d"
+  "/root/repo/src/core/bottleneck.cc" "src/core/CMakeFiles/pc_core.dir/bottleneck.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/bottleneck.cc.o.d"
+  "/root/repo/src/core/command_center.cc" "src/core/CMakeFiles/pc_core.dir/command_center.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/command_center.cc.o.d"
+  "/root/repo/src/core/node_agent.cc" "src/core/CMakeFiles/pc_core.dir/node_agent.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/node_agent.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/pc_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/pc_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/queueing.cc" "src/core/CMakeFiles/pc_core.dir/queueing.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/queueing.cc.o.d"
+  "/root/repo/src/core/reallocator.cc" "src/core/CMakeFiles/pc_core.dir/reallocator.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/reallocator.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/pc_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/withdraw.cc" "src/core/CMakeFiles/pc_core.dir/withdraw.cc.o" "gcc" "src/core/CMakeFiles/pc_core.dir/withdraw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/app/CMakeFiles/pc_app.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/pc_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/pc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rpc/CMakeFiles/pc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hal/CMakeFiles/pc_hal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/pc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

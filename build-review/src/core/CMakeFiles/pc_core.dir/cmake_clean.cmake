@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_core.dir/boost_engine.cc.o"
+  "CMakeFiles/pc_core.dir/boost_engine.cc.o.d"
+  "CMakeFiles/pc_core.dir/bottleneck.cc.o"
+  "CMakeFiles/pc_core.dir/bottleneck.cc.o.d"
+  "CMakeFiles/pc_core.dir/command_center.cc.o"
+  "CMakeFiles/pc_core.dir/command_center.cc.o.d"
+  "CMakeFiles/pc_core.dir/node_agent.cc.o"
+  "CMakeFiles/pc_core.dir/node_agent.cc.o.d"
+  "CMakeFiles/pc_core.dir/oracle.cc.o"
+  "CMakeFiles/pc_core.dir/oracle.cc.o.d"
+  "CMakeFiles/pc_core.dir/policies.cc.o"
+  "CMakeFiles/pc_core.dir/policies.cc.o.d"
+  "CMakeFiles/pc_core.dir/queueing.cc.o"
+  "CMakeFiles/pc_core.dir/queueing.cc.o.d"
+  "CMakeFiles/pc_core.dir/reallocator.cc.o"
+  "CMakeFiles/pc_core.dir/reallocator.cc.o.d"
+  "CMakeFiles/pc_core.dir/trace.cc.o"
+  "CMakeFiles/pc_core.dir/trace.cc.o.d"
+  "CMakeFiles/pc_core.dir/withdraw.cc.o"
+  "CMakeFiles/pc_core.dir/withdraw.cc.o.d"
+  "libpc_core.a"
+  "libpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

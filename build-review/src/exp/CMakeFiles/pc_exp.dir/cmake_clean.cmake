@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_exp.dir/artifacts.cc.o"
+  "CMakeFiles/pc_exp.dir/artifacts.cc.o.d"
+  "CMakeFiles/pc_exp.dir/config_loader.cc.o"
+  "CMakeFiles/pc_exp.dir/config_loader.cc.o.d"
+  "CMakeFiles/pc_exp.dir/report.cc.o"
+  "CMakeFiles/pc_exp.dir/report.cc.o.d"
+  "CMakeFiles/pc_exp.dir/result_cache.cc.o"
+  "CMakeFiles/pc_exp.dir/result_cache.cc.o.d"
+  "CMakeFiles/pc_exp.dir/runner.cc.o"
+  "CMakeFiles/pc_exp.dir/runner.cc.o.d"
+  "CMakeFiles/pc_exp.dir/scenario.cc.o"
+  "CMakeFiles/pc_exp.dir/scenario.cc.o.d"
+  "CMakeFiles/pc_exp.dir/sweep.cc.o"
+  "CMakeFiles/pc_exp.dir/sweep.cc.o.d"
+  "CMakeFiles/pc_exp.dir/thread_pool.cc.o"
+  "CMakeFiles/pc_exp.dir/thread_pool.cc.o.d"
+  "libpc_exp.a"
+  "libpc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/chip.cc" "src/hal/CMakeFiles/pc_hal.dir/chip.cc.o" "gcc" "src/hal/CMakeFiles/pc_hal.dir/chip.cc.o.d"
+  "/root/repo/src/hal/core.cc" "src/hal/CMakeFiles/pc_hal.dir/core.cc.o" "gcc" "src/hal/CMakeFiles/pc_hal.dir/core.cc.o.d"
+  "/root/repo/src/hal/cpufreq.cc" "src/hal/CMakeFiles/pc_hal.dir/cpufreq.cc.o" "gcc" "src/hal/CMakeFiles/pc_hal.dir/cpufreq.cc.o.d"
+  "/root/repo/src/hal/msr.cc" "src/hal/CMakeFiles/pc_hal.dir/msr.cc.o" "gcc" "src/hal/CMakeFiles/pc_hal.dir/msr.cc.o.d"
+  "/root/repo/src/hal/power_limit.cc" "src/hal/CMakeFiles/pc_hal.dir/power_limit.cc.o" "gcc" "src/hal/CMakeFiles/pc_hal.dir/power_limit.cc.o.d"
+  "/root/repo/src/hal/rapl.cc" "src/hal/CMakeFiles/pc_hal.dir/rapl.cc.o" "gcc" "src/hal/CMakeFiles/pc_hal.dir/rapl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/pc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_hal.dir/chip.cc.o"
+  "CMakeFiles/pc_hal.dir/chip.cc.o.d"
+  "CMakeFiles/pc_hal.dir/core.cc.o"
+  "CMakeFiles/pc_hal.dir/core.cc.o.d"
+  "CMakeFiles/pc_hal.dir/cpufreq.cc.o"
+  "CMakeFiles/pc_hal.dir/cpufreq.cc.o.d"
+  "CMakeFiles/pc_hal.dir/msr.cc.o"
+  "CMakeFiles/pc_hal.dir/msr.cc.o.d"
+  "CMakeFiles/pc_hal.dir/power_limit.cc.o"
+  "CMakeFiles/pc_hal.dir/power_limit.cc.o.d"
+  "CMakeFiles/pc_hal.dir/rapl.cc.o"
+  "CMakeFiles/pc_hal.dir/rapl.cc.o.d"
+  "libpc_hal.a"
+  "libpc_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/pc_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/pc_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/telemetry.cc" "src/obs/CMakeFiles/pc_obs.dir/telemetry.cc.o" "gcc" "src/obs/CMakeFiles/pc_obs.dir/telemetry.cc.o.d"
+  "/root/repo/src/obs/trace_sink.cc" "src/obs/CMakeFiles/pc_obs.dir/trace_sink.cc.o" "gcc" "src/obs/CMakeFiles/pc_obs.dir/trace_sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/pc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

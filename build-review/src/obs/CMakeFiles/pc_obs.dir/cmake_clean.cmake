@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_obs.dir/metrics.cc.o"
+  "CMakeFiles/pc_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/pc_obs.dir/telemetry.cc.o"
+  "CMakeFiles/pc_obs.dir/telemetry.cc.o.d"
+  "CMakeFiles/pc_obs.dir/trace_sink.cc.o"
+  "CMakeFiles/pc_obs.dir/trace_sink.cc.o.d"
+  "libpc_obs.a"
+  "libpc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/budget.cc" "src/power/CMakeFiles/pc_power.dir/budget.cc.o" "gcc" "src/power/CMakeFiles/pc_power.dir/budget.cc.o.d"
+  "/root/repo/src/power/frequency_ladder.cc" "src/power/CMakeFiles/pc_power.dir/frequency_ladder.cc.o" "gcc" "src/power/CMakeFiles/pc_power.dir/frequency_ladder.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/pc_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/pc_power.dir/power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_power.dir/budget.cc.o"
+  "CMakeFiles/pc_power.dir/budget.cc.o.d"
+  "CMakeFiles/pc_power.dir/frequency_ladder.cc.o"
+  "CMakeFiles/pc_power.dir/frequency_ladder.cc.o.d"
+  "CMakeFiles/pc_power.dir/power_model.cc.o"
+  "CMakeFiles/pc_power.dir/power_model.cc.o.d"
+  "libpc_power.a"
+  "libpc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/bus.cc" "src/rpc/CMakeFiles/pc_rpc.dir/bus.cc.o" "gcc" "src/rpc/CMakeFiles/pc_rpc.dir/bus.cc.o.d"
+  "/root/repo/src/rpc/wire.cc" "src/rpc/CMakeFiles/pc_rpc.dir/wire.cc.o" "gcc" "src/rpc/CMakeFiles/pc_rpc.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

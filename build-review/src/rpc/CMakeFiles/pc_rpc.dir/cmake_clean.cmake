@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_rpc.dir/bus.cc.o"
+  "CMakeFiles/pc_rpc.dir/bus.cc.o.d"
+  "CMakeFiles/pc_rpc.dir/wire.cc.o"
+  "CMakeFiles/pc_rpc.dir/wire.cc.o.d"
+  "libpc_rpc.a"
+  "libpc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_sim.dir/simulator.cc.o"
+  "CMakeFiles/pc_sim.dir/simulator.cc.o.d"
+  "libpc_sim.a"
+  "libpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

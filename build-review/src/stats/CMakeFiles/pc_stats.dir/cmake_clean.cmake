@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_stats.dir/percentile.cc.o"
+  "CMakeFiles/pc_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/pc_stats.dir/timeseries.cc.o"
+  "CMakeFiles/pc_stats.dir/timeseries.cc.o.d"
+  "libpc_stats.a"
+  "libpc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_workloads.dir/loadgen.cc.o"
+  "CMakeFiles/pc_workloads.dir/loadgen.cc.o.d"
+  "CMakeFiles/pc_workloads.dir/profiler.cc.o"
+  "CMakeFiles/pc_workloads.dir/profiler.cc.o.d"
+  "CMakeFiles/pc_workloads.dir/profiles.cc.o"
+  "CMakeFiles/pc_workloads.dir/profiles.cc.o.d"
+  "libpc_workloads.a"
+  "libpc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

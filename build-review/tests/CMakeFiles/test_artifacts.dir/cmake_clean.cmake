@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_artifacts.dir/test_artifacts.cc.o"
+  "CMakeFiles/test_artifacts.dir/test_artifacts.cc.o.d"
+  "test_artifacts"
+  "test_artifacts.pdb"
+  "test_artifacts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boost_engine.dir/test_boost_engine.cc.o"
+  "CMakeFiles/test_boost_engine.dir/test_boost_engine.cc.o.d"
+  "test_boost_engine"
+  "test_boost_engine.pdb"
+  "test_boost_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boost_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_command_center.dir/test_command_center.cc.o"
+  "CMakeFiles/test_command_center.dir/test_command_center.cc.o.d"
+  "test_command_center"
+  "test_command_center.pdb"
+  "test_command_center[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_command_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_command_center.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fanout.dir/test_fanout.cc.o"
+  "CMakeFiles/test_fanout.dir/test_fanout.cc.o.d"
+  "test_fanout"
+  "test_fanout.pdb"
+  "test_fanout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_trace.dir/test_golden_trace.cc.o"
+  "CMakeFiles/test_golden_trace.dir/test_golden_trace.cc.o.d"
+  "test_golden_trace"
+  "test_golden_trace.pdb"
+  "test_golden_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hal.dir/test_hal.cc.o"
+  "CMakeFiles/test_hal.dir/test_hal.cc.o.d"
+  "test_hal"
+  "test_hal.pdb"
+  "test_hal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

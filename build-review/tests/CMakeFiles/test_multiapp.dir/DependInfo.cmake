@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_multiapp.cc" "tests/CMakeFiles/test_multiapp.dir/test_multiapp.cc.o" "gcc" "tests/CMakeFiles/test_multiapp.dir/test_multiapp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exp/CMakeFiles/pc_exp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/pc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/pc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/app/CMakeFiles/pc_app.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rpc/CMakeFiles/pc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hal/CMakeFiles/pc_hal.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/pc_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/pc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/pc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

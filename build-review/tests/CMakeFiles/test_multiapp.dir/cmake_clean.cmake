@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiapp.dir/test_multiapp.cc.o"
+  "CMakeFiles/test_multiapp.dir/test_multiapp.cc.o.d"
+  "test_multiapp"
+  "test_multiapp.pdb"
+  "test_multiapp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

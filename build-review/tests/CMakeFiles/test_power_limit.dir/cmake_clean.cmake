@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_limit.dir/test_power_limit.cc.o"
+  "CMakeFiles/test_power_limit.dir/test_power_limit.cc.o.d"
+  "test_power_limit"
+  "test_power_limit.pdb"
+  "test_power_limit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reallocator.dir/test_reallocator.cc.o"
+  "CMakeFiles/test_reallocator.dir/test_reallocator.cc.o.d"
+  "test_reallocator"
+  "test_reallocator.pdb"
+  "test_reallocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reallocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

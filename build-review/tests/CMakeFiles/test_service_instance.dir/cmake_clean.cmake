@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_instance.dir/test_service_instance.cc.o"
+  "CMakeFiles/test_service_instance.dir/test_service_instance.cc.o.d"
+  "test_service_instance"
+  "test_service_instance.pdb"
+  "test_service_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skip.dir/test_skip.cc.o"
+  "CMakeFiles/test_skip.dir/test_skip.cc.o.d"
+  "test_skip"
+  "test_skip.pdb"
+  "test_skip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

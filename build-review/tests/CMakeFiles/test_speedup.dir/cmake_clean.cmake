@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speedup.dir/test_speedup.cc.o"
+  "CMakeFiles/test_speedup.dir/test_speedup.cc.o.d"
+  "test_speedup"
+  "test_speedup.pdb"
+  "test_speedup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

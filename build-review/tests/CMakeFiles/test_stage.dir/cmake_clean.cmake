@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage.dir/test_stage.cc.o"
+  "CMakeFiles/test_stage.dir/test_stage.cc.o.d"
+  "test_stage"
+  "test_stage.pdb"
+  "test_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

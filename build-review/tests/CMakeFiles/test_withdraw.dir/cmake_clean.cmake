@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_withdraw.dir/test_withdraw.cc.o"
+  "CMakeFiles/test_withdraw.dir/test_withdraw.cc.o.d"
+  "test_withdraw"
+  "test_withdraw.pdb"
+  "test_withdraw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_withdraw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerchief-cli.dir/powerchief_cli.cc.o"
+  "CMakeFiles/powerchief-cli.dir/powerchief_cli.cc.o.d"
+  "powerchief-cli"
+  "powerchief-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerchief-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

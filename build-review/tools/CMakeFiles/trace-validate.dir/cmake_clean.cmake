@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace-validate.dir/trace_validate.cc.o"
+  "CMakeFiles/trace-validate.dir/trace_validate.cc.o.d"
+  "trace-validate"
+  "trace-validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace-validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_flags_smoke "/root/repo/build-review/tools/powerchief-cli" "--workload=nlp" "--policy=powerchief" "--load=medium" "--duration=120" "--seed=3")
+set_tests_properties(cli_flags_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_config_smoke "/root/repo/build-review/tools/powerchief-cli" "--config=/root/repo/configs/custom_app.json" "--duration=120")
+set_tests_properties(cli_config_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build-review/tools/powerchief-cli" "--bogus=1")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build-review/tools/powerchief-cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_telemetry "/root/repo/build-review/tools/powerchief-cli" "--workload=sirius" "--policy=powerchief" "--load=high" "--duration=300" "--seed=3" "--no-cache" "--trace-out=/root/repo/build-review/tools/cli_trace.json" "--metrics-out=/root/repo/build-review/tools/cli_metrics.json")
+set_tests_properties(cli_trace_telemetry PROPERTIES  FIXTURES_SETUP "telemetry_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_validate_smoke "/root/repo/build-review/tools/trace-validate" "--trace=/root/repo/build-review/tools/cli_trace.json" "--metrics=/root/repo/build-review/tools/cli_metrics.json" "--require-spans" "--require-decisions")
+set_tests_properties(trace_validate_smoke PROPERTIES  FIXTURES_REQUIRED "telemetry_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_validate_help "/root/repo/build-review/tools/trace-validate" "--help")
+set_tests_properties(trace_validate_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
