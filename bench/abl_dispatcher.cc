@@ -51,5 +51,6 @@ main(int argc, char **argv)
     const RunResult &baseline = all.front();
     const std::vector<RunResult> runs(all.begin() + 1, all.end());
     printImprovementTable(std::cout, baseline, runs);
+    printTailAttribution(std::cout, all);
     return 0;
 }

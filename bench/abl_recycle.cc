@@ -70,5 +70,6 @@ main(int argc, char **argv)
         std::cout << "\n(" << toString(levels[l]) << " load)\n";
         printImprovementTable(std::cout, baseline, runs);
     }
+    printTailAttribution(std::cout, all);
     return 0;
 }

@@ -103,5 +103,6 @@ main(int argc, char **argv)
                                   r.p99LatencySec, 2) + "x"});
     }
     t3.print(std::cout);
+    printTailAttribution(std::cout, all);
     return 0;
 }

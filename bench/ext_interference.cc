@@ -77,5 +77,6 @@ main(int argc, char **argv)
     std::cout << "\nReading: contention taxes the many-low-frequency-"
                  "core configurations that instance boosting builds; "
                  "the adaptive advantage persists but narrows.\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

@@ -136,5 +136,6 @@ main(int argc, char **argv)
                  "PowerChief needs none of that and lands in its "
                  "ballpark, while the paper's equal-split baseline is "
                  "an order of magnitude behind both.\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

@@ -100,5 +100,6 @@ main(int argc, char **argv)
                  "distribution; frequency-only boosting mostly moves "
                  "the median while the queuing tail survives at high "
                  "load.\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

@@ -78,5 +78,6 @@ main(int argc, char **argv)
     std::cout << "\nOptimal vs non-optimal boosting decision: "
               << TextTable::num((1.0 - best / worst) * 100.0, 1)
               << "% latency reduction (paper: >40%)\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

@@ -65,5 +65,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference: low load 1.46x/1.41x (freq) vs "
                  "1.20x/1.04x (inst); high load 1.82x/1.96x (freq) vs "
                  "25.11x/14.77x (inst)\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

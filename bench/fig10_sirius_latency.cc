@@ -81,5 +81,6 @@ main(int argc, char **argv)
               << "  PowerChief mean improvement across loads: "
               << pcAvgProduct / pcRuns << "x avg, "
               << pcTailProduct / pcRuns << "x p99\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

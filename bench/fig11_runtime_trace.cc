@@ -88,5 +88,6 @@ main(int argc, char **argv)
     const std::vector<RunResult> runs = sweep.runAll(scenarios);
     for (std::size_t i = 0; i < scenarios.size(); ++i)
         printTrace(scenarios[i], runs[i]);
+    printTailAttribution(std::cout, runs);
     return 0;
 }

@@ -67,5 +67,6 @@ main(int argc, char **argv)
                  "NLP):\n"
               << "  PowerChief mean improvement across loads: "
               << pcAvg / n << "x avg, " << pcTail / n << "x p99\n";
+    printTailAttribution(std::cout, all);
     return 0;
 }

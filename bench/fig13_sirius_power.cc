@@ -105,5 +105,6 @@ main(int argc, char **argv)
         printSeries(std::cout, run->scenario, normalized,
                     SimTime::zero(), to, 12, 2);
     }
+    printTailAttribution(std::cout, runs);
     return 0;
 }

@@ -100,5 +100,6 @@ main(int argc, char **argv)
         printSeries(std::cout, run->scenario, normalized,
                     SimTime::zero(), SimTime::sec(900), 12, 2);
     }
+    printTailAttribution(std::cout, runs);
     return 0;
 }

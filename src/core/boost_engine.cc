@@ -62,6 +62,7 @@ BoostingDecisionEngine::setTelemetry(Telemetry *telemetry)
 {
     for (auto &slot : selects_)
         slot = nullptr;
+    audit_ = telemetry ? &telemetry->audit() : nullptr;
     if (!telemetry)
         return;
     for (const BoostKind kind :
@@ -71,12 +72,63 @@ BoostingDecisionEngine::setTelemetry(Telemetry *telemetry)
     }
 }
 
+namespace {
+
+AuditBoostKind
+auditKind(BoostKind kind)
+{
+    switch (kind) {
+      case BoostKind::None: return AuditBoostKind::None;
+      case BoostKind::Frequency: return AuditBoostKind::Frequency;
+      case BoostKind::Instance: return AuditBoostKind::Instance;
+    }
+    return AuditBoostKind::None;
+}
+
+} // namespace
+
 BoostDecision
 BoostingDecisionEngine::selectBoosting(const SortedSnapshots &ranked)
 {
+    const bool auditing = audit_ && audit_->enabled();
+    const Watts headroomBefore =
+        auditing ? budget_->headroom() : Watts(0.0);
+    const std::uint64_t stepsBefore =
+        auditing ? realloc_->donorStepsTaken() : 0;
+
     BoostDecision decision = selectBoostingImpl(ranked);
     if (Counter *count = selects_[static_cast<int>(decision.kind)])
         count->add();
+
+    if (auditing) {
+        AuditRecord rec;
+        rec.chosen = auditKind(decision.kind);
+        rec.targetInstance = decision.targetInstance;
+        rec.stageIndex = decision.stageIndex;
+        rec.fromLevel = decision.fromLevel;
+        rec.toLevel = decision.toLevel;
+        rec.tInstSec = decision.expectedInstanceSec;
+        rec.tFreqSec = decision.expectedFrequencySec;
+        rec.alphaLh = decision.alphaLh;
+        rec.headroomBeforeWatts = headroomBefore.value();
+        rec.headroomAfterWatts = budget_->headroom().value();
+        rec.recycledWatts = decision.recycledWatts.value();
+        rec.donorSteps = realloc_->donorStepsTaken() - stepsBefore;
+        rec.candidates.reserve(ranked.size());
+        for (const auto &snap : ranked) {
+            AuditCandidate cand;
+            cand.instanceId = snap.instanceId;
+            cand.stageIndex = snap.stageIndex;
+            cand.level = snap.level;
+            cand.queueLength =
+                static_cast<std::uint64_t>(snap.queueLength);
+            cand.avgQueuingSec = snap.avgQueuingSec;
+            cand.avgServingSec = snap.avgServingSec;
+            cand.metric = snap.metric;
+            rec.candidates.push_back(cand);
+        }
+        audit_->recordSelect(std::move(rec));
+    }
     return decision;
 }
 
@@ -91,6 +143,10 @@ BoostingDecisionEngine::selectBoostingImpl(const SortedSnapshots &ranked)
     decision.targetInstance = bn.instanceId;
     decision.stageIndex = bn.stageIndex;
     decision.fromLevel = bn.level;
+
+    const auto alphaFor = [&](int toLevel) {
+        return speedups_->stage(bn.stageIndex).ratio(bn.level, toLevel);
+    };
 
     const auto &model = budget_->model();
     // Cost of launching a clone at the bottleneck's frequency (§5.1).
@@ -108,6 +164,7 @@ BoostingDecisionEngine::selectBoostingImpl(const SortedSnapshots &ranked)
         decision.toLevel = affordableLevel(bn, budget_->headroom());
         decision.expectedFrequencySec =
             expectedFrequencyDelay(bn, decision.toLevel);
+        decision.alphaLh = alphaFor(decision.toLevel);
         if (decision.toLevel <= bn.level)
             decision.kind = BoostKind::None;
         return decision;
@@ -118,6 +175,7 @@ BoostingDecisionEngine::selectBoostingImpl(const SortedSnapshots &ranked)
         const int eqLevel = affordableLevel(bn, instanceCost);
         decision.expectedInstanceSec = expectedInstanceDelay(bn);
         decision.expectedFrequencySec = expectedFrequencyDelay(bn, eqLevel);
+        decision.alphaLh = alphaFor(eqLevel);
         if (decision.expectedInstanceSec < decision.expectedFrequencySec) {
             decision.kind = BoostKind::Instance;
             decision.toLevel = bn.level;
@@ -125,6 +183,7 @@ BoostingDecisionEngine::selectBoostingImpl(const SortedSnapshots &ranked)
             decision.kind = BoostKind::Frequency;
             decision.toLevel =
                 affordableLevel(bn, budget_->headroom());
+            decision.alphaLh = alphaFor(decision.toLevel);
             if (decision.toLevel <= bn.level)
                 decision.kind = BoostKind::None;
         }
@@ -134,6 +193,7 @@ BoostingDecisionEngine::selectBoostingImpl(const SortedSnapshots &ranked)
         decision.toLevel = affordableLevel(bn, budget_->headroom());
         decision.expectedFrequencySec =
             expectedFrequencyDelay(bn, decision.toLevel);
+        decision.alphaLh = alphaFor(decision.toLevel);
         if (decision.toLevel <= bn.level)
             decision.kind = BoostKind::None;
     }

@@ -23,6 +23,7 @@
 
 namespace pc {
 
+class AuditLog;
 class Counter;
 class Telemetry;
 
@@ -45,6 +46,9 @@ struct BoostDecision
     /** Eq. 2 / Eq. 3 estimates (seconds), kept for tracing and tests. */
     double expectedInstanceSec = 0.0;
     double expectedFrequencySec = 0.0;
+
+    /** Speedup ratio α_lh = r(toLevel)/r(fromLevel) behind Eq. 3. */
+    double alphaLh = 0.0;
 
     /** Watts recycled from other instances while funding the boost. */
     Watts recycledWatts;
@@ -87,7 +91,9 @@ class BoostingDecisionEngine
 
     /**
      * Count selectBoosting() outcomes by kind into
-     * "engine.select.<kind>_total". nullptr detaches.
+     * "engine.select.<kind>_total", and append one audit record per
+     * selection (inputs, Eq. 2/3 estimates, headroom delta) when the
+     * telemetry's audit log is enabled. nullptr detaches.
      */
     void setTelemetry(Telemetry *telemetry);
 
@@ -100,6 +106,7 @@ class BoostingDecisionEngine
 
     // Cached at wiring time; indexed by BoostKind.
     Counter *selects_[3] = {nullptr, nullptr, nullptr};
+    AuditLog *audit_ = nullptr;
 };
 
 } // namespace pc

@@ -98,6 +98,15 @@ BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
     return out;
 }
 
+double
+BottleneckIdentifier::stageRealizedDelaySec(int stage) const
+{
+    const auto it = perStage_.find(stage);
+    if (it == perStage_.end() || it->second.serving.empty())
+        return 0.0;
+    return it->second.queuing.max() + it->second.serving.mean();
+}
+
 InstanceSnapshot
 BottleneckIdentifier::bottleneck(SimTime now, const MultiStageApp &app)
 {

@@ -125,6 +125,16 @@ class BottleneckIdentifier
 
     const BottleneckMetric &metric() const { return *metric_; }
 
+    /**
+     * Realized-delay proxy for @p stage over its aggregate window: the
+     * worst queuing sample plus the mean serving time (seconds) — the
+     * quantity Eq. 2/3 predict for the worst-queued query. 0 when the
+     * stage has no samples. Read-only: never evicts, so calling it
+     * cannot perturb the statistics rank() computes (the audit layer
+     * must stay a pure observer).
+     */
+    double stageRealizedDelaySec(int stage) const;
+
     /** Drop state for instances that no longer exist. */
     void garbageCollect(const MultiStageApp &app);
 

@@ -49,6 +49,7 @@ void
 CommandCenter::setTelemetry(Telemetry *telemetry)
 {
     telemetry_ = telemetry;
+    audit_ = telemetry ? &telemetry->audit() : nullptr;
     trace_.setTelemetry(telemetry);
     engine_.setTelemetry(telemetry);
     realloc_.setTelemetry(telemetry);
@@ -139,6 +140,17 @@ CommandCenter::tick()
 
     identifier_.garbageCollect(*app_);
 
+    if (audit_ && audit_->enabled()) {
+        // Stamp the interval first, then settle last interval's
+        // predictions against the delay each stage actually realized.
+        audit_->beginInterval(sim_->now(), intervals_ + 1);
+        std::vector<double> realized(
+            static_cast<std::size_t>(app_->numStages()), 0.0);
+        for (int s = 0; s < app_->numStages(); ++s)
+            realized[s] = identifier_.stageRealizedDelaySec(s);
+        audit_->scorePending(sim_->now(), realized);
+    }
+
     ControlContext ctx;
     ctx.sim = sim_;
     ctx.app = app_;
@@ -161,6 +173,20 @@ CommandCenter::tick()
         for (const auto id : withdraw_.checkAndWithdraw(ctx.ranked)) {
             trace_.record(sim_->now(), TraceKind::InstanceWithdraw,
                           "instance#" + std::to_string(id));
+            if (audit_ && audit_->enabled()) {
+                int stage = -1;
+                for (const auto &snap : ctx.ranked) {
+                    if (snap.instanceId == id) {
+                        stage = snap.stageIndex;
+                        break;
+                    }
+                }
+                const auto &utils = withdraw_.lastUtilization();
+                const auto it = utils.find(id);
+                audit_->recordWithdraw(
+                    id, stage, it != utils.end() ? it->second : 0.0,
+                    withdraw_.utilizationThreshold());
+            }
         }
     }
 

@@ -29,6 +29,7 @@
 
 namespace pc {
 
+class AuditLog;
 class Counter;
 class Gauge;
 class Histogram;
@@ -131,6 +132,7 @@ class CommandCenter
 
     // Telemetry instruments, cached at wiring time (null = off).
     Telemetry *telemetry_ = nullptr;
+    AuditLog *audit_ = nullptr;
     Counter *intervalsCounter_ = nullptr;
     Counter *reportsCounter_ = nullptr;
     Counter *malformedCounter_ = nullptr;

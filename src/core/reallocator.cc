@@ -42,6 +42,7 @@ PowerReallocator::PowerReallocator(PowerBudget *budget,
 void
 PowerReallocator::setTelemetry(Telemetry *telemetry)
 {
+    audit_ = telemetry ? &telemetry->audit() : nullptr;
     if (!telemetry) {
         calls_ = nullptr;
         donorSteps_ = nullptr;
@@ -86,6 +87,7 @@ PowerReallocator::recycleFromInstance(const InstanceSnapshot &inst,
     if (!budget_->updateLevel(inst.instanceId, target))
         panic("budget rejected a frequency step-down");
     cpufreq_->setLevel(inst.coreId, target);
+    donorStepsTaken_ += static_cast<std::uint64_t>(cur - target);
     if (donorSteps_)
         donorSteps_->add(static_cast<double>(cur - target));
     return recycled;
@@ -100,6 +102,7 @@ PowerReallocator::recycle(Watts need, const SortedSnapshots &sorted,
         return recycled;
     if (calls_)
         calls_->add();
+    const std::uint64_t stepsBefore = donorStepsTaken_;
 
     const SortedSnapshots candidates = order_->order(sorted);
     const int stepsPerRound = order_->maxStepsPerRound();
@@ -126,6 +129,10 @@ PowerReallocator::recycle(Watts need, const SortedSnapshots &sorted,
     }
     if (watts_ && recycled.value() > 0)
         watts_->add(recycled.value());
+    if (audit_ && audit_->enabled()) {
+        audit_->recordRecycle(need.value(), recycled.value(),
+                              donorStepsTaken_ - stepsBefore);
+    }
     return recycled;
 }
 

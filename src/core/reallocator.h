@@ -13,6 +13,7 @@
 #ifndef PC_CORE_REALLOCATOR_H
 #define PC_CORE_REALLOCATOR_H
 
+#include <cstdint>
 #include <memory>
 
 #include "common/units.h"
@@ -22,6 +23,7 @@
 
 namespace pc {
 
+class AuditLog;
 class Counter;
 class Telemetry;
 
@@ -104,10 +106,15 @@ class PowerReallocator
 
     const RecycleOrder &orderPolicy() const { return *order_; }
 
+    /** Cumulative donor DVFS level steps taken over this run. */
+    std::uint64_t donorStepsTaken() const { return donorStepsTaken_; }
+
     /**
      * Count recycle() invocations ("recycle.calls_total"), donor DVFS
      * level steps ("recycle.donor_steps_total") and freed power
-     * ("recycle.watts_total"). nullptr detaches.
+     * ("recycle.watts_total"), and append one audit record per
+     * recycle() when the telemetry's audit log is enabled. nullptr
+     * detaches.
      */
     void setTelemetry(Telemetry *telemetry);
 
@@ -115,11 +122,13 @@ class PowerReallocator
     PowerBudget *budget_;
     CpufreqDriver *cpufreq_;
     std::unique_ptr<RecycleOrder> order_;
+    std::uint64_t donorStepsTaken_ = 0;
 
     // Cached at wiring time so actuation stays branch-cheap.
     Counter *calls_ = nullptr;
     Counter *donorSteps_ = nullptr;
     Counter *watts_ = nullptr;
+    AuditLog *audit_ = nullptr;
 };
 
 } // namespace pc

@@ -48,6 +48,16 @@ DecisionTrace::record(SimTime t, TraceKind kind, std::string subject,
         telemetry_->metrics()
             .counter("decision." + name + "_total")
             .add();
+        if (telemetry_->audit().enabled()) {
+            // The policy actuated a boost the engine selected; close
+            // the loop on the audit record it came from.
+            if (kind == TraceKind::FrequencyBoost)
+                telemetry_->audit().noteActuation(
+                    AuditBoostKind::Frequency);
+            else if (kind == TraceKind::InstanceLaunch)
+                telemetry_->audit().noteActuation(
+                    AuditBoostKind::Instance);
+        }
         if (kind == TraceKind::PowerRecycle)
             telemetry_->metrics()
                 .counter("power.recycled_watts_total")

@@ -64,7 +64,8 @@ class DecisionTrace
      * Forward every record() into the telemetry layer as well: an
      * instant event on the trace sink's control track plus a
      * "decision.<kind>_total" counter (and "power.recycled_watts_total"
-     * for recycle events). nullptr detaches.
+     * for recycle events). Boost actuations additionally mark the
+     * matching audit record as actuated. nullptr detaches.
      */
     void setTelemetry(Telemetry *telemetry);
 

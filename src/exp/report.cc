@@ -57,6 +57,45 @@ printRawResults(std::ostream &out, const std::vector<RunResult> &runs)
 }
 
 void
+printTailAttribution(std::ostream &out,
+                     const std::vector<RunResult> &runs)
+{
+    for (const auto &run : runs) {
+        const TailAttributionReport &report = run.tailAttribution;
+        if (!report.enabled)
+            continue;
+        out << "\nTail attribution — " << run.scenario << " ("
+            << report.queries << " queries)\n";
+        for (const auto &cut : report.cuts) {
+            char head[128];
+            std::snprintf(head, sizeof(head),
+                          "  p%.0f tail: %llu queries >= %.3fs, "
+                          "mean %.3fs%s\n", cut.q * 100.0,
+                          static_cast<unsigned long long>(cut.tailCount),
+                          cut.thresholdSec, cut.meanTailSec,
+                          cut.truncated ? " (truncated)" : "");
+            out << head;
+            TextTable table({"stage", "queuing(s)", "serving(s)",
+                             "share-of-tail"});
+            for (std::size_t s = 0; s < cut.stages.size(); ++s) {
+                const auto &stage = cut.stages[s];
+                const double share = cut.meanTailSec > 0.0
+                    ? (stage.queuingSec + stage.servingSec) /
+                        cut.meanTailSec
+                    : 0.0;
+                table.addRow({
+                    std::to_string(s),
+                    TextTable::num(stage.queuingSec, 3),
+                    TextTable::num(stage.servingSec, 3),
+                    TextTable::num(share * 100.0, 1) + "%",
+                });
+            }
+            table.print(out);
+        }
+    }
+}
+
+void
 printSeries(std::ostream &out, const std::string &rowLabel,
             const TimeSeries &series, SimTime from, SimTime to,
             int buckets, int precision)

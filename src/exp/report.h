@@ -33,6 +33,15 @@ void printRawResults(std::ostream &out,
                      const std::vector<RunResult> &runs);
 
 /**
+ * Print per-run tail-attribution tables: which stage's queuing or
+ * serving time the p95/p99 end-to-end latency decomposes into. Runs
+ * without a collected report (no --attribution) are skipped, so bench
+ * binaries call this unconditionally.
+ */
+void printTailAttribution(std::ostream &out,
+                          const std::vector<RunResult> &runs);
+
+/**
  * Print a time series resampled into @p buckets columns, one row per
  * series — used for Fig. 11/13/14 textual traces.
  */

@@ -148,6 +148,93 @@ seriesFromJson(const JsonValue &doc)
     return series;
 }
 
+JsonValue
+attributionToJson(const TailAttributionReport &report)
+{
+    JsonArray cuts;
+    for (const auto &cut : report.cuts) {
+        JsonObject c;
+        c.emplace("q", cut.q);
+        c.emplace("tail_count", static_cast<double>(cut.tailCount));
+        c.emplace("threshold_s", cut.thresholdSec);
+        c.emplace("mean_tail_s", cut.meanTailSec);
+        c.emplace("truncated", cut.truncated);
+        JsonArray stages;
+        for (const auto &stage : cut.stages) {
+            JsonObject s;
+            s.emplace("queuing_s", stage.queuingSec);
+            s.emplace("serving_s", stage.servingSec);
+            stages.push_back(JsonValue(std::move(s)));
+        }
+        c.emplace("stages", JsonValue(std::move(stages)));
+        cuts.push_back(JsonValue(std::move(c)));
+    }
+    JsonArray quantiles;
+    for (const auto &q : report.spanQuantiles) {
+        JsonObject s;
+        s.emplace("queue_p95_s", q.queueP95Sec);
+        s.emplace("queue_p99_s", q.queueP99Sec);
+        s.emplace("serve_p95_s", q.serveP95Sec);
+        s.emplace("serve_p99_s", q.serveP99Sec);
+        quantiles.push_back(JsonValue(std::move(s)));
+    }
+    JsonObject obj;
+    obj.emplace("queries", static_cast<double>(report.queries));
+    obj.emplace("cuts", JsonValue(std::move(cuts)));
+    obj.emplace("span_quantiles", JsonValue(std::move(quantiles)));
+    return JsonValue(std::move(obj));
+}
+
+std::optional<TailAttributionReport>
+attributionFromJson(const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return std::nullopt;
+    TailAttributionReport report;
+    report.enabled = true;
+    report.queries =
+        static_cast<std::uint64_t>(doc.numberOr("queries", 0));
+    const JsonValue *cuts = doc.find("cuts");
+    const JsonValue *quantiles = doc.find("span_quantiles");
+    if (!cuts || !cuts->isArray() || !quantiles ||
+        !quantiles->isArray())
+        return std::nullopt;
+    for (const auto &entry : cuts->asArray()) {
+        if (!entry.isObject())
+            return std::nullopt;
+        TailCut cut;
+        cut.q = entry.numberOr("q", 0.0);
+        cut.tailCount = static_cast<std::uint64_t>(
+            entry.numberOr("tail_count", 0));
+        cut.thresholdSec = entry.numberOr("threshold_s", 0.0);
+        cut.meanTailSec = entry.numberOr("mean_tail_s", 0.0);
+        cut.truncated = entry.boolOr("truncated", false);
+        const JsonValue *stages = entry.find("stages");
+        if (!stages || !stages->isArray())
+            return std::nullopt;
+        for (const auto &stage : stages->asArray()) {
+            if (!stage.isObject())
+                return std::nullopt;
+            StageSpan span;
+            span.queuingSec = stage.numberOr("queuing_s", 0.0);
+            span.servingSec = stage.numberOr("serving_s", 0.0);
+            cut.stages.push_back(span);
+        }
+        report.cuts.push_back(std::move(cut));
+    }
+    for (const auto &entry : quantiles->asArray()) {
+        if (!entry.isObject())
+            return std::nullopt;
+        StageSpanQuantiles q;
+        q.queueP95Sec = entry.numberOr("queue_p95_s", 0.0);
+        q.queueP99Sec = entry.numberOr("queue_p99_s", 0.0);
+        q.serveP95Sec = entry.numberOr("serve_p95_s", 0.0);
+        q.serveP99Sec = entry.numberOr("serve_p99_s", 0.0);
+        report.spanQuantiles.push_back(q);
+    }
+    return report;
+}
+
 } // namespace
 
 JsonValue
@@ -183,6 +270,12 @@ runResultToJson(const RunResult &result)
     for (const auto &[name, series] : result.instanceFrequencyGHz)
         freqs.emplace(name, seriesToJson(series));
     obj.emplace("instance_frequency_ghz", JsonValue(std::move(freqs)));
+    // Only present when collected, so runs without --attribution keep
+    // dumping the exact bytes the golden-trace test pins.
+    if (result.tailAttribution.enabled) {
+        obj.emplace("tail_attribution",
+                    attributionToJson(result.tailAttribution));
+    }
     return JsonValue(std::move(obj));
 }
 
@@ -245,6 +338,13 @@ runResultFromJson(const JsonValue &doc)
         if (!series)
             return std::nullopt;
         result.instanceFrequencyGHz.emplace(name, std::move(*series));
+    }
+
+    if (const JsonValue *attribution = doc.find("tail_attribution")) {
+        auto report = attributionFromJson(*attribution);
+        if (!report)
+            return std::nullopt;
+        result.tailAttribution = std::move(*report);
     }
     return result;
 }

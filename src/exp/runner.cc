@@ -23,8 +23,10 @@ RunResult::improvement(double baseline, double value)
 }
 
 ExperimentRunner::ExperimentRunner(bool recordTraces,
-                                   SimTime sampleInterval)
-    : recordTraces_(recordTraces), sampleInterval_(sampleInterval)
+                                   SimTime sampleInterval,
+                                   bool attribution)
+    : recordTraces_(recordTraces), sampleInterval_(sampleInterval),
+      attribution_(attribution)
 {
 }
 
@@ -137,6 +139,9 @@ ExperimentRunner::run(const Scenario &sc,
         static_cast<std::size_t>(app.numStages()));
     std::vector<StreamingStats> servingByStage(
         static_cast<std::size_t>(app.numStages()));
+    std::optional<TailAttributionCollector> attribution;
+    if (attribution_)
+        attribution.emplace(app.numStages());
     app.setCompletionSink([&](const QueryPtr &q) {
         if (tel)
             tel->trace().recordQueryHops(*q);
@@ -147,6 +152,10 @@ ExperimentRunner::run(const Scenario &sc,
         latencyStats.add(sec);
         if (e2eHist)
             e2eHist->add(sec);
+        std::vector<StageSpan> spans;
+        if (attribution)
+            spans.assign(static_cast<std::size_t>(app.numStages()),
+                         StageSpan{});
         for (const auto &hop : q->hops()) {
             const auto s = static_cast<std::size_t>(hop.stageIndex);
             queuingByStage[s].add(hop.queuing().toSec());
@@ -155,7 +164,13 @@ ExperimentRunner::run(const Scenario &sc,
                 stageWaitHist[s]->add(hop.queuing().toSec());
                 stageServeHist[s]->add(hop.serving().toSec());
             }
+            if (attribution) {
+                spans[s].queuingSec += hop.queuing().toSec();
+                spans[s].servingSec += hop.serving().toSec();
+            }
         }
+        if (attribution)
+            attribution->addQuery(sec, spans);
         if (recordTraces_)
             result.latencySeries.append(sim.now(), sec);
     });
@@ -233,6 +248,8 @@ ExperimentRunner::run(const Scenario &sc,
     result.avgPowerWatts = power.mean();
     result.energyJoules =
         (chip.totalEnergy() - energyBefore).value();
+    if (attribution)
+        result.tailAttribution = attribution->report();
 
     if (tel) {
         MetricsRegistry &metrics = tel->metrics();

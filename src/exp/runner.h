@@ -17,6 +17,7 @@
 
 #include "common/units.h"
 #include "exp/scenario.h"
+#include "stats/attribution.h"
 #include "stats/timeseries.h"
 
 namespace pc {
@@ -66,6 +67,12 @@ struct RunResult
     std::vector<TimeSeries> stageInstanceCounts;
     std::map<std::string, TimeSeries> instanceFrequencyGHz;
 
+    /**
+     * Per-stage decomposition of the p95/p99 end-to-end latency
+     * (populated when attribution collection is enabled).
+     */
+    TailAttributionReport tailAttribution;
+
     /** Improvement of this run vs a baseline run (paper's "NX"). */
     static double improvement(double baseline, double value);
 };
@@ -76,9 +83,12 @@ class ExperimentRunner
     /**
      * @param recordTraces collect the time-series traces (costs memory).
      * @param sampleInterval sampling period for power/instance traces.
+     * @param attribution collect the tail-attribution report (per-stage
+     *        queue/serve decomposition of p95/p99 latency).
      */
     explicit ExperimentRunner(bool recordTraces = false,
-                              SimTime sampleInterval = SimTime::sec(5));
+                              SimTime sampleInterval = SimTime::sec(5),
+                              bool attribution = false);
 
     /**
      * @param telemetry optional observability config. When any output
@@ -94,6 +104,7 @@ class ExperimentRunner
   private:
     bool recordTraces_;
     SimTime sampleInterval_;
+    bool attribution_;
 };
 
 } // namespace pc

@@ -79,4 +79,17 @@ Scenario::conservation(const WorkloadModel &workload,
     return s;
 }
 
+Scenario
+Scenario::goldenFig11()
+{
+    const WorkloadModel sirius = WorkloadModel::sirius();
+    Scenario sc = mitigation(sirius, LoadLevel::High,
+                             PolicyKind::PowerChief, 1234);
+    sc.load = LoadProfile::fig11(sirius, 1800);
+    sc.name = "golden/fig11/PowerChief";
+    // Short horizon so the golden file stays reviewable.
+    sc.duration = SimTime::sec(150);
+    return sc;
+}
+
 } // namespace pc

@@ -106,6 +106,15 @@ struct Scenario
                                  SimTime adjustInterval,
                                  PolicyKind policy,
                                  std::uint64_t seed = 42);
+
+    /**
+     * The pinned golden-trace scenario: Fig. 11 diurnal load over
+     * sirius, PowerChief, seed 1234, 150 s horizon. Shared by the
+     * byte-stability test (tests/test_golden_trace.cc) and the
+     * tolerance gate (trace-diff --fresh-fig11) so both compare the
+     * exact same run against tests/golden/fig11_trace.json.
+     */
+    static Scenario goldenFig11();
 };
 
 } // namespace pc

@@ -25,7 +25,8 @@ SweepRunner::execute(const Scenario &scenario,
     if (runFn_)
         return runFn_(scenario);
     return ExperimentRunner(options_.recordTraces,
-                            options_.sampleInterval)
+                            options_.sampleInterval,
+                            options_.attribution)
         .run(scenario, telemetry);
 }
 
@@ -49,11 +50,13 @@ SweepRunner::cacheKeyFor(const std::string &canonical) const
 {
     // Runner settings change what a RunResult contains, so they are
     // part of the identity of a sweep point.
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "|runner:traces=%d,sample=%lld",
+    char buf[80];
+    std::snprintf(buf, sizeof(buf),
+                  "|runner:traces=%d,sample=%lld,attr=%d",
                   options_.recordTraces ? 1 : 0,
                   static_cast<long long>(
-                      options_.sampleInterval.toUsec()));
+                      options_.sampleInterval.toUsec()),
+                  options_.attribution ? 1 : 0);
     return canonical + buf;
 }
 
@@ -225,6 +228,7 @@ sweepOptionsFromFlags(const FlagSet &flags)
     options.useCache = !flags.getBool("no-cache");
     options.cacheDir = flags.getString("cache-dir");
     options.audit = flags.getBool("audit");
+    options.attribution = flags.getBool("attribution");
     options.telemetry = telemetryConfigFromFlags(flags);
     return options;
 }

@@ -54,6 +54,9 @@ struct SweepOptions
     bool recordTraces = false;
     SimTime sampleInterval = SimTime::sec(5);
 
+    /** Collect per-run tail-attribution reports (--attribution). */
+    bool attribution = false;
+
     /**
      * Observability outputs (--trace-out/--metrics-out). In multi-
      * scenario sweeps the paths are resolved per scenario so parallel

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Decision-audit log: every control-plane decision, explained and scored.
+ *
+ * The telemetry layer records *what happened*; the audit log records
+ * *why*. Each boosting selection (Algorithm 1), power recycle
+ * (Algorithm 2) and instance withdraw (§6.2) appends one structured
+ * record carrying the full decision inputs — per-candidate L, q̄, s̄ and
+ * LatencyMetric, the Eq. 2 / Eq. 3 delay estimates, the speedup ratio
+ * α_lh, power headroom before and after, donor DVFS steps taken — and
+ * boosting predictions are later *scored* against the realized stage
+ * delay, so a run reports the prediction error (MAPE) of the models the
+ * policy acted on, plus how often consecutive decisions flipped kind.
+ *
+ * Like the trace sink, the log is a pure observer: nothing in the
+ * control plane reads it, a disabled log costs one branch per decision,
+ * and the JSON dump is a function of the scenario alone — byte-identical
+ * at any sweep --jobs value.
+ *
+ * This layer deliberately knows nothing about core/ types; callers copy
+ * the fields they want audited into the Audit* mirror structs below.
+ */
+
+#ifndef PC_OBS_AUDIT_H
+#define PC_OBS_AUDIT_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/json.h"
+#include "common/time.h"
+
+namespace pc {
+
+/** Mirror of core's BoostKind (obs cannot depend on core headers). */
+enum class AuditBoostKind { None, Frequency, Instance };
+
+const char *toString(AuditBoostKind kind);
+
+/** What class of control-plane decision a record describes. */
+enum class AuditDecisionKind { Select, Recycle, Withdraw };
+
+const char *toString(AuditDecisionKind kind);
+
+/** One ranked instance as the decision engine saw it (Eq. 1 inputs). */
+struct AuditCandidate
+{
+    /**
+     * Stable per-run instance identity. The simulator's raw instance
+     * ids come from a process-global counter, so AuditLog remaps them
+     * to dense ids in first-reference order — a deterministic function
+     * of the scenario — keeping dumps byte-identical at any --jobs.
+     * The same instance keeps the same local id across records.
+     */
+    std::int64_t instanceId = -1;
+    int stageIndex = -1;
+    int level = 0;
+    /** Realtime queue length Lᵢ. */
+    std::uint64_t queueLength = 0;
+    /** Windowed q̄ᵢ / s̄ᵢ (seconds). */
+    double avgQueuingSec = 0.0;
+    double avgServingSec = 0.0;
+    /** The bottleneck metric the ranking sorted by. */
+    double metric = 0.0;
+};
+
+struct AuditRecord
+{
+    /** Monotone sequence number; also the records[] index. */
+    std::uint64_t seq = 0;
+    /** Simulation time the decision was taken. */
+    SimTime t;
+    /** Control interval (1-based) the decision belongs to. */
+    std::uint64_t interval = 0;
+    AuditDecisionKind kind = AuditDecisionKind::Select;
+
+    // --- Select (Algorithm 1) ---
+    AuditBoostKind chosen = AuditBoostKind::None;
+    std::int64_t targetInstance = -1;
+    int stageIndex = -1;
+    int fromLevel = 0;
+    int toLevel = 0;
+    /** Eq. 2: expected delay under instance boosting (seconds). */
+    double tInstSec = 0.0;
+    /** Eq. 3: expected delay under frequency boosting (seconds). */
+    double tFreqSec = 0.0;
+    /** α_lh = r(to)/r(from), the speedup ratio Eq. 3 scaled by. */
+    double alphaLh = 0.0;
+    double headroomBeforeWatts = 0.0;
+    double headroomAfterWatts = 0.0;
+    /** Whether the caller actuated the chosen boost (policies may not). */
+    bool actuated = false;
+    /** Chosen kind differs from this stage's previous non-None choice. */
+    bool flip = false;
+    /** The full ranking the selection ran against (ascending metric). */
+    std::vector<AuditCandidate> candidates;
+
+    // --- Recycle (Algorithm 2); recycledWatts also set on Select ---
+    double neededWatts = 0.0;
+    double recycledWatts = 0.0;
+    std::uint64_t donorSteps = 0;
+
+    // --- Withdraw (§6.2) ---
+    double utilization = 0.0;
+    double utilizationThreshold = 0.0;
+
+    // --- Prediction scoring (Select records only) ---
+    bool scored = false;
+    SimTime scoredAt;
+    /** The estimate the chosen kind promised (T_inst or T_freq). */
+    double predictedSec = 0.0;
+    /** Realized stage delay at the next control interval. */
+    double realizedSec = 0.0;
+    /** |predicted − realized| / realized × 100. */
+    double absPctErr = 0.0;
+};
+
+/**
+ * Append-only log of audit records for one run. Disabled (the default
+ * unless --audit-out asks for a file) every mutator is a cheap no-op.
+ */
+class AuditLog
+{
+  public:
+    explicit AuditLog(bool enabled) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Mark the start of control interval @p interval (1-based) at
+     * @p now; records appended before the next call carry these
+     * coordinates. Call before the interval's decisions are made.
+     */
+    void beginInterval(SimTime now, std::uint64_t interval);
+
+    /**
+     * Append a Select record. seq/t/interval are filled in; flip is
+     * computed against the stage's previous non-None choice.
+     */
+    void recordSelect(AuditRecord rec);
+
+    /** Append a Recycle record (one per Algorithm 2 invocation). */
+    void recordRecycle(double neededWatts, double recycledWatts,
+                       std::uint64_t donorSteps);
+
+    /** Append a Withdraw record (one per withdrawn instance). */
+    void recordWithdraw(std::int64_t instanceId, int stageIndex,
+                        double utilization, double threshold);
+
+    /**
+     * Mark the most recent unactuated Select record of @p kind as
+     * actuated. Fed from the decision trace, whose events fire when the
+     * policy applies a boost.
+     */
+    void noteActuation(AuditBoostKind kind);
+
+    /**
+     * Score every pending Select prediction older than @p now against
+     * @p stageRealizedSec (realized delay per stage, seconds). Records
+     * whose stage shows no realized delay yet stay pending and are
+     * retried at the next interval.
+     */
+    void scorePending(SimTime now,
+                      const std::vector<double> &stageRealizedSec);
+
+    const std::deque<AuditRecord> &records() const { return records_; }
+
+    /**
+     * Mean absolute percentage error of scored predictions, filtered by
+     * chosen @p kind (AuditBoostKind::None = all kinds). 0 when nothing
+     * has been scored.
+     */
+    double mapePct(AuditBoostKind kind = AuditBoostKind::None) const;
+
+    /** Non-None Select records whose kind differed from the previous. */
+    std::uint64_t flips() const;
+
+    /** The whole log — records plus a summary — as one JSON value. */
+    JsonValue toJson() const;
+
+    /** Write toJson() with a trailing newline. */
+    void writeJson(std::ostream &out) const;
+
+  private:
+    bool enabled_;
+    SimTime now_;
+    std::uint64_t interval_ = 0;
+    /** Raw → dense per-run instance id (see AuditCandidate). */
+    std::int64_t localId(std::int64_t instanceId);
+
+    std::deque<AuditRecord> records_;
+    /** Last non-None choice per stage, for flip detection. */
+    std::map<int, AuditBoostKind> lastChoice_;
+    std::map<std::int64_t, std::int64_t> localIds_;
+};
+
+} // namespace pc
+
+#endif // PC_OBS_AUDIT_H

@@ -1,5 +1,6 @@
 #include "obs/telemetry.h"
 
+#include <cstdio>
 #include <fstream>
 
 #include "common/flags.h"
@@ -54,11 +55,13 @@ TelemetryConfig::resolved(const std::string &scenario, bool multiRun) const
     TelemetryConfig out = *this;
     out.traceOut = resolveForScenario(traceOut, scenario, multiRun);
     out.metricsOut = resolveForScenario(metricsOut, scenario, multiRun);
+    out.auditOut = resolveForScenario(auditOut, scenario, multiRun);
     return out;
 }
 
 Telemetry::Telemetry(TelemetryConfig config)
-    : config_(std::move(config)), trace_(config_.tracingEnabled())
+    : config_(std::move(config)), trace_(config_.tracingEnabled()),
+      audit_(config_.auditEnabled())
 {
 }
 
@@ -84,6 +87,14 @@ Telemetry::writeOutputs(const std::string &scenarioName) const
         else
             metrics_.writeJson(out, scenarioName);
     }
+    if (config_.auditEnabled()) {
+        std::ofstream out(config_.auditOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            fatal("cannot write audit file '%s'",
+                  config_.auditOut.c_str());
+        audit_.writeJson(out);
+    }
 }
 
 void
@@ -99,7 +110,41 @@ addTelemetryFlags(FlagSet *flags)
                      "--trace-out");
     flags->addDouble("metrics-interval", 5.0,
                      "seconds between metric time-series snapshots");
+    flags->addString("audit-out", "",
+                     "write a decision-audit JSON file per run (every "
+                     "boost/recycle/withdraw decision with its inputs "
+                     "and prediction score); scenario-name insertion as "
+                     "for --trace-out");
+    flags->addBool("attribution", false,
+                   "collect and print the tail-attribution report "
+                   "(per-stage queue/serve contributions to p95/p99 "
+                   "end-to-end latency)");
 }
+
+namespace {
+
+/**
+ * fatal() unless @p path can be opened for writing, so a typo'd
+ * directory fails at startup rather than silently dropping the dump
+ * after a long run. The probe appends (never truncates) and removes
+ * the file again if it did not exist before.
+ */
+void
+requireWritable(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return;
+    const bool existed = std::ifstream(path).good();
+    std::ofstream probe(path, std::ios::binary | std::ios::app);
+    if (!probe.good())
+        fatal("--%s: cannot write '%s' (missing directory or no "
+              "permission)", flag, path.c_str());
+    probe.close();
+    if (!existed)
+        std::remove(path.c_str());
+}
+
+} // namespace
 
 TelemetryConfig
 telemetryConfigFromFlags(const FlagSet &flags)
@@ -107,10 +152,14 @@ telemetryConfigFromFlags(const FlagSet &flags)
     TelemetryConfig config;
     config.traceOut = flags.getString("trace-out");
     config.metricsOut = flags.getString("metrics-out");
+    config.auditOut = flags.getString("audit-out");
     const double interval = flags.getDouble("metrics-interval");
     if (interval <= 0.0)
         fatal("--metrics-interval must be positive (got %f)", interval);
     config.metricsInterval = SimTime::sec(interval);
+    requireWritable(config.traceOut, "trace-out");
+    requireWritable(config.metricsOut, "metrics-out");
+    requireWritable(config.auditOut, "audit-out");
     return config;
 }
 

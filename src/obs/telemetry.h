@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/time.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 
@@ -33,12 +34,19 @@ struct TelemetryConfig
     /** Metrics JSON dump path (.csv extension switches to CSV). */
     std::string metricsOut;
 
+    /** Decision-audit JSON dump path (src/obs/audit.h). */
+    std::string auditOut;
+
     /** Period of the gauge/counter TimeSeries snapshots. */
     SimTime metricsInterval = SimTime::sec(5);
 
     bool tracingEnabled() const { return !traceOut.empty(); }
     bool metricsEnabled() const { return !metricsOut.empty(); }
-    bool anyEnabled() const { return tracingEnabled() || metricsEnabled(); }
+    bool auditEnabled() const { return !auditOut.empty(); }
+    bool anyEnabled() const
+    {
+        return tracingEnabled() || metricsEnabled() || auditEnabled();
+    }
 
     /**
      * Per-scenario output path: "fig11.json" for scenario
@@ -64,6 +72,8 @@ class Telemetry
     const TraceSink &trace() const { return trace_; }
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
+    AuditLog &audit() { return audit_; }
+    const AuditLog &audit() const { return audit_; }
 
     bool tracing() const { return config_.tracingEnabled(); }
     const TelemetryConfig &config() const { return config_; }
@@ -78,12 +88,20 @@ class Telemetry
     TelemetryConfig config_;
     TraceSink trace_;
     MetricsRegistry metrics_;
+    AuditLog audit_;
 };
 
-/** Register --trace-out, --metrics-out and --metrics-interval. */
+/**
+ * Register --trace-out, --metrics-out, --metrics-interval, --audit-out
+ * and --attribution (the latter is read by the sweep layer).
+ */
 void addTelemetryFlags(FlagSet *flags);
 
-/** Build a TelemetryConfig from the standard telemetry flags. */
+/**
+ * Build a TelemetryConfig from the standard telemetry flags. fatal()s
+ * on invalid inputs: a non-positive --metrics-interval or an output
+ * path that cannot be opened for writing.
+ */
 TelemetryConfig telemetryConfigFromFlags(const FlagSet &flags);
 
 } // namespace pc

@@ -1,0 +1,116 @@
+#include "stats/attribution.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pc {
+
+TailAttributionCollector::TailAttributionCollector(int numStages,
+                                                  std::size_t capacity)
+    : numStages_(numStages), capacity_(capacity)
+{
+    if (numStages_ <= 0)
+        fatal("attribution collector needs at least one stage");
+    if (capacity_ == 0)
+        fatal("attribution collector needs a positive capacity");
+    for (int s = 0; s < numStages_; ++s) {
+        queueP95_.emplace_back(0.95);
+        queueP99_.emplace_back(0.99);
+        serveP95_.emplace_back(0.95);
+        serveP99_.emplace_back(0.99);
+    }
+}
+
+void
+TailAttributionCollector::addQuery(double e2eSec,
+                                   const std::vector<StageSpan> &spans)
+{
+    if (spans.size() != static_cast<std::size_t>(numStages_))
+        fatal("attribution: %zu stage spans for a %d-stage app",
+              spans.size(), numStages_);
+    for (int s = 0; s < numStages_; ++s) {
+        queueP95_[s].add(spans[s].queuingSec);
+        queueP99_[s].add(spans[s].queuingSec);
+        serveP95_[s].add(spans[s].servingSec);
+        serveP99_[s].add(spans[s].servingSec);
+    }
+
+    Retained entry{e2eSec, count_, spans};
+    ++count_;
+    if (worst_.size() < capacity_) {
+        worst_.insert(std::move(entry));
+        return;
+    }
+    // Buffer full: keep only if worse than the mildest retained query.
+    if (worst_.begin()->e2eSec < e2eSec ||
+        (worst_.begin()->e2eSec == e2eSec &&
+         worst_.begin()->seq < entry.seq)) {
+        worst_.erase(worst_.begin());
+        worst_.insert(std::move(entry));
+    }
+}
+
+TailAttributionReport
+TailAttributionCollector::report() const
+{
+    TailAttributionReport out;
+    out.enabled = true;
+    out.queries = count_;
+
+    for (int s = 0; s < numStages_; ++s) {
+        StageSpanQuantiles q;
+        q.queueP95Sec = queueP95_[s].value();
+        q.queueP99Sec = queueP99_[s].value();
+        q.serveP95Sec = serveP95_[s].value();
+        q.serveP99Sec = serveP99_[s].value();
+        out.spanQuantiles.push_back(q);
+    }
+
+    if (count_ == 0)
+        return out;
+
+    for (const double q : {0.95, 0.99}) {
+        TailCut cut;
+        cut.q = q;
+        // (1-q)*N is inexact in binary ((1-0.95)*100 = 5.000...04);
+        // shave an epsilon so ceil lands on the intended integer.
+        auto want = static_cast<std::uint64_t>(std::ceil(
+            (1.0 - q) * static_cast<double>(count_) - 1e-9));
+        if (want == 0)
+            want = 1;
+        cut.truncated = want > worst_.size();
+        cut.tailCount = cut.truncated
+            ? static_cast<std::uint64_t>(worst_.size())
+            : want;
+
+        cut.stages.assign(static_cast<std::size_t>(numStages_),
+                          StageSpan{});
+        double sum = 0.0;
+        double threshold = 0.0;
+        std::uint64_t taken = 0;
+        for (auto it = worst_.rbegin();
+             it != worst_.rend() && taken < cut.tailCount;
+             ++it, ++taken) {
+            sum += it->e2eSec;
+            threshold = it->e2eSec;
+            for (int s = 0; s < numStages_; ++s) {
+                cut.stages[s].queuingSec += it->spans[s].queuingSec;
+                cut.stages[s].servingSec += it->spans[s].servingSec;
+            }
+        }
+        if (cut.tailCount > 0) {
+            const auto n = static_cast<double>(cut.tailCount);
+            cut.meanTailSec = sum / n;
+            cut.thresholdSec = threshold;
+            for (auto &stage : cut.stages) {
+                stage.queuingSec /= n;
+                stage.servingSec /= n;
+            }
+        }
+        out.cuts.push_back(std::move(cut));
+    }
+    return out;
+}
+
+} // namespace pc

@@ -31,25 +31,14 @@ goldenPath()
     return std::string(PC_SOURCE_DIR) + "/golden/fig11_trace.json";
 }
 
-/** The pinned scenario: Fig. 11 load, PowerChief, fixed seed, short
- * horizon so the golden file stays reviewable. */
-Scenario
-goldenScenario()
-{
-    const WorkloadModel sirius = WorkloadModel::sirius();
-    Scenario sc = Scenario::mitigation(sirius, LoadLevel::High,
-                                       PolicyKind::PowerChief, 1234);
-    sc.load = LoadProfile::fig11(sirius, 1800);
-    sc.name = "golden/fig11/PowerChief";
-    sc.duration = SimTime::sec(150);
-    return sc;
-}
-
 TEST(GoldenTrace, Fig11ReplaysByteStable)
 {
+    // The pinned scenario lives in Scenario::goldenFig11() so the
+    // trace-diff tolerance gate replays the identical run.
     const ExperimentRunner runner(/*recordTraces=*/true);
     const std::string fresh =
-        runResultToJson(runner.run(goldenScenario())).dump() + "\n";
+        runResultToJson(runner.run(Scenario::goldenFig11())).dump() +
+        "\n";
 
     if (std::getenv("PC_UPDATE_GOLDEN") != nullptr) {
         std::ofstream out(goldenPath(), std::ios::binary);

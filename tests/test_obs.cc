@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/flags.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "exp/result_cache.h"
@@ -355,6 +356,7 @@ TEST(TelemetryEndToEnd, SweepFilesByteIdenticalAtAnyJobs)
         options.useCache = false;
         options.telemetry.traceOut = dir + tag + "_t.json";
         options.telemetry.metricsOut = dir + tag + "_m.json";
+        options.telemetry.auditOut = dir + tag + "_a.json";
         SweepRunner sweep(options);
         sweep.runAll(scenarios);
         return tag;
@@ -362,7 +364,7 @@ TEST(TelemetryEndToEnd, SweepFilesByteIdenticalAtAnyJobs)
     runWith(1, "obs_serial");
     runWith(4, "obs_parallel");
 
-    for (const char *kind : {"_t", "_m"}) {
+    for (const char *kind : {"_t", "_m", "_a"}) {
         for (const char *sc : {"obs-sweep-a", "obs-sweep-b"}) {
             const std::string serial = dir + "obs_serial" +
                 std::string(kind) + "." + sc + ".json";
@@ -372,6 +374,43 @@ TEST(TelemetryEndToEnd, SweepFilesByteIdenticalAtAnyJobs)
                 << serial << " vs " << parallel;
         }
     }
+}
+
+TEST(TelemetryFlagsDeath, UnwritableOutputPathsAreRejectedAtParse)
+{
+    const auto configFor = [](const char *arg) {
+        FlagSet flags("t");
+        addTelemetryFlags(&flags);
+        const char *argv[] = {"t", arg};
+        if (!flags.parse(2, argv))
+            fatal("unexpected parse failure");
+        (void)telemetryConfigFromFlags(flags);
+    };
+    // A missing directory must fail fast at flag validation, not after
+    // a long run when the file is finally opened.
+    EXPECT_DEATH(configFor("--trace-out=/nonexistent-pc-dir/t.json"),
+                 "--trace-out: cannot write");
+    EXPECT_DEATH(configFor("--metrics-out=/nonexistent-pc-dir/m.json"),
+                 "--metrics-out: cannot write");
+    EXPECT_DEATH(configFor("--audit-out=/nonexistent-pc-dir/a.json"),
+                 "--audit-out: cannot write");
+}
+
+TEST(TelemetryFlags, WritablePathsAndAttributionParse)
+{
+    const std::string dir = testing::TempDir();
+    const std::string arg = "--audit-out=" + dir + "flags_a.json";
+    FlagSet flags("t");
+    addTelemetryFlags(&flags);
+    const char *argv[] = {"t", arg.c_str(), "--attribution"};
+    ASSERT_TRUE(flags.parse(3, argv));
+    const TelemetryConfig cfg = telemetryConfigFromFlags(flags);
+    EXPECT_TRUE(cfg.auditEnabled());
+    EXPECT_TRUE(cfg.anyEnabled());
+    EXPECT_TRUE(flags.getBool("attribution"));
+    // The writability probe must not leave a file behind.
+    std::ifstream probe(dir + "flags_a.json");
+    EXPECT_FALSE(probe.good());
 }
 
 TEST(TelemetryEndToEnd, SweepWithTelemetryBypassesCache)

@@ -145,6 +145,32 @@ TEST(ExactPercentile, AddAfterQueryStaysCorrect)
     EXPECT_DOUBLE_EQ(p.median(), 3.0);
 }
 
+TEST(ExactPercentile, DuplicatesDominateTheirRankRange)
+{
+    ExactPercentile p;
+    for (double x : {2.0, 5.0, 5.0, 5.0, 5.0, 5.0, 8.0})
+        p.add(x);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(p.median(), 5.0);
+    // Any rank inside the tied run answers the tied value exactly.
+    EXPECT_DOUBLE_EQ(p.quantile(0.3), 5.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.7), 5.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 8.0);
+}
+
+TEST(ExactPercentile, ExtremeQuantilesInterpolate)
+{
+    ExactPercentile p;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        p.add(x);
+    // p0/p100 hit the extremes; near-extremes interpolate linearly
+    // between the two closest order statistics.
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 40.0);
+    EXPECT_NEAR(p.quantile(0.01), 10.3, 1e-12);
+    EXPECT_NEAR(p.quantile(0.99), 39.7, 1e-12);
+}
+
 TEST(ExactPercentile, Clear)
 {
     ExactPercentile p;
@@ -176,6 +202,15 @@ TEST(P2Quantile, EmptyIsZero)
 {
     P2Quantile q(0.99);
     EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(P2Quantile, ConstantStreamStaysConstant)
+{
+    P2Quantile q(0.95);
+    for (int i = 0; i < 1000; ++i)
+        q.add(4.25);
+    EXPECT_EQ(q.count(), 1000u);
+    EXPECT_DOUBLE_EQ(q.value(), 4.25);
 }
 
 TEST(P2Quantile, TracksUniformMedian)

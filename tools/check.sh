@@ -7,9 +7,12 @@
 #   build-asan  — AddressSanitizer + UndefinedBehaviorSanitizer
 #
 # A trace-validation step follows: a small scenario is run with
-# --trace-out/--metrics-out under the asan build and the produced
-# files are checked structurally with trace-validate (valid JSON,
-# monotone spans, resolvable flow ids, decision events present).
+# --trace-out/--metrics-out/--audit-out under the asan build and the
+# produced files are checked structurally with trace-validate (valid
+# JSON, monotone spans, resolvable flow ids, decision events present,
+# audit records consistent with their summary). Finally trace-diff
+# replays the pinned golden Fig. 11 scenario and gates its latency and
+# prediction numbers against tests/golden/fig11_trace.json.
 #
 # Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
 set -euo pipefail
@@ -36,10 +39,17 @@ trap 'rm -rf "${tracedir}"' EXIT
     --workload=sirius --policy=powerchief --load=high \
     --duration=300 --seed=3 --no-cache \
     --trace-out="${tracedir}/run.json" \
-    --metrics-out="${tracedir}/run.metrics.json" >/dev/null
+    --metrics-out="${tracedir}/run.metrics.json" \
+    --audit-out="${tracedir}/run.audit.json" >/dev/null
 ./build-asan/tools/trace-validate \
     --trace="${tracedir}/run.json" \
     --metrics="${tracedir}/run.metrics.json" \
-    --require-spans --require-decisions
+    --audit="${tracedir}/run.audit.json" \
+    --require-spans --require-decisions --require-audit-records
 
-echo "All sanitizer variants and the trace validation passed."
+echo "=== golden trace diff ==="
+./build-asan/tools/trace-diff \
+    --baseline=tests/golden/fig11_trace.json --fresh-fig11
+
+echo "All sanitizer variants, trace validation and the golden trace"
+echo "diff passed."

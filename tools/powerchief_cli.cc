@@ -17,8 +17,12 @@
  * Observability (see docs/OBSERVABILITY.md): --trace-out=FILE exports a
  * Chrome/Perfetto trace of every query hop and control decision;
  * --metrics-out=FILE dumps the run's metrics registry as JSON (or CSV
- * by extension), snapshotted every --metrics-interval seconds. In seed
- * sweeps each run writes its own "<file>.<scenario>.<ext>".
+ * by extension), snapshotted every --metrics-interval seconds;
+ * --audit-out=FILE dumps the decision-audit log (every boost/recycle/
+ * withdraw decision with its model inputs and prediction score);
+ * --attribution prints the per-stage queue/serve decomposition of the
+ * p95/p99 tail. In seed sweeps each run writes its own
+ * "<file>.<scenario>.<ext>".
  */
 
 #include <cstdio>
@@ -134,6 +138,7 @@ runScenarios(const FlagSet &flags, const Scenario &base,
     const std::vector<RunResult> results = sweep.runAll(scenarios);
 
     printRawResults(std::cout, results);
+    printTailAttribution(std::cout, results);
     if (!flags.getString("artifacts").empty()) {
         ArtifactWriter writer(flags.getString("artifacts"));
         for (const RunResult &result : results)

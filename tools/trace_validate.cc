@@ -3,6 +3,7 @@
  * trace-validate — structural checker for the telemetry outputs.
  *
  *   trace-validate --trace=run.json [--metrics=run.metrics.json]
+ *                  [--audit=run.audit.json]
  *                  [--require-spans] [--require-decisions]
  *
  * Validates that a --trace-out file is well-formed Chrome trace-event
@@ -10,7 +11,11 @@
  * phase requires, span durations are non-negative, timestamps are
  * monotone (the exporter sorts), and every flow step/finish resolves
  * to a previously started flow that is closed exactly once. A
- * --metrics-out file is checked for the registry's JSON shape.
+ * --metrics-out file is checked for the registry's JSON shape. An
+ * --audit-out file is checked for the decision-audit schema: a
+ * "records" array with contiguous sequence numbers, monotone
+ * timestamps and per-kind required fields, plus a "summary" object
+ * whose decision counts match the records.
  *
  * Exits 0 and prints a one-line summary on success; exits 1 with a
  * diagnostic on the first structural violation. Wired into tools/
@@ -185,6 +190,111 @@ validateTrace(const std::string &path)
     return summary;
 }
 
+struct AuditSummary
+{
+    std::size_t records = 0;
+    std::size_t selects = 0;
+    std::size_t recycles = 0;
+    std::size_t withdraws = 0;
+    std::size_t scored = 0;
+};
+
+AuditSummary
+validateAudit(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (!root.isObject())
+        bad("'" + path + "' root is not an object");
+    const JsonValue *records = root.find("records");
+    if (!records || !records->isArray())
+        bad("'" + path + "' lacks a \"records\" array");
+    const JsonValue *summary = root.find("summary");
+    if (!summary || !summary->isObject())
+        bad("'" + path + "' lacks a \"summary\" object");
+
+    AuditSummary counts;
+    double lastT = 0.0;
+    const JsonArray &list = records->asArray();
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        const JsonValue &rec = list[i];
+        if (!rec.isObject())
+            bad("audit record " + std::to_string(i) +
+                " is not an object");
+        if (requireNumber(rec, "seq", i) != static_cast<double>(i))
+            bad("audit record " + std::to_string(i) +
+                " has a non-contiguous \"seq\"");
+        const double t = requireNumber(rec, "t_s", i);
+        if (i > 0 && t < lastT)
+            bad("audit record " + std::to_string(i) +
+                " breaks timestamp monotonicity");
+        lastT = t;
+        requireNumber(rec, "interval", i);
+
+        const JsonValue &kind = requireField(rec, "kind", i);
+        if (!kind.isString())
+            bad("audit record " + std::to_string(i) +
+                " \"kind\" not a string");
+        ++counts.records;
+        if (kind.asString() == "select") {
+            ++counts.selects;
+            const JsonValue &cands = requireField(rec, "candidates", i);
+            if (!cands.isArray())
+                bad("audit record " + std::to_string(i) +
+                    " \"candidates\" not an array");
+            const JsonValue &chosen = requireField(rec, "chosen", i);
+            if (!chosen.isString())
+                bad("audit record " + std::to_string(i) +
+                    " \"chosen\" not a string");
+            // The Eq. 2/3 model inputs every select must explain.
+            requireNumber(rec, "t_inst_s", i);
+            requireNumber(rec, "t_freq_s", i);
+            requireNumber(rec, "alpha_lh", i);
+            requireNumber(rec, "headroom_before_w", i);
+            requireNumber(rec, "headroom_after_w", i);
+            if (rec.find("score") != nullptr) {
+                const JsonValue &score = *rec.find("score");
+                if (!score.isObject())
+                    bad("audit record " + std::to_string(i) +
+                        " \"score\" not an object");
+                requireNumber(score, "predicted_s", i);
+                requireNumber(score, "realized_s", i);
+                requireNumber(score, "abs_pct_err", i);
+                ++counts.scored;
+            }
+        } else if (kind.asString() == "recycle") {
+            ++counts.recycles;
+            requireNumber(rec, "needed_w", i);
+            requireNumber(rec, "recycled_w", i);
+            requireNumber(rec, "recycle_steps", i);
+        } else if (kind.asString() == "withdraw") {
+            ++counts.withdraws;
+            requireNumber(rec, "target", i);
+            requireNumber(rec, "utilization", i);
+            requireNumber(rec, "utilization_threshold", i);
+        } else {
+            bad("audit record " + std::to_string(i) +
+                " has unknown kind '" + kind.asString() + "'");
+        }
+    }
+
+    const JsonValue *decisions = summary->find("decisions");
+    if (!decisions || !decisions->isObject())
+        bad("'" + path + "' summary lacks a \"decisions\" object");
+    const auto check = [&](const char *key, std::size_t want) {
+        if (decisions->numberOr(key, -1.0) !=
+            static_cast<double>(want))
+            bad("'" + path + "' summary \"" + std::string(key) +
+                "\" count disagrees with the records array");
+    };
+    check("select", counts.selects);
+    check("recycle", counts.recycles);
+    check("withdraw", counts.withdraws);
+    const JsonValue *prediction = summary->find("prediction");
+    if (!prediction || !prediction->isObject())
+        bad("'" + path + "' summary lacks a \"prediction\" object");
+    return counts;
+}
+
 void
 validateMetrics(const std::string &path)
 {
@@ -207,6 +317,10 @@ main(int argc, char **argv)
     FlagSet flags("trace-validate");
     flags.addString("trace", "", "Chrome trace-event JSON to validate");
     flags.addString("metrics", "", "metrics registry JSON to validate");
+    flags.addString("audit", "", "decision-audit JSON to validate");
+    flags.addBool("require-audit-records", false,
+                  "fail unless the audit log holds at least one "
+                  "decision record");
     flags.addBool("require-spans", false,
                   "fail unless at least one serve span is present");
     flags.addBool("require-decisions", false,
@@ -221,8 +335,10 @@ main(int argc, char **argv)
 
     const std::string tracePath = flags.getString("trace");
     const std::string metricsPath = flags.getString("metrics");
-    if (tracePath.empty() && metricsPath.empty())
-        bad("nothing to do: pass --trace= and/or --metrics=");
+    const std::string auditPath = flags.getString("audit");
+    if (tracePath.empty() && metricsPath.empty() && auditPath.empty())
+        bad("nothing to do: pass --trace=, --metrics= and/or "
+            "--audit=");
 
     TraceSummary summary;
     if (!tracePath.empty()) {
@@ -242,6 +358,16 @@ main(int argc, char **argv)
     if (!metricsPath.empty()) {
         validateMetrics(metricsPath);
         std::printf("%s: ok\n", metricsPath.c_str());
+    }
+    if (!auditPath.empty()) {
+        const AuditSummary audit = validateAudit(auditPath);
+        if (flags.getBool("require-audit-records") &&
+            audit.records == 0)
+            bad("'" + auditPath + "' contains no decision records");
+        std::printf("%s: ok (%zu records: %zu select [%zu scored], "
+                    "%zu recycle, %zu withdraw)\n",
+                    auditPath.c_str(), audit.records, audit.selects,
+                    audit.scored, audit.recycles, audit.withdraws);
     }
     return 0;
 }
