@@ -35,6 +35,71 @@ BM_SimulatorScheduleDispatch(benchmark::State &state)
 BENCHMARK(BM_SimulatorScheduleDispatch);
 
 void
+BM_SimulatorScheduleCancel(benchmark::State &state)
+{
+    // Pure schedule+cancel churn: the DVFS-rescale pattern where an
+    // in-flight completion is cancelled before it ever fires.
+    Simulator sim;
+    std::vector<EventId> ids(1000);
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            ids[i] = sim.scheduleAfter(SimTime::usec(i + 1), []() {});
+        for (int i = 0; i < 1000; ++i)
+            sim.cancel(ids[i]);
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
+
+void
+BM_SimulatorCancelHeavyDispatch(benchmark::State &state)
+{
+    // Mixed workload: every other event is cancelled and rescheduled
+    // once before the queue drains, like a run with frequent frequency
+    // rescales. Stresses tombstone handling / queue bloat.
+    Simulator sim;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        std::vector<EventId> ids;
+        ids.reserve(1000);
+        for (int i = 0; i < 1000; ++i)
+            ids.push_back(
+                sim.scheduleAfter(SimTime::usec(i + 1),
+                                  [&sink]() { ++sink; }));
+        for (int i = 0; i < 1000; i += 2) {
+            sim.cancel(ids[i]);
+            sim.scheduleAfter(SimTime::usec(2000 + i),
+                              [&sink]() { ++sink; });
+        }
+        sim.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_SimulatorCancelHeavyDispatch);
+
+void
+BM_SimulatorPeriodicTick(benchmark::State &state)
+{
+    // Cost of one periodic tick: table lookup(s) + reschedule. The
+    // command center and power-limit enforcement loops both run on this
+    // path every adjust interval.
+    Simulator sim;
+    std::uint64_t ticks = 0;
+    sim.schedulePeriodic(SimTime::usec(1), SimTime::usec(1),
+                         [&ticks]() { ++ticks; });
+    std::int64_t horizon = 0;
+    for (auto _ : state) {
+        horizon += 1000;
+        sim.runUntil(SimTime::usec(horizon));
+    }
+    benchmark::DoNotOptimize(ticks);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorPeriodicTick);
+
+void
 BM_P2QuantileAdd(benchmark::State &state)
 {
     P2Quantile q(0.99);
@@ -142,6 +207,21 @@ BM_EndToEndScenario(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EndToEndScenario)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndGoldenFig11(benchmark::State &state)
+{
+    // The pinned golden-trace scenario shared by the byte-stability
+    // test and trace-diff gate: the canonical "one experiment"
+    // wall-clock number tracked in BENCH_*.json.
+    for (auto _ : state) {
+        const Scenario sc = Scenario::goldenFig11();
+        const ExperimentRunner runner;
+        auto result = runner.run(sc);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_EndToEndGoldenFig11)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -68,6 +68,9 @@ class Query
     Query(std::int64_t id, SimTime arrival, std::vector<WorkDemand> demands)
         : id_(id), arrival_(arrival), demands_(std::move(demands))
     {
+        // One hop per stage in the common case; reserving up front keeps
+        // the per-hop append on the stat path allocation-free.
+        hops_.reserve(demands_.size());
     }
 
     std::int64_t id() const { return id_; }

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Small-buffer, move-only callable wrapper for hot-path callbacks.
+ *
+ * `std::function` heap-allocates for any capture larger than its tiny
+ * SSO buffer (16 bytes in libstdc++), which makes every scheduled
+ * simulator event an allocation. InplaceFunction stores callables up to
+ * a configurable buffer size inline — typical event captures like
+ * `[this]`, `[this, handle]` or `[this, endpoint, shared_ptr]` never
+ * touch the heap — and transparently falls back to a heap-held callable
+ * for oversized or over-aligned captures, so correctness never depends
+ * on the capture fitting.
+ *
+ * The wrapper is move-only on purpose: the simulator dispatches events
+ * by moving the callback out of the event pool, and a copyable wrapper
+ * would silently reintroduce the per-dispatch copy this type exists to
+ * eliminate. isInline() exposes the storage decision so tests can pin
+ * the no-allocation contract for representative captures.
+ */
+
+#ifndef PC_COMMON_INPLACE_FUNCTION_H
+#define PC_COMMON_INPLACE_FUNCTION_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pc {
+
+/**
+ * Default inline-capture budget, in bytes.
+ *
+ * Chosen to fit the largest steady-state capture in the runtime: the
+ * message-bus delivery closure `[this, to, msg = std::move(msg)]`
+ * (pointer + 64-bit id + shared_ptr = 32 bytes) with headroom for one
+ * more pointer-sized capture. Growing it grows every pooled event slot,
+ * so keep it small; an oversized capture still works via the heap
+ * fallback, it just costs an allocation.
+ */
+inline constexpr std::size_t kInplaceFunctionBufferSize = 48;
+
+template <typename Signature,
+          std::size_t BufSize = kInplaceFunctionBufferSize>
+class InplaceFunction; // primary template; only specialized below
+
+template <typename R, typename... Args, std::size_t BufSize>
+class InplaceFunction<R(Args...), BufSize>
+{
+    template <typename F>
+    static constexpr bool storedInline =
+        sizeof(F) <= BufSize && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+  public:
+    InplaceFunction() = default;
+    InplaceFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InplaceFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InplaceFunction(F &&f)
+    {
+        construct<D>(std::forward<F>(f));
+    }
+
+    InplaceFunction(InplaceFunction &&other) noexcept { moveFrom(other); }
+
+    InplaceFunction &
+    operator=(InplaceFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InplaceFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction &) = delete;
+    InplaceFunction &operator=(const InplaceFunction &) = delete;
+
+    ~InplaceFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the stored callable; undefined when empty. */
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(&buf_, std::forward<Args>(args)...);
+    }
+
+    /** True when the callable lives in the inline buffer (no heap). */
+    bool isInline() const { return ops_ != nullptr && ops_->isInline; }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args...);
+        /** Move-construct dst from src, then destroy src's callable. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool isInline;
+    };
+
+    template <typename D, typename F>
+    void
+    construct(F &&f)
+    {
+        if constexpr (storedInline<D>) {
+            ::new (static_cast<void *>(&buf_)) D(std::forward<F>(f));
+            static constexpr Ops ops = {
+                [](void *p, Args... args) -> R {
+                    return (*std::launder(reinterpret_cast<D *>(p)))(
+                        std::forward<Args>(args)...);
+                },
+                [](void *dst, void *src) noexcept {
+                    D *s = std::launder(reinterpret_cast<D *>(src));
+                    ::new (dst) D(std::move(*s));
+                    s->~D();
+                },
+                [](void *p) noexcept {
+                    std::launder(reinterpret_cast<D *>(p))->~D();
+                },
+                true,
+            };
+            ops_ = &ops;
+        } else {
+            ::new (static_cast<void *>(&buf_)) D *(
+                new D(std::forward<F>(f)));
+            static constexpr Ops ops = {
+                [](void *p, Args... args) -> R {
+                    return (**std::launder(reinterpret_cast<D **>(p)))(
+                        std::forward<Args>(args)...);
+                },
+                [](void *dst, void *src) noexcept {
+                    // Ownership of the heap callable transfers with the
+                    // raw pointer; the source representation is trivial.
+                    ::new (dst) D *(
+                        *std::launder(reinterpret_cast<D **>(src)));
+                },
+                [](void *p) noexcept {
+                    delete *std::launder(reinterpret_cast<D **>(p));
+                },
+                false,
+            };
+            ops_ = &ops;
+        }
+    }
+
+    void
+    moveFrom(InplaceFunction &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(&buf_, &other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(&buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[BufSize];
+};
+
+} // namespace pc
+
+#endif // PC_COMMON_INPLACE_FUNCTION_H

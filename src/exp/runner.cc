@@ -142,6 +142,9 @@ ExperimentRunner::run(const Scenario &sc,
     std::optional<TailAttributionCollector> attribution;
     if (attribution_)
         attribution.emplace(app.numStages());
+    // Reused across completions so the per-query stat path does not
+    // allocate; assign() keeps the capacity.
+    std::vector<StageSpan> spans;
     app.setCompletionSink([&](const QueryPtr &q) {
         if (tel)
             tel->trace().recordQueryHops(*q);
@@ -152,7 +155,6 @@ ExperimentRunner::run(const Scenario &sc,
         latencyStats.add(sec);
         if (e2eHist)
             e2eHist->add(sec);
-        std::vector<StageSpan> spans;
         if (attribution)
             spans.assign(static_cast<std::size_t>(app.numStages()),
                          StageSpan{});

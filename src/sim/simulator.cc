@@ -1,9 +1,35 @@
 #include "sim/simulator.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace pc {
+
+std::uint32_t
+Simulator::acquireSlot(Callback fn)
+{
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        pool_.emplace_back();
+        slot = static_cast<std::uint32_t>(pool_.size() - 1);
+    }
+    Slot &s = pool_[slot];
+    s.fn = std::move(fn);
+    s.live = true;
+    return slot;
+}
+
+void
+Simulator::releaseSlot(std::uint32_t slot)
+{
+    Slot &s = pool_[slot];
+    s.live = false;
+    ++s.gen; // invalidates the EventId and any heap entry for this event
+    freeSlots_.push_back(slot);
+}
 
 EventId
 Simulator::scheduleAt(SimTime at, Callback fn)
@@ -11,11 +37,11 @@ Simulator::scheduleAt(SimTime at, Callback fn)
     if (at < now_)
         panic("scheduleAt(%s) is in the past (now=%s)",
               at.toString().c_str(), now_.toString().c_str());
-    const EventId id = nextSeq_;
-    queue_.push(Event{at, nextSeq_, id, std::move(fn)});
-    live_.insert(id);
-    ++nextSeq_;
-    return id;
+    const std::uint32_t slot = acquireSlot(std::move(fn));
+    const std::uint32_t gen = pool_[slot].gen;
+    heap_.push_back(HeapEntry{at, nextSeq_++, slot, gen});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    return packId(slot, gen);
 }
 
 EventId
@@ -27,9 +53,37 @@ Simulator::scheduleAfter(SimTime delay, Callback fn)
 bool
 Simulator::cancel(EventId id)
 {
-    // Only a still-pending event can be cancelled; fired and already-
-    // cancelled events both report failure.
-    return live_.erase(id) == 1;
+    // Only a still-pending event can be cancelled; fired, already-
+    // cancelled and never-issued ids all report failure via the
+    // generation tag.
+    const std::uint64_t slotPart = id & kSlotMask;
+    if (slotPart == 0 || slotPart > pool_.size())
+        return false;
+    const std::uint32_t slot = static_cast<std::uint32_t>(slotPart - 1);
+    Slot &s = pool_[slot];
+    if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32))
+        return false;
+    s.fn = nullptr; // release captures now, not when the stub surfaces
+    releaseSlot(slot);
+    ++stubs_;
+    maybeCompact();
+    return true;
+}
+
+void
+Simulator::maybeCompact()
+{
+    // Cancel-heavy phases (DVFS rescales cancel in-flight completions
+    // constantly) would otherwise grow the heap without bound; rebuild
+    // it stub-free once stubs are the majority.
+    if (heap_.size() < kCompactMinHeap || stubs_ * 2 <= heap_.size())
+        return;
+    std::erase_if(heap_, [this](const HeapEntry &e) {
+        const Slot &s = pool_[e.slot];
+        return !s.live || s.gen != e.gen;
+    });
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+    stubs_ = 0;
 }
 
 EventId
@@ -37,7 +91,7 @@ Simulator::schedulePeriodic(SimTime start, SimTime period, Callback fn)
 {
     if (period <= SimTime::zero())
         panic("schedulePeriodic with non-positive period");
-    const EventId handle = nextSeq_++;
+    const EventId handle = nextPeriodicHandle_++;
     periodics_.emplace(handle, PeriodicTask{period, std::move(fn)});
     schedulePeriodicTick(handle, start);
     return handle;
@@ -48,42 +102,75 @@ Simulator::schedulePeriodicTick(EventId handle, SimTime at)
 {
     // The tick only captures the handle; the callback lives in the
     // periodics_ table (no self-referential closure, no cycle).
-    scheduleAt(at, [this, handle]() {
-        auto it = periodics_.find(handle);
-        if (it == periodics_.end())
-            return;
-        it->second.fn();
-        // The callback may have cancelled its own task.
-        it = periodics_.find(handle);
-        if (it != periodics_.end())
-            schedulePeriodicTick(handle, now_ + it->second.period);
-    });
+    scheduleAt(at, [this, handle]() { firePeriodic(handle); });
+}
+
+void
+Simulator::firePeriodic(EventId handle)
+{
+    const auto it = periodics_.find(handle);
+    if (it == periodics_.end())
+        return; // cancelled after this tick was scheduled
+    // References into an unordered_map stay valid across inserts, so
+    // the callback may schedule new periodics; cancellation of *this*
+    // task is deferred via the inTick_ flag so one lookup suffices.
+    PeriodicTask &task = it->second;
+    inTick_ = handle;
+    tickCancelled_ = false;
+    task.fn();
+    inTick_ = 0;
+    if (tickCancelled_) {
+        tickCancelled_ = false;
+        periodics_.erase(handle);
+        return;
+    }
+    schedulePeriodicTick(handle, now_ + task.period);
 }
 
 void
 Simulator::cancelPeriodic(EventId handle)
 {
+    // Erasing mid-tick would invalidate firePeriodic's reference; flag
+    // the running task instead and let it erase itself on return.
+    if (handle == inTick_) {
+        tickCancelled_ = true;
+        return;
+    }
     periodics_.erase(handle);
 }
 
 void
-Simulator::dispatch(Event &ev)
+Simulator::purgeStubs()
 {
-    now_ = ev.at;
-    if (live_.erase(ev.id) == 0)
-        return; // cancelled while pending
-    ++dispatched_;
-    ev.fn();
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        const Slot &s = pool_[top.slot];
+        if (s.live && s.gen == top.gen)
+            return;
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        heap_.pop_back();
+        --stubs_;
+    }
 }
 
 bool
 Simulator::step()
 {
-    if (queue_.empty())
+    purgeStubs();
+    if (heap_.empty())
         return false;
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+
+    now_ = top.at;
+    // Move the callback out and recycle the slot *before* invoking, so
+    // a cancel() of the running event's own id fails (it already fired)
+    // and the slot is immediately reusable by whatever fn schedules.
+    Callback fn = std::move(pool_[top.slot].fn);
+    releaseSlot(top.slot);
+    ++dispatched_;
+    fn();
     return true;
 }
 
@@ -97,8 +184,14 @@ Simulator::run()
 void
 Simulator::runUntil(SimTime deadline)
 {
-    while (!queue_.empty() && queue_.top().at <= deadline)
+    for (;;) {
+        // purge first: a stub inside the deadline must not push step()
+        // past a live event beyond it, nor advance the clock.
+        purgeStubs();
+        if (heap_.empty() || heap_.front().at > deadline)
+            break;
         step();
+    }
     if (now_ < deadline)
         now_ = deadline;
 }

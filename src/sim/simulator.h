@@ -2,35 +2,69 @@
  * @file
  * Discrete-event simulator that drives every PowerChief component.
  *
- * The simulator owns a priority queue of (time, sequence, callback)
- * events. Components schedule closures at absolute or relative times and
- * may cancel a pending event (needed when, e.g., a DVFS change rescales
- * an in-flight service completion). Ties are broken by schedule order so
- * runs are deterministic.
+ * The simulator owns a binary min-heap of (time, sequence) entries and a
+ * slab pool of event records. Components schedule closures at absolute
+ * or relative times and may cancel a pending event (needed when, e.g., a
+ * DVFS change rescales an in-flight service completion). Ties are broken
+ * by schedule order so runs are deterministic.
+ *
+ * The hot path is allocation-free in steady state:
+ *  - callbacks are stored in an InplaceFunction whose inline buffer fits
+ *    every steady-state capture in the runtime (see
+ *    common/inplace_function.h), so scheduling does not heap-allocate;
+ *  - the heap orders 24-byte {time, seq, slot, generation} entries while
+ *    the callbacks stay put in a pooled slab, so sift-up/down moves
+ *    small PODs instead of fat events;
+ *  - dispatch moves the callback out of its slot (no copy) and recycles
+ *    the slot through a free list;
+ *  - cancel() is O(1): it bumps the slot's generation so the heap entry
+ *    becomes a stale stub that is skipped (and periodically compacted
+ *    away) rather than searched for.
+ *
+ * EventId handles are generation-tagged: an id names (slot, generation),
+ *  so cancelling an already-fired id stays a reliable no-op even after
+ * the slot has been reused by a later event.
  */
 
 #ifndef PC_SIM_SIMULATOR_H
 #define PC_SIM_SIMULATOR_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inplace_function.h"
 #include "common/logging.h"
 #include "common/time.h"
 
 namespace pc {
 
-/** Opaque handle identifying a scheduled event; 0 is never valid. */
+/**
+ * Opaque handle identifying a scheduled event; 0 is never valid.
+ *
+ * Internally packs (generation << 32 | pool slot + 1) so stale handles
+ * — already fired, already cancelled, or never issued — are rejected in
+ * O(1) without any lookaside liveness set.
+ */
 using EventId = std::uint64_t;
 
 class Simulator
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceFunction<void()>;
+
+    // The no-allocation contract: the largest steady-state capture in
+    // the runtime (the message bus's [this, endpoint-id, shared_ptr
+    // message] delivery closure) must stay within the inline buffer.
+    // If this fires, either shrink the capture or grow
+    // kInplaceFunctionBufferSize — do not let the bus silently fall
+    // back to one heap allocation per message.
+    static_assert(sizeof(void *) + sizeof(std::uint64_t) +
+                          sizeof(std::shared_ptr<void>) <=
+                      kInplaceFunctionBufferSize,
+                  "bus delivery capture no longer fits the InplaceFunction "
+                  "inline buffer");
 
     Simulator() = default;
 
@@ -52,10 +86,16 @@ class Simulator
     EventId scheduleAfter(SimTime delay, Callback fn);
 
     /**
-     * Cancel a pending event.
+     * Cancel a pending event in O(1).
+     *
+     * The callback is destroyed immediately (releasing its captures);
+     * the heap keeps a stale stub that is skipped on pop and compacted
+     * away when stubs dominate the queue.
      *
      * @retval true the event was pending and is now cancelled.
-     * @retval false the event already fired or was already cancelled.
+     * @retval false the event already fired, was already cancelled, or
+     *         the handle was never issued — even if the underlying pool
+     *         slot has since been reused (generation tag mismatch).
      */
     bool cancel(EventId id);
 
@@ -63,7 +103,9 @@ class Simulator
      * Schedule @p fn every @p period, first firing at @p start.
      *
      * The periodic task keeps rescheduling itself until cancelPeriodic()
-     * is called with the returned handle.
+     * is called with the returned handle. The callback may cancel its
+     * own task, cancel other periodics, or schedule new ones from
+     * inside a tick.
      */
     EventId schedulePeriodic(SimTime start, SimTime period, Callback fn);
 
@@ -75,34 +117,59 @@ class Simulator
 
     /**
      * Run events with timestamps <= @p deadline, then advance the clock
-     * to exactly @p deadline.
+     * to exactly @p deadline. Cancelled stubs never advance the clock,
+     * including a stub landing exactly on @p deadline.
      */
     void runUntil(SimTime deadline);
 
-    /** Execute at most one event. @return false if the queue was empty. */
+    /**
+     * Execute the next live event. Cancelled stubs are skipped (they do
+     * not count as a step and do not advance the clock).
+     *
+     * @return false if no live event remains.
+     */
     bool step();
 
-    /** Number of events currently pending (including cancelled stubs). */
-    std::size_t pendingEvents() const { return queue_.size(); }
+    /** Heap entries currently pending, including cancelled stubs. */
+    std::size_t pendingEvents() const { return heap_.size(); }
+
+    /** Pending events that are live (excludes cancelled stubs). */
+    std::size_t liveEvents() const { return heap_.size() - stubs_; }
 
     /** Total events dispatched since construction. */
     std::uint64_t dispatchedEvents() const { return dispatched_; }
 
   private:
-    struct Event
+    /**
+     * Heap ordering key. The callback itself lives in pool_[slot]; gen
+     * detects entries whose event was cancelled (or whose slot was
+     * recycled) after the entry was pushed.
+     */
+    struct HeapEntry
     {
         SimTime at;
         std::uint64_t seq;
-        EventId id;
-        Callback fn;
+        std::uint32_t slot;
+        std::uint32_t gen;
 
         bool
-        operator>(const Event &o) const
+        operator>(const HeapEntry &o) const
         {
             if (at != o.at)
                 return at > o.at;
             return seq > o.seq;
         }
+    };
+
+    /**
+     * One pooled event record. gen counts releases of this slot; a heap
+     * entry (or EventId) whose gen no longer matches is dead.
+     */
+    struct Slot
+    {
+        Callback fn;
+        std::uint32_t gen = 0;
+        bool live = false;
     };
 
     struct PeriodicTask
@@ -111,15 +178,38 @@ class Simulator
         Callback fn;
     };
 
-    void dispatch(Event &ev);
+    static constexpr std::uint32_t kSlotMask = 0xffffffffu;
+    /** Compaction only kicks in past this size; tiny queues never pay. */
+    static constexpr std::size_t kCompactMinHeap = 64;
+
+    static EventId
+    packId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+               (static_cast<EventId>(slot) + 1);
+    }
+
+    std::uint32_t acquireSlot(Callback fn);
+    void releaseSlot(std::uint32_t slot);
+    /** Pop stale stubs off the heap top so front() is live (or empty). */
+    void purgeStubs();
+    /** Rebuild the heap without stubs once they dominate. */
+    void maybeCompact();
+    void firePeriodic(EventId handle);
     void schedulePeriodicTick(EventId handle, SimTime at);
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-    std::unordered_set<EventId> live_;
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> pool_;
+    std::vector<std::uint32_t> freeSlots_;
     std::unordered_map<EventId, PeriodicTask> periodics_;
     SimTime now_;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t dispatched_ = 0;
+    std::size_t stubs_ = 0;
+    EventId nextPeriodicHandle_ = 1;
+    /** Handle of the periodic task whose tick is currently running. */
+    EventId inTick_ = 0;
+    bool tickCancelled_ = false;
 };
 
 } // namespace pc

@@ -1,5 +1,8 @@
 #include "workloads/profiler.h"
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "app/service_instance.h"
@@ -73,16 +76,93 @@ OfflineProfiler::profileStage(const StageProfile &stage,
     return SpeedupTable(std::move(normalized));
 }
 
+namespace {
+
+template <typename T>
+void
+appendBits(std::string &key, const T &value)
+{
+    key.append(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+/**
+ * Exact-content memo key: every input profileStage reads. Two calls
+ * with bit-identical inputs produce bit-identical SpeedupBooks, so an
+ * exact-match key (no hashing-only shortcut) preserves byte-exact run
+ * reproducibility through the cache.
+ */
+std::string
+profileKey(const WorkloadModel &workload, const PowerModel &model,
+           std::uint64_t seed, int queriesPerLevel)
+{
+    std::string key = workload.name();
+    key.push_back('\0');
+    appendBits(key, seed);
+    appendBits(key, queriesPerLevel);
+    const auto &ladder = model.ladder();
+    appendBits(key, ladder.numLevels());
+    for (int lvl = 0; lvl < ladder.numLevels(); ++lvl)
+        appendBits(key, ladder.freqAt(lvl).value());
+    appendBits(key, workload.numStages());
+    for (int s = 0; s < workload.numStages(); ++s) {
+        const StageProfile &stage = workload.stage(s);
+        key.append(stage.name);
+        key.push_back('\0');
+        appendBits(key, stage.meanServiceSec);
+        appendBits(key, stage.cv);
+        appendBits(key, stage.computeFraction);
+        appendBits(key, stage.profiledMhz);
+        appendBits(key, stage.participation);
+        appendBits(key, static_cast<int>(stage.kind));
+        appendBits(key, stage.shardCv);
+    }
+    return key;
+}
+
+std::mutex profileCacheMutex;
+std::unordered_map<std::string, SpeedupBook> profileCache;
+std::uint64_t profileCacheHitCount = 0;
+
+} // namespace
+
+void
+OfflineProfiler::clearProfileCache()
+{
+    const std::lock_guard<std::mutex> lock(profileCacheMutex);
+    profileCache.clear();
+}
+
+std::uint64_t
+OfflineProfiler::profileCacheHits()
+{
+    const std::lock_guard<std::mutex> lock(profileCacheMutex);
+    return profileCacheHitCount;
+}
+
 SpeedupBook
 OfflineProfiler::profileWorkload(const WorkloadModel &workload,
                                  const PowerModel &model,
                                  std::uint64_t seed) const
 {
+    const std::string key =
+        profileKey(workload, model, seed, queriesPerLevel_);
+    {
+        const std::lock_guard<std::mutex> lock(profileCacheMutex);
+        const auto it = profileCache.find(key);
+        if (it != profileCache.end()) {
+            ++profileCacheHitCount;
+            return it->second;
+        }
+    }
+
     SpeedupBook book;
     for (int s = 0; s < workload.numStages(); ++s) {
         book.setStage(s, profileStage(workload.stage(s), model,
                                       seed + static_cast<std::uint64_t>(s)));
     }
+
+    const std::lock_guard<std::mutex> lock(profileCacheMutex);
+    profileCache.emplace(key, book);
     return book;
 }
 

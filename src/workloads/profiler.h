@@ -35,10 +35,26 @@ class OfflineProfiler
                               const PowerModel &model,
                               std::uint64_t seed) const;
 
-    /** Profile every stage of a workload. */
+    /**
+     * Profile every stage of a workload.
+     *
+     * The result is deterministic in (workload, ladder, seed, batch
+     * size), so it is memoized in a process-wide cache: offline
+     * profiling is offline, and repeated runs — sweeps, benchmark
+     * loops, the golden-trace gates — must not re-simulate ~10^4
+     * profiling queries each. The cache key is the exact numeric
+     * content of the inputs (not object identity), and the cache is
+     * mutex-guarded for the sweep thread pool.
+     */
     SpeedupBook profileWorkload(const WorkloadModel &workload,
                                 const PowerModel &model,
                                 std::uint64_t seed) const;
+
+    /** Drop all memoized workload profiles (tests / measurements). */
+    static void clearProfileCache();
+
+    /** Cumulative profileWorkload cache hits since process start. */
+    static std::uint64_t profileCacheHits();
 
   private:
     int queriesPerLevel_;

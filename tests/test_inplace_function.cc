@@ -1,0 +1,144 @@
+/** @file Unit tests for the small-buffer callable wrapper. */
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/inplace_function.h"
+
+namespace pc {
+namespace {
+
+using Fn = InplaceFunction<int()>;
+
+TEST(InplaceFunction, DefaultConstructedIsEmpty)
+{
+    Fn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_FALSE(fn.isInline());
+}
+
+TEST(InplaceFunction, SmallCaptureStoredInline)
+{
+    int x = 41;
+    Fn fn([&x]() { return x + 1; });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    EXPECT_TRUE(fn.isInline());
+    EXPECT_EQ(fn(), 42);
+}
+
+TEST(InplaceFunction, RepresentativeEventCapturesFitInline)
+{
+    // The captures the simulator actually schedules: [this]-style,
+    // [this, id], and the bus's [this, endpoint, shared_ptr<msg>].
+    struct Probe
+    {
+        void *self;
+        std::uint64_t id;
+        std::shared_ptr<int> msg;
+    };
+    static_assert(sizeof(Probe) <= kInplaceFunctionBufferSize);
+
+    auto msg = std::make_shared<int>(7);
+    InplaceFunction<int()> fn(
+        [self = static_cast<void *>(nullptr), id = std::uint64_t{3},
+         msg]() { return *msg + static_cast<int>(id); });
+    EXPECT_TRUE(fn.isInline());
+    EXPECT_EQ(fn(), 10);
+}
+
+TEST(InplaceFunction, OversizedCaptureFallsBackToHeapAndStillWorks)
+{
+    struct Big
+    {
+        char bytes[2 * kInplaceFunctionBufferSize] = {};
+    };
+    Big big;
+    big.bytes[0] = 9;
+    Fn fn([big]() { return static_cast<int>(big.bytes[0]); });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    EXPECT_FALSE(fn.isInline());
+    EXPECT_EQ(fn(), 9);
+}
+
+TEST(InplaceFunction, MoveTransfersCallableAndEmptiesSource)
+{
+    int calls = 0;
+    InplaceFunction<void()> a([&calls]() { ++calls; });
+    InplaceFunction<void()> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+
+    InplaceFunction<void()> c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFunction, MoveTransfersHeapCallable)
+{
+    struct Big
+    {
+        char bytes[2 * kInplaceFunctionBufferSize] = {};
+    };
+    Big big;
+    big.bytes[1] = 5;
+    Fn a([big]() { return static_cast<int>(big.bytes[1]); });
+    Fn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_FALSE(b.isInline());
+    EXPECT_EQ(b(), 5);
+}
+
+TEST(InplaceFunction, DestructionReleasesCaptures)
+{
+    auto token = std::make_shared<int>(1);
+    {
+        InplaceFunction<void()> fn([token]() {});
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceFunction, MovedFromDoesNotDoubleRelease)
+{
+    auto token = std::make_shared<int>(1);
+    {
+        InplaceFunction<void()> a([token]() {});
+        InplaceFunction<void()> b(std::move(a));
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceFunction, NullptrAssignmentClears)
+{
+    auto token = std::make_shared<int>(1);
+    InplaceFunction<void()> fn([token]() {});
+    EXPECT_EQ(token.use_count(), 2);
+    fn = nullptr;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceFunction, SupportsMoveOnlyCallables)
+{
+    auto owned = std::make_unique<int>(13);
+    InplaceFunction<int()> fn(
+        [owned = std::move(owned)]() { return *owned; });
+    EXPECT_EQ(fn(), 13);
+}
+
+TEST(InplaceFunction, ArgumentsAndReturnForwarded)
+{
+    InplaceFunction<int(int, int)> add([](int a, int b) { return a + b; });
+    EXPECT_EQ(add(20, 22), 42);
+}
+
+} // namespace
+} // namespace pc

@@ -90,6 +90,56 @@ TEST_F(ProfilerTest, StagesDifferInSensitivity)
     EXPECT_LT(book.stage(2).at(12), book.stage(1).at(12));
 }
 
+TEST_F(ProfilerTest, WorkloadBookIsMemoized)
+{
+    OfflineProfiler::clearProfileCache();
+    const auto hits0 = OfflineProfiler::profileCacheHits();
+    const auto a = OfflineProfiler(60).profileWorkload(
+        WorkloadModel::sirius(), model, 77);
+    EXPECT_EQ(OfflineProfiler::profileCacheHits(), hits0);
+    const auto b = OfflineProfiler(60).profileWorkload(
+        WorkloadModel::sirius(), model, 77);
+    EXPECT_EQ(OfflineProfiler::profileCacheHits(), hits0 + 1);
+    for (int s = 0; s < a.numStages(); ++s)
+        for (int lvl = 0; lvl < a.stage(s).numLevels(); ++lvl)
+            EXPECT_DOUBLE_EQ(a.stage(s).at(lvl), b.stage(s).at(lvl));
+}
+
+TEST_F(ProfilerTest, MemoizedBookIsBitIdenticalToRecomputed)
+{
+    // The cache must be a pure memo: a cold recompute after clearing
+    // yields the exact same tables a warm hit returned.
+    OfflineProfiler::clearProfileCache();
+    const auto warmSource = OfflineProfiler(60).profileWorkload(
+        WorkloadModel::sirius(), model, 31);
+    const auto cached = OfflineProfiler(60).profileWorkload(
+        WorkloadModel::sirius(), model, 31);
+    OfflineProfiler::clearProfileCache();
+    const auto recomputed = OfflineProfiler(60).profileWorkload(
+        WorkloadModel::sirius(), model, 31);
+    for (int s = 0; s < cached.numStages(); ++s)
+        for (int lvl = 0; lvl < cached.stage(s).numLevels(); ++lvl) {
+            EXPECT_DOUBLE_EQ(cached.stage(s).at(lvl),
+                             warmSource.stage(s).at(lvl));
+            EXPECT_DOUBLE_EQ(cached.stage(s).at(lvl),
+                             recomputed.stage(s).at(lvl));
+        }
+}
+
+TEST_F(ProfilerTest, CacheKeyDistinguishesSeedAndBatch)
+{
+    OfflineProfiler::clearProfileCache();
+    const auto hits0 = OfflineProfiler::profileCacheHits();
+    OfflineProfiler(60).profileWorkload(WorkloadModel::sirius(), model,
+                                        1);
+    OfflineProfiler(60).profileWorkload(WorkloadModel::sirius(), model,
+                                        2);
+    OfflineProfiler(80).profileWorkload(WorkloadModel::sirius(), model,
+                                        1);
+    // Three distinct keys: no hit recorded.
+    EXPECT_EQ(OfflineProfiler::profileCacheHits(), hits0);
+}
+
 TEST(ProfilerDeath, NonPositiveBatchIsFatal)
 {
     EXPECT_EXIT(OfflineProfiler(0), testing::ExitedWithCode(1),

@@ -187,6 +187,176 @@ TEST(Simulator, NestedSchedulingFromEvents)
     EXPECT_EQ(sim.now(), SimTime::msec(9));
 }
 
+TEST(Simulator, CancelFromWithinOwnCallbackFails)
+{
+    // By the time a callback runs its event has fired; cancelling the
+    // event's own id from inside it must report failure and must not
+    // disturb the slot the id used to name.
+    Simulator sim;
+    EventId self = 0;
+    bool cancelResult = true;
+    self = sim.scheduleAt(SimTime::sec(1), [&]() {
+        cancelResult = sim.cancel(self);
+    });
+    sim.run();
+    EXPECT_FALSE(cancelResult);
+}
+
+TEST(Simulator, CancelOfFiredIdFailsAcrossSlotReuse)
+{
+    // Generation tags: after A fires, its pool slot is recycled by B.
+    // A's handle must still cancel nothing — in particular not B.
+    Simulator sim;
+    bool aRan = false;
+    bool bRan = false;
+    const EventId a = sim.scheduleAt(SimTime::sec(1),
+                                     [&aRan]() { aRan = true; });
+    sim.run();
+    EXPECT_TRUE(aRan);
+
+    const EventId b = sim.scheduleAt(SimTime::sec(2),
+                                     [&bRan]() { bRan = true; });
+    EXPECT_NE(a, b); // same slot, different generation
+    EXPECT_FALSE(sim.cancel(a));
+    sim.run();
+    EXPECT_TRUE(bRan);
+}
+
+TEST(Simulator, CancelOfCancelledIdFailsAcrossSlotReuse)
+{
+    Simulator sim;
+    bool bRan = false;
+    const EventId a = sim.scheduleAt(SimTime::sec(1), []() {});
+    EXPECT_TRUE(sim.cancel(a));
+    sim.scheduleAt(SimTime::sec(1), [&bRan]() { bRan = true; });
+    EXPECT_FALSE(sim.cancel(a)); // stale generation, B unaffected
+    sim.run();
+    EXPECT_TRUE(bRan);
+}
+
+TEST(Simulator, RunUntilDeadlineLandingOnCancelledStub)
+{
+    // A cancelled stub exactly at the deadline must neither execute
+    // nor stop the clock short: runUntil still lands on the deadline,
+    // and live events beyond it stay pending.
+    Simulator sim;
+    bool ran = false;
+    bool lateRan = false;
+    const EventId id = sim.scheduleAt(SimTime::sec(2),
+                                      [&ran]() { ran = true; });
+    sim.scheduleAt(SimTime::sec(3), [&lateRan]() { lateRan = true; });
+    sim.cancel(id);
+    sim.runUntil(SimTime::sec(2));
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(lateRan);
+    EXPECT_EQ(sim.now(), SimTime::sec(2));
+    EXPECT_EQ(sim.liveEvents(), 1u);
+    sim.run();
+    EXPECT_TRUE(lateRan);
+}
+
+TEST(Simulator, PendingEventsAfterCompaction)
+{
+    // Cancel-heavy churn: once stubs dominate a large-enough heap the
+    // simulator compacts, so pendingEvents() tracks live work instead
+    // of accumulated tombstones.
+    Simulator sim;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i)
+        ids.push_back(sim.scheduleAt(SimTime::usec(i + 1), []() {}));
+    EXPECT_EQ(sim.pendingEvents(), 200u);
+
+    for (int i = 0; i < 160; ++i)
+        sim.cancel(ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(sim.liveEvents(), 40u);
+    // Compaction kicked in while cancelling: far fewer than the 160
+    // stubs can remain, and the count never exceeds 2x live events.
+    EXPECT_LT(sim.pendingEvents(), 81u);
+
+    int ran = 0;
+    while (sim.step())
+        ++ran;
+    EXPECT_EQ(ran, 40);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, StepSkipsStubsWithoutAdvancingClock)
+{
+    Simulator sim;
+    const EventId id = sim.scheduleAt(SimTime::sec(1), []() {});
+    sim.cancel(id);
+    EXPECT_FALSE(sim.step()); // only a stub remains: no live event
+    EXPECT_EQ(sim.now(), SimTime::zero());
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, PeriodicCallbackCancellingOwnTaskStopsCleanly)
+{
+    // Regression for the single-lookup tick path: cancelling the
+    // running task from inside its own callback must stop future ticks
+    // without touching the map entry mid-iteration.
+    Simulator sim;
+    int ticks = 0;
+    EventId handle = 0;
+    handle = sim.schedulePeriodic(SimTime::sec(1), SimTime::sec(1),
+                                  [&]() {
+                                      ++ticks;
+                                      sim.cancelPeriodic(handle);
+                                  });
+    sim.runUntil(SimTime::sec(10));
+    EXPECT_EQ(ticks, 1);
+}
+
+TEST(Simulator, PeriodicReschedulingAnotherPeriodicFromInsideTick)
+{
+    // A tick that starts a different periodic task: the insert may
+    // rehash the task table while the running tick still holds a
+    // reference into it.
+    Simulator sim;
+    int aTicks = 0;
+    int bTicks = 0;
+    EventId a = 0;
+    a = sim.schedulePeriodic(SimTime::sec(1), SimTime::sec(1), [&]() {
+        if (++aTicks == 2) {
+            sim.schedulePeriodic(sim.now() + SimTime::sec(1),
+                                 SimTime::sec(1), [&]() { ++bTicks; });
+            sim.cancelPeriodic(a);
+        }
+    });
+    sim.runUntil(SimTime::sec(6));
+    EXPECT_EQ(aTicks, 2);
+    EXPECT_EQ(bTicks, 4); // B fires at t=3,4,5,6
+}
+
+TEST(Simulator, PeriodicCancellingAnotherPeriodicFromInsideTick)
+{
+    Simulator sim;
+    int aTicks = 0;
+    int bTicks = 0;
+    const EventId b = sim.schedulePeriodic(
+        SimTime::sec(1), SimTime::sec(1), [&bTicks]() { ++bTicks; });
+    sim.schedulePeriodic(SimTime::msec(2500), SimTime::sec(10), [&]() {
+        ++aTicks;
+        sim.cancelPeriodic(b);
+    });
+    sim.runUntil(SimTime::sec(8));
+    EXPECT_EQ(aTicks, 1);
+    EXPECT_EQ(bTicks, 2); // t=1s and t=2s only; cancelled at t=2.5s
+}
+
+TEST(Simulator, ManyPeriodicsInterleaved)
+{
+    Simulator sim;
+    int total = 0;
+    for (int i = 0; i < 16; ++i)
+        sim.schedulePeriodic(SimTime::msec(100 + i), SimTime::msec(100),
+                             [&total]() { ++total; });
+    // Task i fires at 100+i, 200+i, ... ms; each gets 10 ticks in
+    // [0, 1050] ms.
+    sim.runUntil(SimTime::msec(1050));
+    EXPECT_EQ(total, 16 * 10);
+}
+
 TEST(SimulatorDeath, SchedulingInThePastPanics)
 {
     Simulator sim;

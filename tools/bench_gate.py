@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Informational perf gate: compare a fresh micro_core run to BENCH_*.json.
+
+Reads a google-benchmark JSON result (``--run``) and the checked-in
+perf-trajectory file (``--baseline``, e.g. BENCH_4.json), prints each
+benchmark's current time next to the recorded numbers and the resulting
+ratios. The gate is informational by default — perf varies across
+machines, so it never fails the build unless ``--max-regression`` is
+given (ratio of current over recorded current time above which to exit
+non-zero).
+
+Usage:
+    tools/bench_gate.py --run run.json --baseline BENCH_4.json
+    tools/bench_gate.py --run run.json --baseline BENCH_4.json \
+        --max-regression 2.0
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_run(path):
+    """Map benchmark name -> (real_time, unit) from google-benchmark JSON.
+
+    Prefers the median aggregate when repetitions were used; falls back
+    to the plain per-benchmark entry.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("run_name", bench.get("name", ""))
+        aggregate = bench.get("aggregate_name")
+        if aggregate not in (None, "median"):
+            continue
+        if aggregate == "median" or name not in out:
+            out[name] = (bench["real_time"], bench.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", required=True,
+                        help="google-benchmark JSON output of micro_core")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_*.json trajectory file")
+    parser.add_argument("--max-regression", type=float, default=None,
+                        help="fail if current/recorded exceeds this ratio")
+    args = parser.parse_args()
+
+    run = load_run(args.run)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    recorded = baseline.get("benchmarks", {})
+    if not recorded:
+        print(f"{args.baseline}: no recorded benchmarks; nothing to "
+              "compare")
+        return 0
+
+    print(f"perf gate (informational) vs {args.baseline} "
+          f"[pr {baseline.get('pr', '?')}]")
+    header = (f"{'benchmark':<34} {'now':>12} {'recorded':>12} "
+              f"{'ratio':>7}  {'pre-PR':>12} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+
+    worst = 0.0
+    for name, entry in sorted(recorded.items()):
+        unit = entry.get("unit", "ns")
+        rec = entry.get("current_real_time")
+        pre = entry.get("baseline_real_time")
+        now, now_unit = run.get(name, (None, unit))
+        if now is not None and now_unit != unit:
+            print(f"{name:<34} unit mismatch ({now_unit} vs {unit})")
+            continue
+        ratio = now / rec if now is not None and rec else None
+        speedup = pre / rec if pre and rec else None
+        worst = max(worst, ratio or 0.0)
+        print(f"{name:<34} "
+              f"{(f'{now:.1f}{unit}' if now is not None else 'n/a'):>12} "
+              f"{(f'{rec:.1f}{unit}' if rec is not None else 'n/a'):>12} "
+              f"{(f'{ratio:.2f}x' if ratio is not None else 'n/a'):>7}  "
+              f"{(f'{pre:.1f}{unit}' if pre is not None else 'n/a'):>12} "
+              f"{(f'{speedup:.2f}x' if speedup is not None else 'n/a'):>8}")
+
+    if args.max_regression is not None and worst > args.max_regression:
+        print(f"FAIL: worst ratio {worst:.2f}x exceeds "
+              f"--max-regression {args.max_regression:.2f}x")
+        return 1
+    print("ok (informational gate; ratios > 1 mean slower than the "
+          "recorded numbers for this machine)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

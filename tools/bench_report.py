@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compose a BENCH_<pr>.json perf-trajectory entry from benchmark runs.
+
+Takes two google-benchmark JSON files — the pre-change baseline and the
+post-change run, both produced by ``micro_core --benchmark_format=json``
+(use ``--benchmark_repetitions`` so medians are available) — and writes
+the checked-in BENCH_<pr>.json consumed by tools/bench_gate.py.
+
+Usage:
+    tools/bench_report.py --pr 4 \
+        --baseline-run pre.json --current-run post.json \
+        --description "..." -o BENCH_4.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    """Map run_name -> (median real_time, unit); plain entries fall back."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("run_name", bench.get("name", ""))
+        aggregate = bench.get("aggregate_name")
+        if aggregate not in (None, "median"):
+            continue
+        if aggregate == "median" or name not in out:
+            out[name] = (bench["real_time"], bench.get("time_unit", "ns"))
+    return out, doc.get("context", {})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr", type=int, required=True)
+    parser.add_argument("--baseline-run", required=True)
+    parser.add_argument("--current-run", required=True)
+    parser.add_argument("--description", default="")
+    parser.add_argument("-o", "--output", required=True)
+    args = parser.parse_args()
+
+    baseline, _ = load_medians(args.baseline_run)
+    current, context = load_medians(args.current_run)
+
+    benchmarks = {}
+    for name in sorted(set(baseline) | set(current)):
+        pre = baseline.get(name)
+        now = current.get(name)
+        unit = (now or pre)[1]
+        entry = {"unit": unit}
+        if pre is not None:
+            entry["baseline_real_time"] = pre[0]
+        if now is not None:
+            entry["current_real_time"] = now[0]
+        if pre is not None and now is not None and now[0] > 0:
+            entry["speedup"] = pre[0] / now[0]
+        benchmarks[name] = entry
+
+    doc = {
+        "pr": args.pr,
+        "description": args.description,
+        "statistic": "median real_time over benchmark repetitions",
+        "build": "Release (-O2 -DNDEBUG)",
+        "machine": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output} ({len(benchmarks)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the test suite.
+# Sanitizer + optimized-build gate for the test suite.
 #
-# Builds two instrumented variants and runs the full ctest suite in
-# each:
-#   build-tsan  — ThreadSanitizer (data races in the sweep engine)
-#   build-asan  — AddressSanitizer + UndefinedBehaviorSanitizer
+# Builds three variants and runs the full ctest suite in each:
+#   build-tsan    — ThreadSanitizer (data races in the sweep engine)
+#   build-asan    — AddressSanitizer + UndefinedBehaviorSanitizer
+#   build-release — Release (-O2 -DNDEBUG): the configuration the
+#                   microbenchmarks measure, so the optimized build is
+#                   also the one tests cover (and the allocation-
+#                   counting tests run un-sanitized here)
 #
 # A trace-validation step follows: a small scenario is run with
 # --trace-out/--metrics-out/--audit-out under the asan build and the
 # produced files are checked structurally with trace-validate (valid
 # JSON, monotone spans, resolvable flow ids, decision events present,
-# audit records consistent with their summary). Finally trace-diff
+# audit records consistent with their summary). Then trace-diff
 # replays the pinned golden Fig. 11 scenario and gates its latency and
-# prediction numbers against tests/golden/fig11_trace.json.
+# prediction numbers against tests/golden/fig11_trace.json. Finally the
+# Release build runs the micro_core benchmark suite and compares it,
+# informationally, against the checked-in BENCH_*.json perf trajectory
+# (tools/bench_gate.py — never fails the build; perf varies by
+# machine).
 #
 # Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
 set -euo pipefail
@@ -20,17 +27,19 @@ cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
 run_variant() {
-    local name="$1" flags="$2"
-    echo "=== ${name} (${flags}) ==="
+    local name="$1" type="$2" flags="$3"
+    echo "=== ${name} (${type} ${flags}) ==="
     cmake -B "build-${name}" -S . \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_BUILD_TYPE="${type}" \
         -DCMAKE_CXX_FLAGS="${flags}" >/dev/null
     cmake --build "build-${name}" -j "${jobs}"
     ctest --test-dir "build-${name}" --output-on-failure -j "${jobs}"
 }
 
-run_variant tsan "-fsanitize=thread -g"
-run_variant asan "-fsanitize=address,undefined -fno-sanitize-recover=all -g"
+run_variant tsan RelWithDebInfo "-fsanitize=thread -g"
+run_variant asan RelWithDebInfo \
+    "-fsanitize=address,undefined -fno-sanitize-recover=all -g"
+run_variant release Release ""
 
 echo "=== trace validation ==="
 tracedir="$(mktemp -d)"
@@ -51,5 +60,18 @@ echo "=== golden trace diff ==="
 ./build-asan/tools/trace-diff \
     --baseline=tests/golden/fig11_trace.json --fresh-fig11
 
-echo "All sanitizer variants, trace validation and the golden trace"
-echo "diff passed."
+echo "=== perf baseline (informational) ==="
+latest_bench="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -n "${latest_bench}" ]]; then
+    ./build-release/bench/micro_core \
+        --benchmark_filter='BM_Simulator|BM_EndToEnd' \
+        --benchmark_format=json \
+        --benchmark_out="${tracedir}/bench.json" >/dev/null
+    python3 tools/bench_gate.py --run "${tracedir}/bench.json" \
+        --baseline "${latest_bench}"
+else
+    echo "no BENCH_*.json checked in; skipping"
+fi
+
+echo "All sanitizer variants, the Release leg, trace validation, the"
+echo "golden trace diff and the perf baseline report passed."
