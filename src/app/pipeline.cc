@@ -102,6 +102,15 @@ MultiStageApp::setCompletionSink(std::function<void(QueryPtr)> sink)
     sink_ = std::move(sink);
 }
 
+std::uint64_t
+MultiStageApp::residentQueries() const
+{
+    std::uint64_t resident = 0;
+    for (const auto &stage : stages_)
+        resident += stage->residentQueries();
+    return resident;
+}
+
 std::vector<ServiceInstance *>
 MultiStageApp::allInstances() const
 {

@@ -100,6 +100,15 @@ class MultiStageApp
     std::uint64_t completed() const { return completed_; }
     std::uint64_t inFlight() const { return submitted_ - completed_; }
 
+    /**
+     * Queries currently inside the pipeline, summed over stages
+     * (waiting, in service, or parked in a crash hold queue). Routing
+     * between stages is synchronous, so at any event boundary
+     * submitted() == completed() + residentQueries() — the conservation
+     * invariant the chaos harness asserts.
+     */
+    std::uint64_t residentQueries() const;
+
   private:
     void onStageComplete(int stageIndex, QueryPtr q);
 

@@ -20,7 +20,7 @@ ServiceInstance::ServiceInstance(std::int64_t id, std::string name,
 
 ServiceInstance::~ServiceInstance()
 {
-    if (completionEvent_)
+    if (completionEvent_ != Simulator::kInvalidEvent)
         sim_->cancel(completionEvent_);
 }
 
@@ -111,7 +111,7 @@ ServiceInstance::startNext()
               static_cast<long long>(current_->id()));
     completionEvent_ =
         sim_->scheduleAfter(SimTime::sec(total), [this]() {
-            completionEvent_ = 0;
+            completionEvent_ = Simulator::kInvalidEvent;
             finishCurrent();
         });
 }
@@ -133,16 +133,16 @@ ServiceInstance::onFreqChange(int oldLevel, int newLevel)
         progress_ = std::min(1.0, progress_ + elapsed / oldTotal);
     lastResume_ = sim_->now();
 
-    if (completionEvent_) {
+    if (completionEvent_ != Simulator::kInvalidEvent) {
         sim_->cancel(completionEvent_);
-        completionEvent_ = 0;
+        completionEvent_ = Simulator::kInvalidEvent;
     }
     const double newTotal =
         currentServiceSecAt(ladder.freqAt(newLevel).value());
     const double remaining = std::max(0.0, (1.0 - progress_) * newTotal);
     completionEvent_ =
         sim_->scheduleAfter(SimTime::sec(remaining), [this]() {
-            completionEvent_ = 0;
+            completionEvent_ = Simulator::kInvalidEvent;
             finishCurrent();
         });
 }
@@ -196,6 +196,24 @@ ServiceInstance::drainWaiting()
         std::make_move_iterator(queue_.end()));
     queue_.clear();
     return all;
+}
+
+std::optional<PendingQuery>
+ServiceInstance::abortService()
+{
+    if (!busy())
+        return std::nullopt;
+    if (completionEvent_ != Simulator::kInvalidEvent) {
+        sim_->cancel(completionEvent_);
+        completionEvent_ = Simulator::kInvalidEvent;
+    }
+    PendingQuery orphan;
+    orphan.query = std::move(current_);
+    orphan.enqueued = currentHop_.enqueued;
+    orphan.workScale = currentScale_;
+    current_.reset();
+    chip_->core(coreId_).setBusy(false);
+    return orphan;
 }
 
 SimTime

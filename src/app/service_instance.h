@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,15 @@ class ServiceInstance
     /** Remove the entire waiting queue (instance withdraw, §6.2). */
     std::vector<PendingQuery> drainWaiting();
 
+    /**
+     * Crash primitive: abort the in-flight service, if any, and hand
+     * the query back for redispatch. The entry keeps its original
+     * enqueue timestamp but loses all service progress (the work is
+     * re-executed from scratch elsewhere); no hop is stamped and no
+     * busy time is credited. Returns nullopt when idle.
+     */
+    std::optional<PendingQuery> abortService();
+
     /** Stop accepting dispatches (checked by the stage's dispatcher). */
     void setDraining(bool d) { draining_ = d; }
     bool draining() const { return draining_; }
@@ -143,7 +153,7 @@ class ServiceInstance
     double currentInterference_ = 1.0;
     double progress_ = 0.0;   // fraction of service completed
     SimTime lastResume_;      // when progress_ was last settled
-    EventId completionEvent_ = 0;
+    EventId completionEvent_ = Simulator::kInvalidEvent;
 
     bool draining_ = false;
     SimTime busyAccum_;

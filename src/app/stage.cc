@@ -1,5 +1,6 @@
 #include "app/stage.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.h"
@@ -80,7 +81,82 @@ Stage::launchInstance(int level)
         raw->setTelemetry(telemetry_);
     }
     pool_.push_back(std::move(inst));
+    // Recovery after a crash outage: replay the parked queries in their
+    // original order before anything else reaches the new instance.
+    if (!holdQueue_.empty()) {
+        std::vector<PendingQuery> parked = std::move(holdQueue_);
+        holdQueue_.clear();
+        for (auto &pending : parked)
+            raw->adopt(std::move(pending));
+    }
+    crashOutage_ = false;
     return raw;
+}
+
+std::optional<Stage::CrashResult>
+Stage::crashInstance(std::int64_t instanceId)
+{
+    const auto it = std::find_if(
+        pool_.begin(), pool_.end(),
+        [instanceId](const std::unique_ptr<ServiceInstance> &inst) {
+            return inst->id() == instanceId;
+        });
+    if (it == pool_.end())
+        return std::nullopt;
+    ServiceInstance *victim = it->get();
+
+    // A fan-out query is sharded over every live leaf; killing the last
+    // one would leave shards with no instance to re-execute on, so the
+    // injector treats it as a skipped (impossible) crash.
+    if (kind_ == StageKind::FanOut && !victim->draining() &&
+        instances().size() <= 1)
+        return std::nullopt;
+
+    CrashResult result;
+    result.level = victim->level();
+
+    std::vector<PendingQuery> orphans;
+    if (auto inflight = victim->abortService())
+        orphans.push_back(std::move(*inflight));
+    for (auto &pending : victim->drainWaiting())
+        orphans.push_back(std::move(pending));
+
+    chip_->core(victim->coreId()).setFreqChangeListener(nullptr);
+    chip_->releaseCore(victim->coreId());
+    pool_.erase(it);
+
+    for (auto &orphan : orphans) {
+        // Least-loaded live peer; with none left, park until relaunch.
+        ServiceInstance *target = nullptr;
+        std::size_t best = SIZE_MAX;
+        for (auto *inst : instances()) {
+            if (inst->queueLength() < best) {
+                best = inst->queueLength();
+                target = inst;
+            }
+        }
+        if (target) {
+            target->adopt(std::move(orphan));
+            ++result.redispatched;
+        } else {
+            holdQueue_.push_back(std::move(orphan));
+            ++result.held;
+        }
+    }
+    if (instances().empty())
+        crashOutage_ = true;
+    return result;
+}
+
+std::uint64_t
+Stage::residentQueries() const
+{
+    std::uint64_t resident = holdQueue_.size();
+    if (kind_ == StageKind::FanOut)
+        return resident + pendingShards_.size();
+    for (const auto &inst : pool_)
+        resident += inst->queueLength();
+    return resident;
 }
 
 bool
@@ -127,6 +203,12 @@ Stage::submit(QueryPtr q)
 {
     if (kind_ == StageKind::FanOut) {
         submitFanOut(std::move(q));
+        return;
+    }
+    // During a crash outage arrivals are parked, not dropped: the next
+    // launchInstance() replays the hold queue in arrival order.
+    if (crashOutage_ && instances().empty()) {
+        holdQueue_.push_back(PendingQuery{std::move(q), sim_->now()});
         return;
     }
     ServiceInstance *target = dispatcher_.pick(instances());

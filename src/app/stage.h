@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -96,6 +97,42 @@ class Stage
     bool withdrawInstance(std::int64_t instanceId,
                           ServiceInstance *redirectTo = nullptr);
 
+    /** What a crash did with the victim's work (fault injection). */
+    struct CrashResult
+    {
+        /** DVFS level the victim ran at (for the relaunch). */
+        int level = 0;
+        /** Orphaned queries adopted by live peers. */
+        std::size_t redispatched = 0;
+        /** Orphaned queries parked until the relaunch (no peer left). */
+        std::size_t held = 0;
+    };
+
+    /**
+     * Kill an instance abruptly: its in-flight service is aborted and
+     * its whole queue (including that query, which loses all progress)
+     * is re-dispatched to the least-loaded live peers; the core is
+     * released immediately. When the victim was the last live instance
+     * the orphans are parked in a hold queue — the stage keeps
+     * accepting arrivals into it — and everything is replayed into the
+     * next launchInstance().
+     *
+     * @retval nullopt the instance is unknown, or it is the last live
+     *         instance of a fan-out stage (the corpus partitioning
+     *         would be lost; refuse rather than wedge the stage).
+     */
+    std::optional<CrashResult> crashInstance(std::int64_t instanceId);
+
+    /** Queries parked while the stage has no live instance. */
+    std::size_t heldQueries() const { return holdQueue_.size(); }
+
+    /**
+     * Queries resident in this stage: waiting or in service at any
+     * instance (draining included), parked in the hold queue, and — for
+     * fan-out stages — counted once per query rather than per shard.
+     */
+    std::uint64_t residentQueries() const;
+
     /** Dispatch a query to an instance according to the policy. */
     void submit(QueryPtr q);
 
@@ -130,6 +167,10 @@ class Stage
     Telemetry *telemetry_ = nullptr;
     std::vector<std::unique_ptr<ServiceInstance>> pool_;
     int launchCounter_ = 0;
+    /** Queries parked during a crash outage (no live instance). */
+    std::vector<PendingQuery> holdQueue_;
+    /** True while arrivals must be parked instead of dispatched. */
+    bool crashOutage_ = false;
 
     // Fan-out state.
     int referenceShards_ = 0;

@@ -40,6 +40,7 @@ BottleneckIdentifier::observe(SimTime now,
         auto &stats = statsFor(hop.instanceId);
         stats.queuing.add(now, hop.queuing().toSec());
         stats.serving.add(now, hop.serving().toSec());
+        lastReport_[hop.instanceId] = now;
 
         auto stageIt = perStage_.find(hop.stageIndex);
         if (stageIt == perStage_.end()) {
@@ -55,8 +56,24 @@ SortedSnapshots
 BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
 {
     SortedSnapshots out;
+    staleSkips_.clear();
     for (int s = 0; s < app.numStages(); ++s) {
         for (const auto *inst : app.stage(s).instances()) {
+            if (staleWindow_ > SimTime::zero()) {
+                // Frozen averages are worse than no averages: an
+                // instance that reported once and then went silent is
+                // excluded rather than scored on stale history. (A
+                // never-reporting fresh clone still ranks, seeded from
+                // the stage aggregate below.)
+                const auto last = lastReport_.find(inst->id());
+                if (last != lastReport_.end() &&
+                    now - last->second > staleWindow_) {
+                    staleSkips_.push_back(StaleSkip{
+                        inst->id(), s, (now - last->second).toSec()});
+                    ++staleSkipsTotal_;
+                    continue;
+                }
+            }
             InstanceSnapshot snap;
             snap.instanceId = inst->id();
             snap.name = inst->name();
@@ -125,6 +142,12 @@ BottleneckIdentifier::garbageCollect(const MultiStageApp &app)
     for (auto it = perInstance_.begin(); it != perInstance_.end();) {
         if (!live.count(it->first))
             it = perInstance_.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = lastReport_.begin(); it != lastReport_.end();) {
+        if (!live.count(it->first))
+            it = lastReport_.erase(it);
         else
             ++it;
     }

@@ -116,9 +116,40 @@ class BottleneckIdentifier
 
     /**
      * Snapshot and score every live instance of @p app, sorted ascending
-     * by metric (back() is the bottleneck).
+     * by metric (back() is the bottleneck). Instances whose last report
+     * is older than the stale window are skipped (see setStaleWindow);
+     * the skip list is available via lastStaleSkips() until the next
+     * rank() call.
      */
     SortedSnapshots rank(SimTime now, const MultiStageApp &app);
+
+    /**
+     * Degraded-telemetry guard: skip from the ranking any instance that
+     * has reported at least once but not within @p window — its moving
+     * averages are frozen, and boosting/withdrawing on frozen numbers
+     * misallocates power. Instances that have never reported (fresh
+     * clones) are still ranked, seeded from the stage aggregate. Zero
+     * (the default) disables the guard.
+     */
+    void setStaleWindow(SimTime window) { staleWindow_ = window; }
+    SimTime staleWindow() const { return staleWindow_; }
+
+    /** One instance excluded from the last rank() as stale. */
+    struct StaleSkip
+    {
+        std::int64_t instanceId = 0;
+        int stageIndex = 0;
+        double ageSec = 0.0; ///< time since the instance last reported
+    };
+
+    /** Instances skipped by the most recent rank() call. */
+    const std::vector<StaleSkip> &lastStaleSkips() const
+    {
+        return staleSkips_;
+    }
+
+    /** Cumulative stale skips across all rank() calls. */
+    std::uint64_t staleSkipsTotal() const { return staleSkipsTotal_; }
 
     /** Convenience: the bottleneck snapshot, if any instance exists. */
     InstanceSnapshot bottleneck(SimTime now, const MultiStageApp &app);
@@ -158,6 +189,11 @@ class BottleneckIdentifier
     // Stage-level aggregate used to seed brand-new instances that have
     // no history of their own yet (e.g. a fresh clone).
     std::unordered_map<int, InstanceStats> perStage_;
+    // Stale-window guard state.
+    SimTime staleWindow_;
+    std::unordered_map<std::int64_t, SimTime> lastReport_;
+    std::vector<StaleSkip> staleSkips_;
+    std::uint64_t staleSkipsTotal_ = 0;
 };
 
 } // namespace pc

@@ -25,6 +25,8 @@ CommandCenter::CommandCenter(Simulator *sim, MessageBus *bus, CmpChip *chip,
     if (!policy_)
         fatal("command center requires a control policy");
 
+    identifier_.setStaleWindow(cfg_.staleWindow);
+
     endpoint_ = bus_->registerEndpoint(
         "command-center/" + app_->name(),
         [this](const MessagePtr &msg) { onMessage(msg); });
@@ -58,6 +60,8 @@ CommandCenter::setTelemetry(Telemetry *telemetry)
         intervalsCounter_ = nullptr;
         reportsCounter_ = nullptr;
         malformedCounter_ = nullptr;
+        staleSkipCounter_ = nullptr;
+        actuationFailCounter_ = nullptr;
         headroomGauge_ = nullptr;
         selfTime_ = nullptr;
         queueGauges_.clear();
@@ -69,6 +73,9 @@ CommandCenter::setTelemetry(Telemetry *telemetry)
     reportsCounter_ = &metrics.counter("control.reports_total");
     malformedCounter_ =
         &metrics.counter("control.malformed_reports_total");
+    staleSkipCounter_ = &metrics.counter("control.stale_skips_total");
+    actuationFailCounter_ =
+        &metrics.counter("control.actuation_failures_total");
     headroomGauge_ = &metrics.gauge("power.headroom_watts");
     // Wall-clock self-time is host-dependent; keep it out of dumps.
     selfTime_ = &metrics.histogram("control.self_time_usec",
@@ -83,7 +90,7 @@ CommandCenter::setTelemetry(Telemetry *telemetry)
 void
 CommandCenter::start()
 {
-    if (loop_)
+    if (loop_ != Simulator::kInvalidEvent)
         return;
     loop_ = sim_->schedulePeriodic(sim_->now() + cfg_.adjustInterval,
                                    cfg_.adjustInterval,
@@ -93,10 +100,10 @@ CommandCenter::start()
 void
 CommandCenter::stop()
 {
-    if (!loop_)
+    if (loop_ == Simulator::kInvalidEvent)
         return;
     sim_->cancelPeriodic(loop_);
-    loop_ = 0;
+    loop_ = Simulator::kInvalidEvent;
 }
 
 void
@@ -163,7 +170,21 @@ CommandCenter::tick()
     ctx.cfg = &cfg_;
     ctx.e2eLatency = &e2e_;
     ctx.trace = &trace_;
+    ctx.actuationFailures = actuationFailCounter_;
     ctx.ranked = identifier_.rank(sim_->now(), *app_);
+
+    // Degraded-telemetry accounting: every instance excluded for
+    // frozen statistics is counted and audited, so a lossy fabric is
+    // visible rather than silently shrinking the candidate set.
+    for (const auto &skip : identifier_.lastStaleSkips()) {
+        if (staleSkipCounter_)
+            staleSkipCounter_->add();
+        if (audit_ && audit_->enabled()) {
+            audit_->recordStaleSkip(skip.instanceId, skip.stageIndex,
+                                    skip.ageSec,
+                                    cfg_.staleWindow.toSec());
+        }
+    }
 
     policy_->onInterval(ctx);
 

@@ -123,7 +123,7 @@ class CommandCenter
     DecisionTrace trace_;
 
     EndpointId endpoint_ = 0;
-    EventId loop_ = 0;
+    EventId loop_ = Simulator::kInvalidEvent;
     SimTime lastWithdraw_;
     std::uint64_t intervals_ = 0;
     std::uint64_t observed_ = 0;
@@ -136,6 +136,8 @@ class CommandCenter
     Counter *intervalsCounter_ = nullptr;
     Counter *reportsCounter_ = nullptr;
     Counter *malformedCounter_ = nullptr;
+    Counter *staleSkipCounter_ = nullptr;
+    Counter *actuationFailCounter_ = nullptr;
     Gauge *headroomGauge_ = nullptr;
     Histogram *selfTime_ = nullptr;
     std::vector<Gauge *> queueGauges_;

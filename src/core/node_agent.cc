@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace pc {
 
@@ -108,10 +109,62 @@ RemoteChipControl::readPower(PowerCallback cb)
                       });
 }
 
+void
+RemoteChipControl::setRetryPolicy(const RpcRetryPolicy &policy)
+{
+    freqClient_.setRetryPolicy(policy);
+    powerClient_.setRetryPolicy(policy);
+}
+
+void
+RemoteChipControl::setTelemetry(Telemetry *telemetry)
+{
+    if (!telemetry) {
+        freqClient_.setRetryHook(nullptr);
+        freqClient_.setBadReplyHook(nullptr);
+        powerClient_.setRetryHook(nullptr);
+        powerClient_.setBadReplyHook(nullptr);
+        return;
+    }
+    MetricsRegistry &metrics = telemetry->metrics();
+    Counter *retries = &metrics.counter("rpc.client.retries_total");
+    Counter *badReply = &metrics.counter("rpc.client.bad_reply");
+    AuditLog *audit = &telemetry->audit();
+    const auto onRetry = [retries, audit](std::uint64_t callId,
+                                          int attempt, SimTime backoff) {
+        retries->add();
+        if (audit->enabled())
+            audit->recordRpcRetry(callId, attempt, backoff.toSec());
+    };
+    const auto onBadReply = [badReply]() { badReply->add(); };
+    freqClient_.setRetryHook(onRetry);
+    freqClient_.setBadReplyHook(onBadReply);
+    powerClient_.setRetryHook(onRetry);
+    powerClient_.setBadReplyHook(onBadReply);
+}
+
 std::size_t
 RemoteChipControl::inFlight() const
 {
     return freqClient_.inFlight() + powerClient_.inFlight();
+}
+
+std::uint64_t
+RemoteChipControl::retries() const
+{
+    return freqClient_.retries() + powerClient_.retries();
+}
+
+std::uint64_t
+RemoteChipControl::failures() const
+{
+    return freqClient_.failures() + powerClient_.failures();
+}
+
+std::uint64_t
+RemoteChipControl::badReplies() const
+{
+    return freqClient_.badReplies() + powerClient_.badReplies();
 }
 
 } // namespace pc

@@ -24,6 +24,8 @@
 
 namespace pc {
 
+class Telemetry;
+
 struct SetFrequencyReq
 {
     int coreId = -1;
@@ -87,7 +89,25 @@ class RemoteChipControl
     void setFrequency(int coreId, MHz freq, FreqCallback cb);
     void readPower(PowerCallback cb);
 
+    /** Apply one retransmission policy to both underlying clients. */
+    void setRetryPolicy(const RpcRetryPolicy &policy);
+
+    /**
+     * Mirror client-side RPC health into the metrics registry
+     * ("rpc.client.retries_total", "rpc.client.bad_reply") and append
+     * one rpc_retry audit record per retransmission. The rpc layer
+     * itself stays observability-free; this is the wiring point.
+     * nullptr detaches.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
     std::size_t inFlight() const;
+    /** Retransmissions across both channels. */
+    std::uint64_t retries() const;
+    /** Calls that exhausted their retry budget. */
+    std::uint64_t failures() const;
+    /** Replies dropped because the payload type did not match. */
+    std::uint64_t badReplies() const;
 
   private:
     RpcClient<SetFrequencyReq, SetFrequencyResp> freqClient_;

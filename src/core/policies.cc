@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace pc {
 
@@ -18,6 +19,18 @@ frequencyBoost(ControlContext &ctx, const InstanceSnapshot &bn,
     if (!ctx.budget->updateLevel(bn.instanceId, toLevel))
         return false;
     ctx.cpufreq->setLevel(bn.coreId, toLevel);
+    // Read back through PERF_STATUS: a dropped PERF_CTL write (fault
+    // injection / flaky hardware) leaves the core at its old operating
+    // point, and holding the reservation would leak budget forever.
+    // Reconcile the ledger to what the hardware actually runs at.
+    const int actual = ctx.cpufreq->getLevel(bn.coreId);
+    if (actual != toLevel) {
+        if (!ctx.budget->updateLevel(bn.instanceId, actual))
+            panic("budget rejected actuation-failure reconciliation");
+        if (ctx.actuationFailures)
+            ctx.actuationFailures->add();
+        return false;
+    }
     if (ctx.trace)
         ctx.trace->record(ctx.sim->now(), TraceKind::FrequencyBoost,
                           bn.name, toLevel);
@@ -60,6 +73,16 @@ stepDown(ControlContext &ctx, const InstanceSnapshot &inst)
     if (!ctx.budget->updateLevel(inst.instanceId, cur - 1))
         panic("budget rejected a frequency step-down");
     ctx.cpufreq->setLevel(inst.coreId, cur - 1);
+    const int actual = ctx.cpufreq->getLevel(inst.coreId);
+    if (actual != cur - 1) {
+        // The core still runs at its old frequency; re-reserve the
+        // power it actually draws instead of under-accounting it.
+        if (!ctx.budget->updateLevel(inst.instanceId, actual))
+            panic("budget rejected step-down reconciliation");
+        if (ctx.actuationFailures)
+            ctx.actuationFailures->add();
+        return false;
+    }
     if (ctx.trace)
         ctx.trace->record(ctx.sim->now(),
                           TraceKind::FrequencyStepDown, inst.name,

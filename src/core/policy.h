@@ -38,6 +38,13 @@ struct ControlConfig
     SimTime e2eWindow = SimTime::sec(30);
     /** Enable the §6.2 withdraw monitor (PowerChief / conserve modes). */
     bool enableWithdraw = false;
+    /**
+     * Degraded-telemetry guard: exclude from the bottleneck ranking any
+     * instance whose last report is older than this (its moving
+     * averages are frozen). Zero disables — the default, so perfect-
+     * fabric runs are unchanged. See docs/ROBUSTNESS.md.
+     */
+    SimTime staleWindow = SimTime::zero();
 };
 
 /** Everything a policy may observe and actuate during one interval. */
@@ -56,6 +63,12 @@ struct ControlContext
     const MovingWindow *e2eLatency = nullptr;
     /** Structured decision log (may be nullptr when tracing is off). */
     DecisionTrace *trace = nullptr;
+    /**
+     * Counts DVFS actuations whose PERF_CTL write did not take effect
+     * (read-back mismatch); nullptr when telemetry is off. The actuate
+     * helpers reconcile the budget ledger and bump this.
+     */
+    Counter *actuationFailures = nullptr;
     /** Fresh ascending-metric ranking computed for this interval. */
     SortedSnapshots ranked;
 

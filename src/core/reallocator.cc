@@ -47,12 +47,15 @@ PowerReallocator::setTelemetry(Telemetry *telemetry)
         calls_ = nullptr;
         donorSteps_ = nullptr;
         watts_ = nullptr;
+        actuationFailures_ = nullptr;
         return;
     }
     MetricsRegistry &metrics = telemetry->metrics();
     calls_ = &metrics.counter("recycle.calls_total");
     donorSteps_ = &metrics.counter("recycle.donor_steps_total");
     watts_ = &metrics.counter("recycle.watts_total");
+    actuationFailures_ =
+        &metrics.counter("control.actuation_failures_total");
 }
 
 Watts
@@ -87,6 +90,25 @@ PowerReallocator::recycleFromInstance(const InstanceSnapshot &inst,
     if (!budget_->updateLevel(inst.instanceId, target))
         panic("budget rejected a frequency step-down");
     cpufreq_->setLevel(inst.coreId, target);
+    // Read back: a dropped PERF_CTL write means the donor still runs
+    // (and draws power) at its old level, so the watts were never
+    // actually freed. Re-reserve them and report only what the
+    // hardware confirmed.
+    const int actual = cpufreq_->getLevel(inst.coreId);
+    if (actual != target) {
+        if (!budget_->updateLevel(inst.instanceId, actual))
+            panic("budget rejected donor reconciliation");
+        if (actuationFailures_)
+            actuationFailures_->add();
+        if (actual >= cur)
+            return Watts(0.0);
+        const Watts partial =
+            model.activeWatts(cur) - model.activeWatts(actual);
+        donorStepsTaken_ += static_cast<std::uint64_t>(cur - actual);
+        if (donorSteps_)
+            donorSteps_->add(static_cast<double>(cur - actual));
+        return partial;
+    }
     donorStepsTaken_ += static_cast<std::uint64_t>(cur - target);
     if (donorSteps_)
         donorSteps_->add(static_cast<double>(cur - target));

@@ -128,6 +128,7 @@ class PowerReallocator
     Counter *calls_ = nullptr;
     Counter *donorSteps_ = nullptr;
     Counter *watts_ = nullptr;
+    Counter *actuationFailures_ = nullptr;
     AuditLog *audit_ = nullptr;
 };
 

@@ -204,7 +204,19 @@ scenarioFromJson(const JsonValue &document)
     scenario.numCores =
         static_cast<int>(sc->numberOr("num_cores", 16));
     scenario.wireReports = sc->boolOr("wire_reports", false);
+    scenario.control.staleWindow =
+        SimTime::sec(sc->numberOr("stale_window_sec", 0.0));
     scenario.name = sc->stringOr("name", workload->name() + "/config");
+
+    // Optional chaos section (docs/ROBUSTNESS.md schema).
+    if (const JsonValue *faults = document.find("faults")) {
+        auto plan = faultPlanFromJson(*faults, &error);
+        if (!plan) {
+            result.error = error;
+            return result;
+        }
+        scenario.faults = std::move(*plan);
+    }
 
     result.scenario = std::move(scenario);
     return result;

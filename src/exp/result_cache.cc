@@ -102,6 +102,15 @@ scenarioCanonical(const Scenario &sc)
     appendNum(&out, sc.control.balanceThresholdSec);
     appendTime(&out, sc.control.e2eWindow);
     appendInt(&out, sc.control.enableWithdraw ? 1 : 0);
+    // Appended only when set so historical cache keys stay valid.
+    if (sc.control.staleWindow > SimTime::zero()) {
+        out += "stale:";
+        appendTime(&out, sc.control.staleWindow);
+    }
+    if (sc.faults.active) {
+        out += "|";
+        out += sc.faults.canonical();
+    }
     out += "|run:";
     appendTime(&out, sc.duration);
     appendTime(&out, sc.warmup);

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/command_center.h"
+#include "faults/injector.h"
 #include "hal/rapl.h"
 #include "obs/telemetry.h"
 #include "rpc/bus.h"
@@ -113,6 +114,15 @@ ExperimentRunner::run(const Scenario &sc,
     center.setTelemetry(tel);
     center.start();
 
+    // Fault-injection layer (chaos runs only). Armed before any load
+    // arrives; an inactive plan constructs nothing at all.
+    std::optional<FaultInjector> injector;
+    if (sc.faults.active) {
+        injector.emplace(&sim, &bus, &app, &chip, &budget, sc.faults,
+                         sc.seed, tel);
+        injector->arm();
+    }
+
     // End-to-end latency histograms mirror the printed RunResult
     // numbers: same samples, same warmup filter, so the dumped p99
     // matches p99LatencySec exactly.
@@ -179,6 +189,8 @@ ExperimentRunner::run(const Scenario &sc,
 
     // Power measurement through the RAPL code path.
     RaplReader rapl(&chip);
+    if (injector)
+        rapl.setFaultHook(injector->raplFaultHook());
     StreamingStats power;
     if (recordTraces_) {
         result.stageInstanceCounts.assign(
@@ -231,6 +243,29 @@ ExperimentRunner::run(const Scenario &sc,
     const Joules energyBefore = chip.totalEnergy();
     sim.runUntil(sc.duration);
     center.stop();
+
+    if (injector) {
+        // Chaos-run invariants: no query may be lost or minted by a
+        // fault (conservation), and the budget ledger must agree with
+        // every live instance's actual level ("ledger == Σ model"),
+        // even after dropped PERF_CTL writes and crash/recovery churn.
+        if (app.completed() + app.residentQueries() != app.submitted())
+            fatal("fault run broke query conservation: "
+                  "%llu submitted != %llu completed + %llu resident",
+                  static_cast<unsigned long long>(app.submitted()),
+                  static_cast<unsigned long long>(app.completed()),
+                  static_cast<unsigned long long>(
+                      app.residentQueries()));
+        for (const auto *inst : app.allInstances()) {
+            if (inst->draining())
+                continue;
+            if (budget.levelOf(inst->id()) != inst->level())
+                fatal("fault run broke the budget ledger: instance "
+                      "%s reserved level %d but runs at %d",
+                      inst->name().c_str(),
+                      budget.levelOf(inst->id()), inst->level());
+        }
+    }
 
     result.submitted = app.submitted();
     result.completed = app.completed();

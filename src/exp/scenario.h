@@ -20,6 +20,7 @@
 #include "core/bottleneck.h"
 #include "core/policy.h"
 #include "core/reallocator.h"
+#include "faults/fault_plan.h"
 #include "workloads/loadgen.h"
 #include "workloads/profiles.h"
 
@@ -78,6 +79,12 @@ struct Scenario
     InterferenceModel interference;
 
     ControlConfig control;
+
+    /**
+     * Chaos-testing fault plan; inactive (the default) runs without a
+     * fault layer and reproduces historical traces byte-for-byte.
+     */
+    FaultPlan faults;
 
     SimTime duration = SimTime::sec(900);
     SimTime warmup = SimTime::sec(50);

@@ -1,0 +1,243 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "app/stats_codec.h"
+#include "common/logging.h"
+#include "hal/msr.h"
+#include "obs/telemetry.h"
+
+namespace pc {
+
+FaultInjector::FaultInjector(Simulator *sim, MessageBus *bus,
+                             MultiStageApp *app, CmpChip *chip,
+                             PowerBudget *budget, const FaultPlan &plan,
+                             std::uint64_t scenarioSeed,
+                             Telemetry *telemetry)
+    : sim_(sim), bus_(bus), app_(app), chip_(chip), budget_(budget),
+      plan_(plan),
+      rng_(plan.seed * 0x9e3779b97f4a7c15ull ^ scenarioSeed)
+{
+    if (!plan_.active)
+        fatal("fault injector constructed from an inactive plan");
+    if (telemetry) {
+        MetricsRegistry &metrics = telemetry->metrics();
+        cBusDropped_ = &metrics.counter("faults.bus.dropped_total");
+        cBusDuplicated_ =
+            &metrics.counter("faults.bus.duplicated_total");
+        cBusDelayed_ = &metrics.counter("faults.bus.delayed_total");
+        cWireTruncated_ =
+            &metrics.counter("faults.wire.truncated_total");
+        cWireStale_ = &metrics.counter("faults.wire.stale_total");
+        cRaplErrors_ = &metrics.counter("faults.rapl.errors_total");
+        cPerfCtlDropped_ =
+            &metrics.counter("faults.perfctl.dropped_total");
+        cCrashes_ = &metrics.counter("faults.crashes_total");
+        cRelaunches_ = &metrics.counter("faults.relaunches_total");
+    }
+}
+
+void
+FaultInjector::bump(Counter *counter)
+{
+    if (counter)
+        counter->add();
+}
+
+void
+FaultInjector::arm()
+{
+    bus_->setFaultFilter(
+        [this](const std::string &toName, const MessagePtr &msg) {
+            return onSend(toName, msg);
+        });
+    if (plan_.telemetry.perfCtlFailRate > 0.0) {
+        chip_->msr().setWriteFaultFilter(
+            [this](int, std::uint32_t index) {
+                if (index != msr::IA32_PERF_CTL)
+                    return false;
+                if (!rng_.bernoulli(plan_.telemetry.perfCtlFailRate))
+                    return false;
+                ++counters_.perfCtlDropped;
+                bump(cPerfCtlDropped_);
+                return true;
+            });
+    }
+    for (const auto &crash : plan_.crashes) {
+        const int stage = crash.stage;
+        const SimTime recovery = crash.recovery;
+        sim_->scheduleAt(crash.at, [this, stage, recovery]() {
+            doCrash(stage, recovery);
+        });
+    }
+}
+
+std::function<bool()>
+FaultInjector::raplFaultHook()
+{
+    return [this]() {
+        const double rate = plan_.telemetry.raplFailRate;
+        if (rate <= 0.0)
+            return false;
+        if (!rng_.bernoulli(rate))
+            return false;
+        ++counters_.raplErrors;
+        bump(cRaplErrors_);
+        return true;
+    };
+}
+
+std::optional<BusFaultAction>
+FaultInjector::onSend(const std::string &toName, const MessagePtr &msg)
+{
+    BusFaultAction action;
+    bool fired = false;
+
+    if (const BusFaultRule *rule = plan_.ruleFor(toName)) {
+        // Guard every draw on rate > 0 so an all-zero plan consumes no
+        // randomness — the byte-identity contract with clean runs.
+        if (rule->dropRate > 0.0 && rng_.bernoulli(rule->dropRate)) {
+            ++counters_.busDropped;
+            bump(cBusDropped_);
+            action.drop = true;
+            return action;
+        }
+        if (rule->duplicateRate > 0.0 &&
+            rng_.bernoulli(rule->duplicateRate)) {
+            action.duplicates = 1;
+            ++counters_.busDuplicated;
+            bump(cBusDuplicated_);
+            fired = true;
+        }
+        if (rule->reorderRate > 0.0 &&
+            rng_.bernoulli(rule->reorderRate)) {
+            const std::int64_t maxUs = std::max<std::int64_t>(
+                1, rule->reorderJitterMax.toUsec());
+            action.extraDelay =
+                SimTime::usec(rng_.uniformInt(1, maxUs));
+            ++counters_.busDelayed;
+            bump(cBusDelayed_);
+            fired = true;
+        }
+    }
+
+    const TelemetryFaults &tf = plan_.telemetry;
+    if (tf.staleRate > 0.0 || tf.truncateRate > 0.0) {
+        if (const auto wire =
+                std::dynamic_pointer_cast<const WireStatsMessage>(
+                    msg)) {
+            if (tf.staleRate > 0.0 && rng_.bernoulli(tf.staleRate)) {
+                // Replay the previous genuine buffer for this
+                // destination; nothing seen yet leaves the send alone.
+                const auto it = lastWire_.find(toName);
+                if (it != lastWire_.end()) {
+                    action.replace =
+                        std::make_shared<WireStatsMessage>(it->second);
+                    ++counters_.wireStale;
+                    bump(cWireStale_);
+                    fired = true;
+                }
+            } else if (tf.truncateRate > 0.0 && !wire->bytes.empty() &&
+                       rng_.bernoulli(tf.truncateRate)) {
+                const auto keep =
+                    static_cast<std::size_t>(rng_.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(wire->bytes.size()) -
+                            1));
+                action.replace = std::make_shared<WireStatsMessage>(
+                    std::vector<std::uint8_t>(
+                        wire->bytes.begin(),
+                        wire->bytes.begin() +
+                            static_cast<std::ptrdiff_t>(keep)));
+                ++counters_.wireTruncated;
+                bump(cWireTruncated_);
+                fired = true;
+            }
+            if (!action.replace && tf.staleRate > 0.0)
+                lastWire_[toName] = wire->bytes;
+        }
+    }
+
+    if (!fired)
+        return std::nullopt;
+    return action;
+}
+
+void
+FaultInjector::doCrash(int stageIndex, SimTime recovery)
+{
+    if (stageIndex < 0 || stageIndex >= app_->numStages()) {
+        ++counters_.crashesSkipped;
+        return;
+    }
+    Stage &stage = app_->stage(stageIndex);
+
+    // Kill where it hurts: the deepest queue (ties broken by lowest id
+    // for determinism).
+    ServiceInstance *victim = nullptr;
+    for (ServiceInstance *inst : stage.instances()) {
+        if (!victim || inst->queueLength() > victim->queueLength() ||
+            (inst->queueLength() == victim->queueLength() &&
+             inst->id() < victim->id()))
+            victim = inst;
+    }
+    if (!victim) {
+        ++counters_.crashesSkipped;
+        return;
+    }
+    const std::int64_t victimId = victim->id();
+
+    const auto result = stage.crashInstance(victimId);
+    if (!result) {
+        // FanOut stages refuse to lose their last live instance.
+        ++counters_.crashesSkipped;
+        return;
+    }
+    ++counters_.crashes;
+    bump(cCrashes_);
+    counters_.redispatched += result->redispatched;
+    counters_.heldQueries += result->held;
+
+    // A dead core draws no modelled power; free its reservation so the
+    // ledger matches the live instances (withdrawn instances may have
+    // released theirs already).
+    if (budget_->levelOf(victimId) >= 0)
+        budget_->release(victimId);
+
+    const int level = result->level;
+    sim_->scheduleAfter(recovery, [this, stageIndex, level, recovery]() {
+        tryRelaunch(stageIndex, level, recovery);
+    });
+}
+
+void
+FaultInjector::tryRelaunch(int stageIndex, int level, SimTime recovery)
+{
+    const auto &model = budget_->model();
+    if (!budget_->canAfford(model.activeWatts(level))) {
+        ++counters_.relaunchesDeferred;
+        sim_->scheduleAfter(recovery,
+                            [this, stageIndex, level, recovery]() {
+                                tryRelaunch(stageIndex, level, recovery);
+                            });
+        return;
+    }
+    ServiceInstance *inst =
+        app_->stage(stageIndex).launchInstance(level);
+    if (!inst) {
+        // Chip fully occupied; retry after another recovery period.
+        ++counters_.relaunchesDeferred;
+        sim_->scheduleAfter(recovery,
+                            [this, stageIndex, level, recovery]() {
+                                tryRelaunch(stageIndex, level, recovery);
+                            });
+        return;
+    }
+    if (!budget_->allocate(inst->id(), level))
+        panic("budget rejected an affordable crash relaunch");
+    ++counters_.relaunches;
+    bump(cRelaunches_);
+}
+
+} // namespace pc

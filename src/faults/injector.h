@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic fault injector: drives a FaultPlan against one run.
+ *
+ * The injector turns a declarative FaultPlan into concrete mischief:
+ * a bus fault filter (drop / duplicate / jitter / wire-report
+ * corruption), an MSR write-fault filter (dropped IA32_PERF_CTL
+ * writes), a RAPL read-fault hook, and scheduled instance crashes with
+ * delayed relaunch. Every decision is drawn from a single Rng seeded
+ * from `plan.seed ⊕ scenario seed` strictly inside the simulation's
+ * event order, so a faulty run is as bit-reproducible as a clean one —
+ * at any sweep --jobs value.
+ *
+ * The injector is a run-scoped object owned by the ExperimentRunner:
+ * construct, arm(), let the simulation run, read counters() afterward.
+ * It deliberately lives *outside* the components it perturbs — the
+ * bus, HAL and stages expose narrow fault hooks and otherwise know
+ * nothing about chaos. See docs/ROBUSTNESS.md.
+ */
+
+#ifndef PC_FAULTS_INJECTOR_H
+#define PC_FAULTS_INJECTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "common/rng.h"
+#include "faults/fault_plan.h"
+#include "hal/chip.h"
+#include "power/budget.h"
+#include "rpc/bus.h"
+#include "sim/simulator.h"
+
+namespace pc {
+
+class Counter;
+class Telemetry;
+
+/** Everything the injector did to the run, for assertions and dumps. */
+struct FaultCounters
+{
+    std::uint64_t busDropped = 0;
+    std::uint64_t busDuplicated = 0;
+    std::uint64_t busDelayed = 0;
+    std::uint64_t wireTruncated = 0;
+    std::uint64_t wireStale = 0;
+    std::uint64_t raplErrors = 0;
+    std::uint64_t perfCtlDropped = 0;
+    std::uint64_t crashes = 0;
+    /** Scheduled crashes that found nothing to kill (empty stage…). */
+    std::uint64_t crashesSkipped = 0;
+    /** Orphaned queries adopted by surviving peers. */
+    std::uint64_t redispatched = 0;
+    /** Orphaned queries parked in a stage hold queue. */
+    std::uint64_t heldQueries = 0;
+    std::uint64_t relaunches = 0;
+    /** Relaunch attempts deferred by budget or chip occupancy. */
+    std::uint64_t relaunchesDeferred = 0;
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * @param scenarioSeed mixed into the fault stream so the same plan
+     *        over different scenarios draws different faults.
+     * @param telemetry optional; when present, faults.* counters mirror
+     *        the FaultCounters fields into the metrics registry.
+     */
+    FaultInjector(Simulator *sim, MessageBus *bus, MultiStageApp *app,
+                  CmpChip *chip, PowerBudget *budget,
+                  const FaultPlan &plan, std::uint64_t scenarioSeed,
+                  Telemetry *telemetry = nullptr);
+
+    /**
+     * Install the bus and MSR filters and schedule the plan's crashes.
+     * Call once, before the simulation runs. A plan with all-zero rates
+     * installs a filter that never draws and never acts — the run stays
+     * byte-identical to one without a fault layer.
+     */
+    void arm();
+
+    /**
+     * Hook for RaplReader::setFaultHook. Returns false without drawing
+     * when raplFailRate is zero.
+     */
+    std::function<bool()> raplFaultHook();
+
+    const FaultCounters &counters() const { return counters_; }
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    std::optional<BusFaultAction> onSend(const std::string &toName,
+                                         const MessagePtr &msg);
+    void doCrash(int stageIndex, SimTime recovery);
+    void tryRelaunch(int stageIndex, int level, SimTime recovery);
+    void bump(Counter *counter);
+
+    Simulator *sim_;
+    MessageBus *bus_;
+    MultiStageApp *app_;
+    CmpChip *chip_;
+    PowerBudget *budget_;
+    FaultPlan plan_;
+    Rng rng_;
+    FaultCounters counters_;
+
+    /** Last genuine wire buffer per destination, for stale replay. */
+    std::unordered_map<std::string, std::vector<std::uint8_t>>
+        lastWire_;
+
+    // faults.* registry counters; nullptr when telemetry is off.
+    Counter *cBusDropped_ = nullptr;
+    Counter *cBusDuplicated_ = nullptr;
+    Counter *cBusDelayed_ = nullptr;
+    Counter *cWireTruncated_ = nullptr;
+    Counter *cWireStale_ = nullptr;
+    Counter *cRaplErrors_ = nullptr;
+    Counter *cPerfCtlDropped_ = nullptr;
+    Counter *cCrashes_ = nullptr;
+    Counter *cRelaunches_ = nullptr;
+};
+
+} // namespace pc
+
+#endif // PC_FAULTS_INJECTOR_H

@@ -5,6 +5,8 @@ namespace pc {
 void
 MsrSpace::write(int cpu, std::uint32_t index, std::uint64_t value)
 {
+    if (writeFault_ && writeFault_(cpu, index))
+        return;
     store_[{cpu, index}] = value;
     auto it = writeHooks_.find(index);
     if (it != writeHooks_.end())
@@ -31,6 +33,12 @@ void
 MsrSpace::setReadHook(std::uint32_t index, ReadHook hook)
 {
     readHooks_[index] = std::move(hook);
+}
+
+void
+MsrSpace::setWriteFaultFilter(WriteFaultFilter filter)
+{
+    writeFault_ = std::move(filter);
 }
 
 } // namespace pc

@@ -57,6 +57,9 @@ class MsrSpace
         std::function<void(int cpu, std::uint32_t index, std::uint64_t val)>;
     using ReadHook =
         std::function<std::uint64_t(int cpu, std::uint32_t index)>;
+    /** Returns true to silently drop the write (injected fault). */
+    using WriteFaultFilter =
+        std::function<bool(int cpu, std::uint32_t index)>;
 
     /** Write an MSR on a logical cpu; fires the hook if one is set. */
     void write(int cpu, std::uint32_t index, std::uint64_t value);
@@ -67,10 +70,19 @@ class MsrSpace
     void setWriteHook(std::uint32_t index, WriteHook hook);
     void setReadHook(std::uint32_t index, ReadHook hook);
 
+    /**
+     * Install (or clear) a fault filter consulted before every write.
+     * A dropped write neither updates the store nor fires the write
+     * hook, exactly like a wrmsr that the hardware never applied — a
+     * subsequent read-back observes the old value.
+     */
+    void setWriteFaultFilter(WriteFaultFilter filter);
+
   private:
     std::map<std::pair<int, std::uint32_t>, std::uint64_t> store_;
     std::map<std::uint32_t, WriteHook> writeHooks_;
     std::map<std::uint32_t, ReadHook> readHooks_;
+    WriteFaultFilter writeFault_;
 };
 
 } // namespace pc

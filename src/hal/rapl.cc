@@ -40,13 +40,20 @@ RaplReader::windowEnergy()
 Watts
 RaplReader::windowPower()
 {
+    if (fault_ && fault_()) {
+        // Failed MSR read: hold the last good sample. lastCounter_ and
+        // lastTime_ stay put, so the next successful call averages the
+        // true energy over the whole (larger) window.
+        return lastPower_;
+    }
     const SimTime now = chip_->sim().now();
     const SimTime span = now - lastTime_;
     const Joules energy = windowEnergy();
     lastTime_ = now;
     if (span <= SimTime::zero())
         return Watts(0.0);
-    return Watts(energy.value() / span.toSec());
+    lastPower_ = Watts(energy.value() / span.toSec());
+    return lastPower_;
 }
 
 } // namespace pc

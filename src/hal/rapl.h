@@ -12,6 +12,7 @@
 #define PC_HAL_RAPL_H
 
 #include <cstdint>
+#include <functional>
 
 #include "common/time.h"
 #include "common/units.h"
@@ -35,9 +36,16 @@ class RaplReader
 
     /**
      * Average package power over the window since the previous call.
-     * Returns 0 W when no simulated time has elapsed.
+     * Returns 0 W when no simulated time has elapsed. If a fault hook
+     * reports a failed read, the previous sample is held and the window
+     * is left open, so the next successful read integrates across the
+     * gap (no energy is lost, only the sample is late).
      */
     Watts windowPower();
+
+    /** Returns true when this energy read should fail (injected). */
+    using FaultHook = std::function<bool()>;
+    void setFaultHook(FaultHook hook) { fault_ = std::move(hook); }
 
   private:
     std::uint32_t readCounter() const;
@@ -46,6 +54,8 @@ class RaplReader
     double unitJoules_;
     std::uint32_t lastCounter_;
     SimTime lastTime_;
+    FaultHook fault_;
+    Watts lastPower_{0.0};
 };
 
 } // namespace pc

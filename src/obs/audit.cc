@@ -22,6 +22,8 @@ toString(AuditDecisionKind kind)
       case AuditDecisionKind::Select: return "select";
       case AuditDecisionKind::Recycle: return "recycle";
       case AuditDecisionKind::Withdraw: return "withdraw";
+      case AuditDecisionKind::RpcRetry: return "rpc_retry";
+      case AuditDecisionKind::StaleSkip: return "stale_skip";
     }
     return "?";
 }
@@ -100,6 +102,41 @@ AuditLog::recordWithdraw(std::int64_t instanceId, int stageIndex,
     rec.stageIndex = stageIndex;
     rec.utilization = utilization;
     rec.utilizationThreshold = threshold;
+    records_.push_back(std::move(rec));
+}
+
+void
+AuditLog::recordRpcRetry(std::uint64_t callId, int attempt,
+                         double backoffSec)
+{
+    if (!enabled_)
+        return;
+    AuditRecord rec;
+    rec.seq = records_.size();
+    rec.t = now_;
+    rec.interval = interval_;
+    rec.kind = AuditDecisionKind::RpcRetry;
+    rec.callId = callId;
+    rec.attempt = attempt;
+    rec.backoffSec = backoffSec;
+    records_.push_back(std::move(rec));
+}
+
+void
+AuditLog::recordStaleSkip(std::int64_t instanceId, int stageIndex,
+                          double ageSec, double staleWindowSec)
+{
+    if (!enabled_)
+        return;
+    AuditRecord rec;
+    rec.seq = records_.size();
+    rec.t = now_;
+    rec.interval = interval_;
+    rec.kind = AuditDecisionKind::StaleSkip;
+    rec.targetInstance = localId(instanceId);
+    rec.stageIndex = stageIndex;
+    rec.ageSec = ageSec;
+    rec.staleWindowSec = staleWindowSec;
     records_.push_back(std::move(rec));
 }
 
@@ -242,6 +279,17 @@ recordToJson(const AuditRecord &rec)
         o["utilization_threshold"] =
             JsonValue(rec.utilizationThreshold);
         break;
+      case AuditDecisionKind::RpcRetry:
+        o["attempt"] = JsonValue(rec.attempt);
+        o["backoff_s"] = JsonValue(rec.backoffSec);
+        o["call_id"] = JsonValue(static_cast<double>(rec.callId));
+        break;
+      case AuditDecisionKind::StaleSkip:
+        o["age_s"] = JsonValue(rec.ageSec);
+        o["stage"] = JsonValue(rec.stageIndex);
+        o["stale_window_s"] = JsonValue(rec.staleWindowSec);
+        o["target"] = JsonValue(static_cast<double>(rec.targetInstance));
+        break;
     }
     return JsonValue(std::move(o));
 }
@@ -252,7 +300,7 @@ JsonValue
 AuditLog::toJson() const
 {
     JsonArray records;
-    std::uint64_t counts[3] = {0, 0, 0};
+    std::uint64_t counts[5] = {0, 0, 0, 0, 0};
     std::uint64_t chosen[3] = {0, 0, 0};
     std::uint64_t actuated = 0;
     std::uint64_t scoredByKind[3] = {0, 0, 0};
@@ -300,8 +348,12 @@ AuditLog::toJson() const
     JsonObject decisions;
     decisions["recycle"] =
         count(counts[static_cast<int>(AuditDecisionKind::Recycle)]);
+    decisions["rpc_retry"] =
+        count(counts[static_cast<int>(AuditDecisionKind::RpcRetry)]);
     decisions["select"] =
         count(counts[static_cast<int>(AuditDecisionKind::Select)]);
+    decisions["stale_skip"] =
+        count(counts[static_cast<int>(AuditDecisionKind::StaleSkip)]);
     decisions["withdraw"] =
         count(counts[static_cast<int>(AuditDecisionKind::Withdraw)]);
 

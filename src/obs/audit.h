@@ -41,7 +41,7 @@ enum class AuditBoostKind { None, Frequency, Instance };
 const char *toString(AuditBoostKind kind);
 
 /** What class of control-plane decision a record describes. */
-enum class AuditDecisionKind { Select, Recycle, Withdraw };
+enum class AuditDecisionKind { Select, Recycle, Withdraw, RpcRetry, StaleSkip };
 
 const char *toString(AuditDecisionKind kind);
 
@@ -107,6 +107,20 @@ struct AuditRecord
     double utilization = 0.0;
     double utilizationThreshold = 0.0;
 
+    // --- RpcRetry (control-plane hardening, docs/ROBUSTNESS.md) ---
+    /** Correlation id of the retried call. */
+    std::uint64_t callId = 0;
+    /** 1-based attempt number the retry is about to make. */
+    int attempt = 0;
+    /** Backoff waited before the resend (seconds). */
+    double backoffSec = 0.0;
+
+    // --- StaleSkip (degraded-telemetry guard; target/stageIndex set) ---
+    /** Age of the instance's last report when it was skipped (seconds). */
+    double ageSec = 0.0;
+    /** The stale window the age exceeded (seconds). */
+    double staleWindowSec = 0.0;
+
     // --- Prediction scoring (Select records only) ---
     bool scored = false;
     SimTime scoredAt;
@@ -149,6 +163,21 @@ class AuditLog
     /** Append a Withdraw record (one per withdrawn instance). */
     void recordWithdraw(std::int64_t instanceId, int stageIndex,
                         double utilization, double threshold);
+
+    /**
+     * Append an RpcRetry record (one per resend the client schedules
+     * after a timeout; exhaustion surfaces as RpcStatus::Failed, not
+     * as a record).
+     */
+    void recordRpcRetry(std::uint64_t callId, int attempt,
+                        double backoffSec);
+
+    /**
+     * Append a StaleSkip record (one per instance the bottleneck
+     * ranking excluded because its telemetry went stale).
+     */
+    void recordStaleSkip(std::int64_t instanceId, int stageIndex,
+                         double ageSec, double staleWindowSec);
 
     /**
      * Mark the most recent unactuated Select record of @p kind as

@@ -42,7 +42,31 @@ MessageBus::send(EndpointId to, MessagePtr msg)
 {
     if (!msg)
         panic("sending null message");
-    sim_->scheduleAfter(delay_, [this, to, msg = std::move(msg)]() {
+    if (fault_) {
+        const auto ep = endpoints_.find(to);
+        static const std::string kUnknown;
+        auto action =
+            fault_(ep != endpoints_.end() ? ep->second.name : kUnknown, msg);
+        if (action) {
+            if (action->drop) {
+                ++faultDropped_;
+                return;
+            }
+            if (action->replace)
+                msg = std::move(action->replace);
+            for (int i = 0; i < action->duplicates; ++i)
+                deliver(to, msg, delay_ + action->extraDelay);
+            deliver(to, std::move(msg), delay_ + action->extraDelay);
+            return;
+        }
+    }
+    deliver(to, std::move(msg), delay_);
+}
+
+void
+MessageBus::deliver(EndpointId to, MessagePtr msg, SimTime delay)
+{
+    sim_->scheduleAfter(delay, [this, to, msg = std::move(msg)]() {
         auto it = endpoints_.find(to);
         if (it == endpoints_.end()) {
             ++dropped_;

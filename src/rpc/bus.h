@@ -41,10 +41,35 @@ using MessagePtr = std::shared_ptr<const Message>;
 /** Identifies a registered endpoint; 0 is never valid. */
 using EndpointId = std::uint64_t;
 
+/**
+ * What a fault filter asks the bus to do with one send. The default
+ * state asks for nothing: the message goes through untouched.
+ */
+struct BusFaultAction
+{
+    /** Lose the message before it enters the fabric. */
+    bool drop = false;
+    /** Deliver this many extra copies alongside the original. */
+    int duplicates = 0;
+    /** Added delivery latency (models reordering against later sends). */
+    SimTime extraDelay;
+    /** Substitute payload (corruption/staleness), or null to keep it. */
+    MessagePtr replace;
+};
+
 class MessageBus
 {
   public:
     using Handler = std::function<void(const MessagePtr &)>;
+
+    /**
+     * Consulted once per send() with the destination endpoint's name
+     * ("" if unknown) and the outgoing message. Returning nullopt lets
+     * the message through untouched — the common case, and required for
+     * the zero-rate fault plans to be byte-identical to no filter.
+     */
+    using FaultFilter = std::function<std::optional<BusFaultAction>(
+        const std::string &toName, const MessagePtr &msg)>;
 
     explicit MessageBus(Simulator *sim);
 
@@ -71,8 +96,16 @@ class MessageBus
     void setDeliveryDelay(SimTime delay) { delay_ = delay; }
     SimTime deliveryDelay() const { return delay_; }
 
+    /**
+     * Install (or clear, with nullptr) the fault filter. Owned by the
+     * fault-injection layer; the bus itself stays fault-agnostic.
+     */
+    void setFaultFilter(FaultFilter filter) { fault_ = std::move(filter); }
+
     std::uint64_t messagesDelivered() const { return delivered_; }
     std::uint64_t messagesDropped() const { return dropped_; }
+    /** Messages lost to an injected fault (excluded from dropped()). */
+    std::uint64_t messagesFaultDropped() const { return faultDropped_; }
 
   private:
     struct Endpoint
@@ -81,13 +114,18 @@ class MessageBus
         Handler handler;
     };
 
+    /** Schedule one delivery of @p msg to @p to after @p delay. */
+    void deliver(EndpointId to, MessagePtr msg, SimTime delay);
+
     Simulator *sim_;
     SimTime delay_;
     EndpointId next_ = 1;
     std::unordered_map<EndpointId, Endpoint> endpoints_;
     std::unordered_map<std::string, EndpointId> byName_;
+    FaultFilter fault_;
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t faultDropped_ = 0;
 };
 
 } // namespace pc

@@ -8,6 +8,13 @@
  * back to the caller's continuation, and calls that receive no response
  * within the timeout fail with RpcStatus::Timeout (e.g. the callee
  * unregistered mid-flight).
+ *
+ * Clients may opt into retry-with-exponential-backoff for lossy
+ * fabrics: each deadline miss retransmits the request (same correlation
+ * id, so a late reply to any attempt completes the call) until the
+ * attempt budget is exhausted, after which the continuation runs once
+ * with RpcStatus::Failed. With the default policy (one attempt) the
+ * behaviour is the original fail-fast Timeout.
  */
 
 #ifndef PC_RPC_CHANNEL_H
@@ -22,7 +29,27 @@
 
 namespace pc {
 
-enum class RpcStatus { Ok, Timeout };
+enum class RpcStatus
+{
+    Ok,
+    /** Deadline missed with no retries configured (fail-fast). */
+    Timeout,
+    /** Retry budget exhausted without a response. */
+    Failed,
+};
+
+/**
+ * Retry policy for a client. maxAttempts counts the initial send, so
+ * the default of 1 means fail-fast (no retransmission). The n-th
+ * retransmission waits initialBackoff * multiplier^(n-1) after its
+ * deadline miss before resending.
+ */
+struct RpcRetryPolicy
+{
+    int maxAttempts = 1;
+    SimTime initialBackoff = SimTime::msec(1);
+    double multiplier = 2.0;
+};
 
 /** Type-erased request envelope; Req is the user payload type. */
 template <typename Req>
@@ -78,50 +105,106 @@ class RpcClient
             name, [this](const MessagePtr &msg) { onReply(msg); });
     }
 
-    ~RpcClient() { bus_->unregisterEndpoint(endpoint_); }
+    /**
+     * Abandoning a client with calls in flight drops their
+     * continuations (like closing a transport): every pending timer is
+     * cancelled so no scheduled [this, id] closure can fire into a
+     * destroyed client, and late replies die at the unregistered
+     * endpoint.
+     */
+    ~RpcClient()
+    {
+        for (auto &[id, pending] : pending_) {
+            if (pending.timerEvent != Simulator::kInvalidEvent)
+                sim_->cancel(pending.timerEvent);
+        }
+        bus_->unregisterEndpoint(endpoint_);
+    }
 
     RpcClient(const RpcClient &) = delete;
     RpcClient &operator=(const RpcClient &) = delete;
 
-    /** Issue a call; @p k runs exactly once (response or timeout). */
+    /** Notified on each retransmission: (callId, attempt, backoff). */
+    using RetryHook = std::function<void(std::uint64_t, int, SimTime)>;
+    /** Notified when a reply fails the response-type downcast. */
+    using BadReplyHook = std::function<void()>;
+
+    /** Retransmission policy; maxAttempts must be >= 1. */
+    void
+    setRetryPolicy(const RpcRetryPolicy &policy)
+    {
+        if (policy.maxAttempts < 1)
+            panic("RpcRetryPolicy.maxAttempts must be >= 1, got %d",
+                  policy.maxAttempts);
+        retry_ = policy;
+    }
+
+    void setRetryHook(RetryHook hook) { retryHook_ = std::move(hook); }
+    void setBadReplyHook(BadReplyHook h) { badReplyHook_ = std::move(h); }
+
+    /** Issue a call; @p k runs exactly once (response or failure). */
     void
     call(EndpointId server, Req request, Continuation k)
     {
         const std::uint64_t id = nextCall_++;
         Pending pending;
         pending.k = std::move(k);
-        if (timeout_ > SimTime::zero()) {
-            pending.timeoutEvent = sim_->scheduleAfter(
-                timeout_, [this, id]() { onTimeout(id); });
-        }
-        pending_.emplace(id, std::move(pending));
+        pending.server = server;
+        pending.request = request; // retained for retransmission
+        auto [it, inserted] = pending_.emplace(id, std::move(pending));
+        armDeadline(it->second, id);
         bus_->send(server, std::make_shared<RequestEnvelope<Req>>(
                                id, endpoint_, std::move(request)));
     }
 
     std::size_t inFlight() const { return pending_.size(); }
+    /** Retransmissions performed across all calls. */
+    std::uint64_t retries() const { return retries_; }
+    /** Calls completed with RpcStatus::Failed. */
+    std::uint64_t failures() const { return failures_; }
+    /** Replies discarded because the payload type did not match. */
+    std::uint64_t badReplies() const { return badReplies_; }
 
   private:
     struct Pending
     {
         Continuation k;
-        EventId timeoutEvent = 0;
+        /** Deadline timer, or backoff timer between attempts. */
+        EventId timerEvent = Simulator::kInvalidEvent;
+        EndpointId server = 0;
+        Req request{};
+        int attempt = 1;
     };
+
+    void
+    armDeadline(Pending &pending, std::uint64_t id)
+    {
+        if (timeout_ > SimTime::zero()) {
+            pending.timerEvent = sim_->scheduleAfter(
+                timeout_, [this, id]() { onTimeout(id); });
+        }
+    }
 
     void
     onReply(const MessagePtr &msg)
     {
         const auto *resp =
             dynamic_cast<const ResponseEnvelope<Resp> *>(msg.get());
-        if (!resp)
+        if (!resp) {
+            // Fabric corruption or a mis-addressed payload; surface it
+            // instead of silently eating the message.
+            ++badReplies_;
+            if (badReplyHook_)
+                badReplyHook_();
             return;
+        }
         auto it = pending_.find(resp->callId);
         if (it == pending_.end())
-            return; // already timed out
+            return; // already timed out / failed
         Pending pending = std::move(it->second);
         pending_.erase(it);
-        if (pending.timeoutEvent)
-            sim_->cancel(pending.timeoutEvent);
+        if (pending.timerEvent != Simulator::kInvalidEvent)
+            sim_->cancel(pending.timerEvent);
         pending.k(RpcStatus::Ok, &resp->payload);
     }
 
@@ -131,9 +214,54 @@ class RpcClient
         auto it = pending_.find(id);
         if (it == pending_.end())
             return;
-        Pending pending = std::move(it->second);
+        Pending &pending = it->second;
+        pending.timerEvent = Simulator::kInvalidEvent;
+        if (pending.attempt < retry_.maxAttempts) {
+            ++pending.attempt;
+            ++retries_;
+            const SimTime backoff = backoffFor(pending.attempt);
+            if (retryHook_)
+                retryHook_(id, pending.attempt, backoff);
+            // The entry stays pending through the backoff window, so a
+            // straggler reply to an earlier attempt still completes the
+            // call (and cancels this timer via timerEvent).
+            pending.timerEvent = sim_->scheduleAfter(
+                backoff, [this, id]() { resend(id); });
+            return;
+        }
+        Pending done = std::move(it->second);
         pending_.erase(it);
-        pending.k(RpcStatus::Timeout, nullptr);
+        if (retry_.maxAttempts > 1) {
+            ++failures_;
+            done.k(RpcStatus::Failed, nullptr);
+        } else {
+            done.k(RpcStatus::Timeout, nullptr);
+        }
+    }
+
+    void
+    resend(std::uint64_t id)
+    {
+        auto it = pending_.find(id);
+        if (it == pending_.end())
+            return;
+        Pending &pending = it->second;
+        pending.timerEvent = Simulator::kInvalidEvent;
+        armDeadline(pending, id);
+        bus_->send(pending.server,
+                   std::make_shared<RequestEnvelope<Req>>(
+                       id, endpoint_, pending.request));
+    }
+
+    /** Backoff before retransmission number attempt-1 is sent. */
+    SimTime
+    backoffFor(int attempt) const
+    {
+        double us =
+            static_cast<double>(retry_.initialBackoff.toUsec());
+        for (int i = 2; i < attempt; ++i)
+            us *= retry_.multiplier;
+        return SimTime::usec(static_cast<std::int64_t>(us));
     }
 
     Simulator *sim_;
@@ -142,6 +270,12 @@ class RpcClient
     EndpointId endpoint_ = 0;
     std::uint64_t nextCall_ = 1;
     std::unordered_map<std::uint64_t, Pending> pending_;
+    RpcRetryPolicy retry_;
+    RetryHook retryHook_;
+    BadReplyHook badReplyHook_;
+    std::uint64_t retries_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t badReplies_ = 0;
 };
 
 /**

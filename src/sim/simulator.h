@@ -66,6 +66,14 @@ class Simulator
                   "bus delivery capture no longer fits the InplaceFunction "
                   "inline buffer");
 
+    /**
+     * The "no event" sentinel. No issued EventId ever equals it: packId
+     * stores slot + 1 in the low word, so the low 32 bits of a real
+     * handle are always non-zero regardless of the generation tag.
+     * cancel(kInvalidEvent) is a guaranteed no-op returning false.
+     */
+    static constexpr EventId kInvalidEvent = 0;
+
     Simulator() = default;
 
     Simulator(const Simulator &) = delete;

@@ -171,6 +171,59 @@ TEST_F(IdentifierTest, FreshInstanceSeededFromStageAggregate)
     EXPECT_DOUBLE_EQ(snapB1.avgQueuingSec, 0.3);
 }
 
+TEST_F(IdentifierTest, StaleWindowExcludesSilentInstances)
+{
+    identifier.setStaleWindow(SimTime::sec(30));
+    const auto *a = app->stage(0).instances()[0];
+    const auto *b0 = app->stage(1).instances()[0];
+    const auto *b1 = app->stage(1).instances()[1];
+    report(a, 0.1, 0.5, SimTime::sec(1));  // reports, then goes silent
+    report(b0, 0.1, 2.0, SimTime::sec(1)); // likewise
+    report(b1, 0.1, 1.0, SimTime::sec(40));
+
+    // At t=40 only b1 reported within the 30 s window: a and b0 are
+    // excluded instead of being scored on frozen averages.
+    auto ranked = identifier.rank(SimTime::sec(40), *app);
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_EQ(ranked[0].instanceId, b1->id());
+    ASSERT_EQ(identifier.lastStaleSkips().size(), 2u);
+    for (const auto &skip : identifier.lastStaleSkips())
+        EXPECT_NEAR(skip.ageSec, 39.0, 1e-9);
+    EXPECT_EQ(identifier.staleSkipsTotal(), 2u);
+
+    // Once everyone reports again, nobody is skipped.
+    report(a, 0.1, 0.5, SimTime::sec(45));
+    report(b0, 0.1, 2.0, SimTime::sec(45));
+    report(b1, 0.1, 1.0, SimTime::sec(45));
+    ranked = identifier.rank(SimTime::sec(45), *app);
+    EXPECT_EQ(ranked.size(), 3u);
+    EXPECT_TRUE(identifier.lastStaleSkips().empty());
+    EXPECT_EQ(identifier.staleSkipsTotal(), 2u);
+}
+
+TEST_F(IdentifierTest, ZeroStaleWindowDisablesGuard)
+{
+    const auto *a = app->stage(0).instances()[0];
+    report(a, 0.1, 0.5, SimTime::sec(1));
+    // Default window is zero: even a long-silent instance still ranks.
+    auto ranked = identifier.rank(SimTime::sec(200), *app);
+    EXPECT_EQ(ranked.size(), 3u);
+    EXPECT_TRUE(identifier.lastStaleSkips().empty());
+    EXPECT_EQ(identifier.staleSkipsTotal(), 0u);
+}
+
+TEST_F(IdentifierTest, NeverReportingInstanceIsNotStale)
+{
+    identifier.setStaleWindow(SimTime::sec(30));
+    const auto *b0 = app->stage(1).instances()[0];
+    // b1 never reports at all: it is a fresh clone seeded from the
+    // stage aggregate, not a stale instance.
+    report(b0, 0.3, 1.5, SimTime::sec(100));
+    auto ranked = identifier.rank(SimTime::sec(100), *app);
+    EXPECT_EQ(ranked.size(), 3u);
+    EXPECT_TRUE(identifier.lastStaleSkips().empty());
+}
+
 TEST_F(IdentifierTest, NoHistoryAnywhereScoresZero)
 {
     auto ranked = identifier.rank(SimTime::sec(1), *app);

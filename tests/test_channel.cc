@@ -129,6 +129,129 @@ TEST_F(ChannelTest, DelayedBusStillCorrelates)
     EXPECT_EQ(when, SimTime::msec(20)); // two one-way hops
 }
 
+TEST_F(ChannelTest, DestroyWithCallsInFlightCancelsTimeouts)
+{
+    // Regression: the deadline timer used to capture the client by raw
+    // pointer without being cancelled in the destructor, so destroying
+    // a client with calls in flight and then advancing past the
+    // deadline dispatched into freed memory (caught by ASan).
+    auto server = std::make_unique<RpcServer<EchoReq, EchoResp>>(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value};
+        });
+    auto client = std::make_unique<RpcClient<EchoReq, EchoResp>>(
+        &sim, &bus, "client", SimTime::sec(1));
+    const EndpointId target = server->endpoint();
+    server.reset(); // no reply will ever arrive
+
+    bool continuationRan = false;
+    client->call(target, EchoReq{1},
+                 [&](RpcStatus, const EchoResp *) {
+                     continuationRan = true;
+                 });
+    const std::size_t before = sim.liveEvents();
+    client.reset();
+    // The deadline timer must have been cancelled with the client.
+    EXPECT_EQ(sim.liveEvents(), before - 1);
+    sim.runUntil(SimTime::sec(5)); // past the deadline: must not fire
+    EXPECT_FALSE(continuationRan);
+}
+
+TEST_F(ChannelTest, RetryWithBackoffEventuallySucceeds)
+{
+    RpcServer<EchoReq, EchoResp> server(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value * 2};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client",
+                                        SimTime::msec(10));
+    RpcRetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.initialBackoff = SimTime::msec(1);
+    policy.multiplier = 2.0;
+    client.setRetryPolicy(policy);
+
+    std::vector<std::pair<int, SimTime>> retriesSeen;
+    client.setRetryHook([&](std::uint64_t, int attempt, SimTime b) {
+        retriesSeen.emplace_back(attempt, b);
+    });
+
+    // Lossy fabric: eat the first two requests bound for the server.
+    int toDrop = 2;
+    bus.setFaultFilter(
+        [&](const std::string &toName,
+            const MessagePtr &) -> std::optional<BusFaultAction> {
+            if (toName == "echo" && toDrop > 0) {
+                --toDrop;
+                BusFaultAction action;
+                action.drop = true;
+                return action;
+            }
+            return std::nullopt;
+        });
+
+    RpcStatus status = RpcStatus::Timeout;
+    int got = 0;
+    client.call(server.endpoint(), EchoReq{21},
+                [&](RpcStatus s, const EchoResp *resp) {
+                    status = s;
+                    got = resp ? resp->value : -1;
+                });
+    sim.run();
+    EXPECT_EQ(status, RpcStatus::Ok);
+    EXPECT_EQ(got, 42);
+    EXPECT_EQ(client.retries(), 2u);
+    EXPECT_EQ(client.failures(), 0u);
+    ASSERT_EQ(retriesSeen.size(), 2u);
+    EXPECT_EQ(retriesSeen[0],
+              (std::pair<int, SimTime>{2, SimTime::msec(1)}));
+    EXPECT_EQ(retriesSeen[1],
+              (std::pair<int, SimTime>{3, SimTime::msec(2)}));
+    EXPECT_EQ(server.served(), 1u);
+    EXPECT_EQ(client.inFlight(), 0u);
+}
+
+TEST_F(ChannelTest, RetryExhaustionFails)
+{
+    auto server = std::make_unique<RpcServer<EchoReq, EchoResp>>(
+        &bus, "echo", [](const EchoReq &req) {
+            return EchoResp{req.value};
+        });
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client",
+                                        SimTime::msec(10));
+    RpcRetryPolicy policy;
+    policy.maxAttempts = 3;
+    client.setRetryPolicy(policy);
+    const EndpointId target = server->endpoint();
+    server.reset();
+
+    RpcStatus status = RpcStatus::Ok;
+    client.call(target, EchoReq{1},
+                [&](RpcStatus s, const EchoResp *) { status = s; });
+    sim.run();
+    EXPECT_EQ(status, RpcStatus::Failed);
+    EXPECT_EQ(client.retries(), 2u);  // attempts 2 and 3
+    EXPECT_EQ(client.failures(), 1u); // one call, one failure
+    EXPECT_EQ(client.inFlight(), 0u);
+}
+
+TEST_F(ChannelTest, BadReplyCountedNotCrashed)
+{
+    RpcClient<EchoReq, EchoResp> client(&sim, &bus, "client",
+                                        SimTime::sec(1));
+    int hookCalls = 0;
+    client.setBadReplyHook([&] { ++hookCalls; });
+
+    // A mis-typed payload lands on the client's reply endpoint, as if
+    // the fabric corrupted or mis-routed a message.
+    const EndpointId me = *bus.lookup("client");
+    bus.send(me, std::make_shared<ResponseEnvelope<EchoReq>>(
+                     7, EchoReq{1}));
+    sim.run();
+    EXPECT_EQ(client.badReplies(), 1u);
+    EXPECT_EQ(hookCalls, 1);
+}
+
 class AgentTest : public testing::Test
 {
   protected:
@@ -184,6 +307,42 @@ TEST_F(AgentTest, RemotePowerReadout)
     control.readPower([&](RpcStatus, double j) { joules = j; });
     sim.run();
     EXPECT_NEAR(joules, model.activeWatts(0).value() * 10.0, 0.1);
+}
+
+TEST_F(AgentTest, RetriesSurviveLossyFabric)
+{
+    RpcRetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.initialBackoff = SimTime::msec(50);
+    control.setRetryPolicy(policy);
+
+    // Eat the first two set-frequency requests on the wire.
+    int toDrop = 2;
+    bus.setFaultFilter(
+        [&](const std::string &toName,
+            const MessagePtr &) -> std::optional<BusFaultAction> {
+            if (toName == "node0/set-frequency" && toDrop > 0) {
+                --toDrop;
+                BusFaultAction action;
+                action.drop = true;
+                return action;
+            }
+            return std::nullopt;
+        });
+
+    RpcStatus status = RpcStatus::Timeout;
+    int mhz = 0;
+    control.setFrequency(coreId, MHz(2100),
+                         [&](RpcStatus s, int m) {
+                             status = s;
+                             mhz = m;
+                         });
+    sim.run();
+    EXPECT_EQ(status, RpcStatus::Ok);
+    EXPECT_EQ(mhz, 2100);
+    EXPECT_EQ(chip.core(coreId).frequency(), MHz(2100));
+    EXPECT_EQ(control.retries(), 2u);
+    EXPECT_EQ(control.failures(), 0u);
 }
 
 TEST_F(AgentTest, ConnectFailsForUnknownAgent)

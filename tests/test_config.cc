@@ -111,6 +111,34 @@ TEST(ConfigLoader, QosPolicyConfig)
               (std::vector<int>{6, 6}));
 }
 
+TEST(ConfigLoader, FaultsAndStaleWindowSections)
+{
+    const auto result = scenarioFromJsonText(R"({
+      "workload": "sirius",
+      "scenario": {"stale_window_sec": 60},
+      "faults": {
+        "seed": 9,
+        "bus": [{"endpoint": "command-*", "drop": 0.05}],
+        "telemetry": {"rapl_fail": 0.1}
+      }
+    })");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.scenario->control.staleWindow, SimTime::sec(60));
+    EXPECT_TRUE(result.scenario->faults.active);
+    EXPECT_EQ(result.scenario->faults.seed, 9u);
+    ASSERT_EQ(result.scenario->faults.bus.size(), 1u);
+    EXPECT_EQ(result.scenario->faults.bus[0].endpoint, "command-*");
+    EXPECT_DOUBLE_EQ(result.scenario->faults.bus[0].dropRate, 0.05);
+    EXPECT_DOUBLE_EQ(result.scenario->faults.telemetry.raplFailRate,
+                     0.1);
+
+    // A schema violation in the faults section fails the whole load.
+    EXPECT_FALSE(scenarioFromJsonText(R"({
+      "workload": "sirius",
+      "faults": {"bus": [{"drop": 7}]}
+    })").ok());
+}
+
 TEST(ConfigLoader, RejectsBadDocuments)
 {
     EXPECT_FALSE(scenarioFromJsonText("[1,2]").ok());

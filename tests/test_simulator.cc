@@ -357,6 +357,32 @@ TEST(Simulator, ManyPeriodicsInterleaved)
     EXPECT_EQ(total, 16 * 10);
 }
 
+TEST(Simulator, InvalidEventSentinelNeverIssued)
+{
+    Simulator sim;
+    // The sentinel is inert: cancelling it is a no-op that reports
+    // failure rather than tearing down a real event.
+    EXPECT_FALSE(sim.cancel(Simulator::kInvalidEvent));
+
+    // No id handed out by the scheduler may ever equal the sentinel,
+    // even across heavy slot reuse (cancel + reschedule recycles
+    // pooled slots and bumps generations).
+    std::vector<EventId> ids;
+    for (int round = 0; round < 8; ++round) {
+        for (int i = 0; i < 64; ++i) {
+            ids.push_back(sim.scheduleAfter(
+                SimTime::usec(1 + i), []() {}));
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            sim.cancel(ids[i]);
+        for (EventId id : ids)
+            EXPECT_NE(id, Simulator::kInvalidEvent);
+        ids.clear();
+        sim.run();
+    }
+    EXPECT_FALSE(sim.cancel(Simulator::kInvalidEvent));
+}
+
 TEST(SimulatorDeath, SchedulingInThePastPanics)
 {
     Simulator sim;

@@ -60,6 +60,13 @@ echo "=== golden trace diff ==="
 ./build-asan/tools/trace-diff \
     --baseline=tests/golden/fig11_trace.json --fresh-fig11
 
+echo "=== chaos sweep (fault-matrix invariants, asan) ==="
+# Drops, duplicates, reordering, crashes, stale/truncated telemetry,
+# RAPL and PERF_CTL faults. The runner aborts on any query-conservation
+# or budget-ledger violation; --audit re-runs sampled points
+# single-threaded and fails on any divergence from the parallel pass.
+./build-asan/bench/chaos_sweep --jobs "${jobs}" --no-cache --audit
+
 echo "=== perf baseline (informational) ==="
 latest_bench="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 if [[ -n "${latest_bench}" ]]; then
@@ -74,4 +81,5 @@ else
 fi
 
 echo "All sanitizer variants, the Release leg, trace validation, the"
-echo "golden trace diff and the perf baseline report passed."
+echo "golden trace diff, the chaos sweep and the perf baseline report"
+echo "passed."

@@ -131,6 +131,18 @@ runScenarios(const FlagSet &flags, const Scenario &base,
         }
     }
 
+    // --faults wins over a "faults" section in --config.
+    if (!flags.getString("faults").empty()) {
+        std::string error;
+        auto plan = faultPlanFromFile(flags.getString("faults"), &error);
+        if (!plan) {
+            std::cerr << "fault plan error: " << error << "\n";
+            return 2;
+        }
+        for (Scenario &sc : scenarios)
+            sc.faults = *plan;
+    }
+
     SweepOptions options = sweepOptionsFromFlags(flags);
     options.recordTraces = flags.getBool("traces") ||
         !flags.getString("artifacts").empty();
@@ -176,6 +188,9 @@ main(int argc, char **argv)
     flags.addString("seeds", "",
                     "comma-separated seed list: sweep the scenario "
                     "over these seeds (overrides --seed)");
+    flags.addString("faults", "",
+                    "JSON fault-injection plan applied to the run "
+                    "(see docs/ROBUSTNESS.md)");
     addSweepFlags(&flags);
 
     if (!flags.parse(argc, argv)) {

@@ -196,6 +196,8 @@ struct AuditSummary
     std::size_t selects = 0;
     std::size_t recycles = 0;
     std::size_t withdraws = 0;
+    std::size_t rpcRetries = 0;
+    std::size_t staleSkips = 0;
     std::size_t scored = 0;
 };
 
@@ -271,6 +273,27 @@ validateAudit(const std::string &path)
             requireNumber(rec, "target", i);
             requireNumber(rec, "utilization", i);
             requireNumber(rec, "utilization_threshold", i);
+        } else if (kind.asString() == "rpc_retry") {
+            ++counts.rpcRetries;
+            requireNumber(rec, "call_id", i);
+            requireNumber(rec, "backoff_s", i);
+            // A retry record exists only for retransmissions, which
+            // start at attempt 2.
+            if (requireNumber(rec, "attempt", i) < 2.0)
+                bad("audit record " + std::to_string(i) +
+                    " rpc_retry \"attempt\" below 2");
+        } else if (kind.asString() == "stale_skip") {
+            ++counts.staleSkips;
+            requireNumber(rec, "target", i);
+            requireNumber(rec, "stage", i);
+            // A skip can only happen when the report age exceeded the
+            // (positive) stale window.
+            const double age = requireNumber(rec, "age_s", i);
+            const double window =
+                requireNumber(rec, "stale_window_s", i);
+            if (window <= 0.0 || age <= window)
+                bad("audit record " + std::to_string(i) +
+                    " stale_skip age/window inconsistent");
         } else {
             bad("audit record " + std::to_string(i) +
                 " has unknown kind '" + kind.asString() + "'");
@@ -289,6 +312,8 @@ validateAudit(const std::string &path)
     check("select", counts.selects);
     check("recycle", counts.recycles);
     check("withdraw", counts.withdraws);
+    check("rpc_retry", counts.rpcRetries);
+    check("stale_skip", counts.staleSkips);
     const JsonValue *prediction = summary->find("prediction");
     if (!prediction || !prediction->isObject())
         bad("'" + path + "' summary lacks a \"prediction\" object");
@@ -306,6 +331,19 @@ validateMetrics(const std::string &path)
         if (!value || !value->isObject())
             bad("'" + path + "' lacks a \"" + std::string(section) +
                 "\" object");
+    }
+    // Fault-injection counters are optional (chaos runs only), but any
+    // that appear must be finite and non-negative — counters never run
+    // backwards.
+    const JsonValue *counters = root.find("counters");
+    for (const auto &[name, value] : counters->asObject()) {
+        if (name.rfind("faults.", 0) != 0 &&
+            name.rfind("rpc.client.", 0) != 0 &&
+            name.rfind("control.", 0) != 0)
+            continue;
+        if (!value.isNumber() || value.asNumber() < 0.0)
+            bad("'" + path + "' counter \"" + name +
+                "\" is not a non-negative number");
     }
 }
 
@@ -365,9 +403,11 @@ main(int argc, char **argv)
             audit.records == 0)
             bad("'" + auditPath + "' contains no decision records");
         std::printf("%s: ok (%zu records: %zu select [%zu scored], "
-                    "%zu recycle, %zu withdraw)\n",
+                    "%zu recycle, %zu withdraw, %zu rpc_retry, "
+                    "%zu stale_skip)\n",
                     auditPath.c_str(), audit.records, audit.selects,
-                    audit.scored, audit.recycles, audit.withdraws);
+                    audit.scored, audit.recycles, audit.withdraws,
+                    audit.rpcRetries, audit.staleSkips);
     }
     return 0;
 }
