@@ -170,6 +170,7 @@ CommandCenter::tick()
     ctx.cfg = &cfg_;
     ctx.e2eLatency = &e2e_;
     ctx.trace = &trace_;
+    ctx.audit = (audit_ && audit_->enabled()) ? audit_ : nullptr;
     ctx.actuationFailures = actuationFailCounter_;
     ctx.ranked = identifier_.rank(sim_->now(), *app_);
 

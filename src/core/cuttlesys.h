@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CuttleSys-style data-driven (cores, frequency) co-allocation
+ * (Leverich-style config search; CuttleSys, arXiv:2008.00329).
+ *
+ * CuttleSys treats resource allocation as a lookup problem: profile a
+ * few (core count, frequency) configurations per workload, fill in the
+ * unprofiled entries with collaborative filtering, then search the
+ * completed table online for the configuration that meets performance
+ * at the lowest power. Here each pipeline stage owns one row-space:
+ * the offline `SpeedupBook` supplies the frequency column factors,
+ * online observations of the stage's realized delay supply the count
+ * rows (an EWMA per visited configuration), and unvisited counts are
+ * estimated rank-1 style — the nearest visited count's base delay
+ * scaled by the count ratio.
+ *
+ * The controller spends a short deterministic exploration budget
+ * (counter-driven perturbations, no randomness — sweep runs must stay
+ * bit-identical at any --jobs) and then greedily moves at most two
+ * stages per interval toward the configuration table's argmin of the
+ * worst predicted stage delay, subject to the modelled power of the
+ * full allocation staying under the `PowerBudget` cap. Frequency moves
+ * go through the reconciled DVFS helpers; count moves reuse the
+ * instance-boost / withdraw machinery (queue hand-off included).
+ */
+
+#ifndef PC_CORE_CUTTLESYS_H
+#define PC_CORE_CUTTLESYS_H
+
+#include <map>
+
+#include "core/policies.h"
+
+namespace pc {
+
+class CuttleSysPolicy : public ControlPolicy
+{
+  public:
+    /**
+     * @param maxInstancesPerStage cap on a stage's instance count.
+     * @param exploreBudget intervals spent on forced exploration.
+     */
+    explicit CuttleSysPolicy(int maxInstancesPerStage = 4,
+                             int exploreBudget = 6);
+
+    const char *name() const override { return "cuttlesys"; }
+    void onInterval(ControlContext &ctx) override;
+
+    /** Configurations visited so far (for tests). */
+    std::size_t observedConfigs() const;
+
+  private:
+    /** EWMA of observed stage delay per (count, level) config. */
+    using ConfigTable = std::map<int, std::map<int, double>>;
+
+    /**
+     * Predicted stage delay of (count, level): collaborative fill-in
+     * from the stage's visited rows and the speedup column factors.
+     * Infinity when the stage has no observations at all.
+     */
+    double predictSec(int stage, const ConfigTable &table,
+                      const SpeedupTable &speedups, int count,
+                      int level) const;
+
+    int maxPerStage_;
+    int exploreBudget_;
+    std::uint64_t intervals_ = 0;
+    std::map<int, ConfigTable> observed_;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_CUTTLESYS_H

@@ -1,0 +1,204 @@
+#include "core/fastcap.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "core/queueing.h"
+#include "obs/audit.h"
+
+namespace pc {
+
+namespace {
+
+/** Windowed per-stage inputs of the M/G/c sojourn model. */
+struct StageModel
+{
+    int count = 0;
+    /** Mean serving time normalized to the ladder floor (seconds). */
+    double floorServeSec = 0.0;
+    /** Little's-law arrival rate estimate (queries/sec). */
+    double lambdaQps = 0.0;
+    /** The stage's instances, for actuation. */
+    std::vector<const InstanceSnapshot *> instances;
+};
+
+double
+sojournSec(const StageModel &m, const SpeedupTable &table, int level,
+           double cv)
+{
+    const double serve = m.floorServeSec * table.at(level);
+    if (m.lambdaQps <= 0.0)
+        return serve;
+    return queueing::mgcSojournSec(m.lambdaQps, m.count, serve, cv);
+}
+
+/**
+ * Normalized performance of a stage at @p level: T(max)/T(level), 1 at
+ * the ladder maximum. Unstable (infinite) sojourns compare through the
+ * speedup ratio instead, so an overloaded stage still orders correctly
+ * against its own higher levels.
+ */
+double
+normalizedPerf(const StageModel &m, const SpeedupTable &table, int level,
+               int maxLevel, double cv)
+{
+    const double atMax = sojournSec(m, table, maxLevel, cv);
+    const double atCur = sojournSec(m, table, level, cv);
+    if (std::isinf(atCur))
+        return std::isinf(atMax) ? table.at(maxLevel) / table.at(level)
+                                 : 0.0;
+    return atCur > 0.0 ? atMax / atCur : 1.0;
+}
+
+} // namespace
+
+FastCapPolicy::FastCapPolicy(double serviceCv) : cv_(serviceCv)
+{
+    if (cv_ < 0.0)
+        fatal("FastCap service CV must be non-negative");
+}
+
+void
+FastCapPolicy::onInterval(ControlContext &ctx)
+{
+    if (ctx.ranked.empty())
+        return;
+    const auto &model = ctx.budget->model();
+    const double headroomBefore = ctx.budget->headroom().value();
+
+    // Group the ranking by stage and estimate each stage's queueing
+    // model from the windowed statistics. Stages with no serving
+    // samples yet (fresh start, stale telemetry) cannot be modelled and
+    // are left untouched this interval.
+    std::map<int, StageModel> stages;
+    for (const auto &snap : ctx.ranked)
+        stages[snap.stageIndex].instances.push_back(&snap);
+    for (auto it = stages.begin(); it != stages.end();) {
+        StageModel &m = it->second;
+        const SpeedupTable &table = ctx.speedups->stage(it->first);
+        m.count = static_cast<int>(m.instances.size());
+        double queueLen = 0.0, procSec = 0.0;
+        int sampled = 0;
+        for (const auto *snap : m.instances) {
+            queueLen += static_cast<double>(snap->queueLength);
+            if (snap->avgServingSec <= 0.0)
+                continue;
+            m.floorServeSec +=
+                snap->avgServingSec / table.at(snap->level);
+            procSec += snap->avgQueuingSec + snap->avgServingSec;
+            ++sampled;
+        }
+        if (sampled == 0) {
+            it = stages.erase(it);
+            continue;
+        }
+        m.floorServeSec /= sampled;
+        procSec /= sampled;
+        // Little's law over the stage pool: L = λW with W the mean
+        // processing delay the window observed.
+        m.lambdaQps = procSec > 0.0 ? queueLen / procSec : 0.0;
+        ++it;
+    }
+    if (stages.empty())
+        return;
+
+    // The plan may spend everything its own instances hold plus the
+    // free headroom; reservations of unmodelled instances are not
+    // touched, so the cap holds throughout re-levelling.
+    double planBudget = ctx.budget->headroom().value();
+    for (const auto &[stage, m] : stages)
+        for (const auto *snap : m.instances)
+            planBudget += model.activeWatts(snap->level).value();
+
+    const int ladderMax = model.ladder().maxLevel();
+    std::map<int, int> level;    // planned level per stage
+    std::map<int, bool> capped;  // no further step fits / at max
+    double spent = 0.0;
+    for (const auto &[stage, m] : stages) {
+        level[stage] = 0;
+        capped[stage] = false;
+        spent += m.count * model.activeWatts(0).value();
+    }
+    if (spent > planBudget + 1e-9)
+        return; // even the ladder floor does not fit; keep status quo
+
+    // Greedy water-filling: raise one ladder step at a time for the
+    // stage whose normalized performance is currently worst, while the
+    // step's power fits. Ties break on the lowest stage index (the map
+    // iterates in stage order), keeping the plan deterministic.
+    for (;;) {
+        int worst = -1;
+        double worstPerf = std::numeric_limits<double>::infinity();
+        for (const auto &[stage, m] : stages) {
+            const SpeedupTable &table = ctx.speedups->stage(stage);
+            const int stageMax =
+                std::min(ladderMax, table.numLevels() - 1);
+            if (capped[stage] || level[stage] >= stageMax) {
+                capped[stage] = true;
+                continue;
+            }
+            const double perf = normalizedPerf(m, table, level[stage],
+                                               stageMax, cv_);
+            if (perf < worstPerf) {
+                worstPerf = perf;
+                worst = stage;
+            }
+        }
+        if (worst < 0)
+            break;
+        const double delta = stages[worst].count *
+            model.deltaWatts(level[worst], level[worst] + 1).value();
+        if (spent + delta > planBudget + 1e-9) {
+            capped[worst] = true;
+            continue;
+        }
+        spent += delta;
+        ++level[worst];
+    }
+
+    // Actuate: all step-downs first (each one frees reservation), then
+    // the step-ups out of the recovered headroom.
+    std::uint64_t up = 0, down = 0;
+    for (const auto &[stage, m] : stages) {
+        for (const auto *snap : m.instances) {
+            while (ctx.cpufreq->getLevel(snap->coreId) > level[stage]) {
+                if (!actuate::stepDown(ctx, *snap))
+                    break;
+                ++down;
+            }
+        }
+    }
+    for (const auto &[stage, m] : stages) {
+        for (const auto *snap : m.instances) {
+            const int cur = ctx.cpufreq->getLevel(snap->coreId);
+            if (cur < level[stage] &&
+                actuate::frequencyBoost(ctx, *snap, level[stage]))
+                up += static_cast<std::uint64_t>(level[stage] - cur);
+        }
+    }
+    stepsUp_ += up;
+    stepsDown_ += down;
+
+    if (ctx.audit) {
+        AuditRecord rec;
+        rec.planStepsUp = up;
+        rec.planStepsDown = down;
+        rec.planPlannedWatts = spent;
+        rec.headroomBeforeWatts = headroomBefore;
+        rec.headroomAfterWatts = ctx.budget->headroom().value();
+        double objective = 0.0;
+        for (const auto &[stage, m] : stages) {
+            const double t = sojournSec(
+                m, ctx.speedups->stage(stage), level[stage], cv_);
+            if (std::isfinite(t))
+                objective = std::max(objective, t);
+        }
+        rec.planObjectiveSec = objective;
+        ctx.audit->recordPlan(AuditDecisionKind::FastCapPlan,
+                              std::move(rec));
+    }
+}
+
+} // namespace pc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FastCap-style fair frequency capping (Vasić et al., arXiv:1603.01313).
+ *
+ * FastCap formulates power capping as a per-interval optimization: pick
+ * every core's frequency jointly so that the *minimum* normalized
+ * performance across applications is maximized, subject to the power
+ * cap. Here the "applications" are the pipeline stages: each stage's
+ * performance is its predicted M/G/c sojourn time (from the offline
+ * speedup profile and the windowed arrival/service statistics),
+ * normalized to the same stage running at the ladder maximum. The
+ * optimizer is a greedy water-filling ascent — start every stage at the
+ * ladder floor and repeatedly spend headroom on one ladder step for the
+ * stage whose normalized performance is currently worst — which for a
+ * monotone ladder reaches the max-min fair allocation.
+ *
+ * Unlike PowerChief the plan re-levels *every* stage every interval
+ * (FastCap has no bottleneck/boost asymmetry and never changes instance
+ * counts); actuation still flows through the shared reconciled DVFS
+ * helpers so a dropped PERF_CTL write can never leak budget.
+ */
+
+#ifndef PC_CORE_FASTCAP_H
+#define PC_CORE_FASTCAP_H
+
+#include "core/policies.h"
+
+namespace pc {
+
+class FastCapPolicy : public ControlPolicy
+{
+  public:
+    /** @param serviceCv service-time CV assumed by the M/G/c model. */
+    explicit FastCapPolicy(double serviceCv = 1.0);
+
+    const char *name() const override { return "fastcap"; }
+    void onInterval(ControlContext &ctx) override;
+
+    /** Ladder steps actuated so far, for tests. */
+    std::uint64_t stepsUp() const { return stepsUp_; }
+    std::uint64_t stepsDown() const { return stepsDown_; }
+
+  private:
+    double cv_;
+    std::uint64_t stepsUp_ = 0;
+    std::uint64_t stepsDown_ = 0;
+};
+
+} // namespace pc
+
+#endif // PC_CORE_FASTCAP_H

@@ -25,6 +25,8 @@
 
 namespace pc {
 
+class AuditLog;
+
 /** Tuning knobs of the command-center control loop (Tables 2 & 3). */
 struct ControlConfig
 {
@@ -63,6 +65,11 @@ struct ControlContext
     const MovingWindow *e2eLatency = nullptr;
     /** Structured decision log (may be nullptr when tracing is off). */
     DecisionTrace *trace = nullptr;
+    /**
+     * Decision-audit log for policy-authored records (FastCap /
+     * CuttleSys interval plans); nullptr when auditing is off.
+     */
+    AuditLog *audit = nullptr;
     /**
      * Counts DVFS actuations whose PERF_CTL write did not take effect
      * (read-back mismatch); nullptr when telemetry is off. The actuate

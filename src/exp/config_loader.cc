@@ -7,26 +7,6 @@ namespace pc {
 
 namespace {
 
-bool
-policyFromName(const std::string &name, PolicyKind *out)
-{
-    if (name == "baseline")
-        *out = PolicyKind::StageAgnostic;
-    else if (name == "freq")
-        *out = PolicyKind::FreqBoost;
-    else if (name == "inst")
-        *out = PolicyKind::InstBoost;
-    else if (name == "powerchief")
-        *out = PolicyKind::PowerChief;
-    else if (name == "pegasus")
-        *out = PolicyKind::Pegasus;
-    else if (name == "conserve")
-        *out = PolicyKind::PowerChiefConserve;
-    else
-        return false;
-    return true;
-}
-
 } // namespace
 
 std::optional<WorkloadModel>
@@ -127,9 +107,11 @@ scenarioFromJson(const JsonValue &document)
     }
 
     PolicyKind policy = PolicyKind::PowerChief;
-    if (!policyFromName(sc->stringOr("policy", "powerchief"), &policy)) {
+    if (!parsePolicyKind(sc->stringOr("policy", "powerchief"),
+                         &policy)) {
         result.error = "unknown policy '" +
-            sc->stringOr("policy", "") + "'";
+            sc->stringOr("policy", "") + "' (valid: " +
+            policyKindNames() + ")";
         return result;
     }
 

@@ -285,6 +285,26 @@ runResultToJson(const RunResult &result)
         obj.emplace("tail_attribution",
                     attributionToJson(result.tailAttribution));
     }
+    // Same conditional-serialization contract for the audit summary.
+    if (result.audit.collected) {
+        JsonObject audit;
+        audit.emplace("flips", static_cast<double>(result.audit.flips));
+        audit.emplace("mape_freq_pct", result.audit.mapeFreqPct);
+        audit.emplace("mape_inst_pct", result.audit.mapeInstPct);
+        audit.emplace("mape_pct", result.audit.mapePct);
+        audit.emplace("plans", static_cast<double>(result.audit.plans));
+        audit.emplace("recycles",
+                      static_cast<double>(result.audit.recycles));
+        audit.emplace("scored",
+                      static_cast<double>(result.audit.scored));
+        audit.emplace("selects",
+                      static_cast<double>(result.audit.selects));
+        audit.emplace("stale_skips",
+                      static_cast<double>(result.audit.staleSkips));
+        audit.emplace("withdraws",
+                      static_cast<double>(result.audit.withdraws));
+        obj.emplace("audit", JsonValue(std::move(audit)));
+    }
     return JsonValue(std::move(obj));
 }
 
@@ -354,6 +374,31 @@ runResultFromJson(const JsonValue &doc)
         if (!report)
             return std::nullopt;
         result.tailAttribution = std::move(*report);
+    }
+
+    if (const JsonValue *audit = doc.find("audit")) {
+        if (!audit->isObject())
+            return std::nullopt;
+        result.audit.collected = true;
+        result.audit.mapePct = audit->numberOr("mape_pct", 0.0);
+        result.audit.mapeFreqPct =
+            audit->numberOr("mape_freq_pct", 0.0);
+        result.audit.mapeInstPct =
+            audit->numberOr("mape_inst_pct", 0.0);
+        result.audit.scored = static_cast<std::uint64_t>(
+            audit->numberOr("scored", 0));
+        result.audit.flips = static_cast<std::uint64_t>(
+            audit->numberOr("flips", 0));
+        result.audit.selects = static_cast<std::uint64_t>(
+            audit->numberOr("selects", 0));
+        result.audit.recycles = static_cast<std::uint64_t>(
+            audit->numberOr("recycles", 0));
+        result.audit.withdraws = static_cast<std::uint64_t>(
+            audit->numberOr("withdraws", 0));
+        result.audit.staleSkips = static_cast<std::uint64_t>(
+            audit->numberOr("stale_skips", 0));
+        result.audit.plans = static_cast<std::uint64_t>(
+            audit->numberOr("plans", 0));
     }
     return result;
 }

@@ -1,7 +1,11 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+
+#include "core/cuttlesys.h"
+#include "core/fastcap.h"
 
 #include "common/logging.h"
 #include "core/command_center.h"
@@ -25,16 +29,14 @@ RunResult::improvement(double baseline, double value)
 
 ExperimentRunner::ExperimentRunner(bool recordTraces,
                                    SimTime sampleInterval,
-                                   bool attribution)
+                                   bool attribution, bool collectAudit)
     : recordTraces_(recordTraces), sampleInterval_(sampleInterval),
-      attribution_(attribution)
+      attribution_(attribution), collectAudit_(collectAudit)
 {
 }
 
-namespace {
-
 std::unique_ptr<ControlPolicy>
-makePolicy(const Scenario &sc)
+makePolicyFor(const Scenario &sc)
 {
     switch (sc.policy) {
       case PolicyKind::StageAgnostic:
@@ -54,11 +56,22 @@ makePolicy(const Scenario &sc)
       case PolicyKind::PowerChiefConserve:
         return std::make_unique<PowerChiefConservePolicy>(
             sc.qosTargetSec, sc.qosUseTail);
+      case PolicyKind::FastCap:
+        return std::make_unique<FastCapPolicy>();
+      case PolicyKind::CuttleSys: {
+        // Give the config search room up to an even share of the chip,
+        // clamped so one stage can never crowd out the others.
+        const int stages = std::max<int>(
+            1, static_cast<int>(sc.initialCounts.size()));
+        const int maxPerStage =
+            std::clamp(sc.numCores / stages, 1, 8);
+        return std::make_unique<CuttleSysPolicy>(maxPerStage);
+      }
+      case PolicyKind::Count:
+        break;
     }
     fatal("unknown policy kind");
 }
-
-} // namespace
 
 RunResult
 ExperimentRunner::run(const Scenario &sc,
@@ -68,10 +81,16 @@ ExperimentRunner::run(const Scenario &sc,
     result.scenario = sc.name;
 
     // The run owns its telemetry so concurrent sweep runs never share
-    // mutable observability state.
+    // mutable observability state. Audit collection rides on the same
+    // bundle: it flips auditCollect on a copy of the caller's config
+    // (or a fresh one) without touching any output path.
+    TelemetryConfig effective = telemetry ? *telemetry
+                                          : TelemetryConfig{};
+    if (collectAudit_)
+        effective.auditCollect = true;
     std::optional<Telemetry> telemetryStore;
-    if (telemetry && telemetry->anyEnabled())
-        telemetryStore.emplace(*telemetry);
+    if (effective.anyEnabled())
+        telemetryStore.emplace(effective);
     Telemetry *tel = telemetryStore ? &*telemetryStore : nullptr;
 
     Simulator sim;
@@ -108,10 +127,12 @@ ExperimentRunner::run(const Scenario &sc,
     PowerBudget budget(sc.powerBudget, &model);
     CommandCenter center(
         &sim, &bus, &chip, &app, &budget, &speedups, sc.control,
-        makePolicy(sc),
+        makePolicyFor(sc),
         sc.metricFactory ? sc.metricFactory() : nullptr,
         sc.recycleFactory ? sc.recycleFactory() : nullptr);
     center.setTelemetry(tel);
+    if (intervalProbe_)
+        center.setIntervalCallback(intervalProbe_);
     center.start();
 
     // Fault-injection layer (chaos runs only). Armed before any load
@@ -287,6 +308,34 @@ ExperimentRunner::run(const Scenario &sc,
         (chip.totalEnergy() - energyBefore).value();
     if (attribution)
         result.tailAttribution = attribution->report();
+    if (collectAudit_ && tel) {
+        const AuditLog &audit = tel->audit();
+        RunAuditSummary &sum = result.audit;
+        sum.collected = true;
+        sum.mapePct = audit.mapePct();
+        sum.mapeFreqPct = audit.mapePct(AuditBoostKind::Frequency);
+        sum.mapeInstPct = audit.mapePct(AuditBoostKind::Instance);
+        sum.flips = audit.flips();
+        for (const auto &rec : audit.records()) {
+            switch (rec.kind) {
+              case AuditDecisionKind::Select:
+                ++sum.selects;
+                if (rec.scored)
+                    ++sum.scored;
+                break;
+              case AuditDecisionKind::Recycle: ++sum.recycles; break;
+              case AuditDecisionKind::Withdraw: ++sum.withdraws; break;
+              case AuditDecisionKind::StaleSkip: ++sum.staleSkips; break;
+              case AuditDecisionKind::FastCapPlan:
+              case AuditDecisionKind::CuttleSysPlan:
+                ++sum.plans;
+                break;
+              case AuditDecisionKind::RpcRetry:
+              case AuditDecisionKind::Count:
+                break;
+            }
+        }
+    }
 
     if (tel) {
         MetricsRegistry &metrics = tel->metrics();

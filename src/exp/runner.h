@@ -11,7 +11,9 @@
 #ifndef PC_EXP_RUNNER_H
 #define PC_EXP_RUNNER_H
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,14 @@
 namespace pc {
 
 struct TelemetryConfig;
+class ControlPolicy;
+
+/**
+ * The policy factory: instantiate the scenario's PolicyKind with its
+ * scenario-derived knobs (fixed stage, QoS target, CuttleSys instance
+ * cap). Shared by the runner and the cross-policy invariant tests.
+ */
+std::unique_ptr<ControlPolicy> makePolicyFor(const Scenario &sc);
 
 /** Mean queuing/serving decomposition of one stage (paper §2.3). */
 struct StageBreakdown
@@ -40,6 +50,30 @@ struct StageBreakdown
         const double t = total();
         return t > 0.0 ? avgQueuingSec / t : 0.0;
     }
+};
+
+/**
+ * Summary of the run's decision-audit log (populated when audit
+ * collection is enabled; see ExperimentRunner's collectAudit).
+ */
+struct RunAuditSummary
+{
+    bool collected = false;
+
+    /** Prediction error of the scored boost decisions (§ audit docs). */
+    double mapePct = 0.0;
+    double mapeFreqPct = 0.0;
+    double mapeInstPct = 0.0;
+    std::uint64_t scored = 0;
+    std::uint64_t flips = 0;
+
+    /** Record counts by decision kind. */
+    std::uint64_t selects = 0;
+    std::uint64_t recycles = 0;
+    std::uint64_t withdraws = 0;
+    std::uint64_t staleSkips = 0;
+    /** FastCap/CuttleSys interval-plan records. */
+    std::uint64_t plans = 0;
 };
 
 struct RunResult
@@ -73,6 +107,9 @@ struct RunResult
      */
     TailAttributionReport tailAttribution;
 
+    /** Decision-audit summary (populated when audit collection is on). */
+    RunAuditSummary audit;
+
     /** Improvement of this run vs a baseline run (paper's "NX"). */
     static double improvement(double baseline, double value);
 };
@@ -85,10 +122,27 @@ class ExperimentRunner
      * @param sampleInterval sampling period for power/instance traces.
      * @param attribution collect the tail-attribution report (per-stage
      *        queue/serve decomposition of p95/p99 latency).
+     * @param collectAudit run with the decision-audit log enabled and
+     *        summarize it into RunResult::audit (no file output; the
+     *        audit layer is a pure observer, so the rest of the result
+     *        is unchanged).
      */
     explicit ExperimentRunner(bool recordTraces = false,
                               SimTime sampleInterval = SimTime::sec(5),
-                              bool attribution = false);
+                              bool attribution = false,
+                              bool collectAudit = false);
+
+    /**
+     * Observe every control interval of subsequent run() calls: the
+     * probe fires after the policy (and withdraw monitor) acted, with
+     * the interval's full ControlContext. A pure observer hook for the
+     * cross-policy invariant tests; pass nullptr to detach.
+     */
+    void setIntervalProbe(
+        std::function<void(const ControlContext &)> probe)
+    {
+        intervalProbe_ = std::move(probe);
+    }
 
     /**
      * @param telemetry optional observability config. When any output
@@ -105,6 +159,8 @@ class ExperimentRunner
     bool recordTraces_;
     SimTime sampleInterval_;
     bool attribution_;
+    bool collectAudit_;
+    std::function<void(const ControlContext &)> intervalProbe_;
 };
 
 } // namespace pc

@@ -6,15 +6,65 @@ const char *
 toString(PolicyKind kind)
 {
     switch (kind) {
-      case PolicyKind::StageAgnostic: return "Baseline";
-      case PolicyKind::FreqBoost: return "Freq-Boosting";
-      case PolicyKind::InstBoost: return "Inst-Boosting";
-      case PolicyKind::PowerChief: return "PowerChief";
-      case PolicyKind::FixedStage: return "Fixed-Stage";
-      case PolicyKind::Pegasus: return "Pegasus";
-      case PolicyKind::PowerChiefConserve: return "PowerChief";
+      case PolicyKind::StageAgnostic: return "baseline";
+      case PolicyKind::FreqBoost: return "freq-boost";
+      case PolicyKind::InstBoost: return "inst-boost";
+      case PolicyKind::PowerChief: return "powerchief";
+      case PolicyKind::FixedStage: return "fixed-stage";
+      case PolicyKind::Pegasus: return "pegasus";
+      case PolicyKind::PowerChiefConserve: return "powerchief-conserve";
+      case PolicyKind::FastCap: return "fastcap";
+      case PolicyKind::CuttleSys: return "cuttlesys";
+      case PolicyKind::Count: break;
     }
     return "?";
+}
+
+bool
+parsePolicyKind(const std::string &name, PolicyKind *out)
+{
+    for (const PolicyKind kind : allPolicyKinds()) {
+        if (name == toString(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    // Historical aliases accepted by the first CLI/config revisions.
+    if (name == "freq") {
+        *out = PolicyKind::FreqBoost;
+        return true;
+    }
+    if (name == "inst") {
+        *out = PolicyKind::InstBoost;
+        return true;
+    }
+    if (name == "conserve") {
+        *out = PolicyKind::PowerChiefConserve;
+        return true;
+    }
+    return false;
+}
+
+std::string
+policyKindNames()
+{
+    std::string out;
+    for (const PolicyKind kind : allPolicyKinds()) {
+        if (!out.empty())
+            out += ", ";
+        out += toString(kind);
+    }
+    return out;
+}
+
+std::vector<PolicyKind>
+allPolicyKinds()
+{
+    std::vector<PolicyKind> kinds;
+    kinds.reserve(kNumPolicyKinds);
+    for (std::size_t i = 0; i < kNumPolicyKinds; ++i)
+        kinds.push_back(static_cast<PolicyKind>(i));
+    return kinds;
 }
 
 Scenario
@@ -89,6 +139,25 @@ Scenario::goldenFig11()
     sc.name = "golden/fig11/PowerChief";
     // Short horizon so the golden file stays reviewable.
     sc.duration = SimTime::sec(150);
+    return sc;
+}
+
+Scenario
+Scenario::goldenFig11For(PolicyKind policy)
+{
+    if (policy == PolicyKind::PowerChief)
+        return goldenFig11();
+    Scenario sc = goldenFig11();
+    sc.policy = policy;
+    sc.control.enableWithdraw = false;
+    // Make every kind runnable from the shared scenario: QoS policies
+    // need a target, the fixed-stage baseline needs a stage.
+    if (policy == PolicyKind::Pegasus ||
+        policy == PolicyKind::PowerChiefConserve)
+        sc.qosTargetSec = 6.0;
+    if (policy == PolicyKind::FixedStage)
+        sc.fixedStage = 0;
+    sc.name = std::string("golden/fig11/") + toString(policy);
     return sc;
 }
 

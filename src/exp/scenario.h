@@ -34,9 +34,34 @@ enum class PolicyKind {
     FixedStage,
     Pegasus,
     PowerChiefConserve,
+    FastCap,
+    CuttleSys,
+
+    /** Sentinel: number of kinds. Keep last. */
+    Count,
 };
 
+inline constexpr std::size_t kNumPolicyKinds =
+    static_cast<std::size_t>(PolicyKind::Count);
+
+/**
+ * Canonical policy name, round-trippable through parsePolicyKind().
+ * These names are what configs, the CLI and the arena report use.
+ */
 const char *toString(PolicyKind kind);
+
+/**
+ * Parse a canonical policy name (or one of the historical aliases
+ * "freq", "inst", "conserve"). @retval false unknown name; *out is
+ * untouched.
+ */
+bool parsePolicyKind(const std::string &name, PolicyKind *out);
+
+/** Comma-separated list of every canonical name, for error messages. */
+std::string policyKindNames();
+
+/** Every PolicyKind, in declaration order. */
+std::vector<PolicyKind> allPolicyKinds();
 
 struct Scenario
 {
@@ -122,6 +147,14 @@ struct Scenario
      * exact same run against tests/golden/fig11_trace.json.
      */
     static Scenario goldenFig11();
+
+    /**
+     * The same pinned Fig. 11 run under a different policy — used to
+     * golden-pin the rival policies (tests/golden/<policy>_fig11
+     * _trace.json, trace-diff --fresh-golden=<policy>). The PowerChief
+     * variant is exactly goldenFig11().
+     */
+    static Scenario goldenFig11For(PolicyKind policy);
 };
 
 } // namespace pc

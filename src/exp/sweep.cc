@@ -26,7 +26,8 @@ SweepRunner::execute(const Scenario &scenario,
         return runFn_(scenario);
     return ExperimentRunner(options_.recordTraces,
                             options_.sampleInterval,
-                            options_.attribution)
+                            options_.attribution,
+                            options_.collectAudit)
         .run(scenario, telemetry);
 }
 
@@ -57,7 +58,11 @@ SweepRunner::cacheKeyFor(const std::string &canonical) const
                   static_cast<long long>(
                       options_.sampleInterval.toUsec()),
                   options_.attribution ? 1 : 0);
-    return canonical + buf;
+    std::string key = canonical + buf;
+    // Appended only when set so historical cache keys stay valid.
+    if (options_.collectAudit)
+        key += ",audit=1";
+    return key;
 }
 
 std::vector<RunResult>

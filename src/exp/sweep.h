@@ -58,6 +58,13 @@ struct SweepOptions
     bool attribution = false;
 
     /**
+     * Collect per-run decision-audit summaries (RunResult::audit).
+     * Unlike telemetry outputs this is a pure in-memory result field,
+     * so audit-collecting sweeps stay cacheable (under their own key).
+     */
+    bool collectAudit = false;
+
+    /**
      * Observability outputs (--trace-out/--metrics-out). In multi-
      * scenario sweeps the paths are resolved per scenario so parallel
      * runs never interleave writes to one file. Runs with telemetry

@@ -24,6 +24,9 @@ toString(AuditDecisionKind kind)
       case AuditDecisionKind::Withdraw: return "withdraw";
       case AuditDecisionKind::RpcRetry: return "rpc_retry";
       case AuditDecisionKind::StaleSkip: return "stale_skip";
+      case AuditDecisionKind::FastCapPlan: return "fastcap_plan";
+      case AuditDecisionKind::CuttleSysPlan: return "cuttlesys_plan";
+      case AuditDecisionKind::Count: break;
     }
     return "?";
 }
@@ -137,6 +140,21 @@ AuditLog::recordStaleSkip(std::int64_t instanceId, int stageIndex,
     rec.stageIndex = stageIndex;
     rec.ageSec = ageSec;
     rec.staleWindowSec = staleWindowSec;
+    records_.push_back(std::move(rec));
+}
+
+void
+AuditLog::recordPlan(AuditDecisionKind kind, AuditRecord rec)
+{
+    if (!enabled_)
+        return;
+    if (kind != AuditDecisionKind::FastCapPlan &&
+        kind != AuditDecisionKind::CuttleSysPlan)
+        return;
+    rec.seq = records_.size();
+    rec.t = now_;
+    rec.interval = interval_;
+    rec.kind = kind;
     records_.push_back(std::move(rec));
 }
 
@@ -290,6 +308,22 @@ recordToJson(const AuditRecord &rec)
         o["stale_window_s"] = JsonValue(rec.staleWindowSec);
         o["target"] = JsonValue(static_cast<double>(rec.targetInstance));
         break;
+      case AuditDecisionKind::FastCapPlan:
+      case AuditDecisionKind::CuttleSysPlan:
+        o["explore"] = JsonValue(rec.planExplore);
+        o["headroom_after_w"] = JsonValue(rec.headroomAfterWatts);
+        o["headroom_before_w"] = JsonValue(rec.headroomBeforeWatts);
+        o["launches"] = JsonValue(static_cast<double>(rec.planLaunches));
+        o["objective_s"] = JsonValue(rec.planObjectiveSec);
+        o["planned_w"] = JsonValue(rec.planPlannedWatts);
+        o["steps_down"] =
+            JsonValue(static_cast<double>(rec.planStepsDown));
+        o["steps_up"] = JsonValue(static_cast<double>(rec.planStepsUp));
+        o["withdraws"] =
+            JsonValue(static_cast<double>(rec.planWithdraws));
+        break;
+      case AuditDecisionKind::Count:
+        break;
     }
     return JsonValue(std::move(o));
 }
@@ -300,7 +334,7 @@ JsonValue
 AuditLog::toJson() const
 {
     JsonArray records;
-    std::uint64_t counts[5] = {0, 0, 0, 0, 0};
+    std::uint64_t counts[kNumAuditDecisionKinds] = {};
     std::uint64_t chosen[3] = {0, 0, 0};
     std::uint64_t actuated = 0;
     std::uint64_t scoredByKind[3] = {0, 0, 0};
@@ -346,6 +380,10 @@ AuditLog::toJson() const
         select[toString(kind)] = count(chosen[static_cast<int>(kind)]);
 
     JsonObject decisions;
+    decisions["cuttlesys_plan"] = count(
+        counts[static_cast<int>(AuditDecisionKind::CuttleSysPlan)]);
+    decisions["fastcap_plan"] = count(
+        counts[static_cast<int>(AuditDecisionKind::FastCapPlan)]);
     decisions["recycle"] =
         count(counts[static_cast<int>(AuditDecisionKind::Recycle)]);
     decisions["rpc_retry"] =

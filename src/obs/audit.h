@@ -41,7 +41,24 @@ enum class AuditBoostKind { None, Frequency, Instance };
 const char *toString(AuditBoostKind kind);
 
 /** What class of control-plane decision a record describes. */
-enum class AuditDecisionKind { Select, Recycle, Withdraw, RpcRetry, StaleSkip };
+enum class AuditDecisionKind {
+    Select,
+    Recycle,
+    Withdraw,
+    RpcRetry,
+    StaleSkip,
+    /** One FastCap interval plan (joint frequency re-allocation). */
+    FastCapPlan,
+    /** One CuttleSys interval plan ((cores, level) reconfiguration). */
+    CuttleSysPlan,
+
+    /** Sentinel: number of kinds. Keep last. */
+    Count,
+};
+
+/** Per-kind arrays are sized from the enum itself. */
+inline constexpr std::size_t kNumAuditDecisionKinds =
+    static_cast<std::size_t>(AuditDecisionKind::Count);
 
 const char *toString(AuditDecisionKind kind);
 
@@ -121,6 +138,21 @@ struct AuditRecord
     /** The stale window the age exceeded (seconds). */
     double staleWindowSec = 0.0;
 
+    // --- FastCapPlan / CuttleSysPlan (rival policies' per-interval
+    //     plans; headroomBefore/AfterWatts above are also set) ---
+    /** Frequency steps the plan actuated, up and down. */
+    std::uint64_t planStepsUp = 0;
+    std::uint64_t planStepsDown = 0;
+    /** Instances launched / withdrawn by the plan (CuttleSys). */
+    std::uint64_t planLaunches = 0;
+    std::uint64_t planWithdraws = 0;
+    /** The objective value the chosen plan predicts (seconds). */
+    double planObjectiveSec = 0.0;
+    /** Modelled power the plan reserves (watts). */
+    double planPlannedWatts = 0.0;
+    /** CuttleSys: this interval spent its online exploration budget. */
+    bool planExplore = false;
+
     // --- Prediction scoring (Select records only) ---
     bool scored = false;
     SimTime scoredAt;
@@ -178,6 +210,13 @@ class AuditLog
      */
     void recordStaleSkip(std::int64_t instanceId, int stageIndex,
                          double ageSec, double staleWindowSec);
+
+    /**
+     * Append a FastCapPlan or CuttleSysPlan record; only the plan
+     * fields (and headroom before/after) of @p rec are read, the
+     * seq/t/interval coordinates are filled in here.
+     */
+    void recordPlan(AuditDecisionKind kind, AuditRecord rec);
 
     /**
      * Mark the most recent unactuated Select record of @p kind as

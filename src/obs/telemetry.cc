@@ -87,7 +87,8 @@ Telemetry::writeOutputs(const std::string &scenarioName) const
         else
             metrics_.writeJson(out, scenarioName);
     }
-    if (config_.auditEnabled()) {
+    // Collect-only audit mode has no file to write.
+    if (!config_.auditOut.empty()) {
         std::ofstream out(config_.auditOut,
                           std::ios::binary | std::ios::trunc);
         if (!out.good())

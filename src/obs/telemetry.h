@@ -37,12 +37,22 @@ struct TelemetryConfig
     /** Decision-audit JSON dump path (src/obs/audit.h). */
     std::string auditOut;
 
+    /**
+     * Collect the decision-audit log in memory without writing a file
+     * (the runner summarizes it into RunResult::audit). Independent of
+     * auditOut: either one enables collection.
+     */
+    bool auditCollect = false;
+
     /** Period of the gauge/counter TimeSeries snapshots. */
     SimTime metricsInterval = SimTime::sec(5);
 
     bool tracingEnabled() const { return !traceOut.empty(); }
     bool metricsEnabled() const { return !metricsOut.empty(); }
-    bool auditEnabled() const { return !auditOut.empty(); }
+    bool auditEnabled() const
+    {
+        return !auditOut.empty() || auditCollect;
+    }
     bool anyEnabled() const
     {
         return tracingEnabled() || metricsEnabled() || auditEnabled();

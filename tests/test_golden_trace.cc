@@ -1,8 +1,9 @@
 /**
  * @file
- * Golden-trace regression: the Fig. 11 PowerChief trace for a fixed
- * seed, serialized through the result-cache JSON codec, must replay
- * byte-for-byte against tests/golden/fig11_trace.json.
+ * Golden-trace regression: the Fig. 11 runtime trace for a fixed seed,
+ * serialized through the result-cache JSON codec, must replay
+ * byte-for-byte against its pinned file in tests/golden/ — for
+ * PowerChief and for the FastCap/CuttleSys rival policies.
  *
  * Any change to the simulator's event ordering, the RNG streams, the
  * control loop, or the JSON codec shows up here as a byte diff.
@@ -10,7 +11,7 @@
  *
  *   PC_UPDATE_GOLDEN=1 ./tests/test_golden_trace
  *
- * and commit the rewritten golden file with the change that caused it.
+ * and commit the rewritten golden files with the change that caused it.
  */
 
 #include <cstdlib>
@@ -25,31 +26,54 @@
 namespace pc {
 namespace {
 
-std::string
-goldenPath()
+struct GoldenCase
 {
-    return std::string(PC_SOURCE_DIR) + "/golden/fig11_trace.json";
+    PolicyKind policy;
+    /** File name under tests/golden/. */
+    const char *file;
+};
+
+// PowerChief keeps its historical file name; the rivals pin
+// <policy>_fig11_trace.json, the names trace-diff --fresh-golden and
+// the ctest tolerance gates use.
+const GoldenCase kGoldenCases[] = {
+    {PolicyKind::PowerChief, "fig11_trace.json"},
+    {PolicyKind::FastCap, "fastcap_fig11_trace.json"},
+    {PolicyKind::CuttleSys, "cuttlesys_fig11_trace.json"},
+};
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(PC_SOURCE_DIR) + "/golden/" + file;
 }
 
-TEST(GoldenTrace, Fig11ReplaysByteStable)
+class GoldenTrace : public ::testing::TestWithParam<GoldenCase>
 {
-    // The pinned scenario lives in Scenario::goldenFig11() so the
-    // trace-diff tolerance gate replays the identical run.
+};
+
+TEST_P(GoldenTrace, Fig11ReplaysByteStable)
+{
+    const GoldenCase &gc = GetParam();
+    // The pinned scenarios live in Scenario::goldenFig11For() so the
+    // trace-diff tolerance gates replay the identical runs.
     const ExperimentRunner runner(/*recordTraces=*/true);
     const std::string fresh =
-        runResultToJson(runner.run(Scenario::goldenFig11())).dump() +
+        runResultToJson(
+            runner.run(Scenario::goldenFig11For(gc.policy)))
+            .dump() +
         "\n";
 
     if (std::getenv("PC_UPDATE_GOLDEN") != nullptr) {
-        std::ofstream out(goldenPath(), std::ios::binary);
-        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath();
+        std::ofstream out(goldenPath(gc.file), std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath(gc.file);
         out << fresh;
         GTEST_SKIP() << "golden file regenerated";
     }
 
-    std::ifstream in(goldenPath(), std::ios::binary);
+    std::ifstream in(goldenPath(gc.file), std::ios::binary);
     ASSERT_TRUE(in.good())
-        << "missing " << goldenPath()
+        << "missing " << goldenPath(gc.file)
         << " — run with PC_UPDATE_GOLDEN=1 to create it";
     std::ostringstream stored;
     stored << in.rdbuf();
@@ -57,14 +81,15 @@ TEST(GoldenTrace, Fig11ReplaysByteStable)
     // Byte equality, not structural equality: the golden file also
     // pins the serialization format.
     EXPECT_EQ(stored.str(), fresh)
-        << "Fig. 11 trace diverged from tests/golden/fig11_trace.json. "
-           "If the behaviour change is intentional, regenerate with "
+        << "Fig. 11 trace diverged from tests/golden/" << gc.file
+        << ". If the behaviour change is intentional, regenerate with "
            "PC_UPDATE_GOLDEN=1.";
 }
 
-TEST(GoldenTrace, GoldenFileParsesAndRoundTrips)
+TEST_P(GoldenTrace, GoldenFileParsesAndRoundTrips)
 {
-    std::ifstream in(goldenPath(), std::ios::binary);
+    const GoldenCase &gc = GetParam();
+    std::ifstream in(goldenPath(gc.file), std::ios::binary);
     if (!in.good())
         GTEST_SKIP() << "golden file not generated yet";
     std::ostringstream stored;
@@ -82,6 +107,17 @@ TEST(GoldenTrace, GoldenFileParsesAndRoundTrips)
     EXPECT_GT(result->completed, 0u);
     EXPECT_FALSE(result->latencySeries.points().empty());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, GoldenTrace, ::testing::ValuesIn(kGoldenCases),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        switch (info.param.policy) {
+          case PolicyKind::PowerChief: return std::string("PowerChief");
+          case PolicyKind::FastCap: return std::string("FastCap");
+          case PolicyKind::CuttleSys: return std::string("CuttleSys");
+          default: return std::string("Unknown");
+        }
+    });
 
 } // namespace
 } // namespace pc

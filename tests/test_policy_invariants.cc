@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Cross-policy invariant suite: properties every PolicyKind must hold,
+ * checked at every control decision point via the runner's interval
+ * probe and across execution modes via the sweep engine.
+ *
+ *  - budget safety: instantaneous allocated power never exceeds the
+ *    cap at any decision point;
+ *  - ledger reconciliation: every live instance holds exactly one
+ *    reservation at its actual DVFS level, there are no orphan
+ *    reservations, and the allocated total is the sum of the modelled
+ *    active power of the live instances;
+ *  - stale-telemetry guard: instances excluded from the ranking as
+ *    stale are never the subject of a boost/step-down/withdraw
+ *    actuation in that interval;
+ *  - determinism: runs are bit-identical (serialized RunResult bytes)
+ *    between --jobs 1 and --jobs N, on a clean fabric and under a
+ *    lossy FaultPlan.
+ */
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/result_cache.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+
+namespace pc {
+namespace {
+
+Scenario
+invariantScenario(PolicyKind policy, bool lossy, double durationSec)
+{
+    Scenario sc = Scenario::mitigation(WorkloadModel::sirius(),
+                                       LoadLevel::Medium, policy);
+    sc.name = std::string("invariants/") + toString(policy) +
+        (lossy ? "/lossy" : "/clean");
+    sc.duration = SimTime::sec(durationSec);
+    sc.warmup = SimTime::sec(durationSec / 5.0);
+    // Knobs the QoS and fixed-stage policies require (harmless for the
+    // rest): without them their constructors reject the scenario.
+    sc.qosTargetSec = 6.0;
+    sc.fixedStage = 0;
+    if (lossy) {
+        sc.faults.active = true;
+        sc.faults.seed = 23;
+        BusFaultRule bus;
+        bus.dropRate = 0.03;
+        bus.reorderRate = 0.1;
+        bus.reorderJitterMax = SimTime::msec(5);
+        sc.faults.bus.push_back(bus);
+        sc.faults.telemetry.staleRate = 0.1;
+        sc.faults.telemetry.truncateRate = 0.05;
+        sc.faults.telemetry.perfCtlFailRate = 0.2;
+        sc.wireReports = true;
+        sc.control.staleWindow = SimTime::sec(60);
+    }
+    return sc;
+}
+
+/**
+ * Budget safety + ledger reconciliation at one decision point. The
+ * probe fires after the policy and withdraw monitor acted, so whatever
+ * state they left behind is what the next interval runs on.
+ */
+void
+checkBudgetAndLedger(const ControlContext &ctx)
+{
+    ASSERT_NE(ctx.budget, nullptr);
+    const double cap = ctx.budget->cap().value();
+    EXPECT_LE(ctx.budget->allocated().value(), cap + 1e-9)
+        << "allocated power exceeds the cap at a decision point";
+    EXPECT_GE(ctx.budget->headroom().value(), -1e-9);
+
+    double modelled = 0.0;
+    std::size_t live = 0;
+    for (int s = 0; s < ctx.app->numStages(); ++s) {
+        for (const ServiceInstance *inst :
+             ctx.app->stage(s).instances()) {
+            ++live;
+            const int reserved = ctx.budget->levelOf(inst->id());
+            EXPECT_EQ(reserved, inst->level())
+                << "ledger level disagrees with instance "
+                << inst->name();
+            if (reserved >= 0)
+                modelled +=
+                    ctx.budget->model().activeWatts(reserved).value();
+        }
+    }
+    // No orphan reservations: consumers == live instances, and the
+    // allocated total reconciles to the modelled sum exactly.
+    EXPECT_EQ(ctx.budget->numConsumers(), live);
+    EXPECT_NEAR(ctx.budget->allocated().value(), modelled, 1e-6);
+}
+
+class PolicyInvariants : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(PolicyInvariants, BudgetCapAndLedgerAtEveryDecisionPoint)
+{
+    ExperimentRunner runner(/*recordTraces=*/true);
+    int probes = 0;
+    runner.setIntervalProbe([&](const ControlContext &ctx) {
+        ++probes;
+        checkBudgetAndLedger(ctx);
+    });
+    const RunResult result =
+        runner.run(invariantScenario(GetParam(), false, 150.0));
+    EXPECT_GT(probes, 0) << "control loop never ticked";
+    EXPECT_GT(result.completed, 0u);
+}
+
+TEST_P(PolicyInvariants, StaleInstancesNeverActuatedUnderLossyFabric)
+{
+    ExperimentRunner runner(/*recordTraces=*/true);
+    int probes = 0;
+    std::size_t staleSeen = 0;
+    std::size_t seenEvents = 0;
+    runner.setIntervalProbe([&](const ControlContext &ctx) {
+        ++probes;
+        checkBudgetAndLedger(ctx);
+
+        ASSERT_NE(ctx.identifier, nullptr);
+        std::set<std::string> staleNames;
+        for (const auto &skip : ctx.identifier->lastStaleSkips()) {
+            ++staleSeen;
+            for (int s = 0; s < ctx.app->numStages(); ++s)
+                if (const ServiceInstance *inst =
+                        ctx.app->stage(s).findInstance(
+                            skip.instanceId))
+                    staleNames.insert(inst->name());
+        }
+        ASSERT_NE(ctx.trace, nullptr);
+        const auto &events = ctx.trace->events();
+        for (std::size_t i = seenEvents; i < events.size(); ++i) {
+            const TraceEvent &ev = events[i];
+            if (ev.kind != TraceKind::FrequencyBoost &&
+                ev.kind != TraceKind::FrequencyStepDown &&
+                ev.kind != TraceKind::InstanceWithdraw)
+                continue;
+            EXPECT_EQ(staleNames.count(ev.subject), 0u)
+                << toString(ev.kind) << " actuated stale instance "
+                << ev.subject;
+        }
+        seenEvents = events.size();
+    });
+    const RunResult result =
+        runner.run(invariantScenario(GetParam(), true, 150.0));
+    EXPECT_GT(probes, 0) << "control loop never ticked";
+    EXPECT_GT(result.completed, 0u);
+    (void)staleSeen; // Zero skips is legal: staleness is stochastic.
+}
+
+TEST_P(PolicyInvariants, BitIdenticalAcrossJobsCleanAndLossy)
+{
+    const std::vector<Scenario> scenarios = {
+        invariantScenario(GetParam(), false, 100.0),
+        invariantScenario(GetParam(), true, 100.0),
+    };
+    const auto runWith = [&](int jobs) {
+        SweepOptions options;
+        options.jobs = jobs;
+        options.useCache = false;
+        options.recordTraces = true;
+        options.collectAudit = true;
+        SweepRunner sweep(options);
+        std::vector<std::string> dumps;
+        for (const RunResult &run : sweep.runAll(scenarios))
+            dumps.push_back(runResultToJson(run).dump());
+        return dumps;
+    };
+    const std::vector<std::string> serial = runWith(1);
+    const std::vector<std::string> parallel = runWith(3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i])
+            << scenarios[i].name
+            << " diverged between --jobs 1 and --jobs 3";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariants,
+    ::testing::ValuesIn(allPolicyKinds()),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        std::string name = toString(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace pc

@@ -57,10 +57,29 @@ TEST(Scenario, ConservationPowerChiefEnablesWithdraw)
 
 TEST(Scenario, PolicyKindNames)
 {
-    EXPECT_STREQ(toString(PolicyKind::StageAgnostic), "Baseline");
-    EXPECT_STREQ(toString(PolicyKind::FreqBoost), "Freq-Boosting");
-    EXPECT_STREQ(toString(PolicyKind::InstBoost), "Inst-Boosting");
-    EXPECT_STREQ(toString(PolicyKind::PowerChief), "PowerChief");
+    EXPECT_STREQ(toString(PolicyKind::StageAgnostic), "baseline");
+    EXPECT_STREQ(toString(PolicyKind::FreqBoost), "freq-boost");
+    EXPECT_STREQ(toString(PolicyKind::InstBoost), "inst-boost");
+    EXPECT_STREQ(toString(PolicyKind::PowerChief), "powerchief");
+    EXPECT_STREQ(toString(PolicyKind::FastCap), "fastcap");
+    EXPECT_STREQ(toString(PolicyKind::CuttleSys), "cuttlesys");
+}
+
+TEST(Scenario, PolicyKindNamesRoundTrip)
+{
+    for (const PolicyKind kind : allPolicyKinds()) {
+        PolicyKind parsed = PolicyKind::Count;
+        ASSERT_TRUE(parsePolicyKind(toString(kind), &parsed))
+            << toString(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+    PolicyKind parsed = PolicyKind::Count;
+    EXPECT_FALSE(parsePolicyKind("no-such-policy", &parsed));
+    // Historical aliases still resolve.
+    EXPECT_TRUE(parsePolicyKind("freq", &parsed));
+    EXPECT_EQ(parsed, PolicyKind::FreqBoost);
+    EXPECT_TRUE(parsePolicyKind("conserve", &parsed));
+    EXPECT_EQ(parsed, PolicyKind::PowerChiefConserve);
 }
 
 TEST(RunResult, ImprovementRatio)

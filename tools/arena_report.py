@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Render or validate a policy-arena JSON report.
+
+Usage:
+    arena_report.py REPORT.json            # print the comparison table
+    arena_report.py --check REPORT.json    # validate against the schema
+
+The report is produced by `bench/arena --out=REPORT.json` (schema
+"powerchief-arena-v1"). --check enforces the schema contract the ctest
+fixture pins: the schema tag, at least the full policy roster per
+matrix cell, and the presence/type of every per-point field. Exits 0
+on success, 1 with a diagnostic on the first violation.
+
+Stdlib only: no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "powerchief-arena-v1"
+
+# Every point must carry these numeric fields.
+NUMERIC_FIELDS = [
+    "budget_w",
+    "submitted",
+    "completed",
+    "avg_s",
+    "p95_s",
+    "p99_s",
+    "max_s",
+    "qos_target_s",
+    "qos_violation_rate",
+    "avg_power_w",
+    "energy_j",
+]
+
+STRING_FIELDS = ["workload", "load", "faults", "policy"]
+
+AUDIT_FIELDS = [
+    "mape_pct",
+    "scored",
+    "flips",
+    "selects",
+    "plans",
+    "withdraws",
+    "stale_skips",
+]
+
+# The full roster bench/arena runs; --check requires every one of them
+# in every matrix cell.
+POLICIES = [
+    "baseline",
+    "freq-boost",
+    "inst-boost",
+    "powerchief",
+    "fixed-stage",
+    "pegasus",
+    "powerchief-conserve",
+    "fastcap",
+    "cuttlesys",
+]
+
+
+def fail(msg):
+    print("arena_report: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def cell_key(point):
+    return (
+        point["workload"],
+        point["load"],
+        point["budget_w"],
+        point["faults"],
+    )
+
+
+def check(report):
+    if not isinstance(report, dict):
+        fail("report root is not an object")
+    if report.get("schema") != SCHEMA:
+        fail("schema is %r, want %r" % (report.get("schema"), SCHEMA))
+    points = report.get("points")
+    if not isinstance(points, list) or not points:
+        fail("report lacks a non-empty 'points' array")
+    if report.get("policies") != len(POLICIES):
+        fail(
+            "report 'policies' is %r, want %d"
+            % (report.get("policies"), len(POLICIES))
+        )
+
+    cells = {}
+    for i, point in enumerate(points):
+        if not isinstance(point, dict):
+            fail("point %d is not an object" % i)
+        for field in STRING_FIELDS:
+            if not isinstance(point.get(field), str):
+                fail("point %d field %r missing or not a string" % (i, field))
+        for field in NUMERIC_FIELDS:
+            value = point.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail("point %d field %r missing or not a number" % (i, field))
+            if value < 0:
+                fail("point %d field %r is negative" % (i, field))
+        audit = point.get("audit")
+        if not isinstance(audit, dict):
+            fail("point %d lacks an 'audit' object" % i)
+        for field in AUDIT_FIELDS:
+            value = audit.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(
+                    "point %d audit field %r missing or not a number"
+                    % (i, field)
+                )
+        if point["policy"] not in POLICIES:
+            fail("point %d has unknown policy %r" % (i, point["policy"]))
+        if point["qos_violation_rate"] > 1.0:
+            fail("point %d qos_violation_rate above 1" % i)
+        cells.setdefault(cell_key(point), set()).add(point["policy"])
+
+    for key, seen in sorted(cells.items()):
+        missing = [p for p in POLICIES if p not in seen]
+        if missing:
+            fail(
+                "cell %r is missing policies: %s" % (key, ", ".join(missing))
+            )
+    print(
+        "arena_report: ok (%d points, %d cells, %d policies)"
+        % (len(points), len(cells), len(POLICIES))
+    )
+
+
+def render(report):
+    points = report.get("points", [])
+    cells = {}
+    for point in points:
+        cells.setdefault(cell_key(point), []).append(point)
+    for key, rows in sorted(cells.items()):
+        workload, load, budget, faults = key
+        print(
+            "\n%s @ %s load, %.2f W, %s fabric (QoS %.2f s)"
+            % (workload, load, budget, faults, rows[0]["qos_target_s"])
+        )
+        print(
+            "  %-20s %9s %9s %9s %9s %8s %8s"
+            % ("policy", "avg s", "p95 s", "p99 s", "QoS.viol", "watts",
+               "MAPE %")
+        )
+        for row in rows:
+            print(
+                "  %-20s %9.4f %9.4f %9.4f %8.1f%% %8.2f %8.2f"
+                % (
+                    row["policy"],
+                    row["avg_s"],
+                    row["p95_s"],
+                    row["p99_s"],
+                    100.0 * row["qos_violation_rate"],
+                    row["avg_power_w"],
+                    row["audit"]["mape_pct"],
+                )
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="render or validate an arena JSON report"
+    )
+    parser.add_argument("report", help="path to the arena --out JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the report against the pinned schema",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, "rb") as handle:
+            report = json.load(handle)
+    except OSError as err:
+        fail("cannot open %r: %s" % (args.report, err))
+    except ValueError as err:
+        fail("%r is not valid JSON: %s" % (args.report, err))
+
+    if args.check:
+        check(report)
+    else:
+        render(report)
+
+
+if __name__ == "__main__":
+    main()

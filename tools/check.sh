@@ -59,6 +59,27 @@ trap 'rm -rf "${tracedir}"' EXIT
 echo "=== golden trace diff ==="
 ./build-asan/tools/trace-diff \
     --baseline=tests/golden/fig11_trace.json --fresh-fig11
+./build-asan/tools/trace-diff \
+    --baseline=tests/golden/fastcap_fig11_trace.json \
+    --fresh-golden=fastcap
+./build-asan/tools/trace-diff \
+    --baseline=tests/golden/cuttlesys_fig11_trace.json \
+    --fresh-golden=cuttlesys
+
+echo "=== policy arena smoke (asan, cached) ==="
+# A one-cell matrix over the full policy roster, through the sweep
+# cache: the second invocation must serve every point from cache and
+# produce a byte-identical report (docs/POLICIES.md).
+./build-asan/bench/arena --jobs "${jobs}" \
+    --workloads=sirius --loads=high --budgets=13.56 \
+    --duration-sec=60 --cache-dir="${tracedir}/arena-cache" \
+    --out="${tracedir}/arena.json" >/dev/null
+./build-asan/bench/arena --jobs "${jobs}" \
+    --workloads=sirius --loads=high --budgets=13.56 \
+    --duration-sec=60 --cache-dir="${tracedir}/arena-cache" \
+    --out="${tracedir}/arena2.json" >/dev/null
+cmp "${tracedir}/arena.json" "${tracedir}/arena2.json"
+python3 tools/arena_report.py --check "${tracedir}/arena.json"
 
 echo "=== chaos sweep (fault-matrix invariants, asan) ==="
 # Drops, duplicates, reordering, crashes, stale/truncated telemetry,
@@ -81,5 +102,5 @@ else
 fi
 
 echo "All sanitizer variants, the Release leg, trace validation, the"
-echo "golden trace diff, the chaos sweep and the perf baseline report"
-echo "passed."
+echo "golden trace diffs, the policy-arena smoke, the chaos sweep and"
+echo "the perf baseline report passed."

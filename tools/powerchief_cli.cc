@@ -6,9 +6,11 @@
  *                  --duration=900 --seed=42 --artifacts=results/
  *
  * Workloads: sirius, sirius-mixed, nlp, websearch.
- * Policies: baseline, freq, inst, powerchief, pegasus, conserve.
- * QoS policies (pegasus/conserve) switch to the Table 3 over-
- * provisioned layout and require --qos (seconds).
+ * Policies: every canonical PolicyKind name (see policyKindNames());
+ * unknown names are rejected at flag-parse time with the valid list.
+ * QoS policies (pegasus/powerchief-conserve) switch to the Table 3
+ * over-provisioned layout and require --qos (seconds); fixed-stage
+ * takes the target stage from --fixed-stage.
  *
  * --seeds=1,2,3 sweeps the scenario over a seed list; the runs execute
  * concurrently through the sweep engine (--jobs/--no-cache/--cache-dir/
@@ -64,26 +66,6 @@ pickLevel(const std::string &name, LoadLevel *out)
         *out = LoadLevel::Medium;
     else if (name == "high")
         *out = LoadLevel::High;
-    else
-        return false;
-    return true;
-}
-
-bool
-pickPolicy(const std::string &name, PolicyKind *out)
-{
-    if (name == "baseline")
-        *out = PolicyKind::StageAgnostic;
-    else if (name == "freq")
-        *out = PolicyKind::FreqBoost;
-    else if (name == "inst")
-        *out = PolicyKind::InstBoost;
-    else if (name == "powerchief")
-        *out = PolicyKind::PowerChief;
-    else if (name == "pegasus")
-        *out = PolicyKind::Pegasus;
-    else if (name == "conserve")
-        *out = PolicyKind::PowerChiefConserve;
     else
         return false;
     return true;
@@ -169,8 +151,10 @@ main(int argc, char **argv)
     flags.addString("workload", "sirius",
                     "sirius | sirius-mixed | nlp | websearch");
     flags.addString("policy", "powerchief",
-                    "baseline | freq | inst | powerchief | pegasus | "
-                    "conserve");
+                    "control policy (one of: " + policyKindNames() +
+                    ")");
+    flags.addInt("fixed-stage", 0,
+                 "target stage for --policy=fixed-stage");
     flags.addString("load", "high", "low | medium | high");
     flags.addDouble("qps", 0.0,
                     "explicit arrival rate (overrides --load)");
@@ -235,9 +219,9 @@ main(int argc, char **argv)
                   << "'\n";
         return 2;
     }
-    if (!pickPolicy(flags.getString("policy"), &policy)) {
+    if (!parsePolicyKind(flags.getString("policy"), &policy)) {
         std::cerr << "unknown policy '" << flags.getString("policy")
-                  << "'\n";
+                  << "' (valid: " << policyKindNames() << ")\n";
         return 2;
     }
 
@@ -259,6 +243,8 @@ main(int argc, char **argv)
         sc = Scenario::mitigation(workload, level, policy,
                                   flags.getInt("seed"));
         sc.powerBudget = Watts(flags.getDouble("budget"));
+        if (policy == PolicyKind::FixedStage)
+            sc.fixedStage = flags.getInt("fixed-stage");
     }
     if (flags.getDouble("qps") > 0.0)
         sc.load = LoadProfile::constant(flags.getDouble("qps"));

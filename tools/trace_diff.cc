@@ -191,6 +191,10 @@ main(int argc, char **argv)
     flags.addBool("fresh-fig11", false,
                   "run the pinned golden Fig. 11 scenario in-process "
                   "and use its serialized result as the candidate");
+    flags.addString("fresh-golden", "",
+                    "run the pinned golden Fig. 11 scenario under this "
+                    "policy (Scenario::goldenFig11For) in-process and "
+                    "use its serialized result as the candidate");
     flags.addDouble("threshold-pct", 2.0,
                     "default allowed relative difference, percent");
     flags.addString("thresholds", "",
@@ -215,16 +219,26 @@ main(int argc, char **argv)
     const std::string baselinePath = flags.getString("baseline");
     const std::string candidatePath = flags.getString("candidate");
     const bool freshFig11 = flags.getBool("fresh-fig11");
+    const std::string freshGolden = flags.getString("fresh-golden");
     if (baselinePath.empty())
         usageError("--baseline is required");
-    if (candidatePath.empty() == !freshFig11)
-        usageError("pass exactly one of --candidate or --fresh-fig11");
+    const int sources = (candidatePath.empty() ? 0 : 1) +
+        (freshFig11 ? 1 : 0) + (freshGolden.empty() ? 0 : 1);
+    if (sources != 1)
+        usageError("pass exactly one of --candidate, --fresh-fig11 or "
+                   "--fresh-golden");
 
     const JsonValue baseline = parseFile(baselinePath);
     JsonValue candidate;
-    if (freshFig11) {
+    if (freshFig11 || !freshGolden.empty()) {
+        PolicyKind policy = PolicyKind::PowerChief;
+        if (!freshGolden.empty() &&
+            !parsePolicyKind(freshGolden, &policy))
+            usageError("unknown --fresh-golden policy '" + freshGolden +
+                       "' (valid: " + policyKindNames() + ")");
         const ExperimentRunner runner(/*recordTraces=*/true);
-        candidate = runResultToJson(runner.run(Scenario::goldenFig11()));
+        candidate = runResultToJson(
+            runner.run(Scenario::goldenFig11For(policy)));
     } else {
         candidate = parseFile(candidatePath);
     }

@@ -198,6 +198,8 @@ struct AuditSummary
     std::size_t withdraws = 0;
     std::size_t rpcRetries = 0;
     std::size_t staleSkips = 0;
+    std::size_t fastcapPlans = 0;
+    std::size_t cuttlesysPlans = 0;
     std::size_t scored = 0;
 };
 
@@ -294,6 +296,28 @@ validateAudit(const std::string &path)
             if (window <= 0.0 || age <= window)
                 bad("audit record " + std::to_string(i) +
                     " stale_skip age/window inconsistent");
+        } else if (kind.asString() == "fastcap_plan" ||
+                   kind.asString() == "cuttlesys_plan") {
+            if (kind.asString() == "fastcap_plan")
+                ++counts.fastcapPlans;
+            else
+                ++counts.cuttlesysPlans;
+            requireNumber(rec, "steps_up", i);
+            requireNumber(rec, "steps_down", i);
+            requireNumber(rec, "launches", i);
+            requireNumber(rec, "withdraws", i);
+            requireNumber(rec, "objective_s", i);
+            requireNumber(rec, "headroom_before_w", i);
+            requireNumber(rec, "headroom_after_w", i);
+            // The planned allocation may never exceed what the ledger
+            // could hold at plan time.
+            if (requireNumber(rec, "planned_w", i) < 0.0)
+                bad("audit record " + std::to_string(i) +
+                    " plan \"planned_w\" negative");
+            const JsonValue &explore = requireField(rec, "explore", i);
+            if (!explore.isBool())
+                bad("audit record " + std::to_string(i) +
+                    " plan \"explore\" not a bool");
         } else {
             bad("audit record " + std::to_string(i) +
                 " has unknown kind '" + kind.asString() + "'");
@@ -314,6 +338,8 @@ validateAudit(const std::string &path)
     check("withdraw", counts.withdraws);
     check("rpc_retry", counts.rpcRetries);
     check("stale_skip", counts.staleSkips);
+    check("fastcap_plan", counts.fastcapPlans);
+    check("cuttlesys_plan", counts.cuttlesysPlans);
     const JsonValue *prediction = summary->find("prediction");
     if (!prediction || !prediction->isObject())
         bad("'" + path + "' summary lacks a \"prediction\" object");
@@ -404,10 +430,11 @@ main(int argc, char **argv)
             bad("'" + auditPath + "' contains no decision records");
         std::printf("%s: ok (%zu records: %zu select [%zu scored], "
                     "%zu recycle, %zu withdraw, %zu rpc_retry, "
-                    "%zu stale_skip)\n",
+                    "%zu stale_skip, %zu plan)\n",
                     auditPath.c_str(), audit.records, audit.selects,
                     audit.scored, audit.recycles, audit.withdraws,
-                    audit.rpcRetries, audit.staleSkips);
+                    audit.rpcRetries, audit.staleSkips,
+                    audit.fastcapPlans + audit.cuttlesysPlans);
     }
     return 0;
 }
