@@ -14,7 +14,7 @@
  * table per matrix cell: p95/p99 tail latency, QoS violation rate,
  * actuated watts, and the audit's prediction MAPE.
  *
- * The table and the --out JSON report (schema "powerchief-arena-v1",
+ * The table and the --out JSON report (schema "powerchief-arena-v2",
  * rendered by tools/arena_report.py) are pure functions of the
  * RunResults in submission order: no wall-clock timing, job counts or
  * cache statistics leak into them, so the report is byte-identical at
@@ -203,8 +203,27 @@ violationRateOf(const TimeSeries &series, double targetSec)
         static_cast<double>(series.size());
 }
 
+/**
+ * SLO burn-rate accounting of one arena point: the run's recorded
+ * per-completion latency series replayed through the SloTracker against
+ * the cell's shared QoS yardstick. A pure function of the RunResult,
+ * like every other report column.
+ */
 JsonValue
-pointToJson(const Cell &cell, PolicyKind policy, const RunResult &run)
+sloOf(const Cell &cell, const RunResult &run, SimTime duration)
+{
+    SloConfig config;
+    config.enabled = true;
+    SloTracker tracker(config, cell.qosTargetSec);
+    for (const auto &point : run.latencySeries.points())
+        tracker.observe(point.t, point.value);
+    tracker.finish(duration);
+    return sloReportToJson(tracker.report());
+}
+
+JsonValue
+pointToJson(const Cell &cell, PolicyKind policy, const RunResult &run,
+            SimTime duration)
 {
     JsonObject obj;
     obj["workload"] = JsonValue(cell.workload.name());
@@ -236,6 +255,7 @@ pointToJson(const Cell &cell, PolicyKind policy, const RunResult &run)
     audit["stale_skips"] =
         JsonValue(static_cast<double>(run.audit.staleSkips));
     obj["audit"] = JsonValue(std::move(audit));
+    obj["slo"] = sloOf(cell, run, duration);
     return JsonValue(std::move(obj));
 }
 
@@ -257,7 +277,7 @@ main(int argc, char **argv)
                     "comma-separated power budgets in watts");
     flags.addString("out", "",
                     "write the JSON report (schema "
-                    "powerchief-arena-v1) to this path");
+                    "powerchief-arena-v2) to this path");
     if (!flags.parse(argc, argv)) {
         if (!flags.helpRequested())
             std::cerr << flags.error() << "\n";
@@ -328,7 +348,8 @@ main(int argc, char **argv)
                             toString(policy));
                 ok = false;
             }
-            points.push_back(pointToJson(cell, policy, run));
+            points.push_back(
+                pointToJson(cell, policy, run, duration));
         }
     }
 
@@ -346,7 +367,7 @@ main(int argc, char **argv)
 
     if (!flags.getString("out").empty()) {
         JsonObject root;
-        root["schema"] = JsonValue("powerchief-arena-v1");
+        root["schema"] = JsonValue("powerchief-arena-v2");
         root["duration_s"] = JsonValue(duration.toSec());
         root["policies"] =
             JsonValue(static_cast<double>(policies.size()));

@@ -11,6 +11,7 @@
 
 #include "core/bottleneck.h"
 #include "exp/runner.h"
+#include "obs/telemetry.h"
 #include "stats/percentile.h"
 #include "stats/window.h"
 #include "workloads/profiler.h"
@@ -222,6 +223,28 @@ BM_EndToEndGoldenFig11(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EndToEndGoldenFig11)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEndGoldenFig11Timeseries(benchmark::State &state)
+{
+    // The same pinned scenario with per-control-interval sampling,
+    // anomaly detection and SLO tracking on: the delta vs the plain
+    // golden run is the observability tax (BENCH_5.json gates it at
+    // under 2%).
+    SloConfig slo;
+    slo.enabled = true;
+    TelemetryConfig telemetry;
+    telemetry.alertsEnabled = true;
+    for (auto _ : state) {
+        const Scenario sc = Scenario::goldenFig11();
+        const ExperimentRunner runner(false, SimTime::sec(5), false,
+                                      false, slo);
+        auto result = runner.run(sc, &telemetry);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_EndToEndGoldenFig11Timeseries)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

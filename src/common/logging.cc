@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <vector>
 
 namespace pc {
 
@@ -110,6 +111,42 @@ panic(const char *fmt, ...)
     std::abort();
 }
 
+namespace {
+
+// Per-thread stack of live flush guards (raw pointers: the guards are
+// stack objects that outlive their registry entry by construction).
+thread_local std::vector<FatalFlushGuard *> fatalFlushGuards;
+thread_local bool inFatalFlush = false;
+
+} // namespace
+
+FatalFlushGuard::FatalFlushGuard(std::function<void()> hook)
+    : hook_(std::move(hook))
+{
+    fatalFlushGuards.push_back(this);
+}
+
+FatalFlushGuard::~FatalFlushGuard()
+{
+    // Guards are scoped objects, so destruction order is LIFO.
+    if (!fatalFlushGuards.empty() && fatalFlushGuards.back() == this)
+        fatalFlushGuards.pop_back();
+}
+
+void
+FatalFlushGuard::runAll() noexcept
+{
+    if (inFatalFlush)
+        return;
+    inFatalFlush = true;
+    for (auto it = fatalFlushGuards.rbegin();
+         it != fatalFlushGuards.rend(); ++it) {
+        if ((*it)->hook_)
+            (*it)->hook_();
+    }
+    inFatalFlush = false;
+}
+
 void
 fatal(const char *fmt, ...)
 {
@@ -119,6 +156,7 @@ fatal(const char *fmt, ...)
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
     va_end(ap);
+    FatalFlushGuard::runAll();
     std::exit(1);
 }
 

@@ -78,9 +78,38 @@ void logError(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
  * Report an unrecoverable user/configuration error and exit(1).
+ *
+ * Before exiting, fatal() runs the calling thread's FatalFlushGuard
+ * hooks (newest first) so partially collected outputs — telemetry,
+ * audit, timeseries — survive an aborted run and stay debuggable.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * RAII registration of a flush hook fatal() runs before exit(1).
+ *
+ * The registry is thread-local: a sweep worker hitting a fatal
+ * conservation/ledger check flushes only its own run's sinks, never a
+ * sibling thread's half-written files. Hooks run newest-first and are
+ * reentrancy-guarded — a fatal() raised *inside* a hook (e.g. an
+ * unwritable output path) skips the remaining hooks and exits.
+ */
+class FatalFlushGuard
+{
+  public:
+    explicit FatalFlushGuard(std::function<void()> hook);
+    ~FatalFlushGuard();
+
+    FatalFlushGuard(const FatalFlushGuard &) = delete;
+    FatalFlushGuard &operator=(const FatalFlushGuard &) = delete;
+
+    /** Run this thread's hooks, newest first (called by fatal()). */
+    static void runAll() noexcept;
+
+  private:
+    std::function<void()> hook_;
+};
 
 } // namespace pc
 

@@ -1,6 +1,7 @@
 #include "core/bottleneck.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -122,6 +123,36 @@ BottleneckIdentifier::stageRealizedDelaySec(int stage) const
     if (it == perStage_.end() || it->second.serving.empty())
         return 0.0;
     return it->second.queuing.max() + it->second.serving.mean();
+}
+
+double
+BottleneckIdentifier::stageDelayQuantileSec(int stage, double q) const
+{
+    const auto it = perStage_.find(stage);
+    if (it == perStage_.end() || it->second.serving.empty())
+        return 0.0;
+    return it->second.queuing.quantile(q) +
+        it->second.serving.quantile(q);
+}
+
+void
+BottleneckIdentifier::stageDelayQuantiles(int stage, const double *qs,
+                                          double *out,
+                                          std::size_t n) const
+{
+    const auto it = perStage_.find(stage);
+    if (it == perStage_.end() || it->second.serving.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = 0.0;
+        return;
+    }
+    // One sort per window for all requested quantiles.
+    std::array<double, 8> queuing{}, serving{};
+    const std::size_t m = std::min<std::size_t>(n, queuing.size());
+    it->second.queuing.quantiles(qs, queuing.data(), m);
+    it->second.serving.quantiles(qs, serving.data(), m);
+    for (std::size_t i = 0; i < m; ++i)
+        out[i] = queuing[i] + serving[i];
 }
 
 InstanceSnapshot

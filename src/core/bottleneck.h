@@ -166,6 +166,22 @@ class BottleneckIdentifier
      */
     double stageRealizedDelaySec(int stage) const;
 
+    /**
+     * Queuing-plus-serving delay quantile @p q for @p stage over its
+     * aggregate window (seconds); 0 when the stage has no samples.
+     * Read-only like stageRealizedDelaySec — never evicts — so the
+     * controller-health taps stay pure observers.
+     */
+    double stageDelayQuantileSec(int stage, double q) const;
+
+    /**
+     * @p n delay quantiles of @p stage at once — one sort of each
+     * underlying window instead of one per quantile, since the health
+     * taps read p95 and p99 together every control interval.
+     */
+    void stageDelayQuantiles(int stage, const double *qs, double *out,
+                             std::size_t n) const;
+
     /** Drop state for instances that no longer exist. */
     void garbageCollect(const MultiStageApp &app);
 

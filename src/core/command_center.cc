@@ -56,6 +56,25 @@ CommandCenter::setTelemetry(Telemetry *telemetry)
     engine_.setTelemetry(telemetry);
     realloc_.setTelemetry(telemetry);
 
+    healthStageP95_.clear();
+    healthStageP99_.clear();
+    healthE2eP95_ = nullptr;
+    healthE2eP99_ = nullptr;
+    healthMape_ = nullptr;
+    healthBoostChurn_ = nullptr;
+    healthWithdrawChurn_ = nullptr;
+    healthFaultRate_ = nullptr;
+    healthRpcRetryRate_ = nullptr;
+    boostCounter_ = nullptr;
+    launchCounter_ = nullptr;
+    withdrawCounter_ = nullptr;
+    retryCounter_ = nullptr;
+    faultCounters_.clear();
+    prevBoostTotal_ = 0.0;
+    prevWithdrawTotal_ = 0.0;
+    prevFaultTotal_ = 0.0;
+    prevRetryTotal_ = 0.0;
+
     if (!telemetry_) {
         intervalsCounter_ = nullptr;
         reportsCounter_ = nullptr;
@@ -84,6 +103,42 @@ CommandCenter::setTelemetry(Telemetry *telemetry)
     for (int i = 0; i < app_->numStages(); ++i) {
         queueGauges_.push_back(&metrics.gauge(
             "app.stage" + std::to_string(i) + ".queue_len"));
+    }
+
+    if (telemetry_->sampling()) {
+        for (int i = 0; i < app_->numStages(); ++i) {
+            const std::string prefix =
+                "health.stage" + std::to_string(i);
+            healthStageP95_.push_back(
+                &metrics.gauge(prefix + ".p95_s", "seconds"));
+            healthStageP99_.push_back(
+                &metrics.gauge(prefix + ".p99_s", "seconds"));
+        }
+        healthE2eP95_ = &metrics.gauge("health.e2e_p95_s", "seconds");
+        healthE2eP99_ = &metrics.gauge("health.e2e_p99_s", "seconds");
+        healthMape_ = &metrics.gauge("health.eq1_mape_pct", "percent");
+        healthBoostChurn_ = &metrics.gauge("health.boost_churn");
+        healthWithdrawChurn_ = &metrics.gauge("health.withdraw_churn");
+        healthFaultRate_ = &metrics.gauge("health.fault_rate");
+        healthRpcRetryRate_ = &metrics.gauge("health.rpc_retry_rate");
+        // Find-or-create gives the same slots the decision trace, the
+        // node agents and the fault injector increment; counters that
+        // stay unwired this run simply read 0.
+        boostCounter_ = &metrics.counter("decision.freq-boost_total");
+        launchCounter_ =
+            &metrics.counter("decision.instance-launch_total");
+        withdrawCounter_ =
+            &metrics.counter("decision.instance-withdraw_total");
+        retryCounter_ = &metrics.counter("rpc.client.retries_total");
+        static const char *const kFaultCounters[] = {
+            "faults.bus.dropped_total",    "faults.bus.duplicated_total",
+            "faults.bus.delayed_total",    "faults.wire.truncated_total",
+            "faults.wire.stale_total",     "faults.rapl.errors_total",
+            "faults.perfctl.dropped_total", "faults.crashes_total",
+            "faults.relaunches_total",
+        };
+        for (const char *name : kFaultCounters)
+            faultCounters_.push_back(&metrics.counter(name));
     }
 }
 
@@ -221,6 +276,48 @@ CommandCenter::tick()
             queueGauges_[i]->set(static_cast<double>(
                 app_->stage(static_cast<int>(i)).totalQueueLength()));
         }
+
+        if (healthE2eP95_) {
+            // Both quantiles of each window in one sort (the taps are
+            // the dominant sampling cost; see MovingWindow::quantiles).
+            static constexpr double kTailQs[2] = {0.95, 0.99};
+            double tails[2];
+            for (std::size_t i = 0; i < healthStageP95_.size(); ++i) {
+                identifier_.stageDelayQuantiles(static_cast<int>(i),
+                                                kTailQs, tails, 2);
+                healthStageP95_[i]->set(tails[0]);
+                healthStageP99_[i]->set(tails[1]);
+            }
+            e2e_.quantiles(kTailQs, tails, 2);
+            healthE2eP95_->set(tails[0]);
+            healthE2eP99_->set(tails[1]);
+            healthMape_->set((audit_ && audit_->enabled())
+                                 ? audit_->mapePct()
+                                 : 0.0);
+
+            const double boosts =
+                boostCounter_->value() + launchCounter_->value();
+            healthBoostChurn_->set(boosts - prevBoostTotal_);
+            prevBoostTotal_ = boosts;
+
+            const double withdraws = withdrawCounter_->value();
+            healthWithdrawChurn_->set(withdraws - prevWithdrawTotal_);
+            prevWithdrawTotal_ = withdraws;
+
+            double faults = 0.0;
+            for (const Counter *c : faultCounters_)
+                faults += c->value();
+            healthFaultRate_->set(faults - prevFaultTotal_);
+            prevFaultTotal_ = faults;
+
+            const double retries = retryCounter_->value();
+            healthRpcRetryRate_->set(retries - prevRetryTotal_);
+            prevRetryTotal_ = retries;
+        }
+
+        // Sample the interval into the timeseries rings (and run the
+        // anomaly detectors) after every gauge above is fresh.
+        telemetry_->onControlInterval(sim_->now());
 
         if (telemetry_->tracing()) {
             // The span covers the interval this tick adjudicated.

@@ -141,6 +141,29 @@ class CommandCenter
     Gauge *headroomGauge_ = nullptr;
     Histogram *selfTime_ = nullptr;
     std::vector<Gauge *> queueGauges_;
+
+    // Controller-health taps, registered only when the telemetry
+    // bundle samples per control interval (--timeseries-out/--alerts),
+    // so flags-off runs keep byte-identical metric dumps. Churn/rate
+    // gauges are per-interval deltas of the underlying counters.
+    std::vector<Gauge *> healthStageP95_;
+    std::vector<Gauge *> healthStageP99_;
+    Gauge *healthE2eP95_ = nullptr;
+    Gauge *healthE2eP99_ = nullptr;
+    Gauge *healthMape_ = nullptr;
+    Gauge *healthBoostChurn_ = nullptr;
+    Gauge *healthWithdrawChurn_ = nullptr;
+    Gauge *healthFaultRate_ = nullptr;
+    Gauge *healthRpcRetryRate_ = nullptr;
+    Counter *boostCounter_ = nullptr;
+    Counter *launchCounter_ = nullptr;
+    Counter *withdrawCounter_ = nullptr;
+    Counter *retryCounter_ = nullptr;
+    std::vector<Counter *> faultCounters_;
+    double prevBoostTotal_ = 0.0;
+    double prevWithdrawTotal_ = 0.0;
+    double prevFaultTotal_ = 0.0;
+    double prevRetryTotal_ = 0.0;
 };
 
 } // namespace pc

@@ -57,6 +57,37 @@ printRawResults(std::ostream &out, const std::vector<RunResult> &runs)
 }
 
 void
+printSloReports(std::ostream &out, const std::vector<RunResult> &runs)
+{
+    bool any = false;
+    for (const auto &run : runs)
+        any = any || run.slo.collected;
+    if (!any)
+        return;
+    out << "\nSLO burn rates\n";
+    TextTable table({"scenario", "target(s)", "objective", "total",
+                     "violations", "violation(s)", "fast-burn",
+                     "slow-burn", "max-fast", "max-slow"});
+    for (const auto &run : runs) {
+        if (!run.slo.collected)
+            continue;
+        table.addRow({
+            run.scenario,
+            TextTable::num(run.slo.targetSec, 3),
+            TextTable::num(run.slo.objective, 3),
+            std::to_string(run.slo.total),
+            std::to_string(run.slo.violations),
+            TextTable::num(run.slo.violationSeconds, 2),
+            TextTable::num(run.slo.fastBurn, 2),
+            TextTable::num(run.slo.slowBurn, 2),
+            TextTable::num(run.slo.maxFastBurn, 2),
+            TextTable::num(run.slo.maxSlowBurn, 2),
+        });
+    }
+    table.print(out);
+}
+
+void
 printTailAttribution(std::ostream &out,
                      const std::vector<RunResult> &runs)
 {

@@ -42,6 +42,14 @@ void printTailAttribution(std::ostream &out,
                           const std::vector<RunResult> &runs);
 
 /**
+ * Print the SLO burn-rate table (target, objective, violations, burn
+ * rates, violation seconds). Runs without a collected report (no
+ * --slo) are skipped, so callers invoke this unconditionally.
+ */
+void printSloReports(std::ostream &out,
+                     const std::vector<RunResult> &runs);
+
+/**
  * Print a time series resampled into @p buckets columns, one row per
  * series — used for Fig. 11/13/14 textual traces.
  */

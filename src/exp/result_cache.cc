@@ -305,6 +305,9 @@ runResultToJson(const RunResult &result)
                       static_cast<double>(result.audit.withdraws));
         obj.emplace("audit", JsonValue(std::move(audit)));
     }
+    // ... and for the SLO burn-rate report.
+    if (result.slo.collected)
+        obj.emplace("slo", sloReportToJson(result.slo));
     return JsonValue(std::move(obj));
 }
 
@@ -399,6 +402,12 @@ runResultFromJson(const JsonValue &doc)
             audit->numberOr("stale_skips", 0));
         result.audit.plans = static_cast<std::uint64_t>(
             audit->numberOr("plans", 0));
+    }
+
+    if (const JsonValue *slo = doc.find("slo")) {
+        if (!slo->isObject())
+            return std::nullopt;
+        result.slo = sloReportFromJson(*slo);
     }
     return result;
 }

@@ -29,9 +29,11 @@ RunResult::improvement(double baseline, double value)
 
 ExperimentRunner::ExperimentRunner(bool recordTraces,
                                    SimTime sampleInterval,
-                                   bool attribution, bool collectAudit)
+                                   bool attribution, bool collectAudit,
+                                   SloConfig slo)
     : recordTraces_(recordTraces), sampleInterval_(sampleInterval),
-      attribution_(attribution), collectAudit_(collectAudit)
+      attribution_(attribution), collectAudit_(collectAudit),
+      slo_(std::move(slo))
 {
 }
 
@@ -92,6 +94,16 @@ ExperimentRunner::run(const Scenario &sc,
     if (effective.anyEnabled())
         telemetryStore.emplace(effective);
     Telemetry *tel = telemetryStore ? &*telemetryStore : nullptr;
+
+    // Flush-on-fatal: if the run aborts on a conservation or ledger
+    // fatal() below, the telemetry collected so far is written out
+    // instead of vanishing with the process — partial traces are what
+    // post-mortems need most. Unregistered on normal return.
+    std::optional<FatalFlushGuard> flushGuard;
+    if (tel) {
+        flushGuard.emplace(
+            [tel, &sc]() { tel->writeOutputs(sc.name); });
+    }
 
     Simulator sim;
     const PowerModel model = PowerModel::haswell();
@@ -163,6 +175,32 @@ ExperimentRunner::run(const Scenario &sc,
         }
     }
 
+    // SLO tracking over the same post-warmup completions the printed
+    // latency numbers use. Auto target: the scenario's QoS target when
+    // it has one, else 3x the summed per-stage mean service times (a
+    // "healthy pipeline" envelope independent of the realized load).
+    std::optional<SloTracker> sloTracker;
+    Gauge *sloFastGauge = nullptr;
+    Gauge *sloSlowGauge = nullptr;
+    if (slo_.enabled) {
+        double target = slo_.targetSec;
+        if (target <= 0.0) {
+            if (sc.qosTargetSec > 0.0) {
+                target = sc.qosTargetSec;
+            } else {
+                double serviceSum = 0.0;
+                for (const auto &stage : sc.workload.stages())
+                    serviceSum += stage.meanServiceSec;
+                target = 3.0 * serviceSum;
+            }
+        }
+        sloTracker.emplace(slo_, target);
+        if (tel) {
+            sloFastGauge = &tel->metrics().gauge("slo.fast_burn");
+            sloSlowGauge = &tel->metrics().gauge("slo.slow_burn");
+        }
+    }
+
     // Completion statistics, ignoring the warmup prefix.
     ExactPercentile latency;
     StreamingStats latencyStats;
@@ -184,6 +222,13 @@ ExperimentRunner::run(const Scenario &sc,
         const double sec = q->endToEnd().toSec();
         latency.add(sec);
         latencyStats.add(sec);
+        if (sloTracker) {
+            sloTracker->observe(sim.now(), sec);
+            if (sloFastGauge) {
+                sloFastGauge->set(sloTracker->fastBurn());
+                sloSlowGauge->set(sloTracker->slowBurn());
+            }
+        }
         if (e2eHist)
             e2eHist->add(sec);
         if (attribution)
@@ -308,6 +353,10 @@ ExperimentRunner::run(const Scenario &sc,
         (chip.totalEnergy() - energyBefore).value();
     if (attribution)
         result.tailAttribution = attribution->report();
+    if (sloTracker) {
+        sloTracker->finish(sc.duration);
+        result.slo = sloTracker->report();
+    }
     if (collectAudit_ && tel) {
         const AuditLog &audit = tel->audit();
         RunAuditSummary &sum = result.audit;
@@ -331,6 +380,7 @@ ExperimentRunner::run(const Scenario &sc,
                 ++sum.plans;
                 break;
               case AuditDecisionKind::RpcRetry:
+              case AuditDecisionKind::ObsAlert:
               case AuditDecisionKind::Count:
                 break;
             }
@@ -343,7 +393,8 @@ ExperimentRunner::run(const Scenario &sc,
             .set(static_cast<double>(result.submitted));
         metrics.gauge("queries.completed")
             .set(static_cast<double>(result.completed));
-        tel->writeOutputs(sc.name);
+        tel->writeOutputs(sc.name,
+                          result.slo.collected ? &result.slo : nullptr);
     }
     return result;
 }

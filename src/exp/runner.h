@@ -19,6 +19,7 @@
 
 #include "common/units.h"
 #include "exp/scenario.h"
+#include "obs/slo.h"
 #include "stats/attribution.h"
 #include "stats/timeseries.h"
 
@@ -110,6 +111,9 @@ struct RunResult
     /** Decision-audit summary (populated when audit collection is on). */
     RunAuditSummary audit;
 
+    /** SLO burn-rate report (populated when SLO tracking is on). */
+    SloReport slo;
+
     /** Improvement of this run vs a baseline run (paper's "NX"). */
     static double improvement(double baseline, double value);
 };
@@ -126,11 +130,17 @@ class ExperimentRunner
      *        summarize it into RunResult::audit (no file output; the
      *        audit layer is a pure observer, so the rest of the result
      *        is unchanged).
+     * @param slo when enabled, track the latency SLO over post-warmup
+     *        completions (multi-window burn rates, violation seconds)
+     *        into RunResult::slo. A targetSec of 0 auto-resolves to
+     *        the scenario QoS target, else 3x the summed stage service
+     *        means. Pure observer, like audit.
      */
     explicit ExperimentRunner(bool recordTraces = false,
                               SimTime sampleInterval = SimTime::sec(5),
                               bool attribution = false,
-                              bool collectAudit = false);
+                              bool collectAudit = false,
+                              SloConfig slo = {});
 
     /**
      * Observe every control interval of subsequent run() calls: the
@@ -160,6 +170,7 @@ class ExperimentRunner
     SimTime sampleInterval_;
     bool attribution_;
     bool collectAudit_;
+    SloConfig slo_;
     std::function<void(const ControlContext &)> intervalProbe_;
 };
 

@@ -27,7 +27,7 @@ SweepRunner::execute(const Scenario &scenario,
     return ExperimentRunner(options_.recordTraces,
                             options_.sampleInterval,
                             options_.attribution,
-                            options_.collectAudit)
+                            options_.collectAudit, options_.slo)
         .run(scenario, telemetry);
 }
 
@@ -62,6 +62,8 @@ SweepRunner::cacheKeyFor(const std::string &canonical) const
     // Appended only when set so historical cache keys stay valid.
     if (options_.collectAudit)
         key += ",audit=1";
+    if (options_.slo.enabled)
+        key += "," + options_.slo.canonical();
     return key;
 }
 
@@ -235,6 +237,7 @@ sweepOptionsFromFlags(const FlagSet &flags)
     options.audit = flags.getBool("audit");
     options.attribution = flags.getBool("attribution");
     options.telemetry = telemetryConfigFromFlags(flags);
+    options.slo = sloConfigFromFlags(flags);
     return options;
 }
 

@@ -65,6 +65,13 @@ struct SweepOptions
     bool collectAudit = false;
 
     /**
+     * Track the latency SLO per run (RunResult::slo). Like the audit
+     * summary this is an in-memory result field — SLO-tracking sweeps
+     * stay cacheable under their own key (SloConfig::canonical()).
+     */
+    SloConfig slo;
+
+    /**
      * Observability outputs (--trace-out/--metrics-out). In multi-
      * scenario sweeps the paths are resolved per scenario so parallel
      * runs never interleave writes to one file. Runs with telemetry

@@ -1,0 +1,89 @@
+#include "obs/alerts.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "obs/audit.h"
+
+namespace pc {
+
+AlertEngine::AlertEngine(AlertConfig config, AuditLog *audit)
+    : config_(config), audit_(audit)
+{
+    if (config_.zThreshold <= 0.0)
+        fatal("alert z-threshold must be positive (got %f)",
+              config_.zThreshold);
+    if (config_.ewmaAlpha <= 0.0 || config_.ewmaAlpha > 1.0)
+        fatal("alert EWMA alpha must be in (0,1] (got %f)",
+              config_.ewmaAlpha);
+    if (config_.warmupSamples < 1)
+        fatal("alert warmup must be at least one sample (got %d)",
+              config_.warmupSamples);
+}
+
+bool
+AlertEngine::watches(const std::string &series)
+{
+    return series.rfind("health.", 0) == 0 ||
+        series == "power.headroom_watts";
+}
+
+bool
+AlertEngine::observe(SimTime now, const std::string &series, double value)
+{
+    Detector &d = detectors_[series];
+
+    bool fired = false;
+    const double sigma = std::sqrt(std::max(d.var, 0.0));
+    if (d.samples >=
+            static_cast<std::uint64_t>(config_.warmupSamples) &&
+        sigma > config_.minSigma) {
+        const double z = (value - d.mean) / sigma;
+        if (std::abs(z) >= config_.zThreshold) {
+            fired = true;
+            Alert alert;
+            alert.t = now;
+            alert.series = series;
+            alert.value = value;
+            alert.mean = d.mean;
+            alert.sigma = sigma;
+            alert.z = z;
+            alert.direction = z >= 0.0 ? 1 : -1;
+            alerts_.push_back(alert);
+            if (audit_) {
+                audit_->recordAlert(series, value, d.mean, sigma, z,
+                                    config_.zThreshold,
+                                    alert.direction);
+            }
+        }
+    }
+
+    // Absorb the sample (even an anomalous one: a persistent level
+    // shift re-baselines rather than firing every interval).
+    const double alpha = config_.ewmaAlpha;
+    const double delta = value - d.mean;
+    d.mean += alpha * delta;
+    d.var = (1.0 - alpha) * (d.var + alpha * delta * delta);
+    ++d.samples;
+    return fired;
+}
+
+JsonValue
+AlertEngine::toJson() const
+{
+    JsonArray out;
+    for (const auto &alert : alerts_) {
+        JsonObject o;
+        o["direction"] = JsonValue(alert.direction);
+        o["mean"] = JsonValue(alert.mean);
+        o["series"] = JsonValue(alert.series);
+        o["sigma"] = JsonValue(alert.sigma);
+        o["t_s"] = JsonValue(alert.t.toSec());
+        o["value"] = JsonValue(alert.value);
+        o["z"] = JsonValue(alert.z);
+        out.push_back(JsonValue(std::move(o)));
+    }
+    return JsonValue(std::move(out));
+}
+
+} // namespace pc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Online anomaly detection over the controller-health taps.
+ *
+ * One EWMA mean/variance detector per watched series: each control
+ * interval's sampled value is scored as
+ *
+ *     z = (x - ewma_mean) / ewma_sigma
+ *
+ * against the detector state *before* the update, and |z| >= threshold
+ * raises an alert — a structured `obs.alert` record in the run's audit
+ * stream plus an in-memory copy for the timeseries dump and the HTML
+ * dashboard. Detectors warm up for a few samples before they may fire
+ * (the first points of a run define "normal", they cannot deviate from
+ * it), and a fired detector still absorbs the anomalous sample, so a
+ * level shift re-baselines within a few intervals instead of alerting
+ * forever.
+ *
+ * Everything here is a function of simulated values at simulated
+ * times: runs produce bit-identical alert streams at any sweep --jobs
+ * value, clean or under a seeded fault plan.
+ */
+
+#ifndef PC_OBS_ALERTS_H
+#define PC_OBS_ALERTS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/time.h"
+
+namespace pc {
+
+class AuditLog;
+
+struct AlertConfig
+{
+    /** |z| at or above this fires (must be positive). */
+    double zThreshold = 4.0;
+
+    /** EWMA smoothing factor in (0, 1]; higher = faster forgetting. */
+    double ewmaAlpha = 0.3;
+
+    /** Samples a detector absorbs before it may fire. */
+    int warmupSamples = 5;
+
+    /** Sigma floor: quiet series need a real deviation, not noise. */
+    double minSigma = 1e-9;
+};
+
+/** One detector firing (mirrors the obs.alert audit record). */
+struct Alert
+{
+    SimTime t;
+    std::string series;
+    double value = 0.0;
+    double mean = 0.0;
+    double sigma = 0.0;
+    double z = 0.0;
+    int direction = 0; ///< +1 spike, -1 drop
+};
+
+class AlertEngine
+{
+  public:
+    /** @param audit optional audit stream alerts are appended to. */
+    explicit AlertEngine(AlertConfig config, AuditLog *audit = nullptr);
+
+    /**
+     * Score and absorb one sample of @p series at @p now. Returns true
+     * when an alert fired.
+     */
+    bool observe(SimTime now, const std::string &series, double value);
+
+    const std::vector<Alert> &alerts() const { return alerts_; }
+
+    const AlertConfig &config() const { return config_; }
+
+    /** Alerts as a JSON array (alphabetical keys per entry). */
+    JsonValue toJson() const;
+
+    /**
+     * Whether @p series is a controller-health tap the engine watches:
+     * the "health." namespace plus the budget-headroom gauge.
+     */
+    static bool watches(const std::string &series);
+
+  private:
+    struct Detector
+    {
+        double mean = 0.0;
+        double var = 0.0;
+        std::uint64_t samples = 0;
+    };
+
+    AlertConfig config_;
+    AuditLog *audit_;
+    std::map<std::string, Detector> detectors_;
+    std::vector<Alert> alerts_;
+};
+
+} // namespace pc
+
+#endif // PC_OBS_ALERTS_H

@@ -26,6 +26,7 @@ toString(AuditDecisionKind kind)
       case AuditDecisionKind::StaleSkip: return "stale_skip";
       case AuditDecisionKind::FastCapPlan: return "fastcap_plan";
       case AuditDecisionKind::CuttleSysPlan: return "cuttlesys_plan";
+      case AuditDecisionKind::ObsAlert: return "obs.alert";
       case AuditDecisionKind::Count: break;
     }
     return "?";
@@ -155,6 +156,28 @@ AuditLog::recordPlan(AuditDecisionKind kind, AuditRecord rec)
     rec.t = now_;
     rec.interval = interval_;
     rec.kind = kind;
+    records_.push_back(std::move(rec));
+}
+
+void
+AuditLog::recordAlert(const std::string &series, double value,
+                      double mean, double sigma, double z,
+                      double threshold, int direction)
+{
+    if (!enabled_)
+        return;
+    AuditRecord rec;
+    rec.seq = records_.size();
+    rec.t = now_;
+    rec.interval = interval_;
+    rec.kind = AuditDecisionKind::ObsAlert;
+    rec.alertSeries = series;
+    rec.alertValue = value;
+    rec.alertMean = mean;
+    rec.alertSigma = sigma;
+    rec.alertZ = z;
+    rec.alertThreshold = threshold;
+    rec.alertDirection = direction;
     records_.push_back(std::move(rec));
 }
 
@@ -322,6 +345,15 @@ recordToJson(const AuditRecord &rec)
         o["withdraws"] =
             JsonValue(static_cast<double>(rec.planWithdraws));
         break;
+      case AuditDecisionKind::ObsAlert:
+        o["direction"] = JsonValue(rec.alertDirection);
+        o["mean"] = JsonValue(rec.alertMean);
+        o["series"] = JsonValue(rec.alertSeries);
+        o["sigma"] = JsonValue(rec.alertSigma);
+        o["threshold"] = JsonValue(rec.alertThreshold);
+        o["value"] = JsonValue(rec.alertValue);
+        o["z"] = JsonValue(rec.alertZ);
+        break;
       case AuditDecisionKind::Count:
         break;
     }
@@ -384,6 +416,8 @@ AuditLog::toJson() const
         counts[static_cast<int>(AuditDecisionKind::CuttleSysPlan)]);
     decisions["fastcap_plan"] = count(
         counts[static_cast<int>(AuditDecisionKind::FastCapPlan)]);
+    decisions["obs_alert"] =
+        count(counts[static_cast<int>(AuditDecisionKind::ObsAlert)]);
     decisions["recycle"] =
         count(counts[static_cast<int>(AuditDecisionKind::Recycle)]);
     decisions["rpc_retry"] =

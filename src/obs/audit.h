@@ -28,6 +28,7 @@
 #include <deque>
 #include <map>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "common/json.h"
@@ -51,6 +52,8 @@ enum class AuditDecisionKind {
     FastCapPlan,
     /** One CuttleSys interval plan ((cores, level) reconfiguration). */
     CuttleSysPlan,
+    /** One online anomaly alert (EWMA z-score; obs/alerts.h). */
+    ObsAlert,
 
     /** Sentinel: number of kinds. Keep last. */
     Count,
@@ -153,6 +156,20 @@ struct AuditRecord
     /** CuttleSys: this interval spent its online exploration budget. */
     bool planExplore = false;
 
+    // --- ObsAlert (online anomaly detection; obs/alerts.h) ---
+    /** The health-tap series the detector fired on. */
+    std::string alertSeries;
+    /** The sampled value that tripped the detector. */
+    double alertValue = 0.0;
+    /** The detector's EWMA mean and standard deviation at that point. */
+    double alertMean = 0.0;
+    double alertSigma = 0.0;
+    /** The z-score and the threshold it exceeded (|z| >= threshold). */
+    double alertZ = 0.0;
+    double alertThreshold = 0.0;
+    /** +1 = spike above the mean, -1 = drop below it. */
+    int alertDirection = 0;
+
     // --- Prediction scoring (Select records only) ---
     bool scored = false;
     SimTime scoredAt;
@@ -217,6 +234,14 @@ class AuditLog
      * seq/t/interval coordinates are filled in here.
      */
     void recordPlan(AuditDecisionKind kind, AuditRecord rec);
+
+    /**
+     * Append an ObsAlert record (one per detector firing; see
+     * obs/alerts.h for the EWMA z-score semantics of the fields).
+     */
+    void recordAlert(const std::string &series, double value,
+                     double mean, double sigma, double z,
+                     double threshold, int direction);
 
     /**
      * Mark the most recent unactuated Select record of @p kind as

@@ -1,44 +1,123 @@
 #include "obs/metrics.h"
 
+#include <cstdio>
+
 #include "common/csv.h"
 #include "common/logging.h"
 
 namespace pc {
 
+template <typename T>
+T &
+MetricsRegistry::findOrCreate(std::map<std::string, Named<T>> *metrics,
+                              const std::string &name,
+                              const std::string &unit, Volatility vol,
+                              const char *kind)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = (*metrics)[name];
+    if (!slot.metric) {
+        slot.metric = std::make_unique<T>();
+        slot.vol = vol;
+        slot.unit = unit;
+        return *slot.metric;
+    }
+    // Re-registration: a unit-less caller inherits the recorded unit;
+    // a non-empty unit either upgrades a unit-less slot or must match.
+    if (!unit.empty()) {
+        if (slot.unit.empty())
+            slot.unit = unit;
+        else if (slot.unit != unit)
+            fatal("%s '%s' registered with unit '%s' but was already "
+                  "registered with unit '%s'",
+                  kind, name.c_str(), unit.c_str(), slot.unit.c_str());
+    }
+    return *slot.metric;
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name, Volatility vol)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    auto &slot = counters_[name];
-    if (!slot.metric) {
-        slot.metric = std::make_unique<Counter>();
-        slot.vol = vol;
-    }
-    return *slot.metric;
+    return findOrCreate(&counters_, name, "", vol, "counter");
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &unit,
+                         Volatility vol)
+{
+    return findOrCreate(&counters_, name, unit, vol, "counter");
 }
 
 Gauge &
 MetricsRegistry::gauge(const std::string &name, Volatility vol)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    auto &slot = gauges_[name];
-    if (!slot.metric) {
-        slot.metric = std::make_unique<Gauge>();
-        slot.vol = vol;
-    }
-    return *slot.metric;
+    return findOrCreate(&gauges_, name, "", vol, "gauge");
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &unit,
+                       Volatility vol)
+{
+    return findOrCreate(&gauges_, name, unit, vol, "gauge");
 }
 
 Histogram &
 MetricsRegistry::histogram(const std::string &name, Volatility vol)
 {
+    return findOrCreate(&histograms_, name, "", vol, "histogram");
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &unit, Volatility vol)
+{
+    return findOrCreate(&histograms_, name, unit, vol, "histogram");
+}
+
+std::string
+MetricsRegistry::unitOf(const std::string &name) const
+{
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto &slot = histograms_[name];
-    if (!slot.metric) {
-        slot.metric = std::make_unique<Histogram>();
-        slot.vol = vol;
+    if (const auto it = counters_.find(name); it != counters_.end())
+        return it->second.unit;
+    if (const auto it = gauges_.find(name); it != gauges_.end())
+        return it->second.unit;
+    if (const auto it = histograms_.find(name); it != histograms_.end())
+        return it->second.unit;
+    return "";
+}
+
+void
+MetricsRegistry::visitStable(
+    const std::function<void(const std::string &, SampleKind,
+                             const std::string &, double)> &fn) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, slot] : counters_)
+        if (slot.vol == Volatility::Stable)
+            fn(name, SampleKind::Counter, slot.unit,
+               slot.metric->value());
+    for (const auto &[name, slot] : gauges_)
+        if (slot.vol == Volatility::Stable)
+            fn(name, SampleKind::Gauge, slot.unit, slot.metric->value());
+    // Histograms are sampled through O(1) projections only: quantiles
+    // would re-sort the retained samples every control interval. The
+    // projection names are cached so the per-interval visit allocates
+    // nothing.
+    for (const auto &[name, slot] : histograms_) {
+        if (slot.vol != Volatility::Stable)
+            continue;
+        auto it = histProjections_.find(name);
+        if (it == histProjections_.end())
+            it = histProjections_
+                     .emplace(name, std::make_pair(name + ".count",
+                                                   name + ".mean"))
+                     .first;
+        fn(it->second.first, SampleKind::Counter, "",
+           static_cast<double>(slot.metric->count()));
+        fn(it->second.second, SampleKind::Gauge, slot.unit,
+           slot.metric->mean());
     }
-    return *slot.metric;
 }
 
 void
@@ -61,6 +140,17 @@ MetricsRegistry::snapshot(SimTime now)
 
 namespace {
 
+/** "le" label of a bucket boundary ("0.001" ... "100", "+inf"). */
+std::string
+bucketLabel(std::size_t i)
+{
+    if (i >= kNumHistogramBuckets)
+        return "+inf";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%g", kHistogramBucketBounds[i]);
+    return buf;
+}
+
 JsonValue
 histogramJson(const Histogram &h)
 {
@@ -72,6 +162,16 @@ histogramJson(const Histogram &h)
     o["p50"] = JsonValue(h.count() ? h.quantile(0.5) : 0.0);
     o["p90"] = JsonValue(h.count() ? h.quantile(0.9) : 0.0);
     o["p99"] = JsonValue(h.count() ? h.p99() : 0.0);
+    o["sum"] = JsonValue(h.sum());
+    // Cumulative log-decade buckets; the +inf bucket equals count, so
+    // the serialization is self-checking (tools/trace_validate.cc).
+    JsonObject buckets;
+    for (std::size_t i = 0; i < kNumHistogramBuckets; ++i) {
+        buckets[bucketLabel(i)] = JsonValue(static_cast<double>(
+            h.countAtOrBelow(kHistogramBucketBounds[i])));
+    }
+    buckets["+inf"] = JsonValue(static_cast<double>(h.count()));
+    o["buckets"] = JsonValue(std::move(buckets));
     return JsonValue(std::move(o));
 }
 
@@ -152,6 +252,14 @@ MetricsRegistry::writeCsv(std::ostream &out, bool includeVolatile) const
                  std::to_string(h.count() ? h.quantile(0.9) : 0.0)});
         csv.row({name, "histogram", "p99",
                  std::to_string(h.count() ? h.p99() : 0.0)});
+        csv.row({name, "histogram", "sum", std::to_string(h.sum())});
+        for (std::size_t i = 0; i < kNumHistogramBuckets; ++i) {
+            csv.row({name, "histogram", "le_" + bucketLabel(i),
+                     std::to_string(h.countAtOrBelow(
+                         kHistogramBucketBounds[i]))});
+        }
+        csv.row({name, "histogram", "le_+inf",
+                 std::to_string(h.count())});
     }
 }
 
@@ -170,6 +278,7 @@ MetricsRegistry::clear()
     gauges_.clear();
     histograms_.clear();
     series_.clear();
+    histProjections_.clear();
 }
 
 MetricsRegistry &

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -86,19 +87,38 @@ class Histogram
     {
         exact_.add(x);
         stats_.add(x);
+        sum_ += x;
     }
 
     std::size_t count() const { return exact_.count(); }
+    double sum() const { return sum_; }
     double mean() const { return stats_.mean(); }
     double min() const { return stats_.min(); }
     double max() const { return stats_.max(); }
     double quantile(double q) const { return exact_.quantile(q); }
     double p99() const { return exact_.p99(); }
 
+    /** Samples <= @p x (cumulative bucket count). */
+    std::size_t countAtOrBelow(double x) const
+    {
+        return exact_.countAtOrBelow(x);
+    }
+
   private:
     ExactPercentile exact_;
     StreamingStats stats_;
+    double sum_ = 0.0;
 };
+
+/**
+ * Fixed log-decade bucket boundaries shared by the JSON/CSV histogram
+ * serialization and trace-validate. Cumulative ("le") semantics; the
+ * implicit final bucket is +inf (== count).
+ */
+inline constexpr double kHistogramBucketBounds[] = {0.001, 0.01, 0.1,
+                                                    1.0,   10.0, 100.0};
+inline constexpr std::size_t kNumHistogramBuckets =
+    sizeof(kHistogramBucketBounds) / sizeof(kHistogramBucketBounds[0]);
 
 class MetricsRegistry
 {
@@ -112,13 +132,44 @@ class MetricsRegistry
      * Find-or-create by name. The returned reference stays valid for
      * the registry's lifetime; instruments cache it once at wiring time
      * so the hot path is a pointer increment.
+     *
+     * @param unit optional unit string ("seconds", "watts", ...) used
+     *        by the OpenMetrics exposition. Registering a name twice
+     *        with two different non-empty units is a wiring bug and
+     *        fatal()s, naming the offender; a later non-empty unit
+     *        upgrades an earlier unit-less registration.
      */
     Counter &counter(const std::string &name,
                      Volatility vol = Volatility::Stable);
+    Counter &counter(const std::string &name, const std::string &unit,
+                     Volatility vol = Volatility::Stable);
     Gauge &gauge(const std::string &name,
+                 Volatility vol = Volatility::Stable);
+    Gauge &gauge(const std::string &name, const std::string &unit,
                  Volatility vol = Volatility::Stable);
     Histogram &histogram(const std::string &name,
                          Volatility vol = Volatility::Stable);
+    Histogram &histogram(const std::string &name, const std::string &unit,
+                         Volatility vol = Volatility::Stable);
+
+    /** Unit registered for @p name ("" when none or unknown). */
+    std::string unitOf(const std::string &name) const;
+
+    /**
+     * Scalar metric kinds the timeseries recorder samples (histograms
+     * are visited through their count/mean projections).
+     */
+    enum class SampleKind { Counter, Gauge };
+
+    /**
+     * Visit every stable counter and gauge (and each histogram's
+     * count/mean projection) in name order — the sampling surface of
+     * the timeseries recorder (obs/timeseries.h).
+     */
+    void visitStable(
+        const std::function<void(const std::string &name, SampleKind kind,
+                                 const std::string &unit, double value)>
+            &fn) const;
 
     /**
      * Append every stable counter and gauge value to its TimeSeries —
@@ -159,13 +210,26 @@ class MetricsRegistry
     {
         std::unique_ptr<T> metric;
         Volatility vol = Volatility::Stable;
+        std::string unit;
     };
+
+    template <typename T>
+    T &findOrCreate(std::map<std::string, Named<T>> *metrics,
+                    const std::string &name, const std::string &unit,
+                    Volatility vol, const char *kind);
 
     mutable std::mutex mutex_;
     std::map<std::string, Named<Counter>> counters_;
     std::map<std::string, Named<Gauge>> gauges_;
     std::map<std::string, Named<Histogram>> histograms_;
     std::map<std::string, TimeSeries> series_;
+    /**
+     * Cached "<name>.count"/"<name>.mean" projection names, filled
+     * lazily by visitStable() so per-interval sampling allocates no
+     * strings (guarded by mutex_, hence mutable).
+     */
+    mutable std::map<std::string, std::pair<std::string, std::string>>
+        histProjections_;
 };
 
 } // namespace pc

@@ -56,6 +56,8 @@ TelemetryConfig::resolved(const std::string &scenario, bool multiRun) const
     out.traceOut = resolveForScenario(traceOut, scenario, multiRun);
     out.metricsOut = resolveForScenario(metricsOut, scenario, multiRun);
     out.auditOut = resolveForScenario(auditOut, scenario, multiRun);
+    out.timeseriesOut =
+        resolveForScenario(timeseriesOut, scenario, multiRun);
     return out;
 }
 
@@ -63,10 +65,40 @@ Telemetry::Telemetry(TelemetryConfig config)
     : config_(std::move(config)), trace_(config_.tracingEnabled()),
       audit_(config_.auditEnabled())
 {
+    if (config_.samplingEnabled())
+        recorder_ = std::make_unique<TimeseriesRecorder>();
+    if (config_.alertsEnabled) {
+        AlertConfig alertConfig;
+        alertConfig.zThreshold = config_.alertThreshold;
+        alerts_ = std::make_unique<AlertEngine>(alertConfig, &audit_);
+    }
 }
 
 void
-Telemetry::writeOutputs(const std::string &scenarioName) const
+Telemetry::onControlInterval(SimTime now)
+{
+    if (!recorder_)
+        return;
+    recorder_->sample(now, metrics_);
+    if (!alerts_)
+        return;
+    // Detectors watch the health taps only; scoring the freshest ring
+    // point keeps the alert stream a pure function of the samples. The
+    // watched subset is re-derived only when a new series appears.
+    if (recorder_->series().size() != watchedSeriesCount_) {
+        watched_.clear();
+        for (const auto &[name, series] : recorder_->series())
+            if (AlertEngine::watches(name))
+                watched_.push_back(&series);
+        watchedSeriesCount_ = recorder_->series().size();
+    }
+    for (const TsSeries *series : watched_)
+        alerts_->observe(now, series->name(), series->last());
+}
+
+void
+Telemetry::writeOutputs(const std::string &scenarioName,
+                        const SloReport *slo) const
 {
     if (config_.tracingEnabled()) {
         std::ofstream out(config_.traceOut,
@@ -96,6 +128,25 @@ Telemetry::writeOutputs(const std::string &scenarioName) const
                   config_.auditOut.c_str());
         audit_.writeJson(out);
     }
+    if (config_.timeseriesEnabled() && recorder_) {
+        std::ofstream out(config_.timeseriesOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            fatal("cannot write timeseries file '%s'",
+                  config_.timeseriesOut.c_str());
+        if (config_.metricsFormat == "openmetrics") {
+            recorder_->writeOpenMetrics(out, scenarioName);
+        } else {
+            JsonObject doc = recorder_->toJson().asObject();
+            doc["alerts"] = alerts_ ? alerts_->toJson()
+                                    : JsonValue(JsonArray{});
+            if (!scenarioName.empty())
+                doc["scenario"] = JsonValue(scenarioName);
+            if (slo && slo->collected)
+                doc["slo"] = sloReportToJson(*slo);
+            out << JsonValue(std::move(doc)).dump() << '\n';
+        }
+    }
 }
 
 void
@@ -120,6 +171,35 @@ addTelemetryFlags(FlagSet *flags)
                    "collect and print the tail-attribution report "
                    "(per-stage queue/serve contributions to p95/p99 "
                    "end-to-end latency)");
+    flags->addString("timeseries-out", "",
+                     "write a per-control-interval time-series dump per "
+                     "run (ring-buffered samples of every stable metric "
+                     "plus the controller-health taps); scenario-name "
+                     "insertion as for --trace-out");
+    flags->addString("metrics-format", "json",
+                     "format of the --timeseries-out file: json "
+                     "(delta-encoded series) or openmetrics (text "
+                     "exposition)");
+    flags->addBool("alerts", false,
+                   "run the online anomaly detectors (EWMA z-score over "
+                   "the controller-health taps) and emit obs.alert "
+                   "records into the audit stream");
+    flags->addDouble("alert-threshold", 4.0,
+                     "|z| at or above which an anomaly detector fires");
+    flags->addBool("slo", false,
+                   "track the latency SLO (multi-window burn rates, "
+                   "violation seconds) and report it per run");
+    flags->addDouble("slo-target", 0.0,
+                     "SLO latency target in seconds (0 = auto: the "
+                     "scenario QoS target, else 3x the summed stage "
+                     "service means)");
+    flags->addDouble("slo-objective", 0.99,
+                     "fraction of queries that must meet the SLO "
+                     "target, in (0,1)");
+    flags->addDouble("slo-fast-window", 60.0,
+                     "fast burn-rate window in seconds");
+    flags->addDouble("slo-slow-window", 300.0,
+                     "slow burn-rate window in seconds");
 }
 
 namespace {
@@ -158,9 +238,46 @@ telemetryConfigFromFlags(const FlagSet &flags)
     if (interval <= 0.0)
         fatal("--metrics-interval must be positive (got %f)", interval);
     config.metricsInterval = SimTime::sec(interval);
+    config.timeseriesOut = flags.getString("timeseries-out");
+    config.metricsFormat = flags.getString("metrics-format");
+    if (config.metricsFormat != "json" &&
+        config.metricsFormat != "openmetrics")
+        fatal("--metrics-format must be 'json' or 'openmetrics' "
+              "(got '%s')", config.metricsFormat.c_str());
+    config.alertsEnabled = flags.getBool("alerts");
+    config.alertThreshold = flags.getDouble("alert-threshold");
+    if (config.alertThreshold <= 0.0)
+        fatal("--alert-threshold must be positive (got %f)",
+              config.alertThreshold);
     requireWritable(config.traceOut, "trace-out");
     requireWritable(config.metricsOut, "metrics-out");
     requireWritable(config.auditOut, "audit-out");
+    requireWritable(config.timeseriesOut, "timeseries-out");
+    return config;
+}
+
+SloConfig
+sloConfigFromFlags(const FlagSet &flags)
+{
+    SloConfig config;
+    config.enabled = flags.getBool("slo");
+    config.targetSec = flags.getDouble("slo-target");
+    config.objective = flags.getDouble("slo-objective");
+    config.fastWindowSec = flags.getDouble("slo-fast-window");
+    config.slowWindowSec = flags.getDouble("slo-slow-window");
+    if (config.targetSec < 0.0)
+        fatal("--slo-target must be non-negative (got %f)",
+              config.targetSec);
+    if (config.objective <= 0.0 || config.objective >= 1.0)
+        fatal("--slo-objective must be in (0,1) (got %f)",
+              config.objective);
+    if (config.fastWindowSec <= 0.0 || config.slowWindowSec <= 0.0)
+        fatal("--slo-fast-window/--slo-slow-window must be positive "
+              "(got %f / %f)", config.fastWindowSec,
+              config.slowWindowSec);
+    if (config.fastWindowSec > config.slowWindowSec)
+        fatal("--slo-fast-window (%f) exceeds --slo-slow-window (%f)",
+              config.fastWindowSec, config.slowWindowSec);
     return config;
 }
 

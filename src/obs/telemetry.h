@@ -14,11 +14,16 @@
 #ifndef PC_OBS_TELEMETRY_H
 #define PC_OBS_TELEMETRY_H
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
+#include "obs/alerts.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace_sink.h"
 
 namespace pc {
@@ -47,15 +52,43 @@ struct TelemetryConfig
     /** Period of the gauge/counter TimeSeries snapshots. */
     SimTime metricsInterval = SimTime::sec(5);
 
+    /**
+     * Per-control-interval time-series dump path (obs/timeseries.h).
+     * Enables the controller-health taps and one recorder sample per
+     * control interval.
+     */
+    std::string timeseriesOut;
+
+    /** Format of the timeseriesOut file: "json" or "openmetrics". */
+    std::string metricsFormat = "json";
+
+    /**
+     * Run the online anomaly detectors (obs/alerts.h) over the health
+     * taps. Implies audit collection — alerts are obs.alert records in
+     * the audit stream — and per-interval sampling even without a
+     * timeseriesOut file.
+     */
+    bool alertsEnabled = false;
+
+    /** |z| threshold of the alert detectors. */
+    double alertThreshold = 4.0;
+
     bool tracingEnabled() const { return !traceOut.empty(); }
     bool metricsEnabled() const { return !metricsOut.empty(); }
+    bool timeseriesEnabled() const { return !timeseriesOut.empty(); }
     bool auditEnabled() const
     {
-        return !auditOut.empty() || auditCollect;
+        return !auditOut.empty() || auditCollect || alertsEnabled;
+    }
+    /** Health taps + per-interval sampling are on (tentpole switch). */
+    bool samplingEnabled() const
+    {
+        return timeseriesEnabled() || alertsEnabled;
     }
     bool anyEnabled() const
     {
-        return tracingEnabled() || metricsEnabled() || auditEnabled();
+        return tracingEnabled() || metricsEnabled() || auditEnabled() ||
+            samplingEnabled();
     }
 
     /**
@@ -86,33 +119,76 @@ class Telemetry
     const AuditLog &audit() const { return audit_; }
 
     bool tracing() const { return config_.tracingEnabled(); }
+
+    /** Per-interval sampling + health taps are on (see config). */
+    bool sampling() const { return recorder_ != nullptr; }
+
+    /** The timeseries recorder; nullptr unless sampling() is on. */
+    TimeseriesRecorder *recorder() { return recorder_.get(); }
+    const TimeseriesRecorder *recorder() const { return recorder_.get(); }
+
+    /** The anomaly engine; nullptr unless alerts are enabled. */
+    AlertEngine *alerts() { return alerts_.get(); }
+    const AlertEngine *alerts() const { return alerts_.get(); }
+
+    /**
+     * One control interval elapsed: sample every stable metric into
+     * the timeseries rings and run the anomaly detectors over the
+     * watched health taps. Driven by CommandCenter::tick() after the
+     * interval's gauges are set; a no-op unless sampling() is on.
+     */
+    void onControlInterval(SimTime now);
+
     const TelemetryConfig &config() const { return config_; }
 
     /**
-     * Write the configured outputs (trace JSON, metrics JSON/CSV).
-     * fatal()s when a file cannot be created.
+     * Write the configured outputs (trace JSON, metrics JSON/CSV,
+     * audit JSON, timeseries JSON/OpenMetrics). fatal()s when a file
+     * cannot be created. @p slo, when non-null and collected, is
+     * embedded in the timeseries dump.
      */
-    void writeOutputs(const std::string &scenarioName) const;
+    void writeOutputs(const std::string &scenarioName,
+                      const SloReport *slo = nullptr) const;
 
   private:
     TelemetryConfig config_;
     TraceSink trace_;
     MetricsRegistry metrics_;
     AuditLog audit_;
+    std::unique_ptr<TimeseriesRecorder> recorder_;
+    std::unique_ptr<AlertEngine> alerts_;
+    /**
+     * Watched-series cache for the per-interval alert scan: rebuilt
+     * only when the recorder grows a new series, so the steady state
+     * never re-walks the full series map.
+     */
+    std::vector<const TsSeries *> watched_;
+    std::size_t watchedSeriesCount_ = 0;
 };
 
 /**
- * Register --trace-out, --metrics-out, --metrics-interval, --audit-out
- * and --attribution (the latter is read by the sweep layer).
+ * Register the telemetry flag surface: --trace-out, --metrics-out,
+ * --metrics-interval, --audit-out, --timeseries-out, --metrics-format,
+ * --alerts, --alert-threshold, --attribution, and the SLO flags
+ * (--slo, --slo-target, --slo-objective, --slo-fast-window,
+ * --slo-slow-window) read by the sweep layer.
  */
 void addTelemetryFlags(FlagSet *flags);
 
 /**
  * Build a TelemetryConfig from the standard telemetry flags. fatal()s
- * on invalid inputs: a non-positive --metrics-interval or an output
+ * on invalid inputs: a non-positive --metrics-interval, an unknown
+ * --metrics-format, a non-positive --alert-threshold, or an output
  * path that cannot be opened for writing.
  */
 TelemetryConfig telemetryConfigFromFlags(const FlagSet &flags);
+
+/**
+ * Build an SloConfig from the --slo* flags. fatal()s on a negative
+ * --slo-target, an objective outside (0,1), or non-positive/inverted
+ * windows.
+ */
+SloConfig sloConfigFromFlags(const FlagSet &flags);
 
 } // namespace pc
 

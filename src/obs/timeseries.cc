@@ -1,0 +1,199 @@
+#include "obs/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pc {
+
+TsSeries::TsSeries(std::string name, std::string unit,
+                   MetricsRegistry::SampleKind kind, std::size_t capacity)
+    : name_(std::move(name)), unit_(std::move(unit)), kind_(kind),
+      cap_(capacity)
+{
+    if (capacity == 0)
+        fatal("timeseries '%s' needs a positive ring capacity",
+              name_.c_str());
+}
+
+void
+TsSeries::append(SimTime t, double value)
+{
+    if (t_.size() < cap_) {
+        // Growth phase: storage doubles up to the cap (short runs
+        // never pay for the full ring), head_ stays 0 so the ring
+        // indexing degenerates to a plain array.
+        t_.push_back(t.toUsec());
+        v_.push_back(value);
+        ++size_;
+        return;
+    }
+    // Full: overwrite the oldest point.
+    const std::size_t slot = head_;
+    head_ = (head_ + 1) % t_.size();
+    ++dropped_;
+    t_[slot] = t.toUsec();
+    v_[slot] = value;
+}
+
+SimTime
+TsSeries::timeAt(std::size_t i) const
+{
+    return SimTime::usec(t_[index(i)]);
+}
+
+double
+TsSeries::valueAt(std::size_t i) const
+{
+    return v_[index(i)];
+}
+
+double
+TsSeries::last() const
+{
+    return size_ ? valueAt(size_ - 1) : 0.0;
+}
+
+JsonValue
+TsSeries::toJson() const
+{
+    JsonObject o;
+    o["kind"] = JsonValue(
+        kind_ == MetricsRegistry::SampleKind::Counter ? "counter"
+                                                      : "gauge");
+    o["unit"] = JsonValue(unit_);
+    o["n"] = JsonValue(static_cast<double>(size_));
+    o["dropped"] = JsonValue(static_cast<double>(dropped_));
+    const std::int64_t t0 = size_ ? t_[index(0)] : 0;
+    o["t0_us"] = JsonValue(static_cast<double>(t0));
+    JsonArray deltas;
+    JsonArray values;
+    std::int64_t prev = t0;
+    for (std::size_t i = 0; i < size_; ++i) {
+        const std::int64_t t = t_[index(i)];
+        if (i > 0)
+            deltas.push_back(JsonValue(static_cast<double>(t - prev)));
+        prev = t;
+        values.push_back(JsonValue(v_[index(i)]));
+    }
+    o["dt_us"] = JsonValue(std::move(deltas));
+    o["v"] = JsonValue(std::move(values));
+    return JsonValue(std::move(o));
+}
+
+TimeseriesRecorder::TimeseriesRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("timeseries recorder needs a positive ring capacity");
+}
+
+void
+TimeseriesRecorder::sample(SimTime now, const MetricsRegistry &metrics)
+{
+    ++samples_;
+    std::size_t cursor = 0;
+    metrics.visitStable([this, now, &cursor](
+                            const std::string &name,
+                            MetricsRegistry::SampleKind kind,
+                            const std::string &unit, double value) {
+        TsSeries *s;
+        if (cursor < order_.size() &&
+            order_[cursor]->name() == name) {
+            // Fast path: same visitation order as the last sample.
+            s = order_[cursor];
+        } else {
+            auto it = series_.find(name);
+            if (it == series_.end()) {
+                it = series_
+                         .try_emplace(name, TsSeries(name, unit, kind,
+                                                     capacity_))
+                         .first;
+            }
+            s = &it->second;
+            order_.insert(
+                order_.begin() +
+                    static_cast<std::ptrdiff_t>(cursor),
+                s);
+        }
+        ++cursor;
+        s->append(now, value);
+    });
+}
+
+const TsSeries *
+TimeseriesRecorder::find(const std::string &name) const
+{
+    const auto it = series_.find(name);
+    return it != series_.end() ? &it->second : nullptr;
+}
+
+JsonValue
+TimeseriesRecorder::toJson() const
+{
+    JsonObject series;
+    for (const auto &[name, s] : series_)
+        series[name] = s.toJson();
+    JsonObject o;
+    o["samples"] = JsonValue(static_cast<double>(samples_));
+    o["series"] = JsonValue(std::move(series));
+    return JsonValue(std::move(o));
+}
+
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+namespace {
+
+/** Same deterministic double rendering the JSON dumper uses. */
+std::string
+renderNumber(double v)
+{
+    char buf[32];
+    if (v == std::floor(v) && std::abs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+TimeseriesRecorder::writeOpenMetrics(std::ostream &out,
+                                     const std::string &scenario) const
+{
+    for (const auto &[name, s] : series_) {
+        const std::string om = openMetricsName(name);
+        const bool isCounter =
+            s.kind() == MetricsRegistry::SampleKind::Counter;
+        out << "# TYPE " << om << ' '
+            << (isCounter ? "counter" : "gauge") << '\n';
+        if (!s.unit().empty())
+            out << "# UNIT " << om << ' ' << s.unit() << '\n';
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            out << om;
+            if (!scenario.empty())
+                out << "{scenario=\"" << scenario << "\"}";
+            out << ' ' << renderNumber(s.valueAt(i)) << ' '
+                << renderNumber(s.timeAt(i).toSec()) << '\n';
+        }
+    }
+    out << "# EOF\n";
+}
+
+} // namespace pc

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Per-run time-series engine: ring-buffered, delta-encoded series
+ * sampled once per control interval.
+ *
+ * The metrics registry answers "what is the total now?"; this layer
+ * answers "when did it change?". A TimeseriesRecorder owns one TsSeries
+ * per stable counter/gauge (plus each histogram's count/mean
+ * projection) and appends one point per control interval — the
+ * controller's own cadence, so every boost, withdraw, fault burst and
+ * headroom swing lands on the exact interval that caused it.
+ *
+ * Design constraints (mirroring the rest of src/obs):
+ *  - pure observer: nothing in the control plane reads a series;
+ *  - allocation-conscious: each ring's storage grows geometrically up
+ *    to its capacity (short runs never pay for the full ring; eager
+ *    full-size allocation cost ~10x the whole golden-Fig.11 run), and
+ *    a full ring overwrites its oldest point (dropped() counts the
+ *    loss);
+ *  - deterministic: sampling happens at simulated times from values
+ *    that are functions of the scenario, so the JSON/OpenMetrics dumps
+ *    are byte-identical at any sweep --jobs value.
+ *
+ * The JSON export delta-encodes timestamps ("t0_us" plus "dt_us"
+ * deltas) — control intervals are regular, so the deltas compress into
+ * small repeated integers. The OpenMetrics export is the line-text
+ * exposition format (one sample per line, "# TYPE"/"# UNIT" metadata,
+ * terminated by "# EOF") for off-the-shelf scrapers.
+ */
+
+#ifndef PC_OBS_TIMESERIES_H
+#define PC_OBS_TIMESERIES_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace pc {
+
+/**
+ * One named series: a preallocated ring of (time, value) points.
+ * Append is O(1) and allocation-free after construction.
+ */
+class TsSeries
+{
+  public:
+    TsSeries(std::string name, std::string unit,
+             MetricsRegistry::SampleKind kind, std::size_t capacity);
+
+    const std::string &name() const { return name_; }
+    const std::string &unit() const { return unit_; }
+    MetricsRegistry::SampleKind kind() const { return kind_; }
+
+    /** Points retained (<= capacity). */
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return cap_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Points overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Append at @p t (non-decreasing); overwrites oldest when full. */
+    void append(SimTime t, double value);
+
+    /** i-th retained point in chronological order (0 = oldest). */
+    SimTime timeAt(std::size_t i) const;
+    double valueAt(std::size_t i) const;
+
+    /** Most recent value (0 when empty). */
+    double last() const;
+
+    /**
+     * {"kind", "unit", "n", "dropped", "t0_us", "dt_us": [...],
+     *  "v": [...]} — timestamps delta-encoded from t0.
+     */
+    JsonValue toJson() const;
+
+  private:
+    std::size_t index(std::size_t i) const
+    {
+        return (head_ + i) % t_.size();
+    }
+
+    std::string name_;
+    std::string unit_;
+    MetricsRegistry::SampleKind kind_;
+    std::size_t cap_; ///< ring capacity; storage grows up to it
+    std::vector<std::int64_t> t_; ///< usec timestamps (SoA with v_)
+    std::vector<double> v_;
+    std::size_t head_ = 0; ///< oldest retained point
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Samples a MetricsRegistry into one TsSeries per stable metric.
+ * Owned by the run's Telemetry bundle; CommandCenter::tick() drives
+ * sample() once per control interval.
+ */
+class TimeseriesRecorder
+{
+  public:
+    /** Default ring capacity: ~4.5 h of 1 s control intervals. */
+    static constexpr std::size_t kDefaultCapacity = 16384;
+
+    explicit TimeseriesRecorder(
+        std::size_t capacity = kDefaultCapacity);
+
+    /** Append every stable metric's current value at @p now. */
+    void sample(SimTime now, const MetricsRegistry &metrics);
+
+    std::uint64_t samples() const { return samples_; }
+
+    const std::map<std::string, TsSeries> &series() const
+    {
+        return series_;
+    }
+
+    /** Series by exact name; nullptr when never sampled. */
+    const TsSeries *find(const std::string &name) const;
+
+    /** {"samples": n, "series": {name: series-json, ...}}. */
+    JsonValue toJson() const;
+
+    /**
+     * OpenMetrics text exposition: sanitized metric names
+     * ('.'/'-' → '_'), "# TYPE"/"# UNIT" metadata, one
+     * "name{scenario=\"...\"} value timestamp_s" line per point,
+     * "# EOF" terminator.
+     */
+    void writeOpenMetrics(std::ostream &out,
+                          const std::string &scenario) const;
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t samples_ = 0;
+    std::map<std::string, TsSeries> series_;
+    /**
+     * Series pointers in visitation order (visitStable's order is
+     * stable across samples): the common case of "no new metric since
+     * the last sample" appends with one string equality check instead
+     * of a map lookup per series. New metrics splice in at their
+     * visit position; map node pointers are stable.
+     */
+    std::vector<TsSeries *> order_;
+};
+
+/** OpenMetrics-safe name: '.'/'-' (and other oddities) become '_'. */
+std::string openMetricsName(const std::string &name);
+
+} // namespace pc
+
+#endif // PC_OBS_TIMESERIES_H

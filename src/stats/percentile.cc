@@ -32,6 +32,18 @@ ExactPercentile::quantile(double q) const
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+std::size_t
+ExactPercentile::countAtOrBelow(double x) const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    return static_cast<std::size_t>(
+        std::upper_bound(samples_.begin(), samples_.end(), x) -
+        samples_.begin());
+}
+
 void
 ExactPercentile::clear()
 {

@@ -35,6 +35,12 @@ class ExactPercentile
     double p99() const { return quantile(0.99); }
     double median() const { return quantile(0.5); }
 
+    /**
+     * Samples with value <= @p x — the cumulative count behind the
+     * histogram bucket serialization (obs/metrics.h).
+     */
+    std::size_t countAtOrBelow(double x) const;
+
     void clear();
 
   private:

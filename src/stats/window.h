@@ -70,18 +70,40 @@ class MovingWindow
     double
     quantile(double q) const
     {
-        if (samples_.empty())
-            return 0.0;
-        std::vector<double> buf;
-        buf.reserve(samples_.size());
+        double out;
+        quantiles(&q, &out, 1);
+        return out;
+    }
+
+    /**
+     * @p n exact quantiles with ONE copy+sort of the window — the
+     * health taps read p95 and p99 of the same window every control
+     * interval, and sorting twice would double the dominant cost of
+     * sampling. Empty windows yield all zeros. The sort scratch is
+     * reused across calls (single-writer, like every stats container
+     * here).
+     */
+    void
+    quantiles(const double *qs, double *out, std::size_t n) const
+    {
+        if (samples_.empty()) {
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = 0.0;
+            return;
+        }
+        scratch_.clear();
+        scratch_.reserve(samples_.size());
         for (const auto &s : samples_)
-            buf.push_back(s.value);
-        std::sort(buf.begin(), buf.end());
-        const double rank = q * static_cast<double>(buf.size() - 1);
-        const auto lo = static_cast<std::size_t>(rank);
-        const auto hi = std::min(lo + 1, buf.size() - 1);
-        const double frac = rank - static_cast<double>(lo);
-        return buf[lo] * (1.0 - frac) + buf[hi] * frac;
+            scratch_.push_back(s.value);
+        std::sort(scratch_.begin(), scratch_.end());
+        for (std::size_t i = 0; i < n; ++i) {
+            const double rank =
+                qs[i] * static_cast<double>(scratch_.size() - 1);
+            const auto lo = static_cast<std::size_t>(rank);
+            const auto hi = std::min(lo + 1, scratch_.size() - 1);
+            const double frac = rank - static_cast<double>(lo);
+            out[i] = scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+        }
     }
 
   private:
@@ -93,6 +115,8 @@ class MovingWindow
 
     SimTime span_;
     std::deque<Sample> samples_;
+    /** Reusable quantile sort buffer (see quantiles()). */
+    mutable std::vector<double> scratch_;
 };
 
 } // namespace pc

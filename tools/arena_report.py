@@ -6,10 +6,11 @@ Usage:
     arena_report.py --check REPORT.json    # validate against the schema
 
 The report is produced by `bench/arena --out=REPORT.json` (schema
-"powerchief-arena-v1"). --check enforces the schema contract the ctest
-fixture pins: the schema tag, at least the full policy roster per
-matrix cell, and the presence/type of every per-point field. Exits 0
-on success, 1 with a diagnostic on the first violation.
+"powerchief-arena-v2"; v2 added the per-point "slo" burn-rate object).
+--check enforces the schema contract the ctest fixture pins: the schema
+tag, at least the full policy roster per matrix cell, and the
+presence/type of every per-point field. Exits 0 on success, 1 with a
+diagnostic on the first violation.
 
 Stdlib only: no third-party imports.
 """
@@ -18,7 +19,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "powerchief-arena-v1"
+SCHEMA = "powerchief-arena-v2"
 
 # Every point must carry these numeric fields.
 NUMERIC_FIELDS = [
@@ -45,6 +46,18 @@ AUDIT_FIELDS = [
     "plans",
     "withdraws",
     "stale_skips",
+]
+
+SLO_FIELDS = [
+    "fast_burn",
+    "max_fast_burn",
+    "max_slow_burn",
+    "objective",
+    "slow_burn",
+    "target_s",
+    "total",
+    "violation_s",
+    "violations",
 ]
 
 # The full roster bench/arena runs; --check requires every one of them
@@ -113,6 +126,20 @@ def check(report):
                     "point %d audit field %r missing or not a number"
                     % (i, field)
                 )
+        slo = point.get("slo")
+        if not isinstance(slo, dict):
+            fail("point %d lacks an 'slo' object" % i)
+        for field in SLO_FIELDS:
+            value = slo.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(
+                    "point %d slo field %r missing or not a number"
+                    % (i, field)
+                )
+            if value < 0:
+                fail("point %d slo field %r is negative" % (i, field))
+        if slo["violations"] > slo["total"]:
+            fail("point %d slo violations exceed total" % i)
         if point["policy"] not in POLICIES:
             fail("point %d has unknown policy %r" % (i, point["policy"]))
         if point["qos_violation_rate"] > 1.0:

@@ -56,6 +56,29 @@ trap 'rm -rf "${tracedir}"' EXIT
     --audit="${tracedir}/run.audit.json" \
     --require-spans --require-decisions --require-audit-records
 
+echo "=== timeseries + dashboard validation ==="
+# The same scenario with per-interval sampling, anomaly detection and
+# SLO tracking on: trace-validate checks the delta-encoded dump and
+# the obs.alert audit records; the OpenMetrics exposition goes through
+# the linter; report_html renders the dump (self-test + real input).
+./build-asan/tools/powerchief-cli \
+    --workload=sirius --policy=powerchief --load=high \
+    --duration=300 --seed=3 --no-cache --slo --alerts \
+    --timeseries-out="${tracedir}/run.ts.json" \
+    --audit-out="${tracedir}/run.ts.audit.json" >/dev/null
+./build-asan/tools/trace-validate \
+    --timeseries="${tracedir}/run.ts.json" \
+    --audit="${tracedir}/run.ts.audit.json"
+./build-asan/tools/powerchief-cli \
+    --workload=sirius --policy=powerchief --load=high \
+    --duration=300 --seed=3 --no-cache \
+    --metrics-format=openmetrics \
+    --timeseries-out="${tracedir}/run.om" >/dev/null
+python3 tools/openmetrics_lint.py "${tracedir}/run.om"
+python3 tools/report_html.py --check "${tracedir}/run.ts.json"
+python3 tools/report_html.py "${tracedir}/run.ts.json" \
+    --out="${tracedir}/dashboard.html" >/dev/null
+
 echo "=== golden trace diff ==="
 ./build-asan/tools/trace-diff \
     --baseline=tests/golden/fig11_trace.json --fresh-fig11
@@ -102,5 +125,6 @@ else
 fi
 
 echo "All sanitizer variants, the Release leg, trace validation, the"
-echo "golden trace diffs, the policy-arena smoke, the chaos sweep and"
-echo "the perf baseline report passed."
+echo "timeseries/dashboard checks, the golden trace diffs, the"
+echo "policy-arena smoke, the chaos sweep and the perf baseline"
+echo "report passed."

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics exposition produced by --metrics-format=openmetrics.
+
+Usage:
+    openmetrics_lint.py FILE [FILE ...]
+
+Checks the subset of the OpenMetrics text format the timeseries
+exporter emits (see docs/OBSERVABILITY.md):
+
+  * the exposition ends with exactly one "# EOF" terminator, with no
+    content after it;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* (label values are
+    free-form, label names follow the same charset minus ':');
+  * every sample line's metric has a preceding "# TYPE" declaration,
+    declared exactly once, with type counter or gauge;
+  * "# UNIT" metadata, when present, names a declared metric;
+  * sample lines parse as: name[{labels}] value timestamp;
+  * per (name, labels) series: timestamps are monotone non-decreasing
+    and counter values never decrease.
+
+Exits 0 when every file passes, 1 with a "file:line: message"
+diagnostic on the first violation. Stdlib only: no third-party
+imports.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)" r"(?:\{([^}]*)\})?" r" (\S+)(?: (\S+))?$"
+)
+
+
+def fail(path, lineno, msg):
+    print("openmetrics_lint: %s:%d: %s" % (path, lineno, msg),
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_number(text):
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as err:
+        print("openmetrics_lint: cannot open %r: %s" % (path, err),
+              file=sys.stderr)
+        sys.exit(1)
+
+    if not raw.endswith("# EOF\n"):
+        fail(path, raw.count("\n") + 1,
+             "exposition must end with '# EOF\\n'")
+    lines = raw.split("\n")
+
+    types = {}  # metric name -> "counter" | "gauge"
+    units = {}
+    last = {}  # (name, labels) -> (timestamp, value)
+    samples = 0
+    eof_seen = False
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            if lineno <= len(lines) - 1 and not eof_seen:
+                fail(path, lineno, "blank line before # EOF")
+            continue
+        if eof_seen:
+            fail(path, lineno, "content after # EOF")
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail(path, lineno, "malformed TYPE line")
+            _, _, name, mtype = parts
+            if not NAME_RE.match(name):
+                fail(path, lineno, "invalid metric name %r" % name)
+            if mtype not in ("counter", "gauge"):
+                fail(path, lineno,
+                     "unsupported type %r for %r" % (mtype, name))
+            if name in types:
+                fail(path, lineno, "duplicate TYPE for %r" % name)
+            types[name] = mtype
+            continue
+        if line.startswith("# UNIT "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                fail(path, lineno, "malformed UNIT line")
+            _, _, name, unit = parts
+            if name not in types:
+                fail(path, lineno,
+                     "UNIT for undeclared metric %r" % name)
+            if name in units:
+                fail(path, lineno, "duplicate UNIT for %r" % name)
+            units[name] = unit
+            continue
+        if line.startswith("#"):
+            fail(path, lineno, "unrecognized comment line %r" % line)
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(path, lineno, "malformed sample line %r" % line)
+        name, labels, value_text, ts_text = match.groups()
+        if name not in types:
+            fail(path, lineno,
+                 "sample for metric %r with no TYPE declaration" % name)
+        if labels:
+            for part in labels.split(","):
+                if not LABEL_RE.match(part):
+                    fail(path, lineno, "malformed label %r" % part)
+        value = parse_number(value_text)
+        if value is None:
+            fail(path, lineno, "non-numeric value %r" % value_text)
+        if ts_text is None:
+            fail(path, lineno, "sample missing timestamp")
+        timestamp = parse_number(ts_text)
+        if timestamp is None:
+            fail(path, lineno, "non-numeric timestamp %r" % ts_text)
+
+        key = (name, labels or "")
+        if key in last:
+            prev_ts, prev_value = last[key]
+            if timestamp < prev_ts:
+                fail(path, lineno,
+                     "timestamp regressed for %r (%g < %g)"
+                     % (name, timestamp, prev_ts))
+            if types[name] == "counter" and value < prev_value:
+                fail(path, lineno,
+                     "counter %r decreased (%g -> %g)"
+                     % (name, prev_value, value))
+        last[key] = (timestamp, value)
+        samples += 1
+
+    if not eof_seen:
+        fail(path, len(lines), "missing # EOF terminator")
+    print(
+        "openmetrics_lint: %s ok (%d metrics, %d samples)"
+        % (path, len(types), samples)
+    )
+
+
+def main():
+    args = sys.argv[1:]
+    if not args or "-h" in args or "--help" in args:
+        print(__doc__.strip())
+        sys.exit(0 if args else 1)
+    for path in args:
+        lint(path)
+
+
+if __name__ == "__main__":
+    main()

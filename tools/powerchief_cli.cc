@@ -23,7 +23,12 @@
  * --audit-out=FILE dumps the decision-audit log (every boost/recycle/
  * withdraw decision with its model inputs and prediction score);
  * --attribution prints the per-stage queue/serve decomposition of the
- * p95/p99 tail. In seed sweeps each run writes its own
+ * p95/p99 tail; --timeseries-out=FILE dumps per-control-interval series
+ * of every metric plus the controller-health taps (delta-encoded JSON,
+ * or OpenMetrics text via --metrics-format=openmetrics); --alerts runs
+ * the online anomaly detectors (obs.alert audit records); --slo tracks
+ * latency-SLO burn rates (--slo-target/--slo-objective/--slo-*-window)
+ * and prints the burn table. In seed sweeps each run writes its own
  * "<file>.<scenario>.<ext>".
  */
 
@@ -133,6 +138,7 @@ runScenarios(const FlagSet &flags, const Scenario &base,
 
     printRawResults(std::cout, results);
     printTailAttribution(std::cout, results);
+    printSloReports(std::cout, results);
     if (!flags.getString("artifacts").empty()) {
         ArtifactWriter writer(flags.getString("artifacts"));
         for (const RunResult &result : results)

@@ -4,6 +4,7 @@
  *
  *   trace-validate --trace=run.json [--metrics=run.metrics.json]
  *                  [--audit=run.audit.json]
+ *                  [--timeseries=run.timeseries.json]
  *                  [--require-spans] [--require-decisions]
  *
  * Validates that a --trace-out file is well-formed Chrome trace-event
@@ -14,20 +15,29 @@
  * --metrics-out file is checked for the registry's JSON shape. An
  * --audit-out file is checked for the decision-audit schema: a
  * "records" array with contiguous sequence numbers, monotone
- * timestamps and per-kind required fields, plus a "summary" object
- * whose decision counts match the records.
+ * timestamps and per-kind required fields (including obs.alert anomaly
+ * records), plus a "summary" object whose decision counts match the
+ * records. A --timeseries-out file is checked for the delta-encoded
+ * series schema, monotone counters, the alerts array, and the optional
+ * embedded SLO report.
  *
  * Exits 0 and prints a one-line summary on success; exits 1 with a
  * diagnostic on the first structural violation. Wired into tools/
  * check.sh and ctest so a malformed exporter fails the build gates.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/json.h"
@@ -200,6 +210,7 @@ struct AuditSummary
     std::size_t staleSkips = 0;
     std::size_t fastcapPlans = 0;
     std::size_t cuttlesysPlans = 0;
+    std::size_t obsAlerts = 0;
     std::size_t scored = 0;
 };
 
@@ -318,6 +329,33 @@ validateAudit(const std::string &path)
             if (!explore.isBool())
                 bad("audit record " + std::to_string(i) +
                     " plan \"explore\" not a bool");
+        } else if (kind.asString() == "obs.alert") {
+            ++counts.obsAlerts;
+            const JsonValue &series = requireField(rec, "series", i);
+            if (!series.isString())
+                bad("audit record " + std::to_string(i) +
+                    " obs.alert \"series\" not a string");
+            requireNumber(rec, "value", i);
+            requireNumber(rec, "mean", i);
+            const double sigma = requireNumber(rec, "sigma", i);
+            if (sigma <= 0.0)
+                bad("audit record " + std::to_string(i) +
+                    " obs.alert \"sigma\" not positive");
+            const double z = requireNumber(rec, "z", i);
+            const double threshold =
+                requireNumber(rec, "threshold", i);
+            // A detector fires only at or beyond its threshold.
+            if (threshold <= 0.0 || std::abs(z) < threshold)
+                bad("audit record " + std::to_string(i) +
+                    " obs.alert z/threshold inconsistent");
+            const double direction =
+                requireNumber(rec, "direction", i);
+            if (direction != 1.0 && direction != -1.0)
+                bad("audit record " + std::to_string(i) +
+                    " obs.alert \"direction\" not +/-1");
+            if ((direction > 0.0) != (z >= 0.0))
+                bad("audit record " + std::to_string(i) +
+                    " obs.alert direction disagrees with z sign");
         } else {
             bad("audit record " + std::to_string(i) +
                 " has unknown kind '" + kind.asString() + "'");
@@ -340,6 +378,7 @@ validateAudit(const std::string &path)
     check("stale_skip", counts.staleSkips);
     check("fastcap_plan", counts.fastcapPlans);
     check("cuttlesys_plan", counts.cuttlesysPlans);
+    check("obs_alert", counts.obsAlerts);
     const JsonValue *prediction = summary->find("prediction");
     if (!prediction || !prediction->isObject())
         bad("'" + path + "' summary lacks a \"prediction\" object");
@@ -358,6 +397,51 @@ validateMetrics(const std::string &path)
             bad("'" + path + "' lacks a \"" + std::string(section) +
                 "\" object");
     }
+    // Histogram bucket self-checks: cumulative "le" counts must be
+    // non-decreasing in bound order, the +inf bucket must equal the
+    // count, and the sum must be present.
+    for (const auto &[name, hist] : root.find("histograms")->asObject()) {
+        if (!hist.isObject())
+            bad("'" + path + "' histogram \"" + name +
+                "\" is not an object");
+        const double count = hist.numberOr("count", -1.0);
+        if (count < 0.0)
+            bad("'" + path + "' histogram \"" + name +
+                "\" lacks a non-negative \"count\"");
+        if (!hist.find("sum") || !hist.find("sum")->isNumber())
+            bad("'" + path + "' histogram \"" + name +
+                "\" lacks a numeric \"sum\"");
+        const JsonValue *buckets = hist.find("buckets");
+        if (!buckets || !buckets->isObject())
+            bad("'" + path + "' histogram \"" + name +
+                "\" lacks a \"buckets\" object");
+        // Order by numeric bound, +inf last ("le" labels sort
+        // lexicographically in the dump, not numerically).
+        std::vector<std::pair<double, double>> byBound;
+        for (const auto &[label, value] : buckets->asObject()) {
+            if (!value.isNumber() || value.asNumber() < 0.0)
+                bad("'" + path + "' histogram \"" + name +
+                    "\" bucket \"" + label +
+                    "\" is not a non-negative number");
+            const double bound = label == "+inf"
+                ? std::numeric_limits<double>::infinity()
+                : std::strtod(label.c_str(), nullptr);
+            byBound.emplace_back(bound, value.asNumber());
+        }
+        std::sort(byBound.begin(), byBound.end());
+        double prev = 0.0;
+        for (const auto &[bound, cum] : byBound) {
+            if (cum < prev)
+                bad("'" + path + "' histogram \"" + name +
+                    "\" cumulative buckets decrease");
+            prev = cum;
+        }
+        if (byBound.empty() ||
+            !std::isinf(byBound.back().first) ||
+            byBound.back().second != count)
+            bad("'" + path + "' histogram \"" + name +
+                "\" +inf bucket disagrees with count");
+    }
     // Fault-injection counters are optional (chaos runs only), but any
     // that appear must be finite and non-negative — counters never run
     // backwards.
@@ -373,6 +457,136 @@ validateMetrics(const std::string &path)
     }
 }
 
+struct TimeseriesSummary
+{
+    std::size_t series = 0;
+    std::size_t points = 0;
+    std::size_t alerts = 0;
+};
+
+/**
+ * Validate a --timeseries-out JSON dump: delta-encoded series whose
+ * array lengths agree with "n", non-negative time deltas, monotone
+ * counters, a well-formed "alerts" array, and (when present) a
+ * self-consistent "slo" object.
+ */
+TimeseriesSummary
+validateTimeseries(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (!root.isObject())
+        bad("'" + path + "' root is not an object");
+    const double samples = root.numberOr("samples", -1.0);
+    if (samples < 0.0)
+        bad("'" + path + "' lacks a non-negative \"samples\"");
+    const JsonValue *series = root.find("series");
+    if (!series || !series->isObject())
+        bad("'" + path + "' lacks a \"series\" object");
+
+    TimeseriesSummary summary;
+    for (const auto &[name, entry] : series->asObject()) {
+        ++summary.series;
+        if (!entry.isObject())
+            bad("series \"" + name + "\" is not an object");
+        const std::string kind = entry.stringOr("kind", "");
+        if (kind != "counter" && kind != "gauge")
+            bad("series \"" + name + "\" has unknown kind '" + kind +
+                "'");
+        if (!entry.find("unit") || !entry.find("unit")->isString())
+            bad("series \"" + name + "\" lacks a \"unit\" string");
+        const double n = entry.numberOr("n", -1.0);
+        const double dropped = entry.numberOr("dropped", -1.0);
+        if (n < 0.0 || dropped < 0.0)
+            bad("series \"" + name +
+                "\" lacks non-negative \"n\"/\"dropped\"");
+        if (n + dropped > samples)
+            bad("series \"" + name +
+                "\" holds more points than the recorder sampled");
+        entry.numberOr("t0_us", 0.0);
+        const JsonValue *deltas = entry.find("dt_us");
+        const JsonValue *values = entry.find("v");
+        if (!deltas || !deltas->isArray() || !values ||
+            !values->isArray())
+            bad("series \"" + name +
+                "\" lacks \"dt_us\"/\"v\" arrays");
+        const std::size_t count = static_cast<std::size_t>(n);
+        if (values->asArray().size() != count)
+            bad("series \"" + name + "\" \"v\" length disagrees "
+                "with \"n\"");
+        if (deltas->asArray().size() != (count ? count - 1 : 0))
+            bad("series \"" + name + "\" \"dt_us\" length is not "
+                "n-1");
+        for (const JsonValue &dt : deltas->asArray()) {
+            if (!dt.isNumber() || dt.asNumber() < 0.0)
+                bad("series \"" + name +
+                    "\" has a negative or non-numeric time delta");
+        }
+        double prev = -std::numeric_limits<double>::infinity();
+        for (const JsonValue &v : values->asArray()) {
+            if (!v.isNumber())
+                bad("series \"" + name +
+                    "\" has a non-numeric value");
+            if (kind == "counter" && v.asNumber() < prev)
+                bad("series \"" + name +
+                    "\" is a counter but decreases");
+            prev = v.asNumber();
+        }
+        summary.points += count;
+    }
+
+    const JsonValue *alerts = root.find("alerts");
+    if (!alerts || !alerts->isArray())
+        bad("'" + path + "' lacks an \"alerts\" array");
+    double lastT = -std::numeric_limits<double>::infinity();
+    const JsonArray &alertList = alerts->asArray();
+    for (std::size_t i = 0; i < alertList.size(); ++i) {
+        const JsonValue &alert = alertList[i];
+        if (!alert.isObject())
+            bad("alert " + std::to_string(i) + " is not an object");
+        if (!alert.find("series") ||
+            !alert.find("series")->isString())
+            bad("alert " + std::to_string(i) +
+                " lacks a \"series\" string");
+        const double t = requireNumber(alert, "t_s", i);
+        if (t < lastT)
+            bad("alert " + std::to_string(i) +
+                " breaks timestamp monotonicity");
+        lastT = t;
+        requireNumber(alert, "value", i);
+        requireNumber(alert, "mean", i);
+        if (requireNumber(alert, "sigma", i) <= 0.0)
+            bad("alert " + std::to_string(i) +
+                " \"sigma\" not positive");
+        const double z = requireNumber(alert, "z", i);
+        const double direction = requireNumber(alert, "direction", i);
+        if (direction != 1.0 && direction != -1.0)
+            bad("alert " + std::to_string(i) +
+                " \"direction\" not +/-1");
+        if ((direction > 0.0) != (z >= 0.0))
+            bad("alert " + std::to_string(i) +
+                " direction disagrees with z sign");
+        ++summary.alerts;
+    }
+
+    if (const JsonValue *slo = root.find("slo")) {
+        if (!slo->isObject())
+            bad("'" + path + "' \"slo\" is not an object");
+        for (const char *key :
+             {"fast_burn", "max_fast_burn", "max_slow_burn",
+              "objective", "slow_burn", "target_s", "total",
+              "violation_s", "violations"}) {
+            if (slo->numberOr(key, -1.0) < 0.0)
+                bad("'" + path + "' slo field \"" +
+                    std::string(key) +
+                    "\" missing or negative");
+        }
+        if (slo->numberOr("violations", 0.0) >
+            slo->numberOr("total", 0.0))
+            bad("'" + path + "' slo violations exceed total");
+    }
+    return summary;
+}
+
 } // namespace
 
 int
@@ -382,6 +596,8 @@ main(int argc, char **argv)
     flags.addString("trace", "", "Chrome trace-event JSON to validate");
     flags.addString("metrics", "", "metrics registry JSON to validate");
     flags.addString("audit", "", "decision-audit JSON to validate");
+    flags.addString("timeseries", "",
+                    "timeseries JSON (--timeseries-out) to validate");
     flags.addBool("require-audit-records", false,
                   "fail unless the audit log holds at least one "
                   "decision record");
@@ -400,9 +616,11 @@ main(int argc, char **argv)
     const std::string tracePath = flags.getString("trace");
     const std::string metricsPath = flags.getString("metrics");
     const std::string auditPath = flags.getString("audit");
-    if (tracePath.empty() && metricsPath.empty() && auditPath.empty())
-        bad("nothing to do: pass --trace=, --metrics= and/or "
-            "--audit=");
+    const std::string timeseriesPath = flags.getString("timeseries");
+    if (tracePath.empty() && metricsPath.empty() &&
+        auditPath.empty() && timeseriesPath.empty())
+        bad("nothing to do: pass --trace=, --metrics=, --audit= "
+            "and/or --timeseries=");
 
     TraceSummary summary;
     if (!tracePath.empty()) {
@@ -435,6 +653,13 @@ main(int argc, char **argv)
                     audit.scored, audit.recycles, audit.withdraws,
                     audit.rpcRetries, audit.staleSkips,
                     audit.fastcapPlans + audit.cuttlesysPlans);
+    }
+    if (!timeseriesPath.empty()) {
+        const TimeseriesSummary ts =
+            validateTimeseries(timeseriesPath);
+        std::printf("%s: ok (%zu series, %zu points, %zu alerts)\n",
+                    timeseriesPath.c_str(), ts.series, ts.points,
+                    ts.alerts);
     }
     return 0;
 }
