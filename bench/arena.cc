@@ -14,7 +14,7 @@
  * table per matrix cell: p95/p99 tail latency, QoS violation rate,
  * actuated watts, and the audit's prediction MAPE.
  *
- * The table and the --out JSON report (schema "powerchief-arena-v2",
+ * The table and the --out JSON report (schema "powerchief-arena-v3",
  * rendered by tools/arena_report.py) are pure functions of the
  * RunResults in submission order: no wall-clock timing, job counts or
  * cache statistics leak into them, so the report is byte-identical at
@@ -254,7 +254,24 @@ pointToJson(const Cell &cell, PolicyKind policy, const RunResult &run,
         JsonValue(static_cast<double>(run.audit.withdraws));
     audit["stale_skips"] =
         JsonValue(static_cast<double>(run.audit.staleSkips));
+    audit["misboosts"] =
+        JsonValue(static_cast<double>(run.audit.misboosts));
     obj["audit"] = JsonValue(std::move(audit));
+
+    JsonObject critpath;
+    critpath["agreement_rate"] =
+        JsonValue(run.critpath.agreementRate);
+    critpath["scored"] = JsonValue(
+        static_cast<double>(run.critpath.scoredIntervals));
+    critpath["agree"] = JsonValue(
+        static_cast<double>(run.critpath.agreeIntervals));
+    critpath["boost_intervals"] = JsonValue(
+        static_cast<double>(run.critpath.boostIntervals));
+    critpath["misboosts"] =
+        JsonValue(static_cast<double>(run.critpath.misboosts));
+    critpath["mean_shortening_pct"] =
+        JsonValue(run.critpath.meanShorteningPct);
+    obj["critpath"] = JsonValue(std::move(critpath));
     obj["slo"] = sloOf(cell, run, duration);
     return JsonValue(std::move(obj));
 }
@@ -277,7 +294,7 @@ main(int argc, char **argv)
                     "comma-separated power budgets in watts");
     flags.addString("out", "",
                     "write the JSON report (schema "
-                    "powerchief-arena-v2) to this path");
+                    "powerchief-arena-v3) to this path");
     if (!flags.parse(argc, argv)) {
         if (!flags.helpRequested())
             std::cerr << flags.error() << "\n";
@@ -313,6 +330,7 @@ main(int argc, char **argv)
     SweepOptions options = sweepOptionsFromFlags(flags);
     options.recordTraces = true;
     options.collectAudit = true;
+    options.collectCritPath = true;
     SweepRunner sweep(options);
 
     printBanner(std::cout, "Policy arena",
@@ -330,19 +348,20 @@ main(int argc, char **argv)
                     cell.workload.name().c_str(), toString(cell.load),
                     cell.budgetWatts, cell.faults.name,
                     cell.qosTargetSec);
-        std::printf("  %-20s %9s %9s %9s %8s %8s %8s\n", "policy",
+        std::printf("  %-20s %9s %9s %9s %8s %8s %8s %8s\n", "policy",
                     "avg s", "p95 s", "p99 s", "QoS.viol", "watts",
-                    "MAPE %");
+                    "MAPE %", "agree%");
         for (const PolicyKind policy : policies) {
             const RunResult &run = runs[runIdx++];
             std::printf("  %-20s %9.4f %9.4f %9.4f %7.1f%% %8.2f "
-                        "%8.2f\n",
+                        "%8.2f %7.1f%%\n",
                         toString(policy), run.avgLatencySec,
                         percentileOf(run.latencySeries, 0.95),
                         run.p99LatencySec,
                         100.0 * violationRateOf(run.latencySeries,
                                                 cell.qosTargetSec),
-                        run.avgPowerWatts, run.audit.mapePct);
+                        run.avgPowerWatts, run.audit.mapePct,
+                        100.0 * run.critpath.agreementRate);
             if (run.completed == 0) {
                 std::printf("  FAIL: %s completed no queries\n",
                             toString(policy));
@@ -367,7 +386,7 @@ main(int argc, char **argv)
 
     if (!flags.getString("out").empty()) {
         JsonObject root;
-        root["schema"] = JsonValue("powerchief-arena-v2");
+        root["schema"] = JsonValue("powerchief-arena-v3");
         root["duration_s"] = JsonValue(duration.toSec());
         root["policies"] =
             JsonValue(static_cast<double>(policies.size()));

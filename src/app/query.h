@@ -49,7 +49,12 @@ struct WorkDemand
     }
 };
 
-/** One per-instance entry of the extended query structure (Fig. 6). */
+/**
+ * One per-instance entry of the extended query structure (Fig. 6),
+ * plus the causal metadata the critical-path layer (obs/critpath.h)
+ * needs: fan-out shard linkage, the frequency the instance actually
+ * served at, and wasted-segment annotations from the fault layer.
+ */
 struct HopRecord
 {
     std::int64_t instanceId = -1;
@@ -57,6 +62,24 @@ struct HopRecord
     SimTime enqueued;
     SimTime started;
     SimTime finished;
+
+    /** Shard position within a FanOut dispatch; -1/0 = not sharded. */
+    int shardIndex = -1;
+    int shardCount = 0;
+
+    /** Frequency (MHz) the instance ran at when the hop finished. */
+    int servedMhz = 0;
+
+    /** The instance was frequency-boosted while serving this hop. */
+    bool boosted = false;
+
+    /**
+     * Service lost to an instance crash: the query was re-dispatched
+     * and this hop's serving time never contributed to completion.
+     * Wasted hops are excluded from bottleneck/latency statistics and
+     * only consumed by the critical-path segmentation.
+     */
+    bool wasted = false;
 
     SimTime queuing() const { return started - enqueued; }
     SimTime serving() const { return finished - started; }

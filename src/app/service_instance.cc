@@ -98,6 +98,8 @@ ServiceInstance::startNext()
     currentHop_.stageIndex = stageIndex_;
     currentHop_.enqueued = next.enqueued;
     currentHop_.started = sim_->now();
+    currentHop_.shardIndex = next.shardIndex;
+    currentHop_.shardCount = next.shardCount;
 
     progress_ = 0.0;
     lastResume_ = sim_->now();
@@ -121,6 +123,8 @@ ServiceInstance::onFreqChange(int oldLevel, int newLevel)
 {
     if (!busy())
         return;
+    if (newLevel > oldLevel)
+        currentHop_.boosted = true;
     const auto &ladder = chip_->model().ladder();
 
     // The span [lastResume_, now) ran at the old frequency: settle the
@@ -154,6 +158,7 @@ ServiceInstance::finishCurrent()
         panic("instance %s: completion with no in-flight query",
               name_.c_str());
     currentHop_.finished = sim_->now();
+    currentHop_.servedMhz = frequency().value();
     busyAccum_ += currentHop_.finished - currentHop_.started;
     current_->addHop(currentHop_);
     ++served_;
@@ -211,6 +216,17 @@ ServiceInstance::abortService()
     orphan.query = std::move(current_);
     orphan.enqueued = currentHop_.enqueued;
     orphan.workScale = currentScale_;
+    orphan.shardIndex = currentHop_.shardIndex;
+    orphan.shardCount = currentHop_.shardCount;
+    // Stamp the aborted partial service as a wasted hop so the
+    // critical-path layer can attribute the lost time; it stays out of
+    // busyAccum_/served_ and the wait/serve histograms, so latency and
+    // utilization statistics are unchanged.
+    HopRecord wastedHop = currentHop_;
+    wastedHop.finished = sim_->now();
+    wastedHop.servedMhz = frequency().value();
+    wastedHop.wasted = true;
+    orphan.query->addHop(wastedHop);
     current_.reset();
     chip_->core(coreId_).setBusy(false);
     return orphan;

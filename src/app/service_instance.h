@@ -43,6 +43,15 @@ struct PendingQuery
     QueryPtr query;
     SimTime enqueued;
     double workScale = 1.0;
+
+    /**
+     * Fan-out shard linkage, copied into the hop record so the
+     * critical-path layer can tell shards of one dispatch apart.
+     * -1/0 for ordinary pipeline entries; survives stealing, crash
+     * re-dispatch and withdraw redirection like the timestamp does.
+     */
+    int shardIndex = -1;
+    int shardCount = 0;
 };
 
 class ServiceInstance
@@ -102,8 +111,9 @@ class ServiceInstance
      * Crash primitive: abort the in-flight service, if any, and hand
      * the query back for redispatch. The entry keeps its original
      * enqueue timestamp but loses all service progress (the work is
-     * re-executed from scratch elsewhere); no hop is stamped and no
-     * busy time is credited. Returns nullopt when idle.
+     * re-executed from scratch elsewhere); a wasted hop is stamped for
+     * the critical-path layer but no busy time is credited and no
+     * latency statistic is recorded. Returns nullopt when idle.
      */
     std::optional<PendingQuery> abortService();
 

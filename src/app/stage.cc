@@ -234,12 +234,15 @@ Stage::submitFanOut(QueryPtr q)
         static_cast<double>(live.size());
 
     pendingShards_[q->id()] = static_cast<int>(live.size());
+    int shardIndex = 0;
     for (auto *inst : live) {
         PendingQuery shard;
         shard.query = q;
         shard.enqueued = sim_->now();
         shard.workScale = shardScale *
             (shardCv_ > 0.0 ? shardRng_.lognormal(1.0, shardCv_) : 1.0);
+        shard.shardIndex = shardIndex++;
+        shard.shardCount = static_cast<int>(live.size());
         inst->adopt(std::move(shard));
     }
 }

@@ -31,6 +31,12 @@ encodeStats(const QueryStatsRecord &record)
         w.putSigned(hop.enqueued.toUsec());
         w.putSigned(hop.started.toUsec());
         w.putSigned(hop.finished.toUsec());
+        // Causal metadata (critical-path layer): frequency context,
+        // wasted/boosted flags and the fan-out shard linkage.
+        w.putSigned(hop.servedMhz);
+        w.putVarint((hop.wasted ? 1u : 0u) | (hop.boosted ? 2u : 0u));
+        w.putSigned(hop.shardIndex);
+        w.putSigned(hop.shardCount);
     }
     return w.take();
 }
@@ -59,14 +65,27 @@ decodeStats(const std::vector<std::uint8_t> &bytes)
         std::int64_t enq = 0;
         std::int64_t start = 0;
         std::int64_t fin = 0;
+        std::int64_t mhz = 0;
+        std::uint64_t flags = 0;
+        std::int64_t shardIndex = 0;
+        std::int64_t shardCount = 0;
         if (!r.getSigned(&hop.instanceId) || !r.getSigned(&stage) ||
             !r.getSigned(&enq) || !r.getSigned(&start) ||
-            !r.getSigned(&fin))
+            !r.getSigned(&fin) || !r.getSigned(&mhz) ||
+            !r.getVarint(&flags) || !r.getSigned(&shardIndex) ||
+            !r.getSigned(&shardCount))
+            return std::nullopt;
+        if (flags > 3u)
             return std::nullopt;
         hop.stageIndex = static_cast<int>(stage);
         hop.enqueued = SimTime::usec(enq);
         hop.started = SimTime::usec(start);
         hop.finished = SimTime::usec(fin);
+        hop.servedMhz = static_cast<int>(mhz);
+        hop.wasted = (flags & 1u) != 0;
+        hop.boosted = (flags & 2u) != 0;
+        hop.shardIndex = static_cast<int>(shardIndex);
+        hop.shardCount = static_cast<int>(shardCount);
         record.hops.push_back(hop);
     }
     if (!r.ok() || !r.exhausted())

@@ -38,6 +38,11 @@ BottleneckIdentifier::observe(SimTime now,
                               const std::vector<HopRecord> &hops)
 {
     for (const auto &hop : hops) {
+        // Wasted hops (service aborted by a crash) carry no completed
+        // work; scoring them would inflate the victim stage's delay
+        // with time the re-dispatch already re-charges elsewhere.
+        if (hop.wasted)
+            continue;
         auto &stats = statsFor(hop.instanceId);
         stats.queuing.add(now, hop.queuing().toSec());
         stats.serving.add(now, hop.serving().toSec());

@@ -315,6 +315,13 @@ CommandCenter::tick()
             prevRetryTotal_ = retries;
         }
 
+        // Close the critical-path scoring window first: the collector
+        // compares this interval's boosts against the stages that
+        // dominated the critical paths of the queries completing in
+        // it, and refreshes the critpath gauges the sample below reads.
+        if (auto *critpath = telemetry_->critpath())
+            critpath->onControlInterval(sim_->now(), ctx.boostedStages);
+
         // Sample the interval into the timeseries rings (and run the
         // anomaly detectors) after every gauge above is fresh.
         telemetry_->onControlInterval(sim_->now());

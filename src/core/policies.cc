@@ -34,6 +34,7 @@ frequencyBoost(ControlContext &ctx, const InstanceSnapshot &bn,
     if (ctx.trace)
         ctx.trace->record(ctx.sim->now(), TraceKind::FrequencyBoost,
                           bn.name, toLevel);
+    ctx.boostedStages.push_back(bn.stageIndex);
     return true;
 }
 
@@ -61,6 +62,7 @@ instanceBoost(ControlContext &ctx, const InstanceSnapshot &bn)
     if (ctx.trace)
         ctx.trace->record(ctx.sim->now(), TraceKind::InstanceLaunch,
                           clone->name(), cloneLevel);
+    ctx.boostedStages.push_back(bn.stageIndex);
     return clone;
 }
 

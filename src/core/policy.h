@@ -78,6 +78,13 @@ struct ControlContext
     Counter *actuationFailures = nullptr;
     /** Fresh ascending-metric ranking computed for this interval. */
     SortedSnapshots ranked;
+    /**
+     * Stages successfully boosted this interval, appended by the
+     * actuate helpers (frequency and instance boosts; step-downs do
+     * not count). Read by the critical-path collector to score the
+     * policy's stage choice against the realized critical paths.
+     */
+    std::vector<int> boostedStages;
 
     /** Spread between bottleneck and fastest instance, in seconds. */
     double

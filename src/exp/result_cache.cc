@@ -299,11 +299,36 @@ runResultToJson(const RunResult &result)
                       static_cast<double>(result.audit.scored));
         audit.emplace("selects",
                       static_cast<double>(result.audit.selects));
+        audit.emplace("misboosts",
+                      static_cast<double>(result.audit.misboosts));
         audit.emplace("stale_skips",
                       static_cast<double>(result.audit.staleSkips));
         audit.emplace("withdraws",
                       static_cast<double>(result.audit.withdraws));
         obj.emplace("audit", JsonValue(std::move(audit)));
+    }
+    // ... and for the critical-path summary.
+    if (result.critpath.collected) {
+        JsonObject critpath;
+        critpath.emplace("agree", static_cast<double>(
+                                      result.critpath.agreeIntervals));
+        critpath.emplace("agreement_rate",
+                         result.critpath.agreementRate);
+        critpath.emplace("boost_intervals", static_cast<double>(
+                             result.critpath.boostIntervals));
+        critpath.emplace("mean_shortening_pct",
+                         result.critpath.meanShorteningPct);
+        critpath.emplace("misboosts", static_cast<double>(
+                                          result.critpath.misboosts));
+        critpath.emplace("queries", static_cast<double>(
+                                        result.critpath.queries));
+        critpath.emplace("scored", static_cast<double>(
+                             result.critpath.scoredIntervals));
+        JsonArray shares;
+        for (const double share : result.critpath.stageShare)
+            shares.push_back(JsonValue(share));
+        critpath.emplace("stage_share", JsonValue(std::move(shares)));
+        obj.emplace("critpath", JsonValue(std::move(critpath)));
     }
     // ... and for the SLO burn-rate report.
     if (result.slo.collected)
@@ -402,6 +427,37 @@ runResultFromJson(const JsonValue &doc)
             audit->numberOr("stale_skips", 0));
         result.audit.plans = static_cast<std::uint64_t>(
             audit->numberOr("plans", 0));
+        result.audit.misboosts = static_cast<std::uint64_t>(
+            audit->numberOr("misboosts", 0));
+    }
+
+    if (const JsonValue *critpath = doc.find("critpath")) {
+        if (!critpath->isObject())
+            return std::nullopt;
+        result.critpath.collected = true;
+        result.critpath.queries = static_cast<std::uint64_t>(
+            critpath->numberOr("queries", 0));
+        result.critpath.scoredIntervals = static_cast<std::uint64_t>(
+            critpath->numberOr("scored", 0));
+        result.critpath.agreeIntervals = static_cast<std::uint64_t>(
+            critpath->numberOr("agree", 0));
+        result.critpath.boostIntervals = static_cast<std::uint64_t>(
+            critpath->numberOr("boost_intervals", 0));
+        result.critpath.misboosts = static_cast<std::uint64_t>(
+            critpath->numberOr("misboosts", 0));
+        result.critpath.agreementRate =
+            critpath->numberOr("agreement_rate", 0.0);
+        result.critpath.meanShorteningPct =
+            critpath->numberOr("mean_shortening_pct", 0.0);
+        if (const JsonValue *shares = critpath->find("stage_share")) {
+            if (!shares->isArray())
+                return std::nullopt;
+            for (const auto &share : shares->asArray()) {
+                if (!share.isNumber())
+                    return std::nullopt;
+                result.critpath.stageShare.push_back(share.asNumber());
+            }
+        }
     }
 
     if (const JsonValue *slo = doc.find("slo")) {

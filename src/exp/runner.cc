@@ -30,10 +30,10 @@ RunResult::improvement(double baseline, double value)
 ExperimentRunner::ExperimentRunner(bool recordTraces,
                                    SimTime sampleInterval,
                                    bool attribution, bool collectAudit,
-                                   SloConfig slo)
+                                   SloConfig slo, bool collectCritPath)
     : recordTraces_(recordTraces), sampleInterval_(sampleInterval),
       attribution_(attribution), collectAudit_(collectAudit),
-      slo_(std::move(slo))
+      slo_(std::move(slo)), collectCritPath_(collectCritPath)
 {
 }
 
@@ -90,6 +90,8 @@ ExperimentRunner::run(const Scenario &sc,
                                           : TelemetryConfig{};
     if (collectAudit_)
         effective.auditCollect = true;
+    if (collectCritPath_)
+        effective.critpathCollect = true;
     std::optional<Telemetry> telemetryStore;
     if (effective.anyEnabled())
         telemetryStore.emplace(effective);
@@ -215,8 +217,12 @@ ExperimentRunner::run(const Scenario &sc,
     // allocate; assign() keeps the capacity.
     std::vector<StageSpan> spans;
     app.setCompletionSink([&](const QueryPtr &q) {
-        if (tel)
+        if (tel) {
             tel->trace().recordQueryHops(*q);
+            if (auto *critpath = tel->critpath())
+                critpath->observeQuery(sim.now(), *q,
+                                       q->arrival() >= sc.warmup);
+        }
         if (q->arrival() < sc.warmup)
             return;
         const double sec = q->endToEnd().toSec();
@@ -235,6 +241,11 @@ ExperimentRunner::run(const Scenario &sc,
             spans.assign(static_cast<std::size_t>(app.numStages()),
                          StageSpan{});
         for (const auto &hop : q->hops()) {
+            // Wasted hops (aborted service; faults layer) carry no
+            // latency contribution — the query was re-dispatched and
+            // the replacement hop holds the real queue/serve split.
+            if (hop.wasted)
+                continue;
             const auto s = static_cast<std::size_t>(hop.stageIndex);
             queuingByStage[s].add(hop.queuing().toSec());
             servingByStage[s].add(hop.serving().toSec());
@@ -379,12 +390,28 @@ ExperimentRunner::run(const Scenario &sc,
               case AuditDecisionKind::CuttleSysPlan:
                 ++sum.plans;
                 break;
+              case AuditDecisionKind::Misboost:
+                ++sum.misboosts;
+                break;
               case AuditDecisionKind::RpcRetry:
               case AuditDecisionKind::ObsAlert:
               case AuditDecisionKind::Count:
                 break;
             }
         }
+    }
+    if (collectCritPath_ && tel && tel->critpath()) {
+        const CritPathCollector &cp = *tel->critpath();
+        RunCritPathSummary &sum = result.critpath;
+        sum.collected = true;
+        sum.queries = cp.profiledQueries();
+        sum.scoredIntervals = cp.scoredIntervals();
+        sum.agreeIntervals = cp.agreeIntervals();
+        sum.boostIntervals = cp.boostIntervals();
+        sum.misboosts = cp.misboosts();
+        sum.agreementRate = cp.agreementRate();
+        sum.meanShorteningPct = cp.meanShorteningPct();
+        sum.stageShare = cp.stageShareMeans();
     }
 
     if (tel) {

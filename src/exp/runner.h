@@ -75,6 +75,34 @@ struct RunAuditSummary
     std::uint64_t staleSkips = 0;
     /** FastCap/CuttleSys interval-plan records. */
     std::uint64_t plans = 0;
+    /** Misboost records (critical-path scoring; obs/critpath.h). */
+    std::uint64_t misboosts = 0;
+};
+
+/**
+ * Summary of the run's critical-path profile (populated when critpath
+ * collection is enabled; see ExperimentRunner's collectCritPath).
+ */
+struct RunCritPathSummary
+{
+    bool collected = false;
+
+    /** Post-warmup queries profiled into the run-level shares. */
+    std::uint64_t queries = 0;
+    /** Control intervals with at least one completion (scoreable). */
+    std::uint64_t scoredIntervals = 0;
+    /** Scored intervals whose dominant stage was boosted. */
+    std::uint64_t agreeIntervals = 0;
+    /** Intervals with at least one boost actuated. */
+    std::uint64_t boostIntervals = 0;
+    /** Boosted intervals whose boosts all missed the dominant stage. */
+    std::uint64_t misboosts = 0;
+    /** agreeIntervals / scoredIntervals (0 when nothing scoreable). */
+    double agreementRate = 0.0;
+    /** Mean critical-path shortening after boosted intervals (%). */
+    double meanShorteningPct = 0.0;
+    /** Mean critical-path share per stage over profiled queries. */
+    std::vector<double> stageShare;
 };
 
 struct RunResult
@@ -111,6 +139,9 @@ struct RunResult
     /** Decision-audit summary (populated when audit collection is on). */
     RunAuditSummary audit;
 
+    /** Critical-path summary (populated when critpath collection is on). */
+    RunCritPathSummary critpath;
+
     /** SLO burn-rate report (populated when SLO tracking is on). */
     SloReport slo;
 
@@ -135,12 +166,16 @@ class ExperimentRunner
      *        into RunResult::slo. A targetSec of 0 auto-resolves to
      *        the scenario QoS target, else 3x the summed stage service
      *        means. Pure observer, like audit.
+     * @param collectCritPath run with the critical-path collector
+     *        enabled and summarize it into RunResult::critpath (no
+     *        file output; pure observer, like audit).
      */
     explicit ExperimentRunner(bool recordTraces = false,
                               SimTime sampleInterval = SimTime::sec(5),
                               bool attribution = false,
                               bool collectAudit = false,
-                              SloConfig slo = {});
+                              SloConfig slo = {},
+                              bool collectCritPath = false);
 
     /**
      * Observe every control interval of subsequent run() calls: the
@@ -171,6 +206,7 @@ class ExperimentRunner
     bool attribution_;
     bool collectAudit_;
     SloConfig slo_;
+    bool collectCritPath_;
     std::function<void(const ControlContext &)> intervalProbe_;
 };
 

@@ -27,7 +27,8 @@ SweepRunner::execute(const Scenario &scenario,
     return ExperimentRunner(options_.recordTraces,
                             options_.sampleInterval,
                             options_.attribution,
-                            options_.collectAudit, options_.slo)
+                            options_.collectAudit, options_.slo,
+                            options_.collectCritPath)
         .run(scenario, telemetry);
 }
 
@@ -62,6 +63,8 @@ SweepRunner::cacheKeyFor(const std::string &canonical) const
     // Appended only when set so historical cache keys stay valid.
     if (options_.collectAudit)
         key += ",audit=1";
+    if (options_.collectCritPath)
+        key += ",critpath=1";
     if (options_.slo.enabled)
         key += "," + options_.slo.canonical();
     return key;

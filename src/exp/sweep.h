@@ -72,6 +72,13 @@ struct SweepOptions
     SloConfig slo;
 
     /**
+     * Collect per-run critical-path summaries (RunResult::critpath).
+     * Like the audit summary this is a pure in-memory result field, so
+     * critpath-collecting sweeps stay cacheable (own cache key).
+     */
+    bool collectCritPath = false;
+
+    /**
      * Observability outputs (--trace-out/--metrics-out). In multi-
      * scenario sweeps the paths are resolved per scenario so parallel
      * runs never interleave writes to one file. Runs with telemetry

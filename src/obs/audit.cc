@@ -27,6 +27,7 @@ toString(AuditDecisionKind kind)
       case AuditDecisionKind::FastCapPlan: return "fastcap_plan";
       case AuditDecisionKind::CuttleSysPlan: return "cuttlesys_plan";
       case AuditDecisionKind::ObsAlert: return "obs.alert";
+      case AuditDecisionKind::Misboost: return "misboost";
       case AuditDecisionKind::Count: break;
     }
     return "?";
@@ -178,6 +179,24 @@ AuditLog::recordAlert(const std::string &series, double value,
     rec.alertZ = z;
     rec.alertThreshold = threshold;
     rec.alertDirection = direction;
+    records_.push_back(std::move(rec));
+}
+
+void
+AuditLog::recordMisboost(int boostedStage, int dominantStage,
+                         double dominantShare, double boostedShare)
+{
+    if (!enabled_)
+        return;
+    AuditRecord rec;
+    rec.seq = records_.size();
+    rec.t = now_;
+    rec.interval = interval_;
+    rec.kind = AuditDecisionKind::Misboost;
+    rec.misboostBoostedStage = boostedStage;
+    rec.misboostDominantStage = dominantStage;
+    rec.misboostDominantShare = dominantShare;
+    rec.misboostBoostedShare = boostedShare;
     records_.push_back(std::move(rec));
 }
 
@@ -354,6 +373,12 @@ recordToJson(const AuditRecord &rec)
         o["value"] = JsonValue(rec.alertValue);
         o["z"] = JsonValue(rec.alertZ);
         break;
+      case AuditDecisionKind::Misboost:
+        o["boosted_share"] = JsonValue(rec.misboostBoostedShare);
+        o["boosted_stage"] = JsonValue(rec.misboostBoostedStage);
+        o["dominant_share"] = JsonValue(rec.misboostDominantShare);
+        o["dominant_stage"] = JsonValue(rec.misboostDominantStage);
+        break;
       case AuditDecisionKind::Count:
         break;
     }
@@ -416,6 +441,8 @@ AuditLog::toJson() const
         counts[static_cast<int>(AuditDecisionKind::CuttleSysPlan)]);
     decisions["fastcap_plan"] = count(
         counts[static_cast<int>(AuditDecisionKind::FastCapPlan)]);
+    decisions["misboost"] =
+        count(counts[static_cast<int>(AuditDecisionKind::Misboost)]);
     decisions["obs_alert"] =
         count(counts[static_cast<int>(AuditDecisionKind::ObsAlert)]);
     decisions["recycle"] =

@@ -54,6 +54,12 @@ enum class AuditDecisionKind {
     CuttleSysPlan,
     /** One online anomaly alert (EWMA z-score; obs/alerts.h). */
     ObsAlert,
+    /**
+     * A boosted interval whose boosts all missed the stage dominating
+     * the critical paths of the queries completing in that interval
+     * (obs/critpath.h bottleneck-efficacy scoring).
+     */
+    Misboost,
 
     /** Sentinel: number of kinds. Keep last. */
     Count,
@@ -170,6 +176,16 @@ struct AuditRecord
     /** +1 = spike above the mean, -1 = drop below it. */
     int alertDirection = 0;
 
+    // --- Misboost (critical-path scoring; obs/critpath.h) ---
+    /** A stage the controller boosted this interval (stageIndex when
+     *  a single boost; the first boosted stage otherwise). */
+    int misboostBoostedStage = -1;
+    /** The stage dominating the interval's critical paths. */
+    int misboostDominantStage = -1;
+    /** Critical-path share of the dominant / boosted stage (0..1). */
+    double misboostDominantShare = 0.0;
+    double misboostBoostedShare = 0.0;
+
     // --- Prediction scoring (Select records only) ---
     bool scored = false;
     SimTime scoredAt;
@@ -242,6 +258,13 @@ class AuditLog
     void recordAlert(const std::string &series, double value,
                      double mean, double sigma, double z,
                      double threshold, int direction);
+
+    /**
+     * Append a Misboost record (one per control interval whose boosts
+     * all missed the critical-path-dominant stage; obs/critpath.h).
+     */
+    void recordMisboost(int boostedStage, int dominantStage,
+                        double dominantShare, double boostedShare);
 
     /**
      * Mark the most recent unactuated Select record of @p kind as

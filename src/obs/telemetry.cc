@@ -58,6 +58,8 @@ TelemetryConfig::resolved(const std::string &scenario, bool multiRun) const
     out.auditOut = resolveForScenario(auditOut, scenario, multiRun);
     out.timeseriesOut =
         resolveForScenario(timeseriesOut, scenario, multiRun);
+    out.critpathOut =
+        resolveForScenario(critpathOut, scenario, multiRun);
     return out;
 }
 
@@ -65,12 +67,21 @@ Telemetry::Telemetry(TelemetryConfig config)
     : config_(std::move(config)), trace_(config_.tracingEnabled()),
       audit_(config_.auditEnabled())
 {
+    trace_.setMetrics(&metrics_);
     if (config_.samplingEnabled())
         recorder_ = std::make_unique<TimeseriesRecorder>();
     if (config_.alertsEnabled) {
         AlertConfig alertConfig;
         alertConfig.zThreshold = config_.alertThreshold;
         alerts_ = std::make_unique<AlertEngine>(alertConfig, &audit_);
+    }
+    if (config_.critpathEnabled()) {
+        // Per-interval critpath gauges join the registry only when the
+        // run samples per interval, so metrics dumps without the
+        // timeseries engine stay byte-identical.
+        critpath_ = std::make_unique<CritPathCollector>(
+            &audit_,
+            config_.samplingEnabled() ? &metrics_ : nullptr);
     }
 }
 
@@ -147,6 +158,14 @@ Telemetry::writeOutputs(const std::string &scenarioName,
             out << JsonValue(std::move(doc)).dump() << '\n';
         }
     }
+    if (!config_.critpathOut.empty() && critpath_) {
+        std::ofstream out(config_.critpathOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.good())
+            fatal("cannot write critpath file '%s'",
+                  config_.critpathOut.c_str());
+        critpath_->writeJson(out, scenarioName);
+    }
 }
 
 void
@@ -180,6 +199,11 @@ addTelemetryFlags(FlagSet *flags)
                      "format of the --timeseries-out file: json "
                      "(delta-encoded series) or openmetrics (text "
                      "exposition)");
+    flags->addString("critpath-out", "",
+                     "write a critical-path profile JSON file per run "
+                     "(per-stage critical-path shares, path signatures "
+                     "and the controller's bottleneck-agreement score); "
+                     "scenario-name insertion as for --trace-out");
     flags->addBool("alerts", false,
                    "run the online anomaly detectors (EWMA z-score over "
                    "the controller-health taps) and emit obs.alert "
@@ -244,6 +268,7 @@ telemetryConfigFromFlags(const FlagSet &flags)
         config.metricsFormat != "openmetrics")
         fatal("--metrics-format must be 'json' or 'openmetrics' "
               "(got '%s')", config.metricsFormat.c_str());
+    config.critpathOut = flags.getString("critpath-out");
     config.alertsEnabled = flags.getBool("alerts");
     config.alertThreshold = flags.getDouble("alert-threshold");
     if (config.alertThreshold <= 0.0)
@@ -253,6 +278,7 @@ telemetryConfigFromFlags(const FlagSet &flags)
     requireWritable(config.metricsOut, "metrics-out");
     requireWritable(config.auditOut, "audit-out");
     requireWritable(config.timeseriesOut, "timeseries-out");
+    requireWritable(config.critpathOut, "critpath-out");
     return config;
 }
 

@@ -21,6 +21,7 @@
 #include "common/time.h"
 #include "obs/alerts.h"
 #include "obs/audit.h"
+#include "obs/critpath.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
@@ -73,6 +74,16 @@ struct TelemetryConfig
     /** |z| threshold of the alert detectors. */
     double alertThreshold = 4.0;
 
+    /** Critical-path profile JSON dump path (obs/critpath.h). */
+    std::string critpathOut;
+
+    /**
+     * Collect the critical-path profile in memory without writing a
+     * file (the runner summarizes it into RunResult::critpath).
+     * Independent of critpathOut: either one enables collection.
+     */
+    bool critpathCollect = false;
+
     bool tracingEnabled() const { return !traceOut.empty(); }
     bool metricsEnabled() const { return !metricsOut.empty(); }
     bool timeseriesEnabled() const { return !timeseriesOut.empty(); }
@@ -85,10 +96,14 @@ struct TelemetryConfig
     {
         return timeseriesEnabled() || alertsEnabled;
     }
+    bool critpathEnabled() const
+    {
+        return !critpathOut.empty() || critpathCollect;
+    }
     bool anyEnabled() const
     {
         return tracingEnabled() || metricsEnabled() || auditEnabled() ||
-            samplingEnabled();
+            samplingEnabled() || critpathEnabled();
     }
 
     /**
@@ -131,6 +146,10 @@ class Telemetry
     AlertEngine *alerts() { return alerts_.get(); }
     const AlertEngine *alerts() const { return alerts_.get(); }
 
+    /** The critical-path collector; nullptr unless enabled (config). */
+    CritPathCollector *critpath() { return critpath_.get(); }
+    const CritPathCollector *critpath() const { return critpath_.get(); }
+
     /**
      * One control interval elapsed: sample every stable metric into
      * the timeseries rings and run the anomaly detectors over the
@@ -157,6 +176,7 @@ class Telemetry
     AuditLog audit_;
     std::unique_ptr<TimeseriesRecorder> recorder_;
     std::unique_ptr<AlertEngine> alerts_;
+    std::unique_ptr<CritPathCollector> critpath_;
     /**
      * Watched-series cache for the per-interval alert scan: rebuilt
      * only when the recorder grows a new series, so the steady state
@@ -169,7 +189,8 @@ class Telemetry
 /**
  * Register the telemetry flag surface: --trace-out, --metrics-out,
  * --metrics-interval, --audit-out, --timeseries-out, --metrics-format,
- * --alerts, --alert-threshold, --attribution, and the SLO flags
+ * --critpath-out, --alerts, --alert-threshold, --attribution, and the
+ * SLO flags
  * (--slo, --slo-target, --slo-objective, --slo-fast-window,
  * --slo-slow-window) read by the sweep layer.
  */

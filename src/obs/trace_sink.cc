@@ -4,6 +4,7 @@
 
 #include "app/query.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace pc {
 
@@ -34,6 +35,13 @@ TraceSink::trackForInstance(std::int64_t instanceId) const
 {
     const auto it = instanceTracks_.find(instanceId);
     return it == instanceTracks_.end() ? kControlTrack : it->second;
+}
+
+void
+TraceSink::setMetrics(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    unknownTrack_ = nullptr;
 }
 
 void
@@ -88,38 +96,76 @@ TraceSink::recordQueryHops(const Query &query)
         return;
     const auto &hops = query.hops();
     const std::string qid = std::to_string(query.id());
+
+    // The flow chain stitches only the hops that contributed to the
+    // completion: wasted hops (crash-aborted service) get spans but no
+    // arrows, so Perfetto shows one causal chain per query.
+    std::vector<std::size_t> flowHops;
+    flowHops.reserve(hops.size());
+    for (std::size_t i = 0; i < hops.size(); ++i)
+        if (!hops[i].wasted)
+            flowHops.push_back(i);
+
     for (std::size_t i = 0; i < hops.size(); ++i) {
         const HopRecord &hop = hops[i];
-        const int track = trackForInstance(hop.instanceId);
+        const auto trackIt = instanceTracks_.find(hop.instanceId);
+        int track = kControlTrack;
+        if (trackIt == instanceTracks_.end()) {
+            // An undeclared instance (e.g. a report raced a withdraw)
+            // is counted, not silently folded into the control track.
+            if (metrics_) {
+                if (!unknownTrack_)
+                    unknownTrack_ = &metrics_->counter(
+                        "obs.trace.unknown_track");
+                unknownTrack_->add();
+            }
+        } else {
+            track = trackIt->second;
+        }
         const std::string stage = std::to_string(hop.stageIndex);
+        // Fan-out hops are labelled per shard so the N parallel leaf
+        // spans of one dispatch stay distinguishable in the viewer.
+        std::string suffix;
+        if (hop.shardCount > 0)
+            suffix = " shard " + std::to_string(hop.shardIndex) + "/" +
+                std::to_string(hop.shardCount);
 
         if (hop.started > hop.enqueued) {
             JsonObject wargs;
             wargs["query"] = JsonValue(qid);
-            span(track, "wait s" + stage, "queue", hop.enqueued,
-                 hop.started, std::move(wargs));
+            span(track, "wait s" + stage + suffix, "queue",
+                 hop.enqueued, hop.started, std::move(wargs));
         }
         JsonObject sargs;
         sargs["query"] = JsonValue(qid);
         sargs["queuing_us"] = JsonValue(
             static_cast<double>(hop.queuing().toUsec()));
-        span(track, "serve s" + stage, "serve", hop.started,
-             hop.finished, std::move(sargs));
+        if (hop.servedMhz > 0)
+            sargs["served_mhz"] =
+                JsonValue(static_cast<double>(hop.servedMhz));
+        if (hop.boosted)
+            sargs["boosted"] = JsonValue(true);
+        span(track, "serve s" + stage + suffix,
+             hop.wasted ? "wasted" : "serve", hop.started, hop.finished,
+             std::move(sargs));
+    }
 
-        // Flow arrows stitch the hops into one query: start at the
-        // first serve span, step through the middle ones, finish at
-        // the last. Single-hop queries need no arrow.
-        if (hops.size() < 2)
-            continue;
+    // Flow arrows: start at the first contributing serve span, step
+    // through the middle ones, finish at the last. Single-hop chains
+    // need no arrow.
+    if (flowHops.size() < 2)
+        return;
+    for (std::size_t k = 0; k < flowHops.size(); ++k) {
+        const HopRecord &hop = hops[flowHops[k]];
         Event flow;
-        flow.track = track;
+        flow.track = trackForInstance(hop.instanceId);
         flow.ts = hop.started.toUsec();
         flow.flowId = static_cast<std::uint64_t>(query.id());
         flow.name = "query";
         flow.cat = "query";
-        if (i == 0) {
+        if (k == 0) {
             flow.ph = 's';
-        } else if (i + 1 == hops.size()) {
+        } else if (k + 1 == flowHops.size()) {
             flow.ph = 'f';
             flow.flowEnd = true;
         } else {

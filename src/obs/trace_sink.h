@@ -36,6 +36,8 @@
 
 namespace pc {
 
+class Counter;
+class MetricsRegistry;
 class Query;
 
 class TraceSink
@@ -62,6 +64,13 @@ class TraceSink
 
     /** Track of a declared instance; the control track if unknown. */
     int trackForInstance(std::int64_t instanceId) const;
+
+    /**
+     * Attach a metrics registry so hops naming an undeclared instance
+     * are counted under "obs.trace.unknown_track" instead of silently
+     * landing on the control track. nullptr detaches.
+     */
+    void setMetrics(MetricsRegistry *metrics);
 
     /** Complete span [begin, end] on @p track. */
     void span(int track, const std::string &name, const std::string &cat,
@@ -107,6 +116,8 @@ class TraceSink
     std::vector<std::string> trackNames_;
     std::unordered_map<std::int64_t, int> instanceTracks_;
     std::vector<Event> events_;
+    MetricsRegistry *metrics_ = nullptr;
+    Counter *unknownTrack_ = nullptr; // lazily registered
 };
 
 } // namespace pc

@@ -139,6 +139,11 @@ sampleRecord()
         hop.enqueued = SimTime::msec(100 + 1000 * i);
         hop.started = SimTime::msec(300 + 1000 * i);
         hop.finished = SimTime::msec(900 + 1000 * i);
+        hop.servedMhz = 2400 + 100 * i;
+        hop.shardIndex = i == 1 ? 0 : -1;
+        hop.shardCount = i == 1 ? 4 : 0;
+        hop.boosted = i == 2;
+        hop.wasted = i == 0;
         record.hops.push_back(hop);
     }
     return record;
@@ -163,7 +168,39 @@ TEST(StatsCodec, RoundTripExact)
                   record.hops[i].queuing());
         EXPECT_EQ(decoded->hops[i].serving(),
                   record.hops[i].serving());
+        EXPECT_EQ(decoded->hops[i].servedMhz,
+                  record.hops[i].servedMhz);
+        EXPECT_EQ(decoded->hops[i].shardIndex,
+                  record.hops[i].shardIndex);
+        EXPECT_EQ(decoded->hops[i].shardCount,
+                  record.hops[i].shardCount);
+        EXPECT_EQ(decoded->hops[i].boosted, record.hops[i].boosted);
+        EXPECT_EQ(decoded->hops[i].wasted, record.hops[i].wasted);
     }
+}
+
+TEST(StatsCodec, UnknownHopFlagsRejected)
+{
+    // The flags varint carries exactly two bits today (wasted,
+    // boosted); anything else is a corrupt or future-format buffer.
+    auto record = sampleRecord();
+    record.hops.resize(1);
+    WireWriter w;
+    w.putSigned(record.queryId);
+    w.putSigned(record.arrival.toUsec());
+    w.putSigned(record.completed.toUsec());
+    w.putVarint(1);
+    const HopRecord &hop = record.hops[0];
+    w.putSigned(hop.instanceId);
+    w.putSigned(hop.stageIndex);
+    w.putSigned(hop.enqueued.toUsec());
+    w.putSigned(hop.started.toUsec());
+    w.putSigned(hop.finished.toUsec());
+    w.putSigned(hop.servedMhz);
+    w.putVarint(4u); // undefined flag bit
+    w.putSigned(hop.shardIndex);
+    w.putSigned(hop.shardCount);
+    EXPECT_FALSE(decodeStats(w.bytes()).has_value());
 }
 
 TEST(StatsCodec, EmptyHopsAllowed)

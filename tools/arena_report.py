@@ -6,7 +6,9 @@ Usage:
     arena_report.py --check REPORT.json    # validate against the schema
 
 The report is produced by `bench/arena --out=REPORT.json` (schema
-"powerchief-arena-v2"; v2 added the per-point "slo" burn-rate object).
+"powerchief-arena-v3"; v2 added the per-point "slo" burn-rate object,
+v3 the per-point "critpath" bottleneck-agreement object and the audit
+"misboosts" count).
 --check enforces the schema contract the ctest fixture pins: the schema
 tag, at least the full policy roster per matrix cell, and the
 presence/type of every per-point field. Exits 0 on success, 1 with a
@@ -19,7 +21,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "powerchief-arena-v2"
+SCHEMA = "powerchief-arena-v3"
 
 # Every point must carry these numeric fields.
 NUMERIC_FIELDS = [
@@ -46,6 +48,16 @@ AUDIT_FIELDS = [
     "plans",
     "withdraws",
     "stale_skips",
+    "misboosts",
+]
+
+CRITPATH_FIELDS = [
+    "agreement_rate",
+    "scored",
+    "agree",
+    "boost_intervals",
+    "misboosts",
+    "mean_shortening_pct",
 ]
 
 SLO_FIELDS = [
@@ -126,6 +138,24 @@ def check(report):
                     "point %d audit field %r missing or not a number"
                     % (i, field)
                 )
+        critpath = point.get("critpath")
+        if not isinstance(critpath, dict):
+            fail("point %d lacks a 'critpath' object" % i)
+        for field in CRITPATH_FIELDS:
+            value = critpath.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(
+                    "point %d critpath field %r missing or not a number"
+                    % (i, field)
+                )
+            # mean_shortening_pct may legitimately be negative (paths
+            # grew after a boost); everything else is a count or rate.
+            if field != "mean_shortening_pct" and value < 0:
+                fail("point %d critpath field %r is negative" % (i, field))
+        if not 0.0 <= critpath["agreement_rate"] <= 1.0:
+            fail("point %d critpath agreement_rate outside [0,1]" % i)
+        if critpath["agree"] > critpath["scored"]:
+            fail("point %d critpath agree exceeds scored" % i)
         slo = point.get("slo")
         if not isinstance(slo, dict):
             fail("point %d lacks an 'slo' object" % i)
@@ -170,13 +200,13 @@ def render(report):
             % (workload, load, budget, faults, rows[0]["qos_target_s"])
         )
         print(
-            "  %-20s %9s %9s %9s %9s %8s %8s"
+            "  %-20s %9s %9s %9s %9s %8s %8s %8s"
             % ("policy", "avg s", "p95 s", "p99 s", "QoS.viol", "watts",
-               "MAPE %")
+               "MAPE %", "agree%")
         )
         for row in rows:
             print(
-                "  %-20s %9.4f %9.4f %9.4f %8.1f%% %8.2f %8.2f"
+                "  %-20s %9.4f %9.4f %9.4f %8.1f%% %8.2f %8.2f %7.1f%%"
                 % (
                     row["policy"],
                     row["avg_s"],
@@ -185,6 +215,9 @@ def render(report):
                     100.0 * row["qos_violation_rate"],
                     row["avg_power_w"],
                     row["audit"]["mape_pct"],
+                    100.0 * row.get("critpath", {}).get(
+                        "agreement_rate", 0.0
+                    ),
                 )
             )
 

@@ -79,6 +79,44 @@ python3 tools/report_html.py --check "${tracedir}/run.ts.json"
 python3 tools/report_html.py "${tracedir}/run.ts.json" \
     --out="${tracedir}/dashboard.html" >/dev/null
 
+echo "=== critical-path validation (jobs byte-identity) ==="
+# The --critpath-out dump must be byte-identical at any --jobs value,
+# clean and lossy (docs/OBSERVABILITY.md). A two-seed sweep forces the
+# parallel path; the lossy variant adds message drops, a mid-run crash
+# and flaky telemetry so wasted/re-dispatch segments are exercised.
+cat > "${tracedir}/lossy.json" <<'EOF'
+{
+  "seed": 18,
+  "bus": [{"drop": 0.03, "reorder": 0.1, "reorder_jitter_ms": 5}],
+  "crashes": [{"stage": 1, "at_sec": 120, "recovery_sec": 20}],
+  "telemetry": {"stale": 0.1, "truncate": 0.05, "perf_ctl_fail": 0.2}
+}
+EOF
+for variant in clean lossy; do
+    fault_flag=""
+    if [[ "${variant}" == lossy ]]; then
+        fault_flag="--faults=${tracedir}/lossy.json"
+    fi
+    for j in 1 3; do
+        mkdir -p "${tracedir}/cp-${variant}-j${j}"
+        ./build-asan/tools/powerchief-cli \
+            --workload=sirius --policy=powerchief --load=high \
+            --duration=300 --seeds=3,4 --jobs="${j}" --no-cache \
+            ${fault_flag} \
+            --critpath-out="${tracedir}/cp-${variant}-j${j}/run.critpath.json" \
+            >/dev/null
+    done
+    diff -r "${tracedir}/cp-${variant}-j1" "${tracedir}/cp-${variant}-j3"
+    for f in "${tracedir}/cp-${variant}-j1"/*.json; do
+        ./build-asan/tools/trace-validate --critpath="${f}"
+    done
+done
+python3 tools/report_html.py --check \
+    "${tracedir}/cp-lossy-j1"/*.json
+python3 tools/report_html.py "${tracedir}/run.ts.json" \
+    "${tracedir}/cp-lossy-j1" \
+    --out="${tracedir}/dashboard-critpath.html" >/dev/null
+
 echo "=== golden trace diff ==="
 ./build-asan/tools/trace-diff \
     --baseline=tests/golden/fig11_trace.json --fresh-fig11
@@ -125,6 +163,6 @@ else
 fi
 
 echo "All sanitizer variants, the Release leg, trace validation, the"
-echo "timeseries/dashboard checks, the golden trace diffs, the"
-echo "policy-arena smoke, the chaos sweep and the perf baseline"
-echo "report passed."
+echo "timeseries/dashboard checks, the critical-path byte-identity"
+echo "legs, the golden trace diffs, the policy-arena smoke, the chaos"
+echo "sweep and the perf baseline report passed."

@@ -6,9 +6,10 @@ Usage:
     report_html.py results/                --out dashboard.html
     report_html.py --check [PATH ...]
 
-Inputs are --timeseries-out JSON dumps (one per run; a directory is
-scanned recursively for "*.json" files that carry the timeseries
-schema). The output is ONE html file with zero external dependencies —
+Inputs are --timeseries-out JSON dumps and/or --critpath-out JSON
+dumps (one per run; a directory is scanned recursively for "*.json"
+files that carry either schema). The output is ONE html file with zero
+external dependencies —
 no JS frameworks, no CDN fonts, no image files: every chart is an
 inline SVG sparkline, so the dashboard renders offline and diffs
 cleanly in review.
@@ -21,6 +22,12 @@ Sections per run:
   * controller-health sparklines (health.* taps, budget headroom),
   * per-stage power/latency sparklines and the remaining series grouped
     by metric namespace.
+
+Critical-path documents (schema "powerchief-critpath-v1", produced by
+--critpath-out) get their own section: a per-stage waterfall of the
+aggregate queue/serve/wasted/re-dispatch/retry segments, the share
+quantiles, the top path signatures, and the controller's
+bottleneck-agreement scoring with a per-interval agree/misboost strip.
 
 --check runs the self-test: renders a synthetic document (plus any
 PATHs given) and verifies the structural markers, exiting non-zero on
@@ -287,10 +294,185 @@ def render_run(name, doc):
     return "".join(out)
 
 
+# Segment palette of the critical-path waterfall (keys are the JSON
+# field prefixes of the per-stage totals).
+CP_SEGMENTS = [
+    ("queue_s", "queue", "#ecc94b"),
+    ("serve_s", "serve", "#2b6cb0"),
+    ("wasted_s", "wasted", "#c53030"),
+    ("redispatch_s", "re-dispatch", "#805ad5"),
+    ("retry_s", "retry", "#2c7a7b"),
+]
+
+
+def critpath_waterfall(stages):
+    """Per-stage horizontal stacked bars of the aggregate segments."""
+    width, row_h, label_w = 2 * SPARK_W, 22, 46
+    totals = [
+        sum(float(st.get(key, 0.0)) for key, _label, _c in CP_SEGMENTS)
+        for st in stages
+    ]
+    span = max(totals) or 1.0
+    rows = []
+    for idx, st in enumerate(stages):
+        y = PAD + idx * row_h
+        rows.append(
+            '<text x="%d" y="%d" font-size="11" fill="#4a5568">'
+            "s%d</text>" % (PAD, y + 14, int(st.get("stage", idx)))
+        )
+        x = float(label_w)
+        for key, label, color in CP_SEGMENTS:
+            sec = float(st.get(key, 0.0))
+            if sec <= 0.0:
+                continue
+            w = sec / span * (width - label_w - PAD)
+            rows.append(
+                '<rect x="%.1f" y="%d" width="%.1f" height="%d" '
+                'fill="%s"><title>%s %.4g s</title></rect>'
+                % (x, y, max(w, 0.5), row_h - 6, color, label, sec)
+            )
+            x += w
+    height = PAD * 2 + len(stages) * row_h
+    legend = " &middot; ".join(
+        '<span style="color:%s">&#9632;</span> %s' % (color, label)
+        for _key, label, color in CP_SEGMENTS
+    )
+    return (
+        '<svg class="waterfall" width="%d" height="%d">%s</svg>'
+        '<div class="stats">%s</div>'
+        % (width, height, "".join(rows), legend)
+    )
+
+
+def critpath_interval_strip(intervals):
+    """Agree/misboost strip: one dot per control interval."""
+    width, height, mid = 2 * SPARK_W, 40, 20
+    marks = [
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#cbd5e0"/>'
+        % (PAD, mid, width - PAD, mid)
+    ]
+    span = float(len(intervals)) or 1.0
+    for idx, iv in enumerate(intervals):
+        x = PAD + (idx + 0.5) / span * (width - 2 * PAD)
+        if iv.get("agree"):
+            color, y = "#2f855a", mid - 8
+        elif iv.get("misboost"):
+            color, y = "#c53030", mid + 8
+        else:
+            color, y = "#a0aec0", mid
+        marks.append(
+            '<circle cx="%.1f" cy="%d" r="3" fill="%s">'
+            "<title>interval %d: dominant s%d @ %.1fs</title></circle>"
+            % (
+                x,
+                y,
+                color,
+                int(iv.get("interval", idx + 1)),
+                int(iv.get("dominant_stage", -1)),
+                float(iv.get("t_s", 0.0)),
+            )
+        )
+    return '<svg width="%d" height="%d">%s</svg>' % (
+        width,
+        height,
+        "".join(marks),
+    )
+
+
+def render_critpath(name, doc):
+    out = ["<h2>%s &mdash; critical path</h2>" % html.escape(name)]
+    stages = doc.get("stages", [])
+    ctl = doc.get("controller", {})
+    out.append(
+        "<p>%d queries profiled &middot; %d stages &middot; "
+        "%d control intervals</p>"
+        % (
+            int(doc.get("queries", 0)),
+            len(stages),
+            int(ctl.get("intervals", 0)),
+        )
+    )
+
+    out.append("<h3>Critical-path waterfall</h3>")
+    if stages:
+        out.append(critpath_waterfall(stages))
+        out.append(
+            "<table><tr><th>stage</th><th>paths</th><th>dominant</th>"
+            "<th>share mean</th><th>share p50</th><th>share p95</th>"
+            "<th>share p99</th><th>boosted hops</th>"
+            "<th>mean MHz</th></tr>"
+        )
+        for st in stages:
+            out.append(
+                "<tr><td>s%d</td><td>%d</td><td>%d</td><td>%.3f</td>"
+                "<td>%.3f</td><td>%.3f</td><td>%.3f</td><td>%d</td>"
+                "<td>%.0f</td></tr>"
+                % (
+                    int(st.get("stage", -1)),
+                    int(st.get("paths", 0)),
+                    int(st.get("dominant", 0)),
+                    float(st.get("share_mean", 0.0)),
+                    float(st.get("share_p50", 0.0)),
+                    float(st.get("share_p95", 0.0)),
+                    float(st.get("share_p99", 0.0)),
+                    int(st.get("boosted_hops", 0)),
+                    float(st.get("mean_served_mhz", 0.0)),
+                )
+            )
+        out.append("</table>")
+    else:
+        out.append("<p>no profiled queries</p>")
+
+    signatures = doc.get("signatures", [])
+    out.append("<h3>Top path signatures</h3>")
+    if signatures:
+        out.append("<table><tr><th>signature</th><th>count</th></tr>")
+        for sig in signatures:
+            out.append(
+                '<tr><td style="text-align:left;font-family:monospace">'
+                "%s</td><td>%d</td></tr>"
+                % (
+                    html.escape(sig.get("signature", "?")),
+                    int(sig.get("count", 0)),
+                )
+            )
+        out.append("</table>")
+    else:
+        out.append("<p>none</p>")
+
+    out.append("<h3>Bottleneck agreement</h3>")
+    scored = int(ctl.get("scored", 0))
+    rate = float(ctl.get("agreement_rate", 0.0))
+    badge = "ok" if rate >= 0.5 or scored == 0 else "warn"
+    if int(ctl.get("misboosts", 0)) > scored / 2 and scored:
+        badge = "bad"
+    out.append(
+        '<p><span class="badge %s">agreement %.1f%%</span> '
+        "%d/%d scored intervals agree &middot; %d boosted &middot; "
+        "%d misboosts &middot; mean shortening %.2f%%</p>"
+        % (
+            badge,
+            100.0 * rate,
+            int(ctl.get("agree", 0)),
+            scored,
+            int(ctl.get("boost_intervals", 0)),
+            int(ctl.get("misboosts", 0)),
+            float(ctl.get("mean_shortening_pct", 0.0)),
+        )
+    )
+    intervals = doc.get("intervals", [])
+    if intervals:
+        out.append(critpath_interval_strip(intervals))
+    return "".join(out)
+
+
 def render(docs):
     body = ["<h1>PowerChief run dashboard</h1>"]
     for name, doc in docs:
-        body.append(render_run(name, doc))
+        if is_critpath_doc(doc):
+            body.append(render_critpath(name, doc))
+        else:
+            body.append(render_run(name, doc))
     body.append(
         "<footer>generated by tools/report_html.py &mdash; "
         "self-contained, no external assets</footer>"
@@ -310,6 +492,13 @@ def is_timeseries_doc(doc):
     )
 
 
+def is_critpath_doc(doc):
+    return (
+        isinstance(doc, dict)
+        and doc.get("schema") == "powerchief-critpath-v1"
+    )
+
+
 def collect(paths):
     """Expand files/directories into (name, parsed doc) pairs."""
     docs = []
@@ -325,7 +514,7 @@ def collect(paths):
                             doc = json.load(handle)
                     except (OSError, ValueError):
                         continue
-                    if is_timeseries_doc(doc):
+                    if is_timeseries_doc(doc) or is_critpath_doc(doc):
                         docs.append(
                             (doc.get("scenario") or fname, doc)
                         )
@@ -337,9 +526,10 @@ def collect(paths):
                 fail("cannot open %r: %s" % (path, err))
             except ValueError as err:
                 fail("%r is not valid JSON: %s" % (path, err))
-            if not is_timeseries_doc(doc):
-                fail("%r lacks the timeseries schema "
-                     "(samples + series)" % path)
+            if not is_timeseries_doc(doc) and not is_critpath_doc(doc):
+                fail("%r carries neither the timeseries schema "
+                     "(samples + series) nor the critpath schema "
+                     "(powerchief-critpath-v1)" % path)
             docs.append((doc.get("scenario") or path, doc))
     return docs
 
@@ -403,8 +593,102 @@ def synthetic_doc():
     }
 
 
+def synthetic_critpath_doc():
+    """A small critpath document exercising every renderer path."""
+    return {
+        "schema": "powerchief-critpath-v1",
+        "scenario": "selftest-critpath",
+        "queries": 6,
+        "stages": [
+            {
+                "stage": 0,
+                "paths": 6,
+                "dominant": 1,
+                "share_mean": 0.2,
+                "share_p50": 0.2,
+                "share_p95": 0.25,
+                "share_p99": 0.25,
+                "queue_s": 0.5,
+                "serve_s": 1.0,
+                "wasted_s": 0.0,
+                "redispatch_s": 0.0,
+                "retry_s": 0.0,
+                "boosted_hops": 0,
+                "mean_served_mhz": 2400.0,
+            },
+            {
+                "stage": 1,
+                "paths": 6,
+                "dominant": 5,
+                "share_mean": 0.8,
+                "share_p50": 0.8,
+                "share_p95": 0.85,
+                "share_p99": 0.85,
+                "queue_s": 2.0,
+                "serve_s": 3.0,
+                "wasted_s": 0.4,
+                "redispatch_s": 0.2,
+                "retry_s": 0.0,
+                "boosted_hops": 3,
+                "mean_served_mhz": 2900.0,
+            },
+        ],
+        "signatures": [
+            {"signature": "s0>s1x8", "count": 5},
+            {"signature": "s0>s1x8!", "count": 1},
+        ],
+        "controller": {
+            "intervals": 3,
+            "scored": 3,
+            "agree": 2,
+            "boost_intervals": 3,
+            "misboosts": 1,
+            "agreement_rate": 2.0 / 3.0,
+            "mean_shortening_pct": 4.2,
+        },
+        "intervals": [
+            {
+                "interval": 1,
+                "t_s": 25.0,
+                "queries": 2,
+                "dominant_stage": 1,
+                "dominant_share": 0.8,
+                "mean_crit_s": 1.2,
+                "boosted": [1],
+                "agree": True,
+                "misboost": False,
+            },
+            {
+                "interval": 2,
+                "t_s": 50.0,
+                "queries": 2,
+                "dominant_stage": 1,
+                "dominant_share": 0.7,
+                "mean_crit_s": 1.1,
+                "boosted": [0],
+                "agree": False,
+                "misboost": True,
+            },
+            {
+                "interval": 3,
+                "t_s": 75.0,
+                "queries": 2,
+                "dominant_stage": 1,
+                "dominant_share": 0.75,
+                "mean_crit_s": 1.0,
+                "boosted": [1],
+                "agree": True,
+                "misboost": False,
+            },
+        ],
+    }
+
+
 def self_check(extra_paths):
-    docs = [("selftest", synthetic_doc())] + collect(extra_paths)
+    docs = [
+        ("selftest", synthetic_doc()),
+        ("selftest-critpath", synthetic_critpath_doc()),
+    ] + collect(extra_paths)
     page = render(docs)
     for marker in (
         "<!DOCTYPE html>",
@@ -415,6 +699,12 @@ def self_check(extra_paths):
         "SLO",
         "Anomaly alerts",
         "no samples",
+        "Critical-path waterfall",
+        "waterfall",
+        "Top path signatures",
+        "s0&gt;s1x8!",
+        "Bottleneck agreement",
+        "misboosts",
         "</html>",
     ):
         if marker not in page:

@@ -5,6 +5,7 @@
  *   trace-validate --trace=run.json [--metrics=run.metrics.json]
  *                  [--audit=run.audit.json]
  *                  [--timeseries=run.timeseries.json]
+ *                  [--critpath=run.critpath.json]
  *                  [--require-spans] [--require-decisions]
  *
  * Validates that a --trace-out file is well-formed Chrome trace-event
@@ -19,7 +20,11 @@
  * records), plus a "summary" object whose decision counts match the
  * records. A --timeseries-out file is checked for the delta-encoded
  * series schema, monotone counters, the alerts array, and the optional
- * embedded SLO report.
+ * embedded SLO report. A --critpath-out file is checked for the
+ * "powerchief-critpath-v1" schema: per-stage share statistics within
+ * [0,1], non-negative segment totals, well-formed path signatures, a
+ * controller block whose counts are internally consistent, and a
+ * per-interval log with monotone timestamps.
  *
  * Exits 0 and prints a one-line summary on success; exits 1 with a
  * diagnostic on the first structural violation. Wired into tools/
@@ -211,6 +216,7 @@ struct AuditSummary
     std::size_t fastcapPlans = 0;
     std::size_t cuttlesysPlans = 0;
     std::size_t obsAlerts = 0;
+    std::size_t misboosts = 0;
     std::size_t scored = 0;
 };
 
@@ -329,6 +335,25 @@ validateAudit(const std::string &path)
             if (!explore.isBool())
                 bad("audit record " + std::to_string(i) +
                     " plan \"explore\" not a bool");
+        } else if (kind.asString() == "misboost") {
+            ++counts.misboosts;
+            requireNumber(rec, "boosted_stage", i);
+            requireNumber(rec, "dominant_stage", i);
+            // Shares are fractions of the interval's critical-path
+            // seconds; a misboost means the boosted stage was not the
+            // dominant one, so the two stages must differ.
+            const double dominantShare =
+                requireNumber(rec, "dominant_share", i);
+            const double boostedShare =
+                requireNumber(rec, "boosted_share", i);
+            if (dominantShare < 0.0 || dominantShare > 1.0 ||
+                boostedShare < 0.0 || boostedShare > 1.0)
+                bad("audit record " + std::to_string(i) +
+                    " misboost share outside [0,1]");
+            if (requireNumber(rec, "boosted_stage", i) ==
+                requireNumber(rec, "dominant_stage", i))
+                bad("audit record " + std::to_string(i) +
+                    " misboost boosted == dominant stage");
         } else if (kind.asString() == "obs.alert") {
             ++counts.obsAlerts;
             const JsonValue &series = requireField(rec, "series", i);
@@ -379,6 +404,7 @@ validateAudit(const std::string &path)
     check("fastcap_plan", counts.fastcapPlans);
     check("cuttlesys_plan", counts.cuttlesysPlans);
     check("obs_alert", counts.obsAlerts);
+    check("misboost", counts.misboosts);
     const JsonValue *prediction = summary->find("prediction");
     if (!prediction || !prediction->isObject())
         bad("'" + path + "' summary lacks a \"prediction\" object");
@@ -587,6 +613,173 @@ validateTimeseries(const std::string &path)
     return summary;
 }
 
+struct CritPathSummary
+{
+    std::size_t stages = 0;
+    std::size_t signatures = 0;
+    std::size_t intervals = 0;
+    std::size_t misboosts = 0;
+};
+
+/**
+ * Validate a --critpath-out JSON dump (schema powerchief-critpath-v1):
+ * per-stage share statistics inside [0,1] with ordered quantiles,
+ * non-negative segment totals, signature entries with positive counts,
+ * a self-consistent controller block, and a per-interval log with
+ * monotone timestamps whose agree/misboost totals match the controller
+ * counters.
+ */
+CritPathSummary
+validateCritPath(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (!root.isObject())
+        bad("'" + path + "' root is not an object");
+    if (root.stringOr("schema", "") != "powerchief-critpath-v1")
+        bad("'" + path + "' lacks schema \"powerchief-critpath-v1\"");
+    const double queries = root.numberOr("queries", -1.0);
+    if (queries < 0.0)
+        bad("'" + path + "' lacks a non-negative \"queries\"");
+
+    CritPathSummary summary;
+    const JsonValue *stages = root.find("stages");
+    if (!stages || !stages->isArray())
+        bad("'" + path + "' lacks a \"stages\" array");
+    double pathsTotal = 0.0;
+    const JsonArray &stageList = stages->asArray();
+    for (std::size_t i = 0; i < stageList.size(); ++i) {
+        const JsonValue &st = stageList[i];
+        if (!st.isObject())
+            bad("critpath stage " + std::to_string(i) +
+                " is not an object");
+        requireNumber(st, "stage", i);
+        for (const char *key : {"boosted_hops", "dominant",
+                                "mean_served_mhz", "paths", "queue_s",
+                                "redispatch_s", "retry_s", "serve_s",
+                                "wasted_s"}) {
+            if (requireNumber(st, key, i) < 0.0)
+                bad("critpath stage " + std::to_string(i) + " \"" +
+                    key + "\" negative");
+        }
+        pathsTotal = std::max(pathsTotal, st.numberOr("paths", 0.0));
+        const double p50 = requireNumber(st, "share_p50", i);
+        const double p95 = requireNumber(st, "share_p95", i);
+        const double p99 = requireNumber(st, "share_p99", i);
+        const double mean = requireNumber(st, "share_mean", i);
+        if (p50 < 0.0 || p99 > 1.0 || mean < 0.0 || mean > 1.0)
+            bad("critpath stage " + std::to_string(i) +
+                " share outside [0,1]");
+        if (p50 > p95 || p95 > p99)
+            bad("critpath stage " + std::to_string(i) +
+                " share quantiles not ordered");
+        ++summary.stages;
+    }
+    // A stage can appear on at most every profiled query's path.
+    if (pathsTotal > queries)
+        bad("'" + path + "' a stage holds more paths than queries");
+
+    const JsonValue *sigs = root.find("signatures");
+    if (!sigs || !sigs->isArray())
+        bad("'" + path + "' lacks a \"signatures\" array");
+    double lastCount = std::numeric_limits<double>::infinity();
+    const JsonArray &sigList = sigs->asArray();
+    for (std::size_t i = 0; i < sigList.size(); ++i) {
+        const JsonValue &sig = sigList[i];
+        if (!sig.isObject())
+            bad("critpath signature " + std::to_string(i) +
+                " is not an object");
+        const JsonValue &name = requireField(sig, "signature", i);
+        if (!name.isString() || name.asString().empty() ||
+            name.asString()[0] != 's')
+            bad("critpath signature " + std::to_string(i) +
+                " is malformed");
+        const double count = requireNumber(sig, "count", i);
+        if (count <= 0.0)
+            bad("critpath signature " + std::to_string(i) +
+                " count not positive");
+        // The export is top-K most-frequent-first.
+        if (count > lastCount)
+            bad("critpath signatures not sorted by count");
+        lastCount = count;
+        ++summary.signatures;
+    }
+
+    const JsonValue *controller = root.find("controller");
+    if (!controller || !controller->isObject())
+        bad("'" + path + "' lacks a \"controller\" object");
+    for (const char *key : {"agree", "agreement_rate",
+                            "boost_intervals", "intervals",
+                            "mean_shortening_pct", "misboosts",
+                            "scored"}) {
+        if (!controller->find(key) ||
+            !controller->find(key)->isNumber())
+            bad("'" + path + "' controller lacks numeric \"" +
+                std::string(key) + "\"");
+    }
+    const double agree = controller->numberOr("agree", 0.0);
+    const double scored = controller->numberOr("scored", 0.0);
+    const double intervalsN = controller->numberOr("intervals", 0.0);
+    if (agree > scored || scored > intervalsN)
+        bad("'" + path + "' controller agree/scored/intervals "
+            "inconsistent");
+    const double rate = controller->numberOr("agreement_rate", -1.0);
+    if (rate < 0.0 || rate > 1.0)
+        bad("'" + path + "' controller agreement_rate outside [0,1]");
+
+    const JsonValue *intervals = root.find("intervals");
+    if (!intervals || !intervals->isArray())
+        bad("'" + path + "' lacks an \"intervals\" array");
+    double lastT = -std::numeric_limits<double>::infinity();
+    double agreeSeen = 0.0;
+    double misboostSeen = 0.0;
+    const JsonArray &ivList = intervals->asArray();
+    for (std::size_t i = 0; i < ivList.size(); ++i) {
+        const JsonValue &iv = ivList[i];
+        if (!iv.isObject())
+            bad("critpath interval " + std::to_string(i) +
+                " is not an object");
+        const double t = requireNumber(iv, "t_s", i);
+        if (t < lastT)
+            bad("critpath interval " + std::to_string(i) +
+                " breaks timestamp monotonicity");
+        lastT = t;
+        if (requireNumber(iv, "interval", i) !=
+            static_cast<double>(i + 1))
+            bad("critpath interval " + std::to_string(i) +
+                " has a non-contiguous \"interval\"");
+        requireNumber(iv, "queries", i);
+        requireNumber(iv, "dominant_stage", i);
+        requireNumber(iv, "dominant_share", i);
+        requireNumber(iv, "mean_crit_s", i);
+        const JsonValue &boosted = requireField(iv, "boosted", i);
+        if (!boosted.isArray())
+            bad("critpath interval " + std::to_string(i) +
+                " \"boosted\" not an array");
+        const JsonValue &agreeFlag = requireField(iv, "agree", i);
+        const JsonValue &misboostFlag =
+            requireField(iv, "misboost", i);
+        if (!agreeFlag.isBool() || !misboostFlag.isBool())
+            bad("critpath interval " + std::to_string(i) +
+                " agree/misboost not booleans");
+        if (agreeFlag.asBool() && misboostFlag.asBool())
+            bad("critpath interval " + std::to_string(i) +
+                " both agree and misboost");
+        if (agreeFlag.asBool())
+            agreeSeen += 1.0;
+        if (misboostFlag.asBool()) {
+            misboostSeen += 1.0;
+            ++summary.misboosts;
+        }
+        ++summary.intervals;
+    }
+    if (static_cast<double>(summary.intervals) != intervalsN ||
+        agreeSeen != agree ||
+        misboostSeen != controller->numberOr("misboosts", 0.0))
+        bad("'" + path + "' controller counters disagree with the "
+            "intervals array");
+    return summary;
+}
+
 } // namespace
 
 int
@@ -598,6 +791,8 @@ main(int argc, char **argv)
     flags.addString("audit", "", "decision-audit JSON to validate");
     flags.addString("timeseries", "",
                     "timeseries JSON (--timeseries-out) to validate");
+    flags.addString("critpath", "",
+                    "critical-path JSON (--critpath-out) to validate");
     flags.addBool("require-audit-records", false,
                   "fail unless the audit log holds at least one "
                   "decision record");
@@ -617,10 +812,12 @@ main(int argc, char **argv)
     const std::string metricsPath = flags.getString("metrics");
     const std::string auditPath = flags.getString("audit");
     const std::string timeseriesPath = flags.getString("timeseries");
+    const std::string critpathPath = flags.getString("critpath");
     if (tracePath.empty() && metricsPath.empty() &&
-        auditPath.empty() && timeseriesPath.empty())
-        bad("nothing to do: pass --trace=, --metrics=, --audit= "
-            "and/or --timeseries=");
+        auditPath.empty() && timeseriesPath.empty() &&
+        critpathPath.empty())
+        bad("nothing to do: pass --trace=, --metrics=, --audit=, "
+            "--timeseries= and/or --critpath=");
 
     TraceSummary summary;
     if (!tracePath.empty()) {
@@ -660,6 +857,13 @@ main(int argc, char **argv)
         std::printf("%s: ok (%zu series, %zu points, %zu alerts)\n",
                     timeseriesPath.c_str(), ts.series, ts.points,
                     ts.alerts);
+    }
+    if (!critpathPath.empty()) {
+        const CritPathSummary cp = validateCritPath(critpathPath);
+        std::printf("%s: ok (%zu stages, %zu signatures, "
+                    "%zu intervals, %zu misboosts)\n",
+                    critpathPath.c_str(), cp.stages, cp.signatures,
+                    cp.intervals, cp.misboosts);
     }
     return 0;
 }
