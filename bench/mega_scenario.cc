@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Million-query sharded-run benchmarks (google-benchmark): the
+ * wall-clock trajectory of Scenario::millionQuery() on the
+ * conservative time-window engine at different worker counts, tracked
+ * in BENCH_6.json.
+ *
+ * The scenario is identical at every worker count — the node-group
+ * partition is part of the scenario, `--shards` only picks how many OS
+ * threads drive the groups — so the ratio between the shards=1 and
+ * shards=N rows is pure parallel speedup (or, on machines with fewer
+ * cores than workers, pure synchronization overhead). The recorded
+ * BENCH_6.json numbers state the measuring machine's core count; a
+ * speedup claim only transfers to machines with at least that many
+ * cores.
+ *
+ * BM_MegaShardedTimeseries tracks the same run with SLO tracking and
+ * anomaly alerts on — the telemetry-tax companion to BENCH_5's
+ * BM_EndToEndGoldenFig11Timeseries, at mega scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exp/runner.h"
+#include "obs/telemetry.h"
+
+using namespace pc;
+
+namespace {
+
+/**
+ * The benchmark-sized mega run: the full 8-group topology and control
+ * stack of Scenario::millionQuery(), scaled to ~200k queries / 20
+ * simulated seconds so one iteration stays in benchmark territory.
+ * The committed BENCH_6.json also records one full-size million-query
+ * measurement per shard count (bench/README in docs/PERFORMANCE.md).
+ */
+Scenario
+megaScenario()
+{
+    return Scenario::millionQuery(8, 2e5, 20.0);
+}
+
+void
+BM_MegaSharded(benchmark::State &state)
+{
+    const int workers = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const Scenario sc = megaScenario();
+        ExperimentRunner runner;
+        runner.setShards(workers);
+        auto result = runner.run(sc);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_MegaSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MegaShardedTimeseries(benchmark::State &state)
+{
+    const int workers = static_cast<int>(state.range(0));
+    SloConfig slo;
+    slo.enabled = true;
+    TelemetryConfig telemetry;
+    telemetry.alertsEnabled = true;
+    for (auto _ : state) {
+        const Scenario sc = megaScenario();
+        ExperimentRunner runner(false, SimTime::sec(5), false, false,
+                                slo);
+        runner.setShards(workers);
+        auto result = runner.run(sc, &telemetry);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_MegaShardedTimeseries)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

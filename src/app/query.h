@@ -12,6 +12,7 @@
 #ifndef PC_APP_QUERY_H
 #define PC_APP_QUERY_H
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -85,15 +86,175 @@ struct HopRecord
     SimTime serving() const { return finished - started; }
 };
 
+/**
+ * Structure-of-arrays storage for a query's hop records.
+ *
+ * The per-hop append on the service hot path writes packed parallel
+ * columns (timestamps, stage ids, flags) living in ONE heap slab at
+ * computed offsets — a single allocation per query instead of a vector
+ * of 64-byte AoS records, and each column write touches contiguous
+ * bytes. Full HopRecord structs are materialized only on demand (at
+ * completion, for the stats/critpath/audit/codec readers) via row().
+ */
+class HopColumns
+{
+  public:
+    HopColumns() = default;
+
+    explicit HopColumns(std::size_t capacity)
+    {
+        if (capacity > 0)
+            grow(capacity);
+    }
+
+    HopColumns(HopColumns &&) = default;
+    HopColumns &operator=(HopColumns &&) = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    append(const HopRecord &hop)
+    {
+        if (size_ == cap_)
+            grow(cap_ ? cap_ * 2 : 4);
+        const std::size_t i = size_++;
+        col<std::int64_t>(kInstanceId)[i] = hop.instanceId;
+        col<std::int64_t>(kEnqueued)[i] = hop.enqueued.toUsec();
+        col<std::int64_t>(kStarted)[i] = hop.started.toUsec();
+        col<std::int64_t>(kFinished)[i] = hop.finished.toUsec();
+        col<std::int32_t>(kStage)[i] = hop.stageIndex;
+        col<std::int32_t>(kShardIndex)[i] = hop.shardIndex;
+        col<std::int32_t>(kShardCount)[i] = hop.shardCount;
+        col<std::int32_t>(kServedMhz)[i] = hop.servedMhz;
+        col<std::uint8_t>(kFlags)[i] = static_cast<std::uint8_t>(
+            (hop.boosted ? 1u : 0u) | (hop.wasted ? 2u : 0u));
+    }
+
+    /** Materialize row @p i back into a full HopRecord. */
+    HopRecord
+    row(std::size_t i) const
+    {
+        HopRecord hop;
+        hop.instanceId = col<std::int64_t>(kInstanceId)[i];
+        hop.enqueued = SimTime::usec(col<std::int64_t>(kEnqueued)[i]);
+        hop.started = SimTime::usec(col<std::int64_t>(kStarted)[i]);
+        hop.finished = SimTime::usec(col<std::int64_t>(kFinished)[i]);
+        hop.stageIndex = col<std::int32_t>(kStage)[i];
+        hop.shardIndex = col<std::int32_t>(kShardIndex)[i];
+        hop.shardCount = col<std::int32_t>(kShardCount)[i];
+        hop.servedMhz = col<std::int32_t>(kServedMhz)[i];
+        const std::uint8_t flags = col<std::uint8_t>(kFlags)[i];
+        hop.boosted = (flags & 1u) != 0;
+        hop.wasted = (flags & 2u) != 0;
+        return hop;
+    }
+
+  private:
+    // Column order = descending alignment, so every column stays
+    // naturally aligned at any capacity.
+    enum Column {
+        kInstanceId,
+        kEnqueued,
+        kStarted,
+        kFinished,   // int64 columns
+        kStage,
+        kShardIndex,
+        kShardCount,
+        kServedMhz,  // int32 columns
+        kFlags,      // uint8 column
+        kNumColumns,
+    };
+
+    static std::size_t
+    columnOffset(Column c, std::size_t cap)
+    {
+        const std::size_t i64 = sizeof(std::int64_t) * cap;
+        const std::size_t i32 = sizeof(std::int32_t) * cap;
+        switch (c) {
+          case kInstanceId: return 0;
+          case kEnqueued: return i64;
+          case kStarted: return 2 * i64;
+          case kFinished: return 3 * i64;
+          case kStage: return 4 * i64;
+          case kShardIndex: return 4 * i64 + i32;
+          case kShardCount: return 4 * i64 + 2 * i32;
+          case kServedMhz: return 4 * i64 + 3 * i32;
+          case kFlags: return 4 * i64 + 4 * i32;
+          case kNumColumns: break;
+        }
+        return 0;
+    }
+
+    static std::size_t
+    slabBytes(std::size_t cap)
+    {
+        return columnOffset(kFlags, cap) + sizeof(std::uint8_t) * cap;
+    }
+
+    template <typename T>
+    T *
+    col(Column c)
+    {
+        return reinterpret_cast<T *>(slab_.get() +
+                                     columnOffset(c, cap_));
+    }
+
+    template <typename T>
+    const T *
+    col(Column c) const
+    {
+        return reinterpret_cast<const T *>(slab_.get() +
+                                           columnOffset(c, cap_));
+    }
+
+    void
+    grow(std::size_t cap)
+    {
+        std::unique_ptr<std::byte[]> slab(new std::byte[slabBytes(cap)]);
+        HopColumns grown;
+        grown.slab_ = std::move(slab);
+        grown.cap_ = cap;
+        grown.size_ = size_;
+        if (size_ > 0) {
+            copyColumn<std::int64_t>(grown, kInstanceId);
+            copyColumn<std::int64_t>(grown, kEnqueued);
+            copyColumn<std::int64_t>(grown, kStarted);
+            copyColumn<std::int64_t>(grown, kFinished);
+            copyColumn<std::int32_t>(grown, kStage);
+            copyColumn<std::int32_t>(grown, kShardIndex);
+            copyColumn<std::int32_t>(grown, kShardCount);
+            copyColumn<std::int32_t>(grown, kServedMhz);
+            copyColumn<std::uint8_t>(grown, kFlags);
+        }
+        *this = std::move(grown);
+    }
+
+    template <typename T>
+    void
+    copyColumn(HopColumns &to, Column c) const
+    {
+        const T *src = col<T>(c);
+        T *dst = to.col<T>(c);
+        for (std::size_t i = 0; i < size_; ++i)
+            dst[i] = src[i];
+    }
+
+    std::unique_ptr<std::byte[]> slab_;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
 class Query
 {
   public:
     Query(std::int64_t id, SimTime arrival, std::vector<WorkDemand> demands)
-        : id_(id), arrival_(arrival), demands_(std::move(demands))
+        : id_(id), arrival_(arrival), demands_(std::move(demands)),
+          // One hop per stage in the common case; sizing the column
+          // slab up front keeps the per-hop append on the stat path
+          // allocation-free.
+          cols_(demands_.size())
     {
-        // One hop per stage in the common case; reserving up front keeps
-        // the per-hop append on the stat path allocation-free.
-        hops_.reserve(demands_.size());
     }
 
     std::int64_t id() const { return id_; }
@@ -102,9 +263,28 @@ class Query
     const WorkDemand &demand(int stage) const;
     int numStages() const { return static_cast<int>(demands_.size()); }
 
-    /** Append a completed hop's latency statistics. */
-    void addHop(HopRecord hop) { hops_.push_back(hop); }
-    const std::vector<HopRecord> &hops() const { return hops_; }
+    /** Append a completed hop's latency statistics (SoA columns). */
+    void addHop(const HopRecord &hop) { cols_.append(hop); }
+
+    std::size_t numHops() const { return cols_.size(); }
+
+    /**
+     * Hop records materialized from the columns, cached across calls:
+     * the first reader after completion pays one vector build and every
+     * later reader (trace, critpath, codec, stats) shares it. Appends
+     * after a materialization extend the cache incrementally.
+     */
+    const std::vector<HopRecord> &
+    hops() const
+    {
+        if (hopsCache_.size() != cols_.size()) {
+            hopsCache_.reserve(cols_.size());
+            for (std::size_t i = hopsCache_.size(); i < cols_.size();
+                 ++i)
+                hopsCache_.push_back(cols_.row(i));
+        }
+        return hopsCache_;
+    }
 
     void markCompleted(SimTime t) { completed_ = t; done_ = true; }
     bool completed() const { return done_; }
@@ -118,7 +298,8 @@ class Query
     SimTime completed_;
     bool done_ = false;
     std::vector<WorkDemand> demands_;
-    std::vector<HopRecord> hops_;
+    HopColumns cols_;
+    mutable std::vector<HopRecord> hopsCache_;
 };
 
 using QueryPtr = std::shared_ptr<Query>;

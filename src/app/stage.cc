@@ -207,11 +207,13 @@ Stage::submit(QueryPtr q)
     }
     // During a crash outage arrivals are parked, not dropped: the next
     // launchInstance() replays the hold queue in arrival order.
-    if (crashOutage_ && instances().empty()) {
+    liveScratch_.clear();
+    liveInstances(liveScratch_);
+    if (crashOutage_ && liveScratch_.empty()) {
         holdQueue_.push_back(PendingQuery{std::move(q), sim_->now()});
         return;
     }
-    ServiceInstance *target = dispatcher_.pick(instances());
+    ServiceInstance *target = dispatcher_.pick(liveScratch_);
     if (!target)
         panic("stage %s has no dispatchable instance", name_.c_str());
     target->enqueue(std::move(q));
@@ -256,6 +258,14 @@ Stage::instances() const
         if (!inst->draining())
             out.push_back(inst.get());
     return out;
+}
+
+void
+Stage::liveInstances(std::vector<ServiceInstance *> &out) const
+{
+    for (const auto &inst : pool_)
+        if (!inst->draining())
+            out.push_back(inst.get());
 }
 
 std::vector<ServiceInstance *>

@@ -139,6 +139,14 @@ class Stage
     /** Live (non-draining) instances. */
     std::vector<ServiceInstance *> instances() const;
 
+    /**
+     * Append the live instances to @p out — the allocation-free
+     * variant for hot loops (per-query dispatch, per-interval scans)
+     * that reuse a scratch vector instead of materializing a fresh
+     * one per call.
+     */
+    void liveInstances(std::vector<ServiceInstance *> &out) const;
+
     /** All instances including draining ones (for traces). */
     std::vector<ServiceInstance *> allInstances() const;
 
@@ -167,6 +175,8 @@ class Stage
     Telemetry *telemetry_ = nullptr;
     std::vector<std::unique_ptr<ServiceInstance>> pool_;
     int launchCounter_ = 0;
+    /** Reused by submit() so per-query dispatch never allocates. */
+    mutable std::vector<ServiceInstance *> liveScratch_;
     /** Queries parked during a crash outage (no live instance). */
     std::vector<PendingQuery> holdQueue_;
     /** True while arrivals must be parked instead of dispatched. */

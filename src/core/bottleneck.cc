@@ -18,13 +18,15 @@ BottleneckIdentifier::BottleneckIdentifier(
         fatal("bottleneck window span must be positive");
 }
 
-BottleneckIdentifier::InstanceStats &
-BottleneckIdentifier::statsFor(std::int64_t id)
+void
+BottleneckIdentifier::ensureInstanceTables(std::int32_t local)
 {
-    auto it = perInstance_.find(id);
-    if (it == perInstance_.end())
-        it = perInstance_.emplace(id, InstanceStats(span_)).first;
-    return it->second;
+    const auto need = static_cast<std::size_t>(local) + 1;
+    if (perInstance_.size() >= need)
+        return;
+    perInstance_.resize(need, InstanceStats(span_));
+    lastReport_.resize(need);
+    reported_.resize(need, 0);
 }
 
 void
@@ -43,18 +45,22 @@ BottleneckIdentifier::observe(SimTime now,
         // with time the re-dispatch already re-charges elsewhere.
         if (hop.wasted)
             continue;
-        auto &stats = statsFor(hop.instanceId);
-        stats.queuing.add(now, hop.queuing().toSec());
-        stats.serving.add(now, hop.serving().toSec());
-        lastReport_[hop.instanceId] = now;
+        // One remap lookup resolves every per-instance table.
+        const std::int32_t local = ids_.idFor(hop.instanceId);
+        ensureInstanceTables(local);
+        const auto li = static_cast<std::size_t>(local);
+        perInstance_[li].queuing.add(now, hop.queuing().toSec());
+        perInstance_[li].serving.add(now, hop.serving().toSec());
+        lastReport_[li] = now;
+        reported_[li] = 1;
 
-        auto stageIt = perStage_.find(hop.stageIndex);
-        if (stageIt == perStage_.end()) {
-            stageIt = perStage_
-                .emplace(hop.stageIndex, InstanceStats(span_)).first;
-        }
-        stageIt->second.queuing.add(now, hop.queuing().toSec());
-        stageIt->second.serving.add(now, hop.serving().toSec());
+        if (hop.stageIndex < 0)
+            continue;
+        const auto s = static_cast<std::size_t>(hop.stageIndex);
+        while (perStage_.size() <= s)
+            perStage_.push_back(InstanceStats(span_));
+        perStage_[s].queuing.add(now, hop.queuing().toSec());
+        perStage_[s].serving.add(now, hop.serving().toSec());
     }
 }
 
@@ -65,17 +71,20 @@ BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
     staleSkips_.clear();
     for (int s = 0; s < app.numStages(); ++s) {
         for (const auto *inst : app.stage(s).instances()) {
-            if (staleWindow_ > SimTime::zero()) {
+            const std::int32_t local = ids_.find(inst->id());
+            const bool hasHistory = local != DenseIdMap::kUnknown &&
+                reported_[static_cast<std::size_t>(local)];
+            if (staleWindow_ > SimTime::zero() && hasHistory) {
                 // Frozen averages are worse than no averages: an
                 // instance that reported once and then went silent is
                 // excluded rather than scored on stale history. (A
                 // never-reporting fresh clone still ranks, seeded from
                 // the stage aggregate below.)
-                const auto last = lastReport_.find(inst->id());
-                if (last != lastReport_.end() &&
-                    now - last->second > staleWindow_) {
+                const SimTime last =
+                    lastReport_[static_cast<std::size_t>(local)];
+                if (now - last > staleWindow_) {
                     staleSkips_.push_back(StaleSkip{
-                        inst->id(), s, (now - last->second).toSec()});
+                        inst->id(), s, (now - last).toSec()});
                     ++staleSkipsTotal_;
                     continue;
                 }
@@ -88,9 +97,9 @@ BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
             snap.level = inst->level();
             snap.queueLength = inst->queueLength();
 
-            auto it = perInstance_.find(inst->id());
-            InstanceStats *stats =
-                it != perInstance_.end() ? &it->second : nullptr;
+            InstanceStats *stats = hasHistory
+                ? &perInstance_[static_cast<std::size_t>(local)]
+                : nullptr;
             if (stats) {
                 stats->queuing.evict(now);
                 stats->serving.evict(now);
@@ -98,9 +107,8 @@ BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
             if (!stats || stats->serving.empty()) {
                 // No history yet (fresh clone): seed from the stage-level
                 // aggregate so the instance is comparable to its peers.
-                auto stageIt = perStage_.find(s);
-                if (stageIt != perStage_.end())
-                    stats = &stageIt->second;
+                if (static_cast<std::size_t>(s) < perStage_.size())
+                    stats = &perStage_[static_cast<std::size_t>(s)];
             }
             if (stats && !stats->serving.empty()) {
                 snap.avgQueuingSec = stats->queuing.mean();
@@ -124,20 +132,27 @@ BottleneckIdentifier::rank(SimTime now, const MultiStageApp &app)
 double
 BottleneckIdentifier::stageRealizedDelaySec(int stage) const
 {
-    const auto it = perStage_.find(stage);
-    if (it == perStage_.end() || it->second.serving.empty())
+    if (stage < 0 ||
+        static_cast<std::size_t>(stage) >= perStage_.size())
         return 0.0;
-    return it->second.queuing.max() + it->second.serving.mean();
+    const InstanceStats &stats =
+        perStage_[static_cast<std::size_t>(stage)];
+    if (stats.serving.empty())
+        return 0.0;
+    return stats.queuing.max() + stats.serving.mean();
 }
 
 double
 BottleneckIdentifier::stageDelayQuantileSec(int stage, double q) const
 {
-    const auto it = perStage_.find(stage);
-    if (it == perStage_.end() || it->second.serving.empty())
+    if (stage < 0 ||
+        static_cast<std::size_t>(stage) >= perStage_.size())
         return 0.0;
-    return it->second.queuing.quantile(q) +
-        it->second.serving.quantile(q);
+    const InstanceStats &stats =
+        perStage_[static_cast<std::size_t>(stage)];
+    if (stats.serving.empty())
+        return 0.0;
+    return stats.queuing.quantile(q) + stats.serving.quantile(q);
 }
 
 void
@@ -145,17 +160,21 @@ BottleneckIdentifier::stageDelayQuantiles(int stage, const double *qs,
                                           double *out,
                                           std::size_t n) const
 {
-    const auto it = perStage_.find(stage);
-    if (it == perStage_.end() || it->second.serving.empty()) {
+    const bool missing = stage < 0 ||
+        static_cast<std::size_t>(stage) >= perStage_.size() ||
+        perStage_[static_cast<std::size_t>(stage)].serving.empty();
+    if (missing) {
         for (std::size_t i = 0; i < n; ++i)
             out[i] = 0.0;
         return;
     }
+    const InstanceStats &stats =
+        perStage_[static_cast<std::size_t>(stage)];
     // One sort per window for all requested quantiles.
     std::array<double, 8> queuing{}, serving{};
     const std::size_t m = std::min<std::size_t>(n, queuing.size());
-    it->second.queuing.quantiles(qs, queuing.data(), m);
-    it->second.serving.quantiles(qs, serving.data(), m);
+    stats.queuing.quantiles(qs, queuing.data(), m);
+    stats.serving.quantiles(qs, serving.data(), m);
     for (std::size_t i = 0; i < m; ++i)
         out[i] = queuing[i] + serving[i];
 }
@@ -175,17 +194,15 @@ BottleneckIdentifier::garbageCollect(const MultiStageApp &app)
     std::unordered_set<std::int64_t> live;
     for (const auto *inst : app.allInstances())
         live.insert(inst->id());
-    for (auto it = perInstance_.begin(); it != perInstance_.end();) {
-        if (!live.count(it->first))
-            it = perInstance_.erase(it);
-        else
-            ++it;
-    }
-    for (auto it = lastReport_.begin(); it != lastReport_.end();) {
-        if (!live.count(it->first))
-            it = lastReport_.erase(it);
-        else
-            ++it;
+    // Raw ids are never reused, so a dead slot only needs its sample
+    // memory released; the local id itself stays allocated.
+    for (std::size_t li = 0; li < perInstance_.size(); ++li) {
+        if (!reported_[li])
+            continue;
+        if (live.count(ids_.rawOf(static_cast<std::int32_t>(li))))
+            continue;
+        perInstance_[li] = InstanceStats(span_);
+        reported_[li] = 0;
     }
 }
 

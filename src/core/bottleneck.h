@@ -18,9 +18,9 @@
 #define PC_CORE_BOTTLENECK_H
 
 #include <memory>
-#include <unordered_map>
 
 #include "app/pipeline.h"
+#include "core/dense_ids.h"
 #include "core/snapshot.h"
 #include "stats/window.h"
 
@@ -197,17 +197,30 @@ class BottleneckIdentifier
         }
     };
 
-    InstanceStats &statsFor(std::int64_t id);
+    /** Grow the local-id-indexed tables to cover @p local. */
+    void ensureInstanceTables(std::int32_t local);
 
     SimTime span_;
     std::unique_ptr<BottleneckMetric> metric_;
-    std::unordered_map<std::int64_t, InstanceStats> perInstance_;
+
+    // Per-instance state lives in dense vectors indexed by the local
+    // id remap: the per-hop hot path resolves the raw id ONCE and then
+    // indexes contiguous tables, instead of one hash lookup per table
+    // (see core/dense_ids.h). A slot's windows are reset (not erased)
+    // by garbageCollect — raw ids are never reused, so slots are
+    // bounded by the run's total instance launches.
+    DenseIdMap ids_;
+    std::vector<InstanceStats> perInstance_; // by local id
+    std::vector<SimTime> lastReport_;        // by local id
+    std::vector<std::uint8_t> reported_;     // by local id: has data
+
     // Stage-level aggregate used to seed brand-new instances that have
-    // no history of their own yet (e.g. a fresh clone).
-    std::unordered_map<int, InstanceStats> perStage_;
+    // no history of their own yet (e.g. a fresh clone); stage indexes
+    // are small and dense already.
+    std::vector<InstanceStats> perStage_;
+
     // Stale-window guard state.
     SimTime staleWindow_;
-    std::unordered_map<std::int64_t, SimTime> lastReport_;
     std::vector<StaleSkip> staleSkips_;
     std::uint64_t staleSkipsTotal_ = 0;
 };

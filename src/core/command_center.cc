@@ -258,10 +258,9 @@ CommandCenter::tick()
                         break;
                     }
                 }
-                const auto &utils = withdraw_.lastUtilization();
-                const auto it = utils.find(id);
+                const auto util = withdraw_.lastUtilizationFor(id);
                 audit_->recordWithdraw(
-                    id, stage, it != utils.end() ? it->second : 0.0,
+                    id, stage, util.value_or(0.0),
                     withdraw_.utilizationThreshold());
             }
         }

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense local-id remap for per-instance state tables.
+ *
+ * Stage::nextInstanceId() is a process-global counter, so raw instance
+ * ids are neither small nor per-run dense (they depend on how many
+ * runs preceded this one in the process). Components that keep
+ * per-instance state keyed by raw id therefore pay an unordered_map
+ * lookup per event on their hot paths.
+ *
+ * DenseIdMap assigns each raw id a small first-seen-ordered local id
+ * once, after which all state lives in plain vectors indexed by that
+ * local id: ONE hash lookup per event resolves every table, and the
+ * tables themselves are contiguous. The remap itself must stay a hash
+ * map (raw ids are process-global), but it is touched once per event
+ * instead of once per table.
+ */
+
+#ifndef PC_CORE_DENSE_IDS_H
+#define PC_CORE_DENSE_IDS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pc {
+
+class DenseIdMap
+{
+  public:
+    static constexpr std::int32_t kUnknown = -1;
+
+    /** Local id of @p raw, assigning the next one on first sight. */
+    std::int32_t
+    idFor(std::int64_t raw)
+    {
+        const auto [it, inserted] = remap_.try_emplace(
+            raw, static_cast<std::int32_t>(raw_.size()));
+        if (inserted)
+            raw_.push_back(raw);
+        return it->second;
+    }
+
+    /** Local id of @p raw, or kUnknown if never seen. */
+    std::int32_t
+    find(std::int64_t raw) const
+    {
+        const auto it = remap_.find(raw);
+        return it == remap_.end() ? kUnknown : it->second;
+    }
+
+    std::int64_t
+    rawOf(std::int32_t local) const
+    {
+        return raw_[static_cast<std::size_t>(local)];
+    }
+
+    /** Local ids handed out so far — the size every table must reach. */
+    std::size_t size() const { return raw_.size(); }
+
+  private:
+    std::unordered_map<std::int64_t, std::int32_t> remap_;
+    std::vector<std::int64_t> raw_; // local id -> raw id
+};
+
+} // namespace pc
+
+#endif // PC_CORE_DENSE_IDS_H

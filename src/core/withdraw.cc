@@ -1,5 +1,6 @@
 #include "core/withdraw.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.h"
@@ -16,6 +17,16 @@ WithdrawMonitor::WithdrawMonitor(Simulator *sim, MultiStageApp *app,
         fatal("withdraw threshold %f outside (0,1)", threshold_);
 }
 
+std::optional<double>
+WithdrawMonitor::lastUtilizationFor(std::int64_t instanceId) const
+{
+    const std::int32_t local = ids_.find(instanceId);
+    if (local == DenseIdMap::kUnknown ||
+        !utilValid_[static_cast<std::size_t>(local)])
+        return std::nullopt;
+    return lastUtil_[static_cast<std::size_t>(local)];
+}
+
 std::vector<std::int64_t>
 WithdrawMonitor::checkAndWithdraw(const SortedSnapshots &ranked)
 {
@@ -23,30 +34,45 @@ WithdrawMonitor::checkAndWithdraw(const SortedSnapshots &ranked)
     const SimTime now = sim_->now();
     const SimTime span = now - lastCheck_;
     lastCheck_ = now;
-    lastUtil_.clear();
+    std::fill(utilValid_.begin(), utilValid_.end(),
+              static_cast<std::uint8_t>(0));
     if (span <= SimTime::zero())
         return withdrawn;
 
     for (int s = 0; s < app_->numStages(); ++s) {
         auto &stage = app_->stage(s);
-        auto live = stage.instances();
+        liveScratch_.clear();
+        stage.liveInstances(liveScratch_);
+        const auto &live = liveScratch_;
 
         ServiceInstance *victim = nullptr;
+        std::int32_t victimLocal = DenseIdMap::kUnknown;
         double victimUtil = std::numeric_limits<double>::infinity();
         for (auto *inst : live) {
             const SimTime busyNow = inst->totalBusyTime();
-            auto it = busySnapshot_.find(inst->id());
-            if (it == busySnapshot_.end()) {
+            // One remap lookup resolves every per-instance table.
+            const std::int32_t local = ids_.idFor(inst->id());
+            const auto li = static_cast<std::size_t>(local);
+            if (li >= busySnapshot_.size()) {
+                busySnapshot_.resize(li + 1);
+                hasBaseline_.resize(li + 1, 0);
+                lastUtil_.resize(li + 1, 0.0);
+                utilValid_.resize(li + 1, 0);
+            }
+            if (!hasBaseline_[li]) {
                 // First sighting: baseline only; decide next interval.
-                busySnapshot_[inst->id()] = busyNow;
+                busySnapshot_[li] = busyNow;
+                hasBaseline_[li] = 1;
                 continue;
             }
-            const double util = (busyNow - it->second) / span;
-            it->second = busyNow;
-            lastUtil_[inst->id()] = util;
+            const double util = (busyNow - busySnapshot_[li]) / span;
+            busySnapshot_[li] = busyNow;
+            lastUtil_[li] = util;
+            utilValid_[li] = 1;
             if (util < threshold_ && util < victimUtil) {
                 victimUtil = util;
                 victim = inst;
+                victimLocal = local;
             }
         }
 
@@ -70,7 +96,7 @@ WithdrawMonitor::checkAndWithdraw(const SortedSnapshots &ranked)
         const std::int64_t victimId = victim->id();
         if (stage.withdrawInstance(victimId, target)) {
             budget_->release(victimId);
-            busySnapshot_.erase(victimId);
+            hasBaseline_[static_cast<std::size_t>(victimLocal)] = 0;
             withdrawn.push_back(victimId);
         }
     }

@@ -14,10 +14,11 @@
 #ifndef PC_CORE_WITHDRAW_H
 #define PC_CORE_WITHDRAW_H
 
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "app/pipeline.h"
+#include "core/dense_ids.h"
 #include "core/snapshot.h"
 #include "power/budget.h"
 #include "sim/simulator.h"
@@ -42,12 +43,12 @@ class WithdrawMonitor
 
     double utilizationThreshold() const { return threshold_; }
 
-    /** Last computed utilization per instance (for tests/traces). */
-    const std::unordered_map<std::int64_t, double> &
-    lastUtilization() const
-    {
-        return lastUtil_;
-    }
+    /**
+     * Utilization of @p instanceId computed by the last check; empty
+     * when the instance was not measured (first sighting baselines
+     * only, and a zero-length interval measures nothing).
+     */
+    std::optional<double> lastUtilizationFor(std::int64_t instanceId) const;
 
   private:
     Simulator *sim_;
@@ -55,8 +56,18 @@ class WithdrawMonitor
     PowerBudget *budget_;
     double threshold_;
     SimTime lastCheck_;
-    std::unordered_map<std::int64_t, SimTime> busySnapshot_;
-    std::unordered_map<std::int64_t, double> lastUtil_;
+
+    // Per-instance state in dense local-id-indexed vectors (see
+    // core/dense_ids.h): the per-instance scan resolves the raw id
+    // once and indexes contiguous tables, instead of one hash lookup
+    // per table per instance.
+    DenseIdMap ids_;
+    /** Reused scan scratch so the per-interval check never allocates. */
+    std::vector<ServiceInstance *> liveScratch_;
+    std::vector<SimTime> busySnapshot_;      // by local id
+    std::vector<std::uint8_t> hasBaseline_;  // by local id
+    std::vector<double> lastUtil_;           // by local id
+    std::vector<std::uint8_t> utilValid_;    // by local id
 };
 
 } // namespace pc

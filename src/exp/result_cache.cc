@@ -111,6 +111,17 @@ scenarioCanonical(const Scenario &sc)
         out += "|";
         out += sc.faults.canonical();
     }
+    // Sharded topology is part of what is simulated (each node group is
+    // a full replica plus the cross-group spray); appended only when
+    // nodeGroups > 1 so single-node keys keep their historical form.
+    // The --shards worker count is deliberately absent: it cannot
+    // change results.
+    if (sc.nodeGroups > 1) {
+        out += "|nodes:";
+        appendInt(&out, sc.nodeGroups);
+        appendNum(&out, sc.remoteFraction);
+        appendTime(&out, sc.interNodeLatency);
+    }
     out += "|run:";
     appendTime(&out, sc.duration);
     appendTime(&out, sc.warmup);

@@ -75,10 +75,67 @@ makePolicyFor(const Scenario &sc)
     fatal("unknown policy kind");
 }
 
+RunAuditSummary
+summarizeAudit(const AuditLog &audit)
+{
+    RunAuditSummary sum;
+    sum.collected = true;
+    sum.mapePct = audit.mapePct();
+    sum.mapeFreqPct = audit.mapePct(AuditBoostKind::Frequency);
+    sum.mapeInstPct = audit.mapePct(AuditBoostKind::Instance);
+    sum.flips = audit.flips();
+    for (const auto &rec : audit.records()) {
+        switch (rec.kind) {
+          case AuditDecisionKind::Select:
+            ++sum.selects;
+            if (rec.scored)
+                ++sum.scored;
+            break;
+          case AuditDecisionKind::Recycle: ++sum.recycles; break;
+          case AuditDecisionKind::Withdraw: ++sum.withdraws; break;
+          case AuditDecisionKind::StaleSkip: ++sum.staleSkips; break;
+          case AuditDecisionKind::FastCapPlan:
+          case AuditDecisionKind::CuttleSysPlan:
+            ++sum.plans;
+            break;
+          case AuditDecisionKind::Misboost:
+            ++sum.misboosts;
+            break;
+          case AuditDecisionKind::RpcRetry:
+          case AuditDecisionKind::ObsAlert:
+          case AuditDecisionKind::Count:
+            break;
+        }
+    }
+    return sum;
+}
+
+RunCritPathSummary
+summarizeCritPath(const CritPathCollector &cp)
+{
+    RunCritPathSummary sum;
+    sum.collected = true;
+    sum.queries = cp.profiledQueries();
+    sum.scoredIntervals = cp.scoredIntervals();
+    sum.agreeIntervals = cp.agreeIntervals();
+    sum.boostIntervals = cp.boostIntervals();
+    sum.misboosts = cp.misboosts();
+    sum.agreementRate = cp.agreementRate();
+    sum.meanShorteningPct = cp.meanShorteningPct();
+    sum.stageShare = cp.stageShareMeans();
+    return sum;
+}
+
 RunResult
 ExperimentRunner::run(const Scenario &sc,
                       const TelemetryConfig *telemetry) const
 {
+    if (sc.nodeGroups > 1)
+        return runSharded(sc, telemetry);
+    if (sc.nodeGroups < 1)
+        fatal("scenario '%s': nodeGroups must be >= 1 (got %d)",
+              sc.name.c_str(), sc.nodeGroups);
+
     RunResult result;
     result.scenario = sc.name;
 
@@ -368,51 +425,10 @@ ExperimentRunner::run(const Scenario &sc,
         sloTracker->finish(sc.duration);
         result.slo = sloTracker->report();
     }
-    if (collectAudit_ && tel) {
-        const AuditLog &audit = tel->audit();
-        RunAuditSummary &sum = result.audit;
-        sum.collected = true;
-        sum.mapePct = audit.mapePct();
-        sum.mapeFreqPct = audit.mapePct(AuditBoostKind::Frequency);
-        sum.mapeInstPct = audit.mapePct(AuditBoostKind::Instance);
-        sum.flips = audit.flips();
-        for (const auto &rec : audit.records()) {
-            switch (rec.kind) {
-              case AuditDecisionKind::Select:
-                ++sum.selects;
-                if (rec.scored)
-                    ++sum.scored;
-                break;
-              case AuditDecisionKind::Recycle: ++sum.recycles; break;
-              case AuditDecisionKind::Withdraw: ++sum.withdraws; break;
-              case AuditDecisionKind::StaleSkip: ++sum.staleSkips; break;
-              case AuditDecisionKind::FastCapPlan:
-              case AuditDecisionKind::CuttleSysPlan:
-                ++sum.plans;
-                break;
-              case AuditDecisionKind::Misboost:
-                ++sum.misboosts;
-                break;
-              case AuditDecisionKind::RpcRetry:
-              case AuditDecisionKind::ObsAlert:
-              case AuditDecisionKind::Count:
-                break;
-            }
-        }
-    }
-    if (collectCritPath_ && tel && tel->critpath()) {
-        const CritPathCollector &cp = *tel->critpath();
-        RunCritPathSummary &sum = result.critpath;
-        sum.collected = true;
-        sum.queries = cp.profiledQueries();
-        sum.scoredIntervals = cp.scoredIntervals();
-        sum.agreeIntervals = cp.agreeIntervals();
-        sum.boostIntervals = cp.boostIntervals();
-        sum.misboosts = cp.misboosts();
-        sum.agreementRate = cp.agreementRate();
-        sum.meanShorteningPct = cp.meanShorteningPct();
-        sum.stageShare = cp.stageShareMeans();
-    }
+    if (collectAudit_ && tel)
+        result.audit = summarizeAudit(tel->audit());
+    if (collectCritPath_ && tel && tel->critpath())
+        result.critpath = summarizeCritPath(*tel->critpath());
 
     if (tel) {
         MetricsRegistry &metrics = tel->metrics();

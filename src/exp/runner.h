@@ -26,7 +26,9 @@
 namespace pc {
 
 struct TelemetryConfig;
+class AuditLog;
 class ControlPolicy;
+class CritPathCollector;
 
 /**
  * The policy factory: instantiate the scenario's PolicyKind with its
@@ -104,6 +106,13 @@ struct RunCritPathSummary
     /** Mean critical-path share per stage over profiled queries. */
     std::vector<double> stageShare;
 };
+
+/**
+ * Summarize a run's audit log / critical-path collector into the
+ * RunResult blocks. Shared by the single-node and sharded run paths.
+ */
+RunAuditSummary summarizeAudit(const AuditLog &audit);
+RunCritPathSummary summarizeCritPath(const CritPathCollector &cp);
 
 struct RunResult
 {
@@ -190,6 +199,15 @@ class ExperimentRunner
     }
 
     /**
+     * Worker threads for sharded runs (scenarios with nodeGroups > 1;
+     * exp/sharded_runner.cc). Clamped to [1, nodeGroups] at run time;
+     * <= 0 resolves to one per hardware thread. A pure execution knob:
+     * every result field and artifact byte is identical at any value.
+     * Ignored by single-node scenarios.
+     */
+    void setShards(int shards) { shards_ = shards; }
+
+    /**
      * @param telemetry optional observability config. When any output
      *        is enabled the run owns a private Telemetry (per-query
      *        spans, control-plane events, the metrics registry) and
@@ -201,12 +219,21 @@ class ExperimentRunner
                   const TelemetryConfig *telemetry = nullptr) const;
 
   private:
+    /**
+     * The nodeGroups > 1 path (exp/sharded_runner.cc): one replica
+     * stack per node group on the conservative time-window engine,
+     * merged deterministically into one RunResult.
+     */
+    RunResult runSharded(const Scenario &scenario,
+                         const TelemetryConfig *telemetry) const;
+
     bool recordTraces_;
     SimTime sampleInterval_;
     bool attribution_;
     bool collectAudit_;
     SloConfig slo_;
     bool collectCritPath_;
+    int shards_ = 1;
     std::function<void(const ControlContext &)> intervalProbe_;
 };
 

@@ -111,6 +111,31 @@ struct Scenario
      */
     FaultPlan faults;
 
+    /**
+     * Sharded-run topology (sim/sharded_engine.h). nodeGroups > 1
+     * partitions the run into that many independent full replicas of
+     * the scenario — each node group owns its own simulator, chip,
+     * bus, application, budget and controller — advanced together by
+     * the conservative time-window engine. The partition is part of
+     * the scenario (it changes what is simulated); the `--shards`
+     * worker count is NOT (it only changes which thread executes which
+     * group), which is why results are bit-identical at any --shards.
+     */
+    int nodeGroups = 1;
+
+    /**
+     * Fraction of each group's arrivals sprayed to a remote group
+     * (front-end load balancing across nodes). Only meaningful with
+     * nodeGroups > 1.
+     */
+    double remoteFraction = 0.0;
+
+    /**
+     * Network latency of a cross-group spray — the minimum cross-shard
+     * latency, and therefore the engine's conservative lookahead.
+     */
+    SimTime interNodeLatency = SimTime::msec(10);
+
     SimTime duration = SimTime::sec(900);
     SimTime warmup = SimTime::sec(50);
     std::uint64_t seed = 42;
@@ -155,6 +180,19 @@ struct Scenario
      * variant is exactly goldenFig11().
      */
     static Scenario goldenFig11For(PolicyKind policy);
+
+    /**
+     * The open-loop million-query scale scenario: @p nodeGroups
+     * independent 16-core nodes running the ms-scale microservice()
+     * workload under PowerChief with short control intervals, a
+     * cross-node front-end spray, and a total arrival budget of
+     * @p totalQueries over @p durationSec. Drives the sharded engine
+     * (bench/mega_scenario.cc, BENCH_6.json).
+     */
+    static Scenario millionQuery(int nodeGroups = 8,
+                                 double totalQueries = 1e6,
+                                 double durationSec = 60.0,
+                                 std::uint64_t seed = 20260809);
 };
 
 } // namespace pc

@@ -1,0 +1,753 @@
+/**
+ * @file
+ * The nodeGroups > 1 experiment path: a fleet of independent node
+ * replicas on the conservative time-window engine.
+ *
+ * Each node group owns a full copy of the single-node stack — its own
+ * Simulator (owned by the ShardedEngine), chip, bus, application,
+ * budget, command center, fault injector, RAPL reader, load generator
+ * and telemetry bundle. The only cross-group interaction is the
+ * front-end spray: a scenario-configured fraction of each group's
+ * arrivals is posted to a remote group with interNodeLatency delay,
+ * which is therefore the engine's conservative lookahead.
+ *
+ * Determinism: the logical partition (nodeGroups) is part of the
+ * scenario; the worker count (--shards / setShards) only picks which
+ * thread executes which group. Every per-group RNG stream, query-id
+ * range and fault seed derives from (scenario seed, group index), each
+ * group's events run on its own single-threaded simulator, and the
+ * merge below walks groups in fixed index order — so every RunResult
+ * field and every artifact byte is identical at any worker count.
+ *
+ * Raw instance ids (Stage::nextInstanceId) ARE allocation-order
+ * dependent when groups boost instances concurrently — that is exactly
+ * why no artifact may embed them. TraceSink and AuditLog both remap to
+ * sink-local ids, and instance *names* come from a per-stage launch
+ * counter; the merged result keys per-instance series as
+ * "n<group>/<name>".
+ */
+
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/command_center.h"
+#include "faults/injector.h"
+#include "hal/rapl.h"
+#include "obs/telemetry.h"
+#include "rpc/bus.h"
+#include "sim/sharded_engine.h"
+#include "stats/percentile.h"
+#include "stats/streaming.h"
+#include "workloads/profiler.h"
+
+namespace pc {
+
+namespace {
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** Per-query attribution sample, buffered for the ordered replay. */
+struct AttribSample
+{
+    SimTime t;
+    double sec = 0.0;
+    std::vector<StageSpan> spans;
+};
+
+/** Everything one node group owns. Heap-allocated so the completion
+ *  sink's captured pointer stays stable. */
+struct ShardStack
+{
+    Simulator *sim = nullptr; // owned by the engine
+    std::optional<Telemetry> tel;
+    std::optional<CmpChip> chip;
+    std::optional<MessageBus> bus;
+    std::optional<MultiStageApp> app;
+    std::optional<PowerBudget> budget;
+    std::optional<CommandCenter> center;
+    std::optional<FaultInjector> injector;
+    std::optional<RaplReader> rapl;
+    std::optional<LoadGenerator> gen;
+    std::optional<Rng> sprayRng;
+
+    // Completion statistics, ignoring the warmup prefix — the same
+    // accumulators the single-node path keeps, one set per group.
+    ExactPercentile latency;
+    StreamingStats latencyStats;
+    std::vector<StreamingStats> queuingByStage;
+    std::vector<StreamingStats> servingByStage;
+    StreamingStats power;
+    Joules energyBefore;
+
+    // Buffered per-completion records for the globally-ordered replay
+    // (latency series, SLO, attribution). Only filled when the
+    // corresponding collection is on.
+    TimeSeries completionLat{"latency"};
+    std::vector<AttribSample> attribSamples;
+
+    TimeSeries powerSeries{"power"};
+    std::vector<TimeSeries> stageInstanceCounts;
+    std::map<std::string, TimeSeries> instanceFrequencyGHz;
+
+    Histogram *e2eHist = nullptr;
+    std::vector<Histogram *> stageWaitHist;
+    std::vector<Histogram *> stageServeHist;
+    std::vector<StageSpan> spans; // per-query scratch
+};
+
+/**
+ * Visit the union of per-group completion streams in global
+ * (time, group) order — the deterministic merge order every
+ * order-sensitive consumer (SLO tracker, latency series, attribution)
+ * replays under.
+ */
+template <typename Fn>
+void
+mergeByTime(const std::vector<const std::vector<TimeSeries::Point> *>
+                &streams,
+            Fn &&fn)
+{
+    std::vector<std::size_t> cursor(streams.size(), 0);
+    while (true) {
+        int best = -1;
+        for (std::size_t g = 0; g < streams.size(); ++g) {
+            if (cursor[g] >= streams[g]->size())
+                continue;
+            if (best < 0 ||
+                (*streams[g])[cursor[g]].t <
+                    (*streams[static_cast<std::size_t>(best)])
+                        [cursor[static_cast<std::size_t>(best)]].t)
+                best = static_cast<int>(g);
+        }
+        if (best < 0)
+            return;
+        const auto b = static_cast<std::size_t>(best);
+        fn(b, cursor[b]);
+        ++cursor[b];
+    }
+}
+
+/**
+ * Write one "powerchief-sharded-v1" envelope: the per-group documents
+ * of a single-node artifact, in group order, under a fixed header. The
+ * per-group documents are the exact bytes the single-node writers
+ * produce, so existing parsers handle each element unchanged.
+ */
+void
+writeEnvelope(const std::string &path, const char *artifact,
+              const std::string &scenario,
+              const std::vector<std::string> &docs,
+              const std::string &extra = "")
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good())
+        fatal("cannot write %s file '%s'", artifact, path.c_str());
+    out << "{\"schema\":\"powerchief-sharded-v1\",\"artifact\":\""
+        << artifact << "\",\"scenario\":" << JsonValue(scenario).dump()
+        << ",\"nodes\":" << docs.size();
+    if (!extra.empty())
+        out << "," << extra;
+    out << ",\"shards\":[\n";
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+        if (i)
+            out << ",\n";
+        std::string doc = docs[i];
+        while (!doc.empty() &&
+               (doc.back() == '\n' || doc.back() == '\r'))
+            doc.pop_back();
+        out << doc;
+    }
+    out << "\n]}\n";
+}
+
+} // namespace
+
+RunResult
+ExperimentRunner::runSharded(const Scenario &sc,
+                             const TelemetryConfig *telemetry) const
+{
+    const int groups = sc.nodeGroups;
+    if (sc.remoteFraction < 0.0 || sc.remoteFraction > 1.0)
+        fatal("scenario '%s': remoteFraction %f outside [0,1]",
+              sc.name.c_str(), sc.remoteFraction);
+    if (sc.interNodeLatency <= SimTime::zero())
+        fatal("scenario '%s': sharded runs need a positive "
+              "interNodeLatency (the engine lookahead)",
+              sc.name.c_str());
+    if (intervalProbe_)
+        fatal("scenario '%s': the interval probe is not supported on "
+              "sharded runs (one probe cannot observe %d concurrent "
+              "controllers deterministically)", sc.name.c_str(), groups);
+
+    TelemetryConfig effective = telemetry ? *telemetry
+                                          : TelemetryConfig{};
+    if (collectAudit_)
+        effective.auditCollect = true;
+    if (collectCritPath_)
+        effective.critpathCollect = true;
+    if (effective.timeseriesEnabled() &&
+        effective.metricsFormat == "openmetrics")
+        fatal("sharded runs write timeseries envelopes in JSON only; "
+              "--metrics-format openmetrics is not supported");
+    if (effective.metricsEnabled() &&
+        endsWith(effective.metricsOut, ".csv"))
+        fatal("sharded runs write metrics envelopes in JSON only; "
+              "use a .json --metrics-out path");
+
+    int workers = shards_;
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+
+    RunResult result;
+    result.scenario = sc.name;
+
+    ShardedEngine engine(groups, sc.interNodeLatency);
+
+    const PowerModel model = PowerModel::haswell();
+    const auto &ladder = model.ladder();
+    const int level = sc.initialLevel == -1 ? ladder.midLevel()
+        : sc.initialLevel == -2              ? ladder.maxLevel()
+                                             : sc.initialLevel;
+    if (sc.initialCounts.empty())
+        fatal("scenario '%s' has no initial layout", sc.name.c_str());
+
+    // One offline profile serves every group: same workload, same
+    // seed, read-only during the run.
+    const OfflineProfiler profiler;
+    const SpeedupBook speedups =
+        profiler.profileWorkload(sc.workload, model, sc.seed ^ 0x5eedll);
+
+    const bool wantCompletionSeries = recordTraces_ || slo_.enabled;
+    const int numStages = sc.workload.numStages();
+
+    // Build the group stacks sequentially in group order (instance-id
+    // allocation during construction stays deterministic).
+    std::vector<std::unique_ptr<ShardStack>> stacks;
+    stacks.reserve(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g) {
+        auto stack = std::make_unique<ShardStack>();
+        ShardStack &st = *stack;
+        st.sim = &engine.shard(g);
+        if (effective.anyEnabled())
+            st.tel.emplace(effective);
+        Telemetry *tel = st.tel ? &*st.tel : nullptr;
+
+        st.chip.emplace(st.sim, &model, sc.numCores);
+        st.chip->setInterference(sc.interference);
+        st.bus.emplace(st.sim);
+
+        auto specs = sc.workload.layout(sc.initialCounts, level);
+        if (!sc.initialLevels.empty()) {
+            if (sc.initialLevels.size() != specs.size())
+                fatal("scenario '%s': initialLevels size mismatch",
+                      sc.name.c_str());
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                specs[i].initialLevel = sc.initialLevels[i];
+        }
+        for (auto &spec : specs)
+            spec.dispatch = sc.dispatch;
+        st.app.emplace(st.sim, &*st.chip, &*st.bus, sc.workload.name(),
+                       specs, tel);
+        st.app->setWireReports(sc.wireReports);
+
+        st.budget.emplace(sc.powerBudget, &model);
+        st.center.emplace(
+            st.sim, &*st.bus, &*st.chip, &*st.app, &*st.budget,
+            &speedups, sc.control, makePolicyFor(sc),
+            sc.metricFactory ? sc.metricFactory() : nullptr,
+            sc.recycleFactory ? sc.recycleFactory() : nullptr);
+        st.center->setTelemetry(tel);
+
+        const auto gu = static_cast<std::uint64_t>(g);
+        const std::uint64_t shardSeed =
+            sc.seed ^ (0x9e3779b97f4a7c15ull * (gu + 1));
+        if (sc.faults.active) {
+            st.injector.emplace(st.sim, &*st.bus, &*st.app, &*st.chip,
+                                &*st.budget, sc.faults, shardSeed, tel);
+        }
+
+        if (tel) {
+            MetricsRegistry &metrics = tel->metrics();
+            st.e2eHist = &metrics.histogram("latency.e2e_sec");
+            for (int s = 0; s < numStages; ++s) {
+                const std::string prefix =
+                    "latency.stage" + std::to_string(s) + ".";
+                st.stageWaitHist.push_back(
+                    &metrics.histogram(prefix + "wait_sec"));
+                st.stageServeHist.push_back(
+                    &metrics.histogram(prefix + "serve_sec"));
+            }
+        }
+
+        st.queuingByStage.assign(
+            static_cast<std::size_t>(numStages), StreamingStats{});
+        st.servingByStage.assign(
+            static_cast<std::size_t>(numStages), StreamingStats{});
+
+        st.app->setCompletionSink([this, &sc, stp = &st,
+                                   wantCompletionSeries,
+                                   numStages](const QueryPtr &q) {
+            ShardStack &stack = *stp;
+            if (stack.tel) {
+                stack.tel->trace().recordQueryHops(*q);
+                if (auto *critpath = stack.tel->critpath())
+                    critpath->observeQuery(stack.sim->now(), *q,
+                                           q->arrival() >= sc.warmup);
+            }
+            if (q->arrival() < sc.warmup)
+                return;
+            const double sec = q->endToEnd().toSec();
+            stack.latency.add(sec);
+            stack.latencyStats.add(sec);
+            if (stack.e2eHist)
+                stack.e2eHist->add(sec);
+            if (attribution_)
+                stack.spans.assign(static_cast<std::size_t>(numStages),
+                                   StageSpan{});
+            for (const auto &hop : q->hops()) {
+                if (hop.wasted)
+                    continue;
+                const auto s = static_cast<std::size_t>(hop.stageIndex);
+                stack.queuingByStage[s].add(hop.queuing().toSec());
+                stack.servingByStage[s].add(hop.serving().toSec());
+                if (stack.e2eHist) {
+                    stack.stageWaitHist[s]->add(hop.queuing().toSec());
+                    stack.stageServeHist[s]->add(hop.serving().toSec());
+                }
+                if (attribution_) {
+                    stack.spans[s].queuingSec += hop.queuing().toSec();
+                    stack.spans[s].servingSec += hop.serving().toSec();
+                }
+            }
+            if (wantCompletionSeries)
+                stack.completionLat.append(stack.sim->now(), sec);
+            if (attribution_) {
+                AttribSample sample;
+                sample.t = stack.sim->now();
+                sample.sec = sec;
+                sample.spans = stack.spans;
+                stack.attribSamples.push_back(std::move(sample));
+            }
+        });
+
+        st.rapl.emplace(&*st.chip);
+        if (st.injector)
+            st.rapl->setFaultHook(st.injector->raplFaultHook());
+        if (recordTraces_) {
+            st.stageInstanceCounts.assign(
+                static_cast<std::size_t>(numStages),
+                TimeSeries("instances"));
+        }
+        st.sim->schedulePeriodic(
+            sampleInterval_, sampleInterval_, [this, &sc, stp = &st]() {
+                ShardStack &stack = *stp;
+                const double watts =
+                    stack.rapl->windowPower().value();
+                if (stack.sim->now() >= sc.warmup)
+                    stack.power.add(watts);
+                if (!recordTraces_)
+                    return;
+                stack.powerSeries.append(stack.sim->now(), watts);
+                for (int s = 0; s < stack.app->numStages(); ++s) {
+                    const auto live = stack.app->stage(s).instances();
+                    stack
+                        .stageInstanceCounts[static_cast<std::size_t>(
+                            s)]
+                        .append(stack.sim->now(),
+                                static_cast<double>(live.size()));
+                    for (const auto *inst : live) {
+                        auto [it, inserted] =
+                            stack.instanceFrequencyGHz.try_emplace(
+                                inst->name(), TimeSeries(inst->name()));
+                        it->second.append(stack.sim->now(),
+                                          inst->frequency().toGHz());
+                    }
+                }
+            });
+
+        if (tel && tel->config().metricsEnabled()) {
+            const SimTime interval = tel->config().metricsInterval;
+            st.sim->schedulePeriodic(interval, interval,
+                                     [stp = &st]() {
+                ShardStack &stack = *stp;
+                MetricsRegistry &metrics = stack.tel->metrics();
+                metrics.gauge("queries.submitted")
+                    .set(static_cast<double>(stack.app->submitted()));
+                metrics.gauge("queries.completed")
+                    .set(static_cast<double>(stack.app->completed()));
+                metrics.snapshot(stack.sim->now());
+            });
+        }
+
+        st.gen.emplace(st.sim, &*st.app, &sc.workload, sc.load,
+                       shardSeed, ladder.freqAt(0).value());
+        // Group g owns query ids (g<<40, (g+1)<<40] — globally unique
+        // without any cross-group coordination.
+        st.gen->setQueryIdBase(static_cast<std::int64_t>(g) << 40);
+        if (sc.remoteFraction > 0.0) {
+            st.sprayRng.emplace(shardSeed ^ 0xf00dfeedcafe1234ull);
+            st.gen->setSubmitHook([&engine, &sc, g, groups, &stacks,
+                                   stp = &st](QueryPtr q) {
+                ShardStack &stack = *stp;
+                // Draw both variates unconditionally so the stream
+                // consumed per arrival is fixed (determinism under
+                // any remoteFraction).
+                const double u = stack.sprayRng->uniform(0.0, 1.0);
+                auto dst = static_cast<int>(
+                    stack.sprayRng->uniformInt(0, groups - 2));
+                if (u >= sc.remoteFraction) {
+                    stack.app->submit(std::move(q));
+                    return;
+                }
+                if (dst >= g)
+                    ++dst; // uniform over the OTHER groups
+                MultiStageApp *remote = &*stacks[static_cast<
+                    std::size_t>(dst)]->app;
+                engine.post(g, dst,
+                            stack.sim->now() + sc.interNodeLatency,
+                            [remote, q]() { remote->submit(q); });
+            });
+        }
+
+        stacks.push_back(std::move(stack));
+    }
+
+    // Flush-on-fatal: a conservation/ledger fatal mid-run still writes
+    // the merged artifacts collected so far (see the single-node path).
+    auto writeMergedOutputs = [&stacks, &effective, &sc,
+                               &result]() {
+        if (!effective.anyEnabled())
+            return;
+        for (auto &st : stacks) {
+            if (!st->tel)
+                continue;
+            MetricsRegistry &metrics = st->tel->metrics();
+            metrics.gauge("queries.submitted")
+                .set(static_cast<double>(st->app->submitted()));
+            metrics.gauge("queries.completed")
+                .set(static_cast<double>(st->app->completed()));
+        }
+        if (effective.tracingEnabled()) {
+            std::ofstream out(effective.traceOut,
+                              std::ios::binary | std::ios::trunc);
+            if (!out.good())
+                fatal("cannot write trace file '%s'",
+                      effective.traceOut.c_str());
+            std::vector<const TraceSink *> sinks;
+            for (const auto &st : stacks)
+                sinks.push_back(&st->tel->trace());
+            TraceSink::writeMergedChromeTrace(out, sinks);
+        }
+        if (effective.metricsEnabled()) {
+            std::vector<std::string> docs;
+            for (const auto &st : stacks) {
+                std::ostringstream doc;
+                st->tel->metrics().writeJson(doc, sc.name);
+                docs.push_back(doc.str());
+            }
+            writeEnvelope(effective.metricsOut, "metrics", sc.name,
+                          docs);
+        }
+        if (!effective.auditOut.empty()) {
+            std::vector<std::string> docs;
+            for (const auto &st : stacks) {
+                std::ostringstream doc;
+                st->tel->audit().writeJson(doc);
+                docs.push_back(doc.str());
+            }
+            writeEnvelope(effective.auditOut, "audit", sc.name, docs);
+        }
+        if (effective.timeseriesEnabled()) {
+            std::vector<std::string> docs;
+            for (const auto &st : stacks) {
+                JsonObject doc;
+                if (const auto *recorder = st->tel->recorder())
+                    doc = recorder->toJson().asObject();
+                doc["alerts"] = st->tel->alerts()
+                    ? st->tel->alerts()->toJson()
+                    : JsonValue(JsonArray{});
+                doc["scenario"] = JsonValue(sc.name);
+                docs.push_back(JsonValue(std::move(doc)).dump());
+            }
+            std::string extra;
+            if (result.slo.collected) {
+                extra = "\"slo\":" +
+                    sloReportToJson(result.slo).dump();
+            }
+            writeEnvelope(effective.timeseriesOut, "timeseries",
+                          sc.name, docs, extra);
+        }
+        if (!effective.critpathOut.empty()) {
+            std::vector<std::string> docs;
+            for (const auto &st : stacks) {
+                std::ostringstream doc;
+                if (st->tel->critpath())
+                    st->tel->critpath()->writeJson(doc, sc.name);
+                docs.push_back(doc.str());
+            }
+            writeEnvelope(effective.critpathOut, "critpath", sc.name,
+                          docs);
+        }
+    };
+    std::optional<FatalFlushGuard> flushGuard;
+    if (effective.anyEnabled())
+        flushGuard.emplace(writeMergedOutputs);
+
+    for (auto &st : stacks) {
+        st->center->start();
+        if (st->injector)
+            st->injector->arm();
+        st->energyBefore = st->chip->totalEnergy();
+        st->gen->start(sc.duration);
+    }
+
+    engine.run(sc.duration, workers);
+
+    for (auto &st : stacks)
+        st->center->stop();
+
+    // Chaos-run invariants, per group (see the single-node path). The
+    // spray keeps these intact: every query is submitted to exactly one
+    // app, and sprays still in a mailbox at the deadline were never
+    // submitted anywhere — identically at any worker count.
+    for (std::size_t g = 0; g < stacks.size(); ++g) {
+        ShardStack &st = *stacks[g];
+        if (!st.injector)
+            continue;
+        if (st.app->completed() + st.app->residentQueries() !=
+            st.app->submitted())
+            fatal("fault run broke query conservation on node %zu: "
+                  "%llu submitted != %llu completed + %llu resident",
+                  g,
+                  static_cast<unsigned long long>(st.app->submitted()),
+                  static_cast<unsigned long long>(st.app->completed()),
+                  static_cast<unsigned long long>(
+                      st.app->residentQueries()));
+        for (const auto *inst : st.app->allInstances()) {
+            if (inst->draining())
+                continue;
+            if (st.budget->levelOf(inst->id()) != inst->level())
+                fatal("fault run broke the budget ledger on node %zu: "
+                      "instance %s reserved level %d but runs at %d",
+                      g, inst->name().c_str(),
+                      st.budget->levelOf(inst->id()), inst->level());
+        }
+    }
+
+    // ---- Deterministic merge, groups in fixed index order. ----
+
+    ExactPercentile latency;
+    StreamingStats latencyStats;
+    std::vector<StreamingStats> queuingByStage(
+        static_cast<std::size_t>(numStages));
+    std::vector<StreamingStats> servingByStage(
+        static_cast<std::size_t>(numStages));
+    double avgPowerSum = 0.0;
+    for (std::size_t g = 0; g < stacks.size(); ++g) {
+        ShardStack &st = *stacks[g];
+        result.submitted += st.app->submitted();
+        result.completed += st.app->completed();
+        latency.merge(st.latency);
+        latencyStats.merge(st.latencyStats);
+        for (int s = 0; s < numStages; ++s) {
+            const auto su = static_cast<std::size_t>(s);
+            queuingByStage[su].merge(st.queuingByStage[su]);
+            servingByStage[su].merge(st.servingByStage[su]);
+        }
+        // Fleet power: nodes sample on the same grid, so the sum of
+        // per-node window means is the mean fleet draw.
+        avgPowerSum += st.power.mean();
+        result.energyJoules +=
+            (st.chip->totalEnergy() - st.energyBefore).value();
+    }
+    for (int s = 0; s < numStages; ++s) {
+        const auto su = static_cast<std::size_t>(s);
+        StageBreakdown breakdown;
+        breakdown.avgQueuingSec = queuingByStage[su].mean();
+        breakdown.avgServingSec = servingByStage[su].mean();
+        breakdown.hops = servingByStage[su].count();
+        result.stageBreakdown.push_back(breakdown);
+    }
+    result.avgLatencySec = latencyStats.mean();
+    result.p99LatencySec = latency.p99();
+    result.maxLatencySec = latencyStats.max();
+    result.avgPowerWatts = avgPowerSum;
+
+    // Order-sensitive consumers replay the merged completion stream.
+    std::optional<SloTracker> sloTracker;
+    if (slo_.enabled) {
+        double target = slo_.targetSec;
+        if (target <= 0.0) {
+            if (sc.qosTargetSec > 0.0) {
+                target = sc.qosTargetSec;
+            } else {
+                double serviceSum = 0.0;
+                for (const auto &stage : sc.workload.stages())
+                    serviceSum += stage.meanServiceSec;
+                target = 3.0 * serviceSum;
+            }
+        }
+        sloTracker.emplace(slo_, target);
+    }
+    if (wantCompletionSeries) {
+        std::vector<const std::vector<TimeSeries::Point> *> streams;
+        for (const auto &st : stacks)
+            streams.push_back(&st->completionLat.points());
+        mergeByTime(streams, [&](std::size_t g, std::size_t i) {
+            const auto &p = (*streams[g])[i];
+            if (sloTracker)
+                sloTracker->observe(p.t, p.value);
+            if (recordTraces_)
+                result.latencySeries.append(p.t, p.value);
+        });
+    }
+    if (sloTracker) {
+        sloTracker->finish(sc.duration);
+        result.slo = sloTracker->report();
+    }
+    if (attribution_) {
+        TailAttributionCollector collector(numStages);
+        std::vector<std::vector<TimeSeries::Point>> times(
+            stacks.size());
+        for (std::size_t g = 0; g < stacks.size(); ++g)
+            for (const auto &sample : stacks[g]->attribSamples)
+                times[g].push_back({sample.t, 0.0});
+        std::vector<const std::vector<TimeSeries::Point> *> streams;
+        for (const auto &t : times)
+            streams.push_back(&t);
+        mergeByTime(streams, [&](std::size_t g, std::size_t i) {
+            const AttribSample &sample =
+                stacks[g]->attribSamples[i];
+            collector.addQuery(sample.sec, sample.spans);
+        });
+        result.tailAttribution = collector.report();
+    }
+
+    if (recordTraces_) {
+        // Fleet instance counts and power: pointwise sums over the
+        // shared sampling grid.
+        result.stageInstanceCounts.assign(
+            static_cast<std::size_t>(numStages),
+            TimeSeries("instances"));
+        const auto samples = stacks[0]->powerSeries.size();
+        for (const auto &st : stacks) {
+            if (st->powerSeries.size() != samples)
+                fatal("sharded merge: power sample grids diverged "
+                      "(%zu vs %zu)", st->powerSeries.size(), samples);
+        }
+        for (std::size_t i = 0; i < samples; ++i) {
+            const SimTime t = stacks[0]->powerSeries.points()[i].t;
+            double watts = 0.0;
+            for (const auto &st : stacks)
+                watts += st->powerSeries.points()[i].value;
+            result.powerSeries.append(t, watts);
+            for (int s = 0; s < numStages; ++s) {
+                const auto su = static_cast<std::size_t>(s);
+                double count = 0.0;
+                for (const auto &st : stacks)
+                    count += st->stageInstanceCounts[su].points()[i]
+                                 .value;
+                result.stageInstanceCounts[su].append(t, count);
+            }
+        }
+        for (std::size_t g = 0; g < stacks.size(); ++g) {
+            const std::string prefix = "n" + std::to_string(g) + "/";
+            for (const auto &[name, series] :
+                 stacks[g]->instanceFrequencyGHz)
+                result.instanceFrequencyGHz.emplace(prefix + name,
+                                                    series);
+        }
+    }
+
+    if (collectAudit_ && effective.auditEnabled()) {
+        RunAuditSummary merged;
+        merged.collected = true;
+        double mapeW = 0.0, mapeFreqW = 0.0, mapeInstW = 0.0;
+        std::uint64_t scoredTotal = 0;
+        for (const auto &st : stacks) {
+            const RunAuditSummary sum = summarizeAudit(st->tel->audit());
+            merged.scored += sum.scored;
+            merged.flips += sum.flips;
+            merged.selects += sum.selects;
+            merged.recycles += sum.recycles;
+            merged.withdraws += sum.withdraws;
+            merged.staleSkips += sum.staleSkips;
+            merged.plans += sum.plans;
+            merged.misboosts += sum.misboosts;
+            // Scored-count weighting approximates the fleet MAPE; the
+            // exact per-kind weights are not exposed per record.
+            const auto w = static_cast<double>(sum.scored);
+            mapeW += sum.mapePct * w;
+            mapeFreqW += sum.mapeFreqPct * w;
+            mapeInstW += sum.mapeInstPct * w;
+            scoredTotal += sum.scored;
+        }
+        if (scoredTotal > 0) {
+            const auto w = static_cast<double>(scoredTotal);
+            merged.mapePct = mapeW / w;
+            merged.mapeFreqPct = mapeFreqW / w;
+            merged.mapeInstPct = mapeInstW / w;
+        }
+        result.audit = merged;
+    }
+
+    if (collectCritPath_ && effective.critpathEnabled()) {
+        RunCritPathSummary merged;
+        merged.collected = true;
+        merged.stageShare.assign(static_cast<std::size_t>(numStages),
+                                 0.0);
+        double shorteningW = 0.0;
+        for (const auto &st : stacks) {
+            if (!st->tel->critpath())
+                continue;
+            const RunCritPathSummary sum =
+                summarizeCritPath(*st->tel->critpath());
+            merged.queries += sum.queries;
+            merged.scoredIntervals += sum.scoredIntervals;
+            merged.agreeIntervals += sum.agreeIntervals;
+            merged.boostIntervals += sum.boostIntervals;
+            merged.misboosts += sum.misboosts;
+            shorteningW += sum.meanShorteningPct *
+                static_cast<double>(sum.boostIntervals);
+            for (std::size_t s = 0;
+                 s < sum.stageShare.size() &&
+                 s < merged.stageShare.size();
+                 ++s)
+                merged.stageShare[s] += sum.stageShare[s] *
+                    static_cast<double>(sum.queries);
+        }
+        if (merged.scoredIntervals > 0)
+            merged.agreementRate =
+                static_cast<double>(merged.agreeIntervals) /
+                static_cast<double>(merged.scoredIntervals);
+        if (merged.boostIntervals > 0)
+            merged.meanShorteningPct = shorteningW /
+                static_cast<double>(merged.boostIntervals);
+        if (merged.queries > 0)
+            for (auto &share : merged.stageShare)
+                share /= static_cast<double>(merged.queries);
+        result.critpath = merged;
+    }
+
+    writeMergedOutputs();
+    return result;
+}
+
+} // namespace pc

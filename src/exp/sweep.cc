@@ -24,12 +24,13 @@ SweepRunner::execute(const Scenario &scenario,
 {
     if (runFn_)
         return runFn_(scenario);
-    return ExperimentRunner(options_.recordTraces,
+    ExperimentRunner runner(options_.recordTraces,
                             options_.sampleInterval,
                             options_.attribution,
                             options_.collectAudit, options_.slo,
-                            options_.collectCritPath)
-        .run(scenario, telemetry);
+                            options_.collectCritPath);
+    runner.setShards(options_.shards);
+    return runner.run(scenario, telemetry);
 }
 
 void
@@ -220,6 +221,10 @@ addSweepFlags(FlagSet *flags)
     flags->addInt("jobs", 0,
                   "parallel sweep workers (0 = one per hardware "
                   "thread)");
+    flags->addInt("shards", 1,
+                  "worker threads per sharded run (scenarios with "
+                  "node groups; 0 = one per hardware thread). Results "
+                  "are bit-identical at any value");
     flags->addBool("no-cache", false,
                    "bypass the on-disk sweep result cache");
     flags->addString("cache-dir", ".powerchief-cache",
@@ -235,6 +240,7 @@ sweepOptionsFromFlags(const FlagSet &flags)
 {
     SweepOptions options;
     options.jobs = static_cast<int>(flags.getInt("jobs"));
+    options.shards = static_cast<int>(flags.getInt("shards"));
     options.useCache = !flags.getBool("no-cache");
     options.cacheDir = flags.getString("cache-dir");
     options.audit = flags.getBool("audit");

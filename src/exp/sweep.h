@@ -54,6 +54,14 @@ struct SweepOptions
     bool recordTraces = false;
     SimTime sampleInterval = SimTime::sec(5);
 
+    /**
+     * Worker threads driving the shards of a sharded run (a scenario
+     * with nodeGroups > 1); <= 0 means one per hardware thread. Pure
+     * execution knob: results and artifacts are bit-identical at any
+     * value, so it is deliberately NOT part of the cache key.
+     */
+    int shards = 1;
+
     /** Collect per-run tail-attribution reports (--attribution). */
     bool attribution = false;
 

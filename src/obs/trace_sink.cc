@@ -193,7 +193,8 @@ appendCommon(std::string *out, const TraceSink &, const char *name,
 } // namespace
 
 void
-TraceSink::writeChromeTrace(std::ostream &out) const
+TraceSink::appendTraceBody(std::string *text, bool *first, int pid,
+                           const std::string &processName) const
 {
     // Events are emitted in completion order; present them in
     // timestamp order (stable, so equal timestamps keep record order).
@@ -205,63 +206,89 @@ TraceSink::writeChromeTrace(std::ostream &out) const
                          return events_[a].ts < events_[b].ts;
                      });
 
-    std::string text;
-    text += "{\"traceEvents\":[";
-    bool first = true;
-    auto comma = [&text, &first]() {
-        if (!first)
-            text += ",\n";
+    auto comma = [text, first]() {
+        if (!*first)
+            *text += ",\n";
         else
-            text += "\n";
-        first = false;
+            *text += "\n";
+        *first = false;
     };
+    const std::string pidStr = std::to_string(pid);
 
     // Metadata: process + one named thread per track.
     comma();
-    text += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-            "\"tid\":0,\"args\":{\"name\":\"powerchief\"}}";
+    *text += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+        pidStr + ",\"tid\":0,\"args\":{\"name\":";
+    *text += JsonValue(processName).dump();
+    *text += "}}";
     for (std::size_t tid = 0; tid < trackNames_.size(); ++tid) {
         comma();
-        text += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                "\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":";
-        text += JsonValue(trackNames_[tid]).dump();
-        text += "}}";
+        *text += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+            pidStr + ",\"tid\":" + std::to_string(tid) +
+            ",\"args\":{\"name\":";
+        *text += JsonValue(trackNames_[tid]).dump();
+        *text += "}}";
         comma();
-        text += "{\"name\":\"thread_sort_index\",\"ph\":\"M\","
-                "\"pid\":1,\"tid\":" + std::to_string(tid) +
-            ",\"args\":{\"sort_index\":" + std::to_string(tid) + "}}";
+        *text += "{\"name\":\"thread_sort_index\",\"ph\":\"M\","
+                 "\"pid\":" + pidStr + ",\"tid\":" +
+            std::to_string(tid) + ",\"args\":{\"sort_index\":" +
+            std::to_string(tid) + "}}";
     }
 
     for (const std::size_t i : order) {
         const Event &ev = events_[i];
         comma();
-        appendCommon(&text, *this, ev.name.c_str(), ev.cat.c_str(), 1,
+        appendCommon(text, *this, ev.name.c_str(), ev.cat.c_str(), pid,
                      ev.track, ev.ts);
-        text += ",\"ph\":\"";
-        text += ev.ph;
-        text += '"';
+        *text += ",\"ph\":\"";
+        *text += ev.ph;
+        *text += '"';
         switch (ev.ph) {
           case 'X':
-            text += ",\"dur\":" + std::to_string(ev.dur);
+            *text += ",\"dur\":" + std::to_string(ev.dur);
             break;
           case 'i':
-            text += ",\"s\":\"t\"";
+            *text += ",\"s\":\"t\"";
             break;
           case 's':
           case 't':
           case 'f':
-            text += ",\"id\":" + std::to_string(ev.flowId);
+            *text += ",\"id\":" + std::to_string(ev.flowId);
             if (ev.flowEnd)
-                text += ",\"bp\":\"e\"";
+                *text += ",\"bp\":\"e\"";
             break;
           default:
             panic("trace sink: unknown phase '%c'", ev.ph);
         }
         if (!ev.args.empty()) {
-            text += ",\"args\":";
-            text += JsonValue(ev.args).dump();
+            *text += ",\"args\":";
+            *text += JsonValue(ev.args).dump();
         }
-        text += '}';
+        *text += '}';
+    }
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &out) const
+{
+    std::string text;
+    text += "{\"traceEvents\":[";
+    bool first = true;
+    appendTraceBody(&text, &first, 1, "powerchief");
+    text += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    out << text;
+}
+
+void
+TraceSink::writeMergedChromeTrace(
+    std::ostream &out, const std::vector<const TraceSink *> &sinks)
+{
+    std::string text;
+    text += "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t k = 0; k < sinks.size(); ++k) {
+        sinks[k]->appendTraceBody(&text, &first, static_cast<int>(k) + 1,
+                                  "powerchief/node" + std::to_string(k));
     }
     text += "\n],\"displayTimeUnit\":\"ms\"}\n";
     out << text;

@@ -96,6 +96,16 @@ class TraceSink
      */
     void writeChromeTrace(std::ostream &out) const;
 
+    /**
+     * Merge several sinks into one Chrome trace: sink k becomes
+     * Perfetto process k+1 named "powerchief/node<k>", with its own
+     * metadata and events (each sink's tracks stay in its own pid
+     * namespace, so flow ids and track ids never collide). The sharded
+     * runner writes one merged file from the per-node-group sinks.
+     */
+    static void writeMergedChromeTrace(
+        std::ostream &out, const std::vector<const TraceSink *> &sinks);
+
   private:
     struct Event
     {
@@ -111,6 +121,10 @@ class TraceSink
     };
 
     void push(Event ev);
+
+    /** Metadata + sorted events of this sink under @p pid. */
+    void appendTraceBody(std::string *text, bool *first, int pid,
+                         const std::string &processName) const;
 
     bool enabled_;
     std::vector<std::string> trackNames_;

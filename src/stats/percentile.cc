@@ -14,6 +14,16 @@ ExactPercentile::add(double x)
     sorted_ = false;
 }
 
+void
+ExactPercentile::merge(const ExactPercentile &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
 double
 ExactPercentile::quantile(double q) const
 {

@@ -41,6 +41,13 @@ class ExactPercentile
      */
     std::size_t countAtOrBelow(double x) const;
 
+    /**
+     * Absorb another estimator's samples (sharded-run merge). Exact:
+     * quantiles over the union are identical no matter how the samples
+     * were split across the sources.
+     */
+    void merge(const ExactPercentile &other);
+
     void clear();
 
   private:

@@ -6,13 +6,20 @@
  * window" (paper §4.2); this container holds timestamped samples, evicts
  * ones older than the span, and answers mean/max/quantile queries over
  * what remains.
+ *
+ * Storage is a power-of-two ring buffer, not a deque: a sliding deque
+ * allocates a fresh block for every block's worth of samples forever,
+ * while the ring reaches its high-water capacity once and then slides
+ * allocation-free. The per-completion observe() path in
+ * core/bottleneck.cc runs millions of times per mega-scenario, and
+ * tests/test_sim_alloc.cc pins its steady state at zero allocations.
  */
 
 #ifndef PC_STATS_WINDOW_H
 #define PC_STATS_WINDOW_H
 
 #include <algorithm>
-#include <deque>
+#include <cstddef>
 #include <vector>
 
 #include "common/time.h"
@@ -30,7 +37,10 @@ class MovingWindow
     void
     add(SimTime t, double value)
     {
-        samples_.push_back({t, value});
+        if (count_ == buf_.size())
+            grow();
+        buf_[wrap(head_ + count_)] = Sample{t, value};
+        ++count_;
         evict(t);
     }
 
@@ -39,30 +49,32 @@ class MovingWindow
     evict(SimTime now)
     {
         const SimTime cutoff = now - span_;
-        while (!samples_.empty() && samples_.front().t < cutoff)
-            samples_.pop_front();
+        while (count_ != 0 && buf_[head_].t < cutoff) {
+            head_ = wrap(head_ + 1);
+            --count_;
+        }
     }
 
-    bool empty() const { return samples_.empty(); }
-    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
 
     double
     mean() const
     {
-        if (samples_.empty())
+        if (count_ == 0)
             return 0.0;
         double sum = 0.0;
-        for (const auto &s : samples_)
-            sum += s.value;
-        return sum / static_cast<double>(samples_.size());
+        for (std::size_t i = 0; i < count_; ++i)
+            sum += buf_[wrap(head_ + i)].value;
+        return sum / static_cast<double>(count_);
     }
 
     double
     max() const
     {
         double best = 0.0;
-        for (const auto &s : samples_)
-            best = std::max(best, s.value);
+        for (std::size_t i = 0; i < count_; ++i)
+            best = std::max(best, buf_[wrap(head_ + i)].value);
         return best;
     }
 
@@ -86,15 +98,15 @@ class MovingWindow
     void
     quantiles(const double *qs, double *out, std::size_t n) const
     {
-        if (samples_.empty()) {
+        if (count_ == 0) {
             for (std::size_t i = 0; i < n; ++i)
                 out[i] = 0.0;
             return;
         }
         scratch_.clear();
-        scratch_.reserve(samples_.size());
-        for (const auto &s : samples_)
-            scratch_.push_back(s.value);
+        scratch_.reserve(count_);
+        for (std::size_t i = 0; i < count_; ++i)
+            scratch_.push_back(buf_[wrap(head_ + i)].value);
         std::sort(scratch_.begin(), scratch_.end());
         for (std::size_t i = 0; i < n; ++i) {
             const double rank =
@@ -113,8 +125,30 @@ class MovingWindow
         double value;
     };
 
+    /** Index into the power-of-two ring (capacity 0 never reaches here:
+     *  add() grows before the first write). */
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i & (buf_.size() - 1);
+    }
+
+    /** Double the ring, linearizing live samples to the front. */
+    void
+    grow()
+    {
+        const std::size_t newCap = buf_.empty() ? 8 : buf_.size() * 2;
+        std::vector<Sample> next(newCap);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = buf_[wrap(head_ + i)];
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
     SimTime span_;
-    std::deque<Sample> samples_;
+    std::vector<Sample> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     /** Reusable quantile sort buffer (see quantiles()). */
     mutable std::vector<double> scratch_;
 };

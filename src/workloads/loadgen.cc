@@ -154,6 +154,20 @@ LoadGenerator::start(SimTime until)
 }
 
 void
+LoadGenerator::setSubmitHook(std::function<void(QueryPtr)> hook)
+{
+    submitHook_ = std::move(hook);
+}
+
+void
+LoadGenerator::setQueryIdBase(std::int64_t base)
+{
+    if (generated_ != 0)
+        panic("query id base must be set before generation starts");
+    nextQueryId_ = base + 1;
+}
+
+void
 LoadGenerator::scheduleNext()
 {
     // Thinning (Lewis & Shedler): draw from the homogeneous bound
@@ -176,7 +190,10 @@ LoadGenerator::scheduleNext()
             nextQueryId_++, sim_->now(),
             model_.sampleDemands(demandRng_, refMhz_));
         ++generated_;
-        app_->submit(std::move(query));
+        if (submitHook_)
+            submitHook_(std::move(query));
+        else
+            app_->submit(std::move(query));
         scheduleNext();
     });
 }

@@ -13,6 +13,7 @@
 #define PC_WORKLOADS_LOADGEN_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "app/pipeline.h"
@@ -109,6 +110,20 @@ class LoadGenerator
 
     std::uint64_t generated() const { return generated_; }
 
+    /**
+     * Route arrivals through @p hook instead of submitting straight to
+     * the app. The sharded runner uses this to spray a fraction of the
+     * arrivals to remote node groups; the hook owns delivery (it must
+     * submit the query itself, locally or remotely).
+     */
+    void setSubmitHook(std::function<void(QueryPtr)> hook);
+
+    /**
+     * Offset the generated query ids, so ids stay globally unique when
+     * several generators (one per node group) run in the same fleet.
+     */
+    void setQueryIdBase(std::int64_t base);
+
   private:
     void scheduleNext();
 
@@ -122,6 +137,7 @@ class LoadGenerator
     SimTime until_;
     std::uint64_t generated_ = 0;
     std::int64_t nextQueryId_ = 1;
+    std::function<void(QueryPtr)> submitHook_;
 };
 
 } // namespace pc

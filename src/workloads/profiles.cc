@@ -152,4 +152,21 @@ WorkloadModel::webSearch()
         });
 }
 
+WorkloadModel
+WorkloadModel::microservice()
+{
+    // An RPC-scale pipeline: a thin gateway, the dominant business-
+    // logic tier, and a memory-bound storage tier. Means are quoted at
+    // the 1.8 GHz reference like every other profile; LOGIC bounds the
+    // throughput at ~417 qps per instance, so the millionQuery layout
+    // of {3,7,4} sustains a few thousand qps per 16-core node.
+    return WorkloadModel(
+        "microservice",
+        {
+            StageProfile{"GW", 0.0008, 0.30, 0.50, 1800},
+            StageProfile{"LOGIC", 0.0024, 0.50, 0.85, 1800},
+            StageProfile{"STORE", 0.0012, 0.70, 0.40, 1800},
+        });
+}
+
 } // namespace pc

@@ -110,6 +110,14 @@ class WorkloadModel
     /** Web Search (Nutch): LEAF fan-out stage -> AGG aggregation. */
     static WorkloadModel webSearch();
 
+    /**
+     * A millisecond-scale microservice pipeline (GW -> LOGIC -> STORE)
+     * for the sharded-engine scale runs: thousands of queries per
+     * second per 16-core node, so a million-query fleet run fits in a
+     * one-minute horizon (Scenario::millionQuery).
+     */
+    static WorkloadModel microservice();
+
   private:
     std::string name_;
     std::vector<StageProfile> stages_;

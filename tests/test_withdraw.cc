@@ -157,9 +157,10 @@ TEST_F(WithdrawTest, UtilizationValuesExposed)
     occupy(live[0], 5.0);
     sim.runUntil(SimTime::sec(11));
     monitor->checkAndWithdraw(rankedOf());
-    const auto &util = monitor->lastUtilization();
-    ASSERT_TRUE(util.count(live[0]->id()));
-    EXPECT_NEAR(util.at(live[0]->id()), 0.5, 0.01);
+    const auto util = monitor->lastUtilizationFor(live[0]->id());
+    ASSERT_TRUE(util.has_value());
+    EXPECT_NEAR(*util, 0.5, 0.01);
+    EXPECT_FALSE(monitor->lastUtilizationFor(9999999).has_value());
 }
 
 TEST_F(WithdrawTest, ThresholdAccessor)

@@ -59,7 +59,9 @@ def main():
               "compare")
         return 0
 
-    print(f"perf gate (informational) vs {args.baseline} "
+    mode = ("enforced" if args.max_regression is not None
+            else "informational")
+    print(f"perf gate ({mode}) vs {args.baseline} "
           f"[pr {baseline.get('pr', '?')}]")
     header = (f"{'benchmark':<34} {'now':>12} {'recorded':>12} "
               f"{'ratio':>7}  {'pre-PR':>12} {'speedup':>8}")
@@ -67,6 +69,7 @@ def main():
     print("-" * len(header))
 
     worst = 0.0
+    compared = 0
     for name, entry in sorted(recorded.items()):
         unit = entry.get("unit", "ns")
         rec = entry.get("current_real_time")
@@ -77,6 +80,8 @@ def main():
             continue
         ratio = now / rec if now is not None and rec else None
         speedup = pre / rec if pre and rec else None
+        if ratio is not None:
+            compared += 1
         worst = max(worst, ratio or 0.0)
         print(f"{name:<34} "
               f"{(f'{now:.1f}{unit}' if now is not None else 'n/a'):>12} "
@@ -85,12 +90,23 @@ def main():
               f"{(f'{pre:.1f}{unit}' if pre is not None else 'n/a'):>12} "
               f"{(f'{speedup:.2f}x' if speedup is not None else 'n/a'):>8}")
 
+    if args.max_regression is not None and compared == 0:
+        # Zero overlap means the gate compared nothing — renamed
+        # benchmarks or a wrong --benchmark_filter would otherwise
+        # pass silently forever.
+        print("FAIL: no benchmark in the run matches the baseline; "
+              "an enforced gate needs at least one comparison")
+        return 1
     if args.max_regression is not None and worst > args.max_regression:
         print(f"FAIL: worst ratio {worst:.2f}x exceeds "
               f"--max-regression {args.max_regression:.2f}x")
         return 1
-    print("ok (informational gate; ratios > 1 mean slower than the "
-          "recorded numbers for this machine)")
+    if args.max_regression is not None:
+        print(f"ok (enforced gate; worst ratio {worst:.2f}x within "
+              f"--max-regression {args.max_regression:.2f}x)")
+    else:
+        print("ok (informational gate; ratios > 1 mean slower than "
+              "the recorded numbers for this machine)")
     return 0
 
 

@@ -15,11 +15,21 @@
 # JSON, monotone spans, resolvable flow ids, decision events present,
 # audit records consistent with their summary). Then trace-diff
 # replays the pinned golden Fig. 11 scenario and gates its latency and
-# prediction numbers against tests/golden/fig11_trace.json. Finally the
-# Release build runs the micro_core benchmark suite and compares it,
-# informationally, against the checked-in BENCH_*.json perf trajectory
-# (tools/bench_gate.py — never fails the build; perf varies by
-# machine).
+# prediction numbers against tests/golden/fig11_trace.json.
+#
+# The sharded engine gets two dedicated legs: the TSan build drives a
+# multi-group run through the worker pool (races in mailbox drains and
+# window barriers), and the Release build writes every artifact at
+# --shards 1 and --shards 8 and cmp's them byte-for-byte — the
+# determinism contract from docs/PERFORMANCE.md.
+#
+# Finally the Release build runs the micro_core benchmark suite and
+# gates it against the checked-in BENCH_*.json perf trajectory
+# (tools/bench_gate.py). The gate is enforced: any benchmark slower
+# than the recorded numbers by more than PC_BENCH_TOLERANCE (default
+# 1.15x) fails the build. On a machine unlike the one that recorded
+# the baseline, set PC_BENCH_TOLERANCE higher or to a huge value to
+# make the leg informational again.
 #
 # Usage: tools/check.sh [jobs]   (defaults to all hardware threads)
 set -euo pipefail
@@ -41,6 +51,18 @@ run_variant asan RelWithDebInfo \
     "-fsanitize=address,undefined -fno-sanitize-recover=all -g"
 run_variant release Release ""
 
+echo "=== sharded engine under TSan ==="
+# The mega scenario's workload through the real worker pool: window
+# barriers, cross-shard mailbox drains and the merge paths all execute
+# under ThreadSanitizer. Oversubscribed (4 groups, 4 workers on
+# however few cores this machine has) on purpose — preemption points
+# shake out ordering races that a matched worker count can hide. The
+# duration is TSan-sized; bench/mega_scenario runs the full shape.
+./build-tsan/tools/powerchief-cli \
+    --workload=microservice --policy=powerchief --load=high \
+    --duration=60 --seed=3 --no-cache \
+    --node-groups=4 --shards=4 --remote-fraction=0.2 >/dev/null
+
 echo "=== trace validation ==="
 tracedir="$(mktemp -d)"
 trap 'rm -rf "${tracedir}"' EXIT
@@ -55,6 +77,34 @@ trap 'rm -rf "${tracedir}"' EXIT
     --metrics="${tracedir}/run.metrics.json" \
     --audit="${tracedir}/run.audit.json" \
     --require-spans --require-decisions --require-audit-records
+
+echo "=== sharded determinism (release, --shards 1 vs 8) ==="
+# The determinism contract (docs/PERFORMANCE.md): every artifact a
+# sharded run writes must be byte-identical at any worker count. The
+# Release build — the one with real instruction reordering — writes
+# the full artifact set at --shards 1 and --shards 8 and cmp's them,
+# then trace-validate checks the sharded envelopes structurally.
+for s in 1 8; do
+    mkdir -p "${tracedir}/sh${s}"
+    ./build-release/tools/powerchief-cli \
+        --workload=sirius --policy=powerchief --load=high \
+        --duration=120 --seed=3 --no-cache --slo --alerts \
+        --node-groups=4 --shards="${s}" --remote-fraction=0.2 \
+        --trace-out="${tracedir}/sh${s}/run.trace.json" \
+        --metrics-out="${tracedir}/sh${s}/run.metrics.json" \
+        --audit-out="${tracedir}/sh${s}/run.audit.json" \
+        --timeseries-out="${tracedir}/sh${s}/run.ts.json" \
+        --critpath-out="${tracedir}/sh${s}/run.critpath.json" >/dev/null
+done
+diff -r "${tracedir}/sh1" "${tracedir}/sh8"
+./build-release/tools/trace-validate \
+    --trace="${tracedir}/sh1/run.trace.json" \
+    --metrics="${tracedir}/sh1/run.metrics.json" \
+    --audit="${tracedir}/sh1/run.audit.json" \
+    --timeseries="${tracedir}/sh1/run.ts.json" \
+    --require-spans
+./build-release/tools/trace-validate \
+    --critpath="${tracedir}/sh1/run.critpath.json"
 
 echo "=== timeseries + dashboard validation ==="
 # The same scenario with per-interval sampling, anomaly detection and
@@ -149,7 +199,7 @@ echo "=== chaos sweep (fault-matrix invariants, asan) ==="
 # single-threaded and fails on any divergence from the parallel pass.
 ./build-asan/bench/chaos_sweep --jobs "${jobs}" --no-cache --audit
 
-echo "=== perf baseline (informational) ==="
+echo "=== perf gate (enforced, tolerance ${PC_BENCH_TOLERANCE:-1.15}x) ==="
 latest_bench="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 if [[ -n "${latest_bench}" ]]; then
     ./build-release/bench/micro_core \
@@ -157,12 +207,14 @@ if [[ -n "${latest_bench}" ]]; then
         --benchmark_format=json \
         --benchmark_out="${tracedir}/bench.json" >/dev/null
     python3 tools/bench_gate.py --run "${tracedir}/bench.json" \
-        --baseline "${latest_bench}"
+        --baseline "${latest_bench}" \
+        --max-regression "${PC_BENCH_TOLERANCE:-1.15}"
 else
     echo "no BENCH_*.json checked in; skipping"
 fi
 
-echo "All sanitizer variants, the Release leg, trace validation, the"
+echo "All sanitizer variants, the Release leg, the sharded TSan and"
+echo "shards-1-vs-8 byte-identity legs, trace validation, the"
 echo "timeseries/dashboard checks, the critical-path byte-identity"
 echo "legs, the golden trace diffs, the policy-arena smoke, the chaos"
-echo "sweep and the perf baseline report passed."
+echo "sweep and the enforced perf gate passed."

@@ -57,6 +57,8 @@ pickWorkload(const std::string &name, WorkloadModel *out)
         *out = WorkloadModel::nlp();
     else if (name == "websearch")
         *out = WorkloadModel::webSearch();
+    else if (name == "microservice")
+        *out = WorkloadModel::microservice();
     else
         return false;
     return true;
@@ -118,6 +120,18 @@ runScenarios(const FlagSet &flags, const Scenario &base,
         }
     }
 
+    // Sharded-fleet topology knobs (see docs/PERFORMANCE.md). The
+    // node-group count is part of the scenario (and its cache key);
+    // --shards, in addSweepFlags, only picks the worker-thread count.
+    if (flags.getInt("node-groups") > 0) {
+        for (Scenario &sc : scenarios) {
+            sc.nodeGroups = static_cast<int>(flags.getInt("node-groups"));
+            sc.remoteFraction = flags.getDouble("remote-fraction");
+            sc.interNodeLatency =
+                SimTime::msec(flags.getDouble("inter-node-latency"));
+        }
+    }
+
     // --faults wins over a "faults" section in --config.
     if (!flags.getString("faults").empty()) {
         std::string error;
@@ -155,7 +169,8 @@ main(int argc, char **argv)
 {
     FlagSet flags("powerchief-cli");
     flags.addString("workload", "sirius",
-                    "sirius | sirius-mixed | nlp | websearch");
+                    "sirius | sirius-mixed | nlp | websearch | "
+                    "microservice");
     flags.addString("policy", "powerchief",
                     "control policy (one of: " + policyKindNames() +
                     ")");
@@ -181,6 +196,15 @@ main(int argc, char **argv)
     flags.addString("faults", "",
                     "JSON fault-injection plan applied to the run "
                     "(see docs/ROBUSTNESS.md)");
+    flags.addInt("node-groups", 0,
+                 "run N replicated node groups on the sharded engine "
+                 "(0 = single-node scenario; see docs/PERFORMANCE.md)");
+    flags.addDouble("remote-fraction", 0.1,
+                    "fraction of each group's arrivals sprayed to a "
+                    "remote group (needs --node-groups > 1)");
+    flags.addDouble("inter-node-latency", 10.0,
+                    "cross-group network latency in milliseconds (the "
+                    "sharded engine's conservative lookahead)");
     addSweepFlags(&flags);
 
     if (!flags.parse(argc, argv)) {

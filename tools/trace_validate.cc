@@ -26,6 +26,13 @@
  * controller block whose counts are internally consistent, and a
  * per-interval log with monotone timestamps.
  *
+ * Sharded runs (scenarios with node groups; docs/PERFORMANCE.md) are
+ * handled transparently: a merged Chrome trace is validated per pid
+ * (one track group per node, pid-local flow ids), and the other four
+ * artifacts may arrive as "powerchief-sharded-v1" envelopes whose
+ * per-node documents are each validated against the single-node
+ * schema, with counts summed into the printed summary.
+ *
  * Exits 0 and prints a one-line summary on success; exits 1 with a
  * diagnostic on the first structural violation. Wired into tools/
  * check.sh and ctest so a malformed exporter fails the build gates.
@@ -38,6 +45,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -91,6 +99,36 @@ parseFile(const std::string &path)
     return *parsed.value;
 }
 
+/**
+ * Detect a "powerchief-sharded-v1" envelope (the merged artifact a
+ * nodeGroups > 1 run writes; see docs/PERFORMANCE.md). Returns the
+ * per-node document array when @p root is an envelope of the expected
+ * artifact kind, null when it is a plain single-node document, and
+ * fails hard on a mismatched artifact tag or malformed envelope.
+ */
+const JsonArray *
+shardedDocs(const JsonValue &root, const std::string &path,
+            const char *artifact)
+{
+    if (!root.isObject() ||
+        root.stringOr("schema", "") != "powerchief-sharded-v1")
+        return nullptr;
+    if (root.stringOr("artifact", "") != artifact)
+        bad("'" + path + "' sharded envelope holds artifact \"" +
+            root.stringOr("artifact", "") + "\", expected \"" +
+            std::string(artifact) + "\"");
+    const JsonValue *shards = root.find("shards");
+    if (!shards || !shards->isArray())
+        bad("'" + path + "' sharded envelope lacks a \"shards\" array");
+    if (shards->asArray().empty())
+        bad("'" + path + "' sharded envelope holds no shard documents");
+    if (root.numberOr("nodes", -1.0) !=
+        static_cast<double>(shards->asArray().size()))
+        bad("'" + path + "' envelope \"nodes\" disagrees with the "
+            "shards array length");
+    return &shards->asArray();
+}
+
 const JsonValue &
 requireField(const JsonValue &event, const char *key, std::size_t index)
 {
@@ -121,10 +159,13 @@ validateTrace(const std::string &path)
         bad("'" + path + "' lacks a \"traceEvents\" array");
 
     TraceSummary summary;
-    std::set<double> openFlows;
-    std::set<double> closedFlows;
-    double lastTs = 0.0;
-    bool sawTs = false;
+    // Merged sharded traces hold one track group per node under its
+    // own pid: timestamps restart per pid and flow ids are pid-local,
+    // so both checks key on the event's pid. A single-node trace has
+    // one pid and degenerates to the global checks.
+    std::set<std::pair<double, double>> openFlows;
+    std::set<std::pair<double, double>> closedFlows;
+    std::map<double, double> lastTsByPid;
 
     const JsonArray &list = events->asArray();
     for (std::size_t i = 0; i < list.size(); ++i) {
@@ -144,12 +185,14 @@ validateTrace(const std::string &path)
             continue; // Metadata records carry no timestamp.
 
         ++summary.events;
+        const double pid = requireNumber(ev, "pid", i);
         const double ts = requireNumber(ev, "ts", i);
-        if (sawTs && ts < lastTs)
+        const auto [it, first] = lastTsByPid.try_emplace(pid, ts);
+        if (!first && ts < it->second)
             bad("event " + std::to_string(i) +
-                " breaks timestamp monotonicity");
-        lastTs = ts;
-        sawTs = true;
+                " breaks timestamp monotonicity within pid " +
+                std::to_string(pid));
+        it->second = ts;
 
         switch (phase) {
           case 'X': {
@@ -174,22 +217,23 @@ validateTrace(const std::string &path)
             break;
           case 's': {
             const double id = requireNumber(ev, "id", i);
-            if (openFlows.count(id) || closedFlows.count(id))
+            if (openFlows.count({pid, id}) ||
+                closedFlows.count({pid, id}))
                 bad("flow " + std::to_string(id) +
                     " started more than once");
-            openFlows.insert(id);
+            openFlows.insert({pid, id});
             ++summary.flows;
             break;
           }
           case 't':
           case 'f': {
             const double id = requireNumber(ev, "id", i);
-            if (!openFlows.count(id))
+            if (!openFlows.count({pid, id}))
                 bad("flow event " + std::to_string(i) +
                     " references unopened flow " + std::to_string(id));
             if (phase == 'f') {
-                openFlows.erase(id);
-                closedFlows.insert(id);
+                openFlows.erase({pid, id});
+                closedFlows.insert({pid, id});
             }
             break;
           }
@@ -221,9 +265,8 @@ struct AuditSummary
 };
 
 AuditSummary
-validateAudit(const std::string &path)
+validateAuditDoc(const JsonValue &root, const std::string &path)
 {
-    const JsonValue root = parseFile(path);
     if (!root.isObject())
         bad("'" + path + "' root is not an object");
     const JsonValue *records = root.find("records");
@@ -411,10 +454,35 @@ validateAudit(const std::string &path)
     return counts;
 }
 
-void
-validateMetrics(const std::string &path)
+AuditSummary
+validateAudit(const std::string &path)
 {
     const JsonValue root = parseFile(path);
+    if (const JsonArray *docs = shardedDocs(root, path, "audit")) {
+        AuditSummary total;
+        for (std::size_t g = 0; g < docs->size(); ++g) {
+            const AuditSummary one = validateAuditDoc(
+                (*docs)[g], path + "#node" + std::to_string(g));
+            total.records += one.records;
+            total.selects += one.selects;
+            total.recycles += one.recycles;
+            total.withdraws += one.withdraws;
+            total.rpcRetries += one.rpcRetries;
+            total.staleSkips += one.staleSkips;
+            total.fastcapPlans += one.fastcapPlans;
+            total.cuttlesysPlans += one.cuttlesysPlans;
+            total.obsAlerts += one.obsAlerts;
+            total.misboosts += one.misboosts;
+            total.scored += one.scored;
+        }
+        return total;
+    }
+    return validateAuditDoc(root, path);
+}
+
+void
+validateMetricsDoc(const JsonValue &root, const std::string &path)
+{
     if (!root.isObject())
         bad("'" + path + "' root is not an object");
     for (const char *section : {"counters", "gauges", "histograms"}) {
@@ -483,12 +551,43 @@ validateMetrics(const std::string &path)
     }
 }
 
+void
+validateMetrics(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (const JsonArray *docs = shardedDocs(root, path, "metrics")) {
+        for (std::size_t g = 0; g < docs->size(); ++g)
+            validateMetricsDoc((*docs)[g],
+                               path + "#node" + std::to_string(g));
+        return;
+    }
+    validateMetricsDoc(root, path);
+}
+
 struct TimeseriesSummary
 {
     std::size_t series = 0;
     std::size_t points = 0;
     std::size_t alerts = 0;
 };
+
+/** Check an embedded SLO report (timeseries doc or sharded envelope). */
+void
+validateSloBlock(const JsonValue &slo, const std::string &path)
+{
+    if (!slo.isObject())
+        bad("'" + path + "' \"slo\" is not an object");
+    for (const char *key :
+         {"fast_burn", "max_fast_burn", "max_slow_burn", "objective",
+          "slow_burn", "target_s", "total", "violation_s",
+          "violations"}) {
+        if (slo.numberOr(key, -1.0) < 0.0)
+            bad("'" + path + "' slo field \"" + std::string(key) +
+                "\" missing or negative");
+    }
+    if (slo.numberOr("violations", 0.0) > slo.numberOr("total", 0.0))
+        bad("'" + path + "' slo violations exceed total");
+}
 
 /**
  * Validate a --timeseries-out JSON dump: delta-encoded series whose
@@ -497,9 +596,8 @@ struct TimeseriesSummary
  * self-consistent "slo" object.
  */
 TimeseriesSummary
-validateTimeseries(const std::string &path)
+validateTimeseriesDoc(const JsonValue &root, const std::string &path)
 {
-    const JsonValue root = parseFile(path);
     if (!root.isObject())
         bad("'" + path + "' root is not an object");
     const double samples = root.numberOr("samples", -1.0);
@@ -594,23 +692,33 @@ validateTimeseries(const std::string &path)
         ++summary.alerts;
     }
 
-    if (const JsonValue *slo = root.find("slo")) {
-        if (!slo->isObject())
-            bad("'" + path + "' \"slo\" is not an object");
-        for (const char *key :
-             {"fast_burn", "max_fast_burn", "max_slow_burn",
-              "objective", "slow_burn", "target_s", "total",
-              "violation_s", "violations"}) {
-            if (slo->numberOr(key, -1.0) < 0.0)
-                bad("'" + path + "' slo field \"" +
-                    std::string(key) +
-                    "\" missing or negative");
-        }
-        if (slo->numberOr("violations", 0.0) >
-            slo->numberOr("total", 0.0))
-            bad("'" + path + "' slo violations exceed total");
-    }
+    if (const JsonValue *slo = root.find("slo"))
+        validateSloBlock(*slo, path);
     return summary;
+}
+
+TimeseriesSummary
+validateTimeseries(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (const JsonArray *docs =
+            shardedDocs(root, path, "timeseries")) {
+        TimeseriesSummary total;
+        for (std::size_t g = 0; g < docs->size(); ++g) {
+            const TimeseriesSummary one = validateTimeseriesDoc(
+                (*docs)[g], path + "#node" + std::to_string(g));
+            total.series += one.series;
+            total.points += one.points;
+            total.alerts += one.alerts;
+        }
+        // The run-global SLO report lives on the envelope (per-node
+        // documents never carry one: burn rates over a node's private
+        // completions would not be the fleet SLO).
+        if (const JsonValue *slo = root.find("slo"))
+            validateSloBlock(*slo, path);
+        return total;
+    }
+    return validateTimeseriesDoc(root, path);
 }
 
 struct CritPathSummary
@@ -630,9 +738,8 @@ struct CritPathSummary
  * counters.
  */
 CritPathSummary
-validateCritPath(const std::string &path)
+validateCritPathDoc(const JsonValue &root, const std::string &path)
 {
-    const JsonValue root = parseFile(path);
     if (!root.isObject())
         bad("'" + path + "' root is not an object");
     if (root.stringOr("schema", "") != "powerchief-critpath-v1")
@@ -778,6 +885,25 @@ validateCritPath(const std::string &path)
         bad("'" + path + "' controller counters disagree with the "
             "intervals array");
     return summary;
+}
+
+CritPathSummary
+validateCritPath(const std::string &path)
+{
+    const JsonValue root = parseFile(path);
+    if (const JsonArray *docs = shardedDocs(root, path, "critpath")) {
+        CritPathSummary total;
+        for (std::size_t g = 0; g < docs->size(); ++g) {
+            const CritPathSummary one = validateCritPathDoc(
+                (*docs)[g], path + "#node" + std::to_string(g));
+            total.stages += one.stages;
+            total.signatures += one.signatures;
+            total.intervals += one.intervals;
+            total.misboosts += one.misboosts;
+        }
+        return total;
+    }
+    return validateCritPathDoc(root, path);
 }
 
 } // namespace
