@@ -17,6 +17,12 @@
  * BM_MegaShardedTimeseries tracks the same run with SLO tracking and
  * anomaly alerts on — the telemetry-tax companion to BENCH_5's
  * BM_EndToEndGoldenFig11Timeseries, at mega scale.
+ *
+ * BM_FleetStatic / BM_FleetArbiter track the cluster budget tree
+ * (BENCH_7.json): the same 4-group fleet scenario with a fixed cap/N
+ * split versus the demand-proportional arbiter, so the recorded ratio
+ * is the arbiter's end-to-end overhead (reports, grants, rebalance
+ * rounds and cap retargets riding the fault fabric).
  */
 
 #include <benchmark/benchmark.h>
@@ -79,6 +85,50 @@ BM_MegaShardedTimeseries(benchmark::State &state)
 BENCHMARK(BM_MegaShardedTimeseries)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * The benchmark-sized fleet run: Scenario::fleet's 4 skewed node
+ * groups at 75% of the summed node budget for 20 simulated seconds.
+ * The static variant pre-splits the same global cap into fixed cap/N
+ * node shares (no arbiter); the arbiter variant rebalances it with
+ * the demand-proportional policy.
+ */
+Scenario
+fleetScenario(ClusterPolicyKind policy)
+{
+    Scenario sc = Scenario::fleet(policy, 4, 0.75, 20.0, 42);
+    if (policy == ClusterPolicyKind::None)
+        sc.powerBudget = Watts(sc.clusterBudget.value() / 4.0);
+    return sc;
+}
+
+void
+BM_FleetStatic(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Scenario sc =
+            fleetScenario(ClusterPolicyKind::None);
+        ExperimentRunner runner;
+        runner.setShards(static_cast<int>(state.range(0)));
+        auto result = runner.run(sc);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_FleetStatic)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void
+BM_FleetArbiter(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Scenario sc =
+            fleetScenario(ClusterPolicyKind::ProportionalDemand);
+        ExperimentRunner runner;
+        runner.setShards(static_cast<int>(state.range(0)));
+        auto result = runner.run(sc);
+        benchmark::DoNotOptimize(result.completed);
+    }
+}
+BENCHMARK(BM_FleetArbiter)->Arg(8)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -190,6 +190,56 @@ scenarioFromJson(const JsonValue &document)
         SimTime::sec(sc->numberOr("stale_window_sec", 0.0));
     scenario.name = sc->stringOr("name", workload->name() + "/config");
 
+    // Sharded-fleet topology and the cluster budget tree (see
+    // docs/PERFORMANCE.md and docs/ARCHITECTURE.md).
+    scenario.nodeGroups =
+        static_cast<int>(sc->numberOr("node_groups", 1));
+    scenario.remoteFraction =
+        sc->numberOr("remote_fraction", scenario.remoteFraction);
+    if (const JsonValue *lat = sc->find("inter_node_latency_ms")) {
+        if (!lat->isNumber()) {
+            result.error = "'inter_node_latency_ms' must be a number";
+            return result;
+        }
+        scenario.interNodeLatency = SimTime::msec(lat->asNumber());
+    }
+    if (const JsonValue *scale = sc->find("group_load_scale")) {
+        if (!scale->isArray()) {
+            result.error = "'group_load_scale' must be an array with "
+                           "one entry per node group";
+            return result;
+        }
+        for (const auto &s : scale->asArray()) {
+            if (!s.isNumber()) {
+                result.error = "'group_load_scale' entries must be "
+                               "numbers";
+                return result;
+            }
+            scenario.groupLoadScale.push_back(s.asNumber());
+        }
+    }
+    const std::string clusterPolicyName =
+        sc->stringOr("cluster_policy", "none");
+    if (!parseClusterPolicyKind(clusterPolicyName,
+                                &scenario.clusterPolicy)) {
+        result.error = "unknown cluster_policy '" + clusterPolicyName +
+            "' (valid: " + clusterPolicyKindNames() + ")";
+        return result;
+    }
+    scenario.rebalanceInterval = SimTime::sec(
+        sc->numberOr("rebalance_interval_sec",
+                     scenario.rebalanceInterval.toSec()));
+    scenario.clusterBudget =
+        Watts(sc->numberOr("cluster_budget_watts", 0.0));
+
+    // Reject bad topology at load time, with the offender named —
+    // invalid values must never reach the arrival-rate arithmetic.
+    if (const std::string topoErr = scenarioTopologyError(scenario);
+        !topoErr.empty()) {
+        result.error = topoErr;
+        return result;
+    }
+
     // Optional chaos section (docs/ROBUSTNESS.md schema).
     if (const JsonValue *faults = document.find("faults")) {
         auto plan = faultPlanFromJson(*faults, &error);

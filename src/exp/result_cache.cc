@@ -121,6 +121,23 @@ scenarioCanonical(const Scenario &sc)
         appendInt(&out, sc.nodeGroups);
         appendNum(&out, sc.remoteFraction);
         appendTime(&out, sc.interNodeLatency);
+        // Per-group load skew changes every group's arrival curve;
+        // appended only when set so unskewed keys keep their form.
+        if (!sc.groupLoadScale.empty()) {
+            out += "scale:";
+            for (const double s : sc.groupLoadScale)
+                appendNum(&out, s);
+        }
+    }
+    // Cluster arbitration retargets every node's budget mid-run —
+    // emphatically result-affecting. Appended only when a cluster
+    // policy is active so pre-cluster keys keep their historical form.
+    if (sc.clusterPolicy != ClusterPolicyKind::None) {
+        out += "|cluster:";
+        out += toString(sc.clusterPolicy);
+        out += ",";
+        appendTime(&out, sc.rebalanceInterval);
+        appendNum(&out, sc.clusterBudget.value());
     }
     out += "|run:";
     appendTime(&out, sc.duration);
@@ -299,6 +316,8 @@ runResultToJson(const RunResult &result)
     // Same conditional-serialization contract for the audit summary.
     if (result.audit.collected) {
         JsonObject audit;
+        audit.emplace("cluster_rebalances",
+                      static_cast<double>(result.audit.clusterRebalances));
         audit.emplace("flips", static_cast<double>(result.audit.flips));
         audit.emplace("mape_freq_pct", result.audit.mapeFreqPct);
         audit.emplace("mape_inst_pct", result.audit.mapeInstPct);
@@ -440,6 +459,8 @@ runResultFromJson(const JsonValue &doc)
             audit->numberOr("plans", 0));
         result.audit.misboosts = static_cast<std::uint64_t>(
             audit->numberOr("misboosts", 0));
+        result.audit.clusterRebalances = static_cast<std::uint64_t>(
+            audit->numberOr("cluster_rebalances", 0));
     }
 
     if (const JsonValue *critpath = doc.find("critpath")) {

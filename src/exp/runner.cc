@@ -101,6 +101,9 @@ summarizeAudit(const AuditLog &audit)
           case AuditDecisionKind::Misboost:
             ++sum.misboosts;
             break;
+          case AuditDecisionKind::ClusterRebalance:
+            ++sum.clusterRebalances;
+            break;
           case AuditDecisionKind::RpcRetry:
           case AuditDecisionKind::ObsAlert:
           case AuditDecisionKind::Count:
@@ -130,11 +133,14 @@ RunResult
 ExperimentRunner::run(const Scenario &sc,
                       const TelemetryConfig *telemetry) const
 {
+    // Topology knobs are validated before any system is built, with
+    // the offending field named — same fatal style the CLI and config
+    // loader use at parse time, so a bad scenario dies identically no
+    // matter which door it came in through.
+    if (const std::string err = scenarioTopologyError(sc); !err.empty())
+        fatal("scenario '%s': %s", sc.name.c_str(), err.c_str());
     if (sc.nodeGroups > 1)
         return runSharded(sc, telemetry);
-    if (sc.nodeGroups < 1)
-        fatal("scenario '%s': nodeGroups must be >= 1 (got %d)",
-              sc.name.c_str(), sc.nodeGroups);
 
     RunResult result;
     result.scenario = sc.name;

@@ -29,6 +29,7 @@ struct TelemetryConfig;
 class AuditLog;
 class ControlPolicy;
 class CritPathCollector;
+struct ClusterDecision;
 
 /**
  * The policy factory: instantiate the scenario's PolicyKind with its
@@ -79,6 +80,8 @@ struct RunAuditSummary
     std::uint64_t plans = 0;
     /** Misboost records (critical-path scoring; obs/critpath.h). */
     std::uint64_t misboosts = 0;
+    /** Cluster-arbiter rebalance records (cluster/arbiter.h). */
+    std::uint64_t clusterRebalances = 0;
 };
 
 /**
@@ -199,6 +202,19 @@ class ExperimentRunner
     }
 
     /**
+     * Observe every rebalance decision of the cluster arbiter on
+     * subsequent cluster runs (scenarios with a clusterPolicy;
+     * cluster/arbiter.h). A pure observer hook for the cluster
+     * conservation tests; ignored by non-cluster scenarios. Pass
+     * nullptr to detach.
+     */
+    void setClusterProbe(
+        std::function<void(const ClusterDecision &)> probe)
+    {
+        clusterProbe_ = std::move(probe);
+    }
+
+    /**
      * Worker threads for sharded runs (scenarios with nodeGroups > 1;
      * exp/sharded_runner.cc). Clamped to [1, nodeGroups] at run time;
      * <= 0 resolves to one per hardware thread. A pure execution knob:
@@ -235,6 +251,7 @@ class ExperimentRunner
     bool collectCritPath_;
     int shards_ = 1;
     std::function<void(const ControlContext &)> intervalProbe_;
+    std::function<void(const ClusterDecision &)> clusterProbe_;
 };
 
 } // namespace pc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/logging.h"
+
 namespace pc {
 
 const char *
@@ -168,6 +170,15 @@ Scenario
 Scenario::millionQuery(int nodeGroups, double totalQueries,
                        double durationSec, std::uint64_t seed)
 {
+    // The arrival-rate division below would turn a non-positive group
+    // count or duration into a nonsensical (or infinite) rate; reject
+    // here, before the scenario can reach a runner.
+    if (nodeGroups <= 0)
+        fatal("millionQuery: nodeGroups must be positive (got %d)",
+              nodeGroups);
+    if (durationSec <= 0.0)
+        fatal("millionQuery: durationSec must be positive (got %f)",
+              durationSec);
     Scenario sc;
     sc.workload = WorkloadModel::microservice();
     sc.nodeGroups = nodeGroups;
@@ -204,6 +215,119 @@ Scenario::millionQuery(int nodeGroups, double totalQueries,
                   totalQueries);
     sc.name = name;
     return sc;
+}
+
+Scenario
+Scenario::fleet(ClusterPolicyKind clusterPolicy, int nodeGroups,
+                double capFraction, double durationSec,
+                std::uint64_t seed)
+{
+    if (nodeGroups <= 0)
+        fatal("fleet: nodeGroups must be positive (got %d)",
+              nodeGroups);
+    if (capFraction <= 0.0)
+        fatal("fleet: capFraction must be positive (got %f)",
+              capFraction);
+    // The per-node setup is the mega scenario's (microservice
+    // workload, second-scale control, 75 W per-node budget) at a
+    // ~400 qps/group base rate.
+    Scenario sc = millionQuery(
+        nodeGroups, 400.0 * nodeGroups * durationSec, durationSec,
+        seed);
+    sc.clusterPolicy = clusterPolicy;
+    sc.rebalanceInterval = SimTime::sec(2);
+    // Cold start at the ladder minimum: the mid-level layout (~63 W)
+    // would not fit an equal share of a sub-unity fleet cap. Nodes
+    // must *earn* their frequency from the arbiter's split instead.
+    sc.initialLevel = 0;
+    // The fleet cap is a fraction of the static total: tight enough
+    // that watts parked on a cold node are watts a hot node visibly
+    // misses — the regime a demand-driven split exists for.
+    sc.clusterBudget =
+        Watts(capFraction * nodeGroups * sc.powerBudget.value());
+    // Deliberate load skew, mean 1.0 over every 4 consecutive groups:
+    // hot, warm, cool, cold. The skew (not the spray) is the demand
+    // asymmetry the arbiter feeds on.
+    static const double kSkew[4] = {1.45, 1.15, 0.85, 0.55};
+    sc.groupLoadScale.resize(static_cast<std::size_t>(nodeGroups));
+    for (int g = 0; g < nodeGroups; ++g)
+        sc.groupLoadScale[static_cast<std::size_t>(g)] = kSkew[g % 4];
+    sc.remoteFraction = 0.1;
+    char name[96];
+    std::snprintf(name, sizeof(name), "fleet/%s/%dx@%.0f%%",
+                  toString(clusterPolicy), nodeGroups,
+                  capFraction * 100.0);
+    sc.name = name;
+    return sc;
+}
+
+std::string
+scenarioTopologyError(const Scenario &sc)
+{
+    char buf[160];
+    if (sc.nodeGroups <= 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "node-groups must be positive (got %d)",
+                      sc.nodeGroups);
+        return buf;
+    }
+    if (sc.remoteFraction < 0.0 || sc.remoteFraction > 1.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "remote-fraction must be in [0, 1] (got %f)",
+                      sc.remoteFraction);
+        return buf;
+    }
+    if (sc.interNodeLatency <= SimTime::zero()) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "inter-node-latency must be positive (got %f ms); it is "
+            "the sharded engine's conservative lookahead",
+            sc.interNodeLatency.toSec() * 1e3);
+        return buf;
+    }
+    if (!sc.groupLoadScale.empty()) {
+        if (sc.groupLoadScale.size() !=
+            static_cast<std::size_t>(sc.nodeGroups)) {
+            std::snprintf(buf, sizeof(buf),
+                          "group-load-scale needs one entry per node "
+                          "group (got %zu for %d groups)",
+                          sc.groupLoadScale.size(), sc.nodeGroups);
+            return buf;
+        }
+        for (std::size_t g = 0; g < sc.groupLoadScale.size(); ++g) {
+            if (sc.groupLoadScale[g] < 0.0) {
+                std::snprintf(buf, sizeof(buf),
+                              "group-load-scale[%zu] must be >= 0 "
+                              "(got %f)",
+                              g, sc.groupLoadScale[g]);
+                return buf;
+            }
+        }
+    }
+    if (sc.clusterPolicy != ClusterPolicyKind::None) {
+        if (sc.nodeGroups <= 1) {
+            std::snprintf(buf, sizeof(buf),
+                          "cluster-policy '%s' needs node-groups > 1 "
+                          "(got %d)",
+                          toString(sc.clusterPolicy), sc.nodeGroups);
+            return buf;
+        }
+        if (sc.rebalanceInterval <= SimTime::zero()) {
+            std::snprintf(buf, sizeof(buf),
+                          "rebalance-interval must be positive "
+                          "(got %f s)",
+                          sc.rebalanceInterval.toSec());
+            return buf;
+        }
+        if (sc.clusterBudget.value() < 0.0) {
+            std::snprintf(buf, sizeof(buf),
+                          "cluster-budget must be >= 0 W, 0 selecting "
+                          "node-groups x power-budget (got %f W)",
+                          sc.clusterBudget.value());
+            return buf;
+        }
+    }
+    return "";
 }
 
 } // namespace pc

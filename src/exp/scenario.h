@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_policy.h"
 #include "core/bottleneck.h"
 #include "core/policy.h"
 #include "core/reallocator.h"
@@ -136,6 +137,37 @@ struct Scenario
      */
     SimTime interNodeLatency = SimTime::msec(10);
 
+    /**
+     * Per-node-group load skew: group g's arrival curve is
+     * load.scaled(groupLoadScale[g]). Empty (the default) means every
+     * group runs the profile as-is; when non-empty the vector must
+     * have one non-negative entry per node group. This is what makes
+     * a fleet asymmetric — and a demand-driven cluster split worth
+     * having (Scenario::fleet).
+     */
+    std::vector<double> groupLoadScale;
+
+    /**
+     * Cluster-level power arbitration (cluster/arbiter.h). None (the
+     * default) gives every node group its own static powerBudget —
+     * exactly the pre-cluster behavior. Any other kind builds a
+     * ClusterArbiter on node group 0 that owns clusterBudget watts,
+     * starts every node at an equal share, and rebalances the split
+     * every rebalanceInterval from the nodes' demand reports. Only
+     * meaningful with nodeGroups > 1.
+     */
+    ClusterPolicyKind clusterPolicy = ClusterPolicyKind::None;
+
+    /** Arbiter rebalance period (>= the nodes' control interval). */
+    SimTime rebalanceInterval = SimTime::sec(5);
+
+    /**
+     * Fleet-wide cap the arbiter conserves; 0 (the default) selects
+     * nodeGroups × powerBudget, i.e. the same total watts as the
+     * static split, just mobile across nodes.
+     */
+    Watts clusterBudget = Watts(0.0);
+
     SimTime duration = SimTime::sec(900);
     SimTime warmup = SimTime::sec(50);
     std::uint64_t seed = 42;
@@ -193,7 +225,32 @@ struct Scenario
                                  double totalQueries = 1e6,
                                  double durationSec = 60.0,
                                  std::uint64_t seed = 20260809);
+
+    /**
+     * The pinned fleet scenario for the cluster arbiter: @p nodeGroups
+     * asymmetrically loaded microservice() nodes under one fleet cap
+     * (capFraction × nodeGroups × the per-node budget), rebalanced by
+     * @p clusterPolicy. The deliberate per-group load skew is what a
+     * demand-driven split exploits over the static equal split
+     * (bench/fleet.cc, tests/test_cluster.cc).
+     */
+    static Scenario fleet(ClusterPolicyKind clusterPolicy,
+                          int nodeGroups = 4,
+                          double capFraction = 0.75,
+                          double durationSec = 120.0,
+                          std::uint64_t seed = 20260809);
 };
+
+/**
+ * Validate the topology and cluster fields (nodeGroups, remoteFraction,
+ * interNodeLatency, clusterPolicy, rebalanceInterval, clusterBudget)
+ * of @p sc. Returns an empty string when valid, otherwise a message
+ * naming the offending field and value. Shared by the CLI flag
+ * parsing, the JSON config loader and the runner entry points so a
+ * bad topology is rejected before it can reach an arrival-rate
+ * division (scenario.cc, millionQuery).
+ */
+std::string scenarioTopologyError(const Scenario &sc);
 
 } // namespace pc
 

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/arbiter.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -67,6 +68,24 @@ struct AttribSample
     SimTime t;
     double sec = 0.0;
     std::vector<StageSpan> spans;
+};
+
+/** Node → arbiter demand snapshot, riding node 0's bus so the fault
+ *  fabric (drops, duplicates, reordering) applies to cluster traffic
+ *  like any other endpoint. */
+struct ClusterReportMsg final : Message
+{
+    explicit ClusterReportMsg(const ClusterNodeReport &r) : report(r) {}
+    const char *type() const override { return "cluster.report"; }
+    ClusterNodeReport report;
+};
+
+/** Arbiter → node cap retarget, riding the destination node's bus. */
+struct ClusterGrantMsg final : Message
+{
+    explicit ClusterGrantMsg(const ClusterGrant &g) : grant(g) {}
+    const char *type() const override { return "cluster.grant"; }
+    ClusterGrant grant;
 };
 
 /** Everything one node group owns. Heap-allocated so the completion
@@ -108,6 +127,12 @@ struct ShardStack
     std::vector<Histogram *> stageWaitHist;
     std::vector<Histogram *> stageServeHist;
     std::vector<StageSpan> spans; // per-query scratch
+
+    // Cluster sequence state: one counter per direction, so duplicated
+    // or reordered bus deliveries can never resurrect a stale cap (the
+    // node side) or a stale demand snapshot (the arbiter side).
+    std::uint64_t clusterReportSeq = 0;
+    std::uint64_t clusterGrantApplied = 0;
 };
 
 /**
@@ -182,13 +207,11 @@ ExperimentRunner::runSharded(const Scenario &sc,
                              const TelemetryConfig *telemetry) const
 {
     const int groups = sc.nodeGroups;
-    if (sc.remoteFraction < 0.0 || sc.remoteFraction > 1.0)
-        fatal("scenario '%s': remoteFraction %f outside [0,1]",
-              sc.name.c_str(), sc.remoteFraction);
-    if (sc.interNodeLatency <= SimTime::zero())
-        fatal("scenario '%s': sharded runs need a positive "
-              "interNodeLatency (the engine lookahead)",
-              sc.name.c_str());
+    // run() already validated the topology; re-check with the shared
+    // helper because this path depends on the invariants (the positive
+    // interNodeLatency IS the engine's conservative lookahead).
+    if (const std::string err = scenarioTopologyError(sc); !err.empty())
+        fatal("scenario '%s': %s", sc.name.c_str(), err.c_str());
     if (intervalProbe_)
         fatal("scenario '%s': the interval probe is not supported on "
               "sharded runs (one probe cannot observe %d concurrent "
@@ -214,6 +237,18 @@ ExperimentRunner::runSharded(const Scenario &sc,
         const unsigned hw = std::thread::hardware_concurrency();
         workers = hw > 0 ? static_cast<int>(hw) : 1;
     }
+
+    // The cluster budget tree: with a cluster policy the fleet-wide
+    // cap is owned by the arbiter and every node starts at an equal
+    // share of it; without one each node keeps the full scenario
+    // budget (the pre-cluster fleet semantics, unchanged).
+    const bool clusterOn = sc.clusterPolicy != ClusterPolicyKind::None;
+    const double clusterCapWatts = sc.clusterBudget.value() > 0.0
+        ? sc.clusterBudget.value()
+        : sc.powerBudget.value() * static_cast<double>(groups);
+    const Watts nodeBudget = clusterOn
+        ? Watts(clusterCapWatts / static_cast<double>(groups))
+        : sc.powerBudget;
 
     RunResult result;
     result.scenario = sc.name;
@@ -267,7 +302,24 @@ ExperimentRunner::runSharded(const Scenario &sc,
                        specs, tel);
         st.app->setWireReports(sc.wireReports);
 
-        st.budget.emplace(sc.powerBudget, &model);
+        st.budget.emplace(nodeBudget, &model);
+        if (clusterOn) {
+            // Grants land on this endpoint; the dynamic_cast guards
+            // against fault-replaced payloads and the seq guard against
+            // duplicated or reordered deliveries.
+            st.bus->registerEndpoint(
+                "cluster/cap", [stp = &st](const MessagePtr &m) {
+                    const auto *msg =
+                        dynamic_cast<const ClusterGrantMsg *>(m.get());
+                    if (!msg || msg->grant.targetCapWatts <= 0.0)
+                        return;
+                    if (msg->grant.seq <= stp->clusterGrantApplied)
+                        return;
+                    stp->clusterGrantApplied = msg->grant.seq;
+                    stp->budget->setTargetCap(
+                        Watts(msg->grant.targetCapWatts));
+                });
+        }
         st.center.emplace(
             st.sim, &*st.bus, &*st.chip, &*st.app, &*st.budget,
             &speedups, sc.control, makePolicyFor(sc),
@@ -396,7 +448,14 @@ ExperimentRunner::runSharded(const Scenario &sc,
             });
         }
 
-        st.gen.emplace(st.sim, &*st.app, &sc.workload, sc.load,
+        // Per-group load skew (empty = uniform): the demand asymmetry
+        // a demand-driven cluster split exploits under a tight cap.
+        st.gen.emplace(st.sim, &*st.app, &sc.workload,
+                       sc.groupLoadScale.empty()
+                           ? sc.load
+                           : sc.load.scaled(
+                                 sc.groupLoadScale
+                                     [static_cast<std::size_t>(g)]),
                        shardSeed, ladder.freqAt(0).value());
         // Group g owns query ids (g<<40, (g+1)<<40] — globally unique
         // without any cross-group coordination.
@@ -429,10 +488,96 @@ ExperimentRunner::runSharded(const Scenario &sc,
         stacks.push_back(std::move(stack));
     }
 
+    // ---- The cluster arbiter (scenarios with a clusterPolicy). ----
+    // It lives on node 0's simulator and owns the fleet cap; reports
+    // and grants ride each node's MessageBus (so the fault fabric
+    // applies) and cross shards through engine.post at the
+    // interNodeLatency lookahead, exactly like the front-end spray.
+    std::unique_ptr<ClusterArbiter> arbiter;
+    if (clusterOn) {
+        ShardStack &root = *stacks[0];
+        ClusterArbiterConfig clusterCfg;
+        clusterCfg.capWatts = clusterCapWatts;
+        clusterCfg.rebalanceInterval = sc.rebalanceInterval;
+        arbiter = std::make_unique<ClusterArbiter>(
+            &engine.shard(0), groups, clusterCfg,
+            makeClusterPolicy(sc.clusterPolicy),
+            root.tel ? &root.tel->audit() : nullptr,
+            root.tel ? &root.tel->metrics() : nullptr);
+        MessageBus *rootBus = &*root.bus;
+        rootBus->registerEndpoint(
+            "cluster/arbiter",
+            [arb = arbiter.get()](const MessagePtr &m) {
+                const auto *msg =
+                    dynamic_cast<const ClusterReportMsg *>(m.get());
+                if (!msg)
+                    return; // fault-replaced payload
+                arb->onReport(msg->report);
+            });
+        arbiter->setGrantSink(
+            [&engine, &stacks, &sc](const ClusterGrant &grant) {
+                const auto dst = static_cast<std::size_t>(grant.node);
+                MessageBus *bus = &*stacks[dst]->bus;
+                auto msg =
+                    std::make_shared<const ClusterGrantMsg>(grant);
+                // A same-shard post (node 0 to itself) schedules
+                // directly; cross-shard ones ride the fabric.
+                engine.post(
+                    0, grant.node,
+                    engine.shard(0).now() + sc.interNodeLatency,
+                    [bus, msg]() {
+                        if (const auto id = bus->lookup("cluster/cap"))
+                            bus->send(*id, msg);
+                    });
+            });
+        if (clusterProbe_)
+            arbiter->setDecisionProbe(clusterProbe_);
+
+        // Per-node demand reporters, phase-offset half an interval
+        // ahead of the rebalance loop so every decision can see a
+        // fresh in-flight report from each healthy node.
+        const SimTime reportStart =
+            SimTime::sec(sc.rebalanceInterval.toSec() * 0.5);
+        for (int g = 0; g < groups; ++g) {
+            ShardStack *stp = stacks[static_cast<std::size_t>(g)].get();
+            stp->sim->schedulePeriodic(
+                reportStart, sc.rebalanceInterval,
+                [&engine, &sc, g, stp, rootBus]() {
+                    ClusterNodeReport report;
+                    report.node = g;
+                    report.seq = ++stp->clusterReportSeq;
+                    report.allocatedWatts =
+                        stp->budget->allocated().value();
+                    report.effectiveCapWatts =
+                        stp->budget->effectiveCap().value();
+                    report.targetCapWatts =
+                        stp->budget->targetCap().value();
+                    double backlog = 0.0;
+                    for (int s = 0; s < stp->app->numStages(); ++s)
+                        backlog += static_cast<double>(
+                            stp->app->stage(s).totalQueueLength());
+                    report.queueBacklog = backlog;
+                    report.p99Sec =
+                        stp->center->latencyWindow().quantile(0.99);
+                    report.completed = stp->app->completed();
+                    auto msg =
+                        std::make_shared<const ClusterReportMsg>(
+                            report);
+                    engine.post(
+                        g, 0, stp->sim->now() + sc.interNodeLatency,
+                        [rootBus, msg]() {
+                            if (const auto id = rootBus->lookup(
+                                    "cluster/arbiter"))
+                                rootBus->send(*id, msg);
+                        });
+                });
+        }
+    }
+
     // Flush-on-fatal: a conservation/ledger fatal mid-run still writes
     // the merged artifacts collected so far (see the single-node path).
     auto writeMergedOutputs = [&stacks, &effective, &sc,
-                               &result]() {
+                               &result, &arbiter]() {
         if (!effective.anyEnabled())
             return;
         for (auto &st : stacks) {
@@ -491,6 +636,12 @@ ExperimentRunner::runSharded(const Scenario &sc,
                 extra = "\"slo\":" +
                     sloReportToJson(result.slo).dump();
             }
+            if (arbiter) {
+                if (!extra.empty())
+                    extra += ",";
+                extra += "\"cluster\":" +
+                    arbiter->summaryJson().dump();
+            }
             writeEnvelope(effective.timeseriesOut, "timeseries",
                           sc.name, docs, extra);
         }
@@ -517,6 +668,8 @@ ExperimentRunner::runSharded(const Scenario &sc,
         st->energyBefore = st->chip->totalEnergy();
         st->gen->start(sc.duration);
     }
+    if (arbiter)
+        arbiter->start();
 
     engine.run(sc.duration, workers);
 
@@ -549,6 +702,36 @@ ExperimentRunner::runSharded(const Scenario &sc,
                       g, inst->name().c_str(),
                       st.budget->levelOf(inst->id()), inst->level());
         }
+    }
+
+    // Cluster ledger checks — the post-run leg of the arbiter's
+    // conservation invariant: every node's effective cap must sit at
+    // or below its assumed share, and the assumed total at or below
+    // the fleet cap. Watts were only ever moved, never minted, no
+    // matter what the fault fabric did to reports and grants.
+    if (arbiter) {
+        constexpr double kClusterSlackWatts = 1e-6;
+        double effectiveTotal = 0.0;
+        for (int g = 0; g < groups; ++g) {
+            const double eff = stacks[static_cast<std::size_t>(g)]
+                                   ->budget->effectiveCap()
+                                   .value();
+            effectiveTotal += eff;
+            if (eff > arbiter->assumedCapWatts(g) + kClusterSlackWatts)
+                fatal("cluster conservation broke on node %d: "
+                      "effective cap %.6f W above the arbiter's "
+                      "assumed %.6f W",
+                      g, eff, arbiter->assumedCapWatts(g));
+        }
+        if (arbiter->assumedTotalWatts() >
+            arbiter->capWatts() + kClusterSlackWatts)
+            fatal("cluster conservation broke: assumed shares sum to "
+                  "%.6f W above the fleet cap %.6f W",
+                  arbiter->assumedTotalWatts(), arbiter->capWatts());
+        if (effectiveTotal > arbiter->capWatts() + kClusterSlackWatts)
+            fatal("cluster conservation broke: node effective caps "
+                  "sum to %.6f W above the fleet cap %.6f W",
+                  effectiveTotal, arbiter->capWatts());
     }
 
     // ---- Deterministic merge, groups in fixed index order. ----
@@ -691,6 +874,7 @@ ExperimentRunner::runSharded(const Scenario &sc,
             merged.staleSkips += sum.staleSkips;
             merged.plans += sum.plans;
             merged.misboosts += sum.misboosts;
+            merged.clusterRebalances += sum.clusterRebalances;
             // Scored-count weighting approximates the fleet MAPE; the
             // exact per-kind weights are not exposed per record.
             const auto w = static_cast<double>(sum.scored);

@@ -51,6 +51,21 @@ SweepRunner::effectiveJobs() const
 std::string
 SweepRunner::cacheKeyFor(const std::string &canonical) const
 {
+    // Cache-identity audit (every result-affecting knob must appear in
+    // the key; tests/test_sweep_runner.cc flips each one and asserts a
+    // miss):
+    //  - scenario knobs — including the sharded topology, per-group
+    //    load skew and the cluster-policy/rebalance-interval/
+    //    cluster-budget block — live in Scenario's canonical form
+    //    (result_cache.cc scenarioCanonical), which is `canonical`;
+    //  - SLO target/objective/window flags arrive via
+    //    options_.slo.canonical() below;
+    //  - the alert threshold (and every other telemetry flag) is NOT
+    //    in the key on purpose: telemetry-enabled sweeps bypass the
+    //    cache entirely (runAll's telemetryOn), so no entry is ever
+    //    stored or served for them;
+    //  - --jobs and --shards are execution knobs that cannot change
+    //    results and are deliberately absent.
     // Runner settings change what a RunResult contains, so they are
     // part of the identity of a sweep point.
     char buf[80];

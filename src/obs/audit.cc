@@ -28,6 +28,7 @@ toString(AuditDecisionKind kind)
       case AuditDecisionKind::CuttleSysPlan: return "cuttlesys_plan";
       case AuditDecisionKind::ObsAlert: return "obs.alert";
       case AuditDecisionKind::Misboost: return "misboost";
+      case AuditDecisionKind::ClusterRebalance: return "cluster_rebalance";
       case AuditDecisionKind::Count: break;
     }
     return "?";
@@ -197,6 +198,31 @@ AuditLog::recordMisboost(int boostedStage, int dominantStage,
     rec.misboostDominantStage = dominantStage;
     rec.misboostDominantShare = dominantShare;
     rec.misboostBoostedShare = boostedShare;
+    records_.push_back(std::move(rec));
+}
+
+void
+AuditLog::recordClusterRebalance(int node, std::uint64_t round,
+                                 double capBeforeWatts,
+                                 double capAfterWatts, double demand,
+                                 double reportAgeSec, bool frozen,
+                                 bool granted)
+{
+    if (!enabled_)
+        return;
+    AuditRecord rec;
+    rec.seq = records_.size();
+    rec.t = now_;
+    rec.interval = interval_;
+    rec.kind = AuditDecisionKind::ClusterRebalance;
+    rec.clusterNode = node;
+    rec.clusterRound = round;
+    rec.clusterCapBeforeWatts = capBeforeWatts;
+    rec.clusterCapAfterWatts = capAfterWatts;
+    rec.clusterDemand = demand;
+    rec.clusterReportAgeSec = reportAgeSec;
+    rec.clusterFrozen = frozen;
+    rec.clusterGranted = granted;
     records_.push_back(std::move(rec));
 }
 
@@ -379,6 +405,16 @@ recordToJson(const AuditRecord &rec)
         o["dominant_share"] = JsonValue(rec.misboostDominantShare);
         o["dominant_stage"] = JsonValue(rec.misboostDominantStage);
         break;
+      case AuditDecisionKind::ClusterRebalance:
+        o["cap_after_w"] = JsonValue(rec.clusterCapAfterWatts);
+        o["cap_before_w"] = JsonValue(rec.clusterCapBeforeWatts);
+        o["demand"] = JsonValue(rec.clusterDemand);
+        o["frozen"] = JsonValue(rec.clusterFrozen);
+        o["granted"] = JsonValue(rec.clusterGranted);
+        o["node"] = JsonValue(rec.clusterNode);
+        o["report_age_s"] = JsonValue(rec.clusterReportAgeSec);
+        o["round"] = JsonValue(static_cast<double>(rec.clusterRound));
+        break;
       case AuditDecisionKind::Count:
         break;
     }
@@ -437,6 +473,8 @@ AuditLog::toJson() const
         select[toString(kind)] = count(chosen[static_cast<int>(kind)]);
 
     JsonObject decisions;
+    decisions["cluster_rebalance"] = count(
+        counts[static_cast<int>(AuditDecisionKind::ClusterRebalance)]);
     decisions["cuttlesys_plan"] = count(
         counts[static_cast<int>(AuditDecisionKind::CuttleSysPlan)]);
     decisions["fastcap_plan"] = count(

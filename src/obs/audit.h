@@ -60,6 +60,12 @@ enum class AuditDecisionKind {
      * (obs/critpath.h bottleneck-efficacy scoring).
      */
     Misboost,
+    /**
+     * One per-node slice of a cluster-arbiter rebalance round: the
+     * node's assumed share before/after, its staleness-decayed demand
+     * and whether it was frozen (cluster/arbiter.h).
+     */
+    ClusterRebalance,
 
     /** Sentinel: number of kinds. Keep last. */
     Count,
@@ -186,6 +192,23 @@ struct AuditRecord
     double misboostDominantShare = 0.0;
     double misboostBoostedShare = 0.0;
 
+    // --- ClusterRebalance (cluster/arbiter.h rebalance rounds) ---
+    /** Node group the slice describes. */
+    int clusterNode = -1;
+    /** 1-based rebalance round within the run. */
+    std::uint64_t clusterRound = 0;
+    /** The node's assumed share before / after the decision (watts). */
+    double clusterCapBeforeWatts = 0.0;
+    double clusterCapAfterWatts = 0.0;
+    /** Staleness-decayed demand score the policy weighed. */
+    double clusterDemand = 0.0;
+    /** Age of the node's last report at decision time (seconds). */
+    double clusterReportAgeSec = 0.0;
+    /** The node was frozen (reports stale past the threshold). */
+    bool clusterFrozen = false;
+    /** A grant was actually sent to the node this round. */
+    bool clusterGranted = false;
+
     // --- Prediction scoring (Select records only) ---
     bool scored = false;
     SimTime scoredAt;
@@ -265,6 +288,16 @@ class AuditLog
      */
     void recordMisboost(int boostedStage, int dominantStage,
                         double dominantShare, double boostedShare);
+
+    /**
+     * Append a ClusterRebalance record (one per node per arbiter
+     * rebalance round; cluster/arbiter.h).
+     */
+    void recordClusterRebalance(int node, std::uint64_t round,
+                                double capBeforeWatts,
+                                double capAfterWatts, double demand,
+                                double reportAgeSec, bool frozen,
+                                bool granted);
 
     /**
      * Mark the most recent unactuated Select record of @p kind as

@@ -18,11 +18,22 @@ PowerBudget::PowerBudget(Watts cap, const PowerModel *model)
         fatal("non-positive power budget %.2f W", cap.value());
 }
 
+void
+PowerBudget::setTargetCap(Watts cap)
+{
+    if (cap.value() <= 0)
+        fatal("non-positive power budget target %.2f W", cap.value());
+    cap_ = cap;
+}
+
 bool
 PowerBudget::canAfford(Watts extra) const
 {
+    // Against the effective cap: with allocated above a lowered
+    // target, only releases (extra <= 0) can pass until the node
+    // drains back under its target.
     return allocated_.value() + extra.value()
-        <= cap_.value() + kSlackWatts;
+        <= effectiveCap().value() + kSlackWatts;
 }
 
 bool

@@ -24,9 +24,35 @@ class PowerBudget
   public:
     PowerBudget(Watts cap, const PowerModel *model);
 
-    Watts cap() const { return cap_; }
+    /**
+     * The cap the control plane enforces right now. While allocations
+     * fit under the target this is the target itself; after a cluster
+     * grant retargets the budget *below* the current draw the
+     * effective cap tracks the draw instead and ratchets down as
+     * consumers release power — existing reservations are honored, but
+     * no new watts can be committed until the node is back under its
+     * target. Single-node runs never retarget, so cap() is constant.
+     */
+    Watts cap() const { return effectiveCap(); }
+
+    /** The cap the last (re)target asked for. */
+    Watts targetCap() const { return cap_; }
+
+    /** max(targetCap, allocated): the bound consumption obeys now. */
+    Watts effectiveCap() const
+    {
+        return cap_.value() >= allocated_.value() ? cap_ : allocated_;
+    }
+
+    /**
+     * Retarget the cap (cluster arbiter grants; cluster/arbiter.h).
+     * Raising takes effect immediately; lowering below the current
+     * draw is legal and drains via the effective-cap ratchet.
+     */
+    void setTargetCap(Watts cap);
+
     Watts allocated() const { return allocated_; }
-    Watts headroom() const { return cap_ - allocated_; }
+    Watts headroom() const { return effectiveCap() - allocated_; }
 
     /** Whether @p extra watts fit under the cap right now. */
     bool canAfford(Watts extra) const;

@@ -19,6 +19,17 @@ ExactPercentile::merge(const ExactPercentile &other)
 {
     if (other.samples_.empty())
         return;
+    if (&other == this) {
+        // Self-merge: inserting from our own range would read
+        // iterators invalidated by the growth reallocation (UB).
+        // Double the samples by index instead.
+        const std::size_t n = samples_.size();
+        samples_.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i)
+            samples_.push_back(samples_[i]);
+        sorted_ = false;
+        return;
+    }
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sorted_ = false;

@@ -98,6 +98,10 @@ class MovingWindow
     void
     quantiles(const double *qs, double *out, std::size_t n) const
     {
+        // Asking for zero quantiles must not pay the copy+sort (the
+        // cluster arbiter's report path may probe conditionally).
+        if (n == 0)
+            return;
         if (count_ == 0) {
             for (std::size_t i = 0; i < n; ++i)
                 out[i] = 0.0;

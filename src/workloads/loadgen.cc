@@ -95,6 +95,20 @@ LoadProfile::diurnal(double loQps, double hiQps, SimTime period)
     return p;
 }
 
+LoadProfile
+LoadProfile::scaled(double factor) const
+{
+    if (factor < 0)
+        fatal("load scale factor must be >= 0 (got %f)", factor);
+    LoadProfile p = *this;
+    for (Point &pt : p.points_)
+        pt.qps *= factor;
+    p.lo_ *= factor;
+    p.hi_ *= factor;
+    p.maxRate_ *= factor;
+    return p;
+}
+
 std::string
 LoadProfile::canonical() const
 {

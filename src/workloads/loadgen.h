@@ -72,6 +72,13 @@ class LoadProfile
 
     double rateAt(SimTime t) const;
 
+    /**
+     * The same curve with every rate multiplied by @p factor (>= 0).
+     * The sharded runner uses this for per-node-group load skew
+     * (Scenario::groupLoadScale).
+     */
+    LoadProfile scaled(double factor) const;
+
     /** Upper bound of λ(t) used by the thinning sampler. */
     double maxRate() const { return maxRate_; }
 

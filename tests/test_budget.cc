@@ -138,6 +138,58 @@ TEST(BudgetDeath, UpdateUnknownPanics)
     EXPECT_DEATH((void)budget.updateLevel(42, 3), "unknown");
 }
 
+// ----------------------------------------- cluster retarget ratchet
+
+TEST_F(BudgetTest, RetargetUpRaisesTheCapImmediately)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    budget.setTargetCap(Watts(20.0));
+    EXPECT_DOUBLE_EQ(budget.targetCap().value(), 20.0);
+    EXPECT_DOUBLE_EQ(budget.effectiveCap().value(), 20.0);
+    EXPECT_NEAR(budget.headroom().value(), 20.0 - 4.52, 1e-3);
+}
+
+TEST_F(BudgetTest, RetargetBelowDrawRatchetsDownViaReleases)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    ASSERT_TRUE(budget.allocate(2, 6));
+    const double draw = budget.allocated().value(); // ~9.04 W
+
+    // Retarget below the current draw: existing reservations are
+    // honored — the effective cap tracks the draw, not the target —
+    // but no new watts can be committed.
+    budget.setTargetCap(Watts(5.0));
+    EXPECT_DOUBLE_EQ(budget.targetCap().value(), 5.0);
+    EXPECT_NEAR(budget.effectiveCap().value(), draw, 1e-9);
+    EXPECT_FALSE(budget.canAfford(Watts(0.1)));
+    EXPECT_FALSE(budget.allocate(3, 0));
+    EXPECT_FALSE(budget.updateLevel(1, 7));
+
+    // Releasing a consumer ratchets the effective cap toward the
+    // target; the freed watts are NOT re-spendable while still above.
+    budget.release(2);
+    EXPECT_NEAR(budget.effectiveCap().value(), 5.0, 1e-3);
+    EXPECT_TRUE(budget.canAfford(Watts(0.4)));
+}
+
+TEST_F(BudgetTest, RetargetRoundTripRestoresHeadroom)
+{
+    ASSERT_TRUE(budget.allocate(1, 6));
+    budget.setTargetCap(Watts(2.0));
+    EXPECT_FALSE(budget.canAfford(Watts(0.1)));
+    budget.setTargetCap(Watts(13.56));
+    EXPECT_DOUBLE_EQ(budget.effectiveCap().value(), 13.56);
+    EXPECT_TRUE(budget.allocate(2, 6));
+}
+
+TEST(BudgetDeath, NonPositiveRetargetIsFatal)
+{
+    const PowerModel model = PowerModel::haswell();
+    PowerBudget budget(Watts(10.0), &model);
+    EXPECT_EXIT(budget.setTargetCap(Watts(0.0)),
+                testing::ExitedWithCode(1), "target");
+}
+
 TEST(BudgetDeath, NonPositiveCapIsFatal)
 {
     const PowerModel model = PowerModel::haswell();

@@ -145,6 +145,53 @@ TEST(ExactPercentile, AddAfterQueryStaysCorrect)
     EXPECT_DOUBLE_EQ(p.median(), 3.0);
 }
 
+TEST(ExactPercentile, MergeEmptySidesAreNoOps)
+{
+    ExactPercentile a;
+    ExactPercentile empty;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(empty); // empty other: nothing to absorb
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.median(), 1.5);
+
+    ExactPercentile b;
+    b.merge(a); // merge into empty
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.median(), 1.5);
+}
+
+TEST(ExactPercentile, SelfMergeDoublesWithoutChangingQuantiles)
+{
+    ExactPercentile p;
+    for (double x : {4.0, 1.0, 3.0, 2.0})
+        p.add(x);
+    const double before = p.quantile(0.75);
+    p.merge(p); // aliased source: must not iterate a growing vector
+    EXPECT_EQ(p.count(), 8u);
+    EXPECT_DOUBLE_EQ(p.median(), 2.5);
+    EXPECT_DOUBLE_EQ(p.quantile(0.75), before);
+}
+
+TEST(ExactPercentile, MergeAfterQueryMatchesUnionOrder)
+{
+    ExactPercentile a;
+    ExactPercentile b;
+    for (double x : {9.0, 1.0, 5.0})
+        a.add(x);
+    for (double x : {2.0, 8.0})
+        b.add(x);
+    // Query first so both sides are in their sorted state, then merge:
+    // the union must re-sort, not interleave stale sorted runs.
+    EXPECT_DOUBLE_EQ(a.median(), 5.0);
+    EXPECT_DOUBLE_EQ(b.median(), 5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_DOUBLE_EQ(a.median(), 5.0);
+    EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(a.quantile(1.0), 9.0);
+}
+
 TEST(ExactPercentile, DuplicatesDominateTheirRankRange)
 {
     ExactPercentile p;
@@ -297,6 +344,36 @@ TEST(MovingWindow, MaxAndQuantile)
 }
 
 // ------------------------------------------------------------ TimeSeries
+
+TEST(MovingWindow, BatchQuantilesMatchSingleCalls)
+{
+    MovingWindow w(SimTime::sec(60));
+    for (int i = 1; i <= 100; ++i)
+        w.add(SimTime::msec(i * 10), static_cast<double>(i));
+    const double qs[3] = {0.5, 0.95, 0.99};
+    double out[3] = {-1.0, -1.0, -1.0};
+    w.quantiles(qs, out, 3);
+    EXPECT_DOUBLE_EQ(out[0], w.quantile(0.5));
+    EXPECT_DOUBLE_EQ(out[1], w.quantile(0.95));
+    EXPECT_DOUBLE_EQ(out[2], w.quantile(0.99));
+}
+
+TEST(MovingWindow, BatchQuantilesEdgeCases)
+{
+    MovingWindow w(SimTime::sec(60));
+    // Zero quantiles requested: must not touch the output (and must
+    // not pay the copy+sort — the arbiter report path may probe
+    // conditionally).
+    double sentinel = 42.0;
+    w.quantiles(nullptr, &sentinel, 0);
+    EXPECT_DOUBLE_EQ(sentinel, 42.0);
+    // Empty window: all zeros, no crash.
+    const double qs[2] = {0.0, 1.0};
+    double out[2] = {-1.0, -1.0};
+    w.quantiles(qs, out, 2);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
 
 TEST(TimeSeries, AppendAndSize)
 {

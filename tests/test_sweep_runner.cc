@@ -197,6 +197,30 @@ TEST(ResultCache, RoundTripsResultsExactly)
     EXPECT_FALSE(cache.load(key + "x").has_value());
 }
 
+/**
+ * Stale-hit regression: a cache hit used to zero the cluster-arbiter
+ * rebalance counter because the audit serializer predated the field.
+ * Every AuditSummary counter must survive the round trip.
+ */
+TEST(ResultCache, RoundTripPreservesClusterAuditCounter)
+{
+    SweepOptions opt;
+    opt.jobs = 1;
+    SweepRunner sweep(opt);
+    RunResult run = sweep.runOne(quickScenario(4));
+    run.audit.collected = true;
+    run.audit.clusterRebalances = 240;
+
+    ResultCache cache(freshDir("result_cache_cluster_audit"));
+    const std::string key = *scenarioCanonical(quickScenario(4));
+    cache.store(key, run);
+    const std::optional<RunResult> loaded = cache.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->audit.collected);
+    EXPECT_EQ(loaded->audit.clusterRebalances, 240u);
+    EXPECT_EQ(dumped(run), dumped(*loaded));
+}
+
 TEST(ResultCache, CanonicalCoversSeedAndControlKnobs)
 {
     const Scenario base = quickScenario(1);
@@ -208,6 +232,100 @@ TEST(ResultCache, CanonicalCoversSeedAndControlKnobs)
     EXPECT_NE(canonical, *scenarioCanonical(seed));
     EXPECT_NE(canonical, *scenarioCanonical(knob));
     EXPECT_EQ(canonical, *scenarioCanonical(base));
+}
+
+/**
+ * Stale-hit regression: every result-affecting runner knob must be
+ * part of the cache key. For each knob, seed the cache with a base
+ * run, flip only that knob, and demand a MISS — a hit would serve a
+ * result computed under different settings.
+ */
+TEST(SweepRunner, FlippingAnyResultAffectingKnobMissesTheCache)
+{
+    const std::string dir = freshDir("sweep_cache_knobs");
+    const Scenario sc = quickScenario(7);
+
+    const auto runWith = [&sc, &dir](const SweepOptions &extra) {
+        SweepOptions opt = extra;
+        opt.jobs = 1;
+        opt.useCache = true;
+        opt.cacheDir = dir;
+        SweepRunner sweep(opt);
+        sweep.runAll({sc});
+        return sweep.report();
+    };
+
+    EXPECT_EQ(runWith(SweepOptions{}).cacheMisses, 1u);
+    EXPECT_EQ(runWith(SweepOptions{}).cacheHits, 1u); // warm baseline
+
+    SweepOptions traces;
+    traces.recordTraces = true;
+    EXPECT_EQ(runWith(traces).cacheMisses, 1u)
+        << "recordTraces must be in the cache key";
+
+    SweepOptions sample;
+    sample.recordTraces = true; // sampleInterval only matters w/ traces
+    sample.sampleInterval = SimTime::sec(9);
+    EXPECT_EQ(runWith(sample).cacheMisses, 1u)
+        << "sampleInterval must be in the cache key";
+
+    SweepOptions attr;
+    attr.attribution = true;
+    EXPECT_EQ(runWith(attr).cacheMisses, 1u)
+        << "attribution must be in the cache key";
+
+    SweepOptions audit;
+    audit.collectAudit = true;
+    EXPECT_EQ(runWith(audit).cacheMisses, 1u)
+        << "collectAudit must be in the cache key";
+
+    SweepOptions critpath;
+    critpath.collectCritPath = true;
+    EXPECT_EQ(runWith(critpath).cacheMisses, 1u)
+        << "collectCritPath must be in the cache key";
+
+    SweepOptions slo;
+    slo.slo.enabled = true;
+    EXPECT_EQ(runWith(slo).cacheMisses, 1u)
+        << "SLO tracking must be in the cache key";
+
+    SweepOptions sloTarget;
+    sloTarget.slo.enabled = true;
+    sloTarget.slo.targetSec = 0.25;
+    EXPECT_EQ(runWith(sloTarget).cacheMisses, 1u)
+        << "the SLO target must be in the cache key";
+
+    SweepOptions sloWindow;
+    sloWindow.slo.enabled = true;
+    sloWindow.slo.fastWindowSec = 30.0;
+    EXPECT_EQ(runWith(sloWindow).cacheMisses, 1u)
+        << "the SLO burn windows must be in the cache key";
+
+    // Execution-only knobs deliberately share the key: same results,
+    // any worker count.
+    SweepOptions shards;
+    shards.shards = 4;
+    EXPECT_EQ(runWith(shards).cacheHits, 1u)
+        << "--shards is a pure execution knob and must share the key";
+}
+
+TEST(ResultCache, CanonicalCoversShardedTopologyKnobs)
+{
+    Scenario base = quickScenario(1);
+    base.nodeGroups = 2;
+    const std::string canonical = *scenarioCanonical(base);
+
+    Scenario groups = base;
+    groups.nodeGroups = 4;
+    EXPECT_NE(*scenarioCanonical(groups), canonical);
+
+    Scenario remote = base;
+    remote.remoteFraction = 0.4;
+    EXPECT_NE(*scenarioCanonical(remote), canonical);
+
+    Scenario latency = base;
+    latency.interNodeLatency = SimTime::msec(25);
+    EXPECT_NE(*scenarioCanonical(latency), canonical);
 }
 
 // ------------------------------------------------------------- audit

@@ -21,7 +21,10 @@
 # multi-group run through the worker pool (races in mailbox drains and
 # window barriers), and the Release build writes every artifact at
 # --shards 1 and --shards 8 and cmp's them byte-for-byte — the
-# determinism contract from docs/PERFORMANCE.md.
+# determinism contract from docs/PERFORMANCE.md. Both repeat with the
+# cluster power arbiter on (docs/ARCHITECTURE.md), and a gated
+# bench/fleet smoke demands the arbiter strictly beat the static
+# equal split at the same global cap.
 #
 # Finally the Release build runs the micro_core benchmark suite and
 # gates it against the checked-in BENCH_*.json perf trajectory
@@ -62,6 +65,14 @@ echo "=== sharded engine under TSan ==="
     --workload=microservice --policy=powerchief --load=high \
     --duration=60 --seed=3 --no-cache \
     --node-groups=4 --shards=4 --remote-fraction=0.2 >/dev/null
+# Same shape with the cluster arbiter on: report/grant traffic rides
+# the cross-shard mailboxes, so the arbiter's rebalance rounds and the
+# nodes' cap retargets all execute under TSan too.
+./build-tsan/tools/powerchief-cli \
+    --workload=microservice --policy=powerchief --load=high \
+    --duration=60 --seed=3 --no-cache \
+    --node-groups=4 --shards=4 --remote-fraction=0.2 \
+    --cluster-policy=proportional --rebalance-interval=2 >/dev/null
 
 echo "=== trace validation ==="
 tracedir="$(mktemp -d)"
@@ -105,6 +116,27 @@ diff -r "${tracedir}/sh1" "${tracedir}/sh8"
     --require-spans
 ./build-release/tools/trace-validate \
     --critpath="${tracedir}/sh1/run.critpath.json"
+
+echo "=== cluster determinism (release, --shards 1 vs 8) ==="
+# The same contract with the budget tree live: the arbiter's grants
+# must not depend on worker scheduling. The timeseries envelope now
+# carries the "cluster" summary, which trace-validate checks —
+# including that the assumed per-node bounds conserve the fleet cap.
+for s in 1 8; do
+    mkdir -p "${tracedir}/cl${s}"
+    ./build-release/tools/powerchief-cli \
+        --workload=microservice --policy=powerchief --load=high \
+        --duration=120 --seed=3 --no-cache --slo --alerts \
+        --node-groups=4 --shards="${s}" --remote-fraction=0.2 \
+        --cluster-policy=waterfill --rebalance-interval=2 \
+        --audit-out="${tracedir}/cl${s}/run.audit.json" \
+        --timeseries-out="${tracedir}/cl${s}/run.ts.json" >/dev/null
+done
+diff -r "${tracedir}/cl1" "${tracedir}/cl8"
+./build-release/tools/trace-validate \
+    --audit="${tracedir}/cl1/run.audit.json" \
+    --timeseries="${tracedir}/cl1/run.ts.json"
+python3 tools/report_html.py --check "${tracedir}/cl1/run.ts.json"
 
 echo "=== timeseries + dashboard validation ==="
 # The same scenario with per-interval sampling, anomaly detection and
@@ -192,6 +224,21 @@ echo "=== policy arena smoke (asan, cached) ==="
 cmp "${tracedir}/arena.json" "${tracedir}/arena2.json"
 python3 tools/arena_report.py --check "${tracedir}/arena.json"
 
+echo "=== fleet arena smoke (release, cached, gated) ==="
+# The cluster layer's acceptance bar (docs/ARCHITECTURE.md): at the
+# same global cap, the demand-proportional arbiter must strictly beat
+# the static cap/N split on fleet p99 AND SLO-violation-seconds in
+# every fabric, clean and lossy. Run twice through the cache: the
+# second pass must serve every point from cache and produce a
+# byte-identical report.
+./build-release/bench/fleet --jobs "${jobs}" \
+    --duration-sec=60 --cache-dir="${tracedir}/fleet-cache" \
+    --out="${tracedir}/fleet.json" >/dev/null
+./build-release/bench/fleet --jobs "${jobs}" \
+    --duration-sec=60 --cache-dir="${tracedir}/fleet-cache" \
+    --out="${tracedir}/fleet2.json" >/dev/null
+cmp "${tracedir}/fleet.json" "${tracedir}/fleet2.json"
+
 echo "=== chaos sweep (fault-matrix invariants, asan) ==="
 # Drops, duplicates, reordering, crashes, stale/truncated telemetry,
 # RAPL and PERF_CTL faults. The runner aborts on any query-conservation
@@ -214,7 +261,8 @@ else
 fi
 
 echo "All sanitizer variants, the Release leg, the sharded TSan and"
-echo "shards-1-vs-8 byte-identity legs, trace validation, the"
-echo "timeseries/dashboard checks, the critical-path byte-identity"
-echo "legs, the golden trace diffs, the policy-arena smoke, the chaos"
+echo "shards-1-vs-8 byte-identity legs (cluster arbiter included),"
+echo "trace validation, the timeseries/dashboard checks, the"
+echo "critical-path byte-identity legs, the golden trace diffs, the"
+echo "policy-arena smoke, the gated fleet-arena smoke, the chaos"
 echo "sweep and the enforced perf gate passed."

@@ -37,6 +37,7 @@
 #include <iostream>
 
 #include "common/flags.h"
+#include "common/logging.h"
 #include "exp/artifacts.h"
 #include "exp/config_loader.h"
 #include "exp/report.h"
@@ -123,13 +124,46 @@ runScenarios(const FlagSet &flags, const Scenario &base,
     // Sharded-fleet topology knobs (see docs/PERFORMANCE.md). The
     // node-group count is part of the scenario (and its cache key);
     // --shards, in addSweepFlags, only picks the worker-thread count.
-    if (flags.getInt("node-groups") > 0) {
+    const long nodeGroupsFlag = flags.getInt("node-groups");
+    if (nodeGroupsFlag < 0)
+        fatal("--node-groups must be >= 0 (got %ld)", nodeGroupsFlag);
+    if (nodeGroupsFlag > 0) {
         for (Scenario &sc : scenarios) {
-            sc.nodeGroups = static_cast<int>(flags.getInt("node-groups"));
+            sc.nodeGroups = static_cast<int>(nodeGroupsFlag);
             sc.remoteFraction = flags.getDouble("remote-fraction");
             sc.interNodeLatency =
                 SimTime::msec(flags.getDouble("inter-node-latency"));
         }
+    }
+
+    // Cluster budget-tree knobs (see docs/ARCHITECTURE.md). Applied
+    // only when set so a --config file's cluster section survives.
+    if (flags.isSet("cluster-policy")) {
+        ClusterPolicyKind kind = ClusterPolicyKind::None;
+        if (!parseClusterPolicyKind(flags.getString("cluster-policy"),
+                                    &kind))
+            fatal("unknown --cluster-policy '%s' (valid: %s)",
+                  flags.getString("cluster-policy").c_str(),
+                  clusterPolicyKindNames().c_str());
+        for (Scenario &sc : scenarios)
+            sc.clusterPolicy = kind;
+    }
+    if (flags.isSet("rebalance-interval")) {
+        for (Scenario &sc : scenarios)
+            sc.rebalanceInterval =
+                SimTime::sec(flags.getDouble("rebalance-interval"));
+    }
+    if (flags.isSet("cluster-budget")) {
+        for (Scenario &sc : scenarios)
+            sc.clusterBudget = Watts(flags.getDouble("cluster-budget"));
+    }
+
+    // Topology validation at parse time, with the offender named —
+    // bad values must die here, not in the arrival-rate arithmetic.
+    for (const Scenario &sc : scenarios) {
+        if (const std::string err = scenarioTopologyError(sc);
+            !err.empty())
+            fatal("scenario '%s': %s", sc.name.c_str(), err.c_str());
     }
 
     // --faults wins over a "faults" section in --config.
@@ -205,6 +239,15 @@ main(int argc, char **argv)
     flags.addDouble("inter-node-latency", 10.0,
                     "cross-group network latency in milliseconds (the "
                     "sharded engine's conservative lookahead)");
+    flags.addString("cluster-policy", "none",
+                    "fleet power-arbiter split policy (one of: " +
+                    clusterPolicyKindNames() +
+                    "; needs --node-groups > 1)");
+    flags.addDouble("rebalance-interval", 5.0,
+                    "cluster arbiter rebalance period in seconds");
+    flags.addDouble("cluster-budget", 0.0,
+                    "fleet-wide power cap in watts "
+                    "(0 = node-groups x --budget)");
     addSweepFlags(&flags);
 
     if (!flags.parse(argc, argv)) {

@@ -466,11 +466,74 @@ def render_critpath(name, doc):
     return "".join(out)
 
 
+def cluster_section(cluster):
+    """The arbiter summary a fleet envelope may carry ("cluster")."""
+    out = ["<h3>Cluster arbiter</h3>"]
+    out.append(
+        "<p>policy <b>%s</b> &middot; cap %s W &middot; "
+        "%d rebalances &middot; %d grants &middot; "
+        "%d reports (%d dropped) &middot; %d freeze events</p>"
+        % (
+            html.escape(str(cluster.get("policy", "?"))),
+            fmt(float(cluster.get("cap_watts", 0.0))),
+            int(cluster.get("rebalances", 0)),
+            int(cluster.get("grants", 0)),
+            int(cluster.get("reports", 0)),
+            int(cluster.get("reports_dropped", 0)),
+            int(cluster.get("freeze_events", 0)),
+        )
+    )
+    nodes = cluster.get("nodes", [])
+    if nodes:
+        out.append(
+            "<table><tr><th>node</th><th>assumed W</th>"
+            "<th>last grant W</th><th>frozen</th>"
+            "<th>reports</th></tr>"
+        )
+        for node in nodes:
+            out.append(
+                "<tr><td>n%d</td><td>%s</td><td>%s</td>"
+                "<td>%s</td><td>%d</td></tr>"
+                % (
+                    int(node.get("node", -1)),
+                    fmt(float(node.get("assumed_w", 0.0))),
+                    fmt(float(node.get("last_grant_w", 0.0))),
+                    "yes" if node.get("frozen") else "no",
+                    int(node.get("reports", 0)),
+                )
+            )
+        out.append("</table>")
+    return "".join(out)
+
+
+def render_fleet(name, doc):
+    """A powerchief-sharded-v1 timeseries envelope: fleet header
+    (envelope-level SLO and, when an arbiter ran, its cluster
+    summary), then one run section per node document."""
+    out = ["<h2>%s &mdash; fleet (%d nodes)</h2>"
+           % (html.escape(name), len(doc.get("shards", [])))]
+    slo = doc.get("slo")
+    if isinstance(slo, dict):
+        out.append("<h3>Fleet SLO %s</h3>" % slo_badge(slo))
+        out.append(slo_table(slo))
+    cluster = doc.get("cluster")
+    if isinstance(cluster, dict):
+        out.append(cluster_section(cluster))
+    else:
+        out.append("<p>no cluster arbiter (static split)</p>")
+    for g, node_doc in enumerate(doc.get("shards", [])):
+        if is_timeseries_doc(node_doc):
+            out.append(render_run("%s · node%d" % (name, g), node_doc))
+    return "".join(out)
+
+
 def render(docs):
     body = ["<h1>PowerChief run dashboard</h1>"]
     for name, doc in docs:
         if is_critpath_doc(doc):
             body.append(render_critpath(name, doc))
+        elif is_sharded_timeseries(doc):
+            body.append(render_fleet(name, doc))
         else:
             body.append(render_run(name, doc))
     body.append(
@@ -499,6 +562,16 @@ def is_critpath_doc(doc):
     )
 
 
+def is_sharded_timeseries(doc):
+    """A fleet run's merged envelope (see docs/OBSERVABILITY.md)."""
+    return (
+        isinstance(doc, dict)
+        and doc.get("schema") == "powerchief-sharded-v1"
+        and doc.get("artifact") == "timeseries"
+        and isinstance(doc.get("shards"), list)
+    )
+
+
 def collect(paths):
     """Expand files/directories into (name, parsed doc) pairs."""
     docs = []
@@ -514,7 +587,8 @@ def collect(paths):
                             doc = json.load(handle)
                     except (OSError, ValueError):
                         continue
-                    if is_timeseries_doc(doc) or is_critpath_doc(doc):
+                    if (is_timeseries_doc(doc) or is_critpath_doc(doc)
+                            or is_sharded_timeseries(doc)):
                         docs.append(
                             (doc.get("scenario") or fname, doc)
                         )
@@ -526,10 +600,13 @@ def collect(paths):
                 fail("cannot open %r: %s" % (path, err))
             except ValueError as err:
                 fail("%r is not valid JSON: %s" % (path, err))
-            if not is_timeseries_doc(doc) and not is_critpath_doc(doc):
+            if (not is_timeseries_doc(doc) and not is_critpath_doc(doc)
+                    and not is_sharded_timeseries(doc)):
                 fail("%r carries neither the timeseries schema "
-                     "(samples + series) nor the critpath schema "
-                     "(powerchief-critpath-v1)" % path)
+                     "(samples + series), the critpath schema "
+                     "(powerchief-critpath-v1), nor a sharded "
+                     "timeseries envelope (powerchief-sharded-v1)"
+                     % path)
             docs.append((doc.get("scenario") or path, doc))
     return docs
 
@@ -590,6 +667,45 @@ def synthetic_doc():
             "max_fast_burn": 3.0,
             "max_slow_burn": 0.8,
         },
+    }
+
+
+def synthetic_fleet_doc():
+    """A two-node sharded envelope with an arbiter summary, covering
+    the fleet renderer and the cluster section."""
+    node = synthetic_doc()
+    node.pop("slo", None)
+    return {
+        "schema": "powerchief-sharded-v1",
+        "artifact": "timeseries",
+        "scenario": "selftest-fleet",
+        "nodes": 2,
+        "cluster": {
+            "cap_watts": 225.0,
+            "policy": "proportional",
+            "rebalances": 60,
+            "grants": 41,
+            "reports": 240,
+            "reports_dropped": 12,
+            "freeze_events": 1,
+            "nodes": [
+                {
+                    "node": 0,
+                    "assumed_w": 130.5,
+                    "last_grant_w": 130.5,
+                    "frozen": False,
+                    "reports": 120,
+                },
+                {
+                    "node": 1,
+                    "assumed_w": 94.5,
+                    "last_grant_w": 94.5,
+                    "frozen": True,
+                    "reports": 118,
+                },
+            ],
+        },
+        "shards": [node, json.loads(json.dumps(node))],
     }
 
 
@@ -688,6 +804,7 @@ def self_check(extra_paths):
     docs = [
         ("selftest", synthetic_doc()),
         ("selftest-critpath", synthetic_critpath_doc()),
+        ("selftest-fleet", synthetic_fleet_doc()),
     ] + collect(extra_paths)
     page = render(docs)
     for marker in (
@@ -705,6 +822,11 @@ def self_check(extra_paths):
         "s0&gt;s1x8!",
         "Bottleneck agreement",
         "misboosts",
+        "fleet (2 nodes)",
+        "Cluster arbiter",
+        "proportional",
+        "freeze events",
+        "node1",
         "</html>",
     ):
         if marker not in page:

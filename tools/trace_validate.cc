@@ -261,6 +261,7 @@ struct AuditSummary
     std::size_t cuttlesysPlans = 0;
     std::size_t obsAlerts = 0;
     std::size_t misboosts = 0;
+    std::size_t clusterRebalances = 0;
     std::size_t scored = 0;
 };
 
@@ -397,6 +398,36 @@ validateAuditDoc(const JsonValue &root, const std::string &path)
                 requireNumber(rec, "dominant_stage", i))
                 bad("audit record " + std::to_string(i) +
                     " misboost boosted == dominant stage");
+        } else if (kind.asString() == "cluster_rebalance") {
+            ++counts.clusterRebalances;
+            if (requireNumber(rec, "node", i) < 0.0)
+                bad("audit record " + std::to_string(i) +
+                    " cluster_rebalance \"node\" negative");
+            if (requireNumber(rec, "round", i) < 1.0)
+                bad("audit record " + std::to_string(i) +
+                    " cluster_rebalance \"round\" not 1-based");
+            // Assumed shares are watts upper bounds: non-negative on
+            // both sides of the decision, as is the report age.
+            if (requireNumber(rec, "cap_before_w", i) < 0.0 ||
+                requireNumber(rec, "cap_after_w", i) < 0.0)
+                bad("audit record " + std::to_string(i) +
+                    " cluster_rebalance cap watts negative");
+            requireNumber(rec, "demand", i);
+            if (requireNumber(rec, "report_age_s", i) < 0.0)
+                bad("audit record " + std::to_string(i) +
+                    " cluster_rebalance \"report_age_s\" negative");
+            const JsonValue &frozen = requireField(rec, "frozen", i);
+            const JsonValue &granted =
+                requireField(rec, "granted", i);
+            if (!frozen.isBool() || !granted.isBool())
+                bad("audit record " + std::to_string(i) +
+                    " cluster_rebalance frozen/granted not bools");
+            // A frozen node is pinned: its share may never rise.
+            if (frozen.asBool() &&
+                rec.numberOr("cap_after_w", 0.0) >
+                    rec.numberOr("cap_before_w", 0.0) + 1e-9)
+                bad("audit record " + std::to_string(i) +
+                    " cluster_rebalance raised a frozen node");
         } else if (kind.asString() == "obs.alert") {
             ++counts.obsAlerts;
             const JsonValue &series = requireField(rec, "series", i);
@@ -448,6 +479,7 @@ validateAuditDoc(const JsonValue &root, const std::string &path)
     check("cuttlesys_plan", counts.cuttlesysPlans);
     check("obs_alert", counts.obsAlerts);
     check("misboost", counts.misboosts);
+    check("cluster_rebalance", counts.clusterRebalances);
     const JsonValue *prediction = summary->find("prediction");
     if (!prediction || !prediction->isObject())
         bad("'" + path + "' summary lacks a \"prediction\" object");
@@ -590,6 +622,71 @@ validateSloBlock(const JsonValue &slo, const std::string &path)
 }
 
 /**
+ * Check the arbiter summary a cluster run attaches to its timeseries
+ * envelope (see the cluster section of docs/OBSERVABILITY.md). Only
+ * called when the "cluster" key is present — non-cluster envelopes
+ * skip it gracefully.
+ */
+void
+validateClusterBlock(const JsonValue &cluster, const std::string &path)
+{
+    if (!cluster.isObject())
+        bad("'" + path + "' \"cluster\" is not an object");
+    const double cap = cluster.numberOr("cap_watts", -1.0);
+    if (cap <= 0.0)
+        bad("'" + path + "' cluster \"cap_watts\" missing or not "
+            "positive");
+    if (cluster.stringOr("policy", "").empty())
+        bad("'" + path + "' cluster lacks a \"policy\" string");
+    for (const char *key : {"freeze_events", "grants", "rebalances",
+                            "reports", "reports_dropped"}) {
+        if (cluster.numberOr(key, -1.0) < 0.0)
+            bad("'" + path + "' cluster field \"" + std::string(key) +
+                "\" missing or negative");
+    }
+    if (cluster.numberOr("reports_dropped", 0.0) >
+        cluster.numberOr("reports", 0.0))
+        bad("'" + path + "' cluster dropped more reports than it saw");
+    const JsonValue *nodes = cluster.find("nodes");
+    if (!nodes || !nodes->isArray() || nodes->asArray().empty())
+        bad("'" + path + "' cluster lacks a non-empty \"nodes\" "
+            "array");
+    double assumedTotal = 0.0;
+    const JsonArray &nodeList = nodes->asArray();
+    for (std::size_t i = 0; i < nodeList.size(); ++i) {
+        const JsonValue &node = nodeList[i];
+        if (!node.isObject())
+            bad("cluster node " + std::to_string(i) +
+                " is not an object");
+        if (node.numberOr("node", -1.0) !=
+            static_cast<double>(i))
+            bad("cluster node " + std::to_string(i) +
+                " \"node\" disagrees with its position");
+        const double assumed = node.numberOr("assumed_w", -1.0);
+        if (assumed < 0.0)
+            bad("cluster node " + std::to_string(i) +
+                " \"assumed_w\" missing or negative");
+        assumedTotal += assumed;
+        if (node.numberOr("last_grant_w", -1.0) < 0.0)
+            bad("cluster node " + std::to_string(i) +
+                " \"last_grant_w\" missing or negative");
+        if (node.numberOr("reports", -1.0) < 0.0)
+            bad("cluster node " + std::to_string(i) +
+                " \"reports\" missing or negative");
+        const JsonValue *frozen = node.find("frozen");
+        if (!frozen || !frozen->isBool())
+            bad("cluster node " + std::to_string(i) +
+                " lacks a boolean \"frozen\"");
+    }
+    // The protocol's core invariant, checked on the artifact too:
+    // assumed upper bounds never exceed the fleet cap.
+    if (assumedTotal > cap + 1e-6)
+        bad("'" + path + "' cluster assumed watts " +
+            std::to_string(assumedTotal) + " exceed the cap " +
+            std::to_string(cap));
+}
+
+/**
  * Validate a --timeseries-out JSON dump: delta-encoded series whose
  * array lengths agree with "n", non-negative time deltas, monotone
  * counters, a well-formed "alerts" array, and (when present) a
@@ -716,6 +813,10 @@ validateTimeseries(const std::string &path)
         // completions would not be the fleet SLO).
         if (const JsonValue *slo = root.find("slo"))
             validateSloBlock(*slo, path);
+        // Cluster runs attach the arbiter summary to the envelope;
+        // single-node and non-cluster fleets simply have no block.
+        if (const JsonValue *cluster = root.find("cluster"))
+            validateClusterBlock(*cluster, path);
         return total;
     }
     return validateTimeseriesDoc(root, path);
@@ -971,11 +1072,13 @@ main(int argc, char **argv)
             bad("'" + auditPath + "' contains no decision records");
         std::printf("%s: ok (%zu records: %zu select [%zu scored], "
                     "%zu recycle, %zu withdraw, %zu rpc_retry, "
-                    "%zu stale_skip, %zu plan)\n",
+                    "%zu stale_skip, %zu plan, "
+                    "%zu cluster_rebalance)\n",
                     auditPath.c_str(), audit.records, audit.selects,
                     audit.scored, audit.recycles, audit.withdraws,
                     audit.rpcRetries, audit.staleSkips,
-                    audit.fastcapPlans + audit.cuttlesysPlans);
+                    audit.fastcapPlans + audit.cuttlesysPlans,
+                    audit.clusterRebalances);
     }
     if (!timeseriesPath.empty()) {
         const TimeseriesSummary ts =
